@@ -1,0 +1,148 @@
+//! Literal implementations of the paper's Equations 2–4.
+
+use core::time::Duration;
+
+/// Equation 3: per-MDS replica storage overhead `U(space) = (N − M)/M` —
+/// the number of Bloom filter replicas each server holds.
+///
+/// Returns 0 when `m >= n` (one group holds everything locally).
+#[must_use]
+pub fn space_overhead(n: usize, m: usize) -> f64 {
+    assert!(m > 0, "group size must be positive");
+    if m >= n {
+        return 0.0;
+    }
+    (n - m) as f64 / m as f64
+}
+
+/// The latency terms of Equation 4, measured or modelled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyTerms {
+    /// `P_LRU`: unique hit rate in the LRU Bloom filters.
+    pub p_lru: f64,
+    /// `P_L2`: unique hit rate in the 2nd-level Bloom filters.
+    pub p_l2: f64,
+    /// `D_LRU`: latency of the LRU level.
+    pub d_lru: Duration,
+    /// `D_L2`: latency of the 2nd level.
+    pub d_l2: Duration,
+    /// `D_group`: latency of one group multicast round.
+    pub d_group: Duration,
+    /// `D_net`: latency across the entire multicast network.
+    pub d_net: Duration,
+}
+
+/// Equation 4: the expected operation latency
+///
+/// `U = D_LRU + (1−P_LRU)·D_L2 + (1−P_LRU)(1−P_L2/M)·D_group
+///    + (1−P_LRU)(1−P_L2/M)·M·D_net`
+///
+/// # Panics
+///
+/// Panics if `m == 0` or a probability is outside `[0, 1]`.
+#[must_use]
+pub fn operation_latency(terms: &LatencyTerms, m: usize) -> Duration {
+    assert!(m > 0, "group size must be positive");
+    assert!((0.0..=1.0).contains(&terms.p_lru), "P_LRU out of range");
+    assert!((0.0..=1.0).contains(&terms.p_l2), "P_L2 out of range");
+    let miss_l1 = 1.0 - terms.p_lru;
+    let escalate = miss_l1 * (1.0 - terms.p_l2 / m as f64);
+    terms.d_lru
+        + terms.d_l2.mul_f64(miss_l1)
+        + terms.d_group.mul_f64(escalate)
+        + terms.d_net.mul_f64(escalate * m as f64)
+}
+
+/// Equation 2: the normalized throughput
+/// `Γ = U(throughput)/U(space) = 1/(U(latency) · U(space))`.
+///
+/// `u_space` of zero (all-local) is treated as 1 own-filter unit so the
+/// metric stays finite; latency of zero yields infinity.
+#[must_use]
+pub fn normalized_throughput(u_latency: Duration, u_space: f64) -> f64 {
+    let space = u_space.max(1.0);
+    let secs = u_latency.as_secs_f64();
+    if secs == 0.0 {
+        return f64::INFINITY;
+    }
+    1.0 / (secs * space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_overhead_matches_paper_examples() {
+        // N=30, M=6 → 4 replicas per MDS.
+        assert_eq!(space_overhead(30, 6), 4.0);
+        // N=100, M=9 → ~10.1 replicas.
+        assert!((space_overhead(100, 9) - 91.0 / 9.0).abs() < 1e-9);
+        assert_eq!(space_overhead(5, 10), 0.0);
+    }
+
+    #[test]
+    fn latency_collapses_when_lru_absorbs_everything() {
+        let terms = LatencyTerms {
+            p_lru: 1.0,
+            p_l2: 0.5,
+            d_lru: Duration::from_micros(2),
+            d_l2: Duration::from_micros(10),
+            d_group: Duration::from_micros(500),
+            d_net: Duration::from_micros(1000),
+        };
+        assert_eq!(operation_latency(&terms, 6), Duration::from_micros(2));
+    }
+
+    #[test]
+    fn latency_grows_with_group_size_at_fixed_rates() {
+        let terms = LatencyTerms {
+            p_lru: 0.6,
+            p_l2: 0.3,
+            d_lru: Duration::from_micros(2),
+            d_l2: Duration::from_micros(10),
+            d_group: Duration::from_micros(500),
+            d_net: Duration::from_micros(1000),
+        };
+        let small = operation_latency(&terms, 2);
+        let large = operation_latency(&terms, 12);
+        assert!(large > small, "{small:?} vs {large:?}");
+    }
+
+    #[test]
+    fn lower_hit_rates_mean_higher_latency() {
+        let base = LatencyTerms {
+            p_lru: 0.8,
+            p_l2: 0.5,
+            d_lru: Duration::from_micros(2),
+            d_l2: Duration::from_micros(10),
+            d_group: Duration::from_micros(500),
+            d_net: Duration::from_micros(1000),
+        };
+        let degraded = LatencyTerms {
+            p_lru: 0.4,
+            p_l2: 0.2,
+            ..base
+        };
+        assert!(operation_latency(&degraded, 6) > operation_latency(&base, 6));
+    }
+
+    #[test]
+    fn gamma_prefers_fast_and_small() {
+        let fast_small = normalized_throughput(Duration::from_millis(1), 4.0);
+        let slow_small = normalized_throughput(Duration::from_millis(10), 4.0);
+        let fast_big = normalized_throughput(Duration::from_millis(1), 16.0);
+        assert!(fast_small > slow_small);
+        assert!(fast_small > fast_big);
+    }
+
+    #[test]
+    fn gamma_edge_cases() {
+        assert!(normalized_throughput(Duration::ZERO, 4.0).is_infinite());
+        // Space below one own-filter unit is floored.
+        assert_eq!(
+            normalized_throughput(Duration::from_millis(1), 0.0),
+            normalized_throughput(Duration::from_millis(1), 1.0)
+        );
+    }
+}

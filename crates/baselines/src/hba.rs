@@ -1,0 +1,533 @@
+//! HBA — Hierarchical Bloom filter Arrays (Zhu, Jiang & Wang, 2004), the
+//! paper's primary baseline.
+//!
+//! Every MDS replicates its Bloom filter to **every** other MDS, so each
+//! server holds a complete mirror: `N − 1` replicas plus its own filter,
+//! plus an LRU array for hot files. Queries are two-level — L1 (LRU) then
+//! the full array — with a system-wide broadcast as the fallback. The cost
+//! is memory: at scale the `N − 1` replicas outgrow RAM and probes hit
+//! disk, which is exactly the regime Figures 8–10 of the G-HBA paper
+//! explore.
+
+use std::collections::BTreeMap;
+use core::time::Duration;
+
+use ghba_core::{
+    ClusterStats, GhbaConfig, Mds, MdsId, QueryLevel, QueryOutcome, ReconfigReport, UpdateReport,
+};
+use ghba_simnet::DetRng;
+
+/// A simulated HBA metadata cluster (complete replica mirror per server).
+///
+/// Reuses the per-server state of `ghba-core` ([`Mds`]); only the
+/// replication topology, query walk, and update fan-out differ from
+/// G-HBA.
+///
+/// # Examples
+///
+/// ```
+/// use ghba_baselines::HbaCluster;
+/// use ghba_core::GhbaConfig;
+///
+/// let mut hba = HbaCluster::with_servers(
+///     GhbaConfig::default().with_filter_capacity(1_000),
+///     8,
+/// );
+/// let home = hba.create_file("/a/b");
+/// assert_eq!(hba.lookup("/a/b").home, Some(home));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HbaCluster {
+    config: GhbaConfig,
+    mdss: BTreeMap<MdsId, Mds>,
+    rng: DetRng,
+    stats: ClusterStats,
+    next_mds: u16,
+}
+
+impl HbaCluster {
+    /// Creates an HBA cluster of `servers` MDSs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    #[must_use]
+    pub fn with_servers(config: GhbaConfig, servers: usize) -> Self {
+        assert!(servers > 0, "cluster needs at least one server");
+        let rng = DetRng::new(config.seed).fork(0x4BA);
+        let mut cluster = HbaCluster {
+            config,
+            mdss: BTreeMap::new(),
+            rng,
+            stats: ClusterStats::default(),
+            next_mds: 0,
+        };
+        for _ in 0..servers {
+            cluster.add_mds();
+        }
+        cluster.reset_stats();
+        cluster
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &GhbaConfig {
+        &self.config
+    }
+
+    /// Number of servers.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.mdss.len()
+    }
+
+    /// All server ids, ascending.
+    #[must_use]
+    pub fn server_ids(&self) -> Vec<MdsId> {
+        self.mdss.keys().copied().collect()
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Clears statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = ClusterStats::default();
+    }
+
+    /// Total files homed across the cluster.
+    #[must_use]
+    pub fn total_files(&self) -> usize {
+        self.mdss.values().map(Mds::file_count).sum()
+    }
+
+    /// Ground-truth home of `path`.
+    #[must_use]
+    pub fn true_home(&self, path: &str) -> Option<MdsId> {
+        self.mdss
+            .iter()
+            .find(|(_, mds)| mds.stores(path))
+            .map(|(&id, _)| id)
+    }
+
+    fn pick_random_mds(&mut self) -> MdsId {
+        let ids = self.server_ids();
+        *self.rng.choose(&ids).expect("non-empty cluster")
+    }
+
+    fn refresh_replica_charges(&mut self) {
+        let held = self.mdss.len().saturating_sub(1);
+        for mds in self.mdss.values_mut() {
+            mds.set_replica_charge(held);
+        }
+    }
+
+    /// Adds a server: in HBA the newcomer receives **all `N` existing
+    /// replicas** (to hold the full mirror) and broadcasts its own filter
+    /// to everyone — the cost Figure 11/15 contrasts with G-HBA.
+    pub fn add_mds(&mut self) -> MdsId {
+        self.add_mds_reported().0
+    }
+
+    /// Like [`add_mds`](HbaCluster::add_mds) with a cost report.
+    pub fn add_mds_reported(&mut self) -> (MdsId, ReconfigReport) {
+        let id = MdsId(self.next_mds);
+        self.next_mds += 1;
+        let existing = self.mdss.len() as u64;
+        self.mdss.insert(id, Mds::new(id, &self.config));
+        let report = ReconfigReport {
+            // The newcomer pulls every existing filter…
+            migrated_replicas: existing,
+            // …one transfer message each, plus broadcasting its own filter
+            // to every existing server.
+            messages: existing * 2,
+            ..ReconfigReport::default()
+        };
+        self.refresh_replica_charges();
+        self.stats.migrated_replicas += report.migrated_replicas;
+        self.stats.reconfig_messages += report.messages;
+        (id, report)
+    }
+
+    /// Removes a server, re-homing its files to the least-loaded peer and
+    /// notifying everyone to drop its replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or is the last server.
+    pub fn remove_mds(&mut self, id: MdsId) -> ReconfigReport {
+        assert!(self.mdss.contains_key(&id), "unknown server");
+        assert!(self.mdss.len() > 1, "cannot remove the last server");
+        let files = self.mdss.get_mut(&id).expect("exists").evacuate();
+        let mut report = ReconfigReport {
+            rehomed_files: files.len() as u64,
+            messages: files.len() as u64,
+            ..ReconfigReport::default()
+        };
+        self.mdss.remove(&id);
+        if !files.is_empty() {
+            let target = *self
+                .mdss
+                .iter()
+                .min_by_key(|(&mid, mds)| (mds.file_count(), mid))
+                .map(|(id, _)| id)
+                .expect("non-empty");
+            let target_mds = self.mdss.get_mut(&target).expect("target");
+            for path in &files {
+                target_mds.create_local(path);
+            }
+            let update = self.push_update(target);
+            report.messages += update.messages;
+        }
+        // Drop notices to every remaining server.
+        report.messages += self.mdss.len() as u64;
+        for mds in self.mdss.values_mut() {
+            if let Some(lru) = mds.lru_mut() {
+                lru.purge_home(id);
+            }
+        }
+        self.refresh_replica_charges();
+        self.stats.migrated_replicas += report.migrated_replicas;
+        self.stats.reconfig_messages += report.messages;
+        report
+    }
+
+    /// Creates metadata for `path` at a random home.
+    pub fn create_file(&mut self, path: &str) -> MdsId {
+        let home = self.pick_random_mds();
+        self.create_file_at(path, home);
+        home
+    }
+
+    /// Creates metadata for `path` at `home`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is unknown.
+    pub fn create_file_at(&mut self, path: &str, home: MdsId) {
+        self.mdss
+            .get_mut(&home)
+            .expect("home exists")
+            .create_local(path);
+        self.maybe_publish(home);
+    }
+
+    /// Removes `path` from its home.
+    pub fn remove_file(&mut self, path: &str) -> Option<MdsId> {
+        let home = self.true_home(path)?;
+        self.mdss.get_mut(&home).expect("exists").remove_local(path);
+        self.maybe_publish(home);
+        Some(home)
+    }
+
+    fn maybe_publish(&mut self, origin: MdsId) -> Option<UpdateReport> {
+        let threshold = self.config.update_threshold_bits;
+        let hashes = self.config.filter_hashes() as usize;
+        let gate = (threshold / hashes.max(1) / 2).max(1) as u64;
+        let mds = self.mdss.get(&origin)?;
+        if mds.mutations_since_publish() < gate || mds.drift_bits() < threshold {
+            return None;
+        }
+        Some(self.push_update(origin))
+    }
+
+    /// Pushes `origin`'s filter refresh to **all** other servers — HBA's
+    /// system-wide broadcast, the Figure 12 contrast to G-HBA's
+    /// one-per-group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is unknown.
+    pub fn push_update(&mut self, origin: MdsId) -> UpdateReport {
+        let delta = match self.mdss.get_mut(&origin).expect("origin").publish() {
+            Some(delta) => delta,
+            None => return UpdateReport::default(),
+        };
+        let recipients = self.mdss.len().saturating_sub(1);
+        let report = UpdateReport {
+            messages: recipients as u64,
+            bytes: delta.wire_bytes() as u64 * recipients as u64,
+            latency: self.config.latency.multicast_rtt(recipients),
+            refreshed: true,
+        };
+        self.stats.update_messages += report.messages;
+        self.stats.update_bytes += report.bytes;
+        self.stats.update_latency.record(report.latency);
+        report
+    }
+
+    /// Forces a refresh for every server.
+    pub fn flush_all_updates(&mut self) {
+        for id in self.server_ids() {
+            let _ = self.push_update(id);
+        }
+    }
+
+    /// Looks `path` up from a random entry server.
+    pub fn lookup(&mut self, path: &str) -> QueryOutcome {
+        let entry = self.pick_random_mds();
+        self.lookup_from(entry, path)
+    }
+
+    /// The HBA query walk: L1 LRU → full replica array → broadcast.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is unknown.
+    pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
+        assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        let model = self.config.latency.clone();
+        let mut latency = model.dispatch;
+        let mut messages: u32 = 0;
+
+        // L1: the LRU array.
+        let l1_hit = self
+            .mdss
+            .get(&entry)
+            .and_then(Mds::lru)
+            .map(|lru| lru.query(path));
+        if let Some(ghba_bloom::Hit::Unique(candidate)) = l1_hit {
+            latency += model.memory_probe;
+            if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+            {
+                return self.finish(entry, path, home, QueryLevel::L1Lru, latency, messages);
+            }
+            self.stats.counters.incr("l1_false_hits");
+        } else if l1_hit.is_some() {
+            latency += model.memory_probe;
+        }
+
+        // L2: the complete replica array (N − 1 replicas + own filter).
+        let held = self.mdss.len() - 1;
+        let entry_mds = &self.mdss[&entry];
+        let resident = entry_mds.resident_replicas(held);
+        latency += model.array_probe(held + 1, held - resident);
+        let mut positives: Vec<MdsId> = Vec::new();
+        for (&id, mds) in &self.mdss {
+            let positive = if id == entry {
+                mds.probe_live(path)
+            } else {
+                mds.published().contains(path)
+            };
+            if positive {
+                positives.push(id);
+            }
+        }
+        if positives.len() == 1 {
+            let candidate = positives[0];
+            if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+            {
+                return self.finish(entry, path, home, QueryLevel::L2Segment, latency, messages);
+            }
+            self.stats.counters.incr("l2_false_hits");
+        }
+
+        // Fallback: system-wide broadcast (authoritative).
+        let others = self.mdss.len() - 1;
+        messages += 2 * others as u32;
+        latency += model.multicast_rtt(others) + model.memory_probe;
+        let mut found = None;
+        let mut verify_cost = Duration::ZERO;
+        for (&id, mds) in &self.mdss {
+            if mds.probe_live(path) {
+                verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
+                if mds.stores(path) {
+                    found = Some(id);
+                }
+            }
+        }
+        latency += verify_cost;
+        match found {
+            Some(home) => self.finish(entry, path, home, QueryLevel::L4Global, latency, messages),
+            None => {
+                let latency = latency.mul_f64(self.config.contention_factor(messages));
+                self.stats.levels.record(QueryLevel::Nonexistent);
+                self.stats.lookup_latency.record(latency);
+                QueryOutcome {
+                    home: None,
+                    level: QueryLevel::Nonexistent,
+                    latency,
+                    messages,
+                    entry,
+                }
+            }
+        }
+    }
+
+    fn verify_at(
+        &mut self,
+        candidate: MdsId,
+        entry: MdsId,
+        path: &str,
+        latency: &mut Duration,
+        messages: &mut u32,
+    ) -> Option<MdsId> {
+        let model = self.config.latency.clone();
+        if candidate != entry {
+            *messages += 2;
+            *latency += model.unicast_rtt();
+        }
+        let mds = self.mdss.get(&candidate)?;
+        *latency += mds.metadata_access_cost(&model);
+        mds.stores(path).then_some(candidate)
+    }
+
+    fn finish(
+        &mut self,
+        entry: MdsId,
+        path: &str,
+        home: MdsId,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+    ) -> QueryOutcome {
+        if let Some(lru) = self.mdss.get_mut(&entry).and_then(Mds::lru_mut) {
+            lru.record(path, home);
+        }
+        let latency = latency.mul_f64(self.config.contention_factor(messages));
+        self.stats.levels.record(level);
+        self.stats.lookup_latency.record(latency);
+        QueryOutcome {
+            home: Some(home),
+            level,
+            latency,
+            messages,
+            entry,
+        }
+    }
+
+    /// Per-MDS filter memory: own filter + LRU + `N − 1` replicas.
+    #[must_use]
+    pub fn filter_memory_bytes(&self, id: MdsId) -> usize {
+        let held = self.mdss.len().saturating_sub(1);
+        self.mdss
+            .get(&id)
+            .map_or(0, |mds| mds.filter_memory_bytes(held))
+    }
+}
+
+impl ghba_core::MetadataService for HbaCluster {
+    fn scheme_name(&self) -> &'static str {
+        "HBA"
+    }
+
+    fn server_count(&self) -> usize {
+        self.server_count()
+    }
+
+    fn create(&mut self, path: &str) -> MdsId {
+        self.create_file(path)
+    }
+
+    fn lookup(&mut self, path: &str) -> QueryOutcome {
+        HbaCluster::lookup(self, path)
+    }
+
+    fn remove(&mut self, path: &str) -> Option<MdsId> {
+        self.remove_file(path)
+    }
+
+    fn filter_memory_per_mds(&self) -> usize {
+        let n = self.server_count();
+        if n == 0 {
+            return 0;
+        }
+        self.server_ids()
+            .into_iter()
+            .map(|id| self.filter_memory_bytes(id))
+            .sum::<usize>()
+            / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ghba_core::MetadataService;
+
+    fn config() -> GhbaConfig {
+        GhbaConfig::default()
+            .with_filter_capacity(2_000)
+            .with_seed(17)
+    }
+
+    #[test]
+    fn files_are_findable() {
+        let mut hba = HbaCluster::with_servers(config(), 8);
+        for i in 0..100 {
+            hba.create_file(&format!("/h/f{i}"));
+        }
+        hba.flush_all_updates();
+        for i in 0..100 {
+            let path = format!("/h/f{i}");
+            let truth = hba.true_home(&path);
+            assert_eq!(hba.lookup(&path).home, truth);
+        }
+    }
+
+    #[test]
+    fn join_migrates_all_n_replicas() {
+        let mut hba = HbaCluster::with_servers(config(), 10);
+        hba.reset_stats();
+        let (_, report) = hba.add_mds_reported();
+        assert_eq!(report.migrated_replicas, 10);
+        assert_eq!(report.messages, 20);
+    }
+
+    #[test]
+    fn update_broadcasts_to_everyone() {
+        let mut hba = HbaCluster::with_servers(config(), 12);
+        let home = hba.server_ids()[0];
+        for i in 0..50 {
+            hba.create_file_at(&format!("/u/f{i}"), home);
+        }
+        let report = hba.push_update(home);
+        assert!(report.refreshed);
+        assert_eq!(report.messages, 11);
+    }
+
+    #[test]
+    fn memory_per_mds_scales_with_n() {
+        let small = HbaCluster::with_servers(config(), 5);
+        let large = HbaCluster::with_servers(config(), 20);
+        assert!(large.filter_memory_per_mds() > small.filter_memory_per_mds() * 3);
+    }
+
+    #[test]
+    fn repeated_lookup_hits_l1() {
+        let mut hba = HbaCluster::with_servers(config(), 8);
+        hba.create_file("/hot/file");
+        hba.flush_all_updates();
+        let entry = MdsId(0);
+        let _ = hba.lookup_from(entry, "/hot/file");
+        let second = hba.lookup_from(entry, "/hot/file");
+        assert_eq!(second.level, QueryLevel::L1Lru);
+    }
+
+    #[test]
+    fn removal_preserves_files() {
+        let mut hba = HbaCluster::with_servers(config(), 6);
+        for i in 0..60 {
+            hba.create_file(&format!("/r/f{i}"));
+        }
+        let before = hba.total_files();
+        hba.remove_mds(MdsId(2));
+        assert_eq!(hba.total_files(), before);
+        assert_eq!(hba.server_count(), 5);
+        hba.flush_all_updates();
+        for i in 0..60 {
+            assert!(hba.lookup(&format!("/r/f{i}")).found());
+        }
+    }
+
+    #[test]
+    fn nonexistent_resolves_to_miss() {
+        let mut hba = HbaCluster::with_servers(config(), 6);
+        let outcome = hba.lookup("/ghost");
+        assert!(!outcome.found());
+        assert_eq!(outcome.level, QueryLevel::Nonexistent);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline metadata schemes from the G-HBA paper's comparison (Table 1
+//! and the evaluation figures):
+//!
+//! * [`HbaCluster`] — HBA (Zhu, Jiang & Wang): every server mirrors every
+//!   filter; fast until the mirror outgrows RAM.
+//! * [`BfaCluster`] — pure Bloom Filter Arrays (BFA8/BFA16), HBA without
+//!   the LRU level; the Table 5 normalization baseline.
+//! * [`HashPlacement`] — modular-hash replica placement, the
+//!   reconfiguration strawman of Figure 11.
+//!
+//! All lookup-capable schemes implement
+//! [`ghba_core::MetadataService`], so experiments drive them and G-HBA
+//! through one interface.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bfa;
+mod hashing;
+mod hba;
+
+pub use bfa::BfaCluster;
+pub use hashing::{expected_hash_migrations, HashPlacement};
+pub use hba::HbaCluster;

@@ -1,0 +1,49 @@
+//! Ablation: the bits-per-file ratio (m/n) trade-off of Equation 1 —
+//! G-HBA's premise is that grouped storage lets it afford a higher ratio,
+//! collapsing the false-hit rate of the segment array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghba_bloom::analysis::{optimal_fpp, segment_false_hit};
+use ghba_core::{GhbaCluster, GhbaConfig};
+use std::hint::black_box;
+
+fn bench_lookup_by_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bits_per_file");
+    for ratio in [4.0f64, 8.0, 16.0, 24.0] {
+        let config = GhbaConfig::default()
+            .with_max_group_size(6)
+            .with_filter_capacity(2_000)
+            .with_bits_per_file(ratio)
+            .with_seed(21);
+        let mut cluster = GhbaCluster::with_servers(config, 30);
+        for i in 0..2_000 {
+            cluster.create_file(&format!("/ab/f{i}"));
+        }
+        cluster.flush_all_updates();
+        group.bench_with_input(
+            BenchmarkId::new("lookup", ratio as u64),
+            &ratio,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let outcome = cluster.lookup(black_box(&format!("/ab/f{}", i % 2_000)));
+                    i += 1;
+                    outcome
+                });
+            },
+        );
+    }
+    group.finish();
+
+    println!("\nEq. 1 f+g for θ = 10 replicas:");
+    for ratio in [4.0f64, 8.0, 16.0, 24.0] {
+        println!(
+            "  m/n = {ratio:>4}: f0 = {:.2e}, segment false hit = {:.2e}",
+            optimal_fpp(ratio),
+            segment_false_hit(10, ratio)
+        );
+    }
+}
+
+criterion_group!(benches, bench_lookup_by_ratio);
+criterion_main!(benches);

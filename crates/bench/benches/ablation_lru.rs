@@ -1,0 +1,79 @@
+//! Ablation: exact-LRU vs generational L1 arrays (the paper's future-work
+//! question about replacement efficiency, §7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghba_bloom::{GenerationalLruArray, LruBloomArray};
+use ghba_simnet::DetRng;
+use ghba_trace::Zipf;
+use std::hint::black_box;
+
+fn access_stream(len: usize) -> Vec<(u64, u16)> {
+    let zipf = Zipf::new(10_000, 1.1);
+    let mut rng = DetRng::new(77);
+    (0..len)
+        .map(|_| {
+            let file = zipf.sample(&mut rng);
+            (file, (file % 30) as u16)
+        })
+        .collect()
+}
+
+fn bench_exact_lru(c: &mut Criterion) {
+    let stream = access_stream(4_096);
+    c.bench_function("l1/exact_lru_record_query", |b| {
+        let mut lru = LruBloomArray::new(2_048, 16_384, 4, 3);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (file, home) = stream[i % stream.len()];
+            lru.record(&file, home);
+            i += 1;
+            black_box(lru.query(&file))
+        });
+    });
+}
+
+fn bench_generational(c: &mut Criterion) {
+    let stream = access_stream(4_096);
+    c.bench_function("l1/generational_record_query", |b| {
+        let mut lru = GenerationalLruArray::new(2_048, 16_384, 4, 3);
+        let mut i = 0usize;
+        b.iter(|| {
+            let (file, home) = stream[i % stream.len()];
+            lru.record(&file, home);
+            i += 1;
+            black_box(lru.query(&file))
+        });
+    });
+}
+
+fn report_hit_quality(c: &mut Criterion) {
+    // Not a timing benchmark: emit the hit-quality comparison once so the
+    // ablation has a correctness dimension in the bench output.
+    let stream = access_stream(100_000);
+    let mut exact = LruBloomArray::new(2_048, 16_384, 4, 3);
+    let mut generational = GenerationalLruArray::new(2_048, 16_384, 4, 3);
+    let (mut exact_hits, mut gen_hits) = (0u32, 0u32);
+    for &(file, home) in &stream {
+        if exact.query(&file).unique() == Some(&home) {
+            exact_hits += 1;
+        }
+        if generational.query(&file).unique() == Some(&home) {
+            gen_hits += 1;
+        }
+        exact.record(&file, home);
+        generational.record(&file, home);
+    }
+    println!(
+        "\nL1 unique-hit quality over {} Zipf accesses: exact {:.1}% vs generational {:.1}% \
+         (memory {} vs {} KiB)\n",
+        stream.len(),
+        f64::from(exact_hits) / stream.len() as f64 * 100.0,
+        f64::from(gen_hits) / stream.len() as f64 * 100.0,
+        exact.memory_bytes() / 1024,
+        generational.memory_bytes() / 1024,
+    );
+    c.bench_function("l1/hit_quality_report", |b| b.iter(|| black_box(1 + 1)));
+}
+
+criterion_group!(benches, bench_exact_lru, bench_generational, report_hit_quality);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Microbenchmarks of the Bloom filter substrate: insert, probe, algebra.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghba_bloom::{BloomFilter, BloomFilterArray, CountingBloomFilter, FilterDelta};
+use std::hint::black_box;
+
+fn bench_insert_and_contains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("filter");
+    for bits_per_file in [8.0, 16.0] {
+        let mut filter = BloomFilter::for_items(100_000, bits_per_file);
+        for i in 0..50_000u64 {
+            filter.insert(&i);
+        }
+        group.bench_with_input(
+            BenchmarkId::new("insert", bits_per_file as u64),
+            &bits_per_file,
+            |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    filter.insert(black_box(&i));
+                    i += 1;
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("contains_hit", bits_per_file as u64),
+            &bits_per_file,
+            |b, _| {
+                let mut i = 0u64;
+                b.iter(|| {
+                    let hit = filter.contains(black_box(&(i % 50_000)));
+                    i += 1;
+                    hit
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("contains_miss", bits_per_file as u64),
+            &bits_per_file,
+            |b, _| {
+                let mut i = 1_000_000u64;
+                b.iter(|| {
+                    let hit = filter.contains(black_box(&i));
+                    i += 1;
+                    hit
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("algebra");
+    let mut a = BloomFilter::for_items(100_000, 16.0);
+    let mut b = a.clone();
+    for i in 0..60_000u64 {
+        a.insert(&i);
+        b.insert(&(i + 30_000));
+    }
+    group.bench_function("union", |bench| {
+        bench.iter(|| ghba_bloom::ops::union(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.bench_function("xor_distance", |bench| {
+        bench.iter(|| a.xor_distance(black_box(&b)).unwrap())
+    });
+    group.bench_function("delta_compute", |bench| {
+        bench.iter(|| FilterDelta::between(black_box(&a), black_box(&b)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_counting(c: &mut Criterion) {
+    let mut filter = CountingBloomFilter::for_items(100_000, 10.0);
+    for i in 0..50_000u64 {
+        filter.insert(&i);
+    }
+    c.bench_function("counting/insert_remove", |b| {
+        let mut i = 100_000u64;
+        b.iter(|| {
+            filter.insert(black_box(&i));
+            filter.remove(black_box(&i)).unwrap();
+            i += 1;
+        });
+    });
+}
+
+fn bench_array_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_query");
+    for n in [10usize, 30, 100] {
+        let array: BloomFilterArray<u16> = (0..n as u16)
+            .map(|id| {
+                let mut f = BloomFilter::for_items(10_000, 16.0).with_seed(9);
+                for i in 0..5_000u64 {
+                    f.insert(&((u64::from(id) << 32) | i));
+                }
+                (id, f)
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                let hit = array.query(black_box(&((7u64 << 32) | (i % 5_000))));
+                i += 1;
+                hit
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_and_contains,
+    bench_algebra,
+    bench_counting,
+    bench_array_query
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Simulated-cluster benchmarks: wall-clock cost of driving lookups
+//! through the G-HBA hierarchy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghba_core::{GhbaCluster, GhbaConfig, MdsId};
+use std::hint::black_box;
+
+fn cluster(n: usize) -> GhbaCluster {
+    let config = GhbaConfig::default()
+        .with_max_group_size(6)
+        .with_filter_capacity(2_000)
+        .with_seed(5);
+    let mut cluster = GhbaCluster::with_servers(config, n);
+    for i in 0..1_000 {
+        cluster.create_file(&format!("/bench/f{i}"));
+    }
+    cluster.flush_all_updates();
+    cluster
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    for n in [12usize, 30, 60] {
+        let mut cl = cluster(n);
+        group.bench_with_input(BenchmarkId::new("hit", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let outcome = cl.lookup(black_box(&format!("/bench/f{}", i % 1_000)));
+                i += 1;
+                outcome
+            });
+        });
+        let mut cl = cluster(n);
+        group.bench_with_input(BenchmarkId::new("miss", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let outcome = cl.lookup(black_box(&format!("/absent/f{i}")));
+                i += 1;
+                outcome
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_l1_hit(c: &mut Criterion) {
+    let mut cl = cluster(30);
+    let entry = MdsId(0);
+    let _ = cl.lookup_from(entry, "/bench/f1");
+    c.bench_function("lookup/l1_warm", |b| {
+        b.iter(|| cl.lookup_from(entry, black_box("/bench/f1")));
+    });
+}
+
+fn bench_create(c: &mut Criterion) {
+    let mut cl = cluster(30);
+    c.bench_function("create", |b| {
+        let mut i = 1_000_000u64;
+        b.iter(|| {
+            cl.create_file(black_box(&format!("/new/f{i}")));
+            i += 1;
+        });
+    });
+}
+
+criterion_group!(benches, bench_lookup, bench_l1_hit, bench_create);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Reconfiguration benchmarks: joins (with and without splits), leaves,
+//! and update pushes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghba_core::{GhbaCluster, GhbaConfig};
+use std::hint::black_box;
+
+fn config() -> GhbaConfig {
+    GhbaConfig::default()
+        .with_max_group_size(6)
+        .with_filter_capacity(1_000)
+        .with_seed(13)
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("join");
+    for n in [30usize, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                || GhbaCluster::with_servers(config(), n),
+                |mut cluster| black_box(cluster.add_mds()),
+                criterion::BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_leave(c: &mut Criterion) {
+    c.bench_function("leave/n30", |b| {
+        b.iter_batched(
+            || GhbaCluster::with_servers(config(), 30),
+            |mut cluster| {
+                let victim = cluster.server_ids()[7];
+                black_box(cluster.remove_mds(victim).unwrap())
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_update_push(c: &mut Criterion) {
+    let mut cluster = GhbaCluster::with_servers(config(), 30);
+    let home = cluster.server_ids()[0];
+    c.bench_function("update_push/n30", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            cluster.create_file_at(&format!("/u/f{i}"), home);
+            i += 1;
+            black_box(cluster.push_update(home))
+        });
+    });
+}
+
+criterion_group!(benches, bench_join, bench_leave, bench_update_push);
+criterion_main!(benches);

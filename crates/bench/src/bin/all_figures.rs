@@ -1,0 +1,17 @@
+//! Runs the entire evaluation battery (every table and figure).
+fn main() -> std::io::Result<()> {
+    let out = &mut std::io::stdout().lock();
+    ghba_bench::figures::tables34(out)?;
+    ghba_bench::figures::fig6(out)?;
+    ghba_bench::figures::fig7(out)?;
+    ghba_bench::figures::fig8_9_10(out, 8)?;
+    ghba_bench::figures::fig8_9_10(out, 9)?;
+    ghba_bench::figures::fig8_9_10(out, 10)?;
+    ghba_bench::figures::fig11(out)?;
+    ghba_bench::figures::fig12(out)?;
+    ghba_bench::figures::fig13(out)?;
+    ghba_bench::figures::fig14(out)?;
+    ghba_bench::figures::fig15(out)?;
+    ghba_bench::figures::table5(out)?;
+    Ok(())
+}

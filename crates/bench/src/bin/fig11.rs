@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig11 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::fig11(&mut std::io::stdout().lock())
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig12 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::fig12(&mut std::io::stdout().lock())
+}

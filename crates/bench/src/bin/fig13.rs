@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig13 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::fig13(&mut std::io::stdout().lock())
+}

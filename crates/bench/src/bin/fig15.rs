@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::fig15(&mut std::io::stdout().lock())
+}

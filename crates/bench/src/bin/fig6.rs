@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig6 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::fig6(&mut std::io::stdout().lock())
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig7 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::fig7(&mut std::io::stdout().lock())
+}

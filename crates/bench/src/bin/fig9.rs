@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 9 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::fig8_9_10(&mut std::io::stdout().lock(), 9)
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::table5(&mut std::io::stdout().lock())
+}

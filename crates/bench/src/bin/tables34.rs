@@ -1,0 +1,4 @@
+//! Regenerates the paper's tables34 series. See DESIGN.md §4.
+fn main() -> std::io::Result<()> {
+    ghba_bench::figures::tables34(&mut std::io::stdout().lock())
+}

@@ -1,0 +1,122 @@
+//! Shared experiment plumbing: configurations, memory-budget scaling, and
+//! table printing.
+
+use std::io::{self, Write};
+
+use ghba_core::GhbaConfig;
+use ghba_trace::WorkloadProfile;
+
+/// `true` when `GHBA_QUICK` is set: smaller sweeps for smoke runs.
+#[must_use]
+pub fn quick() -> bool {
+    std::env::var_os("GHBA_QUICK").is_some()
+}
+
+/// Picks `full` or `quick` depending on the mode.
+#[must_use]
+pub fn sized(full: usize, quick_size: usize) -> usize {
+    if quick() {
+        quick_size
+    } else {
+        full
+    }
+}
+
+/// The filter capacity all simulated experiments share (files per MDS the
+/// filters are sized for).
+pub const FILTER_CAPACITY: usize = 1_000;
+/// Bits per file in the simulated experiments.
+pub const BITS_PER_FILE: f64 = 12.0;
+/// Bytes of one plain published filter under the shared geometry.
+#[must_use]
+pub fn filter_bytes() -> usize {
+    (FILTER_CAPACITY as f64 * BITS_PER_FILE / 8.0).ceil() as usize
+}
+
+/// The standard simulation configuration for the figure experiments.
+#[must_use]
+pub fn sim_config(seed: u64) -> GhbaConfig {
+    let mut config = GhbaConfig::default()
+        .with_filter_capacity(FILTER_CAPACITY)
+        .with_bits_per_file(BITS_PER_FILE)
+        .with_lru_capacity(512)
+        .with_update_threshold(256)
+        .with_seed(seed);
+    // Small per-home LRU filters keep the L1 memory share realistic.
+    config.lru_bits = 4_096;
+    config.lru_hashes = 4;
+    config
+}
+
+/// L1 hit rates the workloads exhibit (used by the analytic Figure 7
+/// model; measured rates from the simulations agree within a few points).
+#[must_use]
+pub fn p_lru_of(profile: &WorkloadProfile) -> f64 {
+    match profile.name {
+        "HP" => 0.70,
+        "RES" => 0.68,
+        _ => 0.62,
+    }
+}
+
+/// A per-MDS memory budget that keeps local structures, a full LRU array,
+/// and exactly ~`resident` replica filters in RAM, plus `metacache_bytes`
+/// of metadata cache. Replicas beyond `resident` spill to disk.
+#[must_use]
+pub fn budget(n: usize, resident_replicas: usize, metacache_bytes: usize) -> usize {
+    let live = (FILTER_CAPACITY as f64 * BITS_PER_FILE) as usize; // 1 B/counter
+    let plain = filter_bytes();
+    let lru_max = n * 4_096; // one 4 KB counting filter per home
+    live + plain + lru_max + resident_replicas * plain + metacache_bytes
+}
+
+/// Writes a Markdown-style table row.
+pub fn row(out: &mut impl Write, cells: &[String]) -> io::Result<()> {
+    writeln!(out, "| {} |", cells.join(" | "))
+}
+
+/// Writes a Markdown-style header row with separator.
+pub fn header(out: &mut impl Write, cells: &[&str]) -> io::Result<()> {
+    writeln!(out, "| {} |", cells.join(" | "))?;
+    writeln!(
+        out,
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    )
+}
+
+/// Formats a duration in milliseconds with two decimals.
+#[must_use]
+pub fn ms(d: core::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_grows_with_residency() {
+        assert!(budget(30, 10, 0) > budget(30, 2, 0));
+        assert!(budget(30, 2, 100_000) > budget(30, 2, 0));
+    }
+
+    #[test]
+    fn table_helpers_emit_markdown() {
+        let mut buf = Vec::new();
+        header(&mut buf, &["a", "b"]).unwrap();
+        row(&mut buf, &["1".into(), "2".into()]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("| a | b |"));
+        assert!(text.contains("|---|---|"));
+        assert!(text.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn p_lru_covers_all_profiles() {
+        for p in WorkloadProfile::all() {
+            let v = p_lru_of(&p);
+            assert!((0.5..0.9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Benchmark harness for the G-HBA reproduction.
+//!
+//! One module per experiment family; one binary per table/figure in
+//! `src/bin/` (`fig6` … `fig15`, `tables34`, `table5`, `all_figures`).
+//! Set `GHBA_QUICK=1` for reduced sweep sizes.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod figures;

@@ -1,0 +1,260 @@
+//! Closed-form false-rate analysis for Bloom filters and filter arrays.
+//!
+//! Implements the formulas the paper leans on:
+//!
+//! * the textbook false-positive probability `f₀ = (1 − e^{−kn/m})^k` and
+//!   its optimum `(0.6185)^{m/n}` at `k = (m/n)·ln 2` (Broder &
+//!   Mitzenmacher, cited as \[30\]);
+//! * Equation (1): the probability `f⁺_g` that a **segment** Bloom filter
+//!   array of `θ` replicas returns a *false unique hit*;
+//! * bounds on the false rates of unioned and intersected filters
+//!   (§3.4 propositions).
+
+/// `ln 2`, the constant relating bits-per-item to the optimal hash count.
+pub const LN2: f64 = core::f64::consts::LN_2;
+
+/// The base of the optimal false-positive rate: `0.5^{ln 2} ≈ 0.6185`.
+///
+/// The paper writes the optimum as `0.6185^{m/n}`.
+pub const OPTIMAL_BASE: f64 = 0.618_503_137_645_726_6;
+
+/// Optimal number of hash functions for a given bits-per-item ratio:
+/// `k = (m/n)·ln 2`, rounded to the nearest integer, at least 1.
+///
+/// # Panics
+///
+/// Panics if `bits_per_item` is not finite and positive.
+#[must_use]
+pub fn optimal_hash_count(bits_per_item: f64) -> u32 {
+    assert!(
+        bits_per_item.is_finite() && bits_per_item > 0.0,
+        "bits_per_item must be positive and finite"
+    );
+    ((bits_per_item * LN2).round() as u32).max(1)
+}
+
+/// Textbook false-positive probability `(1 − e^{−kn/m})^k` for a filter of
+/// `m` bits holding `n` items under `k` hashes.
+///
+/// Returns 0 for an empty filter and 1 for a degenerate zero-bit geometry.
+#[must_use]
+pub fn standard_fpp(m: usize, n: usize, k: u32) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    if m == 0 {
+        return 1.0;
+    }
+    let exponent = -(f64::from(k) * n as f64) / m as f64;
+    (1.0 - exponent.exp()).powi(k as i32)
+}
+
+/// Optimal false-positive probability `0.6185^{m/n}` achieved at the optimal
+/// hash count. This is the `f₀` of Equation (1).
+#[must_use]
+pub fn optimal_fpp(bits_per_item: f64) -> f64 {
+    if bits_per_item <= 0.0 {
+        return 1.0;
+    }
+    OPTIMAL_BASE.powf(bits_per_item)
+}
+
+/// Equation (1) of the paper: the probability that a segment Bloom filter
+/// array holding `theta` replicas produces a **false unique hit** — exactly
+/// one replica answers positively, and wrongly:
+///
+/// `f⁺_g = θ · f₀ · (1 − f₀)^{θ−1}`
+/// with `f₀ = 0.6185^{m/n}`.
+///
+/// Returns 0 when `theta == 0` (an empty array can produce no hit at all).
+#[must_use]
+pub fn segment_false_hit(theta: usize, bits_per_item: f64) -> f64 {
+    if theta == 0 {
+        return 0.0;
+    }
+    let f0 = optimal_fpp(bits_per_item);
+    theta as f64 * f0 * (1.0 - f0).powi(theta as i32 - 1)
+}
+
+/// Probability that **zero or multiple** false positives occur across an
+/// array of `theta` independent filters, i.e. the complement of exactly-one.
+/// Useful when modelling multi-hit escalation penalties.
+#[must_use]
+pub fn array_ambiguity(theta: usize, bits_per_item: f64) -> f64 {
+    if theta == 0 {
+        return 0.0;
+    }
+    let f0 = optimal_fpp(bits_per_item);
+    let none = (1.0 - f0).powi(theta as i32);
+    let exactly_one = segment_false_hit(theta, bits_per_item);
+    // P(at least one) − P(exactly one) = P(two or more); ambiguity also
+    // includes multi-hit caused by the true home plus one false positive,
+    // but for a pure-noise array this is the base rate.
+    (1.0 - none - exactly_one).max(0.0)
+}
+
+/// False-positive probability of the union filter `BF(A) | BF(B)` when `A`
+/// has `n_a` items, `B` has `n_b`, both in `m` bits with `k` hashes.
+///
+/// The union behaves like a single filter holding `n_a + n_b` items (an
+/// upper bound that the paper's Property 1 discussion uses: the union's
+/// false rate exceeds either operand's).
+#[must_use]
+pub fn union_fpp(m: usize, n_a: usize, n_b: usize, k: u32) -> f64 {
+    standard_fpp(m, n_a + n_b, k)
+}
+
+/// The §3.4 tightness statement for intersections: the probability that the
+/// bitwise-AND filter is *strictly looser* than the true `BF(A ∩ B)`,
+/// `(1 − (1 − 1/m)^{k·|A−A∩B|}) · (1 − (1 − 1/m)^{k·|B−A∩B|})`.
+///
+/// `a_only` and `b_only` are `|A − (A∩B)|` and `|B − (A∩B)|`.
+#[must_use]
+pub fn intersection_tightness(m: usize, k: u32, a_only: usize, b_only: usize) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    let base = 1.0 - 1.0 / m as f64;
+    let p_a = 1.0 - base.powf(f64::from(k) * a_only as f64);
+    let p_b = 1.0 - base.powf(f64::from(k) * b_only as f64);
+    p_a * p_b
+}
+
+/// False-rate inflation caused by staleness: with `d` of the `m` bits of a
+/// replica out of date (the XOR distance to the live filter), missing
+/// updates inflate both false positives (stale 1-bits) and false negatives
+/// (missing 1-bits).
+///
+/// This simple symmetric model splits the stale bits evenly and reports
+/// `(false_positive_boost, false_negative_prob)` for a `k`-hash probe, in
+/// the spirit of the authors' companion analysis (Zhu & Jiang, ICPP'06).
+#[must_use]
+pub fn staleness_rates(m: usize, k: u32, stale_bits: usize) -> (f64, f64) {
+    if m == 0 || stale_bits == 0 {
+        return (0.0, 0.0);
+    }
+    let half = stale_bits as f64 / 2.0;
+    let p_bit_stale_set = (half / m as f64).min(1.0);
+    // A query for an absent item goes all-k into stale-set bits with
+    // probability ≈ (fraction)^k — tiny; the dominant term is one stale bit
+    // completing an otherwise (k−1)-matching probe. We report the one-probe
+    // approximation.
+    let fp_boost = 1.0 - (1.0 - p_bit_stale_set).powi(k as i32);
+    // A present item is missed if any of its k bits is stale-clear.
+    let fn_prob = 1.0 - (1.0 - p_bit_stale_set).powi(k as i32);
+    (fp_boost, fn_prob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_hash_count_known_values() {
+        assert_eq!(optimal_hash_count(8.0), 6); // 5.545 → 6
+        assert_eq!(optimal_hash_count(10.0), 7); // 6.931 → 7
+        assert_eq!(optimal_hash_count(16.0), 11); // 11.09 → 11
+        assert_eq!(optimal_hash_count(1.0), 1); // 0.693 → 1 (floor at 1)
+        assert_eq!(optimal_hash_count(0.1), 1);
+    }
+
+    #[test]
+    fn standard_fpp_matches_textbook_point() {
+        // m/n = 8, k = 6: (1 − e^{−6/8})^6 ≈ 0.0216
+        let fpp = standard_fpp(8_000, 1_000, 6);
+        assert!((fpp - 0.0216).abs() < 0.001, "got {fpp}");
+    }
+
+    #[test]
+    fn standard_fpp_edges() {
+        assert_eq!(standard_fpp(100, 0, 4), 0.0);
+        assert_eq!(standard_fpp(0, 10, 4), 1.0);
+        assert!(standard_fpp(8, 1_000_000, 4) > 0.999);
+    }
+
+    #[test]
+    fn optimal_fpp_is_lower_bound_of_standard() {
+        for bits_per_item in [4.0, 8.0, 12.0, 16.0] {
+            let k = optimal_hash_count(bits_per_item);
+            let n = 10_000usize;
+            let m = (n as f64 * bits_per_item) as usize;
+            let std = standard_fpp(m, n, k);
+            let opt = optimal_fpp(bits_per_item);
+            // Standard with rounded-k is ≥ the ideal real-k optimum (small
+            // tolerance for the rounding of k).
+            assert!(std >= opt * 0.85, "std {std} vs opt {opt}");
+        }
+    }
+
+    #[test]
+    fn optimal_fpp_8_bits_is_about_2_percent() {
+        let f = optimal_fpp(8.0);
+        assert!((f - 0.0216).abs() < 0.002, "got {f}");
+    }
+
+    #[test]
+    fn segment_false_hit_eq1_shape() {
+        // f+g grows with θ for small θ (more chances of a lone false hit)…
+        let small = segment_false_hit(1, 16.0);
+        let larger = segment_false_hit(8, 16.0);
+        assert!(larger > small);
+        // …but the (1−f0)^{θ−1} term eventually wins when f0 is large.
+        let f_peak = segment_false_hit(40, 2.0);
+        let f_past = segment_false_hit(400, 2.0);
+        assert!(f_past < f_peak);
+    }
+
+    #[test]
+    fn segment_false_hit_zero_theta() {
+        assert_eq!(segment_false_hit(0, 8.0), 0.0);
+    }
+
+    #[test]
+    fn increasing_bits_per_item_reduces_false_hits() {
+        let loose = segment_false_hit(10, 8.0);
+        let tight = segment_false_hit(10, 16.0);
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn union_fpp_exceeds_each_operand() {
+        let m = 10_000;
+        let k = 5;
+        let both = union_fpp(m, 500, 700, k);
+        assert!(both >= standard_fpp(m, 500, k));
+        assert!(both >= standard_fpp(m, 700, k));
+    }
+
+    #[test]
+    fn intersection_tightness_monotone_in_disjoint_parts() {
+        let low = intersection_tightness(10_000, 5, 10, 10);
+        let high = intersection_tightness(10_000, 5, 1_000, 1_000);
+        assert!(high > low);
+        assert_eq!(intersection_tightness(10_000, 5, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn staleness_rates_zero_when_fresh() {
+        assert_eq!(staleness_rates(1_000, 5, 0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn staleness_rates_grow_with_drift() {
+        let (fp1, fn1) = staleness_rates(10_000, 5, 10);
+        let (fp2, fn2) = staleness_rates(10_000, 5, 1_000);
+        assert!(fp2 > fp1);
+        assert!(fn2 > fn1);
+        assert!(fp2 <= 1.0 && fn2 <= 1.0);
+    }
+
+    #[test]
+    fn array_ambiguity_bounded() {
+        for theta in [1usize, 5, 20, 100] {
+            for bpi in [2.0, 8.0, 16.0] {
+                let p = array_ambiguity(theta, bpi);
+                assert!((0.0..=1.0).contains(&p), "theta={theta} bpi={bpi} p={p}");
+            }
+        }
+        assert_eq!(array_ambiguity(0, 8.0), 0.0);
+    }
+}

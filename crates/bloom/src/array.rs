@@ -1,0 +1,311 @@
+//! Bloom filter arrays — the per-MDS collection of replicas queried as one.
+//!
+//! Both HBA and G-HBA answer "which MDS is home to file *p*?" by probing an
+//! *array* of filters, one per candidate server, and looking for a **unique**
+//! positive. Zero or multiple positives are a miss that escalates to the
+//! next level of the query hierarchy.
+
+use std::hash::Hash;
+
+use crate::error::BloomError;
+use crate::filter::BloomFilter;
+
+/// Outcome of probing a [`BloomFilterArray`]: how many filters answered
+/// positively.
+///
+/// Per §2.1 of the paper, only [`Hit::Unique`] counts as a success; both
+/// [`Hit::None`] and [`Hit::Multiple`] escalate the query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hit<I> {
+    /// No filter matched; the item is definitely not represented here.
+    None,
+    /// Exactly one filter matched — the candidate home server.
+    Unique(I),
+    /// Two or more filters matched; ambiguous, must escalate.
+    Multiple(Vec<I>),
+}
+
+impl<I> Hit<I> {
+    /// `true` for [`Hit::Unique`].
+    #[must_use]
+    pub fn is_unique(&self) -> bool {
+        matches!(self, Hit::Unique(_))
+    }
+
+    /// The unique candidate, if any.
+    #[must_use]
+    pub fn unique(&self) -> Option<&I> {
+        match self {
+            Hit::Unique(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// All positive candidates (empty for [`Hit::None`]).
+    #[must_use]
+    pub fn candidates(&self) -> &[I] {
+        match self {
+            Hit::None => &[],
+            Hit::Unique(id) => std::slice::from_ref(id),
+            Hit::Multiple(ids) => ids,
+        }
+    }
+}
+
+/// An ordered collection of `(id, filter)` pairs probed together.
+///
+/// `I` identifies the server a filter summarizes (an `MdsId` upstream). The
+/// array preserves insertion order, rejects duplicate ids, and reports
+/// aggregate memory usage — the quantity that decides when a real deployment
+/// starts spilling replicas to disk (Figures 8–10 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use ghba_bloom::{BloomFilter, BloomFilterArray, Hit};
+///
+/// let mut home_of_x = BloomFilter::new(1024, 4, 0);
+/// home_of_x.insert("x");
+/// let mut array = BloomFilterArray::new();
+/// array.push(7u32, home_of_x)?;
+/// array.push(9u32, BloomFilter::new(1024, 4, 0))?;
+/// assert_eq!(array.query("x"), Hit::Unique(7));
+/// # Ok::<(), ghba_bloom::BloomError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BloomFilterArray<I> {
+    entries: Vec<(I, BloomFilter)>,
+}
+
+impl<I: Copy + Eq> BloomFilterArray<I> {
+    /// Creates an empty array.
+    #[must_use]
+    pub fn new() -> Self {
+        BloomFilterArray {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of filters held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the array holds no filters.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds a filter for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::DuplicateId`] if `id` is already present.
+    pub fn push(&mut self, id: I, filter: BloomFilter) -> Result<(), BloomError> {
+        if self.contains_id(id) {
+            return Err(BloomError::DuplicateId);
+        }
+        self.entries.push((id, filter));
+        Ok(())
+    }
+
+    /// Replaces the filter for `id`, returning the old one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::UnknownId`] if `id` is absent.
+    pub fn replace(&mut self, id: I, filter: BloomFilter) -> Result<BloomFilter, BloomError> {
+        match self.entries.iter_mut().find(|(eid, _)| *eid == id) {
+            Some((_, slot)) => Ok(std::mem::replace(slot, filter)),
+            None => Err(BloomError::UnknownId),
+        }
+    }
+
+    /// Removes and returns the filter for `id`, if present.
+    pub fn remove(&mut self, id: I) -> Option<BloomFilter> {
+        let pos = self.entries.iter().position(|(eid, _)| *eid == id)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// `true` if a filter for `id` is held.
+    #[must_use]
+    pub fn contains_id(&self, id: I) -> bool {
+        self.entries.iter().any(|(eid, _)| *eid == id)
+    }
+
+    /// Borrow the filter for `id`.
+    #[must_use]
+    pub fn get(&self, id: I) -> Option<&BloomFilter> {
+        self.entries
+            .iter()
+            .find(|(eid, _)| *eid == id)
+            .map(|(_, f)| f)
+    }
+
+    /// Mutably borrow the filter for `id`.
+    pub fn get_mut(&mut self, id: I) -> Option<&mut BloomFilter> {
+        self.entries
+            .iter_mut()
+            .find(|(eid, _)| *eid == id)
+            .map(|(_, f)| f)
+    }
+
+    /// Iterator over `(id, filter)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (I, &BloomFilter)> {
+        self.entries.iter().map(|(id, f)| (*id, f))
+    }
+
+    /// Iterator over the held ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        self.entries.iter().map(|(id, _)| *id)
+    }
+
+    /// Probes every filter with `item` and classifies the positives.
+    #[must_use]
+    pub fn query<T: Hash + ?Sized>(&self, item: &T) -> Hit<I> {
+        let mut positives: Vec<I> = Vec::new();
+        for (id, filter) in &self.entries {
+            if filter.contains(item) {
+                positives.push(*id);
+            }
+        }
+        match positives.len() {
+            0 => Hit::None,
+            1 => Hit::Unique(positives[0]),
+            _ => Hit::Multiple(positives),
+        }
+    }
+
+    /// Total heap footprint of all held filters in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.iter().map(|(_, f)| f.memory_bytes()).sum()
+    }
+
+    /// Drains the array into its `(id, filter)` pairs.
+    #[must_use]
+    pub fn into_entries(self) -> Vec<(I, BloomFilter)> {
+        self.entries
+    }
+}
+
+impl<I: Copy + Eq> FromIterator<(I, BloomFilter)> for BloomFilterArray<I> {
+    /// Builds an array from pairs; later duplicates of an id are dropped.
+    fn from_iter<T: IntoIterator<Item = (I, BloomFilter)>>(iter: T) -> Self {
+        let mut array = BloomFilterArray::new();
+        for (id, filter) in iter {
+            let _ = array.push(id, filter);
+        }
+        array
+    }
+}
+
+impl<I: Copy + Eq> Extend<(I, BloomFilter)> for BloomFilterArray<I> {
+    fn extend<T: IntoIterator<Item = (I, BloomFilter)>>(&mut self, iter: T) {
+        for (id, filter) in iter {
+            let _ = self.push(id, filter);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter_with(items: &[&str]) -> BloomFilter {
+        let mut f = BloomFilter::new(4096, 5, 11);
+        for item in items {
+            f.insert(item);
+        }
+        f
+    }
+
+    #[test]
+    fn unique_hit_names_the_home() {
+        let mut array = BloomFilterArray::new();
+        array.push(1u32, filter_with(&["a", "b"])).unwrap();
+        array.push(2u32, filter_with(&["c"])).unwrap();
+        assert_eq!(array.query("c"), Hit::Unique(2));
+        assert_eq!(array.query("a"), Hit::Unique(1));
+    }
+
+    #[test]
+    fn zero_hit_when_absent() {
+        let mut array = BloomFilterArray::new();
+        array.push(1u32, filter_with(&["a"])).unwrap();
+        assert_eq!(array.query("nothing-here"), Hit::None);
+    }
+
+    #[test]
+    fn multiple_hits_reported() {
+        let mut array = BloomFilterArray::new();
+        array.push(1u32, filter_with(&["dup"])).unwrap();
+        array.push(2u32, filter_with(&["dup"])).unwrap();
+        match array.query("dup") {
+            Hit::Multiple(ids) => assert_eq!(ids, vec![1, 2]),
+            other => panic!("expected multiple, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut array = BloomFilterArray::new();
+        array.push(1u32, filter_with(&[])).unwrap();
+        assert_eq!(
+            array.push(1u32, filter_with(&[])),
+            Err(BloomError::DuplicateId)
+        );
+    }
+
+    #[test]
+    fn replace_swaps_filter() {
+        let mut array = BloomFilterArray::new();
+        array.push(1u32, filter_with(&["old"])).unwrap();
+        let old = array.replace(1, filter_with(&["new"])).unwrap();
+        assert!(old.contains("old"));
+        assert_eq!(array.query("new"), Hit::Unique(1));
+        assert!(array.replace(99, filter_with(&[])).is_err());
+    }
+
+    #[test]
+    fn remove_returns_filter() {
+        let mut array = BloomFilterArray::new();
+        array.push(5u32, filter_with(&["z"])).unwrap();
+        let f = array.remove(5).unwrap();
+        assert!(f.contains("z"));
+        assert!(array.is_empty());
+        assert!(array.remove(5).is_none());
+    }
+
+    #[test]
+    fn hit_candidates_accessor() {
+        let hit = Hit::Multiple(vec![1u32, 2]);
+        assert_eq!(hit.candidates(), &[1, 2]);
+        assert!(Hit::<u32>::None.candidates().is_empty());
+        assert_eq!(Hit::Unique(9u32).candidates(), &[9]);
+        assert_eq!(Hit::Unique(9u32).unique(), Some(&9));
+        assert!(Hit::Unique(9u32).is_unique());
+    }
+
+    #[test]
+    fn memory_sums_over_entries() {
+        let mut array = BloomFilterArray::new();
+        array.push(1u32, BloomFilter::new(64, 1, 0)).unwrap();
+        array.push(2u32, BloomFilter::new(128, 1, 0)).unwrap();
+        assert_eq!(array.memory_bytes(), 8 + 16);
+    }
+
+    #[test]
+    fn from_iterator_drops_duplicate_ids() {
+        let array: BloomFilterArray<u32> = vec![
+            (1, filter_with(&["first"])),
+            (1, filter_with(&["second"])),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(array.len(), 1);
+        assert_eq!(array.query("first"), Hit::Unique(1));
+    }
+}

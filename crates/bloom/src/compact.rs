@@ -1,0 +1,266 @@
+//! Nibble-packed counting Bloom filters.
+//!
+//! The classic counting-filter configuration (Fan et al., Summary Cache)
+//! uses 4-bit counters: analysis shows counters exceeding 15 are
+//! vanishingly rare at sane load factors, so packing two counters per byte
+//! halves the memory of [`CountingBloomFilter`](crate::CountingBloomFilter)
+//! — attractive for the IDBFA, whose whole point is being tiny.
+
+use std::hash::Hash;
+
+use crate::error::{BloomError, FilterShape};
+use crate::hash::probe_indices;
+
+const MAX_COUNT: u8 = 0xF;
+
+/// A counting Bloom filter with 4-bit saturating counters, two per byte.
+///
+/// Identical semantics to [`CountingBloomFilter`] — no false negatives,
+/// deletion support, saturation safety — at half the memory, with
+/// saturation reached at 15 instead of 255.
+///
+/// [`CountingBloomFilter`]: crate::CountingBloomFilter
+///
+/// # Examples
+///
+/// ```
+/// use ghba_bloom::CompactCountingBloomFilter;
+///
+/// let mut f = CompactCountingBloomFilter::new(512, 4, 0);
+/// f.insert("replica-of-mds-3");
+/// assert!(f.contains("replica-of-mds-3"));
+/// f.remove("replica-of-mds-3")?;
+/// assert!(!f.contains("replica-of-mds-3"));
+/// # Ok::<(), ghba_bloom::BloomError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompactCountingBloomFilter {
+    nibbles: Vec<u8>,
+    bits: usize,
+    hashes: u32,
+    seed: u64,
+    items: usize,
+}
+
+impl CompactCountingBloomFilter {
+    /// Creates an empty filter with `bits` 4-bit counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0` or `hashes == 0`.
+    #[must_use]
+    pub fn new(bits: usize, hashes: u32, seed: u64) -> Self {
+        assert!(bits > 0, "filter must have at least one counter");
+        assert!(hashes > 0, "filter must use at least one hash");
+        CompactCountingBloomFilter {
+            nibbles: vec![0; bits.div_ceil(2)],
+            bits,
+            hashes,
+            seed,
+            items: 0,
+        }
+    }
+
+    /// The compatibility shape.
+    #[must_use]
+    pub fn shape(&self) -> FilterShape {
+        FilterShape {
+            bits: self.bits,
+            hashes: self.hashes,
+            seed: self.seed,
+        }
+    }
+
+    /// Number of counters.
+    #[must_use]
+    pub fn counter_len(&self) -> usize {
+        self.bits
+    }
+
+    /// Net items represented.
+    #[must_use]
+    pub fn item_count(&self) -> usize {
+        self.items
+    }
+
+    /// `true` when nothing is represented.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items == 0
+    }
+
+    /// Heap footprint: half a byte per counter.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.nibbles.len()
+    }
+
+    fn get(&self, idx: usize) -> u8 {
+        let byte = self.nibbles[idx / 2];
+        if idx % 2 == 0 {
+            byte & 0xF
+        } else {
+            byte >> 4
+        }
+    }
+
+    fn set(&mut self, idx: usize, value: u8) {
+        debug_assert!(value <= MAX_COUNT);
+        let byte = &mut self.nibbles[idx / 2];
+        if idx % 2 == 0 {
+            *byte = (*byte & 0xF0) | value;
+        } else {
+            *byte = (*byte & 0x0F) | (value << 4);
+        }
+    }
+
+    /// Inserts `item`, incrementing its counters (saturating at 15).
+    pub fn insert<T: Hash + ?Sized>(&mut self, item: &T) {
+        for idx in probe_indices(item, self.seed, self.bits, self.hashes) {
+            let current = self.get(idx);
+            if current < MAX_COUNT {
+                self.set(idx, current + 1);
+            }
+        }
+        self.items += 1;
+    }
+
+    /// Probabilistic membership test: `false` means definitely absent.
+    #[must_use]
+    pub fn contains<T: Hash + ?Sized>(&self, item: &T) -> bool {
+        probe_indices(item, self.seed, self.bits, self.hashes).all(|idx| self.get(idx) > 0)
+    }
+
+    /// Removes one occurrence of `item`; saturated counters stay put.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::AbsentItem`] — without modifying anything —
+    /// if some counter for `item` is already zero.
+    pub fn remove<T: Hash + ?Sized>(&mut self, item: &T) -> Result<(), BloomError> {
+        if !self.contains(item) {
+            return Err(BloomError::AbsentItem);
+        }
+        for idx in probe_indices(item, self.seed, self.bits, self.hashes) {
+            let current = self.get(idx);
+            if current != MAX_COUNT {
+                self.set(idx, current - 1);
+            }
+        }
+        self.items = self.items.saturating_sub(1);
+        Ok(())
+    }
+
+    /// Resets to empty, keeping the shape.
+    pub fn clear(&mut self) {
+        self.nibbles.fill(0);
+        self.items = 0;
+    }
+
+    /// Number of non-zero counters.
+    #[must_use]
+    pub fn ones(&self) -> usize {
+        (0..self.bits).filter(|&i| self.get(i) > 0).count()
+    }
+
+    /// Largest counter value (diagnostics).
+    #[must_use]
+    pub fn max_counter(&self) -> u8 {
+        (0..self.bits).map(|i| self.get(i)).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counting::CountingBloomFilter;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut f = CompactCountingBloomFilter::new(512, 4, 1);
+        f.insert("a");
+        f.insert("b");
+        assert!(f.contains("a"));
+        f.remove("a").unwrap();
+        assert!(!f.contains("a"));
+        assert!(f.contains("b"));
+        assert_eq!(f.item_count(), 1);
+    }
+
+    #[test]
+    fn remove_absent_is_error_and_nondestructive() {
+        let mut f = CompactCountingBloomFilter::new(512, 4, 1);
+        f.insert("present");
+        let before = f.clone();
+        assert_eq!(f.remove("never"), Err(BloomError::AbsentItem));
+        assert_eq!(f, before);
+    }
+
+    #[test]
+    fn half_the_memory_of_byte_counters() {
+        let compact = CompactCountingBloomFilter::new(1_000, 4, 0);
+        let full = CountingBloomFilter::new(1_000, 4, 0);
+        assert_eq!(compact.memory_bytes() * 2, full.memory_bytes());
+    }
+
+    #[test]
+    fn agrees_with_byte_counting_filter() {
+        let mut compact = CompactCountingBloomFilter::new(4_096, 5, 9);
+        let mut full = CountingBloomFilter::new(4_096, 5, 9);
+        for i in 0..300u32 {
+            compact.insert(&i);
+            full.insert(&i);
+        }
+        for i in 0..600u32 {
+            assert_eq!(compact.contains(&i), full.contains(&i), "item {i}");
+        }
+        assert_eq!(compact.ones(), full.ones());
+    }
+
+    #[test]
+    fn saturation_never_causes_false_negative() {
+        let mut f = CompactCountingBloomFilter::new(8, 2, 3);
+        for i in 0..1_000u32 {
+            f.insert(&i);
+        }
+        assert_eq!(f.max_counter(), 15);
+        for i in 100..200u32 {
+            let _ = f.remove(&i);
+        }
+        for i in 0..100u32 {
+            assert!(f.contains(&i));
+        }
+    }
+
+    #[test]
+    fn nibble_packing_is_isolated() {
+        // Adjacent counters must not bleed into each other.
+        let mut f = CompactCountingBloomFilter::new(16, 1, 0);
+        for i in 0..16 {
+            f.set(i, (i % 16) as u8);
+        }
+        for i in 0..16 {
+            assert_eq!(f.get(i), (i % 16) as u8, "counter {i}");
+        }
+    }
+
+    #[test]
+    fn double_insert_requires_double_remove() {
+        let mut f = CompactCountingBloomFilter::new(512, 4, 1);
+        f.insert("x");
+        f.insert("x");
+        f.remove("x").unwrap();
+        assert!(f.contains("x"));
+        f.remove("x").unwrap();
+        assert!(!f.contains("x"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = CompactCountingBloomFilter::new(64, 2, 0);
+        f.insert("x");
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.ones(), 0);
+    }
+}

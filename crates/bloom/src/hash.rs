@@ -1,0 +1,230 @@
+//! Seeded hashing machinery shared by every filter in this crate.
+//!
+//! All filters use the Kirsch–Mitzenmacher double-hashing construction: two
+//! independent 64-bit hashes `h1`, `h2` are derived from the item, and the
+//! `i`-th probe index is `(h1 + i * h2) mod m`. This matches the behaviour of
+//! `k` independent hash functions closely enough for Bloom filter false-rate
+//! analysis while requiring only one pass over the item bytes.
+//!
+//! Hashing is keyed by a `u64` seed so that distinct filter families (e.g.
+//! the L1 LRU array vs. the L2 segment array in G-HBA) probe uncorrelated
+//! positions, and so that tests can build adversarial or reproducible
+//! layouts.
+
+use std::hash::{Hash, Hasher};
+
+/// `splitmix64` finalizer — the standard 64-bit avalanche mix.
+///
+/// Used both to post-process the weakly mixing FNV state and to derive
+/// secondary seeds from primary ones.
+#[inline]
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01B3;
+
+/// A seeded streaming hasher implementing [`std::hash::Hasher`].
+///
+/// Internally FNV-1a over the written bytes, finalized with [`splitmix64`]
+/// for avalanche. Not cryptographic; adequate and fast for Bloom filters.
+#[derive(Debug, Clone)]
+pub struct SeededHasher {
+    state: u64,
+}
+
+impl SeededHasher {
+    /// Creates a hasher keyed by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        SeededHasher {
+            state: FNV_OFFSET ^ splitmix64(seed),
+        }
+    }
+}
+
+impl Hasher for SeededHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        splitmix64(self.state)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// Hashes `item` with the family keyed by `seed`, returning one 64-bit value.
+#[inline]
+#[must_use]
+pub fn hash_one<T: Hash + ?Sized>(item: &T, seed: u64) -> u64 {
+    let mut hasher = SeededHasher::new(seed);
+    item.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Derives the double-hashing pair `(h1, h2)` for `item` under `seed`.
+///
+/// `h2` is forced odd so that successive probe indices do not collapse when
+/// the filter length shares factors with `h2`.
+#[inline]
+#[must_use]
+pub fn index_pair<T: Hash + ?Sized>(item: &T, seed: u64) -> (u64, u64) {
+    let h1 = hash_one(item, seed);
+    // Independent second stream: re-key rather than re-mix, so that h2 is not
+    // a function of h1 alone.
+    let h2 = hash_one(item, splitmix64(seed ^ 0xA076_1D64_78BD_642F)) | 1;
+    (h1, h2)
+}
+
+/// A 128-bit fingerprint of `item`, used where near-exact identity is needed
+/// (e.g. the exact-LRU bookkeeping behind the L1 array).
+#[inline]
+#[must_use]
+pub fn fingerprint128<T: Hash + ?Sized>(item: &T, seed: u64) -> u128 {
+    let (a, b) = index_pair(item, seed ^ 0x6A09_E667_F3BC_C909);
+    (u128::from(a) << 64) | u128::from(b)
+}
+
+/// Iterator over the `k` probe indices of an item in a filter of `m` bits.
+///
+/// Produced by [`probe_indices`]; see the module docs for the construction.
+#[derive(Debug, Clone)]
+pub struct ProbeIndices {
+    h1: u64,
+    h2: u64,
+    m: u64,
+    remaining: u32,
+}
+
+impl Iterator for ProbeIndices {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let idx = (self.h1 % self.m) as usize;
+        self.h1 = self.h1.wrapping_add(self.h2);
+        Some(idx)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ProbeIndices {}
+
+/// Returns the `k` probe indices for `item` in a filter of `m` bits keyed by
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`; a zero-width filter is a construction error upstream.
+#[inline]
+#[must_use]
+pub fn probe_indices<T: Hash + ?Sized>(item: &T, seed: u64, m: usize, k: u32) -> ProbeIndices {
+    assert!(m > 0, "filter must have at least one bit");
+    let (h1, h2) = index_pair(item, seed);
+    ProbeIndices {
+        h1,
+        h2,
+        m: m as u64,
+        remaining: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_is_bijective_on_samples() {
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn hash_one_depends_on_seed() {
+        let a = hash_one("path/to/file", 1);
+        let b = hash_one("path/to/file", 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_one_is_deterministic() {
+        assert_eq!(hash_one(&42u64, 7), hash_one(&42u64, 7));
+    }
+
+    #[test]
+    fn index_pair_h2_is_odd() {
+        for i in 0..100u32 {
+            let (_, h2) = index_pair(&i, 99);
+            assert_eq!(h2 & 1, 1);
+        }
+    }
+
+    #[test]
+    fn probe_indices_yields_exactly_k() {
+        let idx: Vec<usize> = probe_indices("f", 3, 1024, 7).collect();
+        assert_eq!(idx.len(), 7);
+        assert!(idx.iter().all(|&i| i < 1024));
+    }
+
+    #[test]
+    fn probe_indices_exact_size_hint() {
+        let it = probe_indices("f", 3, 1024, 5);
+        assert_eq!(it.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn probe_indices_zero_width_panics() {
+        let _ = probe_indices("f", 3, 0, 1);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_items() {
+        let mut seen = HashSet::new();
+        for i in 0..50_000u64 {
+            assert!(seen.insert(fingerprint128(&i, 0)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn probe_distribution_is_roughly_uniform() {
+        // Chi-square-ish sanity check: across many items, bucket occupancy
+        // of the first probe should be close to uniform.
+        let m = 64usize;
+        let mut counts = vec![0u32; m];
+        let samples = 64_000;
+        for i in 0..samples {
+            let first = probe_indices(&i, 11, m, 1).next().unwrap();
+            counts[first] += 1;
+        }
+        let expected = samples as f64 / m as f64;
+        for (bucket, &c) in counts.iter().enumerate() {
+            let deviation = (f64::from(c) - expected).abs() / expected;
+            assert!(
+                deviation < 0.15,
+                "bucket {bucket} off by {deviation:.2} ({c} vs {expected})"
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests for the Bloom filter toolkit.
+
+use ghba_bloom::{
+    analysis, ops, BloomFilter, BloomFilterArray, CompactCountingBloomFilter,
+    CountingBloomFilter, FilterDelta, Hit, LruBloomArray,
+};
+use proptest::prelude::*;
+
+fn arb_items() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z/]{1,24}", 0..200)
+}
+
+proptest! {
+    /// Fundamental Bloom filter guarantee: anything inserted tests positive.
+    #[test]
+    fn no_false_negatives(items in arb_items(), seed in any::<u64>()) {
+        let mut f = BloomFilter::new(8192, 5, seed);
+        for item in &items {
+            f.insert(item);
+        }
+        for item in &items {
+            prop_assert!(f.contains(item));
+        }
+    }
+
+    /// Union covers the membership of both operands (Property 1).
+    #[test]
+    fn union_covers_both(a_items in arb_items(), b_items in arb_items(), seed in any::<u64>()) {
+        let mut a = BloomFilter::new(8192, 5, seed);
+        let mut b = BloomFilter::new(8192, 5, seed);
+        for item in &a_items { a.insert(item); }
+        for item in &b_items { b.insert(item); }
+        let u = ops::union(&a, &b).unwrap();
+        for item in a_items.iter().chain(&b_items) {
+            prop_assert!(u.contains(item));
+        }
+    }
+
+    /// Intersection (bitwise AND) keeps everything present in both sets
+    /// (Property 2: it over-approximates BF(A ∩ B)).
+    #[test]
+    fn intersection_keeps_common(common in arb_items(), seed in any::<u64>()) {
+        let mut a = BloomFilter::new(8192, 5, seed);
+        let mut b = BloomFilter::new(8192, 5, seed);
+        for item in &common { a.insert(item); b.insert(item); }
+        a.insert("only-in-a");
+        b.insert("only-in-b");
+        let i = ops::intersect(&a, &b).unwrap();
+        for item in &common {
+            prop_assert!(i.contains(item));
+        }
+    }
+
+    /// XOR distance is a metric-ish: zero iff identical bit vectors,
+    /// symmetric, and equals the popcount of the symmetric difference.
+    #[test]
+    fn xor_distance_consistency(a_items in arb_items(), b_items in arb_items()) {
+        let mut a = BloomFilter::new(4096, 4, 9);
+        let mut b = BloomFilter::new(4096, 4, 9);
+        for item in &a_items { a.insert(item); }
+        for item in &b_items { b.insert(item); }
+        let d_ab = a.xor_distance(&b).unwrap();
+        let d_ba = b.xor_distance(&a).unwrap();
+        prop_assert_eq!(d_ab, d_ba);
+        let sym = ops::symmetric_difference(&a, &b).unwrap();
+        prop_assert_eq!(sym.ones(), d_ab);
+        prop_assert_eq!(a.xor_distance(&a).unwrap(), 0);
+    }
+
+    /// Deltas reconstruct the target filter exactly, regardless of churn.
+    #[test]
+    fn delta_reconstructs(base in arb_items(), extra in arb_items()) {
+        let mut old = BloomFilter::new(4096, 4, 2);
+        for item in &base { old.insert(item); }
+        let mut new = old.clone();
+        for item in &extra { new.insert(item); }
+        let delta = FilterDelta::between(&old, &new).unwrap();
+        let mut replica = old.clone();
+        delta.apply(&mut replica).unwrap();
+        prop_assert_eq!(replica, new);
+    }
+
+    /// Counting filters: inserting then removing every item restores
+    /// definite absence for items inserted exactly once, as long as no
+    /// counter saturates.
+    #[test]
+    fn counting_roundtrip(items in proptest::collection::hash_set("[a-z]{1,16}", 0..100)) {
+        let mut f = CountingBloomFilter::new(16_384, 5, 3);
+        for item in &items { f.insert(item); }
+        prop_assume!(f.max_counter() < u8::MAX);
+        for item in &items {
+            f.remove(item).unwrap();
+        }
+        prop_assert!(f.is_empty());
+        prop_assert_eq!(f.ones(), 0);
+    }
+
+    /// Serialization roundtrips exactly.
+    #[test]
+    fn serialization_roundtrip(items in arb_items(), seed in any::<u64>()) {
+        let mut f = BloomFilter::new(2048, 3, seed);
+        for item in &items { f.insert(item); }
+        let decoded = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        prop_assert_eq!(f, decoded);
+    }
+
+    /// Arbitrary byte strings never panic the decoder.
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = BloomFilter::from_bytes(&bytes);
+    }
+
+    /// Filter arrays: an inserted file's home is always among the
+    /// candidates (no false negatives at array level).
+    #[test]
+    fn array_home_is_always_candidate(
+        items in proptest::collection::vec(("[a-z]{1,12}", 0u16..8), 1..100),
+    ) {
+        let mut array: BloomFilterArray<u16> = (0u16..8)
+            .map(|id| (id, BloomFilter::new(8192, 5, 77)))
+            .collect();
+        for (item, home) in &items {
+            array.get_mut(*home).unwrap().insert(item);
+        }
+        for (item, home) in &items {
+            let hit = array.query(item);
+            prop_assert!(
+                hit.candidates().contains(home),
+                "home {home} missing from {hit:?} for {item}"
+            );
+        }
+    }
+
+    /// LRU array: the most recent `capacity` distinct items are always
+    /// resident and their true home is among the candidates.
+    #[test]
+    fn lru_retains_recent(
+        accesses in proptest::collection::vec((0u32..64, 0u16..4), 1..300),
+        cap in 1usize..32,
+    ) {
+        let mut lru = LruBloomArray::new(cap, 8192, 5, 13);
+        let mut last_home = std::collections::HashMap::new();
+        for (file, home) in &accesses {
+            lru.record(file, *home);
+            last_home.insert(*file, *home);
+        }
+        prop_assert!(lru.len() <= cap);
+        // Determine the `cap` most recently used distinct files.
+        let mut seen = std::collections::HashSet::new();
+        let mut recent = Vec::new();
+        for (file, _) in accesses.iter().rev() {
+            if seen.insert(*file) {
+                recent.push(*file);
+                if recent.len() == cap { break; }
+            }
+        }
+        for file in recent {
+            let hit = lru.query(&file);
+            let home = last_home[&file];
+            prop_assert!(
+                hit.candidates().contains(&home),
+                "recent file {file} lost its home {home}: {hit:?}"
+            );
+        }
+    }
+
+    /// Eq. (1) stays a probability for all sensible parameters.
+    #[test]
+    fn eq1_is_probability(theta in 0usize..500, bpi in 0.5f64..64.0) {
+        let p = analysis::segment_false_hit(theta, bpi);
+        prop_assert!((0.0..=1.0).contains(&p), "theta={theta} bpi={bpi} p={p}");
+    }
+
+    /// The standard false-positive formula is monotone: more items in the
+    /// same geometry can only raise the false rate.
+    #[test]
+    fn fpp_monotone_in_items(m in 64usize..100_000, n in 0usize..10_000, k in 1u32..12) {
+        let f_small = analysis::standard_fpp(m, n, k);
+        let f_large = analysis::standard_fpp(m, n + 100, k);
+        prop_assert!(f_large >= f_small);
+    }
+
+    /// The nibble-packed counting filter agrees bit-for-bit with the
+    /// byte-counter one under any insert/remove interleaving that stays
+    /// below saturation.
+    #[test]
+    fn compact_agrees_with_byte_counting(
+        ops in proptest::collection::vec(("[a-z]{1,8}", any::<bool>()), 0..200),
+    ) {
+        let mut compact = CompactCountingBloomFilter::new(8_192, 4, 11);
+        let mut full = CountingBloomFilter::new(8_192, 4, 11);
+        for (item, insert) in &ops {
+            if *insert {
+                compact.insert(item);
+                full.insert(item);
+            } else {
+                let a = compact.remove(item);
+                let b = full.remove(item);
+                prop_assert_eq!(a.is_ok(), b.is_ok());
+            }
+        }
+        prop_assume!(compact.max_counter() < 15);
+        for (item, _) in &ops {
+            prop_assert_eq!(compact.contains(item), full.contains(item));
+        }
+        prop_assert_eq!(compact.item_count(), full.item_count());
+    }
+
+    /// Hit classification is consistent with candidate count.
+    #[test]
+    fn hit_classification(ids in proptest::collection::vec(any::<u16>(), 0..10)) {
+        let mut uniq = ids.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let hit = match uniq.len() {
+            0 => Hit::None,
+            1 => Hit::Unique(uniq[0]),
+            _ => Hit::Multiple(uniq.clone()),
+        };
+        prop_assert_eq!(hit.candidates().len(), uniq.len());
+        prop_assert_eq!(hit.is_unique(), uniq.len() == 1);
+    }
+}

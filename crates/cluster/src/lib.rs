@@ -1,0 +1,28 @@
+//! Threaded message-passing prototype of G-HBA and HBA.
+//!
+//! The paper validates its simulations with a 60-node Linux prototype
+//! (Figures 14–15). This crate reproduces that axis with one OS thread per
+//! MDS and crossbeam channels as the network: queries run the real
+//! multi-level protocol as message exchanges, replica installs and deltas
+//! travel the fabric, and the [`Network`] counts every send — the
+//! quantity Figure 15 reports for node insertions.
+//!
+//! * [`PrototypeCluster`] — spawn/drive/reconfigure a live cluster;
+//! * [`Scheme`] — G-HBA (grouped) or HBA (full mirror) replication;
+//! * [`Network`] — the counted channel mesh;
+//! * [`LookupReply`] — per-query level, wall-clock latency, messages.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod map;
+mod message;
+mod net;
+mod node;
+mod runtime;
+
+pub use map::{ClusterMap, GroupView, Plan, Scheme, SharedMap};
+pub use message::{LookupReply, Message, QueryId};
+pub use net::Network;
+pub use node::{Node, PublishedRegistry};
+pub use runtime::PrototypeCluster;

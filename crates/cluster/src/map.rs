@@ -1,0 +1,560 @@
+//! The shared membership map and the reconfiguration planner.
+//!
+//! Real deployments distribute membership and replica-placement knowledge
+//! through IDBFA multicasts; the prototype keeps one authoritative map in
+//! an `Arc<RwLock<…>>` that every node reads, and the runtime counts the
+//! messages the distribution *would and does* cost (IDBFA syncs, replica
+//! installs, drop notices) on the real channel fabric.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ghba_core::MdsId;
+use parking_lot::RwLock;
+
+/// Which scheme the prototype cluster runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// G-HBA with the given maximum group size.
+    Ghba {
+        /// Maximum MDSs per group (`M`).
+        max_group_size: usize,
+    },
+    /// HBA: every node replicates to every other node.
+    Hba,
+}
+
+/// One group's membership.
+#[derive(Debug, Clone, Default)]
+pub struct GroupView {
+    /// Members in join order.
+    pub members: Vec<MdsId>,
+    /// origin → member holding that origin's replica.
+    pub placement: HashMap<MdsId, MdsId>,
+}
+
+impl GroupView {
+    fn held_by(&self, member: MdsId) -> usize {
+        self.placement.values().filter(|&&h| h == member).count()
+    }
+
+    fn lightest(&self) -> Option<MdsId> {
+        self.members
+            .iter()
+            .copied()
+            .min_by_key(|&m| (self.held_by(m), m))
+    }
+}
+
+/// The actions a reconfiguration requires, executed (and counted) by the
+/// runtime over the channel fabric.
+#[derive(Debug, Clone, Default)]
+pub struct Plan {
+    /// `(origin, to)`: install a fresh replica of `origin` at `to`.
+    pub installs: Vec<(MdsId, MdsId)>,
+    /// `(origin, from, to)`: move a replica between group members.
+    pub moves: Vec<(MdsId, MdsId, MdsId)>,
+    /// `(origin, at)`: drop `origin`'s replica held at `at`.
+    pub drops: Vec<(MdsId, MdsId)>,
+    /// Nodes that must receive an IDBFA refresh.
+    pub idbfa_targets: Vec<MdsId>,
+    /// Whether a group split happened.
+    pub split: bool,
+}
+
+/// The authoritative cluster layout.
+#[derive(Debug)]
+pub struct ClusterMap {
+    scheme: Scheme,
+    groups: Vec<GroupView>,
+}
+
+/// Shared handle to the map.
+pub type SharedMap = Arc<RwLock<ClusterMap>>;
+
+impl ClusterMap {
+    /// Creates an empty map for `scheme`.
+    #[must_use]
+    pub fn new(scheme: Scheme) -> Self {
+        ClusterMap {
+            scheme,
+            groups: Vec::new(),
+        }
+    }
+
+    /// The scheme in force.
+    #[must_use]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// All member ids, ascending.
+    #[must_use]
+    pub fn all_members(&self) -> Vec<MdsId> {
+        let mut ids: Vec<MdsId> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.members.iter().copied())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Group sizes in group order.
+    #[must_use]
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.members.len()).collect()
+    }
+
+    /// The index of the group containing `id`.
+    #[must_use]
+    pub fn group_index_of(&self, id: MdsId) -> Option<usize> {
+        self.groups.iter().position(|g| g.members.contains(&id))
+    }
+
+    /// Members of `id`'s group, excluding `id` itself. Under HBA this is
+    /// every other node (the "group" is the whole system).
+    #[must_use]
+    pub fn group_peers_of(&self, id: MdsId) -> Vec<MdsId> {
+        match self.scheme {
+            Scheme::Hba => self
+                .all_members()
+                .into_iter()
+                .filter(|&m| m != id)
+                .collect(),
+            Scheme::Ghba { .. } => match self.group_index_of(id) {
+                Some(g) => self.groups[g]
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&m| m != id)
+                    .collect(),
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Replica origins `holder` is responsible for. Under HBA: everyone
+    /// else.
+    #[must_use]
+    pub fn replicas_held_by(&self, holder: MdsId) -> Vec<MdsId> {
+        match self.scheme {
+            Scheme::Hba => self
+                .all_members()
+                .into_iter()
+                .filter(|&m| m != holder)
+                .collect(),
+            Scheme::Ghba { .. } => match self.group_index_of(holder) {
+                Some(g) => {
+                    let mut origins: Vec<MdsId> = self.groups[g]
+                        .placement
+                        .iter()
+                        .filter(|(_, &h)| h == holder)
+                        .map(|(&o, _)| o)
+                        .collect();
+                    origins.sort_unstable();
+                    origins
+                }
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// For an update from `origin`: the set of nodes to contact — one
+    /// holder per foreign group (G-HBA) or every other node (HBA).
+    #[must_use]
+    pub fn update_targets(&self, origin: MdsId) -> Vec<MdsId> {
+        match self.scheme {
+            Scheme::Hba => self
+                .all_members()
+                .into_iter()
+                .filter(|&m| m != origin)
+                .collect(),
+            Scheme::Ghba { .. } => {
+                let own = self.group_index_of(origin);
+                self.groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| Some(*i) != own)
+                    .filter_map(|(_, g)| g.placement.get(&origin).copied())
+                    .collect()
+            }
+        }
+    }
+
+    /// Adds `id` to the layout and returns the execution plan.
+    pub fn add_member(&mut self, id: MdsId) -> Plan {
+        match self.scheme {
+            Scheme::Hba => self.add_member_hba(id),
+            Scheme::Ghba { max_group_size } => self.add_member_ghba(id, max_group_size),
+        }
+    }
+
+    fn add_member_hba(&mut self, id: MdsId) -> Plan {
+        let mut plan = Plan::default();
+        if self.groups.is_empty() {
+            self.groups.push(GroupView::default());
+        }
+        let existing = self.all_members();
+        // The newcomer pulls every existing replica and everyone installs
+        // the newcomer's filter.
+        for &other in &existing {
+            plan.installs.push((other, id));
+            plan.installs.push((id, other));
+        }
+        self.groups[0].members.push(id);
+        plan
+    }
+
+    fn add_member_ghba(&mut self, id: MdsId, m: usize) -> Plan {
+        let mut plan = Plan::default();
+        // Target: smallest group with room, else smallest group (split
+        // will follow).
+        let target = self
+            .groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.members.len() < m)
+            .min_by_key(|(i, g)| (g.members.len(), *i))
+            .map(|(i, _)| i)
+            .or_else(|| {
+                self.groups
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(i, g)| (g.members.len(), *i))
+                    .map(|(i, _)| i)
+            });
+        let gi = match target {
+            Some(gi) => gi,
+            None => {
+                self.groups.push(GroupView::default());
+                self.groups.len() - 1
+            }
+        };
+        self.groups[gi].members.push(id);
+
+        // The newcomer's replica goes to every other group's lightest
+        // member.
+        for (i, group) in self.groups.iter_mut().enumerate() {
+            if i == gi {
+                continue;
+            }
+            if let Some(lightest) = group.lightest() {
+                group.placement.insert(id, lightest);
+                plan.installs.push((id, lightest));
+            }
+        }
+
+        // Light-weight migration inside the joined group.
+        plan.moves.extend(Self::rebalance(&mut self.groups[gi]));
+        plan.idbfa_targets = self.groups[gi]
+            .members
+            .iter()
+            .copied()
+            .filter(|&p| p != id)
+            .collect();
+
+        if self.groups[gi].members.len() > m {
+            plan.split = true;
+            self.split_group(gi, m, &mut plan);
+        }
+        self.rebuild_all_coverage(&mut plan);
+        plan
+    }
+
+    fn split_group(&mut self, gi: usize, m: usize, plan: &mut Plan) {
+        let take = m / 2 + 1;
+        let split_at = self.groups[gi].members.len() - take;
+        let moving: Vec<MdsId> = self.groups[gi].members.split_off(split_at);
+        let mut new_group = GroupView {
+            members: moving.clone(),
+            placement: HashMap::new(),
+        };
+        // Moving members keep their held replicas (free seeding).
+        let old = &mut self.groups[gi];
+        let kept: Vec<(MdsId, MdsId)> = old
+            .placement
+            .iter()
+            .filter(|(_, h)| moving.contains(h))
+            .map(|(&o, &h)| (o, h))
+            .collect();
+        for (origin, holder) in kept {
+            old.placement.remove(&origin);
+            if !new_group.members.contains(&origin) {
+                new_group.placement.insert(origin, holder);
+            }
+        }
+        plan.idbfa_targets.extend(new_group.members.iter().copied());
+        self.groups.push(new_group);
+    }
+
+    /// Removes `id` (fail-stop departure) and returns the plan.
+    pub fn remove_member(&mut self, id: MdsId) -> Plan {
+        let mut plan = Plan::default();
+        match self.scheme {
+            Scheme::Hba => {
+                for group in &mut self.groups {
+                    group.members.retain(|&x| x != id);
+                }
+                for other in self.all_members() {
+                    plan.drops.push((id, other));
+                }
+            }
+            Scheme::Ghba { max_group_size } => {
+                if let Some(gi) = self.group_index_of(id) {
+                    let group = &mut self.groups[gi];
+                    group.members.retain(|&x| x != id);
+                    // Orphaned replicas move to the remaining members.
+                    let orphans: Vec<MdsId> = group
+                        .placement
+                        .iter()
+                        .filter(|(_, &h)| h == id)
+                        .map(|(&o, _)| o)
+                        .collect();
+                    for origin in orphans {
+                        group.placement.remove(&origin);
+                        if let Some(lightest) = group.lightest() {
+                            group.placement.insert(origin, lightest);
+                            plan.installs.push((origin, lightest));
+                        }
+                    }
+                    if group.members.is_empty() {
+                        self.groups.remove(gi);
+                    }
+                }
+                // Every group drops the departed node's replica.
+                for group in &mut self.groups {
+                    if let Some(holder) = group.placement.remove(&id) {
+                        plan.drops.push((id, holder));
+                    }
+                }
+                // Merge while two groups fit in one.
+                loop {
+                    let mut order: Vec<(usize, usize)> = self
+                        .groups
+                        .iter()
+                        .enumerate()
+                        .map(|(i, g)| (g.members.len(), i))
+                        .collect();
+                    order.sort_unstable();
+                    if order.len() < 2 || order[0].0 + order[1].0 > max_group_size {
+                        break;
+                    }
+                    let (small, big) = (order[0].1.max(order[1].1), order[0].1.min(order[1].1));
+                    let absorbed = self.groups.remove(small);
+                    let target = &mut self.groups[big];
+                    target.members.extend(absorbed.members.iter().copied());
+                    for (origin, holder) in absorbed.placement {
+                        if !target.members.contains(&origin)
+                            && !target.placement.contains_key(&origin)
+                        {
+                            target.placement.insert(origin, holder);
+                        }
+                    }
+                    let members = target.members.clone();
+                    target.placement.retain(|o, _| !members.contains(o));
+                    plan.idbfa_targets.extend(members);
+                }
+                self.rebuild_all_coverage(&mut plan);
+            }
+        }
+        plan
+    }
+
+    /// Ensures every group holds exactly one replica of every outsider.
+    fn rebuild_all_coverage(&mut self, plan: &mut Plan) {
+        let all = self.all_members();
+        for group in &mut self.groups {
+            // Drop replicas of servers that are now members or gone.
+            let stale: Vec<MdsId> = group
+                .placement
+                .keys()
+                .copied()
+                .filter(|o| group.members.contains(o) || !all.contains(o))
+                .collect();
+            for origin in stale {
+                if let Some(holder) = group.placement.remove(&origin) {
+                    plan.drops.push((origin, holder));
+                }
+            }
+            // Re-place replicas whose holder left the group.
+            let orphaned: Vec<MdsId> = group
+                .placement
+                .iter()
+                .filter(|(_, h)| !group.members.contains(h))
+                .map(|(&o, _)| o)
+                .collect();
+            for origin in orphaned {
+                group.placement.remove(&origin);
+                if let Some(lightest) = group.lightest() {
+                    group.placement.insert(origin, lightest);
+                    plan.installs.push((origin, lightest));
+                }
+            }
+            // Add missing coverage.
+            for &origin in &all {
+                if group.members.contains(&origin) || group.placement.contains_key(&origin) {
+                    continue;
+                }
+                if let Some(lightest) = group.lightest() {
+                    group.placement.insert(origin, lightest);
+                    plan.installs.push((origin, lightest));
+                }
+            }
+            plan.moves.extend(Self::rebalance(group));
+        }
+    }
+
+    fn rebalance(group: &mut GroupView) -> Vec<(MdsId, MdsId, MdsId)> {
+        let mut moves = Vec::new();
+        if group.members.len() < 2 {
+            return moves;
+        }
+        loop {
+            let heaviest = group
+                .members
+                .iter()
+                .copied()
+                .max_by_key(|&m| (group.held_by(m), m))
+                .expect("non-empty");
+            let lightest = group
+                .members
+                .iter()
+                .copied()
+                .min_by_key(|&m| (group.held_by(m), m))
+                .expect("non-empty");
+            if group.held_by(heaviest) <= group.held_by(lightest) + 1 {
+                return moves;
+            }
+            let origin = group
+                .placement
+                .iter()
+                .find(|(_, &h)| h == heaviest)
+                .map(|(&o, _)| o)
+                .expect("heaviest holds something");
+            group.placement.insert(origin, lightest);
+            moves.push((origin, heaviest, lightest));
+        }
+    }
+
+    /// Structural self-check: complete coverage, holders are members.
+    pub fn check(&self) -> Result<(), String> {
+        if matches!(self.scheme, Scheme::Hba) {
+            return Ok(());
+        }
+        let all = self.all_members();
+        for (i, group) in self.groups.iter().enumerate() {
+            for &origin in &all {
+                if group.members.contains(&origin) {
+                    if group.placement.contains_key(&origin) {
+                        return Err(format!("group {i} holds replica of own member"));
+                    }
+                    continue;
+                }
+                match group.placement.get(&origin) {
+                    None => return Err(format!("group {i} missing replica of {origin}")),
+                    Some(h) if !group.members.contains(h) => {
+                        return Err(format!("group {i} replica of {origin} held by outsider"))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_ghba(n: u16, m: usize) -> ClusterMap {
+        let mut map = ClusterMap::new(Scheme::Ghba { max_group_size: m });
+        for i in 0..n {
+            map.add_member(MdsId(i));
+        }
+        map
+    }
+
+    #[test]
+    fn ghba_grouping_and_coverage() {
+        for n in [1u16, 4, 7, 12, 23] {
+            let map = build_ghba(n, 4);
+            assert_eq!(map.all_members().len(), n as usize);
+            assert!(map.group_sizes().iter().all(|&s| s <= 4), "n={n}");
+            map.check().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn hba_everyone_holds_everyone() {
+        let mut map = ClusterMap::new(Scheme::Hba);
+        for i in 0..5 {
+            map.add_member(MdsId(i));
+        }
+        assert_eq!(map.replicas_held_by(MdsId(2)).len(), 4);
+        assert_eq!(map.update_targets(MdsId(0)).len(), 4);
+        assert_eq!(map.group_peers_of(MdsId(1)).len(), 4);
+    }
+
+    #[test]
+    fn ghba_update_targets_one_per_foreign_group() {
+        let map = build_ghba(12, 4); // 3 groups
+        let targets = map.update_targets(MdsId(0));
+        assert_eq!(targets.len(), 2);
+        let own_group = map.group_index_of(MdsId(0)).unwrap();
+        for t in targets {
+            assert_ne!(map.group_index_of(t), Some(own_group));
+        }
+    }
+
+    #[test]
+    fn hba_join_plan_is_2n_installs() {
+        let mut map = ClusterMap::new(Scheme::Hba);
+        for i in 0..10 {
+            map.add_member(MdsId(i));
+        }
+        let plan = map.add_member(MdsId(10));
+        assert_eq!(plan.installs.len(), 20);
+    }
+
+    #[test]
+    fn ghba_join_plan_is_small() {
+        let mut map = build_ghba(13, 4);
+        let plan = map.add_member(MdsId(13));
+        let hba_cost = 2 * 13;
+        let ghba_cost = plan.installs.len() + plan.moves.len() + plan.idbfa_targets.len();
+        assert!(
+            ghba_cost < hba_cost / 2,
+            "ghba {ghba_cost} vs hba {hba_cost}"
+        );
+        map.check().expect("coverage after join");
+    }
+
+    #[test]
+    fn removal_restores_coverage() {
+        let mut map = build_ghba(9, 4);
+        let plan = map.remove_member(MdsId(3));
+        assert!(!plan.drops.is_empty());
+        map.check().expect("coverage after removal");
+        assert_eq!(map.all_members().len(), 8);
+    }
+
+    #[test]
+    fn merges_after_shrink() {
+        let mut map = build_ghba(5, 4); // groups 4 + 1
+        map.remove_member(MdsId(0));
+        // 3 + 1 fit into one group of 4.
+        assert_eq!(map.group_sizes(), vec![4]);
+        map.check().expect("coverage after merge");
+    }
+
+    #[test]
+    fn split_on_overflow() {
+        let mut map = build_ghba(8, 4); // 4 + 4, both full
+        let plan = map.add_member(MdsId(8));
+        assert!(plan.split);
+        assert_eq!(map.group_sizes().len(), 3);
+        map.check().expect("coverage after split");
+    }
+}

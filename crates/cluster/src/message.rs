@@ -1,0 +1,132 @@
+//! Wire messages of the prototype cluster.
+
+use crossbeam::channel::Sender;
+use ghba_bloom::{BloomFilter, FilterDelta};
+use ghba_core::{MdsId, QueryLevel};
+
+/// A query identifier, unique per coordinating node.
+pub type QueryId = u64;
+
+/// The reply a client receives for a lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LookupReply {
+    /// The home MDS, or `None` when the file exists nowhere.
+    pub home: Option<MdsId>,
+    /// The level that resolved the query.
+    pub level: QueryLevel,
+    /// Wall-clock latency measured at the coordinating node.
+    pub latency: std::time::Duration,
+    /// Messages this query put on the network.
+    pub messages: u32,
+}
+
+/// Messages exchanged between nodes (and from the runtime to nodes).
+#[derive(Debug)]
+pub enum Message {
+    /// Client request: resolve `path`, answer on `reply`.
+    Lookup {
+        /// Pathname to resolve.
+        path: String,
+        /// Channel for the final answer.
+        reply: Sender<LookupReply>,
+    },
+    /// Client request: create `path` here; answer with this node's id.
+    Create {
+        /// Pathname to create.
+        path: String,
+        /// Acknowledgement channel.
+        reply: Sender<MdsId>,
+    },
+    /// Client request: remove `path` if homed here.
+    Remove {
+        /// Pathname to remove.
+        path: String,
+        /// `true` when the file was here and is now gone.
+        reply: Sender<bool>,
+    },
+    /// Coordinator → group member: probe your replicas and live filter.
+    GroupProbe {
+        /// Query id at the coordinator.
+        qid: QueryId,
+        /// Pathname under query.
+        path: String,
+        /// Who to answer.
+        reply_to: MdsId,
+    },
+    /// Member → coordinator: the origins whose filters matched.
+    ProbeReply {
+        /// Query id at the coordinator.
+        qid: QueryId,
+        /// Matching filter origins (replica origins and/or the member
+        /// itself).
+        positives: Vec<MdsId>,
+        /// Responding member.
+        from: MdsId,
+    },
+    /// Coordinator → everyone: authoritative sweep.
+    GlobalProbe {
+        /// Query id at the coordinator.
+        qid: QueryId,
+        /// Pathname under query.
+        path: String,
+        /// Who to answer.
+        reply_to: MdsId,
+    },
+    /// Node → coordinator: filter verdict and authoritative store verdict.
+    GlobalReply {
+        /// Query id at the coordinator.
+        qid: QueryId,
+        /// Responding node.
+        from: MdsId,
+        /// Whether the authoritative store holds the path.
+        stores: bool,
+    },
+    /// Coordinator → candidate home: does your store really hold `path`?
+    Verify {
+        /// Query id at the coordinator.
+        qid: QueryId,
+        /// Pathname to verify.
+        path: String,
+        /// Who to answer.
+        reply_to: MdsId,
+    },
+    /// Candidate → coordinator: verification verdict.
+    VerifyReply {
+        /// Query id at the coordinator.
+        qid: QueryId,
+        /// Whether the store holds the path.
+        stores: bool,
+        /// Responding candidate.
+        from: MdsId,
+    },
+    /// Install (or replace) a full replica of `origin`'s filter.
+    ReplicaInstall {
+        /// The server the filter summarizes.
+        origin: MdsId,
+        /// Snapshot filter.
+        filter: Box<BloomFilter>,
+    },
+    /// Apply a sparse update to `origin`'s replica.
+    ReplicaDelta {
+        /// The server whose replica to patch.
+        origin: MdsId,
+        /// The changed words.
+        delta: FilterDelta,
+    },
+    /// Drop the replica of `origin` (server departed).
+    ReplicaDrop {
+        /// The departed server.
+        origin: MdsId,
+    },
+    /// IDBFA refresh within a group (content elided; counted for the
+    /// Figure 15 message tally).
+    IdbfaSync,
+    /// Runtime barrier: publish pending filter changes (fanning out the
+    /// deltas), then acknowledge.
+    Flush {
+        /// Acknowledgement channel.
+        reply: Sender<()>,
+    },
+    /// Orderly shutdown of the node thread.
+    Shutdown,
+}

@@ -1,0 +1,138 @@
+//! The channel mesh standing in for the prototype's LAN, with message
+//! accounting.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ghba_core::MdsId;
+use parking_lot::RwLock;
+
+use crate::message::Message;
+
+/// A shared, counted message fabric: every inter-node send increments the
+/// global counter (the quantity Figure 15 reports).
+#[derive(Debug, Clone)]
+pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+#[derive(Debug)]
+struct NetworkInner {
+    senders: RwLock<HashMap<MdsId, Sender<Message>>>,
+    sent: AtomicU64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Network {
+    /// Creates an empty fabric.
+    #[must_use]
+    pub fn new() -> Self {
+        Network {
+            inner: Arc::new(NetworkInner {
+                senders: RwLock::new(HashMap::new()),
+                sent: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers a node, returning the receiving end of its inbox.
+    pub fn register(&self, id: MdsId) -> Receiver<Message> {
+        let (tx, rx) = unbounded();
+        self.inner.senders.write().insert(id, tx);
+        rx
+    }
+
+    /// Unregisters a node (its inbox closes once drained).
+    pub fn unregister(&self, id: MdsId) {
+        self.inner.senders.write().remove(&id);
+    }
+
+    /// Sends `message` to `to`, counting it. Returns `false` if the node
+    /// is gone (message dropped, still counted as network traffic).
+    pub fn send(&self, to: MdsId, message: Message) -> bool {
+        self.inner.sent.fetch_add(1, Ordering::Relaxed);
+        match self.inner.senders.read().get(&to) {
+            Some(tx) => tx.send(message).is_ok(),
+            None => false,
+        }
+    }
+
+    /// Total messages put on the fabric since the last reset.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.inner.sent.load(Ordering::Relaxed)
+    }
+
+    /// Resets the message counter.
+    pub fn reset_counter(&self) {
+        self.inner.sent.store(0, Ordering::Relaxed);
+    }
+
+    /// Registered node ids, ascending.
+    #[must_use]
+    pub fn node_ids(&self) -> Vec<MdsId> {
+        let mut ids: Vec<MdsId> = self.inner.senders.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of registered nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.senders.read().len()
+    }
+
+    /// `true` when no node is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.senders.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_send_receive() {
+        let net = Network::new();
+        let rx = net.register(MdsId(1));
+        assert!(net.send(MdsId(1), Message::IdbfaSync));
+        assert!(matches!(rx.recv().unwrap(), Message::IdbfaSync));
+        assert_eq!(net.messages_sent(), 1);
+    }
+
+    #[test]
+    fn send_to_missing_node_is_counted_but_dropped() {
+        let net = Network::new();
+        assert!(!net.send(MdsId(9), Message::IdbfaSync));
+        assert_eq!(net.messages_sent(), 1);
+    }
+
+    #[test]
+    fn counter_resets() {
+        let net = Network::new();
+        let _rx = net.register(MdsId(1));
+        net.send(MdsId(1), Message::IdbfaSync);
+        net.reset_counter();
+        assert_eq!(net.messages_sent(), 0);
+    }
+
+    #[test]
+    fn node_ids_sorted() {
+        let net = Network::new();
+        let _a = net.register(MdsId(5));
+        let _b = net.register(MdsId(2));
+        assert_eq!(net.node_ids(), vec![MdsId(2), MdsId(5)]);
+        assert_eq!(net.len(), 2);
+        net.unregister(MdsId(5));
+        assert_eq!(net.len(), 1);
+    }
+}

@@ -1,0 +1,507 @@
+//! The per-MDS node thread: owns its metadata, filters, and replicas;
+//! communicates only through the channel fabric.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{Receiver, Sender};
+use ghba_bloom::BloomFilter;
+use ghba_core::{GhbaConfig, Mds, MdsId, QueryLevel};
+use parking_lot::RwLock;
+
+use crate::map::SharedMap;
+use crate::message::{LookupReply, Message, QueryId};
+use crate::net::Network;
+
+/// Latest published filter per origin, readable by the runtime when it
+/// must seed a fresh replica during reconfiguration (the stand-in for a
+/// holder-to-holder transfer; the transfer message itself is still sent
+/// and counted on the fabric).
+pub type PublishedRegistry = Arc<RwLock<HashMap<MdsId, BloomFilter>>>;
+
+struct Pending {
+    path: String,
+    reply: Sender<LookupReply>,
+    start: Instant,
+    messages: u32,
+    awaiting: usize,
+    positives: Vec<MdsId>,
+    stage: Stage,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Waiting for a VerifyReply; on failure continue at the given level.
+    Verify {
+        level: QueryLevel,
+        on_fail: Escalation,
+    },
+    Group,
+    Global,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Escalation {
+    L2,
+    Group,
+    Global,
+}
+
+/// One metadata server node of the prototype cluster.
+pub struct Node {
+    id: MdsId,
+    mds: Mds,
+    replicas: HashMap<MdsId, BloomFilter>,
+    config: GhbaConfig,
+    map: SharedMap,
+    net: Network,
+    registry: PublishedRegistry,
+    inbox: Receiver<Message>,
+    pending: HashMap<QueryId, Pending>,
+    next_qid: QueryId,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("files", &self.mds.file_count())
+            .field("replicas", &self.replicas.len())
+            .finish()
+    }
+}
+
+impl Node {
+    /// Creates a node; `initial_replicas` are the origins whose (empty)
+    /// filters it starts out holding.
+    #[must_use]
+    pub fn new(
+        id: MdsId,
+        config: GhbaConfig,
+        map: SharedMap,
+        net: Network,
+        registry: PublishedRegistry,
+        inbox: Receiver<Message>,
+        initial_replicas: Vec<MdsId>,
+    ) -> Self {
+        let mds = Mds::new(id, &config);
+        let replicas = initial_replicas
+            .into_iter()
+            .map(|origin| (origin, mds.published().clone()))
+            .collect();
+        registry.write().insert(id, mds.published().clone());
+        Node {
+            id,
+            mds,
+            replicas,
+            config,
+            map,
+            net,
+            registry,
+            inbox,
+            pending: HashMap::new(),
+            next_qid: 0,
+        }
+    }
+
+    /// Runs the node until `Shutdown` arrives or every sender is gone.
+    pub fn run(mut self) {
+        while let Ok(message) = self.inbox.recv() {
+            if !self.handle(message) {
+                break;
+            }
+        }
+    }
+
+    fn handle(&mut self, message: Message) -> bool {
+        match message {
+            Message::Shutdown => return false,
+            Message::Lookup { path, reply } => self.start_lookup(path, reply),
+            Message::Create { path, reply } => {
+                self.mds.create_local(&path);
+                self.maybe_publish();
+                let _ = reply.send(self.id);
+            }
+            Message::Remove { path, reply } => {
+                let removed = self.mds.remove_local(&path);
+                if removed {
+                    self.maybe_publish();
+                }
+                let _ = reply.send(removed);
+            }
+            Message::GroupProbe {
+                qid,
+                path,
+                reply_to,
+            } => {
+                let positives = self.local_positives(&path);
+                self.net.send(
+                    reply_to,
+                    Message::ProbeReply {
+                        qid,
+                        positives,
+                        from: self.id,
+                    },
+                );
+            }
+            Message::ProbeReply { qid, positives, .. } => self.on_probe_reply(qid, positives),
+            Message::GlobalProbe {
+                qid,
+                path,
+                reply_to,
+            } => {
+                let stores = self.mds.stores(&path);
+                self.net.send(
+                    reply_to,
+                    Message::GlobalReply {
+                        qid,
+                        from: self.id,
+                        stores,
+                    },
+                );
+            }
+            Message::GlobalReply { qid, from, stores } => self.on_global_reply(qid, from, stores),
+            Message::Verify {
+                qid,
+                path,
+                reply_to,
+            } => {
+                let stores = self.mds.stores(&path);
+                self.net.send(
+                    reply_to,
+                    Message::VerifyReply {
+                        qid,
+                        stores,
+                        from: self.id,
+                    },
+                );
+            }
+            Message::VerifyReply { qid, stores, from } => self.on_verify_reply(qid, stores, from),
+            Message::ReplicaInstall { origin, filter } => {
+                self.replicas.insert(origin, *filter);
+            }
+            Message::ReplicaDelta { origin, delta } => {
+                if let Some(replica) = self.replicas.get_mut(&origin) {
+                    // A mismatching delta (e.g. raced with a re-install)
+                    // is dropped; the next full install repairs it.
+                    let _ = delta.apply(replica);
+                }
+            }
+            Message::ReplicaDrop { origin } => {
+                self.replicas.remove(&origin);
+                if let Some(lru) = self.mds.lru_mut() {
+                    lru.purge_home(origin);
+                }
+            }
+            Message::IdbfaSync => {}
+            Message::Flush { reply } => {
+                self.publish_now();
+                let _ = reply.send(());
+            }
+        }
+        true
+    }
+
+    /// Origins (replica origins and/or self) whose filters match `path`.
+    fn local_positives(&self, path: &str) -> Vec<MdsId> {
+        let mut positives: Vec<MdsId> = self
+            .replicas
+            .iter()
+            .filter(|(_, f)| f.contains(path))
+            .map(|(&o, _)| o)
+            .collect();
+        if self.mds.probe_live(path) {
+            positives.push(self.id);
+        }
+        positives
+    }
+
+    fn start_lookup(&mut self, path: String, reply: Sender<LookupReply>) {
+        let qid = self.next_qid;
+        self.next_qid += 1;
+        let pending = Pending {
+            path,
+            reply,
+            start: Instant::now(),
+            messages: 0,
+            awaiting: 0,
+            positives: Vec::new(),
+            stage: Stage::Group, // placeholder; set below
+        };
+        self.pending.insert(qid, pending);
+
+        // L1: the LRU array.
+        let l1 = self
+            .mds
+            .lru()
+            .map(|lru| lru.query(&self.pending[&qid].path));
+        if let Some(ghba_bloom::Hit::Unique(candidate)) = l1 {
+            self.verify(qid, candidate, QueryLevel::L1Lru, Escalation::L2);
+            return;
+        }
+        self.continue_l2(qid);
+    }
+
+    fn continue_l2(&mut self, qid: QueryId) {
+        let path = self.pending[&qid].path.clone();
+        let positives = self.local_positives(&path);
+        if positives.len() == 1 {
+            self.verify(qid, positives[0], QueryLevel::L2Segment, Escalation::Group);
+        } else {
+            self.start_group(qid);
+        }
+    }
+
+    fn verify(&mut self, qid: QueryId, candidate: MdsId, level: QueryLevel, on_fail: Escalation) {
+        if candidate == self.id {
+            let stores = {
+                let pending = &self.pending[&qid];
+                self.mds.stores(&pending.path)
+            };
+            if stores {
+                self.succeed(qid, self.id, level);
+            } else {
+                self.escalate(qid, on_fail);
+            }
+            return;
+        }
+        let path = {
+            let pending = self.pending.get_mut(&qid).expect("pending query");
+            pending.stage = Stage::Verify { level, on_fail };
+            pending.messages += 2; // request + reply
+            pending.path.clone()
+        };
+        let delivered = self.net.send(
+            candidate,
+            Message::Verify {
+                qid,
+                path,
+                reply_to: self.id,
+            },
+        );
+        if !delivered {
+            // Candidate died (e.g. a stale LRU entry naming a failed
+            // node): treat as a failed verification and escalate.
+            self.escalate(qid, on_fail);
+        }
+    }
+
+    fn on_verify_reply(&mut self, qid: QueryId, stores: bool, from: MdsId) {
+        let Some(pending) = self.pending.get(&qid) else {
+            return;
+        };
+        let Stage::Verify { level, on_fail } = pending.stage else {
+            return;
+        };
+        if stores {
+            self.succeed(qid, from, level);
+        } else {
+            self.escalate(qid, on_fail);
+        }
+    }
+
+    fn escalate(&mut self, qid: QueryId, to: Escalation) {
+        match to {
+            Escalation::L2 => self.continue_l2(qid),
+            Escalation::Group => self.start_group(qid),
+            Escalation::Global => self.start_global(qid),
+        }
+    }
+
+    fn start_group(&mut self, qid: QueryId) {
+        let peers = self.map.read().group_peers_of(self.id);
+        if peers.is_empty() {
+            self.start_global(qid);
+            return;
+        }
+        let path = self.pending[&qid].path.clone();
+        let own_positives = self.local_positives(&path);
+        // Count only *delivered* probes: a peer that died mid-query must
+        // not wedge the coordinator.
+        let mut delivered = 0usize;
+        for &peer in &peers {
+            if self.net.send(
+                peer,
+                Message::GroupProbe {
+                    qid,
+                    path: path.clone(),
+                    reply_to: self.id,
+                },
+            ) {
+                delivered += 1;
+            }
+        }
+        {
+            let pending = self.pending.get_mut(&qid).expect("pending query");
+            pending.stage = Stage::Group;
+            pending.awaiting = delivered;
+            pending.positives = own_positives;
+            pending.messages += 2 * peers.len() as u32;
+        }
+        if delivered == 0 {
+            self.complete_group(qid);
+        }
+    }
+
+    fn on_probe_reply(&mut self, qid: QueryId, positives: Vec<MdsId>) {
+        let Some(pending) = self.pending.get_mut(&qid) else {
+            return;
+        };
+        if pending.stage != Stage::Group {
+            return;
+        }
+        for p in positives {
+            if !pending.positives.contains(&p) {
+                pending.positives.push(p);
+            }
+        }
+        pending.awaiting -= 1;
+        if pending.awaiting == 0 {
+            self.complete_group(qid);
+        }
+    }
+
+    fn complete_group(&mut self, qid: QueryId) {
+        let Some(pending) = self.pending.get_mut(&qid) else {
+            return;
+        };
+        let positives = std::mem::take(&mut pending.positives);
+        if positives.len() == 1 {
+            self.verify(qid, positives[0], QueryLevel::L3Group, Escalation::Global);
+        } else {
+            self.start_global(qid);
+        }
+    }
+
+    fn start_global(&mut self, qid: QueryId) {
+        let others: Vec<MdsId> = self
+            .map
+            .read()
+            .all_members()
+            .into_iter()
+            .filter(|&m| m != self.id)
+            .collect();
+        if others.is_empty() {
+            let stores = self.mds.stores(&self.pending[&qid].path);
+            if stores {
+                self.succeed(qid, self.id, QueryLevel::L4Global);
+            } else {
+                self.fail(qid);
+            }
+            return;
+        }
+        let path = self.pending[&qid].path.clone();
+        let mut delivered = 0usize;
+        for &node in &others {
+            if self.net.send(
+                node,
+                Message::GlobalProbe {
+                    qid,
+                    path: path.clone(),
+                    reply_to: self.id,
+                },
+            ) {
+                delivered += 1;
+            }
+        }
+        {
+            let pending = self.pending.get_mut(&qid).expect("pending query");
+            pending.stage = Stage::Global;
+            pending.awaiting = delivered;
+            pending.positives.clear();
+            pending.messages += 2 * others.len() as u32;
+        }
+        if delivered == 0 {
+            self.complete_global(qid);
+        }
+    }
+
+    fn on_global_reply(&mut self, qid: QueryId, from: MdsId, stores: bool) {
+        let Some(pending) = self.pending.get_mut(&qid) else {
+            return;
+        };
+        if pending.stage != Stage::Global {
+            return;
+        }
+        if stores {
+            pending.positives.push(from);
+        }
+        pending.awaiting -= 1;
+        if pending.awaiting == 0 {
+            self.complete_global(qid);
+        }
+    }
+
+    fn complete_global(&mut self, qid: QueryId) {
+        let Some(pending) = self.pending.get_mut(&qid) else {
+            return;
+        };
+        // The global sweep is authoritative: also check ourselves.
+        let own = self.mds.stores(&pending.path);
+        let home = pending.positives.first().copied();
+        match (home, own) {
+            (Some(h), _) => self.succeed(qid, h, QueryLevel::L4Global),
+            (None, true) => self.succeed(qid, self.id, QueryLevel::L4Global),
+            (None, false) => self.fail(qid),
+        }
+    }
+
+    fn succeed(&mut self, qid: QueryId, home: MdsId, level: QueryLevel) {
+        let Some(pending) = self.pending.remove(&qid) else {
+            return;
+        };
+        if let Some(lru) = self.mds.lru_mut() {
+            lru.record(&pending.path, home);
+        }
+        let _ = pending.reply.send(LookupReply {
+            home: Some(home),
+            level,
+            latency: pending.start.elapsed(),
+            messages: pending.messages,
+        });
+    }
+
+    fn fail(&mut self, qid: QueryId) {
+        let Some(pending) = self.pending.remove(&qid) else {
+            return;
+        };
+        let _ = pending.reply.send(LookupReply {
+            home: None,
+            level: QueryLevel::Nonexistent,
+            latency: pending.start.elapsed(),
+            messages: pending.messages,
+        });
+    }
+
+    fn maybe_publish(&mut self) {
+        let threshold = self.config.update_threshold_bits;
+        let hashes = self.config.filter_hashes() as usize;
+        let gate = (threshold / hashes.max(1) / 2).max(1) as u64;
+        if self.mds.mutations_since_publish() < gate || self.mds.drift_bits() < threshold {
+            return;
+        }
+        self.publish_now();
+    }
+
+    /// Forces a publish + delta fan-out (one holder per foreign group, or
+    /// everyone under HBA).
+    fn publish_now(&mut self) {
+        let Some(delta) = self.mds.publish() else {
+            return;
+        };
+        self.registry
+            .write()
+            .insert(self.id, self.mds.published().clone());
+        let targets = self.map.read().update_targets(self.id);
+        for target in targets {
+            self.net.send(
+                target,
+                Message::ReplicaDelta {
+                    origin: self.id,
+                    delta: delta.clone(),
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! The prototype runtime: spawns node threads, drives clients, executes
+//! reconfiguration plans, and counts every message.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::bounded;
+use ghba_core::{GhbaConfig, MdsId};
+use ghba_simnet::DetRng;
+use parking_lot::RwLock;
+
+use crate::map::{ClusterMap, Plan, Scheme, SharedMap};
+use crate::message::{LookupReply, Message};
+use crate::net::Network;
+use crate::node::{Node, PublishedRegistry};
+
+/// How long client calls wait before concluding the cluster wedged.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running prototype cluster: one OS thread per MDS, crossbeam channels
+/// as the LAN.
+///
+/// # Examples
+///
+/// ```
+/// use ghba_cluster::{PrototypeCluster, Scheme};
+/// use ghba_core::GhbaConfig;
+///
+/// let config = GhbaConfig::default().with_filter_capacity(1_000);
+/// let mut cluster = PrototypeCluster::spawn(
+///     Scheme::Ghba { max_group_size: 4 },
+///     config,
+///     8,
+/// );
+/// let home = cluster.create("/proto/file");
+/// cluster.flush_updates();
+/// assert_eq!(cluster.lookup("/proto/file").home, Some(home));
+/// cluster.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct PrototypeCluster {
+    scheme: Scheme,
+    config: GhbaConfig,
+    net: Network,
+    map: SharedMap,
+    registry: PublishedRegistry,
+    handles: HashMap<MdsId, JoinHandle<()>>,
+    next_id: u16,
+    rng: DetRng,
+}
+
+impl PrototypeCluster {
+    /// Spawns a cluster of `servers` nodes. Construction traffic is not
+    /// counted (the counter is reset before returning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    #[must_use]
+    pub fn spawn(scheme: Scheme, config: GhbaConfig, servers: usize) -> Self {
+        assert!(servers > 0, "cluster needs at least one server");
+        let mut cluster = PrototypeCluster {
+            scheme,
+            rng: DetRng::new(config.seed).fork(0x9907),
+            config,
+            net: Network::new(),
+            map: Arc::new(RwLock::new(ClusterMap::new(scheme))),
+            registry: Arc::new(RwLock::new(HashMap::new())),
+            handles: HashMap::new(),
+            next_id: 0,
+        };
+        for _ in 0..servers {
+            cluster.add_node();
+        }
+        cluster.net.reset_counter();
+        cluster
+    }
+
+    /// The scheme in force.
+    #[must_use]
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Number of live nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Live node ids, ascending.
+    #[must_use]
+    pub fn node_ids(&self) -> Vec<MdsId> {
+        let mut ids: Vec<MdsId> = self.handles.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Messages on the fabric since the last reset.
+    #[must_use]
+    pub fn messages_sent(&self) -> u64 {
+        self.net.messages_sent()
+    }
+
+    /// Resets the fabric's message counter.
+    pub fn reset_message_counter(&self) {
+        self.net.reset_counter();
+    }
+
+    fn spawn_node(&mut self, id: MdsId, initial_replicas: Vec<MdsId>) {
+        let inbox = self.net.register(id);
+        let node = Node::new(
+            id,
+            self.config.clone(),
+            Arc::clone(&self.map),
+            self.net.clone(),
+            Arc::clone(&self.registry),
+            inbox,
+            initial_replicas,
+        );
+        let handle = std::thread::Builder::new()
+            .name(format!("mds-{}", id.0))
+            .spawn(move || node.run())
+            .expect("spawn node thread");
+        self.handles.insert(id, handle);
+    }
+
+    fn execute_plan(&self, plan: &Plan) {
+        let registry = self.registry.read();
+        for &(origin, to) in &plan.installs {
+            let filter = registry
+                .get(&origin)
+                .cloned()
+                .unwrap_or_else(|| panic!("no published filter for {origin}"));
+            self.net.send(
+                to,
+                Message::ReplicaInstall {
+                    origin,
+                    filter: Box::new(filter),
+                },
+            );
+        }
+        for &(origin, from, to) in &plan.moves {
+            let filter = registry
+                .get(&origin)
+                .cloned()
+                .unwrap_or_else(|| panic!("no published filter for {origin}"));
+            self.net.send(
+                to,
+                Message::ReplicaInstall {
+                    origin,
+                    filter: Box::new(filter),
+                },
+            );
+            self.net.send(from, Message::ReplicaDrop { origin });
+        }
+        for &(origin, at) in &plan.drops {
+            self.net.send(at, Message::ReplicaDrop { origin });
+        }
+        for &target in &plan.idbfa_targets {
+            self.net.send(target, Message::IdbfaSync);
+        }
+    }
+
+    /// Adds one node, executing the scheme's reconfiguration protocol over
+    /// the fabric. Returns the new id and the number of messages the
+    /// insertion cost (the Figure 15 metric).
+    pub fn add_node(&mut self) -> (MdsId, u64) {
+        let before = self.net.messages_sent();
+        let id = MdsId(self.next_id);
+        self.next_id += 1;
+
+        // Plan first (so the map is current), then spawn, then execute.
+        let plan = self.map.write().add_member(id);
+        let held = self.map.read().replicas_held_by(id);
+        self.spawn_node(id, held);
+        self.execute_plan(&plan);
+        (id, self.net.messages_sent() - before)
+    }
+
+    /// Fail-stops a node (per §4.5: peers drop its filters; its files
+    /// become unavailable until higher-level recovery re-creates them).
+    /// Returns the message cost of the membership change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown or is the last node.
+    pub fn fail_node(&mut self, id: MdsId) -> u64 {
+        assert!(self.handles.contains_key(&id), "unknown node");
+        assert!(self.handles.len() > 1, "cannot fail the last node");
+        let before = self.net.messages_sent();
+        self.net.send(id, Message::Shutdown);
+        self.net.unregister(id);
+        if let Some(handle) = self.handles.remove(&id) {
+            let _ = handle.join();
+        }
+        let plan = self.map.write().remove_member(id);
+        self.registry.write().remove(&id);
+        self.execute_plan(&plan);
+        // §4.5 fail-over: every surviving node drops the failed server's
+        // filters (including stale LRU entries naming it as a home).
+        for survivor in self.node_ids() {
+            self.net.send(survivor, Message::ReplicaDrop { origin: id });
+        }
+        self.net.messages_sent() - before
+    }
+
+    fn random_node(&mut self) -> MdsId {
+        let ids = self.node_ids();
+        *self.rng.choose(&ids).expect("non-empty cluster")
+    }
+
+    /// Creates `path` at a random node, returning its home.
+    pub fn create(&mut self, path: &str) -> MdsId {
+        let target = self.random_node();
+        self.create_at(path, target)
+    }
+
+    /// Creates `path` at a specific node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not answer within the client timeout.
+    pub fn create_at(&mut self, path: &str, target: MdsId) -> MdsId {
+        let (tx, rx) = bounded(1);
+        self.net.send(
+            target,
+            Message::Create {
+                path: path.to_owned(),
+                reply: tx,
+            },
+        );
+        rx.recv_timeout(CLIENT_TIMEOUT).expect("create acknowledged")
+    }
+
+    /// Looks `path` up from a random entry node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster does not answer within the client timeout.
+    pub fn lookup(&mut self, path: &str) -> LookupReply {
+        let entry = self.random_node();
+        self.lookup_from(entry, path)
+    }
+
+    /// Looks `path` up from a chosen entry node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster does not answer within the client timeout.
+    pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> LookupReply {
+        let (tx, rx) = bounded(1);
+        self.net.send(
+            entry,
+            Message::Lookup {
+                path: path.to_owned(),
+                reply: tx,
+            },
+        );
+        rx.recv_timeout(CLIENT_TIMEOUT).expect("lookup answered")
+    }
+
+    /// Removes `path` wherever it lives (sweeps nodes authoritatively).
+    pub fn remove(&mut self, path: &str) -> bool {
+        for id in self.node_ids() {
+            let (tx, rx) = bounded(1);
+            self.net.send(
+                id,
+                Message::Remove {
+                    path: path.to_owned(),
+                    reply: tx,
+                },
+            );
+            if rx.recv_timeout(CLIENT_TIMEOUT).expect("remove answered") {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Barrier: every node publishes pending filter changes and fans the
+    /// deltas out; returns once all nodes acknowledged (deltas are then
+    /// ordered before any later client request on each channel).
+    pub fn flush_updates(&mut self) {
+        let mut acks = Vec::new();
+        for id in self.node_ids() {
+            let (tx, rx) = bounded(1);
+            self.net.send(id, Message::Flush { reply: tx });
+            acks.push(rx);
+        }
+        for rx in acks {
+            rx.recv_timeout(CLIENT_TIMEOUT).expect("flush acknowledged");
+        }
+    }
+
+    /// Shuts every node down and joins the threads.
+    pub fn shutdown(&mut self) {
+        for id in self.node_ids() {
+            self.net.send(id, Message::Shutdown);
+            self.net.unregister(id);
+        }
+        for (_, handle) in self.handles.drain() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for PrototypeCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,170 @@
+//! End-to-end tests of the threaded prototype: real threads, real
+//! channels, real message counts.
+
+use ghba_cluster::{PrototypeCluster, Scheme};
+use ghba_core::{GhbaConfig, MdsId, QueryLevel};
+
+fn config() -> GhbaConfig {
+    GhbaConfig::default()
+        .with_filter_capacity(2_000)
+        .with_bits_per_file(16.0)
+        .with_seed(31)
+}
+
+fn ghba(n: usize) -> PrototypeCluster {
+    PrototypeCluster::spawn(Scheme::Ghba { max_group_size: 4 }, config(), n)
+}
+
+#[test]
+fn create_then_lookup_roundtrip() {
+    let mut cluster = ghba(8);
+    let home = cluster.create("/proto/a");
+    cluster.flush_updates();
+    let reply = cluster.lookup("/proto/a");
+    assert_eq!(reply.home, Some(home));
+    assert!(reply.latency > std::time::Duration::ZERO);
+    cluster.shutdown();
+}
+
+#[test]
+fn many_files_all_findable() {
+    let mut cluster = ghba(12);
+    let mut homes = Vec::new();
+    for i in 0..120 {
+        homes.push(cluster.create(&format!("/many/f{i}")));
+    }
+    cluster.flush_updates();
+    for (i, &home) in homes.iter().enumerate() {
+        let reply = cluster.lookup(&format!("/many/f{i}"));
+        assert_eq!(reply.home, Some(home), "file {i}");
+    }
+    cluster.shutdown();
+}
+
+#[test]
+fn nonexistent_is_a_clean_miss() {
+    let mut cluster = ghba(6);
+    let reply = cluster.lookup("/ghost/file");
+    assert_eq!(reply.home, None);
+    assert_eq!(reply.level, QueryLevel::Nonexistent);
+    // The miss must have swept the system.
+    assert!(reply.messages >= 2 * 5);
+    cluster.shutdown();
+}
+
+#[test]
+fn repeated_lookup_from_same_entry_hits_l1() {
+    let mut cluster = ghba(8);
+    cluster.create("/hot/file");
+    cluster.flush_updates();
+    let entry = MdsId(0);
+    let first = cluster.lookup_from(entry, "/hot/file");
+    assert!(first.home.is_some());
+    let second = cluster.lookup_from(entry, "/hot/file");
+    assert_eq!(second.level, QueryLevel::L1Lru);
+    cluster.shutdown();
+}
+
+#[test]
+fn fresh_files_resolve_via_l4_until_flushed() {
+    // Huge threshold: no automatic updates, so remote replicas stay stale.
+    let mut cluster = PrototypeCluster::spawn(
+        Scheme::Ghba { max_group_size: 3 },
+        config().with_update_threshold(1_000_000),
+        9,
+    );
+    let home = cluster.create_at("/stale/file", MdsId(0));
+    // An entry in a different group can only find it via L4 (or L3 if the
+    // home is a group-mate).
+    let reply = cluster.lookup_from(MdsId(8), "/stale/file");
+    assert_eq!(reply.home, Some(home));
+    assert!(
+        reply.level == QueryLevel::L4Global || reply.level == QueryLevel::L3Group,
+        "level {:?}",
+        reply.level
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn ghba_insertion_messages_far_below_hba() {
+    let mut ghba = PrototypeCluster::spawn(Scheme::Ghba { max_group_size: 7 }, config(), 30);
+    let mut hba = PrototypeCluster::spawn(Scheme::Hba, config(), 30);
+    let (_, ghba_msgs) = ghba.add_node();
+    let (_, hba_msgs) = hba.add_node();
+    // HBA: 2N transfer messages. G-HBA: one install per foreign group plus
+    // light-weight rebalancing — several times fewer.
+    assert_eq!(hba_msgs, 60);
+    assert!(
+        ghba_msgs * 2 < hba_msgs,
+        "ghba {ghba_msgs} vs hba {hba_msgs}"
+    );
+    ghba.shutdown();
+    hba.shutdown();
+}
+
+#[test]
+fn hba_lookup_is_local_after_flush() {
+    let mut cluster = PrototypeCluster::spawn(Scheme::Hba, config(), 8);
+    cluster.create("/hba/file");
+    cluster.flush_updates();
+    let reply = cluster.lookup("/hba/file");
+    assert!(reply.home.is_some());
+    // Full mirror: resolution needs at most one verify round trip, never
+    // a group multicast.
+    assert!(reply.messages <= 2, "messages {}", reply.messages);
+    cluster.shutdown();
+}
+
+#[test]
+fn failed_node_leaves_service_available() {
+    let mut cluster = ghba(9);
+    for i in 0..40 {
+        cluster.create(&format!("/avail/f{i}"));
+    }
+    cluster.flush_updates();
+    let victim = MdsId(4);
+    cluster.fail_node(victim);
+    assert_eq!(cluster.node_count(), 8);
+    // Files not homed on the victim are still served.
+    let mut found = 0;
+    for i in 0..40 {
+        if cluster.lookup(&format!("/avail/f{i}")).home.is_some() {
+            found += 1;
+        }
+    }
+    assert!(found >= 25, "only {found}/40 files survive a failure");
+    cluster.shutdown();
+}
+
+#[test]
+fn remove_deletes_file() {
+    let mut cluster = ghba(6);
+    cluster.create("/del/me");
+    cluster.flush_updates();
+    assert!(cluster.remove("/del/me"));
+    cluster.flush_updates();
+    let reply = cluster.lookup("/del/me");
+    assert_eq!(reply.home, None);
+    assert!(!cluster.remove("/del/me"));
+    cluster.shutdown();
+}
+
+#[test]
+fn growth_to_double_size_stays_consistent() {
+    let mut cluster = ghba(6);
+    for i in 0..30 {
+        cluster.create(&format!("/grow/f{i}"));
+    }
+    cluster.flush_updates();
+    for _ in 0..6 {
+        cluster.add_node();
+    }
+    assert_eq!(cluster.node_count(), 12);
+    cluster.flush_updates();
+    for i in 0..30 {
+        let reply = cluster.lookup(&format!("/grow/f{i}"));
+        assert!(reply.home.is_some(), "lost /grow/f{i} after growth");
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,516 @@
+//! The G-HBA metadata cluster: construction, the L1→L4 query walk, and
+//! file create/remove.
+//!
+//! Reconfiguration (join/leave/split/merge) lives in [`crate::reconfig`];
+//! the replica-update protocol in [`crate::update`].
+
+use std::collections::BTreeMap;
+use core::time::Duration;
+
+use ghba_bloom::Hit;
+use ghba_simnet::{Counters, DetRng, LatencyStats};
+
+use crate::config::GhbaConfig;
+use crate::group::Group;
+use crate::ids::{GroupId, MdsId};
+use crate::mds::Mds;
+use crate::query::{LevelCounts, QueryLevel, QueryOutcome};
+
+/// Aggregate statistics of a cluster's lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterStats {
+    /// Per-level query hit counts (Figure 13).
+    pub levels: LevelCounts,
+    /// Lookup latency distribution.
+    pub lookup_latency: LatencyStats,
+    /// Replica-update latency distribution (Figure 12).
+    pub update_latency: LatencyStats,
+    /// Replicas moved between servers by reconfiguration (Figure 11).
+    pub migrated_replicas: u64,
+    /// Messages exchanged during reconfigurations (Figure 15).
+    pub reconfig_messages: u64,
+    /// Messages carrying replica updates.
+    pub update_messages: u64,
+    /// Bytes of replica-update traffic.
+    pub update_bytes: u64,
+    /// Group splits performed.
+    pub splits: u64,
+    /// Group merges performed.
+    pub merges: u64,
+    /// Named auxiliary counters (verification round trips, drops, …).
+    pub counters: Counters,
+}
+
+/// A simulated G-HBA metadata server cluster.
+///
+/// # Examples
+///
+/// ```
+/// use ghba_core::{GhbaCluster, GhbaConfig};
+///
+/// let mut cluster = GhbaCluster::with_servers(
+///     GhbaConfig::default().with_filter_capacity(1_000),
+///     12,
+/// );
+/// let home = cluster.create_file("/projects/paper.tex");
+/// let outcome = cluster.lookup("/projects/paper.tex");
+/// assert_eq!(outcome.home, Some(home));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GhbaCluster {
+    pub(crate) config: GhbaConfig,
+    pub(crate) mdss: BTreeMap<MdsId, Mds>,
+    pub(crate) groups: BTreeMap<GroupId, Group>,
+    pub(crate) group_of: BTreeMap<MdsId, GroupId>,
+    pub(crate) next_mds: u16,
+    pub(crate) next_group: u16,
+    pub(crate) rng: DetRng,
+    pub(crate) stats: ClusterStats,
+}
+
+impl GhbaCluster {
+    /// Creates an empty cluster.
+    #[must_use]
+    pub fn new(config: GhbaConfig) -> Self {
+        let rng = DetRng::new(config.seed).fork(0xC105);
+        GhbaCluster {
+            config,
+            mdss: BTreeMap::new(),
+            groups: BTreeMap::new(),
+            group_of: BTreeMap::new(),
+            next_mds: 0,
+            next_group: 0,
+            rng,
+            stats: ClusterStats::default(),
+        }
+    }
+
+    /// Creates a cluster of `servers` MDSs, grouped into groups of at most
+    /// `config.max_group_size`, with replica placement balanced. The
+    /// build-time reconfiguration traffic is *not* counted in the stats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    #[must_use]
+    pub fn with_servers(config: GhbaConfig, servers: usize) -> Self {
+        assert!(servers > 0, "cluster needs at least one server");
+        let mut cluster = GhbaCluster::new(config);
+        for _ in 0..servers {
+            cluster.add_mds();
+        }
+        cluster.reset_stats();
+        cluster
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &GhbaConfig {
+        &self.config
+    }
+
+    /// Number of metadata servers.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.mdss.len()
+    }
+
+    /// Number of groups.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// All server ids, ascending.
+    #[must_use]
+    pub fn server_ids(&self) -> Vec<MdsId> {
+        self.mdss.keys().copied().collect()
+    }
+
+    /// Sizes of all groups, ascending by group id.
+    #[must_use]
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.groups.values().map(Group::len).collect()
+    }
+
+    /// Borrow a server.
+    #[must_use]
+    pub fn mds(&self, id: MdsId) -> Option<&Mds> {
+        self.mdss.get(&id)
+    }
+
+    /// The group a server belongs to.
+    #[must_use]
+    pub fn group_of(&self, id: MdsId) -> Option<GroupId> {
+        self.group_of.get(&id).copied()
+    }
+
+    /// Borrow a group.
+    #[must_use]
+    pub fn group(&self, id: GroupId) -> Option<&Group> {
+        self.groups.get(&id)
+    }
+
+    /// Lifetime statistics.
+    #[must_use]
+    pub fn stats(&self) -> &ClusterStats {
+        &self.stats
+    }
+
+    /// Clears all statistics (e.g. after warm-up).
+    pub fn reset_stats(&mut self) {
+        self.stats = ClusterStats::default();
+    }
+
+    /// Total files homed across the cluster.
+    #[must_use]
+    pub fn total_files(&self) -> usize {
+        self.mdss.values().map(Mds::file_count).sum()
+    }
+
+    /// Replicas held by `id` (origins from other groups placed on it).
+    #[must_use]
+    pub fn replicas_held_by(&self, id: MdsId) -> Vec<MdsId> {
+        match self.group_of(id).and_then(|g| self.groups.get(&g)) {
+            Some(group) => group.replicas_held_by(id),
+            None => Vec::new(),
+        }
+    }
+
+    /// Per-MDS filter memory (own filter + LRU + held replicas) in bytes —
+    /// the Table 5 quantity.
+    #[must_use]
+    pub fn filter_memory_bytes(&self, id: MdsId) -> usize {
+        let held = self.replicas_held_by(id).len();
+        self.mdss
+            .get(&id)
+            .map_or(0, |mds| mds.filter_memory_bytes(held))
+    }
+
+    fn pick_random_mds(&mut self) -> MdsId {
+        let ids = self.server_ids();
+        *self.rng.choose(&ids).expect("cluster is never empty here")
+    }
+
+    /// Creates metadata for `path` at a uniformly random home MDS (the
+    /// paper populates servers randomly), returning the home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no servers.
+    pub fn create_file(&mut self, path: &str) -> MdsId {
+        assert!(!self.mdss.is_empty(), "cluster has no servers");
+        let home = self.pick_random_mds();
+        self.create_file_at(path, home);
+        home
+    }
+
+    /// Creates metadata for `path` at a specific home (used by tests and
+    /// by re-homing during departures).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is not a member of the cluster.
+    pub fn create_file_at(&mut self, path: &str, home: MdsId) {
+        let mds = self.mdss.get_mut(&home).expect("home must exist");
+        mds.create_local(path);
+        self.maybe_publish(home);
+    }
+
+    /// Removes `path` from its home (if any), returning the former home.
+    /// The caller typically locates the home with a [`lookup`] first; this
+    /// method does the authoritative sweep directly.
+    ///
+    /// [`lookup`]: GhbaCluster::lookup
+    pub fn remove_file(&mut self, path: &str) -> Option<MdsId> {
+        let home = self.true_home(path)?;
+        let mds = self.mdss.get_mut(&home).expect("home exists");
+        mds.remove_local(path);
+        self.maybe_publish(home);
+        Some(home)
+    }
+
+    /// Ground-truth home of `path` (authoritative store sweep, no filter
+    /// involvement) — for verification and tests.
+    #[must_use]
+    pub fn true_home(&self, path: &str) -> Option<MdsId> {
+        self.mdss
+            .iter()
+            .find(|(_, mds)| mds.stores(path))
+            .map(|(&id, _)| id)
+    }
+
+    /// Looks `path` up starting from a uniformly random entry MDS (the
+    /// paper's client model: "Each request can randomly choose an MDS to
+    /// carry out query operations").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no servers.
+    pub fn lookup(&mut self, path: &str) -> QueryOutcome {
+        assert!(!self.mdss.is_empty(), "cluster has no servers");
+        let entry = self.pick_random_mds();
+        self.lookup_from(entry, path)
+    }
+
+    /// Looks `path` up starting from a chosen entry MDS, walking the
+    /// L1 → L2 → L3 → L4 hierarchy of §2.3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not a member of the cluster.
+    pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
+        assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        let model = self.config.latency.clone();
+        let mut latency = model.dispatch;
+        let mut messages: u32 = 0;
+
+        // ---- L1: the entry server's LRU Bloom filter array. ----
+        let l1_hit = self
+            .mdss
+            .get(&entry)
+            .and_then(Mds::lru)
+            .map(|lru| lru.query(path));
+        if let Some(hit) = l1_hit {
+            latency += model.memory_probe; // small resident array: one probe
+            if let Hit::Unique(candidate) = hit {
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+                {
+                    return self.finish(entry, path, home, QueryLevel::L1Lru, latency, messages);
+                }
+                self.stats.counters.incr("l1_false_hits");
+            }
+        }
+
+        // ---- L2: the entry server's segment array (θ replicas + own). ----
+        let held = self.replicas_held_by(entry);
+        let entry_mds = self.mdss.get(&entry).expect("entry exists");
+        let resident = entry_mds.resident_replicas(held.len());
+        latency += model.array_probe(held.len() + 1, held.len() - resident);
+        let mut positives: Vec<MdsId> = Vec::new();
+        for &origin in &held {
+            if self.mdss[&origin].published().contains(path) {
+                positives.push(origin);
+            }
+        }
+        if entry_mds.probe_live(path) {
+            positives.push(entry);
+        }
+        if positives.len() == 1 {
+            let candidate = positives[0];
+            if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+            {
+                return self.finish(entry, path, home, QueryLevel::L2Segment, latency, messages);
+            }
+            self.stats.counters.incr("l2_false_hits");
+        }
+
+        // ---- L3: multicast within the entry server's group. ----
+        let gid = self.group_of(entry).expect("entry has a group");
+        let group = &self.groups[&gid];
+        let members: Vec<MdsId> = group.members().to_vec();
+        let peer_count = members.len().saturating_sub(1);
+        messages += 2 * peer_count as u32;
+        latency += model.multicast_rtt(peer_count);
+        // Peers probe their held replicas in parallel: pay the slowest.
+        let mut worst_probe = Duration::ZERO;
+        for &member in &members {
+            if member == entry {
+                continue;
+            }
+            let held = self.groups[&gid].replicas_held_by(member);
+            let resident = self.mdss[&member].resident_replicas(held.len());
+            let probe = model.array_probe(held.len() + 1, held.len() - resident);
+            worst_probe = worst_probe.max(probe);
+        }
+        latency += worst_probe;
+        let mut positives: Vec<MdsId> = Vec::new();
+        for origin in self.groups[&gid].replica_origins() {
+            if self.mdss[&origin].published().contains(path) {
+                positives.push(origin);
+            }
+        }
+        for &member in &members {
+            if self.mdss[&member].probe_live(path) {
+                positives.push(member);
+            }
+        }
+        if positives.len() == 1 {
+            let candidate = positives[0];
+            if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+            {
+                return self.finish(entry, path, home, QueryLevel::L3Group, latency, messages);
+            }
+            self.stats.counters.incr("l3_false_hits");
+        }
+
+        // ---- L4: system-wide multicast; authoritative. ----
+        let others = self.server_count().saturating_sub(1);
+        messages += 2 * others as u32;
+        latency += model.multicast_rtt(others);
+        // Every server probes its live local filter in parallel (memory);
+        // positives verify against their store.
+        latency += model.memory_probe;
+        let mut found: Option<MdsId> = None;
+        let mut verify_cost = Duration::ZERO;
+        for (&id, mds) in &self.mdss {
+            if mds.probe_live(path) {
+                let cost = mds.metadata_access_cost(&model);
+                verify_cost = verify_cost.max(cost);
+                if mds.stores(path) {
+                    found = Some(id);
+                } else {
+                    self.stats.counters.incr("l4_false_positive_disk_checks");
+                }
+            }
+        }
+        latency += verify_cost;
+        match found {
+            Some(home) => self.finish(entry, path, home, QueryLevel::L4Global, latency, messages),
+            None => {
+                let latency = latency.mul_f64(self.config.contention_factor(messages));
+                self.stats.levels.record(QueryLevel::Nonexistent);
+                self.stats.lookup_latency.record(latency);
+                QueryOutcome {
+                    home: None,
+                    level: QueryLevel::Nonexistent,
+                    latency,
+                    messages,
+                    entry,
+                }
+            }
+        }
+    }
+
+    /// Forwards the query to `candidate` and verifies against its
+    /// authoritative store. Returns the confirmed home or `None` on a
+    /// false positive. Accounts the round trip and the metadata access.
+    fn verify_at(
+        &mut self,
+        candidate: MdsId,
+        entry: MdsId,
+        path: &str,
+        latency: &mut Duration,
+        messages: &mut u32,
+    ) -> Option<MdsId> {
+        let model = self.config.latency.clone();
+        if candidate != entry {
+            *messages += 2;
+            *latency += model.unicast_rtt();
+        }
+        let mds = self.mdss.get(&candidate)?;
+        *latency += mds.metadata_access_cost(&model);
+        if mds.stores(path) {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    /// Records a successful lookup: LRU cache fill at the entry server,
+    /// level counters, contention inflation, latency.
+    fn finish(
+        &mut self,
+        entry: MdsId,
+        path: &str,
+        home: MdsId,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+    ) -> QueryOutcome {
+        if let Some(lru) = self.mdss.get_mut(&entry).and_then(Mds::lru_mut) {
+            lru.record(path, home);
+        }
+        let latency = latency.mul_f64(self.config.contention_factor(messages));
+        self.stats.levels.record(level);
+        self.stats.lookup_latency.record(latency);
+        QueryOutcome {
+            home: Some(home),
+            level,
+            latency,
+            messages,
+            entry,
+        }
+    }
+
+    /// Checks every structural invariant of the cluster; returns a
+    /// description of the first violation.
+    ///
+    /// Invariants (the properties §2.2 and §3.1–3.2 argue for):
+    /// 1. every server belongs to exactly one group, consistently indexed;
+    /// 2. no group exceeds `M` members;
+    /// 3. **mirror**: each group stores replicas of exactly the servers
+    ///    outside it, so group replicas + member filters cover the system;
+    /// 4. every replica's holder is a member of that group;
+    /// 5. replica load within each group is balanced within one replica;
+    /// 6. the IDBFA locates every replica (its candidates include the true
+    ///    holder — counting filters have no false negatives).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&id, &gid) in &self.group_of {
+            let group = self
+                .groups
+                .get(&gid)
+                .ok_or_else(|| format!("{id} maps to missing {gid}"))?;
+            if !group.contains(id) {
+                return Err(format!("{id} not a member of its {gid}"));
+            }
+        }
+        let all: Vec<MdsId> = self.server_ids();
+        for group in self.groups.values() {
+            if group.len() > self.config.max_group_size {
+                return Err(format!(
+                    "{} has {} members (max {})",
+                    group.id(),
+                    group.len(),
+                    self.config.max_group_size
+                ));
+            }
+            for &member in group.members() {
+                if self.group_of.get(&member) != Some(&group.id()) {
+                    return Err(format!("{member} membership index inconsistent"));
+                }
+            }
+            let expected: Vec<MdsId> = all
+                .iter()
+                .copied()
+                .filter(|id| !group.contains(*id))
+                .collect();
+            let origins = group.replica_origins();
+            if origins != expected {
+                return Err(format!(
+                    "{} mirror incomplete: has {} replicas, expected {}",
+                    group.id(),
+                    origins.len(),
+                    expected.len()
+                ));
+            }
+            for origin in origins {
+                let holder = group
+                    .holder_of(origin)
+                    .ok_or_else(|| format!("{} lost holder of {origin}", group.id()))?;
+                if !group.contains(holder) {
+                    return Err(format!("{} replica held by non-member", group.id()));
+                }
+                if !group
+                    .locate_via_idbfa(origin)
+                    .candidates()
+                    .contains(&holder)
+                {
+                    return Err(format!(
+                        "{} IDBFA cannot locate replica of {origin}",
+                        group.id()
+                    ));
+                }
+            }
+            if !group.is_empty() && group.balance_spread() > 1 {
+                return Err(format!(
+                    "{} unbalanced: spread {}",
+                    group.id(),
+                    group.balance_spread()
+                ));
+            }
+        }
+        Ok(())
+    }
+}

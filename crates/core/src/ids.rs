@@ -1,0 +1,62 @@
+//! Identifier newtypes for servers and groups.
+
+use core::fmt;
+
+/// Identifies one metadata server (MDS).
+///
+/// Dense small integers: clusters in the paper range from 10 to 200
+/// servers, and `u16` leaves ample headroom for "ultra large-scale"
+/// configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MdsId(pub u16);
+
+impl fmt::Display for MdsId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mds{}", self.0)
+    }
+}
+
+impl From<u16> for MdsId {
+    fn from(value: u16) -> Self {
+        MdsId(value)
+    }
+}
+
+/// Identifies one logical MDS group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupId(pub u16);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "group{}", self.0)
+    }
+}
+
+impl From<u16> for GroupId {
+    fn from(value: u16) -> Self {
+        GroupId(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MdsId(7).to_string(), "mds7");
+        assert_eq!(GroupId(2).to_string(), "group2");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(MdsId::from(3u16), MdsId(3));
+        assert_eq!(GroupId::from(9u16), GroupId(9));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(MdsId(2) < MdsId(10));
+        assert!(GroupId(0) < GroupId(1));
+    }
+}

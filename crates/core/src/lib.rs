@@ -1,0 +1,69 @@
+//! G-HBA — Group-based Hierarchical Bloom filter Arrays.
+//!
+//! A from-scratch reproduction of the metadata management system of Hua,
+//! Zhu, Jiang, Feng & Tian, *Scalable and Adaptive Metadata Management in
+//! Ultra Large-scale File Systems* (ICDCS 2008): N metadata servers (MDS)
+//! organized into groups of at most `M`, each group collectively mirroring
+//! the whole system through Bloom filter replicas while each server stores
+//! only `≈(N − M′)/M′` of them.
+//!
+//! Queries walk a four-level hierarchy ([`GhbaCluster::lookup_from`]):
+//!
+//! 1. **L1** — the entry server's LRU Bloom filter array (temporal
+//!    locality);
+//! 2. **L2** — its segment array: the replicas it holds plus its own live
+//!    filter;
+//! 3. **L3** — a multicast within its group (which collectively sees the
+//!    entire system);
+//! 4. **L4** — a system-wide multicast, authoritative by construction.
+//!
+//! Group membership is elastic: joins trigger light-weight replica
+//! migration and, on overflow, group splits; departures trigger merges
+//! ([`GhbaCluster::add_mds`], [`GhbaCluster::remove_mds`]). Replica
+//! staleness is governed by the XOR-distance update protocol
+//! ([`GhbaCluster::push_update`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use ghba_core::{GhbaCluster, GhbaConfig, QueryLevel};
+//!
+//! let config = GhbaConfig::default()
+//!     .with_max_group_size(4)
+//!     .with_filter_capacity(1_000)
+//!     .with_seed(7);
+//! let mut cluster = GhbaCluster::with_servers(config, 10);
+//!
+//! let home = cluster.create_file("/data/experiment/run-1.log");
+//! let outcome = cluster.lookup("/data/experiment/run-1.log");
+//! assert_eq!(outcome.home, Some(home));
+//!
+//! // Membership is elastic; invariants hold throughout.
+//! cluster.add_mds();
+//! cluster.check_invariants().expect("mirror and balance preserved");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cluster;
+mod config;
+mod group;
+mod ids;
+mod mds;
+mod metadata;
+mod query;
+mod reconfig;
+mod service;
+mod update;
+
+pub use cluster::{ClusterStats, GhbaCluster};
+pub use config::GhbaConfig;
+pub use group::{Group, IdFilterArray};
+pub use ids::{GroupId, MdsId};
+pub use mds::{Mds, META_ENTRY_BYTES};
+pub use metadata::{FileAttrs, MetadataStore};
+pub use query::{LevelCounts, QueryLevel, QueryOutcome};
+pub use reconfig::{ReconfigError, ReconfigReport};
+pub use service::MetadataService;
+pub use update::UpdateReport;

@@ -1,0 +1,379 @@
+//! Per-server state: the metadata store, the live and published Bloom
+//! filters, the L1 LRU array, and the memory budget.
+//!
+//! Two filters per server is the heart of the staleness model:
+//!
+//! * the **live** filter (counting, so `unlink` works) tracks the store
+//!   exactly and is probed by L4 and by the server itself;
+//! * the **published** filter is the snapshot other servers hold as a
+//!   replica. It lags the live filter until the XOR-distance threshold
+//!   triggers a refresh (§3.4) — the lag is what sends queries to L4 in
+//!   Figure 13.
+
+use ghba_bloom::{BloomFilter, CountingBloomFilter, FilterDelta, LruBloomArray};
+use ghba_simnet::MemoryBudget;
+
+use crate::config::GhbaConfig;
+use crate::ids::MdsId;
+use crate::metadata::MetadataStore;
+
+/// Charge labels within each server's [`MemoryBudget`].
+const CHARGE_LOCAL: &str = "local";
+const CHARGE_LRU: &str = "lru";
+const CHARGE_REPLICAS: &str = "replicas";
+const CHARGE_METACACHE: &str = "metacache";
+
+/// Bytes of cache one metadata entry occupies (inode + dentry + slack).
+pub const META_ENTRY_BYTES: usize = 512;
+
+/// One metadata server.
+#[derive(Debug, Clone)]
+pub struct Mds {
+    id: MdsId,
+    store: MetadataStore,
+    live: CountingBloomFilter,
+    live_plain: BloomFilter,
+    published: BloomFilter,
+    lru: Option<LruBloomArray<MdsId>>,
+    memory: Option<MemoryBudget>,
+    mutations_since_publish: u64,
+    replica_charge_count: usize,
+}
+
+impl Mds {
+    /// Creates an empty server under `config`.
+    #[must_use]
+    pub fn new(id: MdsId, config: &GhbaConfig) -> Self {
+        let bits = config.filter_bits();
+        let hashes = config.filter_hashes();
+        let seed = config.seed ^ 0x5E6_3E47; // filter family distinct from LRU's
+        let live = CountingBloomFilter::new(bits, hashes, seed);
+        let live_plain = BloomFilter::new(bits, hashes, seed);
+        let published = BloomFilter::new(bits, hashes, seed);
+        let lru = (config.lru_capacity > 0).then(|| {
+            LruBloomArray::new(
+                config.lru_capacity,
+                config.lru_bits,
+                config.lru_hashes,
+                config.seed ^ 0x14B_0A11,
+            )
+        });
+        let memory = config.memory_per_mds.map(MemoryBudget::new);
+        let mut mds = Mds {
+            id,
+            store: MetadataStore::new(),
+            live,
+            live_plain,
+            published,
+            lru,
+            memory,
+            mutations_since_publish: 0,
+            replica_charge_count: 0,
+        };
+        mds.recharge_memory();
+        mds
+    }
+
+    /// This server's id.
+    #[must_use]
+    pub fn id(&self) -> MdsId {
+        self.id
+    }
+
+    /// The authoritative metadata store.
+    #[must_use]
+    pub fn store(&self) -> &MetadataStore {
+        &self.store
+    }
+
+    /// Number of files homed here.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// The snapshot filter other groups hold as this server's replica.
+    #[must_use]
+    pub fn published(&self) -> &BloomFilter {
+        &self.published
+    }
+
+    /// The L1 LRU array, if enabled.
+    #[must_use]
+    pub fn lru(&self) -> Option<&LruBloomArray<MdsId>> {
+        self.lru.as_ref()
+    }
+
+    /// Mutable access to the L1 LRU array, if enabled.
+    pub fn lru_mut(&mut self) -> Option<&mut LruBloomArray<MdsId>> {
+        self.lru.as_mut()
+    }
+
+    /// Inserts `path` into the store and live filter.
+    pub fn create_local(&mut self, path: &str) {
+        self.store.create(path);
+        self.live.insert(path);
+        self.live_plain.insert(path);
+        self.mutations_since_publish += 1;
+        self.recharge_metacache();
+    }
+
+    /// Removes `path` from the store and live filter; returns `false` when
+    /// the path was not homed here.
+    pub fn remove_local(&mut self, path: &str) -> bool {
+        if self.store.remove(path).is_none() {
+            return false;
+        }
+        let removed = self.live.remove(path);
+        debug_assert!(removed.is_ok(), "live filter desynchronized from store");
+        // Counters may have dropped to zero: rebuild the plain projection.
+        // Unlinks are a small fraction of metadata traffic, so the rebuild
+        // amortizes away.
+        self.live_plain = self.live.to_bloom_filter();
+        self.mutations_since_publish += 1;
+        self.recharge_metacache();
+        true
+    }
+
+    /// Authoritative membership check (the "disk" verification of L4 and
+    /// of unique-hit confirmation).
+    #[must_use]
+    pub fn stores(&self, path: &str) -> bool {
+        self.store.contains(path)
+    }
+
+    /// Probes the live local filter: no false negatives for files homed
+    /// here; false positives possible.
+    #[must_use]
+    pub fn probe_live(&self, path: &str) -> bool {
+        self.live.contains(path)
+    }
+
+    /// Hamming distance between the live filter and the published
+    /// snapshot — Eq. §3.4's update trigger.
+    #[must_use]
+    pub fn drift_bits(&self) -> usize {
+        self.live_plain
+            .xor_distance(&self.published)
+            .expect("live and published share geometry")
+    }
+
+    /// Mutations since the last publish (a cheap proxy consulted before
+    /// paying for the exact XOR distance).
+    #[must_use]
+    pub fn mutations_since_publish(&self) -> u64 {
+        self.mutations_since_publish
+    }
+
+    /// Refreshes the published snapshot from the live filter, returning
+    /// the delta that must be shipped to replica holders, or `None` if
+    /// nothing changed.
+    pub fn publish(&mut self) -> Option<FilterDelta> {
+        let fresh = self.live.to_bloom_filter();
+        let delta = FilterDelta::between(&self.published, &fresh)
+            .expect("published and live share geometry");
+        self.mutations_since_publish = 0;
+        if delta.is_empty() {
+            return None;
+        }
+        self.published = fresh;
+        Some(delta)
+    }
+
+    /// Hands every file (path and attributes) to the caller and resets the
+    /// filters — the departing-server path of group reconfiguration.
+    pub fn evacuate(&mut self) -> Vec<String> {
+        let paths: Vec<String> = self.store.drain().map(|(p, _)| p).collect();
+        self.live.clear();
+        self.live_plain.clear();
+        self.published.clear();
+        self.mutations_since_publish = 0;
+        paths
+    }
+
+    /// Updates the replica memory charge to `count` replicas of this
+    /// cluster's filter size.
+    pub fn set_replica_charge(&mut self, count: usize) {
+        self.replica_charge_count = count;
+        self.recharge_memory();
+    }
+
+    /// Number of this server's held replicas that are resident in RAM
+    /// (the rest spill to disk). Equals `held` when no budget is set.
+    #[must_use]
+    pub fn resident_replicas(&self, held: usize) -> usize {
+        match &self.memory {
+            Some(budget) => budget.resident_items(CHARGE_REPLICAS, held),
+            None => held,
+        }
+    }
+
+    /// Total bytes of filter structures this server keeps (its own filter,
+    /// its LRU array, and `held` replicas) — the per-MDS figure behind
+    /// Table 5.
+    #[must_use]
+    pub fn filter_memory_bytes(&self, held: usize) -> usize {
+        self.published.memory_bytes()
+            + self.lru.as_ref().map_or(0, LruBloomArray::memory_bytes)
+            + held * self.published.memory_bytes()
+    }
+
+    /// Expected cost of serving one metadata access at this server: a
+    /// memory probe when the entry is cached, a disk access otherwise,
+    /// blended by the cache-resident fraction of the metadata working set.
+    ///
+    /// The metadata cache is the *lowest*-priority memory charge: Bloom
+    /// filter replicas evict it first (they are probed on every query),
+    /// which is how memory pressure turns into the latency growth of
+    /// Figures 8–10.
+    #[must_use]
+    pub fn metadata_access_cost(&self, model: &ghba_simnet::LatencyModel) -> core::time::Duration {
+        let resident = match &self.memory {
+            Some(budget) => budget.resident_fraction(CHARGE_METACACHE),
+            None => 1.0,
+        };
+        model.memory_probe + model.disk_access.mul_f64(1.0 - resident)
+    }
+
+    fn recharge_metacache(&mut self) {
+        if let Some(budget) = &mut self.memory {
+            // Metadata cache outranks replicas: a real MDS keeps its hot
+            // dentries/inodes pinned and pages cold Bloom filter replicas
+            // out — so growing cache demand progressively spills replicas
+            // (the Figures 8–10 mechanism).
+            budget.charge(CHARGE_METACACHE, 1, self.store.len() * META_ENTRY_BYTES);
+            // The LRU array grows as homes are seen; keep its charge
+            // honest so replicas feel true memory pressure.
+            let lru = self.lru.as_ref().map_or(0, LruBloomArray::memory_bytes);
+            budget.charge(CHARGE_LRU, 0, lru);
+        }
+    }
+
+    fn recharge_memory(&mut self) {
+        let local = self.published.memory_bytes() + self.live.memory_bytes();
+        let lru = self.lru.as_ref().map_or(0, LruBloomArray::memory_bytes);
+        let replicas = self.replica_charge_count * self.published.memory_bytes();
+        if let Some(budget) = &mut self.memory {
+            budget.charge(CHARGE_LOCAL, 0, local);
+            budget.charge(CHARGE_LRU, 0, lru);
+            budget.charge(CHARGE_REPLICAS, 2, replicas);
+        }
+        self.recharge_metacache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config() -> GhbaConfig {
+        GhbaConfig::default()
+            .with_filter_capacity(1_000)
+            .with_bits_per_file(12.0)
+            .with_seed(5)
+    }
+
+    #[test]
+    fn create_then_probe_and_verify() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        mds.create_local("/a/b/c");
+        assert!(mds.stores("/a/b/c"));
+        assert!(mds.probe_live("/a/b/c"));
+        assert_eq!(mds.file_count(), 1);
+    }
+
+    #[test]
+    fn remove_clears_filter_membership() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        mds.create_local("/x");
+        assert!(mds.remove_local("/x"));
+        assert!(!mds.stores("/x"));
+        assert!(!mds.probe_live("/x"));
+        assert!(!mds.remove_local("/x"));
+    }
+
+    #[test]
+    fn published_lags_until_publish() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        mds.create_local("/fresh");
+        assert!(!mds.published().contains("/fresh"));
+        assert!(mds.drift_bits() > 0);
+        let delta = mds.publish().expect("changes pending");
+        assert!(!delta.is_empty());
+        assert!(mds.published().contains("/fresh"));
+        assert_eq!(mds.drift_bits(), 0);
+        assert_eq!(mds.mutations_since_publish(), 0);
+    }
+
+    #[test]
+    fn publish_without_changes_is_none() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        assert!(mds.publish().is_none());
+        mds.create_local("/a");
+        let _ = mds.publish();
+        assert!(mds.publish().is_none());
+    }
+
+    #[test]
+    fn delta_applies_to_stale_replica() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        let mut replica = mds.published().clone();
+        for i in 0..50 {
+            mds.create_local(&format!("/f{i}"));
+        }
+        let delta = mds.publish().unwrap();
+        delta.apply(&mut replica).unwrap();
+        assert_eq!(&replica, mds.published());
+    }
+
+    #[test]
+    fn evacuate_returns_all_files_and_clears() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        mds.create_local("/a");
+        mds.create_local("/b");
+        let mut files = mds.evacuate();
+        files.sort();
+        assert_eq!(files, vec!["/a".to_owned(), "/b".to_owned()]);
+        assert_eq!(mds.file_count(), 0);
+        assert!(!mds.probe_live("/a"));
+        assert_eq!(mds.drift_bits(), 0);
+    }
+
+    #[test]
+    fn unlimited_memory_keeps_all_replicas_resident() {
+        let mds = Mds::new(MdsId(0), &test_config());
+        assert_eq!(mds.resident_replicas(50), 50);
+    }
+
+    #[test]
+    fn tight_memory_spills_replicas() {
+        let filter_bytes = {
+            let probe = Mds::new(MdsId(0), &test_config());
+            probe.published().memory_bytes()
+        };
+        // Room for local structures plus ~3 replicas.
+        let config = test_config().with_memory_per_mds(filter_bytes * 14);
+        let mut mds = Mds::new(MdsId(0), &config);
+        mds.set_replica_charge(10);
+        let resident = mds.resident_replicas(10);
+        assert!(resident < 10, "expected spill, all resident");
+        assert!(resident > 0, "expected some residency");
+    }
+
+    #[test]
+    fn lru_disabled_when_capacity_zero() {
+        let config = test_config().with_lru_capacity(0);
+        let mds = Mds::new(MdsId(0), &config);
+        assert!(mds.lru().is_none());
+    }
+
+    #[test]
+    fn filter_memory_counts_replicas() {
+        let mds = Mds::new(MdsId(0), &test_config());
+        let own = mds.published().memory_bytes();
+        assert_eq!(
+            mds.filter_memory_bytes(4) - mds.filter_memory_bytes(0),
+            4 * own
+        );
+    }
+}

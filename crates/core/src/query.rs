@@ -1,0 +1,189 @@
+//! Query outcomes and the level accounting behind Figure 13.
+
+use core::fmt;
+use core::time::Duration;
+
+use crate::ids::MdsId;
+
+/// The level of the G-HBA hierarchy at which a query was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryLevel {
+    /// Served by the entry server's LRU Bloom filter array.
+    L1Lru,
+    /// Served by the entry server's segment Bloom filter array.
+    L2Segment,
+    /// Served by a multicast within the entry server's group.
+    L3Group,
+    /// Served by a system-wide multicast (authoritative).
+    L4Global,
+    /// The file exists nowhere — established only after an L4 sweep.
+    Nonexistent,
+}
+
+impl QueryLevel {
+    /// All levels in escalation order.
+    pub const ALL: [QueryLevel; 5] = [
+        QueryLevel::L1Lru,
+        QueryLevel::L2Segment,
+        QueryLevel::L3Group,
+        QueryLevel::L4Global,
+        QueryLevel::Nonexistent,
+    ];
+}
+
+impl fmt::Display for QueryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            QueryLevel::L1Lru => "L1",
+            QueryLevel::L2Segment => "L2",
+            QueryLevel::L3Group => "L3",
+            QueryLevel::L4Global => "L4",
+            QueryLevel::Nonexistent => "miss",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The result of one metadata lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The home MDS of the file, or `None` if it exists nowhere.
+    pub home: Option<MdsId>,
+    /// Which level resolved the query.
+    pub level: QueryLevel,
+    /// Simulated end-to-end latency of the query.
+    pub latency: Duration,
+    /// Network messages exchanged (multicast counts one per recipient
+    /// plus one per reply).
+    pub messages: u32,
+    /// The MDS that received the client request.
+    pub entry: MdsId,
+}
+
+impl QueryOutcome {
+    /// `true` when the file was found.
+    #[must_use]
+    pub fn found(&self) -> bool {
+        self.home.is_some()
+    }
+}
+
+/// Running per-level hit counters (the series plotted in Figure 13).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LevelCounts {
+    /// Hits served at L1.
+    pub l1: u64,
+    /// Hits served at L2.
+    pub l2: u64,
+    /// Hits served at L3.
+    pub l3: u64,
+    /// Hits served at L4.
+    pub l4: u64,
+    /// Queries that found nothing anywhere.
+    pub nonexistent: u64,
+}
+
+impl LevelCounts {
+    /// Records one outcome.
+    pub fn record(&mut self, level: QueryLevel) {
+        match level {
+            QueryLevel::L1Lru => self.l1 += 1,
+            QueryLevel::L2Segment => self.l2 += 1,
+            QueryLevel::L3Group => self.l3 += 1,
+            QueryLevel::L4Global => self.l4 += 1,
+            QueryLevel::Nonexistent => self.nonexistent += 1,
+        }
+    }
+
+    /// Total queries recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.l1 + self.l2 + self.l3 + self.l4 + self.nonexistent
+    }
+
+    /// Fraction of queries served at or below each level, as
+    /// `(l1, l1+l2, l1+l2+l3, all-found)` percentages of found queries —
+    /// exactly the stacked series of Figure 13. Returns zeros when empty.
+    #[must_use]
+    pub fn cumulative_percentages(&self) -> [f64; 4] {
+        let found = (self.l1 + self.l2 + self.l3 + self.l4) as f64;
+        if found == 0.0 {
+            return [0.0; 4];
+        }
+        let l1 = self.l1 as f64 / found * 100.0;
+        let l2 = (self.l1 + self.l2) as f64 / found * 100.0;
+        let l3 = (self.l1 + self.l2 + self.l3) as f64 / found * 100.0;
+        [l1, l2, l3, 100.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_display() {
+        assert_eq!(QueryLevel::L1Lru.to_string(), "L1");
+        assert_eq!(QueryLevel::Nonexistent.to_string(), "miss");
+    }
+
+    #[test]
+    fn counts_accumulate() {
+        let mut counts = LevelCounts::default();
+        counts.record(QueryLevel::L1Lru);
+        counts.record(QueryLevel::L1Lru);
+        counts.record(QueryLevel::L3Group);
+        counts.record(QueryLevel::Nonexistent);
+        assert_eq!(counts.l1, 2);
+        assert_eq!(counts.l3, 1);
+        assert_eq!(counts.nonexistent, 1);
+        assert_eq!(counts.total(), 4);
+    }
+
+    #[test]
+    fn cumulative_percentages_stack() {
+        let mut counts = LevelCounts::default();
+        for _ in 0..80 {
+            counts.record(QueryLevel::L1Lru);
+        }
+        for _ in 0..10 {
+            counts.record(QueryLevel::L2Segment);
+        }
+        for _ in 0..6 {
+            counts.record(QueryLevel::L3Group);
+        }
+        for _ in 0..4 {
+            counts.record(QueryLevel::L4Global);
+        }
+        let [l1, l2, l3, l4] = counts.cumulative_percentages();
+        assert!((l1 - 80.0).abs() < 1e-9);
+        assert!((l2 - 90.0).abs() < 1e-9);
+        assert!((l3 - 96.0).abs() < 1e-9);
+        assert!((l4 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_percentages_are_zero() {
+        assert_eq!(LevelCounts::default().cumulative_percentages(), [0.0; 4]);
+    }
+
+    #[test]
+    fn outcome_found() {
+        let hit = QueryOutcome {
+            home: Some(MdsId(1)),
+            level: QueryLevel::L2Segment,
+            latency: Duration::from_micros(5),
+            messages: 2,
+            entry: MdsId(0),
+        };
+        assert!(hit.found());
+        let miss = QueryOutcome {
+            home: None,
+            level: QueryLevel::Nonexistent,
+            latency: Duration::from_millis(1),
+            messages: 60,
+            entry: MdsId(0),
+        };
+        assert!(!miss.found());
+    }
+}

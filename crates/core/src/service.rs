@@ -1,0 +1,69 @@
+//! The scheme-agnostic metadata service interface.
+//!
+//! The paper compares G-HBA against HBA, pure Bloom filter arrays, and
+//! hash-based placement. [`MetadataService`] is the seam those schemes
+//! share, so benchmarks and trace replay treat every scheme uniformly.
+
+use crate::cluster::GhbaCluster;
+use crate::ids::MdsId;
+use crate::query::QueryOutcome;
+
+/// A distributed metadata lookup scheme under test.
+///
+/// Implemented by [`GhbaCluster`] here and by the HBA / BFA baselines in
+/// `ghba-baselines`.
+pub trait MetadataService {
+    /// Scheme name for reports ("G-HBA", "HBA", …).
+    fn scheme_name(&self) -> &'static str;
+
+    /// Number of metadata servers.
+    fn server_count(&self) -> usize;
+
+    /// Creates metadata for `path`, returning its home MDS.
+    fn create(&mut self, path: &str) -> MdsId;
+
+    /// Looks up the home MDS of `path` from a random entry server.
+    fn lookup(&mut self, path: &str) -> QueryOutcome;
+
+    /// Removes `path`'s metadata, returning its former home.
+    fn remove(&mut self, path: &str) -> Option<MdsId>;
+
+    /// Average bytes of Bloom filter structures per MDS (own filter, LRU
+    /// array, held replicas) — the Table 5 quantity.
+    fn filter_memory_per_mds(&self) -> usize;
+}
+
+impl MetadataService for GhbaCluster {
+    fn scheme_name(&self) -> &'static str {
+        "G-HBA"
+    }
+
+    fn server_count(&self) -> usize {
+        self.server_count()
+    }
+
+    fn create(&mut self, path: &str) -> MdsId {
+        self.create_file(path)
+    }
+
+    fn lookup(&mut self, path: &str) -> QueryOutcome {
+        GhbaCluster::lookup(self, path)
+    }
+
+    fn remove(&mut self, path: &str) -> Option<MdsId> {
+        self.remove_file(path)
+    }
+
+    fn filter_memory_per_mds(&self) -> usize {
+        let n = self.server_count();
+        if n == 0 {
+            return 0;
+        }
+        let total: usize = self
+            .server_ids()
+            .into_iter()
+            .map(|id| self.filter_memory_bytes(id))
+            .sum();
+        total / n
+    }
+}

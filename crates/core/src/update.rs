@@ -1,0 +1,128 @@
+//! The replica-update protocol (§3.4).
+//!
+//! Each home MDS tracks how far its live filter has drifted from the
+//! published snapshot its peers hold, via the XOR (Hamming) distance of the
+//! two bit vectors. Once the drift crosses the configured threshold, the
+//! home pushes a sparse [`FilterDelta`] — and, unlike HBA's system-wide
+//! broadcast, G-HBA addresses **one server per group**: the replica holder,
+//! located through the group's IDBFA. A multi-hit in the IDBFA costs only
+//! extra dropped messages (the paper's "light false positive penalty").
+
+use core::time::Duration;
+
+use ghba_bloom::Hit;
+
+use crate::cluster::GhbaCluster;
+use crate::ids::MdsId;
+
+/// Cost accounting for one replica-update push.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Messages sent (one per IDBFA candidate per group; non-holders drop
+    /// theirs).
+    pub messages: u64,
+    /// Bytes of delta traffic.
+    pub bytes: u64,
+    /// Simulated latency of the push (recipients are contacted in
+    /// parallel).
+    pub latency: Duration,
+    /// Whether a refresh actually happened (`false` when the live filter
+    /// had not changed).
+    pub refreshed: bool,
+}
+
+impl GhbaCluster {
+    /// Cheap drift gate called after every mutation: publishes only when
+    /// the mutation count suggests the XOR distance may have crossed the
+    /// threshold, and the exact distance confirms it.
+    pub(crate) fn maybe_publish(&mut self, origin: MdsId) -> Option<UpdateReport> {
+        let threshold = self.config.update_threshold_bits;
+        let hashes = self.config.filter_hashes() as usize;
+        // Each new file sets at most k bits, so fewer than threshold/k
+        // mutations cannot have crossed the threshold; checking at half
+        // that rate keeps the exact (O(m)) distance computation rare.
+        let gate = (threshold / hashes.max(1) / 2).max(1) as u64;
+        let mds = self.mdss.get(&origin)?;
+        if mds.mutations_since_publish() < gate {
+            return None;
+        }
+        if mds.drift_bits() < threshold {
+            return None;
+        }
+        Some(self.push_update(origin))
+    }
+
+    /// Unconditionally refreshes `origin`'s replicas across all groups,
+    /// returning the cost report. A no-op (with `refreshed: false`) when
+    /// the live filter matches the published snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `origin` is not in the cluster.
+    pub fn push_update(&mut self, origin: MdsId) -> UpdateReport {
+        let delta = match self
+            .mdss
+            .get_mut(&origin)
+            .expect("origin must exist")
+            .publish()
+        {
+            Some(delta) => delta,
+            None => return UpdateReport::default(),
+        };
+        let own_group = self.group_of(origin);
+        let mut report = UpdateReport {
+            refreshed: true,
+            ..UpdateReport::default()
+        };
+        let mut recipient_groups = 0usize;
+        for group in self.groups.values() {
+            if Some(group.id()) == own_group {
+                continue;
+            }
+            recipient_groups += 1;
+            match group.locate_via_idbfa(origin) {
+                Hit::Unique(_) => {
+                    report.messages += 1;
+                }
+                Hit::Multiple(candidates) => {
+                    // Send to every candidate; the non-holders drop it.
+                    report.messages += candidates.len() as u64;
+                    self.stats
+                        .counters
+                        .add("idbfa_dropped_updates", candidates.len() as u64 - 1);
+                }
+                Hit::None => {
+                    // Counting filters have no false negatives, so this
+                    // means the group holds no replica (e.g. mid-
+                    // reconfiguration); fall back to a group multicast.
+                    report.messages += group.len() as u64;
+                    self.stats.counters.incr("idbfa_fallback_multicasts");
+                }
+            }
+            report.bytes += delta.wire_bytes() as u64;
+        }
+        // All groups are contacted in parallel: one multicast round over
+        // the recipient set.
+        report.latency = self.config.latency.multicast_rtt(recipient_groups);
+        self.stats.update_messages += report.messages;
+        self.stats.update_bytes += report.bytes;
+        self.stats.update_latency.record(report.latency);
+        report
+    }
+
+    /// Pushes updates for every server whose live filter drifted at all —
+    /// a barrier used by experiments that need fresh replicas (and by
+    /// departures).
+    pub fn flush_all_updates(&mut self) -> UpdateReport {
+        let ids = self.server_ids();
+        let mut total = UpdateReport::default();
+        for id in ids {
+            let report = self.push_update(id);
+            total.messages += report.messages;
+            total.bytes += report.bytes;
+            total.latency = total.latency.max(report.latency);
+            total.refreshed |= report.refreshed;
+        }
+        total
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests: cluster invariants under arbitrary operation
+//! sequences.
+
+use ghba_core::{GhbaCluster, GhbaConfig, MdsId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(u16),
+    Lookup(u16),
+    Remove(u16),
+    AddMds,
+    RemoveMds(u8),
+    PushUpdates,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u16..200).prop_map(Op::Create),
+        4 => (0u16..200).prop_map(Op::Lookup),
+        1 => (0u16..200).prop_map(Op::Remove),
+        1 => Just(Op::AddMds),
+        1 => any::<u8>().prop_map(Op::RemoveMds),
+        1 => Just(Op::PushUpdates),
+    ]
+}
+
+fn test_config(seed: u64) -> GhbaConfig {
+    GhbaConfig::default()
+        .with_max_group_size(3)
+        .with_filter_capacity(500)
+        .with_lru_capacity(64)
+        .with_seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sequence of metadata and membership operations preserves every
+    /// structural invariant, and lookups always agree with ground truth.
+    #[test]
+    fn invariants_hold_under_arbitrary_ops(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        seed in 0u64..1000,
+    ) {
+        let mut cluster = GhbaCluster::with_servers(test_config(seed), 7);
+        let mut live_paths: std::collections::HashSet<u16> =
+            std::collections::HashSet::new();
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                Op::Create(f) => {
+                    let path = format!("/p/f{f}");
+                    if !live_paths.contains(&f) {
+                        cluster.create_file(&path);
+                        live_paths.insert(f);
+                    }
+                }
+                Op::Lookup(f) => {
+                    let path = format!("/p/f{f}");
+                    let outcome = cluster.lookup(&path);
+                    let truth = cluster.true_home(&path);
+                    prop_assert_eq!(
+                        outcome.home, truth,
+                        "step {}: lookup disagrees with ground truth", step
+                    );
+                    prop_assert_eq!(outcome.found(), live_paths.contains(&f));
+                }
+                Op::Remove(f) => {
+                    let path = format!("/p/f{f}");
+                    let removed = cluster.remove_file(&path);
+                    prop_assert_eq!(removed.is_some(), live_paths.remove(&f));
+                }
+                Op::AddMds => {
+                    if cluster.server_count() < 20 {
+                        cluster.add_mds();
+                    }
+                }
+                Op::RemoveMds(pick) => {
+                    if cluster.server_count() > 2 {
+                        let ids = cluster.server_ids();
+                        let victim = ids[pick as usize % ids.len()];
+                        cluster.remove_mds(victim).expect("removable");
+                    }
+                }
+                Op::PushUpdates => {
+                    cluster.flush_all_updates();
+                }
+            }
+            if let Err(violation) = cluster.check_invariants() {
+                return Err(TestCaseError::fail(format!("step {step}: {violation}")));
+            }
+        }
+        // Every live file is still findable at the end.
+        for f in live_paths {
+            let path = format!("/p/f{f}");
+            prop_assert!(cluster.lookup(&path).found(), "lost {}", path);
+        }
+    }
+
+    /// Group sizes never exceed M; group count tracks ceil(N/M) from below.
+    #[test]
+    fn group_sizes_bounded(n in 1usize..40, m in 1usize..8) {
+        let config = GhbaConfig::default()
+            .with_max_group_size(m)
+            .with_filter_capacity(100)
+            .with_seed(1);
+        let cluster = GhbaCluster::with_servers(config, n);
+        prop_assert!(cluster.group_sizes().iter().all(|&s| s <= m));
+        prop_assert_eq!(cluster.group_sizes().iter().sum::<usize>(), n);
+        prop_assert!(cluster.group_count() >= n.div_ceil(m));
+        cluster.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// The update protocol messages are bounded by candidates across
+    /// recipient groups and at least one per group.
+    #[test]
+    fn update_messages_bounded_by_groups(
+        n in 4usize..24,
+        files in 1usize..40,
+        seed in 0u64..500,
+    ) {
+        let config = test_config(seed).with_max_group_size(4);
+        let mut cluster = GhbaCluster::with_servers(config, n);
+        let home = MdsId(0);
+        for i in 0..files {
+            cluster.create_file_at(&format!("/u/f{i}"), home);
+        }
+        let recipient_groups = cluster.group_count()
+            - usize::from(cluster.group_of(home).is_some());
+        let report = cluster.push_update(home);
+        if report.refreshed {
+            prop_assert!(report.messages >= recipient_groups as u64);
+            // Worst case: every member of every group is an IDBFA
+            // candidate.
+            prop_assert!(report.messages <= n as u64);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! A minimal deterministic event queue for discrete-event simulation.
+//!
+//! Events are ordered by `(time, insertion sequence)` so that ties break in
+//! FIFO order — a requirement for reproducible simulations.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use core::time::Duration;
+
+use crate::clock::SimTime;
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A virtual-time event queue.
+///
+/// Popping an event advances [`now`](EventQueue::now) to the event's
+/// timestamp; scheduling into the past is rejected.
+///
+/// # Examples
+///
+/// ```
+/// use core::time::Duration;
+/// use ghba_simnet::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule_in(Duration::from_millis(2), "later");
+/// q.schedule_in(Duration::from_millis(1), "sooner");
+/// assert_eq!(q.pop().unwrap().1, "sooner");
+/// assert_eq!(q.now(), SimTime::from_millis(1));
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at [`SimTime::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+        }
+    }
+
+    /// Current virtual time (timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than [`now`](EventQueue::now) — scheduling
+    /// into the past indicates a simulation bug.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Timestamp of the next event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let scheduled = self.heap.pop()?;
+        self.now = scheduled.at;
+        Some((scheduled.at, scheduled.event))
+    }
+
+    /// Drains and processes events until the queue empties or `until` is
+    /// reached; events scheduled during processing are honoured.
+    ///
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, until: SimTime, mut handler: impl FnMut(SimTime, E, &mut Self)) -> usize {
+        let mut processed = 0;
+        while let Some(at) = self.peek_time() {
+            if at > until {
+                break;
+            }
+            let (at, event) = self.pop().expect("peeked");
+            handler(at, event, self);
+            processed += 1;
+        }
+        // Advance the clock to the horizon even if the queue ran dry early.
+        self.now = self.now.max(until);
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(3), 'c');
+        q.schedule(SimTime::from_millis(1), 'a');
+        q.schedule(SimTime::from_millis(2), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(7), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(5), ());
+        q.pop();
+        q.schedule(SimTime::from_millis(1), ());
+    }
+
+    #[test]
+    fn run_until_processes_cascading_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 0u32);
+        let mut seen = Vec::new();
+        let processed = q.run_until(SimTime::from_millis(10), |_, depth, q| {
+            seen.push(depth);
+            if depth < 3 {
+                q.schedule_in(Duration::from_millis(1), depth + 1);
+            }
+        });
+        assert_eq!(processed, 4);
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(q.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn run_until_leaves_later_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(1), 'x');
+        q.schedule(SimTime::from_millis(20), 'y');
+        let processed = q.run_until(SimTime::from_millis(10), |_, _, _| {});
+        assert_eq!(processed, 1);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(20)));
+    }
+}

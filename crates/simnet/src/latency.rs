@@ -1,0 +1,195 @@
+//! The network and storage latency model behind every simulated figure.
+//!
+//! The paper's evaluation compares operation latencies whose magnitudes are
+//! set by four physical effects, ordered here from fastest to slowest:
+//!
+//! 1. probing Bloom filters resident in **memory** (sub-microsecond each),
+//! 2. a **LAN round trip** to one peer (hundreds of microseconds in 2007),
+//! 3. a **multicast** round within a group or across the system (a round
+//!    trip plus per-member fan-out/aggregation overhead),
+//! 4. a **disk access** for spilled replicas or on-disk metadata
+//!    verification (milliseconds — the cliff that Figures 8–10 expose).
+//!
+//! Absolute values are configurable; the defaults reproduce the *ordering*
+//! and rough ratios of the paper's testbed rather than its exact hardware.
+
+use core::time::Duration;
+
+use crate::rng::DetRng;
+
+/// Tunable latency parameters for the simulated cluster.
+///
+/// Construct via [`LatencyModel::default`] and override fields, builder
+/// style, with the `with_*` methods.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Cost of probing one Bloom filter resident in memory.
+    pub memory_probe: Duration,
+    /// One-way LAN latency between two MDS nodes.
+    pub lan_one_way: Duration,
+    /// Per-member processing overhead during a multicast round
+    /// (fan-out, filter probe scheduling, reply aggregation).
+    pub multicast_per_member: Duration,
+    /// One random disk access (seek + rotation + transfer for a metadata
+    /// block or a spilled Bloom filter page).
+    pub disk_access: Duration,
+    /// Fixed CPU cost of hashing a pathname and dispatching a query.
+    pub dispatch: Duration,
+}
+
+impl Default for LatencyModel {
+    /// Defaults sized for a 2007-era gigabit LAN cluster:
+    /// 2 µs memory probe, 200 µs one-way LAN, 20 µs per multicast member,
+    /// 8 ms disk access, 1 µs dispatch.
+    fn default() -> Self {
+        LatencyModel {
+            memory_probe: Duration::from_micros(2),
+            lan_one_way: Duration::from_micros(200),
+            multicast_per_member: Duration::from_micros(20),
+            disk_access: Duration::from_millis(8),
+            dispatch: Duration::from_micros(1),
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Returns `self` with a different disk access cost.
+    #[must_use]
+    pub fn with_disk_access(mut self, d: Duration) -> Self {
+        self.disk_access = d;
+        self
+    }
+
+    /// Returns `self` with a different one-way LAN latency.
+    #[must_use]
+    pub fn with_lan_one_way(mut self, d: Duration) -> Self {
+        self.lan_one_way = d;
+        self
+    }
+
+    /// Returns `self` with a different per-probe memory cost.
+    #[must_use]
+    pub fn with_memory_probe(mut self, d: Duration) -> Self {
+        self.memory_probe = d;
+        self
+    }
+
+    /// Cost of probing `filters` Bloom filters, of which `spilled` are on
+    /// disk rather than in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spilled > filters`.
+    #[must_use]
+    pub fn array_probe(&self, filters: usize, spilled: usize) -> Duration {
+        assert!(spilled <= filters, "cannot spill more filters than exist");
+        let in_memory = filters - spilled;
+        self.dispatch
+            + self.memory_probe * u32::try_from(in_memory).unwrap_or(u32::MAX)
+            + self.disk_access * u32::try_from(spilled).unwrap_or(u32::MAX)
+    }
+
+    /// One LAN round trip (query + reply).
+    #[must_use]
+    pub fn unicast_rtt(&self) -> Duration {
+        self.lan_one_way * 2
+    }
+
+    /// A multicast round to `members` peers: one round trip (the query
+    /// fans out in parallel) plus per-member aggregation overhead.
+    #[must_use]
+    pub fn multicast_rtt(&self, members: usize) -> Duration {
+        if members == 0 {
+            return Duration::ZERO;
+        }
+        self.unicast_rtt() + self.multicast_per_member * u32::try_from(members).unwrap_or(u32::MAX)
+    }
+
+    /// A disk verification at the home MDS (local metadata lookup of a
+    /// positive filter response).
+    #[must_use]
+    pub fn disk(&self) -> Duration {
+        self.disk_access
+    }
+
+    /// Applies deterministic multiplicative jitter of ±`frac` to `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is not within `[0, 1)`.
+    #[must_use]
+    pub fn jittered(&self, d: Duration, frac: f64, rng: &mut DetRng) -> Duration {
+        assert!((0.0..1.0).contains(&frac), "jitter fraction out of range");
+        if frac == 0.0 {
+            return d;
+        }
+        let scale = 1.0 + frac * (2.0 * rng.next_f64() - 1.0);
+        d.mul_f64(scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_preserve_ordering() {
+        let m = LatencyModel::default();
+        assert!(m.memory_probe < m.lan_one_way);
+        assert!(m.unicast_rtt() < m.multicast_rtt(5));
+        assert!(m.multicast_rtt(100) < m.disk_access);
+    }
+
+    #[test]
+    fn array_probe_scales_with_spill() {
+        let m = LatencyModel::default();
+        let all_memory = m.array_probe(100, 0);
+        let one_disk = m.array_probe(100, 1);
+        assert!(one_disk > all_memory);
+        assert!(one_disk >= m.disk_access);
+    }
+
+    #[test]
+    #[should_panic(expected = "spill")]
+    fn array_probe_rejects_excess_spill() {
+        let _ = LatencyModel::default().array_probe(1, 2);
+    }
+
+    #[test]
+    fn multicast_grows_with_members() {
+        let m = LatencyModel::default();
+        assert!(m.multicast_rtt(10) > m.multicast_rtt(2));
+        assert_eq!(m.multicast_rtt(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let m = LatencyModel::default()
+            .with_disk_access(Duration::from_millis(1))
+            .with_lan_one_way(Duration::from_micros(50))
+            .with_memory_probe(Duration::from_nanos(500));
+        assert_eq!(m.disk_access, Duration::from_millis(1));
+        assert_eq!(m.lan_one_way, Duration::from_micros(50));
+        assert_eq!(m.memory_probe, Duration::from_nanos(500));
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let m = LatencyModel::default();
+        let mut rng = DetRng::new(3);
+        let base = Duration::from_micros(1000);
+        for _ in 0..1000 {
+            let j = m.jittered(base, 0.1, &mut rng);
+            assert!(j >= Duration::from_micros(900), "{j:?}");
+            assert!(j <= Duration::from_micros(1100), "{j:?}");
+        }
+    }
+
+    #[test]
+    fn zero_jitter_is_identity() {
+        let m = LatencyModel::default();
+        let mut rng = DetRng::new(3);
+        let base = Duration::from_micros(123);
+        assert_eq!(m.jittered(base, 0.0, &mut rng), base);
+    }
+}

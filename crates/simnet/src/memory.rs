@@ -1,0 +1,256 @@
+//! Per-node memory accounting and replica residency.
+//!
+//! Figures 8–10 of the paper hinge on one mechanism: when the Bloom filter
+//! replicas an MDS must hold outgrow its RAM, the excess spills to disk and
+//! every probe of a spilled replica pays a disk access. HBA (N−1 replicas
+//! per node) hits this wall long before G-HBA ((N−M′)/M′ replicas per node).
+//!
+//! [`MemoryBudget`] models a node's RAM as a byte budget consumed by
+//! prioritized charges; anything that does not fit is reported as spilled.
+
+use core::fmt;
+
+/// A byte budget with priority-ordered residency.
+///
+/// Charges are registered with a label and a priority; when the budget
+/// overflows, the *lowest-priority* charges spill first (mirroring a real
+/// MDS that pins its own filter and hot structures, letting cold replicas
+/// page out).
+///
+/// # Examples
+///
+/// ```
+/// use ghba_simnet::MemoryBudget;
+///
+/// let mut ram = MemoryBudget::new(1_000);
+/// ram.charge("local-filter", 0, 400);   // priority 0 = most precious
+/// ram.charge("replicas", 1, 900);       // cold: only 600 of 900 fit
+/// assert_eq!(ram.spilled_bytes(), 300);
+/// assert_eq!(ram.resident_fraction("replicas"), 600.0 / 900.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryBudget {
+    capacity: usize,
+    charges: Vec<Charge>,
+}
+
+#[derive(Debug, Clone)]
+struct Charge {
+    label: String,
+    priority: u8,
+    bytes: usize,
+}
+
+impl MemoryBudget {
+    /// Creates a budget of `capacity` bytes.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        MemoryBudget {
+            capacity,
+            charges: Vec::new(),
+        }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Registers (or replaces) a charge under `label` with `priority`
+    /// (0 = most precious, spills last).
+    pub fn charge(&mut self, label: &str, priority: u8, bytes: usize) {
+        if let Some(existing) = self.charges.iter_mut().find(|c| c.label == label) {
+            existing.priority = priority;
+            existing.bytes = bytes;
+        } else {
+            self.charges.push(Charge {
+                label: label.to_owned(),
+                priority,
+                bytes,
+            });
+        }
+    }
+
+    /// Removes the charge under `label`, returning its size.
+    pub fn release(&mut self, label: &str) -> Option<usize> {
+        let pos = self.charges.iter().position(|c| c.label == label)?;
+        Some(self.charges.remove(pos).bytes)
+    }
+
+    /// Sum of all registered charges, resident or not.
+    #[must_use]
+    pub fn charged_bytes(&self) -> usize {
+        self.charges.iter().map(|c| c.bytes).sum()
+    }
+
+    /// Bytes that do not fit in RAM (spilled to disk).
+    #[must_use]
+    pub fn spilled_bytes(&self) -> usize {
+        self.charged_bytes().saturating_sub(self.capacity)
+    }
+
+    /// `true` when everything fits in memory.
+    #[must_use]
+    pub fn fits(&self) -> bool {
+        self.charged_bytes() <= self.capacity
+    }
+
+    /// Bytes of the charge under `label` that are resident in RAM, under
+    /// priority-ordered placement (stable within equal priority by
+    /// registration order).
+    ///
+    /// Returns 0 for an unknown label.
+    #[must_use]
+    pub fn resident_bytes(&self, label: &str) -> usize {
+        let mut order: Vec<&Charge> = self.charges.iter().collect();
+        order.sort_by_key(|c| c.priority);
+        let mut remaining = self.capacity;
+        for charge in order {
+            let resident = charge.bytes.min(remaining);
+            remaining -= resident;
+            if charge.label == label {
+                return resident;
+            }
+        }
+        0
+    }
+
+    /// Fraction of the charge under `label` that is resident, in `[0, 1]`.
+    ///
+    /// Returns 1.0 for an unknown or zero-sized label (nothing to spill).
+    #[must_use]
+    pub fn resident_fraction(&self, label: &str) -> f64 {
+        let total = self
+            .charges
+            .iter()
+            .find(|c| c.label == label)
+            .map_or(0, |c| c.bytes);
+        if total == 0 {
+            return 1.0;
+        }
+        self.resident_bytes(label) as f64 / total as f64
+    }
+
+    /// Given a charge under `label` consisting of `items` equal-sized
+    /// items, how many are fully resident.
+    ///
+    /// This is the primitive the cluster simulators use: "of my R replica
+    /// filters, how many can be probed at memory speed?"
+    #[must_use]
+    pub fn resident_items(&self, label: &str, items: usize) -> usize {
+        if items == 0 {
+            return 0;
+        }
+        let total = self
+            .charges
+            .iter()
+            .find(|c| c.label == label)
+            .map_or(0, |c| c.bytes);
+        if total == 0 {
+            return items;
+        }
+        let per_item = total / items;
+        if per_item == 0 {
+            return items;
+        }
+        (self.resident_bytes(label) / per_item).min(items)
+    }
+}
+
+impl fmt::Display for MemoryBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} bytes charged ({} spilled)",
+            self.charged_bytes(),
+            self.capacity,
+            self.spilled_bytes()
+        )
+    }
+}
+
+/// Convenience: bytes in `mib` mebibytes (the unit the paper's figures use,
+/// e.g. "800MB").
+#[must_use]
+pub const fn mib(mib: usize) -> usize {
+    mib * 1024 * 1024
+}
+
+/// Convenience: bytes in `gib` gibibytes.
+#[must_use]
+pub const fn gib(gib: usize) -> usize {
+    gib * 1024 * 1024 * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_fits_under_capacity() {
+        let mut ram = MemoryBudget::new(1000);
+        ram.charge("a", 0, 300);
+        ram.charge("b", 1, 300);
+        assert!(ram.fits());
+        assert_eq!(ram.spilled_bytes(), 0);
+        assert_eq!(ram.resident_fraction("a"), 1.0);
+        assert_eq!(ram.resident_fraction("b"), 1.0);
+    }
+
+    #[test]
+    fn lowest_priority_spills_first() {
+        let mut ram = MemoryBudget::new(1000);
+        ram.charge("precious", 0, 800);
+        ram.charge("cold", 5, 800);
+        assert_eq!(ram.resident_bytes("precious"), 800);
+        assert_eq!(ram.resident_bytes("cold"), 200);
+        assert_eq!(ram.spilled_bytes(), 600);
+    }
+
+    #[test]
+    fn recharging_replaces() {
+        let mut ram = MemoryBudget::new(100);
+        ram.charge("x", 0, 50);
+        ram.charge("x", 0, 70);
+        assert_eq!(ram.charged_bytes(), 70);
+    }
+
+    #[test]
+    fn release_returns_bytes() {
+        let mut ram = MemoryBudget::new(100);
+        ram.charge("x", 0, 50);
+        assert_eq!(ram.release("x"), Some(50));
+        assert_eq!(ram.release("x"), None);
+        assert_eq!(ram.charged_bytes(), 0);
+    }
+
+    #[test]
+    fn resident_items_counts_whole_filters() {
+        let mut ram = MemoryBudget::new(1000);
+        ram.charge("replicas", 1, 1600); // 8 items × 200 B
+        assert_eq!(ram.resident_items("replicas", 8), 5); // 1000/200
+        ram.charge("pinned", 0, 500);
+        assert_eq!(ram.resident_items("replicas", 8), 2); // 500/200
+    }
+
+    #[test]
+    fn resident_items_unknown_label_all_resident() {
+        let ram = MemoryBudget::new(10);
+        assert_eq!(ram.resident_items("ghost", 4), 4);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(mib(1), 1_048_576);
+        assert_eq!(gib(1), 1_073_741_824);
+    }
+
+    #[test]
+    fn display_mentions_spill() {
+        let mut ram = MemoryBudget::new(10);
+        ram.charge("z", 0, 25);
+        let text = ram.to_string();
+        assert!(text.contains("15 spilled"), "{text}");
+    }
+}

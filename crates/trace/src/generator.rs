@@ -1,0 +1,320 @@
+//! The synthetic workload generator.
+//!
+//! A [`WorkloadGenerator`] is an infinite iterator of [`TraceRecord`]s
+//! whose aggregate statistics converge to a [`WorkloadProfile`]: op mix,
+//! Zipf-skewed popularity, LRU-stack temporal locality, exponential
+//! inter-arrivals, and realistic open/close pairing.
+
+use std::collections::VecDeque;
+
+use ghba_simnet::{DetRng, SimTime};
+
+use crate::namespace::Namespace;
+use crate::profiles::WorkloadProfile;
+use crate::record::{MetaOp, TraceRecord};
+use crate::zipf::LocalityStack;
+
+/// Deterministic, profile-driven trace synthesis.
+///
+/// # Examples
+///
+/// ```
+/// use ghba_trace::{WorkloadGenerator, WorkloadProfile};
+///
+/// let generator = WorkloadGenerator::new(WorkloadProfile::hp(), 42);
+/// let records: Vec<_> = generator.take(1_000).collect();
+/// assert_eq!(records.len(), 1_000);
+/// // Timestamps are non-decreasing.
+/// assert!(records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    profile: WorkloadProfile,
+    namespace: Namespace,
+    locality: LocalityStack,
+    rng: DetRng,
+    clock: SimTime,
+    subtrace: u32,
+    user_offset: u32,
+    host_offset: u32,
+    /// Recently opened files awaiting a close, most recent last.
+    open_files: VecDeque<u64>,
+    /// Next unused file index for `create` operations.
+    next_new_file: u64,
+    cumulative_mix: [(MetaOp, f64); 7],
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for `profile` seeded by `seed`, emitting
+    /// subtrace 0 with no entity offsets.
+    #[must_use]
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        Self::subtrace(profile, seed, 0)
+    }
+
+    /// Creates the generator for subtrace `index` of an intensified
+    /// replay: its namespace, user ids, and host ids are disjoint from
+    /// every other subtrace (the paper's TIF construction), and its RNG is
+    /// an independent fork of `seed`.
+    #[must_use]
+    pub fn subtrace(profile: WorkloadProfile, seed: u64, index: u32) -> Self {
+        let rng = DetRng::new(seed).fork(u64::from(index));
+        let namespace = Namespace::new(
+            &format!("t{index}"),
+            profile.total_files.max(1),
+            16,
+            64,
+        );
+        let locality = LocalityStack::new(
+            profile.active_files.max(1),
+            profile.zipf_exponent,
+            profile.reuse_probability,
+            profile.locality_stack,
+        );
+        let mut cumulative = 0.0;
+        let cumulative_mix = MetaOp::ALL.map(|op| {
+            cumulative += profile.op_mix.probability(op);
+            (op, cumulative)
+        });
+        WorkloadGenerator {
+            user_offset: index * profile.users,
+            host_offset: index * profile.hosts,
+            next_new_file: profile.active_files,
+            profile,
+            namespace,
+            locality,
+            rng,
+            clock: SimTime::ZERO,
+            subtrace: index,
+            open_files: VecDeque::with_capacity(256),
+            cumulative_mix,
+        }
+    }
+
+    /// The profile this generator realizes.
+    #[must_use]
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// The namespace file indices `0..initial_population()` are assumed to
+    /// exist before replay starts; experiments pre-populate the metadata
+    /// cluster with exactly these files.
+    #[must_use]
+    pub fn initial_population(&self) -> u64 {
+        self.profile.active_files
+    }
+
+    /// Pathname of pre-population file `index` (see
+    /// [`initial_population`](WorkloadGenerator::initial_population)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is outside the namespace.
+    #[must_use]
+    pub fn path_of(&self, index: u64) -> String {
+        self.namespace.path_of(index)
+    }
+
+    fn draw_op(&mut self) -> MetaOp {
+        let u = self.rng.next_f64();
+        for (op, cum) in self.cumulative_mix {
+            if u < cum {
+                return op;
+            }
+        }
+        MetaOp::Stat
+    }
+
+    fn draw_file_for(&mut self, op: MetaOp) -> u64 {
+        match op {
+            MetaOp::Create => {
+                // Fresh file index; wraps back into the reference set when
+                // the namespace is exhausted (documented degenerate case
+                // for extremely long runs).
+                let idx = if self.next_new_file < self.namespace.len() {
+                    let idx = self.next_new_file;
+                    self.next_new_file += 1;
+                    idx
+                } else {
+                    self.locality.sample(&mut self.rng)
+                };
+                self.locality.touch(idx);
+                idx
+            }
+            MetaOp::Close => {
+                // Pair with a recent open when possible.
+                match self.open_files.pop_back() {
+                    Some(idx) => idx,
+                    None => self.locality.sample(&mut self.rng),
+                }
+            }
+            _ => self.locality.sample(&mut self.rng),
+        }
+    }
+}
+
+impl Iterator for WorkloadGenerator {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let gap = self.rng.sample_exp(self.profile.mean_interarrival_us);
+        self.clock += core::time::Duration::from_nanos((gap * 1_000.0) as u64);
+        let op = self.draw_op();
+        let file = self.draw_file_for(op);
+        if op == MetaOp::Open {
+            self.open_files.push_back(file);
+            if self.open_files.len() > 1_024 {
+                self.open_files.pop_front();
+            }
+        }
+        let user = self.user_offset + self.rng.below(u64::from(self.profile.users.max(1))) as u32;
+        let host = self.host_offset + self.rng.below(u64::from(self.profile.hosts.max(1))) as u32;
+        Some(TraceRecord {
+            timestamp: self.clock,
+            op,
+            path: self.namespace.path_of(file),
+            user,
+            host,
+            subtrace: self.subtrace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceStats;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a: Vec<_> = WorkloadGenerator::new(WorkloadProfile::ins(), 7)
+            .take(500)
+            .collect();
+        let b: Vec<_> = WorkloadGenerator::new(WorkloadProfile::ins(), 7)
+            .take(500)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = WorkloadGenerator::new(WorkloadProfile::ins(), 7)
+            .take(100)
+            .collect();
+        let b: Vec<_> = WorkloadGenerator::new(WorkloadProfile::ins(), 8)
+            .take(100)
+            .collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn timestamps_monotone() {
+        let records: Vec<_> = WorkloadGenerator::new(WorkloadProfile::res(), 3)
+            .take(2_000)
+            .collect();
+        assert!(records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(records.last().unwrap().timestamp > SimTime::ZERO);
+    }
+
+    #[test]
+    fn op_mix_converges_to_profile() {
+        let profile = WorkloadProfile::hp();
+        let stats = TraceStats::collect(
+            WorkloadGenerator::new(profile.clone(), 11).take(100_000),
+        );
+        for op in MetaOp::ALL {
+            let expected = profile.op_mix.probability(op);
+            let observed = stats.count(op) as f64 / stats.records as f64;
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "{op}: observed {observed:.4} vs expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn entities_respect_profile_bounds() {
+        let profile = WorkloadProfile::ins();
+        let stats = TraceStats::collect(
+            WorkloadGenerator::new(profile.clone(), 13).take(50_000),
+        );
+        assert!(stats.users <= u64::from(profile.users));
+        assert!(stats.hosts <= u64::from(profile.hosts));
+        // With 50k samples, essentially all users/hosts should appear.
+        assert!(stats.users >= u64::from(profile.users) * 9 / 10);
+        assert!(stats.hosts == u64::from(profile.hosts));
+    }
+
+    #[test]
+    fn popularity_is_skewed() {
+        use std::collections::HashMap;
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for r in WorkloadGenerator::new(WorkloadProfile::hp(), 17).take(50_000) {
+            *counts.entry(r.path).or_default() += 1;
+        }
+        let mut freqs: Vec<u32> = counts.into_values().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let top_100: u32 = freqs.iter().take(100).sum();
+        let total: u32 = freqs.iter().sum();
+        // Zipf + locality: the hottest 100 files draw far more than their
+        // uniform share (which would be ~100/active_files ≈ 0.01 %).
+        assert!(
+            f64::from(top_100) / f64::from(total) > 0.10,
+            "top-100 share {}",
+            f64::from(top_100) / f64::from(total)
+        );
+    }
+
+    #[test]
+    fn subtraces_are_disjoint() {
+        let a: Vec<_> = WorkloadGenerator::subtrace(WorkloadProfile::res(), 5, 0)
+            .take(200)
+            .collect();
+        let b: Vec<_> = WorkloadGenerator::subtrace(WorkloadProfile::res(), 5, 1)
+            .take(200)
+            .collect();
+        let paths_a: std::collections::HashSet<_> = a.iter().map(|r| &r.path).collect();
+        assert!(b.iter().all(|r| !paths_a.contains(&r.path)));
+        let users_a: std::collections::HashSet<_> = a.iter().map(|r| r.user).collect();
+        assert!(b.iter().all(|r| !users_a.contains(&r.user)));
+        assert!(b.iter().all(|r| r.subtrace == 1));
+    }
+
+    #[test]
+    fn creates_reference_fresh_paths() {
+        let profile = WorkloadProfile::hp();
+        let population = profile.active_files;
+        let gen = WorkloadGenerator::new(profile, 23);
+        let creates: Vec<_> = gen
+            .take(200_000)
+            .filter(|r| r.op == MetaOp::Create)
+            .collect();
+        assert!(!creates.is_empty());
+        // Created paths must come from beyond the initial population.
+        for r in &creates {
+            let file_part = r.path.rsplit("/f").next().unwrap();
+            let idx: u64 = file_part.parse().unwrap();
+            assert!(idx >= population, "create hit pre-populated file {idx}");
+        }
+        // And all distinct.
+        let distinct: std::collections::HashSet<_> = creates.iter().map(|r| &r.path).collect();
+        assert_eq!(distinct.len(), creates.len());
+    }
+
+    #[test]
+    fn mean_interarrival_matches_profile() {
+        let profile = WorkloadProfile::res();
+        let n = 50_000usize;
+        let last = WorkloadGenerator::new(profile.clone(), 29)
+            .take(n)
+            .last()
+            .unwrap();
+        let mean_us = last.timestamp.as_micros() as f64 / n as f64;
+        let expected = profile.mean_interarrival_us;
+        assert!(
+            (mean_us - expected).abs() / expected < 0.05,
+            "mean inter-arrival {mean_us} vs {expected}"
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! TIF trace intensification (§4 of the paper).
+//!
+//! To emulate ultra large-scale I/O behaviour from modest traces, the paper
+//! decomposes a trace into subtraces with **disjoint** user ids, host ids,
+//! and working directories, then replays all subtraces **concurrently from
+//! the same start time**, preserving timing *within* each subtrace. The
+//! number of concurrent subtraces is the Trace Intensifying Factor (TIF):
+//! the combined stream keeps the original histogram of file-system calls
+//! but multiplies the load.
+//!
+//! [`intensify`] realizes exactly that construction over synthetic
+//! subtrace generators: subtrace `k` gets namespace prefix `/tk`, user ids
+//! offset by `k·users`, host ids offset by `k·hosts`, and an independent
+//! RNG stream, and the merged iterator interleaves records in global
+//! timestamp order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ghba_simnet::SimTime;
+
+use crate::generator::WorkloadGenerator;
+use crate::profiles::WorkloadProfile;
+use crate::record::TraceRecord;
+
+struct HeapEntry {
+    timestamp: SimTime,
+    tiebreak: u32,
+    record: TraceRecord,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.timestamp == other.timestamp && self.tiebreak == other.tiebreak
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by (timestamp, subtrace index).
+        other
+            .timestamp
+            .cmp(&self.timestamp)
+            .then_with(|| other.tiebreak.cmp(&self.tiebreak))
+    }
+}
+
+/// A k-way timestamp-ordered merge of TIF subtrace generators.
+///
+/// Created by [`intensify`]; yields an infinite stream (bound it with
+/// [`Iterator::take`]).
+pub struct IntensifiedTrace {
+    generators: Vec<WorkloadGenerator>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl std::fmt::Debug for IntensifiedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IntensifiedTrace")
+            .field("subtraces", &self.generators.len())
+            .field("pending", &self.heap.len())
+            .finish()
+    }
+}
+
+impl IntensifiedTrace {
+    /// Number of concurrent subtraces (the TIF).
+    #[must_use]
+    pub fn tif(&self) -> u32 {
+        self.generators.len() as u32
+    }
+
+    /// Total files assumed to exist before replay, across all subtraces.
+    #[must_use]
+    pub fn initial_population(&self) -> u64 {
+        self.generators
+            .iter()
+            .map(WorkloadGenerator::initial_population)
+            .sum()
+    }
+
+    /// Enumerates `(subtrace, file index, path)` for the pre-population
+    /// set; experiments feed these to the metadata cluster before replay.
+    pub fn initial_paths(&self) -> impl Iterator<Item = String> + '_ {
+        self.generators.iter().flat_map(|g| {
+            (0..g.initial_population()).map(move |i| g.path_of(i))
+        })
+    }
+
+    /// The `per_subtrace` most popular files of **every** subtrace —
+    /// the practical pre-population set when replaying only a slice of
+    /// the namespace (Zipf rank 0 is file index 0, so low indices are the
+    /// hot head).
+    pub fn hot_paths(&self, per_subtrace: u64) -> impl Iterator<Item = String> + '_ {
+        self.generators.iter().flat_map(move |g| {
+            (0..per_subtrace.min(g.initial_population())).map(move |i| g.path_of(i))
+        })
+    }
+}
+
+impl Iterator for IntensifiedTrace {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let entry = self.heap.pop()?;
+        let idx = entry.record.subtrace as usize;
+        if let Some(next) = self.generators[idx].next() {
+            self.heap.push(HeapEntry {
+                timestamp: next.timestamp,
+                tiebreak: next.subtrace,
+                record: next,
+            });
+        }
+        Some(entry.record)
+    }
+}
+
+/// Builds the TIF-intensified stream for `profile` with `tif` concurrent
+/// subtraces, seeded by `seed`.
+///
+/// # Panics
+///
+/// Panics if `tif == 0`.
+#[must_use]
+pub fn intensify(profile: &WorkloadProfile, tif: u32, seed: u64) -> IntensifiedTrace {
+    assert!(tif > 0, "TIF must be at least 1");
+    let mut generators: Vec<WorkloadGenerator> = (0..tif)
+        .map(|k| WorkloadGenerator::subtrace(profile.clone(), seed, k))
+        .collect();
+    let mut heap = BinaryHeap::with_capacity(tif as usize);
+    for generator in &mut generators {
+        if let Some(record) = generator.next() {
+            heap.push(HeapEntry {
+                timestamp: record.timestamp,
+                tiebreak: record.subtrace,
+                record,
+            });
+        }
+    }
+    IntensifiedTrace { generators, heap }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{MetaOp, TraceStats};
+
+    #[test]
+    fn merged_stream_is_time_ordered() {
+        let records: Vec<_> = intensify(&WorkloadProfile::res(), 8, 3).take(5_000).collect();
+        assert!(records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn all_subtraces_contribute() {
+        let tif = 10;
+        let stats = TraceStats::collect(intensify(&WorkloadProfile::ins(), tif, 3).take(20_000));
+        assert_eq!(stats.subtraces, u64::from(tif));
+    }
+
+    #[test]
+    fn intensification_preserves_op_histogram() {
+        // The paper: "the combined trace maintains the same histogram of
+        // file system calls as the original trace".
+        let profile = WorkloadProfile::hp();
+        let base = TraceStats::collect(WorkloadGenerator::new(profile.clone(), 5).take(40_000));
+        let scaled = TraceStats::collect(intensify(&profile, 20, 5).take(40_000));
+        for op in MetaOp::ALL {
+            let b = base.count(op) as f64 / base.records as f64;
+            let s = scaled.count(op) as f64 / scaled.records as f64;
+            assert!((b - s).abs() < 0.01, "{op}: base {b:.4} vs scaled {s:.4}");
+        }
+    }
+
+    #[test]
+    fn intensification_multiplies_entity_counts() {
+        let profile = WorkloadProfile::ins();
+        let tif = 30;
+        let stats = TraceStats::collect(intensify(&profile, tif, 7).take(200_000));
+        // Table 3: INS at TIF=30 has 570 hosts and 9 780 users available;
+        // a finite sample must stay within those and reach most hosts.
+        assert!(stats.hosts <= u64::from(profile.hosts * tif));
+        assert!(stats.users <= u64::from(profile.users * tif));
+        assert!(stats.hosts > u64::from(profile.hosts * tif) * 8 / 10);
+    }
+
+    #[test]
+    fn intensification_increases_load_density() {
+        // Same wall-clock span must contain ~TIF× more operations.
+        let profile = WorkloadProfile::res();
+        let horizon = ghba_simnet::SimTime::from_secs(5);
+        let base = WorkloadGenerator::new(profile.clone(), 9)
+            .take_while(|r| r.timestamp <= horizon)
+            .count();
+        let scaled = intensify(&profile, 10, 9)
+            .take_while(|r| r.timestamp <= horizon)
+            .count();
+        let ratio = scaled as f64 / base as f64;
+        assert!((8.0..12.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn initial_population_sums_subtraces() {
+        let profile = WorkloadProfile::res();
+        let trace = intensify(&profile, 4, 1);
+        assert_eq!(
+            trace.initial_population(),
+            profile.active_files * 4
+        );
+        let first = trace.initial_paths().next().unwrap();
+        assert!(first.starts_with("/t0/"));
+    }
+
+    #[test]
+    #[should_panic(expected = "TIF")]
+    fn zero_tif_panics() {
+        let _ = intensify(&WorkloadProfile::hp(), 0, 1);
+    }
+}

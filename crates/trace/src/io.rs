@@ -1,0 +1,178 @@
+//! Saving and loading trace slices in a simple line-oriented text format.
+//!
+//! Synthetic traces are cheap to regenerate, but freezing a slice to disk
+//! makes experiments portable across machines and lets external tools
+//! inspect exactly what was replayed. One record per line:
+//!
+//! ```text
+//! <timestamp-ns> <op> <user> <host> <subtrace> <path>
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use ghba_simnet::SimTime;
+
+use crate::record::{MetaOp, TraceRecord};
+
+fn op_token(op: MetaOp) -> &'static str {
+    match op {
+        MetaOp::Open => "open",
+        MetaOp::Close => "close",
+        MetaOp::Stat => "stat",
+        MetaOp::Create => "create",
+        MetaOp::Unlink => "unlink",
+        MetaOp::Readdir => "readdir",
+        MetaOp::Rename => "rename",
+    }
+}
+
+fn parse_op(token: &str) -> Option<MetaOp> {
+    Some(match token {
+        "open" => MetaOp::Open,
+        "close" => MetaOp::Close,
+        "stat" => MetaOp::Stat,
+        "create" => MetaOp::Create,
+        "unlink" => MetaOp::Unlink,
+        "readdir" => MetaOp::Readdir,
+        "rename" => MetaOp::Rename,
+        _ => return None,
+    })
+}
+
+/// Writes `records` to `out`, one per line.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_trace<W: Write>(
+    out: &mut W,
+    records: impl IntoIterator<Item = TraceRecord>,
+) -> io::Result<u64> {
+    let mut written = 0;
+    for r in records {
+        writeln!(
+            out,
+            "{} {} {} {} {} {}",
+            r.timestamp.as_nanos(),
+            op_token(r.op),
+            r.user,
+            r.host,
+            r.subtrace,
+            r.path
+        )?;
+        written += 1;
+    }
+    Ok(written)
+}
+
+/// Reads records from `input` (as written by [`write_trace`]).
+///
+/// # Errors
+///
+/// Returns `InvalidData` on malformed lines; propagates reader errors.
+pub fn read_trace<R: BufRead>(input: R) -> io::Result<Vec<TraceRecord>> {
+    let mut records = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(6, ' ');
+        let parse = |field: Option<&str>, what: &str| {
+            field.map(str::to_owned).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: missing {what}", lineno + 1),
+                )
+            })
+        };
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad {what}", lineno + 1),
+            )
+        };
+        let nanos: u64 = parse(parts.next(), "timestamp")?
+            .parse()
+            .map_err(|_| bad("timestamp"))?;
+        let op = parse_op(&parse(parts.next(), "op")?).ok_or_else(|| bad("op"))?;
+        let user: u32 = parse(parts.next(), "user")?
+            .parse()
+            .map_err(|_| bad("user"))?;
+        let host: u32 = parse(parts.next(), "host")?
+            .parse()
+            .map_err(|_| bad("host"))?;
+        let subtrace: u32 = parse(parts.next(), "subtrace")?
+            .parse()
+            .map_err(|_| bad("subtrace"))?;
+        let path = parse(parts.next(), "path")?;
+        records.push(TraceRecord {
+            timestamp: SimTime::from_nanos(nanos),
+            op,
+            path,
+            user,
+            host,
+            subtrace,
+        });
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadGenerator;
+    use crate::profiles::WorkloadProfile;
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let records: Vec<TraceRecord> = WorkloadGenerator::new(WorkloadProfile::hp(), 5)
+            .take(500)
+            .collect();
+        let mut buffer = Vec::new();
+        let written = write_trace(&mut buffer, records.clone()).unwrap();
+        assert_eq!(written, 500);
+        let decoded = read_trace(buffer.as_slice()).unwrap();
+        assert_eq!(decoded, records);
+    }
+
+    #[test]
+    fn every_op_token_roundtrips() {
+        for op in MetaOp::ALL {
+            assert_eq!(parse_op(op_token(op)), Some(op));
+        }
+        assert_eq!(parse_op("chmod"), None);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text = "\n\n0 stat 1 2 0 /a\n\n";
+        let decoded = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].path, "/a");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(read_trace("garbage".as_bytes()).is_err());
+        assert!(read_trace("0 chmod 1 2 0 /a".as_bytes()).is_err());
+        assert!(read_trace("x stat 1 2 0 /a".as_bytes()).is_err());
+        assert!(read_trace("0 stat 1 2 0".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn paths_with_spaces_survive() {
+        let record = TraceRecord {
+            timestamp: SimTime::from_nanos(7),
+            op: MetaOp::Open,
+            path: "/dir with spaces/file name".to_owned(),
+            user: 1,
+            host: 2,
+            subtrace: 3,
+        };
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, [record.clone()]).unwrap();
+        let decoded = read_trace(buffer.as_slice()).unwrap();
+        assert_eq!(decoded, vec![record]);
+    }
+}

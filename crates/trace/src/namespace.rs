@@ -1,0 +1,212 @@
+//! Synthetic file-system namespaces.
+//!
+//! A [`Namespace`] maps a dense file index `0..total_files` to a stable
+//! pathname inside a balanced directory tree, without materializing the
+//! tree. This keeps multi-million-file namespaces free: the path of file
+//! `i` is a pure function of `i` and the namespace geometry.
+//!
+//! Under TIF intensification every subtrace gets its own namespace prefix
+//! (`/t<k>/…`), which realizes the paper's requirement that subtraces have
+//! *disjoint working directories*.
+
+use core::fmt;
+
+/// A deterministic, computed directory tree.
+///
+/// Files are grouped `files_per_dir` to a leaf directory; leaf directories
+/// are arranged under a radix-`dirs_per_level` interior tree. Both knobs
+/// shape path length and directory fan-out but not correctness.
+///
+/// # Examples
+///
+/// ```
+/// use ghba_trace::Namespace;
+///
+/// let ns = Namespace::new("t0", 1_000_000, 16, 64);
+/// let p = ns.path_of(123_456);
+/// assert!(p.starts_with("/t0/"));
+/// assert_eq!(ns.path_of(123_456), p); // stable
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Namespace {
+    prefix: String,
+    total_files: u64,
+    dirs_per_level: u32,
+    files_per_dir: u32,
+}
+
+impl Namespace {
+    /// Creates a namespace rooted at `/{prefix}` holding `total_files`
+    /// files, with the given tree geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_files == 0`, `dirs_per_level < 2`, or
+    /// `files_per_dir == 0`.
+    #[must_use]
+    pub fn new(prefix: &str, total_files: u64, dirs_per_level: u32, files_per_dir: u32) -> Self {
+        assert!(total_files > 0, "namespace cannot be empty");
+        assert!(dirs_per_level >= 2, "tree radix must be at least 2");
+        assert!(files_per_dir > 0, "directories must hold at least one file");
+        Namespace {
+            prefix: prefix.to_owned(),
+            total_files,
+            dirs_per_level,
+            files_per_dir,
+        }
+    }
+
+    /// Namespace prefix (the subtrace discriminator under TIF).
+    #[must_use]
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// Number of files in the namespace.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.total_files
+    }
+
+    /// `false` — namespaces are never empty (enforced at construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of leaf directories.
+    #[must_use]
+    pub fn leaf_dirs(&self) -> u64 {
+        self.total_files.div_ceil(u64::from(self.files_per_dir))
+    }
+
+    /// Depth of the interior tree above the leaf directories.
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        let mut depth = 1;
+        let mut reach = u64::from(self.dirs_per_level);
+        while reach < self.leaf_dirs() {
+            depth += 1;
+            reach = reach.saturating_mul(u64::from(self.dirs_per_level));
+        }
+        depth
+    }
+
+    /// The pathname of file `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[must_use]
+    pub fn path_of(&self, index: u64) -> String {
+        assert!(index < self.total_files, "file index out of range");
+        let mut dir = index / u64::from(self.files_per_dir);
+        let depth = self.depth();
+        let radix = u64::from(self.dirs_per_level);
+        let mut components = Vec::with_capacity(depth as usize);
+        for _ in 0..depth {
+            components.push(dir % radix);
+            dir /= radix;
+        }
+        components.reverse();
+        let mut path = String::with_capacity(self.prefix.len() + 8 * components.len() + 16);
+        path.push('/');
+        path.push_str(&self.prefix);
+        for c in components {
+            path.push_str("/d");
+            path.push_str(&c.to_string());
+        }
+        path.push_str("/f");
+        path.push_str(&index.to_string());
+        path
+    }
+
+    /// Extends the namespace by one file (used when replaying `create`
+    /// operations past the initial population), returning its index.
+    pub fn push_file(&mut self) -> u64 {
+        let idx = self.total_files;
+        self.total_files += 1;
+        idx
+    }
+}
+
+impl fmt::Display for Namespace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "/{} ({} files, {} leaf dirs, depth {})",
+            self.prefix,
+            self.total_files,
+            self.leaf_dirs(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn paths_are_unique() {
+        let ns = Namespace::new("t0", 10_000, 8, 32);
+        let mut seen = HashSet::new();
+        for i in 0..10_000 {
+            assert!(seen.insert(ns.path_of(i)), "duplicate path for {i}");
+        }
+    }
+
+    #[test]
+    fn paths_are_stable() {
+        let ns = Namespace::new("t1", 1_000, 8, 32);
+        assert_eq!(ns.path_of(77), ns.path_of(77));
+    }
+
+    #[test]
+    fn prefix_isolates_subtraces() {
+        let a = Namespace::new("t0", 1_000, 8, 32);
+        let b = Namespace::new("t1", 1_000, 8, 32);
+        for i in (0..1_000).step_by(97) {
+            assert_ne!(a.path_of(i), b.path_of(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let ns = Namespace::new("t0", 10, 8, 32);
+        let _ = ns.path_of(10);
+    }
+
+    #[test]
+    fn depth_covers_all_leaf_dirs() {
+        let ns = Namespace::new("t0", 1_000_000, 16, 64);
+        // leaf dirs = 15625; 16^4 = 65536 ≥ 15625 ≥ 16^3.
+        assert_eq!(ns.leaf_dirs(), 15_625);
+        assert_eq!(ns.depth(), 4);
+    }
+
+    #[test]
+    fn small_namespace_depth_is_one() {
+        let ns = Namespace::new("t0", 10, 8, 32);
+        assert_eq!(ns.depth(), 1);
+        assert!(ns.path_of(3).starts_with("/t0/d0/"));
+    }
+
+    #[test]
+    fn push_file_extends() {
+        let mut ns = Namespace::new("t0", 5, 8, 32);
+        let idx = ns.push_file();
+        assert_eq!(idx, 5);
+        assert_eq!(ns.len(), 6);
+        let _ = ns.path_of(5);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let ns = Namespace::new("hp", 100, 4, 10);
+        let text = ns.to_string();
+        assert!(text.contains("100 files"), "{text}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Trace records: the unit of work every experiment replays.
+
+use core::fmt;
+
+use ghba_simnet::SimTime;
+
+/// A metadata operation kind.
+///
+/// The paper filters the INS/RES/HP traces down to metadata operations
+/// (reads/writes of file *content* are dropped); these are the kinds that
+/// survive the filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MetaOp {
+    /// `open(2)` — permission check + metadata fetch.
+    Open,
+    /// `close(2)` — releases state, may flush metadata updates.
+    Close,
+    /// `stat(2)` — pure metadata read; the dominant operation in all three
+    /// traces.
+    Stat,
+    /// File creation — inserts new metadata at the home MDS.
+    Create,
+    /// File removal — deletes metadata at the home MDS.
+    Unlink,
+    /// Directory listing — metadata read against the parent directory.
+    Readdir,
+    /// Rename within the namespace — metadata mutation.
+    Rename,
+}
+
+impl MetaOp {
+    /// All operation kinds, in a stable order.
+    pub const ALL: [MetaOp; 7] = [
+        MetaOp::Open,
+        MetaOp::Close,
+        MetaOp::Stat,
+        MetaOp::Create,
+        MetaOp::Unlink,
+        MetaOp::Readdir,
+        MetaOp::Rename,
+    ];
+
+    /// `true` when the operation only reads metadata (lookup path).
+    #[must_use]
+    pub fn is_read(self) -> bool {
+        matches!(
+            self,
+            MetaOp::Open | MetaOp::Close | MetaOp::Stat | MetaOp::Readdir
+        )
+    }
+
+    /// `true` when the operation mutates the metadata set (and therefore
+    /// the home MDS's Bloom filter).
+    #[must_use]
+    pub fn is_mutation(self) -> bool {
+        matches!(self, MetaOp::Create | MetaOp::Unlink | MetaOp::Rename)
+    }
+}
+
+impl fmt::Display for MetaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MetaOp::Open => "open",
+            MetaOp::Close => "close",
+            MetaOp::Stat => "stat",
+            MetaOp::Create => "create",
+            MetaOp::Unlink => "unlink",
+            MetaOp::Readdir => "readdir",
+            MetaOp::Rename => "rename",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One replayable trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual timestamp of the operation.
+    pub timestamp: SimTime,
+    /// Operation kind.
+    pub op: MetaOp,
+    /// Full pathname of the target file.
+    pub path: String,
+    /// Issuing user id (offset per subtrace under intensification).
+    pub user: u32,
+    /// Issuing host id (offset per subtrace under intensification).
+    pub host: u32,
+    /// Subtrace index assigned by TIF intensification (0 for the base
+    /// trace).
+    pub subtrace: u32,
+}
+
+/// Aggregate statistics over a stream of records — the numbers Tables 3–4
+/// of the paper report for the intensified workloads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Total record count.
+    pub records: u64,
+    /// Count per operation kind, indexed in [`MetaOp::ALL`] order.
+    pub per_op: [u64; 7],
+    /// Number of distinct users observed.
+    pub users: u64,
+    /// Number of distinct hosts observed.
+    pub hosts: u64,
+    /// Number of distinct paths observed (active files).
+    pub active_files: u64,
+    /// Number of distinct subtraces observed.
+    pub subtraces: u64,
+    /// Timestamp of the last record.
+    pub span: SimTime,
+}
+
+impl TraceStats {
+    /// Computes statistics over `records`, consuming the iterator.
+    pub fn collect<I: IntoIterator<Item = TraceRecord>>(records: I) -> Self {
+        use std::collections::HashSet;
+        let mut stats = TraceStats::default();
+        let mut users = HashSet::new();
+        let mut hosts = HashSet::new();
+        let mut paths = HashSet::new();
+        let mut subtraces = HashSet::new();
+        for record in records {
+            stats.records += 1;
+            let idx = MetaOp::ALL
+                .iter()
+                .position(|&op| op == record.op)
+                .expect("op in ALL");
+            stats.per_op[idx] += 1;
+            users.insert(record.user);
+            hosts.insert(record.host);
+            paths.insert(record.path);
+            subtraces.insert(record.subtrace);
+            stats.span = stats.span.max(record.timestamp);
+        }
+        stats.users = users.len() as u64;
+        stats.hosts = hosts.len() as u64;
+        stats.active_files = paths.len() as u64;
+        stats.subtraces = subtraces.len() as u64;
+        stats
+    }
+
+    /// Count of one operation kind.
+    #[must_use]
+    pub fn count(&self, op: MetaOp) -> u64 {
+        let idx = MetaOp::ALL.iter().position(|&o| o == op).expect("op in ALL");
+        self.per_op[idx]
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "records={} users={} hosts={} active_files={} subtraces={} span={}",
+            self.records, self.users, self.hosts, self.active_files, self.subtraces, self.span
+        )?;
+        for (op, count) in MetaOp::ALL.iter().zip(self.per_op) {
+            if count > 0 {
+                writeln!(f, "  {op}: {count}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(op: MetaOp, path: &str, user: u32) -> TraceRecord {
+        TraceRecord {
+            timestamp: SimTime::from_micros(u64::from(user)),
+            op,
+            path: path.to_owned(),
+            user,
+            host: user % 3,
+            subtrace: 0,
+        }
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(MetaOp::Stat.is_read());
+        assert!(MetaOp::Open.is_read());
+        assert!(!MetaOp::Create.is_read());
+        assert!(MetaOp::Create.is_mutation());
+        assert!(MetaOp::Rename.is_mutation());
+        assert!(!MetaOp::Close.is_mutation());
+    }
+
+    #[test]
+    fn all_ops_covered_exactly_once() {
+        for op in MetaOp::ALL {
+            assert_eq!(MetaOp::ALL.iter().filter(|&&o| o == op).count(), 1);
+            // Every op is either a read or a mutation, never both.
+            assert!(op.is_read() ^ op.is_mutation());
+        }
+    }
+
+    #[test]
+    fn stats_count_distinct_entities() {
+        let records = vec![
+            record(MetaOp::Open, "/a", 1),
+            record(MetaOp::Stat, "/a", 1),
+            record(MetaOp::Stat, "/b", 2),
+        ];
+        let stats = TraceStats::collect(records);
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.count(MetaOp::Stat), 2);
+        assert_eq!(stats.count(MetaOp::Open), 1);
+        assert_eq!(stats.users, 2);
+        assert_eq!(stats.active_files, 2);
+        assert_eq!(stats.span, SimTime::from_micros(2));
+    }
+
+    #[test]
+    fn empty_stats() {
+        let stats = TraceStats::collect(Vec::new());
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.users, 0);
+    }
+
+    #[test]
+    fn display_lists_ops() {
+        let stats = TraceStats::collect(vec![record(MetaOp::Unlink, "/x", 9)]);
+        let text = stats.to_string();
+        assert!(text.contains("unlink: 1"), "{text}");
+        assert!(!text.contains("rename"), "{text}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Popularity and temporal-locality models for synthetic workloads.
+//!
+//! File-system metadata traffic is famously skewed: a small set of files
+//! absorbs most operations, and recently touched files are touched again
+//! soon. [`Zipf`] supplies the skew; [`LocalityStack`] supplies the
+//! recency, producing the LRU-friendly reference streams that make the
+//! paper's L1 hit rates (Figure 13) reproducible.
+
+use ghba_simnet::DetRng;
+
+/// A Zipf-distributed sampler over ranks `0..n` using Hörmann's
+/// rejection-inversion method (the same algorithm as `rand_distr`),
+/// exact for all exponents `s > 0`, `s ≠ 1` handled analytically and
+/// `s = 1` via the logarithmic integral.
+///
+/// Rank 0 is the most popular item.
+///
+/// # Examples
+///
+/// ```
+/// use ghba_simnet::DetRng;
+/// use ghba_trace::Zipf;
+///
+/// let zipf = Zipf::new(1_000, 0.9);
+/// let mut rng = DetRng::new(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    s: f64,
+    h_x1: f64,
+    h_n: f64,
+    cutoff: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and positive.
+    #[must_use]
+    pub fn new(n: u64, s: f64) -> Self {
+        assert!(n > 0, "rank space cannot be empty");
+        assert!(s.is_finite() && s > 0.0, "exponent must be positive");
+        let h_x1 = Self::h_integral(1.5, s) - 1.0;
+        let h_n = Self::h_integral(n as f64 + 0.5, s);
+        let cutoff = 2.0 - Self::h_integral_inv(Self::h_integral(2.5, s) - Self::h(2.0, s), s);
+        Zipf {
+            n,
+            s,
+            h_x1,
+            h_n,
+            cutoff,
+        }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `false`; the rank space is never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exponent `s`.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.s
+    }
+
+    fn h_integral(x: f64, s: f64) -> f64 {
+        let log_x = x.ln();
+        if (s - 1.0).abs() < 1e-9 {
+            log_x
+        } else {
+            ((1.0 - s) * log_x).exp_m1() / (1.0 - s)
+        }
+    }
+
+    fn h(x: f64, s: f64) -> f64 {
+        (-s * x.ln()).exp()
+    }
+
+    fn h_integral_inv(x: f64, s: f64) -> f64 {
+        if (s - 1.0).abs() < 1e-9 {
+            x.exp()
+        } else {
+            let t = (x * (1.0 - s)).max(-1.0 + 1e-15);
+            (t.ln_1p() / (1.0 - s)).exp()
+        }
+    }
+
+    /// Draws a rank in `0..n` (0 = most popular).
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        loop {
+            let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
+            let x = Self::h_integral_inv(u, self.s);
+            let k = x.clamp(1.0, self.n as f64).round();
+            if k - x <= self.cutoff
+                || u >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s)
+            {
+                return (k as u64).min(self.n) - 1;
+            }
+        }
+    }
+}
+
+/// An LRU-stack temporal-locality model layered over a [`Zipf`] popularity
+/// base.
+///
+/// Each draw either *reuses* a recently referenced item (probability
+/// `reuse_prob`, with stack positions themselves Zipf-skewed so the most
+/// recent items dominate) or draws *fresh* from the global popularity
+/// distribution. This mimics the stack-distance profiles measured for the
+/// INS/RES/HP traces.
+#[derive(Debug, Clone)]
+pub struct LocalityStack {
+    global: Zipf,
+    stack_ranks: Zipf,
+    stack: Vec<u64>,
+    capacity: usize,
+    reuse_prob: f64,
+}
+
+impl LocalityStack {
+    /// Creates a locality model over `population` items with global skew
+    /// `zipf_s`, reuse probability `reuse_prob`, and a recency stack of
+    /// `stack_capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stack_capacity == 0` or `reuse_prob` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(population: u64, zipf_s: f64, reuse_prob: f64, stack_capacity: usize) -> Self {
+        assert!(stack_capacity > 0, "stack must hold at least one entry");
+        assert!(
+            (0.0..=1.0).contains(&reuse_prob),
+            "reuse probability out of range"
+        );
+        LocalityStack {
+            global: Zipf::new(population, zipf_s),
+            stack_ranks: Zipf::new(stack_capacity as u64, 1.2),
+            stack: Vec::with_capacity(stack_capacity),
+            capacity: stack_capacity,
+            reuse_prob,
+        }
+    }
+
+    /// Number of items currently in the recency stack.
+    #[must_use]
+    pub fn resident(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Draws the next referenced item id in `0..population`.
+    pub fn sample(&mut self, rng: &mut DetRng) -> u64 {
+        if !self.stack.is_empty() && rng.chance(self.reuse_prob) {
+            let pos = (self.stack_ranks.sample(rng) as usize).min(self.stack.len() - 1);
+            // Stack index 0 = most recent (stored at the end of the Vec).
+            let idx = self.stack.len() - 1 - pos;
+            let item = self.stack.remove(idx);
+            self.stack.push(item);
+            item
+        } else {
+            let item = self.global.sample(rng);
+            self.touch(item);
+            item
+        }
+    }
+
+    /// Records an externally chosen reference (e.g. a `create`) in the
+    /// recency stack.
+    pub fn touch(&mut self, item: u64) {
+        if let Some(pos) = self.stack.iter().position(|&x| x == item) {
+            self.stack.remove(pos);
+        } else if self.stack.len() == self.capacity {
+            self.stack.remove(0);
+        }
+        self.stack.push(item);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(100, 0.8);
+        let mut rng = DetRng::new(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let zipf = Zipf::new(1_000, 1.0);
+        let mut rng = DetRng::new(2);
+        let mut counts = vec![0u32; 1_000];
+        for _ in 0..200_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[9]);
+        assert!(counts[0] > counts[99]);
+        assert!(counts[9] > counts[499]);
+    }
+
+    #[test]
+    fn rank_one_frequency_matches_theory() {
+        // For s=1, n=1000: P(rank 0) = 1/H(1000) ≈ 1/7.485 ≈ 0.1336.
+        let zipf = Zipf::new(1_000, 1.0);
+        let mut rng = DetRng::new(3);
+        let trials = 300_000;
+        let hits = (0..trials).filter(|_| zipf.sample(&mut rng) == 0).count();
+        let freq = hits as f64 / f64::from(trials);
+        assert!((freq - 0.1336).abs() < 0.01, "freq={freq}");
+    }
+
+    #[test]
+    fn non_unit_exponent_works() {
+        let zipf = Zipf::new(500, 0.75);
+        let mut rng = DetRng::new(4);
+        let mean: f64 =
+            (0..50_000).map(|_| zipf.sample(&mut rng) as f64).sum::<f64>() / 50_000.0;
+        // With s<1 the tail is heavy: mean rank well above zero but below
+        // uniform (249.5).
+        assert!(mean > 20.0 && mean < 249.5, "mean={mean}");
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let zipf = Zipf::new(1, 1.5);
+        let mut rng = DetRng::new(5);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn determinism_across_instances() {
+        let zipf = Zipf::new(1_000, 0.9);
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut a), zipf.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn locality_increases_reuse() {
+        let population = 100_000;
+        let mut rng = DetRng::new(6);
+        let mut no_locality = LocalityStack::new(population, 0.9, 0.0, 512);
+        let mut high_locality = LocalityStack::new(population, 0.9, 0.8, 512);
+
+        let reuse_fraction = |stack: &mut LocalityStack, rng: &mut DetRng| {
+            let mut seen = std::collections::HashSet::new();
+            let mut reuses = 0;
+            for _ in 0..20_000 {
+                if !seen.insert(stack.sample(rng)) {
+                    reuses += 1;
+                }
+            }
+            reuses as f64 / 20_000.0
+        };
+
+        let low = reuse_fraction(&mut no_locality, &mut rng);
+        let high = reuse_fraction(&mut high_locality, &mut rng);
+        assert!(
+            high > low + 0.2,
+            "locality model ineffective: low={low} high={high}"
+        );
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut stack = LocalityStack::new(1_000, 1.0, 1.0, 4);
+        for i in 0..4 {
+            stack.touch(i);
+        }
+        stack.touch(0); // refresh 0
+        stack.touch(99); // evicts 1 (the oldest)
+        assert_eq!(stack.resident(), 4);
+        let mut rng = DetRng::new(7);
+        // With reuse_prob=1.0 every sample comes from the stack.
+        for _ in 0..100 {
+            let s = stack.sample(&mut rng);
+            assert!([0, 2, 3, 99].contains(&s), "unexpected {s}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The threaded prototype: one OS thread per metadata server, crossbeam
+//! channels as the network, real wall-clock latencies and message counts
+//! (the paper's Figures 14–15 testbed, scaled to a laptop).
+//!
+//! Run with: `cargo run --release --example prototype`
+
+use ghba::cluster::{PrototypeCluster, Scheme};
+use ghba::core::GhbaConfig;
+
+fn main() {
+    let config = GhbaConfig::default()
+        .with_filter_capacity(5_000)
+        .with_update_threshold(128)
+        .with_seed(3);
+
+    let mut cluster = PrototypeCluster::spawn(Scheme::Ghba { max_group_size: 4 }, config, 16);
+    println!("spawned {} MDS threads", cluster.node_count());
+
+    // Create files through the live message fabric.
+    let mut homes = Vec::new();
+    for i in 0..200 {
+        homes.push(cluster.create(&format!("/live/f{i}")));
+    }
+    cluster.flush_updates();
+
+    // Query through random entries; every lookup is a real message
+    // exchange between threads.
+    let mut total = std::time::Duration::ZERO;
+    let mut by_level = std::collections::BTreeMap::new();
+    for i in 0..200 {
+        let reply = cluster.lookup(&format!("/live/f{i}"));
+        assert_eq!(reply.home, Some(homes[i]));
+        total += reply.latency;
+        *by_level.entry(reply.level.to_string()).or_insert(0u32) += 1;
+    }
+    println!(
+        "200 lookups: mean wall latency {:?}, levels {:?}",
+        total / 200,
+        by_level
+    );
+
+    // Membership change costs, measured in real messages on the fabric.
+    cluster.reset_message_counter();
+    let (id, messages) = cluster.add_node();
+    println!("added {id}: {messages} messages (G-HBA grouped protocol)");
+
+    // Fail-stop a node: service continues at degraded coverage (§4.5).
+    let victim = cluster.node_ids()[2];
+    let messages = cluster.fail_node(victim);
+    println!("failed {victim}: {messages} cleanup messages");
+    let survivors = (0..200)
+        .filter(|i| {
+            cluster
+                .lookup(&format!("/live/f{i}"))
+                .home
+                .is_some()
+        })
+        .count();
+    println!("{survivors}/200 files still served after the failure");
+
+    cluster.shutdown();
+    println!("clean shutdown");
+}

@@ -1,0 +1,91 @@
+//! Trace replay: drive any [`MetadataService`] with a workload stream.
+
+use core::time::Duration;
+
+use ghba_core::{LevelCounts, MetadataService, QueryLevel};
+use ghba_simnet::LatencyStats;
+use ghba_trace::{MetaOp, TraceRecord};
+
+/// Aggregate results of one replay.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Operations replayed.
+    pub operations: u64,
+    /// Lookups that found their file.
+    pub found: u64,
+    /// Lookups that found nothing.
+    pub missing: u64,
+    /// Per-level resolution counts.
+    pub levels: LevelCounts,
+    /// Lookup latency distribution.
+    pub latency: LatencyStats,
+    /// Network messages across all lookups.
+    pub messages: u64,
+}
+
+impl ReplayReport {
+    /// Mean lookup latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> Duration {
+        self.latency.mean()
+    }
+}
+
+/// Pre-creates `paths` on the service (the "initially populated randomly"
+/// step of §4).
+pub fn populate<S: MetadataService + ?Sized>(
+    service: &mut S,
+    paths: impl IntoIterator<Item = String>,
+) {
+    for path in paths {
+        service.create(&path);
+    }
+}
+
+/// Replays `records` against `service`, translating metadata operations:
+/// reads become lookups, `create` inserts, `unlink` looks up then removes,
+/// `rename` re-homes under a suffixed path.
+pub fn replay<S: MetadataService + ?Sized>(
+    service: &mut S,
+    records: impl IntoIterator<Item = TraceRecord>,
+) -> ReplayReport {
+    let mut report = ReplayReport::default();
+    for record in records {
+        report.operations += 1;
+        match record.op {
+            MetaOp::Open | MetaOp::Close | MetaOp::Stat | MetaOp::Readdir => {
+                let outcome = service.lookup(&record.path);
+                report.levels.record(outcome.level);
+                report.latency.record(outcome.latency);
+                report.messages += u64::from(outcome.messages);
+                if outcome.found() {
+                    report.found += 1;
+                } else {
+                    report.missing += 1;
+                }
+            }
+            MetaOp::Create => {
+                service.create(&record.path);
+            }
+            MetaOp::Unlink => {
+                let outcome = service.lookup(&record.path);
+                report.levels.record(outcome.level);
+                report.latency.record(outcome.latency);
+                report.messages += u64::from(outcome.messages);
+                if outcome.level != QueryLevel::Nonexistent {
+                    report.found += 1;
+                    service.remove(&record.path);
+                } else {
+                    report.missing += 1;
+                }
+            }
+            MetaOp::Rename => {
+                if service.remove(&record.path).is_some() {
+                    let renamed = format!("{}~renamed", record.path);
+                    service.create(&renamed);
+                }
+            }
+        }
+    }
+    report
+}
