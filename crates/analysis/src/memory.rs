@@ -72,7 +72,11 @@ impl MemoryModel {
     #[must_use]
     pub fn ghba_bits(&self, n: usize, m: usize) -> f64 {
         assert!(m > 0, "group size must be positive");
-        let theta = if m >= n { 0.0 } else { (n - m) as f64 / m as f64 };
+        let theta = if m >= n {
+            0.0
+        } else {
+            (n - m) as f64 / m as f64
+        };
         let filters = (theta + 1.0) * self.filter_bits(self.ghba_bits_per_file);
         let lru = self.bfa_bits(n, 8.0) * self.lru_fraction_per_server * n as f64;
         filters + lru + self.idbfa_bytes as f64 * 8.0
@@ -151,7 +155,10 @@ mod tests {
     #[test]
     fn ghba_overhead_decreases_with_n() {
         let model = MemoryModel::default();
-        let rows: Vec<f64> = PAPER.iter().map(|&(n, _, _)| model.table5_row(n)[3]).collect();
+        let rows: Vec<f64> = PAPER
+            .iter()
+            .map(|&(n, _, _)| model.table5_row(n)[3])
+            .collect();
         for pair in rows.windows(2) {
             assert!(pair[1] < pair[0], "must fall with N: {rows:?}");
         }

@@ -88,10 +88,7 @@ impl AnalyticModel {
                 .memory_probe
                 .mul_f64(filters.min(self.resident_filter_budget as f64 + 1.0))
             + self.latency.disk_access.mul_f64(spilled);
-        let d_group = self
-            .latency
-            .multicast_rtt(m.saturating_sub(1))
-            + d_l2.mul_f64(0.5); // peers probe their shares in parallel
+        let d_group = self.latency.multicast_rtt(m.saturating_sub(1)) + d_l2.mul_f64(0.5); // peers probe their shares in parallel
         let d_net = self.latency.multicast_rtt(self.n.saturating_sub(1))
             + self.latency.memory_probe
             + self.latency.disk_access.mul_f64(self.stale_escalation);
@@ -116,8 +113,8 @@ impl AnalyticModel {
         // hyperbolically as utilization approaches 1.
         let miss_l1 = 1.0 - terms.p_lru;
         let escalate = miss_l1 * (1.0 - terms.p_l2);
-        let fanout = escalate * (m.saturating_sub(1)) as f64
-            + self.stale_escalation * self.n as f64;
+        let fanout =
+            escalate * (m.saturating_sub(1)) as f64 + self.stale_escalation * self.n as f64;
         let rho = self.load_scale / self.n as f64 * fanout;
         // M/M/1-style inflation, extended past saturation with the
         // tangent at ρ = 0.9 so overload keeps *increasing* latency
@@ -142,7 +139,9 @@ impl AnalyticModel {
     /// Sweeps `m = 1..=max_m`, returning `(m, Γ)` pairs.
     #[must_use]
     pub fn sweep(&self, max_m: usize) -> Vec<(usize, f64)> {
-        (1..=max_m.min(self.n)).map(|m| (m, self.gamma(m))).collect()
+        (1..=max_m.min(self.n))
+            .map(|m| (m, self.gamma(m)))
+            .collect()
     }
 
     /// The group size maximizing Γ over `1..=max_m`.
@@ -173,7 +172,11 @@ mod tests {
                 assert!(g_next >= g * 0.999, "dip before optimum at m={m}");
             }
         }
-        let after: Vec<f64> = sweep.iter().filter(|(m, _)| *m >= opt).map(|&(_, g)| g).collect();
+        let after: Vec<f64> = sweep
+            .iter()
+            .filter(|(m, _)| *m >= opt)
+            .map(|&(_, g)| g)
+            .collect();
         assert!(
             after.windows(2).all(|w| w[1] <= w[0] * 1.001),
             "rise after optimum"

@@ -129,10 +129,7 @@ mod tests {
         let origins = ids(100..1100);
         let moved = placement.join_and_count_migrations(MdsId(4), &origins);
         let fraction = moved as f64 / origins.len() as f64;
-        assert!(
-            (0.7..0.9).contains(&fraction),
-            "moved fraction {fraction}"
-        );
+        assert!((0.7..0.9).contains(&fraction), "moved fraction {fraction}");
     }
 
     #[test]

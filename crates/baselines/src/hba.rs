@@ -9,11 +9,13 @@
 //! disk, which is exactly the regime Figures 8–10 of the G-HBA paper
 //! explore.
 
-use std::collections::BTreeMap;
 use core::time::Duration;
+use std::collections::BTreeMap;
 
+use ghba_bloom::{Fingerprint, SharedShapeArray};
 use ghba_core::{
-    ClusterStats, GhbaConfig, Mds, MdsId, QueryLevel, QueryOutcome, ReconfigReport, UpdateReport,
+    published_shape, ClusterStats, GhbaConfig, Mds, MdsId, QueryLevel, QueryOutcome,
+    ReconfigReport, UpdateReport,
 };
 use ghba_simnet::DetRng;
 
@@ -40,6 +42,10 @@ use ghba_simnet::DetRng;
 pub struct HbaCluster {
     config: GhbaConfig,
     mdss: BTreeMap<MdsId, Mds>,
+    /// Every server's published snapshot, bit-sliced: HBA's full-mirror L2
+    /// probe is one hash-once query over this slab instead of `N` filter
+    /// walks. Synced on publish and membership changes.
+    published_array: SharedShapeArray<MdsId>,
     rng: DetRng,
     stats: ClusterStats,
     next_mds: u16,
@@ -55,9 +61,11 @@ impl HbaCluster {
     pub fn with_servers(config: GhbaConfig, servers: usize) -> Self {
         assert!(servers > 0, "cluster needs at least one server");
         let rng = DetRng::new(config.seed).fork(0x4BA);
+        let published_array = SharedShapeArray::new(published_shape(&config));
         let mut cluster = HbaCluster {
             config,
             mdss: BTreeMap::new(),
+            published_array,
             rng,
             stats: ClusterStats::default(),
             next_mds: 0,
@@ -138,6 +146,9 @@ impl HbaCluster {
         self.next_mds += 1;
         let existing = self.mdss.len() as u64;
         self.mdss.insert(id, Mds::new(id, &self.config));
+        self.published_array
+            .push(id)
+            .expect("fresh id is unique in the published slab");
         let report = ReconfigReport {
             // The newcomer pulls every existing filter…
             migrated_replicas: existing,
@@ -168,6 +179,7 @@ impl HbaCluster {
             ..ReconfigReport::default()
         };
         self.mdss.remove(&id);
+        self.published_array.remove(id);
         if !files.is_empty() {
             let target = *self
                 .mdss
@@ -242,10 +254,14 @@ impl HbaCluster {
     ///
     /// Panics if `origin` is unknown.
     pub fn push_update(&mut self, origin: MdsId) -> UpdateReport {
-        let delta = match self.mdss.get_mut(&origin).expect("origin").publish() {
+        let mds = self.mdss.get_mut(&origin).expect("origin");
+        let delta = match mds.publish() {
             Some(delta) => delta,
             None => return UpdateReport::default(),
         };
+        self.published_array
+            .replace_filter(origin, mds.published())
+            .expect("published slab tracks every server");
         let recipients = self.mdss.len().saturating_sub(1);
         let report = UpdateReport {
             messages: recipients as u64,
@@ -283,44 +299,47 @@ impl HbaCluster {
         let mut latency = model.dispatch;
         let mut messages: u32 = 0;
 
+        // Hash once; every level reuses the fingerprint.
+        let fp = Fingerprint::of(path);
+
         // L1: the LRU array.
         let l1_hit = self
             .mdss
             .get(&entry)
             .and_then(Mds::lru)
-            .map(|lru| lru.query(path));
+            .map(|lru| lru.query_fp(&fp));
         if let Some(ghba_bloom::Hit::Unique(candidate)) = l1_hit {
             latency += model.memory_probe;
             if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
             {
-                return self.finish(entry, path, home, QueryLevel::L1Lru, latency, messages);
+                return self.finish(entry, &fp, home, QueryLevel::L1Lru, latency, messages);
             }
             self.stats.counters.incr("l1_false_hits");
         } else if l1_hit.is_some() {
             latency += model.memory_probe;
         }
 
-        // L2: the complete replica array (N − 1 replicas + own filter).
+        // L2: the complete replica array (N − 1 replicas + own filter) —
+        // one bit-sliced probe of the published slab, plus the entry's
+        // fresher live filter in place of its own published snapshot.
         let held = self.mdss.len() - 1;
         let entry_mds = &self.mdss[&entry];
         let resident = entry_mds.resident_replicas(held);
         latency += model.array_probe(held + 1, held - resident);
-        let mut positives: Vec<MdsId> = Vec::new();
-        for (&id, mds) in &self.mdss {
-            let positive = if id == entry {
-                mds.probe_live(path)
-            } else {
-                mds.published().contains(path)
-            };
-            if positive {
-                positives.push(id);
-            }
+        let mask = self.published_array.mask_all_except(entry);
+        let mut positives: Vec<MdsId> = self
+            .published_array
+            .query_fp_masked(&fp, &mask)
+            .candidates()
+            .to_vec();
+        if entry_mds.probe_live_fp(&fp) {
+            positives.push(entry);
         }
         if positives.len() == 1 {
             let candidate = positives[0];
             if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
             {
-                return self.finish(entry, path, home, QueryLevel::L2Segment, latency, messages);
+                return self.finish(entry, &fp, home, QueryLevel::L2Segment, latency, messages);
             }
             self.stats.counters.incr("l2_false_hits");
         }
@@ -332,7 +351,7 @@ impl HbaCluster {
         let mut found = None;
         let mut verify_cost = Duration::ZERO;
         for (&id, mds) in &self.mdss {
-            if mds.probe_live(path) {
+            if mds.probe_live_fp(&fp) {
                 verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
                 if mds.stores(path) {
                     found = Some(id);
@@ -341,7 +360,7 @@ impl HbaCluster {
         }
         latency += verify_cost;
         match found {
-            Some(home) => self.finish(entry, path, home, QueryLevel::L4Global, latency, messages),
+            Some(home) => self.finish(entry, &fp, home, QueryLevel::L4Global, latency, messages),
             None => {
                 let latency = latency.mul_f64(self.config.contention_factor(messages));
                 self.stats.levels.record(QueryLevel::Nonexistent);
@@ -378,14 +397,14 @@ impl HbaCluster {
     fn finish(
         &mut self,
         entry: MdsId,
-        path: &str,
+        fp: &Fingerprint,
         home: MdsId,
         level: QueryLevel,
         latency: Duration,
         messages: u32,
     ) -> QueryOutcome {
         if let Some(lru) = self.mdss.get_mut(&entry).and_then(Mds::lru_mut) {
-            lru.record(path, home);
+            lru.record_fp(fp, home);
         }
         let latency = latency.mul_f64(self.config.contention_factor(messages));
         self.stats.levels.record(level);

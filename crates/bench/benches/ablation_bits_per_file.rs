@@ -20,18 +20,14 @@ fn bench_lookup_by_ratio(c: &mut Criterion) {
             cluster.create_file(&format!("/ab/f{i}"));
         }
         cluster.flush_all_updates();
-        group.bench_with_input(
-            BenchmarkId::new("lookup", ratio as u64),
-            &ratio,
-            |b, _| {
-                let mut i = 0usize;
-                b.iter(|| {
-                    let outcome = cluster.lookup(black_box(&format!("/ab/f{}", i % 2_000)));
-                    i += 1;
-                    outcome
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lookup", ratio as u64), &ratio, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let outcome = cluster.lookup(black_box(&format!("/ab/f{}", i % 2_000)));
+                i += 1;
+                outcome
+            });
+        });
     }
     group.finish();
 

@@ -75,5 +75,10 @@ fn report_hit_quality(c: &mut Criterion) {
     c.bench_function("l1/hit_quality_report", |b| b.iter(|| black_box(1 + 1)));
 }
 
-criterion_group!(benches, bench_exact_lru, bench_generational, report_hit_quality);
+criterion_group!(
+    benches,
+    bench_exact_lru,
+    bench_generational,
+    report_hit_quality
+);
 criterion_main!(benches);

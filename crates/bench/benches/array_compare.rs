@@ -1,0 +1,111 @@
+//! The PR-1 headline benchmark: N-filter array membership probes.
+//!
+//! Compares three implementations of "probe an array of N same-shape Bloom
+//! filters with one item" at N ∈ {16, 128, 1024}:
+//!
+//! * `legacy_rehash` — the seed behaviour: every filter re-hashes the item
+//!   bytes and walks its own bit vector (`O(N·|item|)` hashing);
+//! * `fingerprint` — [`BloomFilterArray::query`]: the item is digested once
+//!   into a [`Fingerprint`] and each filter's probe stream is derived by
+//!   O(1) seed-mixing (still N bit-vector walks);
+//! * `bitsliced` — [`SharedShapeArray::query`]: hash-once plus the
+//!   bit-sliced slab, so the whole array costs `k` word-row loads and an
+//!   AND-reduction.
+//!
+//! Run with `CRITERION_JSON=BENCH_PR1.json cargo bench --bench
+//! array_compare` to dump machine-readable means (see `BENCH_PR1.json` at
+//! the repo root for the committed trajectory snapshot).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ghba_bloom::{BloomFilter, BloomFilterArray, Fingerprint, SharedShapeArray};
+use std::hint::black_box;
+
+/// Files summarized per filter.
+const ITEMS_PER_FILTER: u64 = 2_000;
+/// Filter geometry: 16 bits per file, k = 11 (the paper's ratio).
+const BITS_PER_FILTER: usize = 32_000;
+const HASHES: u32 = 11;
+const SEED: u64 = 0x9;
+
+fn path_of(id: u16, i: u64) -> String {
+    format!("/mds{id}/dir{}/file-{i}.dat", i % 97)
+}
+
+fn build_filters(n: u16) -> Vec<(u16, BloomFilter)> {
+    (0..n)
+        .map(|id| {
+            let mut filter = BloomFilter::new(BITS_PER_FILTER, HASHES, SEED);
+            for i in 0..ITEMS_PER_FILTER {
+                filter.insert(&path_of(id, i));
+            }
+            (id, filter)
+        })
+        .collect()
+}
+
+/// The seed's per-filter walk: every filter hashes the item from scratch.
+fn legacy_query(entries: &[(u16, BloomFilter)], item: &str) -> u32 {
+    let mut positives = 0u32;
+    for (_, filter) in entries {
+        if filter.contains(item) {
+            positives += 1;
+        }
+    }
+    positives
+}
+
+fn bench_array_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_compare");
+    for n in [16u16, 128, 1024] {
+        let entries = build_filters(n);
+        let array: BloomFilterArray<u16> = entries.iter().cloned().collect();
+        let sliced = SharedShapeArray::from_filters(entries.iter().cloned())
+            .expect("filters share one shape");
+        // Probe items resident in exactly one filter, cycling homes — the
+        // unique-hit pattern every level of the G-HBA hierarchy is tuned
+        // for.
+        let probes: Vec<String> = (0..512u64)
+            .map(|i| path_of((i % u64::from(n)) as u16, i % ITEMS_PER_FILTER))
+            .collect();
+
+        group.bench_with_input(BenchmarkId::new("legacy_rehash", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let hits = legacy_query(&entries, black_box(&probes[i % probes.len()]));
+                i += 1;
+                hits
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fingerprint", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let hit = array.query(black_box(&*probes[i % probes.len()]));
+                i += 1;
+                hit
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bitsliced", n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let hit = sliced.query(black_box(&*probes[i % probes.len()]));
+                i += 1;
+                hit
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bitsliced_reused_fp", n), &n, |b, _| {
+            // The escalation case: the fingerprint was already computed at
+            // a lower level (or arrived inside a multicast message).
+            let fps: Vec<Fingerprint> = probes.iter().map(|p| Fingerprint::of(&**p)).collect();
+            let mut i = 0usize;
+            b.iter(|| {
+                let hit = sliced.query_fp(black_box(&fps[i % fps.len()]));
+                i += 1;
+                hit
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_array_compare);
+criterion_main!(benches);

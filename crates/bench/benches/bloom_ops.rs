@@ -1,7 +1,7 @@
 //! Microbenchmarks of the Bloom filter substrate: insert, probe, algebra.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ghba_bloom::{BloomFilter, BloomFilterArray, CountingBloomFilter, FilterDelta};
+use ghba_bloom::{BloomFilter, BloomFilterArray, CountingBloomFilter, FilterDelta, Fingerprint};
 use std::hint::black_box;
 
 fn bench_insert_and_contains(c: &mut Criterion) {
@@ -85,6 +85,35 @@ fn bench_counting(c: &mut Criterion) {
     });
 }
 
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fingerprint");
+    let path = "/home/alice/projects/ghba/results/run-42/output.log";
+    group.bench_function("digest_path", |b| {
+        b.iter(|| Fingerprint::of(black_box(path)));
+    });
+    let fp = Fingerprint::of(path);
+    group.bench_function("derive_pair", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            let pair = fp.pair(black_box(seed));
+            seed = seed.wrapping_add(1);
+            pair
+        });
+    });
+    let mut filter = BloomFilter::for_items(100_000, 16.0);
+    for i in 0..50_000u64 {
+        filter.insert(&i);
+    }
+    filter.insert(path);
+    group.bench_function("contains_rehash", |b| {
+        b.iter(|| filter.contains(black_box(path)));
+    });
+    group.bench_function("contains_fp", |b| {
+        b.iter(|| filter.contains_fp(black_box(&fp)));
+    });
+    group.finish();
+}
+
 fn bench_array_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("array_query");
     for n in [10usize, 30, 100] {
@@ -114,6 +143,7 @@ criterion_group!(
     bench_insert_and_contains,
     bench_algebra,
     bench_counting,
+    bench_fingerprint,
     bench_array_query
 );
 criterion_main!(benches);

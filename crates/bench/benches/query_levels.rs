@@ -52,6 +52,30 @@ fn bench_l1_hit(c: &mut Criterion) {
     });
 }
 
+fn bench_l2_segment(c: &mut Criterion) {
+    // LRU disabled: every hit resolves via the L2 segment probe, i.e. the
+    // bit-sliced published slab — the path this PR's hash-once +
+    // bit-slicing work targets.
+    let config = GhbaConfig::default()
+        .with_max_group_size(6)
+        .with_filter_capacity(2_000)
+        .with_lru_capacity(0)
+        .with_seed(5);
+    let mut cl = GhbaCluster::with_servers(config, 30);
+    for i in 0..1_000 {
+        cl.create_file(&format!("/bench/f{i}"));
+    }
+    cl.flush_all_updates();
+    c.bench_function("lookup/l2_segment_slab", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let outcome = cl.lookup(black_box(&format!("/bench/f{}", i % 1_000)));
+            i += 1;
+            outcome
+        });
+    });
+}
+
 fn bench_create(c: &mut Criterion) {
     let mut cl = cluster(30);
     c.bench_function("create", |b| {
@@ -63,5 +87,11 @@ fn bench_create(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_lookup, bench_l1_hit, bench_create);
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_l1_hit,
+    bench_l2_segment,
+    bench_create
+);
 criterion_main!(benches);

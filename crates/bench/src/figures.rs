@@ -15,9 +15,7 @@ use ghba_cluster::{PrototypeCluster, Scheme};
 use ghba_core::{GhbaCluster, MdsId};
 use ghba_trace::{intensify, TraceStats, WorkloadGenerator, WorkloadProfile};
 
-use crate::common::{
-    filter_bytes, header, ms, p_lru_of, row, sim_config, sized,
-};
+use crate::common::{filter_bytes, header, ms, p_lru_of, row, sim_config, sized};
 
 /// Builds a populated G-HBA cluster for one (N, M, workload) cell and
 /// measures mean lookup latency over a replay slice.
@@ -82,13 +80,23 @@ fn measure_cell_contended(
 /// replay, then Equations 2–4 (with the spill/queueing latency terms of
 /// [`AnalyticModel`]) are swept over M.
 pub fn fig6(out: &mut impl Write) -> io::Result<()> {
-    writeln!(out, "\n## Figure 6 — normalized throughput Γ vs group size M\n")?;
+    writeln!(
+        out,
+        "\n## Figure 6 — normalized throughput Γ vs group size M\n"
+    )?;
     let pop = sized(3_000, 800);
     let ops = sized(9_000, 2_000);
     let m_values: Vec<usize> = (1..=15).collect();
     header(
         out,
-        &["workload", "N", "M", "measured P_LRU", "Γ (norm. throughput)", "optimal?"],
+        &[
+            "workload",
+            "N",
+            "M",
+            "measured P_LRU",
+            "Γ (norm. throughput)",
+            "optimal?",
+        ],
     )?;
     for n in [30usize, 100] {
         for profile in WorkloadProfile::all() {
@@ -113,7 +121,11 @@ pub fn fig6(out: &mut impl Write) -> io::Result<()> {
                         m.to_string(),
                         format!("{p_lru:.2}"),
                         format!("{gamma:.1}"),
-                        if m == best { "◀ optimal".into() } else { String::new() },
+                        if m == best {
+                            "◀ optimal".into()
+                        } else {
+                            String::new()
+                        },
                     ],
                 )?;
             }
@@ -128,7 +140,10 @@ pub fn fig6(out: &mut impl Write) -> io::Result<()> {
 /// Figure 7: optimal group size (and M/N ratio) vs number of MDSs,
 /// from the calibrated analytic Γ model.
 pub fn fig7(out: &mut impl Write) -> io::Result<()> {
-    writeln!(out, "\n## Figure 7 — optimal group size vs number of MDSs\n")?;
+    writeln!(
+        out,
+        "\n## Figure 7 — optimal group size vs number of MDSs\n"
+    )?;
     header(out, &["N", "HP M*", "INS M*", "RES M*", "M/N (HP)"])?;
     for n in [10usize, 30, 60, 100, 150, 200] {
         let mut optima = Vec::new();
@@ -183,19 +198,17 @@ pub fn fig8_9_10(out: &mut impl Write, figure: u8) -> io::Result<()> {
         + n * 4_096
         + touched.div_ceil(n) * ghba_core::META_ENTRY_BYTES * 2;
     const FILTER_LIVE_BYTES: usize = 14_000;
-    let max_gb: f64 = labels
-        .iter()
-        .map(|l| parse_gb(l))
-        .fold(0.0, f64::max);
+    let max_gb: f64 = labels.iter().map(|l| parse_gb(l)).fold(0.0, f64::max);
 
-    header(
-        out,
-        &{
-            let mut cells = vec!["scheme", "memory"];
-            cells.extend(["@1", "@2", "@3", "@4", "@5", "@6"].iter().take(checkpoints));
-            cells
-        },
-    )?;
+    header(out, &{
+        let mut cells = vec!["scheme", "memory"];
+        cells.extend(
+            ["@1", "@2", "@3", "@4", "@5", "@6"]
+                .iter()
+                .take(checkpoints),
+        );
+        cells
+    })?;
 
     for label in labels {
         let gb = parse_gb(label);
@@ -254,10 +267,21 @@ fn parse_gb(label: &str) -> f64 {
 
 /// Figure 11: replicas migrated when one MDS joins, vs N.
 pub fn fig11(out: &mut impl Write) -> io::Result<()> {
-    writeln!(out, "\n## Figure 11 — replicas migrated on one MDS insertion\n")?;
+    writeln!(
+        out,
+        "\n## Figure 11 — replicas migrated on one MDS insertion\n"
+    )?;
     header(
         out,
-        &["N", "HBA", "Hash (INS)", "Hash (HP)", "Hash (RES)", "G-HBA (measured)", "G-HBA (bound)"],
+        &[
+            "N",
+            "HBA",
+            "Hash (INS)",
+            "Hash (HP)",
+            "Hash (RES)",
+            "G-HBA (measured)",
+            "G-HBA (bound)",
+        ],
     )?;
     for n in (10usize..=100).step_by(10) {
         let m = MemoryModel::paper_group_size(n);
@@ -310,7 +334,14 @@ pub fn fig12(out: &mut impl Write) -> io::Result<()> {
     writeln!(out, "\n## Figure 12 — stale-replica update latency\n")?;
     header(
         out,
-        &["workload", "N", "M", "scheme", "updates", "avg latency (ms)"],
+        &[
+            "workload",
+            "N",
+            "M",
+            "scheme",
+            "updates",
+            "avg latency (ms)",
+        ],
     )?;
     let update_rounds = sized(90, 20);
     for profile in WorkloadProfile::all() {
@@ -333,8 +364,7 @@ pub fn fig12(out: &mut impl Write) -> io::Result<()> {
             for k in 0..update_rounds {
                 let home = MdsId((k % n) as u16);
                 for i in 0..40 {
-                    hba_cluster
-                        .create_file_at(&generator.path_of((k * 40 + i) as u64), home);
+                    hba_cluster.create_file_at(&generator.path_of((k * 40 + i) as u64), home);
                 }
                 hba_cluster.push_update(home);
             }
@@ -392,7 +422,10 @@ pub fn fig13(out: &mut impl Write) -> io::Result<()> {
 
 /// Figure 14: prototype query latency under the intensified HP trace.
 pub fn fig14(out: &mut impl Write) -> io::Result<()> {
-    writeln!(out, "\n## Figure 14 — prototype query latency (threads + channels)\n")?;
+    writeln!(
+        out,
+        "\n## Figure 14 — prototype query latency (threads + channels)\n"
+    )?;
     let n = sized(60, 12);
     let tif = sized(60, 8) as u32;
     let pop = sized(3_000, 600);
@@ -405,11 +438,8 @@ pub fn fig14(out: &mut impl Write) -> io::Result<()> {
     })?;
     let profile = WorkloadProfile::hp();
     for scheme in [Scheme::Ghba { max_group_size: 7 }, Scheme::Hba] {
-        let mut cluster = PrototypeCluster::spawn(
-            scheme,
-            sim_config(0xF14).with_update_threshold(128),
-            n,
-        );
+        let mut cluster =
+            PrototypeCluster::spawn(scheme, sim_config(0xF14).with_update_threshold(128), n);
         let mut stream = intensify(&profile, tif, 0xF14);
         let paths: Vec<String> = stream.hot_paths(pop as u64 / u64::from(tif)).collect();
         for path in &paths {
@@ -449,15 +479,15 @@ pub fn fig14(out: &mut impl Write) -> io::Result<()> {
 
 /// Figure 15: prototype messages per node insertion.
 pub fn fig15(out: &mut impl Write) -> io::Result<()> {
-    writeln!(out, "\n## Figure 15 — prototype messages per node insertion\n")?;
+    writeln!(
+        out,
+        "\n## Figure 15 — prototype messages per node insertion\n"
+    )?;
     let n = sized(60, 12);
     let additions = 10usize;
     header(out, &["new node #", "G-HBA msgs", "HBA msgs"])?;
-    let mut ghba = PrototypeCluster::spawn(
-        Scheme::Ghba { max_group_size: 7 },
-        sim_config(0xF15),
-        n,
-    );
+    let mut ghba =
+        PrototypeCluster::spawn(Scheme::Ghba { max_group_size: 7 }, sim_config(0xF15), n);
     let mut hba = PrototypeCluster::spawn(Scheme::Hba, sim_config(0xF15), n);
     for k in 1..=additions {
         let (_, ghba_msgs) = ghba.add_node();
@@ -481,7 +511,16 @@ pub fn tables34(out: &mut impl Write) -> io::Result<()> {
     writeln!(out, "\n## Tables 3–4 — intensified workload statistics\n")?;
     header(
         out,
-        &["trace", "TIF", "hosts", "users", "open%", "close%", "stat%", "sample size"],
+        &[
+            "trace",
+            "TIF",
+            "hosts",
+            "users",
+            "open%",
+            "close%",
+            "stat%",
+            "sample size",
+        ],
     )?;
     let sample = sized(120_000, 20_000);
     for profile in WorkloadProfile::all() {
@@ -494,7 +533,11 @@ pub fn tables34(out: &mut impl Write) -> io::Result<()> {
                 profile.name.to_string(),
                 tif.to_string(),
                 format!("{} (paper {})", stats.hosts, profile.hosts * tif),
-                format!("{} (paper {})", stats.users, u64::from(profile.users) * u64::from(tif)),
+                format!(
+                    "{} (paper {})",
+                    stats.users,
+                    u64::from(profile.users) * u64::from(tif)
+                ),
                 format!("{:.1}%", pct(ghba_trace::MetaOp::Open)),
                 format!("{:.1}%", pct(ghba_trace::MetaOp::Close)),
                 format!("{:.1}%", pct(ghba_trace::MetaOp::Stat)),
@@ -514,7 +557,15 @@ pub fn table5(out: &mut impl Write) -> io::Result<()> {
     writeln!(out, "\n## Table 5 — per-MDS memory normalized to BFA8\n")?;
     header(
         out,
-        &["N", "BFA8", "BFA16", "HBA", "G-HBA", "paper HBA", "paper G-HBA"],
+        &[
+            "N",
+            "BFA8",
+            "BFA16",
+            "HBA",
+            "G-HBA",
+            "paper HBA",
+            "paper G-HBA",
+        ],
     )?;
     let model = MemoryModel::default();
     let paper = [

@@ -4,11 +4,28 @@
 //! *array* of filters, one per candidate server, and looking for a **unique**
 //! positive. Zero or multiple positives are a miss that escalates to the
 //! next level of the query hierarchy.
+//!
+//! Two array structures share the [`Hit`] classification:
+//!
+//! * [`BloomFilterArray`] (this module) — the general, compatibility
+//!   structure: an ordered list of independent [`BloomFilter`]s that may
+//!   differ in shape and seed. Queries are **hash-once**: the item is
+//!   digested into a [`Fingerprint`] a single time and each filter's probe
+//!   stream is derived by O(1) seed-mixing, but the walk still visits `N`
+//!   separate bit vectors.
+//! * [`crate::SharedShapeArray`] — the hot-path structure used when all
+//!   filters share one [`crate::FilterShape`] (the common case: every MDS
+//!   publishes the same geometry). Its bit-sliced layout turns the same
+//!   query into `k` word-row loads plus an AND-reduction, independent of
+//!   `N`. Both structures answer identically for identical inserts; prefer
+//!   the shared-shape array on hot paths and keep this one for mixed-shape
+//!   collections and incremental migration.
 
 use std::hash::Hash;
 
 use crate::error::BloomError;
 use crate::filter::BloomFilter;
+use crate::hash::Fingerprint;
 
 /// Outcome of probing a [`BloomFilterArray`]: how many filters answered
 /// positively.
@@ -163,11 +180,23 @@ impl<I: Copy + Eq> BloomFilterArray<I> {
     }
 
     /// Probes every filter with `item` and classifies the positives.
+    ///
+    /// The item is hashed once; see [`query_fp`](BloomFilterArray::query_fp)
+    /// to reuse a fingerprint computed upstream (e.g. across the L1 → L4
+    /// escalation of a lookup).
     #[must_use]
     pub fn query<T: Hash + ?Sized>(&self, item: &T) -> Hit<I> {
+        self.query_fp(&Fingerprint::of(item))
+    }
+
+    /// Hash-once probe: derives each filter's probe stream from `fp` by
+    /// seed-mixing, never re-hashing the item bytes. Answers identically to
+    /// [`query`](BloomFilterArray::query) for the fingerprinted item.
+    #[must_use]
+    pub fn query_fp(&self, fp: &Fingerprint) -> Hit<I> {
         let mut positives: Vec<I> = Vec::new();
         for (id, filter) in &self.entries {
-            if filter.contains(item) {
+            if filter.contains_fp(fp) {
                 positives.push(*id);
             }
         }
@@ -299,12 +328,10 @@ mod tests {
 
     #[test]
     fn from_iterator_drops_duplicate_ids() {
-        let array: BloomFilterArray<u32> = vec![
-            (1, filter_with(&["first"])),
-            (1, filter_with(&["second"])),
-        ]
-        .into_iter()
-        .collect();
+        let array: BloomFilterArray<u32> =
+            vec![(1, filter_with(&["first"])), (1, filter_with(&["second"]))]
+                .into_iter()
+                .collect();
         assert_eq!(array.len(), 1);
         assert_eq!(array.query("first"), Hit::Unique(1));
     }

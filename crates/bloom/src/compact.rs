@@ -97,7 +97,7 @@ impl CompactCountingBloomFilter {
 
     fn get(&self, idx: usize) -> u8 {
         let byte = self.nibbles[idx / 2];
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             byte & 0xF
         } else {
             byte >> 4
@@ -107,7 +107,7 @@ impl CompactCountingBloomFilter {
     fn set(&mut self, idx: usize, value: u8) {
         debug_assert!(value <= MAX_COUNT);
         let byte = &mut self.nibbles[idx / 2];
-        if idx % 2 == 0 {
+        if idx.is_multiple_of(2) {
             *byte = (*byte & 0xF0) | value;
         } else {
             *byte = (*byte & 0x0F) | (value << 4);

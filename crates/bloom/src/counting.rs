@@ -9,7 +9,7 @@ use std::hash::Hash;
 
 use crate::error::{BloomError, FilterShape};
 use crate::filter::BloomFilter;
-use crate::hash::probe_indices;
+use crate::hash::{probe_indices, Fingerprint};
 
 /// A Bloom filter with per-position counters, supporting removal.
 ///
@@ -140,7 +140,12 @@ impl CountingBloomFilter {
 
     /// Inserts `item`, incrementing its counters (saturating at 255).
     pub fn insert<T: Hash + ?Sized>(&mut self, item: &T) {
-        for idx in probe_indices(item, self.seed, self.bits, self.hashes) {
+        self.insert_fp(&Fingerprint::of(item));
+    }
+
+    /// Hash-once variant of [`insert`](CountingBloomFilter::insert).
+    pub fn insert_fp(&mut self, fp: &Fingerprint) {
+        for idx in fp.probes(self.seed, self.bits, self.hashes) {
             self.counters[idx] = self.counters[idx].saturating_add(1);
         }
         self.items += 1;
@@ -150,6 +155,14 @@ impl CountingBloomFilter {
     #[must_use]
     pub fn contains<T: Hash + ?Sized>(&self, item: &T) -> bool {
         probe_indices(item, self.seed, self.bits, self.hashes).all(|idx| self.counters[idx] > 0)
+    }
+
+    /// Hash-once variant of [`contains`](CountingBloomFilter::contains);
+    /// answers identically to `contains` for the fingerprinted item.
+    #[must_use]
+    pub fn contains_fp(&self, fp: &Fingerprint) -> bool {
+        fp.probes(self.seed, self.bits, self.hashes)
+            .all(|idx| self.counters[idx] > 0)
     }
 
     /// Removes one occurrence of `item`, decrementing its counters.
@@ -162,10 +175,20 @@ impl CountingBloomFilter {
     /// if some counter for `item` is already zero (the item was definitely
     /// never inserted, or was already removed).
     pub fn remove<T: Hash + ?Sized>(&mut self, item: &T) -> Result<(), BloomError> {
-        if !self.contains(item) {
+        self.remove_fp(&Fingerprint::of(item))
+    }
+
+    /// Hash-once variant of [`remove`](CountingBloomFilter::remove).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::AbsentItem`] under the same conditions as
+    /// [`remove`](CountingBloomFilter::remove).
+    pub fn remove_fp(&mut self, fp: &Fingerprint) -> Result<(), BloomError> {
+        if !self.contains_fp(fp) {
             return Err(BloomError::AbsentItem);
         }
-        for idx in probe_indices(item, self.seed, self.bits, self.hashes) {
+        for idx in fp.probes(self.seed, self.bits, self.hashes) {
             let c = &mut self.counters[idx];
             if *c != u8::MAX {
                 *c -= 1;

@@ -8,7 +8,7 @@ use std::hash::Hash;
 
 use crate::analysis;
 use crate::error::{BloomError, FilterShape};
-use crate::hash::probe_indices;
+use crate::hash::{probe_indices, Fingerprint};
 
 /// A space-efficient probabilistic set membership structure.
 ///
@@ -154,7 +154,13 @@ impl BloomFilter {
     /// Inserts `item`. Never fails; duplicate inserts are idempotent on the
     /// bit vector but still counted in [`item_count`](BloomFilter::item_count).
     pub fn insert<T: Hash + ?Sized>(&mut self, item: &T) {
-        for idx in probe_indices(item, self.seed, self.bits, self.hashes) {
+        self.insert_fp(&Fingerprint::of(item));
+    }
+
+    /// Hash-once variant of [`insert`](BloomFilter::insert): consumes a
+    /// precomputed [`Fingerprint`] instead of re-hashing the item bytes.
+    pub fn insert_fp(&mut self, fp: &Fingerprint) {
+        for idx in fp.probes(self.seed, self.bits, self.hashes) {
             self.words[idx / 64] |= 1 << (idx % 64);
         }
         self.items += 1;
@@ -165,6 +171,14 @@ impl BloomFilter {
     #[must_use]
     pub fn contains<T: Hash + ?Sized>(&self, item: &T) -> bool {
         probe_indices(item, self.seed, self.bits, self.hashes)
+            .all(|idx| self.words[idx / 64] >> (idx % 64) & 1 == 1)
+    }
+
+    /// Hash-once variant of [`contains`](BloomFilter::contains); answers
+    /// identically to `contains` for the item the fingerprint digests.
+    #[must_use]
+    pub fn contains_fp(&self, fp: &Fingerprint) -> bool {
+        fp.probes(self.seed, self.bits, self.hashes)
             .all(|idx| self.words[idx / 64] >> (idx % 64) & 1 == 1)
     }
 
@@ -376,9 +390,7 @@ mod tests {
             f.insert(&i);
         }
         // Theoretical optimum at 8 bits/item is ~2.1 %; allow 2x slack.
-        let false_hits = (10_000u32..60_000)
-            .filter(|i| f.contains(i))
-            .count();
+        let false_hits = (10_000u32..60_000).filter(|i| f.contains(i)).count();
         let rate = false_hits as f64 / 50_000.0;
         assert!(rate < 0.045, "false positive rate {rate} too high");
     }
@@ -444,10 +456,7 @@ mod tests {
         let a = sample_filter();
         let mut c = sample_filter();
         c.insert("delta");
-        assert_eq!(
-            a.xor_distance(&c).unwrap(),
-            c.xor_distance(&a).unwrap()
-        );
+        assert_eq!(a.xor_distance(&c).unwrap(), c.xor_distance(&a).unwrap());
     }
 
     #[test]

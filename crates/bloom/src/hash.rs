@@ -1,10 +1,29 @@
-//! Seeded hashing machinery shared by every filter in this crate.
+//! Seeded hashing machinery shared by every filter in this crate, built
+//! around **hash-once fingerprints**.
 //!
 //! All filters use the Kirsch–Mitzenmacher double-hashing construction: two
 //! independent 64-bit hashes `h1`, `h2` are derived from the item, and the
 //! `i`-th probe index is `(h1 + i * h2) mod m`. This matches the behaviour of
 //! `k` independent hash functions closely enough for Bloom filter false-rate
 //! analysis while requiring only one pass over the item bytes.
+//!
+//! # Hash-once design
+//!
+//! The G-HBA query hierarchy probes *arrays* of filters — one per candidate
+//! MDS — at every level, and again on every multicast recipient. Hashing the
+//! pathname once per filter would make an N-filter probe cost `O(N·|path|)`;
+//! instead, the item bytes are consumed exactly once into a seed-independent
+//! [`Fingerprint`] (two independent FNV-1a lanes), and every filter's
+//! `(h1, h2)` pair is derived from the fingerprint by **seed-mixing**: the
+//! filter seed is avalanche-mixed with [`splitmix64`] and folded into each
+//! lane at finalization time, never into the byte pass. Derivation is O(1)
+//! per filter, so an N-filter probe costs one byte pass plus `O(N)` mixes.
+//!
+//! Invariant relied on throughout the crate (and enforced by construction):
+//! for every item and seed, [`Fingerprint::pair`] equals [`index_pair`] and
+//! therefore [`Fingerprint::probes`] yields exactly the same index sequence
+//! as [`probe_indices`]. All single-item entry points are thin wrappers over
+//! the fingerprint path.
 //!
 //! Hashing is keyed by a `u64` seed so that distinct filter families (e.g.
 //! the L1 LRU array vs. the L2 segment array in G-HBA) probe uncorrelated
@@ -15,8 +34,8 @@ use std::hash::{Hash, Hasher};
 
 /// `splitmix64` finalizer — the standard 64-bit avalanche mix.
 ///
-/// Used both to post-process the weakly mixing FNV state and to derive
-/// secondary seeds from primary ones.
+/// Used to decorrelate the weakly mixing FNV lanes, to fold seeds in at
+/// finalization time, and to derive secondary seeds from primary ones.
 #[inline]
 #[must_use]
 pub fn splitmix64(mut x: u64) -> u64 {
@@ -26,16 +45,160 @@ pub fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
-const FNV_PRIME: u64 = 0x1000_0000_01B3;
+/// Lane A: the standard FNV-1a offset/prime pair.
+const FNV_OFFSET_A: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME_A: u64 = 0x1000_0000_01B3;
+/// Lane B: a distinct offset and a distinct odd multiplier, so the two
+/// lanes respond differently to content (not just to a constant offset).
+const FNV_OFFSET_B: u64 = 0xBB67_AE85_84CA_A73B;
+const FNV_PRIME_B: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Key decorrelating the `h2` stream from the `h1` stream.
+const H2_KEY: u64 = 0xA076_1D64_78BD_642F;
+/// Key decorrelating the 128-bit identity fingerprint from probe streams.
+const FP128_KEY: u64 = 0x6A09_E667_F3BC_C909;
+
+/// A seed-independent digest of one item: the anchor of the hash-once path.
+///
+/// Computed with exactly one pass over the item bytes ([`Fingerprint::of`]),
+/// it can then derive the probe stream of *any* filter — whatever its seed
+/// or geometry — in O(1) via [`pair`](Fingerprint::pair) /
+/// [`probes`](Fingerprint::probes). Compute it once at the query entry
+/// point, reuse it across every filter of every level (and ship it in
+/// multicast probe messages so recipients never re-hash the path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fingerprint {
+    a: u64,
+    b: u64,
+}
+
+impl Fingerprint {
+    /// Digests `item` (the single byte pass of the hash-once path).
+    #[inline]
+    #[must_use]
+    pub fn of<T: Hash + ?Sized>(item: &T) -> Self {
+        let mut hasher = FingerprintHasher::new();
+        item.hash(&mut hasher);
+        hasher.fingerprint()
+    }
+
+    /// Reassembles a fingerprint from its raw lanes (wire decoding).
+    #[inline]
+    #[must_use]
+    pub fn from_lanes(a: u64, b: u64) -> Self {
+        Fingerprint { a, b }
+    }
+
+    /// The raw lanes (wire encoding).
+    #[inline]
+    #[must_use]
+    pub fn lanes(&self) -> (u64, u64) {
+        (self.a, self.b)
+    }
+
+    /// Derives the double-hashing pair `(h1, h2)` for the filter family
+    /// keyed by `seed`. Equals [`index_pair`] for the same item and seed.
+    ///
+    /// `h2` is forced odd so that successive probe indices do not collapse
+    /// when the filter length shares factors with `h2`.
+    #[inline]
+    #[must_use]
+    pub fn pair(&self, seed: u64) -> (u64, u64) {
+        let h1 = splitmix64(self.a ^ splitmix64(seed));
+        let h2 = splitmix64(self.b ^ splitmix64(seed ^ H2_KEY)) | 1;
+        (h1, h2)
+    }
+
+    /// The `k` probe indices for this item in a filter of `m` bits keyed by
+    /// `seed`. Identical to [`probe_indices`] for the same item.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`; a zero-width filter is a construction error
+    /// upstream.
+    #[inline]
+    #[must_use]
+    pub fn probes(&self, seed: u64, m: usize, k: u32) -> ProbeIndices {
+        assert!(m > 0, "filter must have at least one bit");
+        let (h1, h2) = self.pair(seed);
+        ProbeIndices {
+            h1,
+            h2,
+            m: m as u64,
+            remaining: k,
+        }
+    }
+
+    /// The 128-bit near-exact identity under `seed`. Equals
+    /// [`fingerprint128`] for the same item and seed.
+    #[inline]
+    #[must_use]
+    pub fn identity128(&self, seed: u64) -> u128 {
+        let (a, b) = self.pair(seed ^ FP128_KEY);
+        (u128::from(a) << 64) | u128::from(b)
+    }
+}
+
+/// The streaming two-lane FNV-1a hasher behind [`Fingerprint::of`].
+#[derive(Debug, Clone)]
+pub struct FingerprintHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for FingerprintHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FingerprintHasher {
+    /// Creates a hasher with empty lanes.
+    #[must_use]
+    pub fn new() -> Self {
+        FingerprintHasher {
+            a: FNV_OFFSET_A,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    /// Finalizes into a [`Fingerprint`].
+    #[inline]
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint {
+            a: self.a,
+            b: self.b,
+        }
+    }
+}
+
+impl Hasher for FingerprintHasher {
+    /// Lane A, unseeded and un-avalanched; prefer
+    /// [`fingerprint`](FingerprintHasher::fingerprint).
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.a
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME_A);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME_B);
+        }
+    }
+}
 
 /// A seeded streaming hasher implementing [`std::hash::Hasher`].
 ///
-/// Internally FNV-1a over the written bytes, finalized with [`splitmix64`]
-/// for avalanche. Not cryptographic; adequate and fast for Bloom filters.
+/// Streams bytes through the fingerprint lanes and folds the seed in at
+/// finalization, so [`SeededHasher::finish`] agrees with [`hash_one`] (and
+/// with lane `h1` of the fingerprint path) for the same bytes and seed.
 #[derive(Debug, Clone)]
 pub struct SeededHasher {
-    state: u64,
+    lanes: FingerprintHasher,
+    seed: u64,
 }
 
 impl SeededHasher {
@@ -43,7 +206,8 @@ impl SeededHasher {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         SeededHasher {
-            state: FNV_OFFSET ^ splitmix64(seed),
+            lanes: FingerprintHasher::new(),
+            seed,
         }
     }
 }
@@ -51,15 +215,12 @@ impl SeededHasher {
 impl Hasher for SeededHasher {
     #[inline]
     fn finish(&self) -> u64 {
-        splitmix64(self.state)
+        self.lanes.fingerprint().pair(self.seed).0
     }
 
     #[inline]
     fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.state ^= u64::from(b);
-            self.state = self.state.wrapping_mul(FNV_PRIME);
-        }
+        self.lanes.write(bytes);
     }
 }
 
@@ -67,23 +228,17 @@ impl Hasher for SeededHasher {
 #[inline]
 #[must_use]
 pub fn hash_one<T: Hash + ?Sized>(item: &T, seed: u64) -> u64 {
-    let mut hasher = SeededHasher::new(seed);
-    item.hash(&mut hasher);
-    hasher.finish()
+    Fingerprint::of(item).pair(seed).0
 }
 
 /// Derives the double-hashing pair `(h1, h2)` for `item` under `seed`.
 ///
-/// `h2` is forced odd so that successive probe indices do not collapse when
-/// the filter length shares factors with `h2`.
+/// Thin wrapper over [`Fingerprint::pair`]; the two are identical by
+/// construction (the property tests assert it).
 #[inline]
 #[must_use]
 pub fn index_pair<T: Hash + ?Sized>(item: &T, seed: u64) -> (u64, u64) {
-    let h1 = hash_one(item, seed);
-    // Independent second stream: re-key rather than re-mix, so that h2 is not
-    // a function of h1 alone.
-    let h2 = hash_one(item, splitmix64(seed ^ 0xA076_1D64_78BD_642F)) | 1;
-    (h1, h2)
+    Fingerprint::of(item).pair(seed)
 }
 
 /// A 128-bit fingerprint of `item`, used where near-exact identity is needed
@@ -91,13 +246,13 @@ pub fn index_pair<T: Hash + ?Sized>(item: &T, seed: u64) -> (u64, u64) {
 #[inline]
 #[must_use]
 pub fn fingerprint128<T: Hash + ?Sized>(item: &T, seed: u64) -> u128 {
-    let (a, b) = index_pair(item, seed ^ 0x6A09_E667_F3BC_C909);
-    (u128::from(a) << 64) | u128::from(b)
+    Fingerprint::of(item).identity128(seed)
 }
 
 /// Iterator over the `k` probe indices of an item in a filter of `m` bits.
 ///
-/// Produced by [`probe_indices`]; see the module docs for the construction.
+/// Produced by [`probe_indices`] and [`Fingerprint::probes`]; see the module
+/// docs for the construction.
 #[derive(Debug, Clone)]
 pub struct ProbeIndices {
     h1: u64,
@@ -137,14 +292,7 @@ impl ExactSizeIterator for ProbeIndices {}
 #[inline]
 #[must_use]
 pub fn probe_indices<T: Hash + ?Sized>(item: &T, seed: u64, m: usize, k: u32) -> ProbeIndices {
-    assert!(m > 0, "filter must have at least one bit");
-    let (h1, h2) = index_pair(item, seed);
-    ProbeIndices {
-        h1,
-        h2,
-        m: m as u64,
-        remaining: k,
-    }
+    Fingerprint::of(item).probes(seed, m, k)
 }
 
 #[cfg(test)]
@@ -173,11 +321,43 @@ mod tests {
     }
 
     #[test]
+    fn hash_one_matches_streaming_hasher() {
+        let mut hasher = SeededHasher::new(9);
+        "path/to/file".hash(&mut hasher);
+        assert_eq!(hasher.finish(), hash_one("path/to/file", 9));
+    }
+
+    #[test]
     fn index_pair_h2_is_odd() {
         for i in 0..100u32 {
             let (_, h2) = index_pair(&i, 99);
             assert_eq!(h2 & 1, 1);
         }
+    }
+
+    #[test]
+    fn fingerprint_pair_matches_index_pair() {
+        for i in 0..200u64 {
+            let fp = Fingerprint::of(&i);
+            for seed in [0u64, 1, 42, u64::MAX] {
+                assert_eq!(fp.pair(seed), index_pair(&i, seed));
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_probes_match_probe_indices() {
+        let fp = Fingerprint::of("some/long/path/name.ext");
+        let from_fp: Vec<usize> = fp.probes(11, 4096, 6).collect();
+        let direct: Vec<usize> = probe_indices("some/long/path/name.ext", 11, 4096, 6).collect();
+        assert_eq!(from_fp, direct);
+    }
+
+    #[test]
+    fn fingerprint_lane_roundtrip() {
+        let fp = Fingerprint::of("x");
+        let (a, b) = fp.lanes();
+        assert_eq!(Fingerprint::from_lanes(a, b), fp);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   filter array (IDBFA) that tracks replica placement within a group;
 //! * [`BloomFilterArray`] — a keyed array of filters probed together,
 //!   classifying results as zero / unique / multiple [`Hit`]s;
+//! * [`SharedShapeArray`] — the bit-sliced hot-path variant for arrays
+//!   whose filters share one [`FilterShape`]: an N-filter probe is `k`
+//!   word-row loads plus an AND-reduction instead of N filter walks;
+//! * [`Fingerprint`] ([`hash`]) — hash-once digests: one pass over the item
+//!   bytes derives every filter's probe stream by O(1) seed-mixing;
 //! * [`LruBloomArray`] and [`GenerationalLruArray`] — the L1 "hot data"
 //!   structures capturing temporal locality;
 //! * [`ops`] — filter set algebra (union / intersection / XOR) and the
@@ -44,15 +49,18 @@ mod array;
 mod compact;
 mod counting;
 mod error;
-pub mod hash;
 mod filter;
+pub mod hash;
 mod lru;
 pub mod ops;
+mod shared;
 
 pub use array::{BloomFilterArray, Hit};
 pub use compact::CompactCountingBloomFilter;
 pub use counting::CountingBloomFilter;
 pub use error::{BloomError, FilterShape};
 pub use filter::BloomFilter;
+pub use hash::Fingerprint;
 pub use lru::{GenerationalLruArray, LruBloomArray};
 pub use ops::FilterDelta;
+pub use shared::{SharedShapeArray, SlotMask};

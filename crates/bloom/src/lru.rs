@@ -21,7 +21,7 @@ use std::hash::Hash;
 use crate::array::Hit;
 use crate::counting::CountingBloomFilter;
 use crate::filter::BloomFilter;
-use crate::hash::fingerprint128;
+use crate::hash::Fingerprint;
 
 /// Exact-LRU Bloom filter array over recently accessed `(file, home)` pairs.
 ///
@@ -155,7 +155,14 @@ impl<I: Copy + Eq> LruBloomArray<I> {
     /// rename or migration) the stale mapping is replaced. May evict the
     /// least-recently used resident.
     pub fn record<T: Hash + ?Sized>(&mut self, item: &T, home: I) {
-        let fp = fingerprint128(item, self.seed);
+        self.record_fp(&Fingerprint::of(item), home);
+    }
+
+    /// Hash-once variant of [`record`](LruBloomArray::record): reuses a
+    /// [`Fingerprint`] computed upstream (e.g. by the lookup that just
+    /// resolved this item's home).
+    pub fn record_fp(&mut self, item_fp: &Fingerprint, home: I) {
+        let fp = item_fp.identity128(self.seed);
         let seq = self.next_seq;
         self.next_seq += 1;
         match self.residents.get_mut(&fp) {
@@ -195,10 +202,21 @@ impl<I: Copy + Eq> LruBloomArray<I> {
     /// files).
     #[must_use]
     pub fn query<T: Hash + ?Sized>(&self, item: &T) -> Hit<I> {
-        let fp = fingerprint128(item, self.seed);
+        self.query_fp(&Fingerprint::of(item))
+    }
+
+    /// Hash-once variant of [`query`](LruBloomArray::query): derives this
+    /// array's 128-bit identity from `item_fp` (no re-hash of the item
+    /// bytes), then digests it once more for the per-home filters. Answers
+    /// identically to [`query`](LruBloomArray::query).
+    #[must_use]
+    pub fn query_fp(&self, item_fp: &Fingerprint) -> Hit<I> {
+        let fp = item_fp.identity128(self.seed);
+        // One 16-byte digest shared by every per-home filter probe.
+        let probe = Fingerprint::of(&fp);
         let mut positives: Vec<I> = Vec::new();
         for (id, filter) in &self.filters {
-            if filter.contains(&fp) {
+            if filter.contains_fp(&probe) {
                 positives.push(*id);
             }
         }

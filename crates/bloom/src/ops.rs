@@ -160,6 +160,18 @@ impl FilterDelta {
         target.set_items(self.new_items);
         Ok(())
     }
+
+    pub(crate) fn shape(&self) -> crate::error::FilterShape {
+        self.shape
+    }
+
+    pub(crate) fn changed_words(&self) -> &[(u32, u64)] {
+        &self.changed
+    }
+
+    pub(crate) fn new_items(&self) -> usize {
+        self.new_items
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,698 @@
+//! Bit-sliced, shared-shape Bloom filter arrays — the hot-path probe
+//! structure behind every level of the G-HBA query hierarchy.
+//!
+//! # Layout
+//!
+//! A [`SharedShapeArray`] holds up to `C` filters (slots) that all share one
+//! [`FilterShape`] `(m, k, seed)`. Instead of `C` independent bit vectors,
+//! the bits are stored **interleaved by bit position**: for each of the `m`
+//! bit positions there is a row of `ceil(C/64)` words (`stride`) holding
+//! that position's bit for *every* slot. Membership bit `j` of slot `s`
+//! lives at word `slab[j * stride + s / 64]`, bit `s % 64`.
+//!
+//! A query therefore needs the item's `k` probe rows only **once** for the
+//! whole array: starting from the live-slot mask, it ANDs the `k` rows
+//! together — `k × stride` word loads — and the surviving mask bits *are*
+//! the positive slots. Compare the classic array-of-filters walk, which
+//! costs `N` separate filter traversals (`N × k` scattered bit reads) plus
+//! `N` hashes without the hash-once [`Fingerprint`] path.
+//!
+//! # Invariants
+//!
+//! * All slots share the array's `FilterShape`; filters pushed in must match
+//!   it exactly ([`BloomError::IncompatibleFilters`] otherwise), so a slot's
+//!   probe rows are the same for every slot and the AND-reduction is sound.
+//! * Probe sequences come from [`Fingerprint`] seed-mixing and are *bit
+//!   identical* to [`crate::hash::probe_indices`] / [`BloomFilter`] probes:
+//!   a `SharedShapeArray` answers exactly like a [`BloomFilterArray`] built
+//!   from the same inserts (the property tests assert this).
+//! * Freed slots are zeroed immediately and masked out of every query, so
+//!   recycling a slot can never leak a predecessor's bits.
+//!
+//! # Examples
+//!
+//! ```
+//! use ghba_bloom::{FilterShape, Fingerprint, Hit, SharedShapeArray};
+//!
+//! let shape = FilterShape { bits: 4096, hashes: 5, seed: 7 };
+//! let mut array = SharedShapeArray::new(shape);
+//! array.push(10u16)?;
+//! array.push(11u16)?;
+//! array.insert(10u16, "/projects/ghba/paper.tex")?;
+//!
+//! // Hash once, probe the whole array.
+//! let fp = Fingerprint::of("/projects/ghba/paper.tex");
+//! assert_eq!(array.query_fp(&fp), Hit::Unique(10));
+//! assert_eq!(array.query("/somewhere/else"), Hit::None);
+//! # Ok::<(), ghba_bloom::BloomError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::array::Hit;
+use crate::error::{BloomError, FilterShape};
+use crate::filter::BloomFilter;
+use crate::hash::Fingerprint;
+use crate::ops::FilterDelta;
+
+/// A bit-sliced array of same-shape Bloom filters probed as one.
+///
+/// See the [module docs](self) for the layout and its invariants. `I`
+/// identifies the server a slot summarizes (an `MdsId` upstream).
+#[derive(Debug, Clone)]
+pub struct SharedShapeArray<I> {
+    shape: FilterShape,
+    /// Words per bit-position row (`ceil(slot capacity / 64)`).
+    stride: usize,
+    /// `shape.bits * stride` words, interleaved by bit position.
+    slab: Vec<u64>,
+    /// Slot index → id; `None` marks a free (zeroed) slot.
+    slots: Vec<Option<I>>,
+    /// Bitmask of live slots, `stride` words.
+    live: Vec<u64>,
+    /// Recycled slot indices.
+    free: Vec<usize>,
+    /// id → slot, so hot-path mask building and inserts avoid an O(C)
+    /// scan over `slots`.
+    index: HashMap<I, usize>,
+    /// Per-slot inserted-item bookkeeping (upper bound, like
+    /// [`BloomFilter::item_count`]).
+    items: Vec<usize>,
+}
+
+/// A precomputed candidate-slot mask for masked queries.
+///
+/// Build one with [`SharedShapeArray::subset_mask`] or
+/// [`SharedShapeArray::mask_all_except`]; masks stay valid until the array's
+/// slot assignment changes (a push, remove, or capacity growth).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlotMask {
+    words: Vec<u64>,
+}
+
+impl SlotMask {
+    /// Number of candidate slots in the mask.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `true` when no slot is selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
+    /// Creates an empty array whose slots will all use `shape`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape.bits == 0` or `shape.hashes == 0`.
+    #[must_use]
+    pub fn new(shape: FilterShape) -> Self {
+        Self::with_capacity(shape, 64)
+    }
+
+    /// Creates an empty array pre-sized for `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape.bits == 0` or `shape.hashes == 0`.
+    #[must_use]
+    pub fn with_capacity(shape: FilterShape, capacity: usize) -> Self {
+        assert!(shape.bits > 0, "filters must have at least one bit");
+        assert!(shape.hashes > 0, "filters must use at least one hash");
+        let stride = capacity.max(1).div_ceil(64);
+        SharedShapeArray {
+            shape,
+            stride,
+            slab: vec![0; shape.bits * stride],
+            slots: Vec::new(),
+            live: vec![0; stride],
+            free: Vec::new(),
+            index: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Builds an array from same-shape `(id, filter)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::IncompatibleFilters`] on a shape mismatch and
+    /// [`BloomError::DuplicateId`] on a repeated id.
+    pub fn from_filters<T>(iter: T) -> Result<Self, BloomError>
+    where
+        T: IntoIterator<Item = (I, BloomFilter)>,
+    {
+        let mut iter = iter.into_iter();
+        let Some((first_id, first)) = iter.next() else {
+            // No filters means no shape to adopt; an arbitrary non-empty
+            // shape keeps the array usable (every query answers `None`).
+            return Ok(Self::new(FilterShape {
+                bits: 64,
+                hashes: 1,
+                seed: 0,
+            }));
+        };
+        let mut array = Self::new(first.shape());
+        array.push_filter(first_id, &first)?;
+        for (id, filter) in iter {
+            array.push_filter(id, &filter)?;
+        }
+        Ok(array)
+    }
+
+    /// The shape shared by every slot.
+    #[must_use]
+    pub fn shape(&self) -> FilterShape {
+        self.shape
+    }
+
+    /// Number of live slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// `true` when no slot is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap footprint of the bit slab in bytes.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.slab.len() * 8
+    }
+
+    /// Live ids in slot order (insertion order when nothing was removed).
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        self.slots.iter().filter_map(|slot| *slot)
+    }
+
+    /// `true` if a slot for `id` is live.
+    #[must_use]
+    pub fn contains_id(&self, id: I) -> bool {
+        self.slot_of(id).is_some()
+    }
+
+    fn slot_of(&self, id: I) -> Option<usize> {
+        self.index.get(&id).copied()
+    }
+
+    /// Doubles slot capacity, re-interleaving the slab.
+    fn grow(&mut self) {
+        let new_stride = self.stride * 2;
+        let mut slab = vec![0u64; self.shape.bits * new_stride];
+        for row in 0..self.shape.bits {
+            let old = &self.slab[row * self.stride..(row + 1) * self.stride];
+            slab[row * new_stride..row * new_stride + self.stride].copy_from_slice(old);
+        }
+        self.slab = slab;
+        self.live.resize(new_stride, 0);
+        self.stride = new_stride;
+    }
+
+    fn allocate_slot(&mut self, id: I) -> Result<usize, BloomError> {
+        if self.contains_id(id) {
+            return Err(BloomError::DuplicateId);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(id);
+                slot
+            }
+            None => {
+                if self.slots.len() == self.stride * 64 {
+                    self.grow();
+                }
+                self.slots.push(Some(id));
+                self.items.push(0);
+                self.slots.len() - 1
+            }
+        };
+        self.items[slot] = 0;
+        self.live[slot / 64] |= 1 << (slot % 64);
+        self.index.insert(id, slot);
+        Ok(slot)
+    }
+
+    /// Adds an empty filter slot for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::DuplicateId`] if `id` is already present.
+    pub fn push(&mut self, id: I) -> Result<(), BloomError> {
+        self.allocate_slot(id).map(|_| ())
+    }
+
+    /// Adds a slot for `id` holding a copy of `filter`'s bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::IncompatibleFilters`] if `filter` does not
+    /// match the array shape, or [`BloomError::DuplicateId`].
+    pub fn push_filter(&mut self, id: I, filter: &BloomFilter) -> Result<(), BloomError> {
+        self.check_shape(filter)?;
+        let slot = self.allocate_slot(id)?;
+        self.write_column(slot, filter);
+        self.items[slot] = filter.item_count();
+        Ok(())
+    }
+
+    /// Replaces the bits of `id`'s slot with `filter`'s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::IncompatibleFilters`] on a shape mismatch or
+    /// [`BloomError::UnknownId`] if `id` is absent.
+    pub fn replace_filter(&mut self, id: I, filter: &BloomFilter) -> Result<(), BloomError> {
+        self.check_shape(filter)?;
+        let slot = self.slot_of(id).ok_or(BloomError::UnknownId)?;
+        self.clear_column(slot);
+        self.write_column(slot, filter);
+        self.items[slot] = filter.item_count();
+        Ok(())
+    }
+
+    /// Removes `id`'s slot (zeroing its column); returns `false` when `id`
+    /// was not present.
+    pub fn remove(&mut self, id: I) -> bool {
+        let Some(slot) = self.slot_of(id) else {
+            return false;
+        };
+        self.clear_column(slot);
+        self.slots[slot] = None;
+        self.items[slot] = 0;
+        self.live[slot / 64] &= !(1 << (slot % 64));
+        self.free.push(slot);
+        self.index.remove(&id);
+        true
+    }
+
+    fn check_shape(&self, filter: &BloomFilter) -> Result<(), BloomError> {
+        if filter.shape() == self.shape {
+            Ok(())
+        } else {
+            Err(BloomError::IncompatibleFilters {
+                left: self.shape,
+                right: filter.shape(),
+            })
+        }
+    }
+
+    /// Transposes `filter`'s set bits into `slot`'s column.
+    fn write_column(&mut self, slot: usize, filter: &BloomFilter) {
+        let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+        for (w, &src) in filter.words().iter().enumerate() {
+            let mut remaining = src;
+            while remaining != 0 {
+                let row = w * 64 + remaining.trailing_zeros() as usize;
+                self.slab[row * self.stride + word] |= bit;
+                remaining &= remaining - 1;
+            }
+        }
+    }
+
+    fn clear_column(&mut self, slot: usize) {
+        let (word, bit) = (slot / 64, !(1u64 << (slot % 64)));
+        for row in 0..self.shape.bits {
+            self.slab[row * self.stride + word] &= bit;
+        }
+    }
+
+    /// Applies a sparse [`FilterDelta`] directly to `id`'s column: only the
+    /// bit-rows of the delta's changed words are touched — `O(64 × changed
+    /// words)` — instead of the three full-column passes an
+    /// extract/apply/replace round trip would cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::IncompatibleFilters`] on a shape mismatch,
+    /// [`BloomError::UnknownId`] if `id` is absent, or
+    /// [`BloomError::Corrupt`] if the delta indexes past the filter.
+    pub fn apply_delta(&mut self, id: I, delta: &FilterDelta) -> Result<(), BloomError> {
+        if delta.shape() != self.shape {
+            return Err(BloomError::IncompatibleFilters {
+                left: self.shape,
+                right: delta.shape(),
+            });
+        }
+        let slot = self.slot_of(id).ok_or(BloomError::UnknownId)?;
+        let word_count = self.shape.bits.div_ceil(64);
+        if delta
+            .changed_words()
+            .iter()
+            .any(|&(idx, _)| idx as usize >= word_count)
+        {
+            return Err(BloomError::Corrupt("delta word index out of range"));
+        }
+        let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+        for &(idx, new_word) in delta.changed_words() {
+            let base = idx as usize * 64;
+            let top = (base + 64).min(self.shape.bits);
+            for row in base..top {
+                let cell = &mut self.slab[row * self.stride + word];
+                if new_word >> (row - base) & 1 == 1 {
+                    *cell |= bit;
+                } else {
+                    *cell &= !bit;
+                }
+            }
+        }
+        self.items[slot] = delta.new_items();
+        Ok(())
+    }
+
+    /// Reconstructs `id`'s slot as a standalone [`BloomFilter`] (used when
+    /// shipping a replica or applying a [`crate::FilterDelta`]).
+    #[must_use]
+    pub fn extract(&self, id: I) -> Option<BloomFilter> {
+        let slot = self.slot_of(id)?;
+        let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+        let mut filter = BloomFilter::new(self.shape.bits, self.shape.hashes, self.shape.seed);
+        for row in 0..self.shape.bits {
+            if self.slab[row * self.stride + word] & bit != 0 {
+                filter.words_mut()[row / 64] |= 1 << (row % 64);
+            }
+        }
+        filter.set_items(self.items[slot]);
+        Some(filter)
+    }
+
+    /// Sets `item`'s bits in `id`'s slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::UnknownId`] if `id` is absent.
+    pub fn insert<T: Hash + ?Sized>(&mut self, id: I, item: &T) -> Result<(), BloomError> {
+        self.insert_fp(id, &Fingerprint::of(item))
+    }
+
+    /// Hash-once variant of [`insert`](SharedShapeArray::insert).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BloomError::UnknownId`] if `id` is absent.
+    pub fn insert_fp(&mut self, id: I, fp: &Fingerprint) -> Result<(), BloomError> {
+        let slot = self.slot_of(id).ok_or(BloomError::UnknownId)?;
+        let (word, bit) = (slot / 64, 1u64 << (slot % 64));
+        for row in fp.probes(self.shape.seed, self.shape.bits, self.shape.hashes) {
+            self.slab[row * self.stride + word] |= bit;
+        }
+        self.items[slot] += 1;
+        Ok(())
+    }
+
+    /// A mask selecting the live slots of the given ids (unknown ids are
+    /// ignored).
+    pub fn subset_mask<T: IntoIterator<Item = I>>(&self, ids: T) -> SlotMask {
+        let mut words = vec![0u64; self.stride];
+        for id in ids {
+            if let Some(slot) = self.slot_of(id) {
+                words[slot / 64] |= 1 << (slot % 64);
+            }
+        }
+        SlotMask { words }
+    }
+
+    /// A mask selecting every live slot except `id`'s.
+    #[must_use]
+    pub fn mask_all_except(&self, id: I) -> SlotMask {
+        let mut words = self.live.clone();
+        if let Some(slot) = self.slot_of(id) {
+            words[slot / 64] &= !(1 << (slot % 64));
+        }
+        SlotMask { words }
+    }
+
+    /// Probes every live slot with `item` and classifies the positives.
+    #[must_use]
+    pub fn query<T: Hash + ?Sized>(&self, item: &T) -> Hit<I> {
+        self.query_fp(&Fingerprint::of(item))
+    }
+
+    /// Hash-once probe of every live slot: `k × stride` word loads plus an
+    /// AND-reduction, regardless of how many filters the array holds.
+    #[must_use]
+    pub fn query_fp(&self, fp: &Fingerprint) -> Hit<I> {
+        self.reduce(fp, &self.live)
+    }
+
+    /// Masked hash-once probe: only slots in `mask` are candidates.
+    /// # Panics
+    ///
+    /// Panics if `mask` predates a capacity growth of this array (a stale
+    /// mask would silently exclude every slot beyond the old capacity).
+    #[must_use]
+    pub fn query_fp_masked(&self, fp: &Fingerprint, mask: &SlotMask) -> Hit<I> {
+        assert_eq!(
+            mask.words.len(),
+            self.stride,
+            "SlotMask predates a capacity growth; rebuild it"
+        );
+        self.reduce(fp, &mask.words)
+    }
+
+    /// Convenience: probe only the slots of `ids` (builds a transient mask).
+    pub fn query_fp_among<T: IntoIterator<Item = I>>(&self, fp: &Fingerprint, ids: T) -> Hit<I> {
+        let mask = self.subset_mask(ids);
+        self.query_fp_masked(fp, &mask)
+    }
+
+    fn reduce(&self, fp: &Fingerprint, candidates: &[u64]) -> Hit<I> {
+        if self.stride == 1 {
+            // Fast path covering arrays of up to 64 slots: the whole
+            // candidate mask lives in one register.
+            let mut mask = candidates[0] & self.live[0];
+            for row in fp.probes(self.shape.seed, self.shape.bits, self.shape.hashes) {
+                mask &= self.slab[row];
+                if mask == 0 {
+                    return Hit::None;
+                }
+            }
+            return self.classify(&[mask]);
+        }
+        let mut mask: Vec<u64> = candidates
+            .iter()
+            .zip(&self.live)
+            .map(|(c, l)| c & l)
+            .collect();
+        for row in fp.probes(self.shape.seed, self.shape.bits, self.shape.hashes) {
+            let slice = &self.slab[row * self.stride..(row + 1) * self.stride];
+            let mut any = 0u64;
+            for (m, s) in mask.iter_mut().zip(slice) {
+                *m &= s;
+                any |= *m;
+            }
+            if any == 0 {
+                return Hit::None;
+            }
+        }
+        self.classify(&mask)
+    }
+
+    fn classify(&self, mask: &[u64]) -> Hit<I> {
+        let positives: u32 = mask.iter().map(|w| w.count_ones()).sum();
+        match positives {
+            0 => Hit::None,
+            1 => {
+                let word = mask.iter().position(|&w| w != 0).expect("one bit set");
+                let slot = word * 64 + mask[word].trailing_zeros() as usize;
+                Hit::Unique(self.slots[slot].expect("live slot has an id"))
+            }
+            _ => {
+                let mut ids = Vec::with_capacity(positives as usize);
+                for (word, &bits) in mask.iter().enumerate() {
+                    let mut remaining = bits;
+                    while remaining != 0 {
+                        let slot = word * 64 + remaining.trailing_zeros() as usize;
+                        ids.push(self.slots[slot].expect("live slot has an id"));
+                        remaining &= remaining - 1;
+                    }
+                }
+                Hit::Multiple(ids)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> FilterShape {
+        FilterShape {
+            bits: 4096,
+            hashes: 5,
+            seed: 11,
+        }
+    }
+
+    fn array_with(entries: &[(u16, &[&str])]) -> SharedShapeArray<u16> {
+        let mut array = SharedShapeArray::new(shape());
+        for &(id, items) in entries {
+            array.push(id).unwrap();
+            for item in items {
+                array.insert(id, item).unwrap();
+            }
+        }
+        array
+    }
+
+    #[test]
+    fn unique_hit_names_the_home() {
+        let array = array_with(&[(1, &["a", "b"]), (2, &["c"])]);
+        assert_eq!(array.query("c"), Hit::Unique(2));
+        assert_eq!(array.query("a"), Hit::Unique(1));
+        assert_eq!(array.query("missing"), Hit::None);
+    }
+
+    #[test]
+    fn multiple_hits_reported_in_slot_order() {
+        let array = array_with(&[(5, &["dup"]), (3, &["dup"])]);
+        match array.query("dup") {
+            Hit::Multiple(ids) => assert_eq!(ids, vec![5, 3]),
+            other => panic!("expected multiple, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut array = array_with(&[(1, &[])]);
+        assert_eq!(array.push(1), Err(BloomError::DuplicateId));
+    }
+
+    #[test]
+    fn mismatched_filter_shape_rejected() {
+        let mut array = SharedShapeArray::<u16>::new(shape());
+        let alien = BloomFilter::new(128, 2, 9);
+        assert!(matches!(
+            array.push_filter(1, &alien),
+            Err(BloomError::IncompatibleFilters { .. })
+        ));
+    }
+
+    #[test]
+    fn push_filter_transposes_bits() {
+        let mut filter = BloomFilter::new(4096, 5, 11);
+        for item in ["x", "y", "z"] {
+            filter.insert(item);
+        }
+        let mut array = SharedShapeArray::new(shape());
+        array.push_filter(7u16, &filter).unwrap();
+        for item in ["x", "y", "z"] {
+            assert_eq!(array.query(item), Hit::Unique(7));
+        }
+        assert_eq!(array.extract(7).unwrap(), filter);
+    }
+
+    #[test]
+    fn replace_filter_swaps_column() {
+        let mut old = BloomFilter::new(4096, 5, 11);
+        old.insert("old");
+        let mut new = BloomFilter::new(4096, 5, 11);
+        new.insert("new");
+        let mut array = SharedShapeArray::new(shape());
+        array.push_filter(1u16, &old).unwrap();
+        array.replace_filter(1u16, &new).unwrap();
+        assert_eq!(array.query("new"), Hit::Unique(1));
+        assert_eq!(array.query("old"), Hit::None);
+        assert_eq!(array.replace_filter(9, &new), Err(BloomError::UnknownId));
+    }
+
+    #[test]
+    fn remove_clears_column_before_reuse() {
+        let mut array = array_with(&[(1, &["ghost"])]);
+        assert!(array.remove(1));
+        assert!(!array.remove(1));
+        assert!(array.is_empty());
+        array.push(2).unwrap();
+        // Slot 0 is recycled; the ghost's bits must be gone.
+        assert_eq!(array.query("ghost"), Hit::None);
+        assert_eq!(array.len(), 1);
+    }
+
+    #[test]
+    fn growth_past_64_slots_preserves_answers() {
+        let mut array = SharedShapeArray::new(shape());
+        for id in 0u16..130 {
+            array.push(id).unwrap();
+            array.insert(id, &format!("file-{id}")).unwrap();
+        }
+        assert_eq!(array.len(), 130);
+        for id in 0u16..130 {
+            let hit = array.query(&format!("file-{id}"));
+            assert!(
+                hit.candidates().contains(&id),
+                "lost {id} after growth: {hit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_query_restricts_candidates() {
+        let array = array_with(&[(1, &["dup"]), (2, &["dup"]), (3, &[])]);
+        let fp = Fingerprint::of("dup");
+        assert_eq!(array.query_fp_among(&fp, [1u16]), Hit::Unique(1));
+        assert_eq!(array.query_fp_among(&fp, [3u16]), Hit::None);
+        let mask = array.mask_all_except(1);
+        assert_eq!(mask.len(), 2);
+        assert_eq!(array.query_fp_masked(&fp, &mask), Hit::Unique(2));
+    }
+
+    #[test]
+    fn from_filters_builds_matching_array() {
+        let mut a = BloomFilter::new(4096, 5, 11);
+        a.insert("a");
+        let mut b = BloomFilter::new(4096, 5, 11);
+        b.insert("b");
+        let array = SharedShapeArray::from_filters([(1u16, a), (2u16, b)]).unwrap();
+        assert_eq!(array.query("a"), Hit::Unique(1));
+        assert_eq!(array.query("b"), Hit::Unique(2));
+        let empty = SharedShapeArray::<u16>::from_filters([]).unwrap();
+        assert_eq!(empty.query("anything"), Hit::None);
+    }
+
+    #[test]
+    fn apply_delta_matches_full_replace() {
+        let mut old_filter = BloomFilter::new(4096, 5, 11);
+        old_filter.insert("kept");
+        let mut new_filter = old_filter.clone();
+        for i in 0..40u32 {
+            new_filter.insert(&format!("added-{i}"));
+        }
+        let delta = FilterDelta::between(&old_filter, &new_filter).unwrap();
+
+        let mut array = SharedShapeArray::new(shape());
+        array.push_filter(1u16, &old_filter).unwrap();
+        array.push_filter(2u16, &new_filter).unwrap(); // bystander column
+        array.apply_delta(1u16, &delta).unwrap();
+        assert_eq!(array.extract(1).unwrap(), new_filter);
+        assert_eq!(array.extract(2).unwrap(), new_filter);
+
+        assert_eq!(array.apply_delta(9, &delta), Err(BloomError::UnknownId));
+        let alien =
+            FilterDelta::between(&BloomFilter::new(128, 2, 9), &BloomFilter::new(128, 2, 9))
+                .unwrap();
+        assert!(matches!(
+            array.apply_delta(1, &alien),
+            Err(BloomError::IncompatibleFilters { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_matches_n_filters() {
+        let mut array = SharedShapeArray::<u16>::new(shape());
+        for id in 0..64u16 {
+            array.push(id).unwrap();
+        }
+        // 64 slots × 4096 bits = one u64 per row.
+        assert_eq!(array.memory_bytes(), 4096 * 8);
+    }
+}

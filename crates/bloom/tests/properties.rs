@@ -1,8 +1,8 @@
 //! Property-based tests for the Bloom filter toolkit.
 
 use ghba_bloom::{
-    analysis, ops, BloomFilter, BloomFilterArray, CompactCountingBloomFilter,
-    CountingBloomFilter, FilterDelta, Hit, LruBloomArray,
+    analysis, hash, ops, BloomFilter, BloomFilterArray, CompactCountingBloomFilter,
+    CountingBloomFilter, FilterDelta, Fingerprint, Hit, LruBloomArray, SharedShapeArray,
 };
 use proptest::prelude::*;
 
@@ -204,6 +204,112 @@ proptest! {
             prop_assert_eq!(compact.contains(item), full.contains(item));
         }
         prop_assert_eq!(compact.item_count(), full.item_count());
+    }
+
+    /// Hash-once invariant: for any item, seed, and geometry, the probe
+    /// sequence derived from a precomputed [`Fingerprint`] is identical to
+    /// the direct `probe_indices` walk, and the `(h1, h2)` pair matches
+    /// `index_pair`. This is what lets one digest serve every filter of a
+    /// query.
+    #[test]
+    fn fingerprint_probes_equal_probe_indices(
+        item in "[a-z/]{1,32}",
+        seed in any::<u64>(),
+        m in 1usize..20_000,
+        k in 1u32..16,
+    ) {
+        let fp = Fingerprint::of(item.as_str());
+        prop_assert_eq!(fp.pair(seed), hash::index_pair(item.as_str(), seed));
+        let derived: Vec<usize> = fp.probes(seed, m, k).collect();
+        let direct: Vec<usize> = hash::probe_indices(item.as_str(), seed, m, k).collect();
+        prop_assert_eq!(derived, direct);
+    }
+
+    /// The fingerprint-accepting filter variants answer exactly like the
+    /// item-hashing ones.
+    #[test]
+    fn fingerprint_variants_match_item_variants(
+        items in arb_items(),
+        probes in arb_items(),
+        seed in any::<u64>(),
+    ) {
+        let mut by_item = BloomFilter::new(8192, 5, seed);
+        let mut by_fp = BloomFilter::new(8192, 5, seed);
+        for item in &items {
+            by_item.insert(item);
+            by_fp.insert_fp(&Fingerprint::of(item.as_str()));
+        }
+        prop_assert_eq!(&by_item, &by_fp);
+        for probe in items.iter().chain(&probes) {
+            let fp = Fingerprint::of(probe.as_str());
+            prop_assert_eq!(by_item.contains(probe), by_item.contains_fp(&fp));
+        }
+    }
+
+    /// A bit-sliced [`SharedShapeArray`] answers (`None`/`Unique`/
+    /// `Multiple`, including candidate sets) exactly like a plain
+    /// [`BloomFilterArray`] built from the same inserts.
+    #[test]
+    fn shared_shape_array_matches_plain_array(
+        inserts in proptest::collection::vec(("[a-z]{1,12}", 0u16..70), 0..300),
+        probes in proptest::collection::vec("[a-z]{1,12}", 0..60),
+        seed in any::<u64>(),
+        homes in 1u16..70,
+    ) {
+        let shape = ghba_bloom::FilterShape { bits: 8192, hashes: 5, seed };
+        let mut plain: BloomFilterArray<u16> = (0..homes)
+            .map(|id| (id, BloomFilter::new(shape.bits, shape.hashes, shape.seed)))
+            .collect();
+        let mut sliced = SharedShapeArray::new(shape);
+        for id in 0..homes {
+            sliced.push(id).unwrap();
+        }
+        for (item, home) in &inserts {
+            let home = home % homes;
+            plain.get_mut(home).unwrap().insert(item);
+            sliced.insert(home, item).unwrap();
+        }
+        for probe in inserts.iter().map(|(item, _)| item).chain(&probes) {
+            let fp = Fingerprint::of(probe.as_str());
+            let expected = plain.query(probe);
+            prop_assert_eq!(&sliced.query(probe), &expected, "item {}", probe);
+            prop_assert_eq!(&sliced.query_fp(&fp), &expected, "fp of {}", probe);
+            prop_assert_eq!(&plain.query_fp(&fp), &expected, "plain fp of {}", probe);
+        }
+    }
+
+    /// Masked shared-shape queries agree with a plain array restricted to
+    /// the same subset of filters.
+    #[test]
+    fn masked_query_matches_subset_array(
+        inserts in proptest::collection::vec(("[a-z]{1,10}", 0u16..16), 0..150),
+        subset in proptest::collection::vec(0u16..16, 0..16),
+        probe in "[a-z]{1,10}",
+    ) {
+        let shape = ghba_bloom::FilterShape { bits: 4096, hashes: 4, seed: 3 };
+        let mut sliced = SharedShapeArray::new(shape);
+        let mut filters: Vec<BloomFilter> = (0..16)
+            .map(|_| BloomFilter::new(shape.bits, shape.hashes, shape.seed))
+            .collect();
+        for id in 0u16..16 {
+            sliced.push(id).unwrap();
+        }
+        for (item, home) in &inserts {
+            filters[usize::from(*home)].insert(item);
+            sliced.insert(*home, item).unwrap();
+        }
+        let mut unique_subset = subset.clone();
+        unique_subset.sort_unstable();
+        unique_subset.dedup();
+        let restricted: BloomFilterArray<u16> = unique_subset
+            .iter()
+            .map(|&id| (id, filters[usize::from(id)].clone()))
+            .collect();
+        let fp = Fingerprint::of(probe.as_str());
+        let expected = restricted.query(&probe);
+        let mask = sliced.subset_mask(unique_subset.iter().copied());
+        prop_assert_eq!(mask.len(), unique_subset.len());
+        prop_assert_eq!(sliced.query_fp_masked(&fp, &mask), expected);
     }
 
     /// Hit classification is consistent with candidate count.

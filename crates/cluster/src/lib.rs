@@ -2,7 +2,7 @@
 //!
 //! The paper validates its simulations with a 60-node Linux prototype
 //! (Figures 14–15). This crate reproduces that axis with one OS thread per
-//! MDS and crossbeam channels as the network: queries run the real
+//! MDS and std mpsc channels as the network: queries run the real
 //! multi-level protocol as message exchanges, replica installs and deltas
 //! travel the fabric, and the [`Network`] counts every send — the
 //! quantity Figure 15 reports for node insertions.

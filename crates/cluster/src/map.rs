@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use ghba_core::MdsId;
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 /// Which scheme the prototype cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

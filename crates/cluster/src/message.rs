@@ -1,8 +1,8 @@
 //! Wire messages of the prototype cluster.
 
-use crossbeam::channel::Sender;
-use ghba_bloom::{BloomFilter, FilterDelta};
+use ghba_bloom::{BloomFilter, FilterDelta, Fingerprint};
 use ghba_core::{MdsId, QueryLevel};
+use std::sync::mpsc::Sender;
 
 /// A query identifier, unique per coordinating node.
 pub type QueryId = u64;
@@ -45,11 +45,16 @@ pub enum Message {
         reply: Sender<bool>,
     },
     /// Coordinator → group member: probe your replicas and live filter.
+    ///
+    /// Carries the pathname's [`Fingerprint`] instead of the pathname: the
+    /// coordinator hashed the path once at L1, and every multicast
+    /// recipient derives its filters' probe streams from the fingerprint by
+    /// seed-mixing — no recipient re-hashes the path bytes.
     GroupProbe {
         /// Query id at the coordinator.
         qid: QueryId,
-        /// Pathname under query.
-        path: String,
+        /// Hash-once digest of the pathname under query.
+        fp: Fingerprint,
         /// Who to answer.
         reply_to: MdsId,
     },

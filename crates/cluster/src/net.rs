@@ -5,9 +5,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use ghba_core::MdsId;
-use parking_lot::RwLock;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::RwLock;
 
 use crate::message::Message;
 
@@ -42,23 +42,31 @@ impl Network {
         }
     }
 
+    fn read_senders(&self) -> std::sync::RwLockReadGuard<'_, HashMap<MdsId, Sender<Message>>> {
+        self.inner.senders.read().expect("senders lock")
+    }
+
+    fn write_senders(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<MdsId, Sender<Message>>> {
+        self.inner.senders.write().expect("senders lock")
+    }
+
     /// Registers a node, returning the receiving end of its inbox.
     pub fn register(&self, id: MdsId) -> Receiver<Message> {
-        let (tx, rx) = unbounded();
-        self.inner.senders.write().insert(id, tx);
+        let (tx, rx) = channel();
+        self.write_senders().insert(id, tx);
         rx
     }
 
     /// Unregisters a node (its inbox closes once drained).
     pub fn unregister(&self, id: MdsId) {
-        self.inner.senders.write().remove(&id);
+        self.write_senders().remove(&id);
     }
 
     /// Sends `message` to `to`, counting it. Returns `false` if the node
     /// is gone (message dropped, still counted as network traffic).
     pub fn send(&self, to: MdsId, message: Message) -> bool {
         self.inner.sent.fetch_add(1, Ordering::Relaxed);
-        match self.inner.senders.read().get(&to) {
+        match self.read_senders().get(&to) {
             Some(tx) => tx.send(message).is_ok(),
             None => false,
         }
@@ -78,7 +86,7 @@ impl Network {
     /// Registered node ids, ascending.
     #[must_use]
     pub fn node_ids(&self) -> Vec<MdsId> {
-        let mut ids: Vec<MdsId> = self.inner.senders.read().keys().copied().collect();
+        let mut ids: Vec<MdsId> = self.read_senders().keys().copied().collect();
         ids.sort_unstable();
         ids
     }
@@ -86,13 +94,13 @@ impl Network {
     /// Number of registered nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.senders.read().len()
+        self.read_senders().len()
     }
 
     /// `true` when no node is registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.inner.senders.read().is_empty()
+        self.read_senders().is_empty()
     }
 }
 

@@ -5,10 +5,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam::channel::{Receiver, Sender};
-use ghba_bloom::BloomFilter;
-use ghba_core::{GhbaConfig, Mds, MdsId, QueryLevel};
-use parking_lot::RwLock;
+use ghba_bloom::{BloomFilter, Fingerprint, SharedShapeArray};
+use ghba_core::{published_shape, GhbaConfig, Mds, MdsId, QueryLevel};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::RwLock;
 
 use crate::map::SharedMap;
 use crate::message::{LookupReply, Message, QueryId};
@@ -22,6 +22,7 @@ pub type PublishedRegistry = Arc<RwLock<HashMap<MdsId, BloomFilter>>>;
 
 struct Pending {
     path: String,
+    fp: Fingerprint,
     reply: Sender<LookupReply>,
     start: Instant,
     messages: u32,
@@ -52,7 +53,9 @@ enum Escalation {
 pub struct Node {
     id: MdsId,
     mds: Mds,
-    replicas: HashMap<MdsId, BloomFilter>,
+    /// Held replicas, bit-sliced: every origin's published filter shares
+    /// one shape, so group/global probes are one hash-once slab query.
+    replicas: SharedShapeArray<MdsId>,
     config: GhbaConfig,
     map: SharedMap,
     net: Network,
@@ -86,11 +89,16 @@ impl Node {
         initial_replicas: Vec<MdsId>,
     ) -> Self {
         let mds = Mds::new(id, &config);
-        let replicas = initial_replicas
-            .into_iter()
-            .map(|origin| (origin, mds.published().clone()))
-            .collect();
-        registry.write().insert(id, mds.published().clone());
+        let mut replicas = SharedShapeArray::new(published_shape(&config));
+        for origin in initial_replicas {
+            replicas
+                .push(origin)
+                .expect("initial replica origins are distinct");
+        }
+        registry
+            .write()
+            .expect("registry lock")
+            .insert(id, mds.published().clone());
         Node {
             id,
             mds,
@@ -130,12 +138,8 @@ impl Node {
                 }
                 let _ = reply.send(removed);
             }
-            Message::GroupProbe {
-                qid,
-                path,
-                reply_to,
-            } => {
-                let positives = self.local_positives(&path);
+            Message::GroupProbe { qid, fp, reply_to } => {
+                let positives = self.local_positives(&fp);
                 self.net.send(
                     reply_to,
                     Message::ProbeReply {
@@ -179,17 +183,17 @@ impl Node {
             }
             Message::VerifyReply { qid, stores, from } => self.on_verify_reply(qid, stores, from),
             Message::ReplicaInstall { origin, filter } => {
-                self.replicas.insert(origin, *filter);
+                self.install_replica(origin, &filter);
             }
             Message::ReplicaDelta { origin, delta } => {
-                if let Some(replica) = self.replicas.get_mut(&origin) {
-                    // A mismatching delta (e.g. raced with a re-install)
-                    // is dropped; the next full install repairs it.
-                    let _ = delta.apply(replica);
-                }
+                // Sparse apply straight into the slab column. A delta for
+                // an unknown origin or mismatching shape (e.g. raced with
+                // a re-install) is dropped; the next full install repairs
+                // it.
+                let _ = self.replicas.apply_delta(origin, &delta);
             }
             Message::ReplicaDrop { origin } => {
-                self.replicas.remove(&origin);
+                self.replicas.remove(origin);
                 if let Some(lru) = self.mds.lru_mut() {
                     lru.purge_home(origin);
                 }
@@ -203,15 +207,24 @@ impl Node {
         true
     }
 
-    /// Origins (replica origins and/or self) whose filters match `path`.
-    fn local_positives(&self, path: &str) -> Vec<MdsId> {
-        let mut positives: Vec<MdsId> = self
-            .replicas
-            .iter()
-            .filter(|(_, f)| f.contains(path))
-            .map(|(&o, _)| o)
-            .collect();
-        if self.mds.probe_live(path) {
+    /// Installs (or refreshes) the replica of `origin`.
+    fn install_replica(&mut self, origin: MdsId, filter: &BloomFilter) {
+        if self.replicas.contains_id(origin) {
+            self.replicas
+                .replace_filter(origin, filter)
+                .expect("origin slot exists");
+        } else {
+            self.replicas
+                .push_filter(origin, filter)
+                .expect("uniform cluster config implies a matching shape");
+        }
+    }
+
+    /// Origins (replica origins and/or self) whose filters match the
+    /// fingerprinted path — one bit-sliced slab probe plus the live filter.
+    fn local_positives(&self, fp: &Fingerprint) -> Vec<MdsId> {
+        let mut positives: Vec<MdsId> = self.replicas.query_fp(fp).candidates().to_vec();
+        if self.mds.probe_live_fp(fp) {
             positives.push(self.id);
         }
         positives
@@ -220,8 +233,12 @@ impl Node {
     fn start_lookup(&mut self, path: String, reply: Sender<LookupReply>) {
         let qid = self.next_qid;
         self.next_qid += 1;
+        // Hash the path once; the fingerprint rides the whole escalation
+        // (and the group multicast messages).
+        let fp = Fingerprint::of(path.as_str());
         let pending = Pending {
             path,
+            fp,
             reply,
             start: Instant::now(),
             messages: 0,
@@ -232,10 +249,7 @@ impl Node {
         self.pending.insert(qid, pending);
 
         // L1: the LRU array.
-        let l1 = self
-            .mds
-            .lru()
-            .map(|lru| lru.query(&self.pending[&qid].path));
+        let l1 = self.mds.lru().map(|lru| lru.query_fp(&fp));
         if let Some(ghba_bloom::Hit::Unique(candidate)) = l1 {
             self.verify(qid, candidate, QueryLevel::L1Lru, Escalation::L2);
             return;
@@ -244,8 +258,8 @@ impl Node {
     }
 
     fn continue_l2(&mut self, qid: QueryId) {
-        let path = self.pending[&qid].path.clone();
-        let positives = self.local_positives(&path);
+        let fp = self.pending[&qid].fp;
+        let positives = self.local_positives(&fp);
         if positives.len() == 1 {
             self.verify(qid, positives[0], QueryLevel::L2Segment, Escalation::Group);
         } else {
@@ -310,13 +324,13 @@ impl Node {
     }
 
     fn start_group(&mut self, qid: QueryId) {
-        let peers = self.map.read().group_peers_of(self.id);
+        let peers = self.map.read().expect("map lock").group_peers_of(self.id);
         if peers.is_empty() {
             self.start_global(qid);
             return;
         }
-        let path = self.pending[&qid].path.clone();
-        let own_positives = self.local_positives(&path);
+        let fp = self.pending[&qid].fp;
+        let own_positives = self.local_positives(&fp);
         // Count only *delivered* probes: a peer that died mid-query must
         // not wedge the coordinator.
         let mut delivered = 0usize;
@@ -325,7 +339,7 @@ impl Node {
                 peer,
                 Message::GroupProbe {
                     qid,
-                    path: path.clone(),
+                    fp,
                     reply_to: self.id,
                 },
             ) {
@@ -378,6 +392,7 @@ impl Node {
         let others: Vec<MdsId> = self
             .map
             .read()
+            .expect("map lock")
             .all_members()
             .into_iter()
             .filter(|&m| m != self.id)
@@ -452,7 +467,7 @@ impl Node {
             return;
         };
         if let Some(lru) = self.mds.lru_mut() {
-            lru.record(&pending.path, home);
+            lru.record_fp(&pending.fp, home);
         }
         let _ = pending.reply.send(LookupReply {
             home: Some(home),
@@ -492,8 +507,9 @@ impl Node {
         };
         self.registry
             .write()
+            .expect("registry lock")
             .insert(self.id, self.mds.published().clone());
-        let targets = self.map.read().update_targets(self.id);
+        let targets = self.map.read().expect("map lock").update_targets(self.id);
         for target in targets {
             self.net.send(
                 target,

@@ -6,10 +6,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::bounded;
 use ghba_core::{GhbaConfig, MdsId};
 use ghba_simnet::DetRng;
-use parking_lot::RwLock;
+use std::sync::mpsc::channel;
+use std::sync::RwLock;
 
 use crate::map::{ClusterMap, Plan, Scheme, SharedMap};
 use crate::message::{LookupReply, Message};
@@ -19,7 +19,7 @@ use crate::node::{Node, PublishedRegistry};
 /// How long client calls wait before concluding the cluster wedged.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// A running prototype cluster: one OS thread per MDS, crossbeam channels
+/// A running prototype cluster: one OS thread per MDS, std mpsc channels
 /// as the LAN.
 ///
 /// # Examples
@@ -128,7 +128,7 @@ impl PrototypeCluster {
     }
 
     fn execute_plan(&self, plan: &Plan) {
-        let registry = self.registry.read();
+        let registry = self.registry.read().expect("registry lock");
         for &(origin, to) in &plan.installs {
             let filter = registry
                 .get(&origin)
@@ -173,8 +173,8 @@ impl PrototypeCluster {
         self.next_id += 1;
 
         // Plan first (so the map is current), then spawn, then execute.
-        let plan = self.map.write().add_member(id);
-        let held = self.map.read().replicas_held_by(id);
+        let plan = self.map.write().expect("map lock").add_member(id);
+        let held = self.map.read().expect("map lock").replicas_held_by(id);
         self.spawn_node(id, held);
         self.execute_plan(&plan);
         (id, self.net.messages_sent() - before)
@@ -196,8 +196,8 @@ impl PrototypeCluster {
         if let Some(handle) = self.handles.remove(&id) {
             let _ = handle.join();
         }
-        let plan = self.map.write().remove_member(id);
-        self.registry.write().remove(&id);
+        let plan = self.map.write().expect("map lock").remove_member(id);
+        self.registry.write().expect("registry lock").remove(&id);
         self.execute_plan(&plan);
         // §4.5 fail-over: every surviving node drops the failed server's
         // filters (including stale LRU entries naming it as a home).
@@ -224,7 +224,7 @@ impl PrototypeCluster {
     ///
     /// Panics if the node does not answer within the client timeout.
     pub fn create_at(&mut self, path: &str, target: MdsId) -> MdsId {
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = channel();
         self.net.send(
             target,
             Message::Create {
@@ -232,7 +232,8 @@ impl PrototypeCluster {
                 reply: tx,
             },
         );
-        rx.recv_timeout(CLIENT_TIMEOUT).expect("create acknowledged")
+        rx.recv_timeout(CLIENT_TIMEOUT)
+            .expect("create acknowledged")
     }
 
     /// Looks `path` up from a random entry node.
@@ -251,7 +252,7 @@ impl PrototypeCluster {
     ///
     /// Panics if the cluster does not answer within the client timeout.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> LookupReply {
-        let (tx, rx) = bounded(1);
+        let (tx, rx) = channel();
         self.net.send(
             entry,
             Message::Lookup {
@@ -265,7 +266,7 @@ impl PrototypeCluster {
     /// Removes `path` wherever it lives (sweeps nodes authoritatively).
     pub fn remove(&mut self, path: &str) -> bool {
         for id in self.node_ids() {
-            let (tx, rx) = bounded(1);
+            let (tx, rx) = channel();
             self.net.send(
                 id,
                 Message::Remove {
@@ -286,7 +287,7 @@ impl PrototypeCluster {
     pub fn flush_updates(&mut self) {
         let mut acks = Vec::new();
         for id in self.node_ids() {
-            let (tx, rx) = bounded(1);
+            let (tx, rx) = channel();
             self.net.send(id, Message::Flush { reply: tx });
             acks.push(rx);
         }

@@ -4,16 +4,16 @@
 //! Reconfiguration (join/leave/split/merge) lives in [`crate::reconfig`];
 //! the replica-update protocol in [`crate::update`].
 
-use std::collections::BTreeMap;
 use core::time::Duration;
+use std::collections::BTreeMap;
 
-use ghba_bloom::Hit;
+use ghba_bloom::{Fingerprint, Hit, SharedShapeArray};
 use ghba_simnet::{Counters, DetRng, LatencyStats};
 
 use crate::config::GhbaConfig;
 use crate::group::Group;
 use crate::ids::{GroupId, MdsId};
-use crate::mds::Mds;
+use crate::mds::{published_shape, Mds};
 use crate::query::{LevelCounts, QueryLevel, QueryOutcome};
 
 /// Aggregate statistics of a cluster's lifetime.
@@ -62,6 +62,13 @@ pub struct GhbaCluster {
     pub(crate) mdss: BTreeMap<MdsId, Mds>,
     pub(crate) groups: BTreeMap<GroupId, Group>,
     pub(crate) group_of: BTreeMap<MdsId, GroupId>,
+    /// Every server's published snapshot, bit-sliced for hash-once array
+    /// probes. All published filters share [`published_shape`], so L2/L3
+    /// segment probes become masked queries against this one slab instead
+    /// of per-replica filter walks. Kept in sync by reconfiguration
+    /// (add/remove) and [`GhbaCluster::push_update`];
+    /// [`GhbaCluster::check_invariants`] verifies the mirror.
+    pub(crate) published_array: SharedShapeArray<MdsId>,
     pub(crate) next_mds: u16,
     pub(crate) next_group: u16,
     pub(crate) rng: DetRng,
@@ -73,11 +80,13 @@ impl GhbaCluster {
     #[must_use]
     pub fn new(config: GhbaConfig) -> Self {
         let rng = DetRng::new(config.seed).fork(0xC105);
+        let published_array = SharedShapeArray::new(published_shape(&config));
         GhbaCluster {
             config,
             mdss: BTreeMap::new(),
             groups: BTreeMap::new(),
             group_of: BTreeMap::new(),
+            published_array,
             next_mds: 0,
             next_group: 0,
             rng,
@@ -265,43 +274,48 @@ impl GhbaCluster {
         let mut latency = model.dispatch;
         let mut messages: u32 = 0;
 
+        // Hash once at the entry server; the fingerprint drives every
+        // filter probe of the whole L1 → L4 escalation (and in a real
+        // deployment travels inside the multicast probe messages).
+        let fp = Fingerprint::of(path);
+
         // ---- L1: the entry server's LRU Bloom filter array. ----
         let l1_hit = self
             .mdss
             .get(&entry)
             .and_then(Mds::lru)
-            .map(|lru| lru.query(path));
+            .map(|lru| lru.query_fp(&fp));
         if let Some(hit) = l1_hit {
             latency += model.memory_probe; // small resident array: one probe
             if let Hit::Unique(candidate) = hit {
                 if let Some(home) =
                     self.verify_at(candidate, entry, path, &mut latency, &mut messages)
                 {
-                    return self.finish(entry, path, home, QueryLevel::L1Lru, latency, messages);
+                    return self.finish(entry, &fp, home, QueryLevel::L1Lru, latency, messages);
                 }
                 self.stats.counters.incr("l1_false_hits");
             }
         }
 
-        // ---- L2: the entry server's segment array (θ replicas + own). ----
+        // ---- L2: the entry server's segment array (θ replicas + own),
+        // a masked bit-sliced probe of the published slab. ----
         let held = self.replicas_held_by(entry);
         let entry_mds = self.mdss.get(&entry).expect("entry exists");
         let resident = entry_mds.resident_replicas(held.len());
         latency += model.array_probe(held.len() + 1, held.len() - resident);
-        let mut positives: Vec<MdsId> = Vec::new();
-        for &origin in &held {
-            if self.mdss[&origin].published().contains(path) {
-                positives.push(origin);
-            }
-        }
-        if entry_mds.probe_live(path) {
+        let mut positives: Vec<MdsId> = self
+            .published_array
+            .query_fp_among(&fp, held.iter().copied())
+            .candidates()
+            .to_vec();
+        if entry_mds.probe_live_fp(&fp) {
             positives.push(entry);
         }
         if positives.len() == 1 {
             let candidate = positives[0];
             if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
             {
-                return self.finish(entry, path, home, QueryLevel::L2Segment, latency, messages);
+                return self.finish(entry, &fp, home, QueryLevel::L2Segment, latency, messages);
             }
             self.stats.counters.incr("l2_false_hits");
         }
@@ -325,14 +339,17 @@ impl GhbaCluster {
             worst_probe = worst_probe.max(probe);
         }
         latency += worst_probe;
-        let mut positives: Vec<MdsId> = Vec::new();
-        for origin in self.groups[&gid].replica_origins() {
-            if self.mdss[&origin].published().contains(path) {
-                positives.push(origin);
-            }
-        }
+        // The group's replicas collectively mirror every server outside it:
+        // one masked slab probe covers all of them, and recipients reuse
+        // the fingerprint shipped with the multicast for their live probes.
+        let origins = self.groups[&gid].replica_origins();
+        let mut positives: Vec<MdsId> = self
+            .published_array
+            .query_fp_among(&fp, origins.iter().copied())
+            .candidates()
+            .to_vec();
         for &member in &members {
-            if self.mdss[&member].probe_live(path) {
+            if self.mdss[&member].probe_live_fp(&fp) {
                 positives.push(member);
             }
         }
@@ -340,7 +357,7 @@ impl GhbaCluster {
             let candidate = positives[0];
             if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
             {
-                return self.finish(entry, path, home, QueryLevel::L3Group, latency, messages);
+                return self.finish(entry, &fp, home, QueryLevel::L3Group, latency, messages);
             }
             self.stats.counters.incr("l3_false_hits");
         }
@@ -355,7 +372,7 @@ impl GhbaCluster {
         let mut found: Option<MdsId> = None;
         let mut verify_cost = Duration::ZERO;
         for (&id, mds) in &self.mdss {
-            if mds.probe_live(path) {
+            if mds.probe_live_fp(&fp) {
                 let cost = mds.metadata_access_cost(&model);
                 verify_cost = verify_cost.max(cost);
                 if mds.stores(path) {
@@ -367,7 +384,7 @@ impl GhbaCluster {
         }
         latency += verify_cost;
         match found {
-            Some(home) => self.finish(entry, path, home, QueryLevel::L4Global, latency, messages),
+            Some(home) => self.finish(entry, &fp, home, QueryLevel::L4Global, latency, messages),
             None => {
                 let latency = latency.mul_f64(self.config.contention_factor(messages));
                 self.stats.levels.record(QueryLevel::Nonexistent);
@@ -408,19 +425,20 @@ impl GhbaCluster {
         }
     }
 
-    /// Records a successful lookup: LRU cache fill at the entry server,
-    /// level counters, contention inflation, latency.
+    /// Records a successful lookup: LRU cache fill at the entry server
+    /// (reusing the query's fingerprint), level counters, contention
+    /// inflation, latency.
     fn finish(
         &mut self,
         entry: MdsId,
-        path: &str,
+        fp: &Fingerprint,
         home: MdsId,
         level: QueryLevel,
         latency: Duration,
         messages: u32,
     ) -> QueryOutcome {
         if let Some(lru) = self.mdss.get_mut(&entry).and_then(Mds::lru_mut) {
-            lru.record(path, home);
+            lru.record_fp(fp, home);
         }
         let latency = latency.mul_f64(self.config.contention_factor(messages));
         self.stats.levels.record(level);
@@ -445,8 +463,31 @@ impl GhbaCluster {
     /// 4. every replica's holder is a member of that group;
     /// 5. replica load within each group is balanced within one replica;
     /// 6. the IDBFA locates every replica (its candidates include the true
-    ///    holder — counting filters have no false negatives).
+    ///    holder — counting filters have no false negatives);
+    /// 7. the bit-sliced published slab mirrors every server's published
+    ///    filter exactly (the hash-once L2/L3 probes depend on it).
     pub fn check_invariants(&self) -> Result<(), String> {
+        let slab_ids: Vec<MdsId> = {
+            let mut ids: Vec<MdsId> = self.published_array.ids().collect();
+            ids.sort_unstable();
+            ids
+        };
+        if slab_ids != self.server_ids() {
+            return Err(format!(
+                "published slab tracks {} servers, cluster has {}",
+                slab_ids.len(),
+                self.mdss.len()
+            ));
+        }
+        for (&id, mds) in &self.mdss {
+            let column = self
+                .published_array
+                .extract(id)
+                .ok_or_else(|| format!("published slab lost {id}"))?;
+            if &column != mds.published() {
+                return Err(format!("published slab column of {id} is stale"));
+            }
+        }
         for (&id, &gid) in &self.group_of {
             let group = self
                 .groups

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeMap;
 
-use ghba_bloom::{CountingBloomFilter, Hit};
+use ghba_bloom::{CountingBloomFilter, Fingerprint, Hit};
 
 use crate::ids::{GroupId, MdsId};
 
@@ -76,9 +76,11 @@ impl IdFilterArray {
     /// an update is sent to every candidate and non-holders drop it.
     #[must_use]
     pub fn locate(&self, origin: MdsId) -> Hit<MdsId> {
+        // Hash-once: one digest of the origin id serves every member filter.
+        let fp = Fingerprint::of(&origin.0);
         let mut positives = Vec::new();
         for (member, filter) in &self.filters {
-            if filter.contains(&origin.0) {
+            if filter.contains_fp(&fp) {
                 positives.push(*member);
             }
         }

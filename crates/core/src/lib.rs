@@ -61,7 +61,7 @@ pub use cluster::{ClusterStats, GhbaCluster};
 pub use config::GhbaConfig;
 pub use group::{Group, IdFilterArray};
 pub use ids::{GroupId, MdsId};
-pub use mds::{Mds, META_ENTRY_BYTES};
+pub use mds::{published_shape, Mds, META_ENTRY_BYTES};
 pub use metadata::{FileAttrs, MetadataStore};
 pub use query::{LevelCounts, QueryLevel, QueryOutcome};
 pub use reconfig::{ReconfigError, ReconfigReport};

@@ -10,7 +10,9 @@
 //!   triggers a refresh (§3.4) — the lag is what sends queries to L4 in
 //!   Figure 13.
 
-use ghba_bloom::{BloomFilter, CountingBloomFilter, FilterDelta, LruBloomArray};
+use ghba_bloom::{
+    BloomFilter, CountingBloomFilter, FilterDelta, FilterShape, Fingerprint, LruBloomArray,
+};
 use ghba_simnet::MemoryBudget;
 
 use crate::config::GhbaConfig;
@@ -25,6 +27,21 @@ const CHARGE_METACACHE: &str = "metacache";
 
 /// Bytes of cache one metadata entry occupies (inode + dentry + slack).
 pub const META_ENTRY_BYTES: usize = 512;
+
+/// The shape every server's live/published filter uses under `config`.
+///
+/// All servers of a cluster share it, which is what lets a cluster (and the
+/// HBA baseline, and the threaded prototype's nodes) keep published
+/// replicas in one bit-sliced
+/// [`SharedShapeArray`](ghba_bloom::SharedShapeArray).
+#[must_use]
+pub fn published_shape(config: &GhbaConfig) -> FilterShape {
+    FilterShape {
+        bits: config.filter_bits(),
+        hashes: config.filter_hashes(),
+        seed: config.seed ^ 0x5E6_3E47, // filter family distinct from LRU's
+    }
+}
 
 /// One metadata server.
 #[derive(Debug, Clone)]
@@ -44,9 +61,7 @@ impl Mds {
     /// Creates an empty server under `config`.
     #[must_use]
     pub fn new(id: MdsId, config: &GhbaConfig) -> Self {
-        let bits = config.filter_bits();
-        let hashes = config.filter_hashes();
-        let seed = config.seed ^ 0x5E6_3E47; // filter family distinct from LRU's
+        let FilterShape { bits, hashes, seed } = published_shape(config);
         let live = CountingBloomFilter::new(bits, hashes, seed);
         let live_plain = BloomFilter::new(bits, hashes, seed);
         let published = BloomFilter::new(bits, hashes, seed);
@@ -109,11 +124,13 @@ impl Mds {
         self.lru.as_mut()
     }
 
-    /// Inserts `path` into the store and live filter.
+    /// Inserts `path` into the store and live filter (hashing it once for
+    /// both filter projections).
     pub fn create_local(&mut self, path: &str) {
+        let fp = Fingerprint::of(path);
         self.store.create(path);
-        self.live.insert(path);
-        self.live_plain.insert(path);
+        self.live.insert_fp(&fp);
+        self.live_plain.insert_fp(&fp);
         self.mutations_since_publish += 1;
         self.recharge_metacache();
     }
@@ -147,6 +164,13 @@ impl Mds {
     #[must_use]
     pub fn probe_live(&self, path: &str) -> bool {
         self.live.contains(path)
+    }
+
+    /// Hash-once variant of [`probe_live`](Mds::probe_live): reuses the
+    /// fingerprint the query walk computed at its entry server.
+    #[must_use]
+    pub fn probe_live_fp(&self, fp: &Fingerprint) -> bool {
+        self.live.contains_fp(fp)
     }
 
     /// Hamming distance between the live filter and the published

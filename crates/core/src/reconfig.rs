@@ -68,6 +68,9 @@ impl GhbaCluster {
         let id = MdsId(self.next_mds);
         self.next_mds += 1;
         self.mdss.insert(id, Mds::new(id, &self.config));
+        self.published_array
+            .push(id)
+            .expect("fresh id is unique in the published slab");
 
         // Choose the smallest group with room; otherwise the smallest
         // group outright (it will split).
@@ -92,7 +95,10 @@ impl GhbaCluster {
                 gid
             }
         };
-        self.groups.get_mut(&gid).expect("target exists").add_member(id);
+        self.groups
+            .get_mut(&gid)
+            .expect("target exists")
+            .add_member(id);
         self.group_of.insert(id, gid);
 
         // The newcomer's (empty) filter becomes a replica in every other
@@ -202,12 +208,7 @@ impl GhbaCluster {
         // 3. Every other group drops the departed server's replica (one
         //    deletion notice each), then rebalances: the drop can leave
         //    the former holder one light.
-        let other_gids: Vec<GroupId> = self
-            .groups
-            .keys()
-            .copied()
-            .filter(|&g| g != gid)
-            .collect();
+        let other_gids: Vec<GroupId> = self.groups.keys().copied().filter(|&g| g != gid).collect();
         for g in other_gids {
             let group = self.groups.get_mut(&g).expect("listed group");
             if group.drop_replica(id).is_some() {
@@ -222,6 +223,7 @@ impl GhbaCluster {
         //    (the fail-over rule of §4.5).
         self.group_of.remove(&id);
         self.mdss.remove(&id);
+        self.published_array.remove(id);
         for mds in self.mdss.values_mut() {
             if let Some(lru) = mds.lru_mut() {
                 lru.purge_home(id);
@@ -382,15 +384,11 @@ impl GhbaCluster {
         }
         self.group_of.remove(&id);
         self.mdss.remove(&id);
+        self.published_array.remove(id);
 
         // Survivors drop the dead server's replica and hot-cache entries
         // (one heartbeat-timeout notice per group).
-        let other_gids: Vec<GroupId> = self
-            .groups
-            .keys()
-            .copied()
-            .filter(|&g| g != gid)
-            .collect();
+        let other_gids: Vec<GroupId> = self.groups.keys().copied().filter(|&g| g != gid).collect();
         for g in other_gids {
             let group = self.groups.get_mut(&g).expect("listed group");
             if group.drop_replica(id).is_some() {
@@ -438,11 +436,8 @@ impl GhbaCluster {
     /// The pair of distinct groups with the smallest combined size, if
     /// that size fits within `M`.
     fn mergeable_pair(&self) -> Option<(GroupId, GroupId)> {
-        let mut sizes: Vec<(usize, GroupId)> = self
-            .groups
-            .values()
-            .map(|g| (g.len(), g.id()))
-            .collect();
+        let mut sizes: Vec<(usize, GroupId)> =
+            self.groups.values().map(|g| (g.len(), g.id())).collect();
         sizes.sort_unstable();
         if sizes.len() >= 2 && sizes[0].0 + sizes[1].0 <= self.config.max_group_size {
             Some((sizes[0].1, sizes[1].1))

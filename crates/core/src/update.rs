@@ -60,15 +60,16 @@ impl GhbaCluster {
     ///
     /// Panics if `origin` is not in the cluster.
     pub fn push_update(&mut self, origin: MdsId) -> UpdateReport {
-        let delta = match self
-            .mdss
-            .get_mut(&origin)
-            .expect("origin must exist")
-            .publish()
-        {
+        let mds = self.mdss.get_mut(&origin).expect("origin must exist");
+        let delta = match mds.publish() {
             Some(delta) => delta,
             None => return UpdateReport::default(),
         };
+        // Refresh the origin's column of the bit-sliced published slab the
+        // hash-once L2/L3 probes read.
+        self.published_array
+            .replace_filter(origin, mds.published())
+            .expect("published slab tracks every server");
         let own_group = self.group_of(origin);
         let mut report = UpdateReport {
             refreshed: true,

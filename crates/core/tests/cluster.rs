@@ -1,9 +1,7 @@
 //! Behavioural tests for the G-HBA cluster: query hierarchy, elastic
 //! membership, the update protocol, and structural invariants.
 
-use ghba_core::{
-    GhbaCluster, GhbaConfig, MetadataService, QueryLevel, ReconfigError,
-};
+use ghba_core::{GhbaCluster, GhbaConfig, MetadataService, QueryLevel, ReconfigError};
 
 fn small_config() -> GhbaConfig {
     GhbaConfig::default()
@@ -30,7 +28,9 @@ fn grouping_respects_max_size() {
         assert_eq!(cluster.server_count(), n);
         assert!(cluster.group_sizes().iter().all(|&s| s <= 4), "n={n}");
         assert_eq!(cluster.group_sizes().iter().sum::<usize>(), n);
-        cluster.check_invariants().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        cluster
+            .check_invariants()
+            .unwrap_or_else(|e| panic!("n={n}: {e}"));
     }
 }
 
@@ -338,11 +338,9 @@ fn memory_pressure_increases_latency() {
     let roomy = small_config().with_seed(3);
     // The live counting filter alone is ~32 KB; 38 KB leaves almost
     // nothing for replicas or the metadata cache, forcing disk accesses.
-    let tight = small_config()
-        .with_seed(3)
-        .with_memory_per_mds(38 * 1024);
+    let tight = small_config().with_seed(3).with_memory_per_mds(38 * 1024);
 
-    let mut measure = |config: GhbaConfig| {
+    let measure = |config: GhbaConfig| {
         let mut cluster = GhbaCluster::with_servers(config, 12);
         for i in 0..400 {
             cluster.create_file(&format!("/mem/f{i}"));

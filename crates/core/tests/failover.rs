@@ -27,7 +27,9 @@ fn crash_loses_only_the_victims_files() {
     assert!(!victim_files.is_empty(), "victim should hold some files");
 
     cluster.fail_mds(victim).expect("crashable");
-    cluster.check_invariants().expect("mirror restored after crash");
+    cluster
+        .check_invariants()
+        .expect("mirror restored after crash");
 
     for (i, home) in homes {
         let outcome = cluster.lookup(&format!("/f/{i}"));

@@ -3,9 +3,9 @@
 //! Events are ordered by `(time, insertion sequence)` so that ties break in
 //! FIFO order — a requirement for reproducible simulations.
 
+use core::time::Duration;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use core::time::Duration;
 
 use crate::clock::SimTime;
 
@@ -137,7 +137,11 @@ impl<E> EventQueue<E> {
     /// reached; events scheduled during processing are honoured.
     ///
     /// Returns the number of events processed.
-    pub fn run_until(&mut self, until: SimTime, mut handler: impl FnMut(SimTime, E, &mut Self)) -> usize {
+    pub fn run_until(
+        &mut self,
+        until: SimTime,
+        mut handler: impl FnMut(SimTime, E, &mut Self),
+    ) -> usize {
         let mut processed = 0;
         while let Some(at) = self.peek_time() {
             if at > until {

@@ -55,7 +55,8 @@ impl DetRng {
     /// each other, and forking does not advance the parent.
     #[must_use]
     pub fn fork(&self, stream: u64) -> DetRng {
-        let mixed = self.s[0] ^ self.s[3].rotate_left(17) ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        let mixed =
+            self.s[0] ^ self.s[3].rotate_left(17) ^ stream.wrapping_mul(0xD6E8_FEB8_6659_FD93);
         DetRng::new(mixed)
     }
 

@@ -117,7 +117,11 @@ impl LatencyStats {
             cumulative += c;
             if cumulative >= rank {
                 // Upper bound of bucket i is 2^{i+1} − 1.
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return Duration::from_nanos(upper.min(self.max_nanos));
             }
         }

@@ -59,12 +59,7 @@ impl WorkloadGenerator {
     #[must_use]
     pub fn subtrace(profile: WorkloadProfile, seed: u64, index: u32) -> Self {
         let rng = DetRng::new(seed).fork(u64::from(index));
-        let namespace = Namespace::new(
-            &format!("t{index}"),
-            profile.total_files.max(1),
-            16,
-            64,
-        );
+        let namespace = Namespace::new(&format!("t{index}"), profile.total_files.max(1), 16, 64);
         let locality = LocalityStack::new(
             profile.active_files.max(1),
             profile.zipf_exponent,
@@ -220,9 +215,7 @@ mod tests {
     #[test]
     fn op_mix_converges_to_profile() {
         let profile = WorkloadProfile::hp();
-        let stats = TraceStats::collect(
-            WorkloadGenerator::new(profile.clone(), 11).take(100_000),
-        );
+        let stats = TraceStats::collect(WorkloadGenerator::new(profile.clone(), 11).take(100_000));
         for op in MetaOp::ALL {
             let expected = profile.op_mix.probability(op);
             let observed = stats.count(op) as f64 / stats.records as f64;
@@ -236,9 +229,7 @@ mod tests {
     #[test]
     fn entities_respect_profile_bounds() {
         let profile = WorkloadProfile::ins();
-        let stats = TraceStats::collect(
-            WorkloadGenerator::new(profile.clone(), 13).take(50_000),
-        );
+        let stats = TraceStats::collect(WorkloadGenerator::new(profile.clone(), 13).take(50_000));
         assert!(stats.users <= u64::from(profile.users));
         assert!(stats.hosts <= u64::from(profile.hosts));
         // With 50k samples, essentially all users/hosts should appear.

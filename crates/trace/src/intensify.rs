@@ -90,9 +90,9 @@ impl IntensifiedTrace {
     /// Enumerates `(subtrace, file index, path)` for the pre-population
     /// set; experiments feed these to the metadata cluster before replay.
     pub fn initial_paths(&self) -> impl Iterator<Item = String> + '_ {
-        self.generators.iter().flat_map(|g| {
-            (0..g.initial_population()).map(move |i| g.path_of(i))
-        })
+        self.generators
+            .iter()
+            .flat_map(|g| (0..g.initial_population()).map(move |i| g.path_of(i)))
     }
 
     /// The `per_subtrace` most popular files of **every** subtrace —
@@ -155,7 +155,9 @@ mod tests {
 
     #[test]
     fn merged_stream_is_time_ordered() {
-        let records: Vec<_> = intensify(&WorkloadProfile::res(), 8, 3).take(5_000).collect();
+        let records: Vec<_> = intensify(&WorkloadProfile::res(), 8, 3)
+            .take(5_000)
+            .collect();
         assert!(records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
     }
 
@@ -211,10 +213,7 @@ mod tests {
     fn initial_population_sums_subtraces() {
         let profile = WorkloadProfile::res();
         let trace = intensify(&profile, 4, 1);
-        assert_eq!(
-            trace.initial_population(),
-            profile.active_files * 4
-        );
+        assert_eq!(trace.initial_population(), profile.active_files * 4);
         let first = trace.initial_paths().next().unwrap();
         assert!(first.starts_with("/t0/"));
     }

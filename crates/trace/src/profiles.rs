@@ -229,8 +229,7 @@ mod tests {
         // Roselli et al.: metadata reads (stat) are >50 % of operations.
         for profile in WorkloadProfile::all() {
             assert!(
-                profile.op_mix.probability(MetaOp::Stat)
-                    > profile.op_mix.probability(MetaOp::Open),
+                profile.op_mix.probability(MetaOp::Stat) > profile.op_mix.probability(MetaOp::Open),
                 "{}",
                 profile.name
             );

@@ -142,7 +142,10 @@ impl TraceStats {
     /// Count of one operation kind.
     #[must_use]
     pub fn count(&self, op: MetaOp) -> u64 {
-        let idx = MetaOp::ALL.iter().position(|&o| o == op).expect("op in ALL");
+        let idx = MetaOp::ALL
+            .iter()
+            .position(|&o| o == op)
+            .expect("op in ALL");
         self.per_op[idx]
     }
 }

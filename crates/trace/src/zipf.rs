@@ -103,9 +103,7 @@ impl Zipf {
             let u = self.h_n + rng.next_f64() * (self.h_x1 - self.h_n);
             let x = Self::h_integral_inv(u, self.s);
             let k = x.clamp(1.0, self.n as f64).round();
-            if k - x <= self.cutoff
-                || u >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s)
-            {
+            if k - x <= self.cutoff || u >= Self::h_integral(k + 0.5, self.s) - Self::h(k, self.s) {
                 return (k as u64).min(self.n) - 1;
             }
         }
@@ -228,8 +226,10 @@ mod tests {
     fn non_unit_exponent_works() {
         let zipf = Zipf::new(500, 0.75);
         let mut rng = DetRng::new(4);
-        let mean: f64 =
-            (0..50_000).map(|_| zipf.sample(&mut rng) as f64).sum::<f64>() / 50_000.0;
+        let mean: f64 = (0..50_000)
+            .map(|_| zipf.sample(&mut rng) as f64)
+            .sum::<f64>()
+            / 50_000.0;
         // With s<1 the tail is heavy: mean rank well above zero but below
         // uniform (249.5).
         assert!(mean > 20.0 && mean < 249.5, "mean={mean}");

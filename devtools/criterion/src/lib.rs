@@ -1,0 +1,242 @@
+//! Minimal, zero-dependency stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the criterion 0.5 API used by `crates/bench`:
+//! timing via calibrated iteration batches, mean ns/iter reporting, and an
+//! optional machine-readable JSON dump of every measurement (set
+//! `CRITERION_JSON=/path/out.json`). Statistical analysis, plots, and
+//! baselines of the real crate are intentionally out of scope.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export mirroring `criterion::black_box` (deprecated upstream in favor
+/// of `std::hint::black_box`, which call sites already use).
+pub use std::hint::black_box;
+
+thread_local! {
+    /// Measurements collected by every group/function on this thread, in
+    /// run order: `(benchmark id, mean ns per iteration)`.
+    static RESULTS: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Target wall-clock spent warming up each benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(60);
+
+/// How a batched iteration sizes its batches (subset of the real enum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state: one batch per measurement.
+    LargeInput,
+    /// One setup per measured call.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new<P: std::fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; drives the timing loop.
+#[derive(Debug)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over enough iterations to fill the measurement
+    /// window, recording the mean.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the per-batch iteration count.
+        let mut batch: u64 = 1;
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if warmup_start.elapsed() >= WARMUP_TARGET {
+                // Aim for ~50 batches inside the measurement window.
+                let per_iter = elapsed.as_secs_f64() / batch as f64;
+                let target = MEASURE_TARGET.as_secs_f64() / 50.0;
+                batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            batch = (batch * 2).min(1 << 24);
+        }
+
+        let mut total_iters: u64 = 0;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_TARGET {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+        }
+        let elapsed = measure_start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+
+    /// Times `routine` with a fresh `setup()` value per batch; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples: u64 = 0;
+        let mut measured = Duration::ZERO;
+        let loop_start = Instant::now();
+        // Batched setups are typically expensive; bound total wall-clock.
+        while measured < MEASURE_TARGET && loop_start.elapsed() < 4 * MEASURE_TARGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            samples += 1;
+        }
+        self.mean_ns = measured.as_nanos() as f64 / samples.max(1) as f64;
+    }
+}
+
+fn record(id: &str, mean_ns: f64) {
+    println!("bench {id:<50} {mean_ns:>14.1} ns/iter");
+    RESULTS.with(|r| r.borrow_mut().push((id.to_owned(), mean_ns)));
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher { mean_ns: 0.0 };
+    f(&mut bencher);
+    record(id, bencher.mean_ns);
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<P, F>(&mut self, id: BenchmarkId, input: &P, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &P),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, |b| f(b));
+        self
+    }
+
+    /// Ends the group (formatting no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, |b| f(b));
+        self
+    }
+}
+
+/// Writes every measurement recorded so far as JSON to the path named by
+/// `CRITERION_JSON`, if set. Called by `criterion_main!` after all groups.
+pub fn export_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.with(|r| r.borrow().clone());
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (id, mean_ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"mean_ns\": {:.1}}}{comma}",
+            id.replace('"', "'"),
+            mean_ns
+        );
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("criterion: failed to write {path}: {err}");
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, running each group then exporting JSON.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::export_json_if_requested();
+        }
+    };
+}

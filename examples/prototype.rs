@@ -1,4 +1,4 @@
-//! The threaded prototype: one OS thread per metadata server, crossbeam
+//! The threaded prototype: one OS thread per metadata server, std mpsc
 //! channels as the network, real wall-clock latencies and message counts
 //! (the paper's Figures 14–15 testbed, scaled to a laptop).
 //!
@@ -27,9 +27,9 @@ fn main() {
     // exchange between threads.
     let mut total = std::time::Duration::ZERO;
     let mut by_level = std::collections::BTreeMap::new();
-    for i in 0..200 {
+    for (i, &home) in homes.iter().enumerate() {
         let reply = cluster.lookup(&format!("/live/f{i}"));
-        assert_eq!(reply.home, Some(homes[i]));
+        assert_eq!(reply.home, Some(home));
         total += reply.latency;
         *by_level.entry(reply.level.to_string()).or_insert(0u32) += 1;
     }
@@ -49,12 +49,7 @@ fn main() {
     let messages = cluster.fail_node(victim);
     println!("failed {victim}: {messages} cleanup messages");
     let survivors = (0..200)
-        .filter(|i| {
-            cluster
-                .lookup(&format!("/live/f{i}"))
-                .home
-                .is_some()
-        })
+        .filter(|i| cluster.lookup(&format!("/live/f{i}")).home.is_some())
         .count();
     println!("{survivors}/200 files still served after the failure");
 

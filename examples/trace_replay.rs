@@ -36,9 +36,11 @@ fn main() {
         ("G-HBA", &mut ghba_cluster as &mut dyn MetadataService),
         ("HBA", &mut hba_cluster as &mut dyn MetadataService),
     ] {
-        let mut stream = intensify(&profile, tif, 7);
+        let stream = intensify(&profile, tif, 7);
         // Populate the hot head of every subtrace's namespace.
-        let paths: Vec<String> = stream.hot_paths(population as u64 / u64::from(tif)).collect();
+        let paths: Vec<String> = stream
+            .hot_paths(population as u64 / u64::from(tif))
+            .collect();
         populate(service, paths.iter().cloned());
         let report = replay(service, stream.take(operations));
         let [l1, l2, l3, _] = report.levels.cumulative_percentages();

@@ -88,7 +88,7 @@ fn ghba_uses_less_filter_memory_than_hba() {
 fn intensified_replay_spans_subtraces() {
     let profile = WorkloadProfile::hp();
     let mut cluster = GhbaCluster::with_servers(config(), 10);
-    let mut stream = intensify(&profile, 5, 6);
+    let stream = intensify(&profile, 5, 6);
     let paths: Vec<String> = stream.hot_paths(200).collect();
     assert_eq!(paths.len(), 1_000);
     populate(&mut cluster, paths.iter().cloned());
@@ -102,9 +102,12 @@ fn intensified_replay_spans_subtraces() {
 #[test]
 fn update_traffic_scales_with_groups_not_servers() {
     // The Figure 12/15 property as an invariant: G-HBA's per-update
-    // message count tracks the group count, HBA's tracks N.
-    let mut ghba_cluster = GhbaCluster::with_servers(config(), 25); // 5 groups
-    let mut hba_cluster = HbaCluster::with_servers(config(), 25);
+    // message count tracks the group count, HBA's tracks N. A huge
+    // threshold suppresses auto-publish during population, so the explicit
+    // push below always has pending changes regardless of hash family.
+    let quiet = config().with_update_threshold(usize::MAX);
+    let mut ghba_cluster = GhbaCluster::with_servers(quiet.clone(), 25); // 5 groups
+    let mut hba_cluster = HbaCluster::with_servers(quiet, 25);
     let home_g = ghba_cluster.server_ids()[0];
     let home_h = hba_cluster.server_ids()[0];
     for i in 0..50 {
