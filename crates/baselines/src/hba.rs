@@ -12,7 +12,7 @@
 use core::time::Duration;
 use std::collections::BTreeMap;
 
-use ghba_bloom::{Fingerprint, SharedShapeArray};
+use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray};
 use ghba_core::{
     published_shape, ClusterStats, GhbaConfig, Mds, MdsId, QueryLevel, QueryOutcome,
     ReconfigReport, UpdateReport,
@@ -236,14 +236,18 @@ impl HbaCluster {
     }
 
     fn maybe_publish(&mut self, origin: MdsId) -> Option<UpdateReport> {
+        // The exact O(m) drift distance runs at the gated cadence, not on
+        // every mutation once past the publish gate (same protocol as
+        // G-HBA's `maybe_publish`, so the baseline comparison stays fair).
         let threshold = self.config.update_threshold_bits;
-        let hashes = self.config.filter_hashes() as usize;
-        let gate = (threshold / hashes.max(1) / 2).max(1) as u64;
-        let mds = self.mdss.get(&origin)?;
-        if mds.mutations_since_publish() < gate || mds.drift_bits() < threshold {
-            return None;
+        let gate = self.config.publish_gate();
+        let exceeded = self.mdss.get_mut(&origin)?.drift_exceeds(gate, threshold)?;
+        self.stats.counters.incr("drift_exact_checks");
+        if exceeded {
+            Some(self.push_update(origin))
+        } else {
+            None
         }
-        Some(self.push_update(origin))
     }
 
     /// Pushes `origin`'s filter refresh to **all** other servers — HBA's
@@ -259,8 +263,10 @@ impl HbaCluster {
             Some(delta) => delta,
             None => return UpdateReport::default(),
         };
+        // Sparse dirty-row application: cost scales with the delta, not
+        // with the O(m) filter width.
         self.published_array
-            .replace_filter(origin, mds.published())
+            .apply_delta(origin, &delta)
             .expect("published slab tracks every server");
         let recipients = self.mdss.len().saturating_sub(1);
         let report = UpdateReport {
@@ -294,86 +300,160 @@ impl HbaCluster {
     ///
     /// Panics if `entry` is unknown.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
-        assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        self.lookup_batch_from(&[(entry, path)])
+            .pop()
+            .expect("one query in, one outcome out")
+    }
+
+    /// Looks up a batch of paths, each from a random entry server.
+    pub fn lookup_batch<S: AsRef<str>>(&mut self, paths: &[S]) -> Vec<QueryOutcome> {
+        let queries: Vec<(MdsId, &str)> = paths
+            .iter()
+            .map(|path| (self.pick_random_mds(), path.as_ref()))
+            .collect();
+        self.lookup_batch_from(&queries)
+    }
+
+    /// Resolves a batch of concurrent lookups level by level: every query
+    /// past L1 joins one [`ProbeBatch`] against the full-mirror published
+    /// slab, so HBA amortizes row loads across the batch exactly like
+    /// G-HBA (the fair-comparison requirement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is unknown.
+    pub fn lookup_batch_from(&mut self, queries: &[(MdsId, &str)]) -> Vec<QueryOutcome> {
         let model = self.config.latency.clone();
-        let mut latency = model.dispatch;
-        let mut messages: u32 = 0;
-
+        let total = queries.len();
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; total];
+        let mut latency: Vec<Duration> = vec![model.dispatch; total];
+        let mut messages: Vec<u32> = vec![0; total];
         // Hash once; every level reuses the fingerprint.
-        let fp = Fingerprint::of(path);
+        let fps: Vec<Fingerprint> = queries
+            .iter()
+            .map(|(_, path)| Fingerprint::of(*path))
+            .collect();
+        let mut active: Vec<usize> = Vec::with_capacity(total);
 
-        // L1: the LRU array.
-        let l1_hit = self
-            .mdss
-            .get(&entry)
-            .and_then(Mds::lru)
-            .map(|lru| lru.query_fp(&fp));
-        if let Some(ghba_bloom::Hit::Unique(candidate)) = l1_hit {
-            latency += model.memory_probe;
-            if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
-            {
-                return self.finish(entry, &fp, home, QueryLevel::L1Lru, latency, messages);
+        // L1: each entry server's LRU array.
+        for (qi, &(entry, path)) in queries.iter().enumerate() {
+            assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+            let fp = fps[qi];
+            let l1_hit = self
+                .mdss
+                .get(&entry)
+                .and_then(Mds::lru)
+                .map(|lru| lru.query_fp(&fp));
+            if let Some(Hit::Unique(candidate)) = l1_hit {
+                latency[qi] += model.memory_probe;
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
+                {
+                    outcomes[qi] = Some(self.finish(
+                        entry,
+                        &fp,
+                        home,
+                        QueryLevel::L1Lru,
+                        latency[qi],
+                        messages[qi],
+                    ));
+                    continue;
+                }
+                self.stats.counters.incr("l1_false_hits");
+            } else if l1_hit.is_some() {
+                latency[qi] += model.memory_probe;
             }
-            self.stats.counters.incr("l1_false_hits");
-        } else if l1_hit.is_some() {
-            latency += model.memory_probe;
+            active.push(qi);
         }
 
         // L2: the complete replica array (N − 1 replicas + own filter) —
-        // one bit-sliced probe of the published slab, plus the entry's
-        // fresher live filter in place of its own published snapshot.
-        let held = self.mdss.len() - 1;
-        let entry_mds = &self.mdss[&entry];
-        let resident = entry_mds.resident_replicas(held);
-        latency += model.array_probe(held + 1, held - resident);
-        let mask = self.published_array.mask_all_except(entry);
-        let mut positives: Vec<MdsId> = self
-            .published_array
-            .query_fp_masked(&fp, &mask)
-            .candidates()
-            .to_vec();
-        if entry_mds.probe_live_fp(&fp) {
-            positives.push(entry);
+        // one batched bit-sliced pass over the published slab for the
+        // whole batch, plus each entry's fresher live filter in place of
+        // its own published snapshot.
+        let mut batch = ProbeBatch::with_capacity(active.len());
+        for &qi in &active {
+            let (entry, _) = queries[qi];
+            let held = self.mdss.len() - 1;
+            let entry_mds = &self.mdss[&entry];
+            let resident = entry_mds.resident_replicas(held);
+            latency[qi] += model.array_probe(held + 1, held - resident);
+            batch.push_masked(fps[qi], self.published_array.mask_all_except(entry));
         }
-        if positives.len() == 1 {
-            let candidate = positives[0];
-            if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
-            {
-                return self.finish(entry, &fp, home, QueryLevel::L2Segment, latency, messages);
+        let hits = self.published_array.query_batch(&mut batch);
+        let mut next_active = Vec::with_capacity(active.len());
+        for (&qi, hit) in active.iter().zip(&hits) {
+            let (entry, path) = queries[qi];
+            let mut positives = hit.candidates().to_vec();
+            if self.mdss[&entry].probe_live_fp(&fps[qi]) {
+                positives.push(entry);
             }
-            self.stats.counters.incr("l2_false_hits");
+            if positives.len() == 1 {
+                let candidate = positives[0];
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
+                {
+                    outcomes[qi] = Some(self.finish(
+                        entry,
+                        &fps[qi],
+                        home,
+                        QueryLevel::L2Segment,
+                        latency[qi],
+                        messages[qi],
+                    ));
+                    continue;
+                }
+                self.stats.counters.incr("l2_false_hits");
+            }
+            next_active.push(qi);
         }
+        let active = next_active;
 
         // Fallback: system-wide broadcast (authoritative).
-        let others = self.mdss.len() - 1;
-        messages += 2 * others as u32;
-        latency += model.multicast_rtt(others) + model.memory_probe;
-        let mut found = None;
-        let mut verify_cost = Duration::ZERO;
-        for (&id, mds) in &self.mdss {
-            if mds.probe_live_fp(&fp) {
-                verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
-                if mds.stores(path) {
-                    found = Some(id);
+        for &qi in &active {
+            let (entry, path) = queries[qi];
+            let fp = fps[qi];
+            let others = self.mdss.len() - 1;
+            messages[qi] += 2 * others as u32;
+            latency[qi] += model.multicast_rtt(others) + model.memory_probe;
+            let mut found = None;
+            let mut verify_cost = Duration::ZERO;
+            for (&id, mds) in &self.mdss {
+                if mds.probe_live_fp(&fp) {
+                    verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
+                    if mds.stores(path) {
+                        found = Some(id);
+                    }
                 }
             }
-        }
-        latency += verify_cost;
-        match found {
-            Some(home) => self.finish(entry, &fp, home, QueryLevel::L4Global, latency, messages),
-            None => {
-                let latency = latency.mul_f64(self.config.contention_factor(messages));
-                self.stats.levels.record(QueryLevel::Nonexistent);
-                self.stats.lookup_latency.record(latency);
-                QueryOutcome {
-                    home: None,
-                    level: QueryLevel::Nonexistent,
-                    latency,
-                    messages,
+            latency[qi] += verify_cost;
+            outcomes[qi] = Some(match found {
+                Some(home) => self.finish(
                     entry,
+                    &fp,
+                    home,
+                    QueryLevel::L4Global,
+                    latency[qi],
+                    messages[qi],
+                ),
+                None => {
+                    let latency = latency[qi].mul_f64(self.config.contention_factor(messages[qi]));
+                    self.stats.levels.record(QueryLevel::Nonexistent);
+                    self.stats.lookup_latency.record(latency);
+                    QueryOutcome {
+                        home: None,
+                        level: QueryLevel::Nonexistent,
+                        latency,
+                        messages: messages[qi],
+                        entry,
+                    }
                 }
-            }
+            });
         }
+
+        outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("every query resolved by the broadcast"))
+            .collect()
     }
 
     fn verify_at(
@@ -443,6 +523,10 @@ impl ghba_core::MetadataService for HbaCluster {
 
     fn lookup(&mut self, path: &str) -> QueryOutcome {
         HbaCluster::lookup(self, path)
+    }
+
+    fn lookup_batch(&mut self, paths: &[&str]) -> Vec<QueryOutcome> {
+        HbaCluster::lookup_batch(self, paths)
     }
 
     fn remove(&mut self, path: &str) -> Option<MdsId> {
@@ -540,6 +624,39 @@ mod tests {
         for i in 0..60 {
             assert!(hba.lookup(&format!("/r/f{i}")).found());
         }
+    }
+
+    #[test]
+    fn lookup_batch_matches_sequential_lookups() {
+        let build = || {
+            let mut hba = HbaCluster::with_servers(config(), 8);
+            for i in 0..120 {
+                hba.create_file(&format!("/batch/f{i}"));
+            }
+            hba.flush_all_updates();
+            hba
+        };
+        let mut sequential = build();
+        let mut batched = build();
+        let queries: Vec<(MdsId, String)> = (0..32)
+            .map(|i| {
+                let path = if i % 8 == 7 {
+                    format!("/absent/f{i}")
+                } else {
+                    format!("/batch/f{}", i * 3 % 120)
+                };
+                (MdsId(i % 8), path)
+            })
+            .collect();
+        let borrowed: Vec<(MdsId, &str)> = queries
+            .iter()
+            .map(|(entry, path)| (*entry, path.as_str()))
+            .collect();
+        let expected: Vec<QueryOutcome> = borrowed
+            .iter()
+            .map(|&(entry, path)| sequential.lookup_from(entry, path))
+            .collect();
+        assert_eq!(batched.lookup_batch_from(&borrowed), expected);
     }
 
     #[test]

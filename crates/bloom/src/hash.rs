@@ -129,6 +129,29 @@ impl Fingerprint {
         }
     }
 
+    /// Appends this item's `k` probe rows for a filter family `(m, k,
+    /// seed)` to `out` as compact `u32` indices — a utility for tools
+    /// that want a fingerprint's whole probe set materialized at once
+    /// (tracing, debugging, precomputed probe tables).
+    ///
+    /// The batched probe path
+    /// ([`crate::SharedShapeArray::query_batch`]) does *not* call this:
+    /// its kernel derives rows inline with a shared-modulus fastmod so
+    /// the derivation overlaps the slab loads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `m` does not fit in a `u32` (no filter in this
+    /// workspace comes near 4 Gbit).
+    #[inline]
+    pub fn probe_rows_into(&self, seed: u64, m: usize, k: u32, out: &mut Vec<u32>) {
+        assert!(u32::try_from(m).is_ok(), "filter wider than u32 rows");
+        out.reserve(k as usize);
+        for row in self.probes(seed, m, k) {
+            out.push(row as u32);
+        }
+    }
+
     /// The 128-bit near-exact identity under `seed`. Equals
     /// [`fingerprint128`] for the same item and seed.
     #[inline]
@@ -351,6 +374,18 @@ mod tests {
         let from_fp: Vec<usize> = fp.probes(11, 4096, 6).collect();
         let direct: Vec<usize> = probe_indices("some/long/path/name.ext", 11, 4096, 6).collect();
         assert_eq!(from_fp, direct);
+    }
+
+    #[test]
+    fn probe_rows_into_matches_probes() {
+        let fp = Fingerprint::of("batched/path");
+        let mut rows = Vec::new();
+        fp.probe_rows_into(11, 4096, 6, &mut rows);
+        let direct: Vec<u32> = fp.probes(11, 4096, 6).map(|r| r as u32).collect();
+        assert_eq!(rows, direct);
+        // Appends rather than clears: a batch reuses one scratch vector.
+        fp.probe_rows_into(11, 4096, 6, &mut rows);
+        assert_eq!(rows.len(), 12);
     }
 
     #[test]

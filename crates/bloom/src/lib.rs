@@ -63,4 +63,4 @@ pub use filter::BloomFilter;
 pub use hash::Fingerprint;
 pub use lru::{GenerationalLruArray, LruBloomArray};
 pub use ops::FilterDelta;
-pub use shared::{SharedShapeArray, SlotMask};
+pub use shared::{ProbeBatch, SharedShapeArray, SlotMask};

@@ -161,15 +161,25 @@ impl FilterDelta {
         Ok(())
     }
 
-    pub(crate) fn shape(&self) -> crate::error::FilterShape {
+    /// The filter geometry this delta applies to.
+    #[must_use]
+    pub fn shape(&self) -> crate::error::FilterShape {
         self.shape
     }
 
-    pub(crate) fn changed_words(&self) -> &[(u32, u64)] {
+    /// The changed 64-bit words as `(word index, new value)` pairs — the
+    /// sparse payload [`SharedShapeArray::apply_delta`] writes directly
+    /// into a slab column.
+    ///
+    /// [`SharedShapeArray::apply_delta`]: crate::SharedShapeArray::apply_delta
+    #[must_use]
+    pub fn changed_words(&self) -> &[(u32, u64)] {
         &self.changed
     }
 
-    pub(crate) fn new_items(&self) -> usize {
+    /// The item count of the post-delta filter.
+    #[must_use]
+    pub fn new_items(&self) -> usize {
         self.new_items
     }
 }

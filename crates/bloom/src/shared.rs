@@ -105,6 +105,576 @@ impl SlotMask {
     }
 }
 
+/// A batch of fingerprints (each with an optional candidate [`SlotMask`])
+/// resolved by [`SharedShapeArray::query_batch`] in **one pipelined slab
+/// pass**.
+///
+/// Metadata servers see many concurrent lookups at once (queued client
+/// requests, a drained multicast mailbox); probing them one at a time pays
+/// `k × stride` cold row loads per fingerprint, serialized as far as the
+/// out-of-order window reaches. A batch derives every fingerprint's probe
+/// rows up front (shared-modulus fastmod, no division), walks them with
+/// the next fingerprints' rows software-prefetched ahead, and reduces each
+/// row through SIMD kernels with the candidate mask held in registers —
+/// so the cache misses of *different* lookups overlap instead of queueing
+/// behind one another.
+///
+/// Build once, [`clear`](ProbeBatch::clear), and reuse: the batch also
+/// carries the pass's scratch buffers (candidate masks, probe cursors,
+/// row lists), so a reused batch allocates only the result vector.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeBatch {
+    fps: Vec<Fingerprint>,
+    masks: Vec<Option<SlotMask>>,
+    scratch: BatchScratch,
+}
+
+/// Reusable working memory for one batched slab pass (lives inside
+/// [`ProbeBatch`]; every field is fully re-initialized per query).
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    /// `B × stride` candidate-mask words.
+    mask_words: Vec<u64>,
+    /// Per-fingerprint probe cursors (`h1` advanced in place, `h2` fixed).
+    h1: Vec<u64>,
+    h2: Vec<u64>,
+    /// Probe rows, `B × k`, fingerprint-major.
+    rows: Vec<u32>,
+    /// Per-fingerprint packed `(positives << 32) | slot` verdicts computed
+    /// in-kernel while the mask is register-resident (`u64::MAX` = defer
+    /// to the full [`SharedShapeArray::classify`] scan).
+    verdicts: Vec<u64>,
+}
+
+impl ProbeBatch {
+    /// Creates an empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        ProbeBatch::default()
+    }
+
+    /// Creates an empty batch pre-sized for `capacity` fingerprints.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        ProbeBatch {
+            fps: Vec::with_capacity(capacity),
+            masks: Vec::with_capacity(capacity),
+            scratch: BatchScratch::default(),
+        }
+    }
+
+    /// Queues `fp` against every live slot; returns its index in the
+    /// batch's result vector.
+    pub fn push(&mut self, fp: Fingerprint) -> usize {
+        self.fps.push(fp);
+        self.masks.push(None);
+        self.fps.len() - 1
+    }
+
+    /// Queues `fp` restricted to the candidate slots of `mask` (the batch
+    /// equivalent of [`SharedShapeArray::query_fp_masked`]); returns its
+    /// index in the batch's result vector.
+    pub fn push_masked(&mut self, fp: Fingerprint, mask: SlotMask) -> usize {
+        self.fps.push(fp);
+        self.masks.push(Some(mask));
+        self.fps.len() - 1
+    }
+
+    /// Number of queued fingerprints.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// `true` when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fps.is_empty()
+    }
+
+    /// The queued fingerprints, in push order.
+    #[must_use]
+    pub fn fingerprints(&self) -> &[Fingerprint] {
+        &self.fps
+    }
+
+    /// Empties the batch, keeping its allocations for reuse.
+    pub fn clear(&mut self) {
+        self.fps.clear();
+        self.masks.clear();
+    }
+}
+
+/// ANDs `src` into `dst` and returns the OR of the resulting words (zero
+/// means every candidate died and the query can stop early).
+///
+/// AVX2 variant, selected at compile time with
+/// `-C target-feature=+avx2`: four 64-bit lanes per op via explicit
+/// intrinsics.
+#[cfg(all(target_arch = "x86_64", target_feature = "avx2"))]
+#[inline(always)]
+fn and_reduce_into(dst: &mut [u64], src: &[u64]) -> u64 {
+    use core::arch::x86_64::{
+        __m256i, _mm256_and_si256, _mm256_loadu_si256, _mm256_or_si256, _mm256_setzero_si256,
+        _mm256_storeu_si256,
+    };
+    let n = dst.len().min(src.len());
+    // SAFETY: `loadu`/`storeu` tolerate unaligned pointers and every access
+    // is bounded by `n`, the shorter of the two slices.
+    unsafe {
+        let mut any = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 4 <= n {
+            let d = _mm256_loadu_si256(dst.as_ptr().add(i).cast::<__m256i>());
+            let s = _mm256_loadu_si256(src.as_ptr().add(i).cast::<__m256i>());
+            let m = _mm256_and_si256(d, s);
+            _mm256_storeu_si256(dst.as_mut_ptr().add(i).cast::<__m256i>(), m);
+            any = _mm256_or_si256(any, m);
+            i += 4;
+        }
+        let mut tail = 0u64;
+        while i < n {
+            dst[i] &= src[i];
+            tail |= dst[i];
+            i += 1;
+        }
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr().cast::<__m256i>(), any);
+        lanes[0] | lanes[1] | lanes[2] | lanes[3] | tail
+    }
+}
+
+/// ANDs `src` into `dst` and returns the OR of the resulting words (zero
+/// means every candidate died and the query can stop early).
+///
+/// Portable variant: explicit 4-wide `u64` chunks with independent
+/// accumulator lanes, a shape LLVM autovectorizes to 256-bit ops when the
+/// target allows it.
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx2")))]
+#[inline(always)]
+fn and_reduce_into(dst: &mut [u64], src: &[u64]) -> u64 {
+    let mut any4 = [0u64; 4];
+    let mut dst_chunks = dst.chunks_exact_mut(4);
+    let mut src_chunks = src.chunks_exact(4);
+    for (d, s) in (&mut dst_chunks).zip(&mut src_chunks) {
+        for lane in 0..4 {
+            d[lane] &= s[lane];
+            any4[lane] |= d[lane];
+        }
+    }
+    let mut any = any4[0] | any4[1] | any4[2] | any4[3];
+    for (d, s) in dst_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(src_chunks.remainder())
+    {
+        *d &= s;
+        any |= *d;
+    }
+    any
+}
+
+/// `true` once the running CPU is known to support AVX2 (checked once,
+/// cached). Compile with `-C target-feature=+avx2` to skip the check
+/// entirely.
+#[cfg(all(target_arch = "x86_64", not(target_feature = "avx2")))]
+fn avx2_detected() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let yes = std::arch::is_x86_feature_detected!("avx2");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+        state => state == 2,
+    }
+}
+
+/// `true` once the running CPU is known to support AVX-512F (checked
+/// once, cached): 8 × u64 per AND, halving the vector ops of the wide
+/// batch kernel relative to AVX2.
+#[cfg(all(target_arch = "x86_64", not(target_feature = "avx512f")))]
+fn avx512_detected() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let yes = std::arch::is_x86_feature_detected!("avx512f");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+        state => state == 2,
+    }
+}
+
+/// Precomputed magic for Lemire's exact 64-bit **fastmod**: `n % d` as
+/// three widening multiplies instead of a hardware division.
+///
+/// Every probe index of a batch reduces by the *same* modulus (the filter
+/// width `m`), so the magic is computed once per [`query_batch`] call and
+/// the `B × k` index derivations stay off the (long-latency, poorly
+/// pipelined) divider. Exact for every `n` and `d > 0` — see Lemire,
+/// Kaser & Kurz, "Faster remainder by direct computation" (2019); the
+/// unit test pins it against `%` and the property tests pin the batch
+/// path against the division-based sequential probes.
+///
+/// [`query_batch`]: SharedShapeArray::query_batch
+#[derive(Debug, Clone, Copy)]
+struct FastMod {
+    /// `2^128 / d + 1`.
+    magic: u128,
+    d: u64,
+}
+
+impl FastMod {
+    #[inline]
+    fn new(d: u64) -> Self {
+        debug_assert!(d > 0, "modulus must be non-zero");
+        // For d == 1 the magic wraps to 0, and rem() correctly returns 0.
+        FastMod {
+            magic: (u128::MAX / u128::from(d)).wrapping_add(1),
+            d,
+        }
+    }
+
+    /// `n % d`.
+    #[inline(always)]
+    fn rem(&self, n: u64) -> u64 {
+        let lowbits = self.magic.wrapping_mul(u128::from(n));
+        // High 64 bits of the 192-bit product `lowbits * d`.
+        let d = u128::from(self.d);
+        let bottom = (u128::from(lowbits as u64) * d) >> 64;
+        let top = (lowbits >> 64) * d;
+        ((bottom + top) >> 64) as u64
+    }
+}
+
+/// Asks the kernel to back `words` with transparent huge pages
+/// (`MADV_HUGEPAGE`), and to do so *before* the buffer is first touched so
+/// page faults map 2 MiB pages synchronously.
+///
+/// A production-size slab (tens of MiB) probed at `k` random rows per
+/// query blows the 4 KiB-page dTLB on almost every row load, and the
+/// page-walk hardware — two walkers, deep hierarchies — becomes the probe
+/// path's real serialization point. Huge pages shrink the slab to a
+/// handful of TLB entries. Purely advisory: failure (non-Linux, THP
+/// disabled) is ignored and everything still works on 4 KiB pages.
+fn advise_hugepages(words: &[u64]) {
+    #[cfg(target_os = "linux")]
+    {
+        const MADV_HUGEPAGE: i32 = 14;
+        const PAGE: usize = 4096;
+        mod libc_shim {
+            extern "C" {
+                pub fn madvise(addr: *mut core::ffi::c_void, length: usize, advice: i32) -> i32;
+            }
+        }
+        let start = words.as_ptr() as usize;
+        let end = start + words.len() * 8;
+        let lo = start.next_multiple_of(PAGE);
+        let hi = end & !(PAGE - 1);
+        if hi > lo {
+            // SAFETY: purely advisory syscall over a page-aligned range
+            // inside this live allocation; the kernel never moves or
+            // invalidates the memory.
+            unsafe {
+                libc_shim::madvise(lo as *mut core::ffi::c_void, hi - lo, MADV_HUGEPAGE);
+            }
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    let _ = words;
+}
+
+/// Prefetch target level: `NEAR` pulls into L1 (next rows to reduce),
+/// `FAR` into L2 (rows a whole fingerprint ahead), keeping L1 fill
+/// buffers free for demand loads.
+#[derive(Clone, Copy)]
+enum PrefetchHint {
+    Near,
+    Far,
+}
+
+/// Hints the prefetcher at one slab word.
+#[inline(always)]
+fn prefetch_word(slab: &[u64], word_offset: usize, hint: PrefetchHint) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a pure hint (no dereference), and callers pass
+    // offsets inside the slab.
+    unsafe {
+        use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0, _MM_HINT_T1};
+        let ptr = slab.as_ptr().add(word_offset).cast::<i8>();
+        match hint {
+            PrefetchHint::Near => _mm_prefetch(ptr, _MM_HINT_T0),
+            PrefetchHint::Far => _mm_prefetch(ptr, _MM_HINT_T1),
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (slab, word_offset, hint);
+}
+
+/// Hints the prefetcher at a whole probe row (both cache lines when the
+/// row spans more than one).
+#[inline(always)]
+fn prefetch_row(slab: &[u64], stride: usize, row: usize, hint: PrefetchHint) {
+    prefetch_word(slab, row * stride, hint);
+    if stride > 8 {
+        prefetch_word(slab, row * stride + 8, hint);
+    }
+}
+
+/// The wide-row (stride > 1) batch reduction, with overlap tricks a lone
+/// [`SharedShapeArray::query_fp`] walk cannot apply:
+///
+/// * **Shared-modulus fastmod derivation** — all `B × k` probe rows (the
+///   same `(h1 + j·h2) mod m` stream as [`crate::hash::ProbeIndices`])
+///   are derived up front with one precomputed [`FastMod`] magic: three
+///   pipelined multiplies each, no hardware division anywhere.
+/// * **Cross-fingerprint prefetch** — while fingerprint `q` is reduced,
+///   every probe row of fingerprint `q+1` is software-prefetched, so the
+///   next walk's line fetches resolve under the current walk's ANDs.
+/// * **Register-resident masks** — with the stride a compile-time `S`,
+///   each fingerprint's candidate mask is copied into a fixed-size local,
+///   ANDed across all `k` rows without touching memory, and stored back
+///   once; the reduction is bounds-check-free and fully unrolled.
+///
+/// A fingerprint whose mask zeroes stops early (bit-identical to the
+/// sequential early exit). `S == 0` selects the dynamic-stride fallback
+/// (`stride` is then read from the argument).
+///
+/// Marked `#[inline(always)]` so the AVX2-enabled wrapper compiles its own
+/// fully vectorized copy of the whole pass (not just the innermost
+/// reduction).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn batch_pass_body<const S: usize>(
+    slab: &[u64],
+    stride: usize,
+    fm: FastMod,
+    k: usize,
+    h1: &[u64],
+    h2: &[u64],
+    rows: &mut Vec<u32>,
+    masks: &mut [u64],
+    verdicts: &mut [u64],
+) {
+    let stride = if S == 0 { stride } else { S };
+    let b = h1.len();
+    rows.clear();
+    rows.reserve(b * k);
+    for q in 0..b {
+        let mut cursor = h1[q];
+        let step = h2[q];
+        for _ in 0..k {
+            rows.push(fm.rem(cursor) as u32);
+            cursor = cursor.wrapping_add(step);
+        }
+    }
+    // Two fingerprints of prefetch depth: at DRAM-resident slab sizes a
+    // single fingerprint's reduction (~hundreds of ns) barely covers one
+    // memory round trip, so keep two walks' worth of lines in flight —
+    // the next walk's rows in L1, the one after in L2 (far prefetches
+    // stay out of the L1 fill buffers demand loads need).
+    for &row in &rows[..k.min(b * k)] {
+        prefetch_row(slab, stride, row as usize, PrefetchHint::Near);
+    }
+    if b > 1 {
+        for &row in &rows[k..(2 * k).min(b * k)] {
+            prefetch_row(slab, stride, row as usize, PrefetchHint::Far);
+        }
+    }
+    for q in 0..b {
+        if q + 1 < b {
+            // Promote the next fingerprint's rows to L1...
+            for &row in &rows[(q + 1) * k..(q + 2) * k] {
+                prefetch_row(slab, stride, row as usize, PrefetchHint::Near);
+            }
+        }
+        if q + 2 < b {
+            // ...and stage the one after into L2.
+            for &row in &rows[(q + 2) * k..(q + 3) * k] {
+                prefetch_row(slab, stride, row as usize, PrefetchHint::Far);
+            }
+        }
+        if S == 0 {
+            let mask = &mut masks[q * stride..(q + 1) * stride];
+            for &row in &rows[q * k..(q + 1) * k] {
+                let base = row as usize * stride;
+                if and_reduce_into(mask, &slab[base..base + stride]) == 0 {
+                    break;
+                }
+            }
+            verdicts[q] = u64::MAX;
+        } else {
+            // Fixed-size views: the mask lives in registers across all k
+            // rows, and the backend sees exact lengths (no bounds checks,
+            // full unroll).
+            let mask_slot: &mut [u64; S] = (&mut masks[q * S..(q + 1) * S])
+                .try_into()
+                .expect("mask is S words");
+            // No early-exit test: at wide strides the surviving candidate
+            // set rarely zeroes before the last rows (N × fill^j decays
+            // from hundreds), so the per-row OR-reduce + branch costs more
+            // than the loads it could skip — and ANDing into an all-zero
+            // mask is a semantic no-op either way.
+            let mut mask = *mask_slot;
+            for &row in &rows[q * k..(q + 1) * k] {
+                if S == 1 && mask[0] == 0 {
+                    // Single-word masks die fast on absent items; wider
+                    // masks rarely zero before the tail (see above), so
+                    // only S == 1 keeps the early exit.
+                    break;
+                }
+                let base = row as usize * S;
+                let row: &[u64; S] = slab[base..base + S].try_into().expect("row is S words");
+                for (m, r) in mask.iter_mut().zip(row) {
+                    *m &= r;
+                }
+            }
+            // Classify while the mask is still in registers: popcount and
+            // locate the (single, for a unique hit) surviving word without
+            // re-reading the stored mask.
+            let mut positives = 0u32;
+            let mut hit_word = 0usize;
+            for (w, &word) in mask.iter().enumerate() {
+                positives += word.count_ones();
+                if word != 0 {
+                    hit_word = w;
+                }
+            }
+            let slot = hit_word * 64 + mask[hit_word].trailing_zeros().min(63) as usize;
+            verdicts[q] = (u64::from(positives) << 32) | slot as u64;
+            *mask_slot = mask;
+        }
+    }
+}
+
+macro_rules! batch_pass_variants {
+    ($($name:ident => $s:literal),+ $(,)?) => {
+        $(
+            /// AVX2 clone of [`batch_pass_body`] at this stride,
+            /// dispatched at runtime when the build baseline lacks AVX2
+            /// but the CPU has it.
+            #[cfg(all(target_arch = "x86_64", not(target_feature = "avx2")))]
+            #[allow(clippy::too_many_arguments)]
+            #[target_feature(enable = "avx2")]
+            unsafe fn $name(
+                slab: &[u64],
+                stride: usize,
+                fm: FastMod,
+                k: usize,
+                h1: &[u64],
+                h2: &[u64],
+                rows: &mut Vec<u32>,
+                masks: &mut [u64],
+                verdicts: &mut [u64],
+            ) {
+                batch_pass_body::<$s>(slab, stride, fm, k, h1, h2, rows, masks, verdicts);
+            }
+        )+
+    };
+}
+
+batch_pass_variants! {
+    batch_pass_avx2_dyn => 0,
+    batch_pass_avx2_1 => 1,
+    batch_pass_avx2_2 => 2,
+    batch_pass_avx2_4 => 4,
+    batch_pass_avx2_8 => 8,
+    batch_pass_avx2_16 => 16,
+    batch_pass_avx2_32 => 32,
+}
+
+macro_rules! batch_pass_variants_512 {
+    ($($name:ident => $s:literal),+ $(,)?) => {
+        $(
+            /// AVX-512F clone of [`batch_pass_body`] at this stride,
+            /// dispatched at runtime when the CPU supports 512-bit
+            /// vectors (8 × u64 per AND).
+            #[cfg(all(target_arch = "x86_64", not(target_feature = "avx512f")))]
+            #[allow(clippy::too_many_arguments)]
+            #[target_feature(enable = "avx512f")]
+            unsafe fn $name(
+                slab: &[u64],
+                stride: usize,
+                fm: FastMod,
+                k: usize,
+                h1: &[u64],
+                h2: &[u64],
+                rows: &mut Vec<u32>,
+                masks: &mut [u64],
+                verdicts: &mut [u64],
+            ) {
+                batch_pass_body::<$s>(slab, stride, fm, k, h1, h2, rows, masks, verdicts);
+            }
+        )+
+    };
+}
+
+batch_pass_variants_512! {
+    batch_pass_avx512_dyn => 0,
+    batch_pass_avx512_8 => 8,
+    batch_pass_avx512_16 => 16,
+    batch_pass_avx512_32 => 32,
+}
+
+/// Runs the batch reduction with the widest vector width available (the
+/// compile-time AVX2 path when the build targets it, a runtime-dispatched
+/// AVX2 clone when only the CPU does) and a stride-specialized kernel for
+/// the common power-of-two strides.
+#[allow(clippy::too_many_arguments)]
+fn run_batch_pass(
+    slab: &[u64],
+    stride: usize,
+    fm: FastMod,
+    k: usize,
+    h1: &[u64],
+    h2: &[u64],
+    rows: &mut Vec<u32>,
+    masks: &mut [u64],
+    verdicts: &mut [u64],
+) {
+    #[cfg(all(target_arch = "x86_64", not(target_feature = "avx512f")))]
+    if stride >= 8 && avx512_detected() {
+        // SAFETY: `avx512_detected` confirmed the instruction set.
+        unsafe {
+            match stride {
+                8 => batch_pass_avx512_8(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                16 => batch_pass_avx512_16(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                32 => batch_pass_avx512_32(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                _ => batch_pass_avx512_dyn(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+            }
+        }
+        return;
+    }
+    #[cfg(all(target_arch = "x86_64", not(target_feature = "avx2")))]
+    if avx2_detected() {
+        // SAFETY: `avx2_detected` confirmed the instruction set.
+        unsafe {
+            match stride {
+                1 => batch_pass_avx2_1(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                2 => batch_pass_avx2_2(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                4 => batch_pass_avx2_4(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                8 => batch_pass_avx2_8(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                16 => batch_pass_avx2_16(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                32 => batch_pass_avx2_32(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+                _ => batch_pass_avx2_dyn(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+            }
+        }
+        return;
+    }
+    match stride {
+        1 => batch_pass_body::<1>(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+        2 => batch_pass_body::<2>(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+        4 => batch_pass_body::<4>(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+        8 => batch_pass_body::<8>(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+        16 => batch_pass_body::<16>(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+        32 => batch_pass_body::<32>(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+        _ => batch_pass_body::<0>(slab, stride, fm, k, h1, h2, rows, masks, verdicts),
+    }
+}
+
 impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
     /// Creates an empty array whose slots will all use `shape`.
     ///
@@ -126,10 +696,12 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
         assert!(shape.bits > 0, "filters must have at least one bit");
         assert!(shape.hashes > 0, "filters must use at least one hash");
         let stride = capacity.max(1).div_ceil(64);
+        let slab = vec![0; shape.bits * stride];
+        advise_hugepages(&slab);
         SharedShapeArray {
             shape,
             stride,
-            slab: vec![0; shape.bits * stride],
+            slab,
             slots: Vec::new(),
             live: vec![0; stride],
             free: Vec::new(),
@@ -209,6 +781,7 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
     fn grow(&mut self) {
         let new_stride = self.stride * 2;
         let mut slab = vec![0u64; self.shape.bits * new_stride];
+        advise_hugepages(&slab);
         for row in 0..self.shape.bits {
             let old = &self.slab[row * self.stride..(row + 1) * self.stride];
             slab[row * new_stride..row * new_stride + self.stride].copy_from_slice(old);
@@ -465,6 +1038,138 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
         self.query_fp_masked(fp, &mask)
     }
 
+    /// Resolves a whole [`ProbeBatch`] in one pipelined slab pass,
+    /// returning one [`Hit`] per queued fingerprint, in push order.
+    ///
+    /// Answers are **bit-identical** to calling [`query_fp`] /
+    /// [`query_fp_masked`] once per fingerprint (the property tests assert
+    /// it); only the work schedule differs, in ways a lone query cannot
+    /// match:
+    ///
+    /// * **Step-major interleaving** — probe step `j` runs for *every*
+    ///   fingerprint before step `j+1`: the B row loads of one step are
+    ///   independent, so their cache/TLB misses overlap B-wide, where a
+    ///   single query's serial walk overlaps only as far as the
+    ///   out-of-order window reaches. The next step's rows are derived and
+    ///   software-prefetched while the current step's AND-reductions run.
+    /// * **SIMD reduction** — rows are ANDed through the 4-wide chunked
+    ///   path: AVX2 at compile time under `-C target-feature=+avx2`, or a
+    ///   runtime-dispatched AVX2 clone of the whole pass when only the CPU
+    ///   supports it, with stride-specialized (bounds-check-free, fully
+    ///   unrolled) kernels for the common power-of-two strides.
+    /// * **Shared-modulus fastmod** — all `B × k` probe-index reductions
+    ///   use one precomputed [`FastMod`] magic instead of hardware
+    ///   division, keeping the divider off the critical path.
+    /// * **Amortized scratch** — masks, cursors, and liveness live in the
+    ///   batch and are reused across calls; a reused batch allocates only
+    ///   the result vector.
+    ///
+    /// [`query_fp`]: SharedShapeArray::query_fp
+    /// [`query_fp_masked`]: SharedShapeArray::query_fp_masked
+    ///
+    /// # Panics
+    ///
+    /// Panics if a queued [`SlotMask`] predates a capacity growth of this
+    /// array (same rule as
+    /// [`query_fp_masked`](SharedShapeArray::query_fp_masked)).
+    #[must_use]
+    pub fn query_batch(&self, batch: &mut ProbeBatch) -> Vec<Hit<I>> {
+        let b = batch.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        let stride = self.stride;
+        let k = self.shape.hashes as usize;
+        let ProbeBatch {
+            fps,
+            masks: query_masks,
+            scratch,
+        } = batch;
+        let BatchScratch {
+            mask_words,
+            h1,
+            h2,
+            rows,
+            verdicts,
+        } = scratch;
+        // Per-fingerprint candidate masks, flattened: fingerprint `q` owns
+        // words [q * stride, (q + 1) * stride). Every word is overwritten
+        // below, so a stale scratch buffer is safe to reuse.
+        mask_words.resize(b * stride, 0);
+        let masks = &mut mask_words[..b * stride];
+        for (chunk, mask) in masks.chunks_exact_mut(stride).zip(query_masks.iter()) {
+            match mask {
+                Some(mask) => {
+                    assert_eq!(
+                        mask.words.len(),
+                        stride,
+                        "SlotMask predates a capacity growth; rebuild it"
+                    );
+                    for ((dst, cand), live) in chunk.iter_mut().zip(&mask.words).zip(&self.live) {
+                        *dst = cand & live;
+                    }
+                }
+                None => chunk.copy_from_slice(&self.live),
+            }
+        }
+        // Each fingerprint's probe cursor: the `(h1, h2)` double-hashing
+        // pair, advanced step by step inside the pass (bit-identical to
+        // [`crate::hash::ProbeIndices`] by construction; the property
+        // tests pin the equivalence).
+        let fm = FastMod::new(self.shape.bits as u64);
+        h1.clear();
+        h2.clear();
+        for fp in fps.iter() {
+            let (a, bb) = fp.pair(self.shape.seed);
+            h1.push(a);
+            h2.push(bb);
+        }
+
+        if stride == 1 {
+            // Single-word masks (≤ 64 slots): each query's whole state
+            // fits in registers and the sequential walk is already near
+            // optimal, so the batch win is the shared fastmod derivation
+            // and the amortized scratch — walk each fingerprint to
+            // completion with everything register-resident.
+            for q in 0..b {
+                let mut cursor = h1[q];
+                let step = h2[q];
+                let mut mask = masks[q];
+                for _ in 0..k {
+                    if mask == 0 {
+                        break;
+                    }
+                    let row = fm.rem(cursor) as usize;
+                    cursor = cursor.wrapping_add(step);
+                    mask &= self.slab[row];
+                }
+                masks[q] = mask;
+            }
+            return masks.chunks_exact(1).map(|m| self.classify(m)).collect();
+        }
+
+        verdicts.clear();
+        verdicts.resize(b, u64::MAX);
+        run_batch_pass(&self.slab, stride, fm, k, h1, h2, rows, masks, verdicts);
+        masks
+            .chunks_exact(stride)
+            .zip(verdicts.iter())
+            .map(|(mask, &verdict)| {
+                if verdict == u64::MAX {
+                    return self.classify(mask);
+                }
+                match verdict >> 32 {
+                    0 => Hit::None,
+                    1 => {
+                        let slot = (verdict & 0xFFFF_FFFF) as usize;
+                        Hit::Unique(self.slots[slot].expect("live slot has an id"))
+                    }
+                    _ => self.classify(mask),
+                }
+            })
+            .collect()
+    }
+
     fn reduce(&self, fp: &Fingerprint, candidates: &[u64]) -> Hit<I> {
         if self.stride == 1 {
             // Fast path covering arrays of up to 64 slots: the whole
@@ -498,12 +1203,20 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
     }
 
     fn classify(&self, mask: &[u64]) -> Hit<I> {
-        let positives: u32 = mask.iter().map(|w| w.count_ones()).sum();
+        // Single pass: popcount and remember the last non-zero word (for
+        // a unique hit it is the only one).
+        let mut positives = 0u32;
+        let mut hit_word = 0usize;
+        for (word, &bits) in mask.iter().enumerate() {
+            if bits != 0 {
+                positives += bits.count_ones();
+                hit_word = word;
+            }
+        }
         match positives {
             0 => Hit::None,
             1 => {
-                let word = mask.iter().position(|&w| w != 0).expect("one bit set");
-                let slot = word * 64 + mask[word].trailing_zeros() as usize;
+                let slot = hit_word * 64 + mask[hit_word].trailing_zeros() as usize;
                 Hit::Unique(self.slots[slot].expect("live slot has an id"))
             }
             _ => {
@@ -684,6 +1397,268 @@ mod tests {
             array.apply_delta(1, &alien),
             Err(BloomError::IncompatibleFilters { .. })
         ));
+    }
+
+    #[test]
+    fn fastmod_matches_hardware_remainder() {
+        for d in [1u64, 2, 3, 5, 63, 64, 4096, 32_000, 320_001, u64::MAX] {
+            let fm = FastMod::new(d);
+            for n in [
+                0u64,
+                1,
+                d - 1,
+                d,
+                d.wrapping_add(1),
+                d.wrapping_mul(977).wrapping_add(12),
+                0x9E37_79B9_7F4A_7C15,
+                u64::MAX,
+                u64::MAX - 1,
+            ] {
+                assert_eq!(fm.rem(n), n % d, "n={n} d={d}");
+            }
+            // A pseudo-random sweep per modulus.
+            let mut x = 0x243F_6A88_85A3_08D3u64;
+            for _ in 0..10_000 {
+                x = crate::hash::splitmix64(x);
+                assert_eq!(fm.rem(x), x % d, "n={x} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_queries() {
+        let array = array_with(&[(1, &["a", "dup"]), (2, &["b", "dup"]), (3, &[])]);
+        let items = ["a", "b", "dup", "missing"];
+        let mut batch = ProbeBatch::new();
+        for item in items {
+            batch.push(Fingerprint::of(item));
+        }
+        let hits = array.query_batch(&mut batch);
+        for (item, hit) in items.iter().zip(&hits) {
+            assert_eq!(*hit, array.query(item), "batch diverged on {item}");
+        }
+    }
+
+    #[test]
+    fn batch_masks_match_query_fp_among() {
+        let array = array_with(&[(1, &["dup"]), (2, &["dup"]), (3, &[])]);
+        let fp = Fingerprint::of("dup");
+        let mut batch = ProbeBatch::new();
+        batch.push_masked(fp, array.subset_mask([1u16]));
+        batch.push_masked(fp, array.subset_mask([3u16]));
+        batch.push_masked(fp, array.mask_all_except(1));
+        batch.push(fp);
+        let hits = array.query_batch(&mut batch);
+        assert_eq!(hits[0], array.query_fp_among(&fp, [1u16]));
+        assert_eq!(hits[1], array.query_fp_among(&fp, [3u16]));
+        assert_eq!(
+            hits[2],
+            array.query_fp_masked(&fp, &array.mask_all_except(1))
+        );
+        assert_eq!(hits[3], array.query_fp(&fp));
+        assert_eq!(hits[0], Hit::Unique(1));
+        assert_eq!(hits[1], Hit::None);
+        assert_eq!(hits[2], Hit::Unique(2));
+        assert_eq!(hits[3], Hit::Multiple(vec![1, 2]));
+    }
+
+    #[test]
+    fn empty_batch_returns_nothing() {
+        let array = array_with(&[(1, &["a"])]);
+        assert!(array.query_batch(&mut ProbeBatch::new()).is_empty());
+    }
+
+    #[test]
+    fn batch_survives_growth_and_removal() {
+        let mut array = SharedShapeArray::new(shape());
+        for id in 0u16..130 {
+            array.push(id).unwrap();
+            array.insert(id, &format!("file-{id}")).unwrap();
+        }
+        array.remove(64);
+        let mut batch = ProbeBatch::with_capacity(130);
+        for id in 0u16..130 {
+            batch.push(Fingerprint::of(&format!("file-{id}")));
+        }
+        let hits = array.query_batch(&mut batch);
+        for (id, hit) in (0u16..130).zip(&hits) {
+            assert_eq!(
+                *hit,
+                array.query(&format!("file-{id}")),
+                "batch diverged on {id} after growth/removal"
+            );
+        }
+        assert_eq!(hits[64], Hit::None);
+    }
+
+    #[test]
+    fn batch_reuse_after_clear() {
+        let array = array_with(&[(1, &["a"]), (2, &["b"])]);
+        let mut batch = ProbeBatch::new();
+        batch.push(Fingerprint::of("a"));
+        assert_eq!(array.query_batch(&mut batch), vec![Hit::Unique(1)]);
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.push(Fingerprint::of("b")), 0);
+        assert_eq!(array.query_batch(&mut batch), vec![Hit::Unique(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "predates a capacity growth")]
+    fn batch_stale_mask_panics() {
+        let mut array = array_with(&[(1, &["a"])]);
+        let mut batch = ProbeBatch::new();
+        batch.push_masked(Fingerprint::of("a"), array.subset_mask([1u16]));
+        for id in 10u16..90 {
+            array.push(id).unwrap(); // forces a capacity growth
+        }
+        let _ = array.query_batch(&mut batch);
+    }
+
+    #[test]
+    #[ignore = "manual profiling aid"]
+    fn profile_batch_kernel() {
+        use std::time::Instant;
+        let shape = FilterShape {
+            bits: 320_000,
+            hashes: 11,
+            seed: 9,
+        };
+        let n: u16 = 1024;
+        let items: u64 = 20_000;
+        let mut array = SharedShapeArray::new(shape);
+        for id in 0..n {
+            array.push(id).unwrap();
+            for i in 0..items {
+                array.insert_fp(id, &Fingerprint::of(&(id, i))).unwrap();
+            }
+        }
+        let fps: Vec<Fingerprint> = (0..512u64)
+            .map(|i| Fingerprint::of(&((i % u64::from(n)) as u16, i % items)))
+            .collect();
+        let reps = 20_000usize;
+        let b = 16usize;
+        let stride = array.stride;
+        let k = shape.hashes as usize;
+
+        let mut sink = 0usize;
+        let t = Instant::now();
+        for r in 0..reps {
+            for j in 0..b {
+                sink += array
+                    .query_fp(&fps[(r * b + j) % fps.len()])
+                    .candidates()
+                    .len();
+            }
+        }
+        println!(
+            "sequential      {:8.1} ns/lookup",
+            t.elapsed().as_nanos() as f64 / (reps * b) as f64
+        );
+
+        let t = Instant::now();
+        let mut batch = ProbeBatch::with_capacity(b);
+        for r in 0..reps {
+            batch.clear();
+            for j in 0..b {
+                batch.push(fps[(r * b + j) % fps.len()]);
+            }
+            sink += array
+                .query_batch(&mut batch)
+                .iter()
+                .map(|h| h.candidates().len())
+                .sum::<usize>();
+        }
+        println!(
+            "query_batch     {:8.1} ns/lookup",
+            t.elapsed().as_nanos() as f64 / (reps * b) as f64
+        );
+
+        // Kernel only: reused buffers, cursors rederived, no classify.
+        let mut masks = vec![0u64; b * stride];
+        let mut h1 = vec![0u64; b];
+        let mut h2 = vec![0u64; b];
+        let mut rows: Vec<u32> = Vec::new();
+        let mut verdicts = vec![u64::MAX; b];
+        let fm = FastMod::new(shape.bits as u64);
+        let t = Instant::now();
+        for r in 0..reps {
+            for chunk in masks.chunks_exact_mut(stride) {
+                chunk.copy_from_slice(&array.live);
+            }
+            for j in 0..b {
+                let (a, bb) = fps[(r * b + j) % fps.len()].pair(shape.seed);
+                h1[j] = a;
+                h2[j] = bb;
+            }
+            run_batch_pass(
+                &array.slab,
+                stride,
+                fm,
+                k,
+                &h1,
+                &h2,
+                &mut rows,
+                &mut masks,
+                &mut verdicts,
+            );
+            sink += masks[0] as usize & 1;
+        }
+        println!(
+            "kernel+derive   {:8.1} ns/lookup",
+            t.elapsed().as_nanos() as f64 / (reps * b) as f64
+        );
+
+        // Portable body, no AVX2 dispatch.
+        let t = Instant::now();
+        for r in 0..reps {
+            for chunk in masks.chunks_exact_mut(stride) {
+                chunk.copy_from_slice(&array.live);
+            }
+            for j in 0..b {
+                let (a, bb) = fps[(r * b + j) % fps.len()].pair(shape.seed);
+                h1[j] = a;
+                h2[j] = bb;
+            }
+            batch_pass_body::<16>(
+                &array.slab,
+                stride,
+                fm,
+                k,
+                &h1,
+                &h2,
+                &mut rows,
+                &mut masks,
+                &mut verdicts,
+            );
+            sink += masks[0] as usize & 1;
+        }
+        println!(
+            "kernel portable {:8.1} ns/lookup",
+            t.elapsed().as_nanos() as f64 / (reps * b) as f64
+        );
+
+        // Alloc + classify overheads.
+        let t = Instant::now();
+        for _ in 0..reps {
+            let m = vec![0u64; b * stride];
+            sink += m[0] as usize;
+        }
+        println!(
+            "masks alloc     {:8.1} ns/lookup",
+            t.elapsed().as_nanos() as f64 / (reps * b) as f64
+        );
+        let t = Instant::now();
+        for _ in 0..reps {
+            for chunk in masks.chunks_exact(stride) {
+                sink += array.classify(chunk).candidates().len();
+            }
+        }
+        println!(
+            "classify        {:8.1} ns/lookup",
+            t.elapsed().as_nanos() as f64 / (reps * b) as f64
+        );
+        assert!(sink > 0);
     }
 
     #[test]

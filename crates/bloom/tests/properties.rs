@@ -312,6 +312,47 @@ proptest! {
         prop_assert_eq!(sliced.query_fp_masked(&fp, &mask), expected);
     }
 
+    /// The PR-2 acceptance property: a [`ProbeBatch`] of B fingerprints
+    /// returns bit-identical `Hit`s to B sequential `query_fp` /
+    /// `query_fp_among` calls — across masks, pushes, and removals.
+    #[test]
+    fn probe_batch_matches_sequential(
+        inserts in proptest::collection::vec(("[a-z]{1,12}", 0u16..70), 0..250),
+        removals in proptest::collection::vec(0u16..70, 0..8),
+        probes in proptest::collection::vec(("[a-z]{1,12}", proptest::collection::vec(0u16..70, 0..6)), 1..24),
+        seed in any::<u64>(),
+        homes in 1u16..70,
+    ) {
+        let shape = ghba_bloom::FilterShape { bits: 8192, hashes: 5, seed };
+        let mut sliced = SharedShapeArray::new(shape);
+        for id in 0..homes {
+            sliced.push(id).unwrap();
+        }
+        for (item, home) in &inserts {
+            sliced.insert(home % homes, item).unwrap();
+        }
+        for id in &removals {
+            sliced.remove(id % homes);
+        }
+        // Half the probes are existing items, half arbitrary; every other
+        // probe is masked to an arbitrary candidate subset (possibly
+        // naming removed or never-pushed ids, which masks must ignore).
+        let mut batch = ghba_bloom::ProbeBatch::new();
+        let mut expected = Vec::new();
+        for (i, (item, subset)) in probes.iter().enumerate() {
+            let item = inserts.get(i).map_or(item.as_str(), |(it, _)| it.as_str());
+            let fp = Fingerprint::of(item);
+            if i % 2 == 0 {
+                expected.push(sliced.query_fp(&fp));
+                batch.push(fp);
+            } else {
+                expected.push(sliced.query_fp_among(&fp, subset.iter().copied()));
+                batch.push_masked(fp, sliced.subset_mask(subset.iter().copied()));
+            }
+        }
+        prop_assert_eq!(sliced.query_batch(&mut batch), expected);
+    }
+
     /// Hit classification is consistent with candidate count.
     #[test]
     fn hit_classification(ids in proptest::collection::vec(any::<u16>(), 0..10)) {

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ghba_bloom::{BloomFilter, Fingerprint, SharedShapeArray};
+use ghba_bloom::{BloomFilter, Fingerprint, ProbeBatch, SharedShapeArray};
 use ghba_core::{published_shape, GhbaConfig, Mds, MdsId, QueryLevel};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::RwLock;
@@ -114,12 +114,82 @@ impl Node {
     }
 
     /// Runs the node until `Shutdown` arrives or every sender is gone.
+    ///
+    /// The receive loop **drains** its mailbox before handling anything:
+    /// every `GroupProbe` waiting in the queue is collected and answered
+    /// with one batched slab pass ([`SharedShapeArray::query_batch`]),
+    /// so a burst of concurrent group multicasts costs one sorted,
+    /// prefetched walk of the replica slab instead of one dependent
+    /// `k × stride` row walk per probe.
     pub fn run(mut self) {
-        while let Ok(message) = self.inbox.recv() {
-            if !self.handle(message) {
-                break;
+        let mut probes: Vec<(QueryId, Fingerprint, MdsId)> = Vec::new();
+        'recv: while let Ok(first) = self.inbox.recv() {
+            let mut message = first;
+            loop {
+                match message {
+                    Message::GroupProbe { qid, fp, reply_to } => {
+                        probes.push((qid, fp, reply_to));
+                    }
+                    other => {
+                        // Answer queued probes first: they were received
+                        // earlier, and their replies never depend on the
+                        // message that follows them.
+                        self.flush_group_probes(&mut probes);
+                        if !self.handle(other) {
+                            break 'recv;
+                        }
+                    }
+                }
+                match self.inbox.try_recv() {
+                    Ok(next) => message = next,
+                    Err(_) => break,
+                }
+            }
+            self.flush_group_probes(&mut probes);
+        }
+    }
+
+    /// Answers every queued `GroupProbe` with one batched probe of the
+    /// replica slab (plus one live-filter probe per fingerprint).
+    fn flush_group_probes(&mut self, probes: &mut Vec<(QueryId, Fingerprint, MdsId)>) {
+        match probes.len() {
+            0 => return,
+            1 => {
+                // No batch to amortize; keep the single-probe path.
+                let (qid, fp, reply_to) = probes[0];
+                let positives = self.local_positives(&fp);
+                self.net.send(
+                    reply_to,
+                    Message::ProbeReply {
+                        qid,
+                        positives,
+                        from: self.id,
+                    },
+                );
+            }
+            _ => {
+                let mut batch = ProbeBatch::with_capacity(probes.len());
+                for (_, fp, _) in probes.iter() {
+                    batch.push(*fp);
+                }
+                let hits = self.replicas.query_batch(&mut batch);
+                for (&(qid, fp, reply_to), hit) in probes.iter().zip(hits) {
+                    let mut positives = hit.candidates().to_vec();
+                    if self.mds.probe_live_fp(&fp) {
+                        positives.push(self.id);
+                    }
+                    self.net.send(
+                        reply_to,
+                        Message::ProbeReply {
+                            qid,
+                            positives,
+                            from: self.id,
+                        },
+                    );
+                }
             }
         }
+        probes.clear();
     }
 
     fn handle(&mut self, message: Message) -> bool {
@@ -139,6 +209,8 @@ impl Node {
                 let _ = reply.send(removed);
             }
             Message::GroupProbe { qid, fp, reply_to } => {
+                // Reached only for probes arriving outside the drain loop;
+                // the drain path batches them.
                 let positives = self.local_positives(&fp);
                 self.net.send(
                     reply_to,
@@ -490,13 +562,14 @@ impl Node {
     }
 
     fn maybe_publish(&mut self) {
+        // Exact O(m) drift checks run at the gated cadence, not per
+        // mutation (same protocol as `GhbaCluster::maybe_publish`; the
+        // prototype keeps no stats, so no exact-check counter here).
         let threshold = self.config.update_threshold_bits;
-        let hashes = self.config.filter_hashes() as usize;
-        let gate = (threshold / hashes.max(1) / 2).max(1) as u64;
-        if self.mds.mutations_since_publish() < gate || self.mds.drift_bits() < threshold {
-            return;
+        let gate = self.config.publish_gate();
+        if self.mds.drift_exceeds(gate, threshold) == Some(true) {
+            self.publish_now();
         }
-        self.publish_now();
     }
 
     /// Forces a publish + delta fan-out (one holder per foreign group, or

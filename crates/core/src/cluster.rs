@@ -7,7 +7,7 @@
 use core::time::Duration;
 use std::collections::BTreeMap;
 
-use ghba_bloom::{Fingerprint, Hit, SharedShapeArray};
+use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray};
 use ghba_simnet::{Counters, DetRng, LatencyStats};
 
 use crate::config::GhbaConfig;
@@ -269,135 +269,248 @@ impl GhbaCluster {
     ///
     /// Panics if `entry` is not a member of the cluster.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
-        assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        self.lookup_batch_from(&[(entry, path)])
+            .pop()
+            .expect("one query in, one outcome out")
+    }
+
+    /// Looks up a batch of paths, each from a uniformly random entry MDS —
+    /// the paper's client model applied to a burst of concurrent requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no servers.
+    pub fn lookup_batch<S: AsRef<str>>(&mut self, paths: &[S]) -> Vec<QueryOutcome> {
+        assert!(!self.mdss.is_empty(), "cluster has no servers");
+        let queries: Vec<(MdsId, &str)> = paths
+            .iter()
+            .map(|path| (self.pick_random_mds(), path.as_ref()))
+            .collect();
+        self.lookup_batch_from(&queries)
+    }
+
+    /// Resolves a batch of concurrent lookups, walking the L1 → L4
+    /// hierarchy **level by level across the whole batch**: every query
+    /// still past L1 joins one [`ProbeBatch`] against the published slab
+    /// at L2, and again (group-masked) at L3, so the slab's `k` probe rows
+    /// per fingerprint are resolved in one sorted, prefetched pass per
+    /// level instead of one dependent walk per query.
+    ///
+    /// Per-query accounting (latency, messages, level counters) is
+    /// identical to running [`lookup_from`](GhbaCluster::lookup_from) once
+    /// per query; the only visible difference is that an L1 cache fill
+    /// produced by one query of the batch is not seen by the *later* L2+
+    /// probes of the same batch — the concurrent-request model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is not a member of the cluster.
+    pub fn lookup_batch_from(&mut self, queries: &[(MdsId, &str)]) -> Vec<QueryOutcome> {
         let model = self.config.latency.clone();
-        let mut latency = model.dispatch;
-        let mut messages: u32 = 0;
+        let total = queries.len();
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; total];
+        let mut latency: Vec<Duration> = vec![model.dispatch; total];
+        let mut messages: Vec<u32> = vec![0; total];
+        // Hash each path once at its entry server; the fingerprint drives
+        // every filter probe of the whole L1 → L4 escalation (and in a
+        // real deployment travels inside the multicast probe messages).
+        let fps: Vec<Fingerprint> = queries
+            .iter()
+            .map(|(_, path)| Fingerprint::of(*path))
+            .collect();
+        let mut active: Vec<usize> = Vec::with_capacity(total);
 
-        // Hash once at the entry server; the fingerprint drives every
-        // filter probe of the whole L1 → L4 escalation (and in a real
-        // deployment travels inside the multicast probe messages).
-        let fp = Fingerprint::of(path);
-
-        // ---- L1: the entry server's LRU Bloom filter array. ----
-        let l1_hit = self
-            .mdss
-            .get(&entry)
-            .and_then(Mds::lru)
-            .map(|lru| lru.query_fp(&fp));
-        if let Some(hit) = l1_hit {
-            latency += model.memory_probe; // small resident array: one probe
-            if let Hit::Unique(candidate) = hit {
-                if let Some(home) =
-                    self.verify_at(candidate, entry, path, &mut latency, &mut messages)
-                {
-                    return self.finish(entry, &fp, home, QueryLevel::L1Lru, latency, messages);
+        // ---- L1: each entry server's LRU Bloom filter array. ----
+        for (qi, &(entry, path)) in queries.iter().enumerate() {
+            assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+            let fp = fps[qi];
+            let l1_hit = self
+                .mdss
+                .get(&entry)
+                .and_then(Mds::lru)
+                .map(|lru| lru.query_fp(&fp));
+            if let Some(hit) = l1_hit {
+                latency[qi] += model.memory_probe; // small resident array
+                if let Hit::Unique(candidate) = hit {
+                    if let Some(home) =
+                        self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
+                    {
+                        outcomes[qi] = Some(self.finish(
+                            entry,
+                            &fp,
+                            home,
+                            QueryLevel::L1Lru,
+                            latency[qi],
+                            messages[qi],
+                        ));
+                        continue;
+                    }
+                    self.stats.counters.incr("l1_false_hits");
                 }
-                self.stats.counters.incr("l1_false_hits");
             }
+            active.push(qi);
         }
 
-        // ---- L2: the entry server's segment array (θ replicas + own),
-        // a masked bit-sliced probe of the published slab. ----
-        let held = self.replicas_held_by(entry);
-        let entry_mds = self.mdss.get(&entry).expect("entry exists");
-        let resident = entry_mds.resident_replicas(held.len());
-        latency += model.array_probe(held.len() + 1, held.len() - resident);
-        let mut positives: Vec<MdsId> = self
-            .published_array
-            .query_fp_among(&fp, held.iter().copied())
-            .candidates()
-            .to_vec();
-        if entry_mds.probe_live_fp(&fp) {
-            positives.push(entry);
+        // ---- L2: every entry server's segment array (θ replicas + own):
+        // one batched masked probe of the published slab for the whole
+        // batch. ----
+        let mut batch = ProbeBatch::with_capacity(active.len());
+        for &qi in &active {
+            let (entry, _) = queries[qi];
+            let held = self.replicas_held_by(entry);
+            let entry_mds = self.mdss.get(&entry).expect("entry exists");
+            let resident = entry_mds.resident_replicas(held.len());
+            latency[qi] += model.array_probe(held.len() + 1, held.len() - resident);
+            batch.push_masked(
+                fps[qi],
+                self.published_array.subset_mask(held.iter().copied()),
+            );
         }
-        if positives.len() == 1 {
-            let candidate = positives[0];
-            if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
-            {
-                return self.finish(entry, &fp, home, QueryLevel::L2Segment, latency, messages);
+        let hits = self.published_array.query_batch(&mut batch);
+        let mut next_active = Vec::with_capacity(active.len());
+        for (&qi, hit) in active.iter().zip(&hits) {
+            let (entry, path) = queries[qi];
+            let mut positives = hit.candidates().to_vec();
+            if self.mdss[&entry].probe_live_fp(&fps[qi]) {
+                positives.push(entry);
             }
-            self.stats.counters.incr("l2_false_hits");
+            if positives.len() == 1 {
+                let candidate = positives[0];
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
+                {
+                    outcomes[qi] = Some(self.finish(
+                        entry,
+                        &fps[qi],
+                        home,
+                        QueryLevel::L2Segment,
+                        latency[qi],
+                        messages[qi],
+                    ));
+                    continue;
+                }
+                self.stats.counters.incr("l2_false_hits");
+            }
+            next_active.push(qi);
         }
+        let active = next_active;
 
-        // ---- L3: multicast within the entry server's group. ----
-        let gid = self.group_of(entry).expect("entry has a group");
-        let group = &self.groups[&gid];
-        let members: Vec<MdsId> = group.members().to_vec();
-        let peer_count = members.len().saturating_sub(1);
-        messages += 2 * peer_count as u32;
-        latency += model.multicast_rtt(peer_count);
-        // Peers probe their held replicas in parallel: pay the slowest.
-        let mut worst_probe = Duration::ZERO;
-        for &member in &members {
-            if member == entry {
-                continue;
+        // ---- L3: multicast within each entry server's group; the
+        // group-mirror probes of the whole batch share one slab pass. ----
+        batch.clear();
+        for &qi in &active {
+            let (entry, _) = queries[qi];
+            let gid = self.group_of(entry).expect("entry has a group");
+            let members: Vec<MdsId> = self.groups[&gid].members().to_vec();
+            let peer_count = members.len().saturating_sub(1);
+            messages[qi] += 2 * peer_count as u32;
+            latency[qi] += model.multicast_rtt(peer_count);
+            // Peers probe their held replicas in parallel: pay the slowest.
+            let mut worst_probe = Duration::ZERO;
+            for &member in &members {
+                if member == entry {
+                    continue;
+                }
+                let held = self.groups[&gid].replicas_held_by(member);
+                let resident = self.mdss[&member].resident_replicas(held.len());
+                let probe = model.array_probe(held.len() + 1, held.len() - resident);
+                worst_probe = worst_probe.max(probe);
             }
-            let held = self.groups[&gid].replicas_held_by(member);
-            let resident = self.mdss[&member].resident_replicas(held.len());
-            let probe = model.array_probe(held.len() + 1, held.len() - resident);
-            worst_probe = worst_probe.max(probe);
+            latency[qi] += worst_probe;
+            // The group's replicas collectively mirror every server
+            // outside it: one masked slab probe covers all of them, and
+            // recipients reuse the fingerprint shipped with the multicast
+            // for their live probes.
+            let origins = self.groups[&gid].replica_origins();
+            batch.push_masked(
+                fps[qi],
+                self.published_array.subset_mask(origins.iter().copied()),
+            );
         }
-        latency += worst_probe;
-        // The group's replicas collectively mirror every server outside it:
-        // one masked slab probe covers all of them, and recipients reuse
-        // the fingerprint shipped with the multicast for their live probes.
-        let origins = self.groups[&gid].replica_origins();
-        let mut positives: Vec<MdsId> = self
-            .published_array
-            .query_fp_among(&fp, origins.iter().copied())
-            .candidates()
-            .to_vec();
-        for &member in &members {
-            if self.mdss[&member].probe_live_fp(&fp) {
-                positives.push(member);
+        let hits = self.published_array.query_batch(&mut batch);
+        let mut next_active = Vec::with_capacity(active.len());
+        for (&qi, hit) in active.iter().zip(&hits) {
+            let (entry, path) = queries[qi];
+            let gid = self.group_of(entry).expect("entry has a group");
+            let mut positives = hit.candidates().to_vec();
+            for &member in self.groups[&gid].members() {
+                if self.mdss[&member].probe_live_fp(&fps[qi]) {
+                    positives.push(member);
+                }
             }
-        }
-        if positives.len() == 1 {
-            let candidate = positives[0];
-            if let Some(home) = self.verify_at(candidate, entry, path, &mut latency, &mut messages)
-            {
-                return self.finish(entry, &fp, home, QueryLevel::L3Group, latency, messages);
+            if positives.len() == 1 {
+                let candidate = positives[0];
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
+                {
+                    outcomes[qi] = Some(self.finish(
+                        entry,
+                        &fps[qi],
+                        home,
+                        QueryLevel::L3Group,
+                        latency[qi],
+                        messages[qi],
+                    ));
+                    continue;
+                }
+                self.stats.counters.incr("l3_false_hits");
             }
-            self.stats.counters.incr("l3_false_hits");
+            next_active.push(qi);
         }
+        let active = next_active;
 
         // ---- L4: system-wide multicast; authoritative. ----
-        let others = self.server_count().saturating_sub(1);
-        messages += 2 * others as u32;
-        latency += model.multicast_rtt(others);
-        // Every server probes its live local filter in parallel (memory);
-        // positives verify against their store.
-        latency += model.memory_probe;
-        let mut found: Option<MdsId> = None;
-        let mut verify_cost = Duration::ZERO;
-        for (&id, mds) in &self.mdss {
-            if mds.probe_live_fp(&fp) {
-                let cost = mds.metadata_access_cost(&model);
-                verify_cost = verify_cost.max(cost);
-                if mds.stores(path) {
-                    found = Some(id);
-                } else {
-                    self.stats.counters.incr("l4_false_positive_disk_checks");
+        for &qi in &active {
+            let (entry, path) = queries[qi];
+            let fp = fps[qi];
+            let others = self.server_count().saturating_sub(1);
+            messages[qi] += 2 * others as u32;
+            latency[qi] += model.multicast_rtt(others);
+            // Every server probes its live local filter in parallel
+            // (memory); positives verify against their store.
+            latency[qi] += model.memory_probe;
+            let mut found: Option<MdsId> = None;
+            let mut verify_cost = Duration::ZERO;
+            for (&id, mds) in &self.mdss {
+                if mds.probe_live_fp(&fp) {
+                    let cost = mds.metadata_access_cost(&model);
+                    verify_cost = verify_cost.max(cost);
+                    if mds.stores(path) {
+                        found = Some(id);
+                    } else {
+                        self.stats.counters.incr("l4_false_positive_disk_checks");
+                    }
                 }
             }
-        }
-        latency += verify_cost;
-        match found {
-            Some(home) => self.finish(entry, &fp, home, QueryLevel::L4Global, latency, messages),
-            None => {
-                let latency = latency.mul_f64(self.config.contention_factor(messages));
-                self.stats.levels.record(QueryLevel::Nonexistent);
-                self.stats.lookup_latency.record(latency);
-                QueryOutcome {
-                    home: None,
-                    level: QueryLevel::Nonexistent,
-                    latency,
-                    messages,
+            latency[qi] += verify_cost;
+            outcomes[qi] = Some(match found {
+                Some(home) => self.finish(
                     entry,
+                    &fp,
+                    home,
+                    QueryLevel::L4Global,
+                    latency[qi],
+                    messages[qi],
+                ),
+                None => {
+                    let latency = latency[qi].mul_f64(self.config.contention_factor(messages[qi]));
+                    self.stats.levels.record(QueryLevel::Nonexistent);
+                    self.stats.lookup_latency.record(latency);
+                    QueryOutcome {
+                        home: None,
+                        level: QueryLevel::Nonexistent,
+                        latency,
+                        messages: messages[qi],
+                        entry,
+                    }
                 }
-            }
+            });
         }
+
+        outcomes
+            .into_iter()
+            .map(|outcome| outcome.expect("every query resolved by L4"))
+            .collect()
     }
 
     /// Forwards the query to `candidate` and verifies against its
@@ -553,5 +666,79 @@ impl GhbaCluster {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch_config() -> GhbaConfig {
+        GhbaConfig::default()
+            .with_filter_capacity(2_000)
+            .with_max_group_size(5)
+            .with_update_threshold(64)
+            .with_seed(42)
+    }
+
+    fn populated_cluster() -> GhbaCluster {
+        let mut cluster = GhbaCluster::with_servers(batch_config(), 15);
+        for i in 0..300 {
+            cluster.create_file(&format!("/b/f{i}"));
+        }
+        cluster.flush_all_updates();
+        cluster
+    }
+
+    /// A batch of concurrent lookups over distinct paths resolves exactly
+    /// like the same lookups issued sequentially from the same entries —
+    /// homes, levels, latencies, messages, and stats all agree.
+    #[test]
+    fn lookup_batch_matches_sequential_lookups() {
+        let mut sequential = populated_cluster();
+        let mut batched = populated_cluster();
+        let queries: Vec<(MdsId, String)> = (0..64)
+            .map(|i| {
+                let path = if i % 8 == 7 {
+                    format!("/missing/f{i}")
+                } else {
+                    format!("/b/f{}", i * 4 % 300)
+                };
+                (MdsId(i % 15), path)
+            })
+            .collect();
+        let borrowed: Vec<(MdsId, &str)> = queries
+            .iter()
+            .map(|(entry, path)| (*entry, path.as_str()))
+            .collect();
+        let expected: Vec<QueryOutcome> = borrowed
+            .iter()
+            .map(|&(entry, path)| sequential.lookup_from(entry, path))
+            .collect();
+        let got = batched.lookup_batch_from(&borrowed);
+        assert_eq!(got, expected);
+        assert_eq!(batched.stats().levels, sequential.stats().levels);
+        assert_eq!(
+            batched.stats().lookup_latency.count(),
+            sequential.stats().lookup_latency.count()
+        );
+    }
+
+    /// `lookup_batch` draws one random entry per path, consuming the rng
+    /// stream exactly as sequential `lookup` calls would.
+    #[test]
+    fn lookup_batch_random_entries_match_sequential_rng() {
+        let mut sequential = populated_cluster();
+        let mut batched = populated_cluster();
+        let paths: Vec<String> = (0..32).map(|i| format!("/b/f{}", i * 9 % 300)).collect();
+        let expected: Vec<QueryOutcome> =
+            paths.iter().map(|path| sequential.lookup(path)).collect();
+        assert_eq!(batched.lookup_batch(&paths), expected);
+    }
+
+    #[test]
+    fn empty_lookup_batch_is_empty() {
+        let mut cluster = populated_cluster();
+        assert!(cluster.lookup_batch_from(&[]).is_empty());
     }
 }

@@ -188,6 +188,17 @@ impl GhbaConfig {
     pub fn filter_hashes(&self) -> u32 {
         ghba_bloom::analysis::optimal_hash_count(self.bits_per_file)
     }
+
+    /// Mutations that must accumulate before the publish gate pays for an
+    /// exact drift check. Each new file sets at most `k` bits, so fewer
+    /// than `threshold / k` mutations cannot have crossed the update
+    /// threshold; checking at half that rate keeps the O(m) distance
+    /// computation rare. Shared by every scheme's publish gate.
+    #[must_use]
+    pub fn publish_gate(&self) -> u64 {
+        let hashes = self.filter_hashes() as usize;
+        (self.update_threshold_bits / hashes.max(1) / 2).max(1) as u64
+    }
 }
 
 #[cfg(test)]

@@ -49,11 +49,25 @@ pub struct Mds {
     id: MdsId,
     store: MetadataStore,
     live: CountingBloomFilter,
+    /// Plain (bit-vector) projection of `live`, maintained incrementally on
+    /// creates and rebuilt **lazily** after unlinks: a remove may drop
+    /// counters to zero, so the projection goes stale until
+    /// [`drift_bits`](Mds::drift_bits) or [`publish`](Mds::publish) next
+    /// needs it. Unlink itself stays O(k) instead of O(m).
     live_plain: BloomFilter,
+    /// `true` while `live_plain` lags `live` (set by unlinks).
+    live_plain_dirty: bool,
+    /// O(m) projection rebuilds performed (observability for the lazy
+    /// path; tests assert rebuilds scale with publish checks, not unlinks).
+    plain_rebuilds: u64,
     published: BloomFilter,
     lru: Option<LruBloomArray<MdsId>>,
     memory: Option<MemoryBudget>,
     mutations_since_publish: u64,
+    /// Mutations since the last *exact* drift check (or publish), so the
+    /// O(m) XOR distance runs at the gated cadence instead of on every
+    /// mutation once the publish gate is passed.
+    mutations_since_drift_check: u64,
     replica_charge_count: usize,
 }
 
@@ -79,10 +93,13 @@ impl Mds {
             store: MetadataStore::new(),
             live,
             live_plain,
+            live_plain_dirty: false,
+            plain_rebuilds: 0,
             published,
             lru,
             memory,
             mutations_since_publish: 0,
+            mutations_since_drift_check: 0,
             replica_charge_count: 0,
         };
         mds.recharge_memory();
@@ -130,8 +147,11 @@ impl Mds {
         let fp = Fingerprint::of(path);
         self.store.create(path);
         self.live.insert_fp(&fp);
+        // Keep the plain projection current when it is clean; when it is
+        // dirty the pending rebuild overwrites this anyway.
         self.live_plain.insert_fp(&fp);
         self.mutations_since_publish += 1;
+        self.mutations_since_drift_check += 1;
         self.recharge_metacache();
     }
 
@@ -143,13 +163,24 @@ impl Mds {
         }
         let removed = self.live.remove(path);
         debug_assert!(removed.is_ok(), "live filter desynchronized from store");
-        // Counters may have dropped to zero: rebuild the plain projection.
-        // Unlinks are a small fraction of metadata traffic, so the rebuild
-        // amortizes away.
-        self.live_plain = self.live.to_bloom_filter();
+        // Counters may have dropped to zero, so the plain projection is now
+        // stale. Defer the O(m) rebuild until `drift_bits`/`publish`
+        // actually needs it — unlink itself stays O(k).
+        self.live_plain_dirty = true;
         self.mutations_since_publish += 1;
+        self.mutations_since_drift_check += 1;
         self.recharge_metacache();
         true
+    }
+
+    /// Rebuilds the plain projection from the counting filter if an unlink
+    /// left it stale.
+    fn refresh_plain(&mut self) {
+        if self.live_plain_dirty {
+            self.live_plain = self.live.to_bloom_filter();
+            self.live_plain_dirty = false;
+            self.plain_rebuilds += 1;
+        }
     }
 
     /// Authoritative membership check (the "disk" verification of L4 and
@@ -174,9 +205,12 @@ impl Mds {
     }
 
     /// Hamming distance between the live filter and the published
-    /// snapshot — Eq. §3.4's update trigger.
+    /// snapshot — Eq. §3.4's update trigger. This is the *exact* O(m)
+    /// check; gate it with [`drift_check_due`](Mds::drift_check_due) on
+    /// hot paths.
     #[must_use]
-    pub fn drift_bits(&self) -> usize {
+    pub fn drift_bits(&mut self) -> usize {
+        self.refresh_plain();
         self.live_plain
             .xor_distance(&self.published)
             .expect("live and published share geometry")
@@ -189,18 +223,59 @@ impl Mds {
         self.mutations_since_publish
     }
 
+    /// `true` when enough mutations have accumulated — since the last
+    /// publish *and* since the last exact check — that paying for the
+    /// O(m) [`drift_bits`](Mds::drift_bits) distance is warranted.
+    ///
+    /// Without the second clause, a server whose drift hovers under the
+    /// threshold would recompute the exact distance on **every** mutation
+    /// once past the publish gate; with it, exact checks run at the gated
+    /// cadence. Pair with [`note_drift_checked`](Mds::note_drift_checked)
+    /// when the check does not lead to a publish.
+    #[must_use]
+    pub fn drift_check_due(&self, gate: u64) -> bool {
+        self.mutations_since_publish >= gate && self.mutations_since_drift_check >= gate
+    }
+
+    /// Records that an exact drift check ran (and came up under
+    /// threshold), restarting the cadence countdown.
+    pub fn note_drift_checked(&mut self) {
+        self.mutations_since_drift_check = 0;
+    }
+
+    /// The whole gated drift protocol in one call: `None` when the
+    /// cadence says an exact check is not yet due (no filter touched);
+    /// otherwise pays the exact O(m) distance, restarts the cadence on an
+    /// under-threshold result, and returns `Some(exceeded)`.
+    ///
+    /// Every publish gate (G-HBA, HBA, the threaded prototype) goes
+    /// through here so no call site can forget the cadence reset and
+    /// silently regress to per-mutation O(m) checks.
+    pub fn drift_exceeds(&mut self, gate: u64, threshold: usize) -> Option<bool> {
+        if !self.drift_check_due(gate) {
+            return None;
+        }
+        if self.drift_bits() < threshold {
+            self.note_drift_checked();
+            Some(false)
+        } else {
+            Some(true)
+        }
+    }
+
     /// Refreshes the published snapshot from the live filter, returning
     /// the delta that must be shipped to replica holders, or `None` if
     /// nothing changed.
     pub fn publish(&mut self) -> Option<FilterDelta> {
-        let fresh = self.live.to_bloom_filter();
-        let delta = FilterDelta::between(&self.published, &fresh)
+        self.refresh_plain();
+        let delta = FilterDelta::between(&self.published, &self.live_plain)
             .expect("published and live share geometry");
         self.mutations_since_publish = 0;
+        self.mutations_since_drift_check = 0;
         if delta.is_empty() {
             return None;
         }
-        self.published = fresh;
+        self.published = self.live_plain.clone();
         Some(delta)
     }
 
@@ -210,8 +285,10 @@ impl Mds {
         let paths: Vec<String> = self.store.drain().map(|(p, _)| p).collect();
         self.live.clear();
         self.live_plain.clear();
+        self.live_plain_dirty = false;
         self.published.clear();
         self.mutations_since_publish = 0;
+        self.mutations_since_drift_check = 0;
         paths
     }
 
@@ -361,6 +438,78 @@ mod tests {
         assert_eq!(mds.file_count(), 0);
         assert!(!mds.probe_live("/a"));
         assert_eq!(mds.drift_bits(), 0);
+    }
+
+    #[test]
+    fn remove_heavy_workload_keeps_filter_and_store_in_sync() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        for i in 0..200 {
+            mds.create_local(&format!("/rm/f{i}"));
+        }
+        for i in 0..150 {
+            assert!(mds.remove_local(&format!("/rm/f{i}")));
+        }
+        // Unlinks defer the O(m) projection rebuild entirely.
+        assert_eq!(mds.plain_rebuilds, 0);
+        for i in 0..150 {
+            assert!(!mds.stores(&format!("/rm/f{i}")));
+        }
+        for i in 150..200 {
+            let path = format!("/rm/f{i}");
+            assert!(mds.stores(&path));
+            assert!(mds.probe_live(&path), "no false negatives for {path}");
+        }
+        // The first consumer of the plain projection pays exactly one
+        // rebuild; repeat reads stay free until the next unlink.
+        assert!(mds.drift_bits() > 0);
+        assert_eq!(mds.plain_rebuilds, 1);
+        let _ = mds.drift_bits();
+        assert_eq!(mds.plain_rebuilds, 1);
+        mds.publish().expect("live drifted from published");
+        assert_eq!(mds.drift_bits(), 0);
+        assert_eq!(mds.published().item_count(), 50);
+        for i in 150..200 {
+            assert!(mds.published().contains(&format!("/rm/f{i}")));
+        }
+    }
+
+    #[test]
+    fn create_while_plain_dirty_publishes_correctly() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        mds.create_local("/keep");
+        mds.create_local("/gone");
+        assert!(mds.remove_local("/gone")); // leaves the projection dirty
+        mds.create_local("/after-dirty");
+        let _ = mds.publish().expect("changes pending");
+        assert!(mds.published().contains("/keep"));
+        assert!(mds.published().contains("/after-dirty"));
+        assert!(!mds.published().contains("/gone"));
+        assert_eq!(mds.drift_bits(), 0);
+    }
+
+    #[test]
+    fn drift_check_cadence_is_gated() {
+        let mut mds = Mds::new(MdsId(0), &test_config());
+        let gate = 10;
+        for i in 0..9 {
+            mds.create_local(&format!("/g/f{i}"));
+        }
+        assert!(!mds.drift_check_due(gate));
+        mds.create_local("/g/f9");
+        assert!(mds.drift_check_due(gate));
+        // An under-threshold exact check restarts the cadence: the next
+        // exact check must wait another `gate` mutations, even though the
+        // publish gate stays passed.
+        mds.note_drift_checked();
+        assert!(!mds.drift_check_due(gate));
+        for i in 10..19 {
+            mds.create_local(&format!("/g/f{i}"));
+        }
+        assert!(!mds.drift_check_due(gate));
+        mds.create_local("/g/f19");
+        assert!(mds.drift_check_due(gate));
+        mds.publish().expect("changes pending");
+        assert!(!mds.drift_check_due(gate));
     }
 
     #[test]

@@ -25,6 +25,16 @@ pub trait MetadataService {
     /// Looks up the home MDS of `path` from a random entry server.
     fn lookup(&mut self, path: &str) -> QueryOutcome;
 
+    /// Resolves a batch of concurrent lookups, each from a random entry
+    /// server, returning one outcome per path in order.
+    ///
+    /// Schemes with a batched probe path (G-HBA's and HBA's bit-sliced
+    /// published slab) override this to resolve the whole batch in one
+    /// slab pass per level; the default falls back to sequential lookups.
+    fn lookup_batch(&mut self, paths: &[&str]) -> Vec<QueryOutcome> {
+        paths.iter().map(|path| self.lookup(path)).collect()
+    }
+
     /// Removes `path`'s metadata, returning its former home.
     fn remove(&mut self, path: &str) -> Option<MdsId>;
 
@@ -48,6 +58,10 @@ impl MetadataService for GhbaCluster {
 
     fn lookup(&mut self, path: &str) -> QueryOutcome {
         GhbaCluster::lookup(self, path)
+    }
+
+    fn lookup_batch(&mut self, paths: &[&str]) -> Vec<QueryOutcome> {
+        GhbaCluster::lookup_batch(self, paths)
     }
 
     fn remove(&mut self, path: &str) -> Option<MdsId> {

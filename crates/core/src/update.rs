@@ -35,21 +35,21 @@ impl GhbaCluster {
     /// Cheap drift gate called after every mutation: publishes only when
     /// the mutation count suggests the XOR distance may have crossed the
     /// threshold, and the exact distance confirms it.
+    ///
+    /// The exact O(m) distance runs at the gated *cadence*, not on every
+    /// mutation: after a check comes up under threshold, another `gate`
+    /// mutations must accumulate before the next one (the
+    /// `drift_exact_checks` counter makes the cadence observable).
     pub(crate) fn maybe_publish(&mut self, origin: MdsId) -> Option<UpdateReport> {
         let threshold = self.config.update_threshold_bits;
-        let hashes = self.config.filter_hashes() as usize;
-        // Each new file sets at most k bits, so fewer than threshold/k
-        // mutations cannot have crossed the threshold; checking at half
-        // that rate keeps the exact (O(m)) distance computation rare.
-        let gate = (threshold / hashes.max(1) / 2).max(1) as u64;
-        let mds = self.mdss.get(&origin)?;
-        if mds.mutations_since_publish() < gate {
-            return None;
+        let gate = self.config.publish_gate();
+        let exceeded = self.mdss.get_mut(&origin)?.drift_exceeds(gate, threshold)?;
+        self.stats.counters.incr("drift_exact_checks");
+        if exceeded {
+            Some(self.push_update(origin))
+        } else {
+            None
         }
-        if mds.drift_bits() < threshold {
-            return None;
-        }
-        Some(self.push_update(origin))
     }
 
     /// Unconditionally refreshes `origin`'s replicas across all groups,
@@ -66,10 +66,17 @@ impl GhbaCluster {
             None => return UpdateReport::default(),
         };
         // Refresh the origin's column of the bit-sliced published slab the
-        // hash-once L2/L3 probes read.
+        // hash-once L2/L3 probes read. The sparse delta touches only the
+        // bit-rows of changed words — cost scales with churn since the
+        // last publish, not with the O(m) filter width.
         self.published_array
-            .replace_filter(origin, mds.published())
+            .apply_delta(origin, &delta)
             .expect("published slab tracks every server");
+        debug_assert_eq!(
+            self.published_array.extract(origin).as_ref(),
+            Some(mds.published()),
+            "sparse delta application diverged from the published snapshot"
+        );
         let own_group = self.group_of(origin);
         let mut report = UpdateReport {
             refreshed: true,
@@ -125,5 +132,72 @@ impl GhbaCluster {
             total.refreshed |= report.refreshed;
         }
         total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::GhbaCluster;
+    use crate::config::GhbaConfig;
+
+    /// Regression: once `mutations_since_publish` passed the gate but
+    /// drift stayed under threshold, the seed recomputed the exact O(m)
+    /// XOR distance on **every** subsequent mutation. The exact check must
+    /// instead run once per `gate` mutations.
+    #[test]
+    fn exact_drift_checks_run_at_gated_cadence() {
+        let config = GhbaConfig::default()
+            .with_filter_capacity(10_000)
+            .with_bits_per_file(12.0)
+            .with_update_threshold(1_600)
+            .with_seed(3);
+        let hashes = u64::from(config.filter_hashes());
+        let gate = (1_600 / hashes.max(1) / 2).max(1);
+        let mut cluster = GhbaCluster::with_servers(config, 1);
+        // Enough mutations to pass the gate several times over, few
+        // enough that the drift (≈ k bits per create) stays under the
+        // threshold, so no publish ever resolves the pressure.
+        let mutations = gate * 2 - 10;
+        for i in 0..mutations {
+            cluster.create_file(&format!("/cadence/f{i}"));
+        }
+        let checks = cluster.stats().counters.get("drift_exact_checks");
+        assert!(checks >= 1, "the gate passed; at least one exact check");
+        assert!(
+            checks <= mutations / gate + 1,
+            "{checks} exact checks for {mutations} mutations (gate {gate}): \
+             the O(m) distance is being recomputed per mutation"
+        );
+        assert_eq!(
+            cluster.stats().update_messages,
+            0,
+            "drift must have stayed under threshold for this test to bite"
+        );
+    }
+
+    /// The published slab is refreshed by sparse delta application; it
+    /// must stay bit-identical to every server's published snapshot.
+    #[test]
+    fn push_update_keeps_slab_in_sync_via_deltas() {
+        let config = GhbaConfig::default()
+            .with_filter_capacity(2_000)
+            .with_max_group_size(4)
+            .with_update_threshold(usize::MAX)
+            .with_seed(11);
+        let mut cluster = GhbaCluster::with_servers(config, 12);
+        for round in 0..3 {
+            for i in 0..40 {
+                cluster.create_file(&format!("/sync/r{round}/f{i}"));
+            }
+            if round == 1 {
+                for i in 0..10 {
+                    cluster.remove_file(&format!("/sync/r0/f{i}"));
+                }
+            }
+            cluster.flush_all_updates();
+            cluster
+                .check_invariants()
+                .expect("published slab mirrors every snapshot");
+        }
     }
 }

@@ -99,8 +99,13 @@ impl LatencyStats {
     }
 
     /// Bucketed percentile estimate (`p` in `[0, 100]`): upper bound of the
-    /// bucket containing the `p`-th percentile sample. Returns zero when
-    /// empty.
+    /// bucket containing the `p`-th percentile sample, clamped into
+    /// `[min, max]` of the recorded samples. Returns zero when empty.
+    ///
+    /// Monotone in `p`, with `percentile(0) == min` and
+    /// `percentile(100) <= max` exact at the edges: rank 1 *is* the
+    /// recorded minimum, so the estimate must not report its bucket's
+    /// upper bound (which can exceed the minimum by almost 2×).
     ///
     /// # Panics
     ///
@@ -112,6 +117,10 @@ impl LatencyStats {
             return Duration::ZERO;
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        if rank <= 1 {
+            // The rank-1 sample is known exactly: it is the minimum.
+            return Duration::from_nanos(self.min_nanos);
+        }
         let mut cumulative = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
             cumulative += c;
@@ -122,7 +131,10 @@ impl LatencyStats {
                 } else {
                     (1u64 << (i + 1)) - 1
                 };
-                return Duration::from_nanos(upper.min(self.max_nanos));
+                // Clamp the low edge to the recorded minimum so the
+                // estimate never dips below it (the min's bucket spans
+                // values smaller than the min itself).
+                return Duration::from_nanos(upper.clamp(self.min_nanos, self.max_nanos));
             }
         }
         self.max()
@@ -159,9 +171,17 @@ impl fmt::Display for LatencyStats {
 }
 
 /// A labelled monotonic counter set, used for message and event counting.
+///
+/// Lives on per-lookup hot paths (`l1_false_hits` and friends fire on
+/// every query), so label resolution is an O(1) hash lookup into the
+/// entry list rather than a linear scan; iteration still reports counters
+/// in first-touch order.
 #[derive(Debug, Clone, Default)]
 pub struct Counters {
+    /// `(label, value)` in first-touch order (the reporting order).
     entries: Vec<(String, u64)>,
+    /// label → position in `entries`.
+    index: std::collections::HashMap<String, usize>,
 }
 
 impl Counters {
@@ -173,9 +193,10 @@ impl Counters {
 
     /// Adds `amount` to the counter under `label`, creating it at zero.
     pub fn add(&mut self, label: &str, amount: u64) {
-        if let Some((_, v)) = self.entries.iter_mut().find(|(l, _)| l == label) {
-            *v += amount;
+        if let Some(&at) = self.index.get(label) {
+            self.entries[at].1 += amount;
         } else {
+            self.index.insert(label.to_owned(), self.entries.len());
             self.entries.push((label.to_owned(), amount));
         }
     }
@@ -188,10 +209,7 @@ impl Counters {
     /// Current value of `label` (zero if never touched).
     #[must_use]
     pub fn get(&self, label: &str) -> u64 {
-        self.entries
-            .iter()
-            .find(|(l, _)| l == label)
-            .map_or(0, |(_, v)| *v)
+        self.index.get(label).map_or(0, |&at| self.entries[at].1)
     }
 
     /// Sum over all counters.
@@ -260,6 +278,45 @@ mod tests {
     }
 
     #[test]
+    fn percentile_zero_is_exactly_min() {
+        let mut s = LatencyStats::new();
+        // 300 ns lands in bucket [256, 511]; the bug returned the bucket's
+        // upper bound (511 ns) for p=0, exceeding the recorded minimum.
+        for ns in [300u64, 320, 10_000] {
+            s.record(Duration::from_nanos(ns));
+        }
+        assert_eq!(s.percentile(0.0), s.min());
+        assert!(s.percentile(0.0) <= s.min());
+        assert!(s.min() <= s.percentile(100.0));
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse_to_it() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_nanos(300));
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(s.percentile(p), Duration::from_nanos(300), "p={p}");
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracketed() {
+        let mut s = LatencyStats::new();
+        for ns in (1..=999u64).map(|i| i * 37 % 50_000 + 3) {
+            s.record(Duration::from_nanos(ns));
+        }
+        let mut last = Duration::ZERO;
+        for p in 0..=100 {
+            let v = s.percentile(f64::from(p));
+            assert!(v >= last, "percentile dipped at p={p}");
+            assert!(v >= s.min() || p == 0);
+            assert!(v <= s.max());
+            last = v;
+        }
+        assert_eq!(s.percentile(0.0), s.min());
+    }
+
+    #[test]
     fn merge_combines() {
         let mut a = LatencyStats::new();
         a.record(Duration::from_micros(10));
@@ -310,5 +367,17 @@ mod tests {
         c.incr("a");
         let labels: Vec<&str> = c.iter().map(|(l, _)| l).collect();
         assert_eq!(labels, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn counters_order_stable_under_interleaved_updates() {
+        let mut c = Counters::new();
+        for label in ["z", "m", "a", "z", "a", "q", "m", "z"] {
+            c.incr(label);
+        }
+        let entries: Vec<(&str, u64)> = c.iter().collect();
+        assert_eq!(entries, vec![("z", 3), ("m", 2), ("a", 2), ("q", 1)]);
+        assert_eq!(c.get("z"), 3);
+        assert_eq!(c.get("never"), 0);
     }
 }

@@ -21,10 +21,31 @@ thread_local! {
     static RESULTS: RefCell<Vec<(String, f64)>> = const { RefCell::new(Vec::new()) };
 }
 
-/// Target wall-clock spent measuring each benchmark.
-const MEASURE_TARGET: Duration = Duration::from_millis(300);
-/// Target wall-clock spent warming up each benchmark.
-const WARMUP_TARGET: Duration = Duration::from_millis(60);
+/// Default wall-clock spent measuring each benchmark.
+const DEFAULT_MEASURE_MS: u64 = 300;
+
+/// Target wall-clock spent measuring each benchmark. Overridable with
+/// `CRITERION_MEASURE_MS` so CI can smoke-run every bench in milliseconds
+/// (compile + execute the hot path) without paying full measurement
+/// windows; numbers from shortened runs are noisy and only prove the
+/// bench still works.
+fn measure_target() -> Duration {
+    static MS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let ms = *MS.get_or_init(|| {
+        std::env::var("CRITERION_MEASURE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(DEFAULT_MEASURE_MS)
+    });
+    Duration::from_millis(ms)
+}
+
+/// Target wall-clock spent warming up each benchmark (a fifth of the
+/// measurement window).
+fn warmup_target() -> Duration {
+    measure_target() / 5
+}
 
 /// How a batched iteration sizes its batches (subset of the real enum).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +97,7 @@ impl Bencher {
     /// window, recording the mean.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm up and calibrate the per-batch iteration count.
+        let measure = measure_target();
         let mut batch: u64 = 1;
         let warmup_start = Instant::now();
         loop {
@@ -84,26 +106,36 @@ impl Bencher {
                 black_box(routine());
             }
             let elapsed = t.elapsed();
-            if warmup_start.elapsed() >= WARMUP_TARGET {
+            if warmup_start.elapsed() >= warmup_target() {
                 // Aim for ~50 batches inside the measurement window.
                 let per_iter = elapsed.as_secs_f64() / batch as f64;
-                let target = MEASURE_TARGET.as_secs_f64() / 50.0;
+                let target = measure.as_secs_f64() / 50.0;
                 batch = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
                 break;
             }
             batch = (batch * 2).min(1 << 24);
         }
 
-        let mut total_iters: u64 = 0;
-        let measure_start = Instant::now();
-        while measure_start.elapsed() < MEASURE_TARGET {
-            for _ in 0..batch {
-                black_box(routine());
+        // Measure in sub-windows and report the *fastest* window's mean:
+        // on shared/virtualized CPUs, noisy-neighbor bursts inflate a
+        // single long window unpredictably, while the minimum over
+        // windows estimates the uncontended cost.
+        const WINDOWS: u32 = 5;
+        let window = measure / WINDOWS;
+        let mut best = f64::INFINITY;
+        for _ in 0..WINDOWS {
+            let mut iters: u64 = 0;
+            let start = Instant::now();
+            while start.elapsed() < window {
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                iters += batch;
             }
-            total_iters += batch;
+            let mean = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+            best = best.min(mean);
         }
-        let elapsed = measure_start.elapsed();
-        self.mean_ns = elapsed.as_nanos() as f64 / total_iters.max(1) as f64;
+        self.mean_ns = best;
     }
 
     /// Times `routine` with a fresh `setup()` value per batch; setup time is
@@ -113,11 +145,12 @@ impl Bencher {
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
+        let measure = measure_target();
         let mut samples: u64 = 0;
         let mut measured = Duration::ZERO;
         let loop_start = Instant::now();
         // Batched setups are typically expensive; bound total wall-clock.
-        while measured < MEASURE_TARGET && loop_start.elapsed() < 4 * MEASURE_TARGET {
+        while measured < measure && loop_start.elapsed() < 4 * measure {
             let input = setup();
             let t = Instant::now();
             black_box(routine(input));
