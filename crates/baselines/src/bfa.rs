@@ -4,7 +4,7 @@
 //! to everyone and queries probe the full array directly. The suffix is
 //! the bit/file ratio (BFA8 = 8 bits per file, BFA16 = 16).
 
-use ghba_core::{GhbaConfig, MdsId, QueryOutcome};
+use ghba_core::{GhbaConfig, MdsId, OpBatch, OpOutcome};
 
 use crate::hba::HbaCluster;
 
@@ -73,16 +73,10 @@ impl ghba_core::MetadataService for BfaCluster {
         self.inner.server_count()
     }
 
-    fn create(&mut self, path: &str) -> MdsId {
-        self.inner.create_file(path)
-    }
-
-    fn lookup(&mut self, path: &str) -> QueryOutcome {
-        self.inner.lookup(path)
-    }
-
-    fn remove(&mut self, path: &str) -> Option<MdsId> {
-        self.inner.remove_file(path)
+    fn execute(&mut self, batch: &OpBatch) -> Vec<OpOutcome> {
+        // A BFA is HBA without the LRU level (disabled by construction),
+        // so the native batched pipeline is inherited wholesale.
+        self.inner.execute(batch)
     }
 
     fn filter_memory_per_mds(&self) -> usize {

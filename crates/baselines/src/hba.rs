@@ -14,8 +14,8 @@ use std::collections::BTreeMap;
 
 use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray};
 use ghba_core::{
-    published_shape, ClusterStats, GhbaConfig, Mds, MdsId, QueryLevel, QueryOutcome,
-    ReconfigReport, UpdateReport,
+    execute_vectored, published_shape, ClusterStats, EntryPolicy, GhbaConfig, Mds, MdsId, OpBatch,
+    OpOutcome, PathKey, QueryLevel, QueryOutcome, ReconfigReport, UpdateReport, VectoredScheme,
 };
 use ghba_simnet::DetRng;
 
@@ -126,6 +126,18 @@ impl HbaCluster {
         *self.rng.choose(&ids).expect("non-empty cluster")
     }
 
+    /// Resolves the serving MDS for op `op_index` of a batch under
+    /// `policy` (same contract as G-HBA's resolver; the deterministic
+    /// policies defer to [`EntryPolicy::resolve_deterministic`]).
+    fn entry_for(&mut self, policy: EntryPolicy, op_index: usize) -> MdsId {
+        if policy == EntryPolicy::Random {
+            return self.pick_random_mds();
+        }
+        policy
+            .resolve_deterministic(&self.server_ids(), op_index)
+            .expect("non-random policy resolves deterministically")
+    }
+
     fn refresh_replica_charges(&mut self) {
         let held = self.mdss.len().saturating_sub(1);
         for mds in self.mdss.values_mut() {
@@ -227,10 +239,35 @@ impl HbaCluster {
         self.maybe_publish(home);
     }
 
+    /// Pre-hashed variant of [`create_file_at`](HbaCluster::create_file_at)
+    /// for the batched op pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is unknown.
+    pub fn create_file_keyed(&mut self, key: &PathKey, home: MdsId) {
+        self.mdss
+            .get_mut(&home)
+            .expect("home exists")
+            .create_local_fp(key.path(), key.fingerprint());
+        self.maybe_publish(home);
+    }
+
     /// Removes `path` from its home.
     pub fn remove_file(&mut self, path: &str) -> Option<MdsId> {
         let home = self.true_home(path)?;
         self.mdss.get_mut(&home).expect("exists").remove_local(path);
+        self.maybe_publish(home);
+        Some(home)
+    }
+
+    /// Pre-hashed variant of [`remove_file`](HbaCluster::remove_file).
+    pub fn remove_file_keyed(&mut self, key: &PathKey) -> Option<MdsId> {
+        let home = self.true_home(key.path())?;
+        self.mdss
+            .get_mut(&home)
+            .expect("exists")
+            .remove_local_fp(key.path(), key.fingerprint());
         self.maybe_publish(home);
         Some(home)
     }
@@ -323,20 +360,47 @@ impl HbaCluster {
     ///
     /// Panics if any entry is unknown.
     pub fn lookup_batch_from(&mut self, queries: &[(MdsId, &str)]) -> Vec<QueryOutcome> {
+        // Hash once; every level reuses the fingerprint.
+        let prehashed: Vec<(MdsId, &str, Fingerprint)> = queries
+            .iter()
+            .map(|&(entry, path)| (entry, path, Fingerprint::of(path)))
+            .collect();
+        self.lookup_batch_prehashed(&prehashed)
+    }
+
+    /// The batched walk behind [`lookup_batch_from`], taking queries whose
+    /// fingerprints were already computed at batch admission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is unknown.
+    ///
+    /// [`lookup_batch_from`]: HbaCluster::lookup_batch_from
+    fn lookup_batch_prehashed(
+        &mut self,
+        queries: &[(MdsId, &str, Fingerprint)],
+    ) -> Vec<QueryOutcome> {
         let model = self.config.latency.clone();
         let total = queries.len();
         let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; total];
         let mut latency: Vec<Duration> = vec![model.dispatch; total];
         let mut messages: Vec<u32> = vec![0; total];
-        // Hash once; every level reuses the fingerprint.
-        let fps: Vec<Fingerprint> = queries
-            .iter()
-            .map(|(_, path)| Fingerprint::of(*path))
-            .collect();
+        let fps: Vec<Fingerprint> = queries.iter().map(|&(_, _, fp)| fp).collect();
+        // One live-filter row table for the whole batch (entry probes at
+        // L2, every server's probe in the broadcast fallback), derived
+        // through the ProbeBatch fastmod machinery.
+        let live_shape = published_shape(&self.config);
+        let k_live = live_shape.hashes as usize;
+        let mut batch = ProbeBatch::with_capacity(total);
+        for fp in &fps {
+            batch.push(*fp);
+        }
+        let mut live_rows: Vec<u32> = Vec::new();
+        batch.derive_rows_into(live_shape, &mut live_rows);
         let mut active: Vec<usize> = Vec::with_capacity(total);
 
         // L1: each entry server's LRU array.
-        for (qi, &(entry, path)) in queries.iter().enumerate() {
+        for (qi, &(entry, path, _)) in queries.iter().enumerate() {
             assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
             let fp = fps[qi];
             let l1_hit = self
@@ -370,9 +434,9 @@ impl HbaCluster {
         // one batched bit-sliced pass over the published slab for the
         // whole batch, plus each entry's fresher live filter in place of
         // its own published snapshot.
-        let mut batch = ProbeBatch::with_capacity(active.len());
+        batch.clear();
         for &qi in &active {
-            let (entry, _) = queries[qi];
+            let (entry, _, _) = queries[qi];
             let held = self.mdss.len() - 1;
             let entry_mds = &self.mdss[&entry];
             let resident = entry_mds.resident_replicas(held);
@@ -382,9 +446,9 @@ impl HbaCluster {
         let hits = self.published_array.query_batch(&mut batch);
         let mut next_active = Vec::with_capacity(active.len());
         for (&qi, hit) in active.iter().zip(&hits) {
-            let (entry, path) = queries[qi];
+            let (entry, path, _) = queries[qi];
             let mut positives = hit.candidates().to_vec();
-            if self.mdss[&entry].probe_live_fp(&fps[qi]) {
+            if self.mdss[&entry].probe_live_rows(&live_rows[qi * k_live..(qi + 1) * k_live]) {
                 positives.push(entry);
             }
             if positives.len() == 1 {
@@ -408,17 +472,19 @@ impl HbaCluster {
         }
         let active = next_active;
 
-        // Fallback: system-wide broadcast (authoritative).
+        // Fallback: system-wide broadcast (authoritative); recipients'
+        // live probes reuse the batch's precomputed row table.
         for &qi in &active {
-            let (entry, path) = queries[qi];
+            let (entry, path, _) = queries[qi];
             let fp = fps[qi];
+            let rows = &live_rows[qi * k_live..(qi + 1) * k_live];
             let others = self.mdss.len() - 1;
             messages[qi] += 2 * others as u32;
             latency[qi] += model.multicast_rtt(others) + model.memory_probe;
             let mut found = None;
             let mut verify_cost = Duration::ZERO;
             for (&id, mds) in &self.mdss {
-                if mds.probe_live_fp(&fp) {
+                if mds.probe_live_rows(rows) {
                     verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
                     if mds.stores(path) {
                         found = Some(id);
@@ -508,6 +574,34 @@ impl HbaCluster {
     }
 }
 
+impl VectoredScheme for HbaCluster {
+    fn resolve_entry(&mut self, policy: EntryPolicy, op_index: usize) -> MdsId {
+        self.entry_for(policy, op_index)
+    }
+
+    fn repeat_sensitive(&self) -> bool {
+        // No LRU level ⇒ no per-entry fill a repeat could observe (this
+        // is every BFA, which runs with `lru_capacity = 0`).
+        self.config().lru_capacity > 0
+    }
+
+    fn lookup_fused(&mut self, queries: &[(MdsId, &PathKey)]) -> Vec<QueryOutcome> {
+        let prehashed: Vec<(MdsId, &str, Fingerprint)> = queries
+            .iter()
+            .map(|&(entry, key)| (entry, key.path(), *key.fingerprint()))
+            .collect();
+        self.lookup_batch_prehashed(&prehashed)
+    }
+
+    fn apply_create(&mut self, key: &PathKey, home: MdsId) {
+        self.create_file_keyed(key, home);
+    }
+
+    fn apply_remove(&mut self, key: &PathKey) -> Option<MdsId> {
+        self.remove_file_keyed(key)
+    }
+}
+
 impl ghba_core::MetadataService for HbaCluster {
     fn scheme_name(&self) -> &'static str {
         "HBA"
@@ -517,20 +611,8 @@ impl ghba_core::MetadataService for HbaCluster {
         self.server_count()
     }
 
-    fn create(&mut self, path: &str) -> MdsId {
-        self.create_file(path)
-    }
-
-    fn lookup(&mut self, path: &str) -> QueryOutcome {
-        HbaCluster::lookup(self, path)
-    }
-
-    fn lookup_batch(&mut self, paths: &[&str]) -> Vec<QueryOutcome> {
-        HbaCluster::lookup_batch(self, paths)
-    }
-
-    fn remove(&mut self, path: &str) -> Option<MdsId> {
-        self.remove_file(path)
+    fn execute(&mut self, batch: &OpBatch) -> Vec<OpOutcome> {
+        execute_vectored(self, batch)
     }
 
     fn filter_memory_per_mds(&self) -> usize {

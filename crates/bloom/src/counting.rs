@@ -165,6 +165,23 @@ impl CountingBloomFilter {
             .all(|idx| self.counters[idx] > 0)
     }
 
+    /// Membership test against precomputed probe rows, as derived for this
+    /// filter's [`shape`](CountingBloomFilter::shape) by
+    /// [`Fingerprint::probe_rows_into`] or
+    /// [`crate::ProbeBatch::derive_rows_into`]. Answers identically to
+    /// [`contains_fp`](CountingBloomFilter::contains_fp) for the same item
+    /// — the row derivation is shared across a whole batched sweep instead
+    /// of re-run per `(query, filter)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics (via indexing) if a row is outside this filter's width,
+    /// i.e. the rows were derived for a different shape.
+    #[must_use]
+    pub fn contains_rows(&self, rows: &[u32]) -> bool {
+        rows.iter().all(|&idx| self.counters[idx as usize] > 0)
+    }
+
     /// Removes one occurrence of `item`, decrementing its counters.
     ///
     /// Saturated counters (255) are left untouched per the standard rule.

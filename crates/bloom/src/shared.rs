@@ -58,7 +58,8 @@ use crate::ops::FilterDelta;
 
 /// A bit-sliced array of same-shape Bloom filters probed as one.
 ///
-/// See the [module docs](self) for the layout and its invariants. `I`
+/// See the module-level docs in `shared.rs` for the layout and its
+/// invariants. `I`
 /// identifies the server a slot summarizes (an `MdsId` upstream).
 #[derive(Debug, Clone)]
 pub struct SharedShapeArray<I> {
@@ -122,6 +123,16 @@ impl SlotMask {
 /// Build once, [`clear`](ProbeBatch::clear), and reuse: the batch also
 /// carries the pass's scratch buffers (candidate masks, probe cursors,
 /// row lists), so a reused batch allocates only the result vector.
+///
+/// # Within-batch dedup
+///
+/// Flash-crowd (Zipf-head) bursts queue the *same* fingerprint many times
+/// in one batch. [`SharedShapeArray::query_batch`] dedups before the slab
+/// pass: queries with an identical fingerprint **and** identical candidate
+/// mask are resolved once and the [`Hit`] fanned out to every duplicate,
+/// so a hot path's repeats cost one `k × stride` walk instead of one each.
+/// An all-distinct batch takes a cheap sorted-scan fast path (no mask
+/// comparisons, scratch-backed, no per-call allocation).
 #[derive(Debug, Clone, Default)]
 pub struct ProbeBatch {
     fps: Vec<Fingerprint>,
@@ -144,6 +155,14 @@ struct BatchScratch {
     /// in-kernel while the mask is register-resident (`u64::MAX` = defer
     /// to the full [`SharedShapeArray::classify`] scan).
     verdicts: Vec<u64>,
+    /// Query indices sorted by fingerprint lanes (dedup detection).
+    order: Vec<u32>,
+    /// `rep[i]` = earliest query identical to `i` (fingerprint + mask).
+    rep: Vec<u32>,
+    /// Representative queries in push order (the set the pass runs on).
+    sel: Vec<u32>,
+    /// Original index → position in `sel` (valid for representatives).
+    pos: Vec<u32>,
 }
 
 impl ProbeBatch {
@@ -202,6 +221,41 @@ impl ProbeBatch {
     pub fn clear(&mut self) {
         self.fps.clear();
         self.masks.clear();
+    }
+
+    /// Derives every queued fingerprint's `k` probe rows for the filter
+    /// family `shape` into `out` (cleared first), fingerprint-major — the
+    /// batch analogue of [`Fingerprint::probe_rows_into`], sharing one
+    /// `FastMod` magic across the whole batch instead of one hardware
+    /// division per probe.
+    ///
+    /// This is how *non-slab* filters join a batched pass: an L4 global
+    /// sweep probes every server's live counting filter with the same
+    /// fingerprints the slab levels used, so the caller derives the row
+    /// table once here and hands each filter its precomputed rows
+    /// (`CountingBloomFilter::contains_rows`). Row `j` of fingerprint `q`
+    /// lands at `out[q * k + j]`, identical to
+    /// [`Fingerprint::probes`](Fingerprint::probes) for the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shape.bits` is zero or does not fit in a `u32`.
+    pub fn derive_rows_into(&self, shape: crate::FilterShape, out: &mut Vec<u32>) {
+        assert!(shape.bits > 0, "filter must have at least one bit");
+        assert!(
+            u32::try_from(shape.bits).is_ok(),
+            "filter wider than u32 rows"
+        );
+        out.clear();
+        out.reserve(self.fps.len() * shape.hashes as usize);
+        let fm = FastMod::new(shape.bits as u64);
+        for fp in &self.fps {
+            let (mut cursor, step) = fp.pair(shape.seed);
+            for _ in 0..shape.hashes {
+                out.push(fm.rem(cursor) as u32);
+                cursor = cursor.wrapping_add(step);
+            }
+        }
     }
 }
 
@@ -675,6 +729,33 @@ fn run_batch_pass(
     }
 }
 
+/// Transposes a 64×64 bit matrix in place: bit `c` of `m[r]` moves to bit
+/// `r` of `m[c]` (LSB-first on both axes).
+///
+/// The classic recursive block swap (Hacker's Delight §7-3, adapted to the
+/// LSB-first convention this crate uses): at granularity `j` the upper-left
+/// and lower-right sub-blocks stay put while the off-diagonal sub-blocks
+/// swap, in `O(64 · log 64)` word operations — the engine behind
+/// [`SharedShapeArray::from_filters`]'s bulk load.
+fn transpose_64x64(m: &mut [u64; 64]) {
+    let mut j = 32usize;
+    let mut mask = 0x0000_0000_FFFF_FFFFu64;
+    while j != 0 {
+        let mut k = 0usize;
+        while k < 64 {
+            // Swap M[k][c + j] (high sub-columns of the upper row) with
+            // M[k + j][c] (low sub-columns of the lower row) for every
+            // low sub-column c selected by `mask`.
+            let t = ((m[k] >> j) ^ m[k + j]) & mask;
+            m[k] ^= t << j;
+            m[k + j] ^= t;
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
 impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
     /// Creates an empty array whose slots will all use `shape`.
     ///
@@ -712,6 +793,16 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
 
     /// Builds an array from same-shape `(id, filter)` pairs.
     ///
+    /// Bulk loads (restart recovery, mass replica installs) go through a
+    /// **64×64 block bit-matrix transpose** instead of the slot-at-a-time
+    /// bit scatter of [`push_filter`](SharedShapeArray::push_filter): each
+    /// block of up to 64 filters contributes one source word per 64
+    /// bit-rows, the 64×64 block is transposed in registers
+    /// (`O(64 log 64)` word ops), and whole slab words are written at
+    /// once — ~64× fewer memory touches than scattering each set bit
+    /// individually. The result is bit-identical to pushing the filters
+    /// one by one (property-tested).
+    ///
     /// # Errors
     ///
     /// Returns [`BloomError::IncompatibleFilters`] on a shape mismatch and
@@ -720,8 +811,8 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
     where
         T: IntoIterator<Item = (I, BloomFilter)>,
     {
-        let mut iter = iter.into_iter();
-        let Some((first_id, first)) = iter.next() else {
+        let filters: Vec<(I, BloomFilter)> = iter.into_iter().collect();
+        let Some((_, first)) = filters.first() else {
             // No filters means no shape to adopt; an arbitrary non-empty
             // shape keeps the array usable (every query answers `None`).
             return Ok(Self::new(FilterShape {
@@ -730,10 +821,41 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
                 seed: 0,
             }));
         };
-        let mut array = Self::new(first.shape());
-        array.push_filter(first_id, &first)?;
-        for (id, filter) in iter {
-            array.push_filter(id, &filter)?;
+        let shape = first.shape();
+        let mut array = Self::with_capacity(shape, filters.len());
+        for (id, filter) in &filters {
+            array.check_shape(filter)?;
+            let slot = array.allocate_slot(*id)?;
+            debug_assert_eq!(slot + 1, array.slots.len(), "fresh slots are dense");
+            array.items[slot] = filter.item_count();
+        }
+        // Slots were allocated densely (0, 1, 2, …), so the filters of
+        // block `w` occupy exactly slab-word column `w`: transpose each
+        // 64-filter × 64-bit-row block straight into its column words.
+        let words_per_filter = shape.bits.div_ceil(64);
+        let stride = array.stride;
+        for (column, chunk) in filters.chunks(64).enumerate() {
+            for w in 0..words_per_filter {
+                let mut block = [0u64; 64];
+                let mut nonzero = 0u64;
+                for (j, (_, filter)) in chunk.iter().enumerate() {
+                    let word = filter.words()[w];
+                    block[j] = word;
+                    nonzero |= word;
+                }
+                if nonzero == 0 {
+                    continue;
+                }
+                transpose_64x64(&mut block);
+                let base_row = w * 64;
+                let top = 64.min(shape.bits - base_row);
+                for (bit, &word) in block.iter().enumerate().take(top) {
+                    if word != 0 {
+                        // Fresh zeroed slab: plain assignment suffices.
+                        array.slab[(base_row + bit) * stride + column] = word;
+                    }
+                }
+            }
         }
         Ok(array)
     }
@@ -1058,7 +1180,7 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
     ///   supports it, with stride-specialized (bounds-check-free, fully
     ///   unrolled) kernels for the common power-of-two strides.
     /// * **Shared-modulus fastmod** — all `B × k` probe-index reductions
-    ///   use one precomputed [`FastMod`] magic instead of hardware
+    ///   use one precomputed `FastMod` magic instead of hardware
     ///   division, keeping the divider off the critical path.
     /// * **Amortized scratch** — masks, cursors, and liveness live in the
     ///   batch and are reused across calls; a reused batch allocates only
@@ -1091,14 +1213,69 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
             h2,
             rows,
             verdicts,
+            order,
+            rep,
+            sel,
+            pos,
         } = scratch;
-        // Per-fingerprint candidate masks, flattened: fingerprint `q` owns
-        // words [q * stride, (q + 1) * stride). Every word is overwritten
-        // below, so a stale scratch buffer is safe to reuse.
-        mask_words.resize(b * stride, 0);
-        let masks = &mut mask_words[..b * stride];
-        for (chunk, mask) in masks.chunks_exact_mut(stride).zip(query_masks.iter()) {
-            match mask {
+        // ---- Within-batch duplicate dedup (flash crowds). ----
+        // Queries with the same fingerprint AND the same candidate mask
+        // reduce to the same surviving-slot set, so the pass runs once per
+        // representative and the result fans out. Detection is a sorted
+        // scan over the fingerprint lanes: an all-distinct batch (the
+        // common case) pays one small sort and no mask comparisons.
+        rep.clear();
+        rep.extend(0..b as u32);
+        let mut dups = 0usize;
+        if b > 1 {
+            order.clear();
+            order.extend(0..b as u32);
+            order.sort_unstable_by_key(|&i| (fps[i as usize].lanes(), i));
+            let mut start = 0usize;
+            while start < b {
+                let lanes = fps[order[start] as usize].lanes();
+                let mut end = start + 1;
+                while end < b && fps[order[end] as usize].lanes() == lanes {
+                    end += 1;
+                }
+                // Within a lane-collision group (tiny in practice), match
+                // masks pairwise; the earliest query with a given mask
+                // becomes the representative of every later duplicate.
+                for x in start..end {
+                    let i = order[x] as usize;
+                    if rep[i] != i as u32 {
+                        continue;
+                    }
+                    for &oj in &order[x + 1..end] {
+                        let j = oj as usize;
+                        if rep[j] == j as u32 && query_masks[i] == query_masks[j] {
+                            rep[j] = i as u32;
+                            dups += 1;
+                        }
+                    }
+                }
+                start = end;
+            }
+        }
+        sel.clear();
+        pos.clear();
+        pos.resize(b, 0);
+        for i in 0..b {
+            if rep[i] == i as u32 {
+                pos[i] = sel.len() as u32;
+                sel.push(i as u32);
+            }
+        }
+        let uniq = sel.len();
+        debug_assert_eq!(uniq + dups, b);
+
+        // Per-representative candidate masks, flattened: representative
+        // `q` owns words [q * stride, (q + 1) * stride). Every word is
+        // overwritten below, so a stale scratch buffer is safe to reuse.
+        mask_words.resize(uniq * stride, 0);
+        let masks = &mut mask_words[..uniq * stride];
+        for (chunk, &i) in masks.chunks_exact_mut(stride).zip(sel.iter()) {
+            match &query_masks[i as usize] {
                 Some(mask) => {
                     assert_eq!(
                         mask.words.len(),
@@ -1112,26 +1289,26 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
                 None => chunk.copy_from_slice(&self.live),
             }
         }
-        // Each fingerprint's probe cursor: the `(h1, h2)` double-hashing
-        // pair, advanced step by step inside the pass (bit-identical to
-        // [`crate::hash::ProbeIndices`] by construction; the property
-        // tests pin the equivalence).
+        // Each representative's probe cursor: the `(h1, h2)` double-
+        // hashing pair, advanced step by step inside the pass
+        // (bit-identical to [`crate::hash::ProbeIndices`] by construction;
+        // the property tests pin the equivalence).
         let fm = FastMod::new(self.shape.bits as u64);
         h1.clear();
         h2.clear();
-        for fp in fps.iter() {
-            let (a, bb) = fp.pair(self.shape.seed);
+        for &i in sel.iter() {
+            let (a, bb) = fps[i as usize].pair(self.shape.seed);
             h1.push(a);
             h2.push(bb);
         }
 
-        if stride == 1 {
+        let hits: Vec<Hit<I>> = if stride == 1 {
             // Single-word masks (≤ 64 slots): each query's whole state
             // fits in registers and the sequential walk is already near
             // optimal, so the batch win is the shared fastmod derivation
             // and the amortized scratch — walk each fingerprint to
             // completion with everything register-resident.
-            for q in 0..b {
+            for q in 0..uniq {
                 let mut cursor = h1[q];
                 let step = h2[q];
                 let mut mask = masks[q];
@@ -1145,28 +1322,35 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
                 }
                 masks[q] = mask;
             }
-            return masks.chunks_exact(1).map(|m| self.classify(m)).collect();
-        }
-
-        verdicts.clear();
-        verdicts.resize(b, u64::MAX);
-        run_batch_pass(&self.slab, stride, fm, k, h1, h2, rows, masks, verdicts);
-        masks
-            .chunks_exact(stride)
-            .zip(verdicts.iter())
-            .map(|(mask, &verdict)| {
-                if verdict == u64::MAX {
-                    return self.classify(mask);
-                }
-                match verdict >> 32 {
-                    0 => Hit::None,
-                    1 => {
-                        let slot = (verdict & 0xFFFF_FFFF) as usize;
-                        Hit::Unique(self.slots[slot].expect("live slot has an id"))
+            masks.chunks_exact(1).map(|m| self.classify(m)).collect()
+        } else {
+            verdicts.clear();
+            verdicts.resize(uniq, u64::MAX);
+            run_batch_pass(&self.slab, stride, fm, k, h1, h2, rows, masks, verdicts);
+            masks
+                .chunks_exact(stride)
+                .zip(verdicts.iter())
+                .map(|(mask, &verdict)| {
+                    if verdict == u64::MAX {
+                        return self.classify(mask);
                     }
-                    _ => self.classify(mask),
-                }
-            })
+                    match verdict >> 32 {
+                        0 => Hit::None,
+                        1 => {
+                            let slot = (verdict & 0xFFFF_FFFF) as usize;
+                            Hit::Unique(self.slots[slot].expect("live slot has an id"))
+                        }
+                        _ => self.classify(mask),
+                    }
+                })
+                .collect()
+        };
+        if dups == 0 {
+            return hits;
+        }
+        // Fan each representative's verdict out to its duplicates.
+        (0..b)
+            .map(|i| hits[pos[rep[i] as usize] as usize].clone())
             .collect()
     }
 
@@ -1357,6 +1541,66 @@ mod tests {
         let mask = array.mask_all_except(1);
         assert_eq!(mask.len(), 2);
         assert_eq!(array.query_fp_masked(&fp, &mask), Hit::Unique(2));
+    }
+
+    #[test]
+    fn transpose_64x64_is_a_transpose() {
+        // Identity stays identity.
+        let mut ident = [0u64; 64];
+        for (i, w) in ident.iter_mut().enumerate() {
+            *w = 1 << i;
+        }
+        let mut m = ident;
+        transpose_64x64(&mut m);
+        assert_eq!(m, ident);
+        // A single off-diagonal bit moves to its mirrored position:
+        // M[3][17] -> M[17][3].
+        let mut m = [0u64; 64];
+        m[3] = 1 << 17;
+        transpose_64x64(&mut m);
+        let mut expected = [0u64; 64];
+        expected[17] = 1 << 3;
+        assert_eq!(m, expected);
+        // Involution on a pseudo-random matrix.
+        let mut m = [0u64; 64];
+        let mut x = 0x12345u64;
+        for w in m.iter_mut() {
+            x = crate::hash::splitmix64(x);
+            *w = x;
+        }
+        let original = m;
+        transpose_64x64(&mut m);
+        assert_ne!(m, original);
+        transpose_64x64(&mut m);
+        assert_eq!(m, original);
+    }
+
+    #[test]
+    fn query_batch_dedups_duplicate_fingerprints() {
+        let array = array_with(&[(1, &["hot", "x"]), (2, &["cold"]), (3, &["hot"])]);
+        let hot = Fingerprint::of("hot");
+        let cold = Fingerprint::of("cold");
+        let mut batch = ProbeBatch::new();
+        // Duplicates with equal masks (deduped), one with a differing
+        // mask (kept separate), plus distinct fingerprints.
+        batch.push(hot);
+        batch.push(cold);
+        batch.push(hot);
+        batch.push_masked(hot, array.subset_mask([1u16]));
+        batch.push_masked(hot, array.subset_mask([1u16]));
+        batch.push_masked(hot, array.subset_mask([3u16]));
+        let hits = array.query_batch(&mut batch);
+        assert_eq!(
+            hits,
+            vec![
+                Hit::Multiple(vec![1, 3]),
+                Hit::Unique(2),
+                Hit::Multiple(vec![1, 3]),
+                Hit::Unique(1),
+                Hit::Unique(1),
+                Hit::Unique(3),
+            ]
+        );
     }
 
     #[test]

@@ -353,6 +353,107 @@ proptest! {
         prop_assert_eq!(sliced.query_batch(&mut batch), expected);
     }
 
+    /// Dedup acceptance: a batch drowning in duplicate fingerprints (the
+    /// flash-crowd shape) answers bit-identically to sequential queries —
+    /// duplicates are resolved once and fanned out.
+    #[test]
+    fn probe_batch_dedup_matches_sequential(
+        inserts in proptest::collection::vec(("[a-z]{1,10}", 0u16..40), 0..150),
+        hot in "[a-z]{1,10}",
+        pattern in proptest::collection::vec((0usize..4, 0u16..40), 1..48),
+        seed in any::<u64>(),
+    ) {
+        let shape = ghba_bloom::FilterShape { bits: 4096, hashes: 5, seed };
+        let mut sliced = SharedShapeArray::new(shape);
+        for id in 0..40u16 {
+            sliced.push(id).unwrap();
+        }
+        for (item, home) in &inserts {
+            sliced.insert(*home, item).unwrap();
+        }
+        // Mostly the hot item (unmasked and under repeated masks), with a
+        // sprinkle of distinct items: exercises lane-equal groups with
+        // equal masks (deduped), differing masks (not deduped), and the
+        // all-distinct fast path in the same suite.
+        let mut batch = ghba_bloom::ProbeBatch::new();
+        let mut expected = Vec::new();
+        for &(kind, id) in &pattern {
+            let (item, subset): (&str, Vec<u16>) = match kind {
+                0 => (hot.as_str(), vec![]),
+                1 => (hot.as_str(), vec![id, id.wrapping_add(1) % 40]),
+                2 => (inserts.get(usize::from(id)).map_or("cold", |(it, _)| it.as_str()), vec![]),
+                _ => ("absent-item", vec![id]),
+            };
+            let fp = Fingerprint::of(item);
+            if subset.is_empty() {
+                expected.push(sliced.query_fp(&fp));
+                batch.push(fp);
+            } else {
+                expected.push(sliced.query_fp_among(&fp, subset.iter().copied()));
+                batch.push_masked(fp, sliced.subset_mask(subset.iter().copied()));
+            }
+        }
+        prop_assert_eq!(sliced.query_batch(&mut batch), expected);
+    }
+
+    /// Bulk loading via the 64×64 block transpose is bit-identical to
+    /// pushing the same filters one slot at a time.
+    #[test]
+    fn from_filters_transpose_matches_push_filter(
+        per_filter in proptest::collection::vec(proptest::collection::vec("[a-z]{1,10}", 0..20), 0..150),
+        probes in proptest::collection::vec("[a-z]{1,10}", 0..30),
+        seed in any::<u64>(),
+    ) {
+        let shape = ghba_bloom::FilterShape { bits: 4096, hashes: 5, seed };
+        let filters: Vec<(u16, BloomFilter)> = per_filter
+            .iter()
+            .enumerate()
+            .map(|(id, items)| {
+                let mut f = BloomFilter::new(shape.bits, shape.hashes, shape.seed);
+                for item in items {
+                    f.insert(item);
+                }
+                (id as u16, f)
+            })
+            .collect();
+        let bulk = SharedShapeArray::from_filters(filters.clone()).unwrap();
+        let mut pushed = SharedShapeArray::with_capacity(shape, filters.len());
+        for (id, filter) in &filters {
+            pushed.push_filter(*id, filter).unwrap();
+        }
+        prop_assert_eq!(bulk.len(), pushed.len());
+        for (id, filter) in &filters {
+            let extracted = bulk.extract(*id);
+            prop_assert_eq!(extracted.as_ref(), Some(filter));
+        }
+        for probe in probes.iter().chain(per_filter.iter().flatten()) {
+            let fp = Fingerprint::of(probe.as_str());
+            prop_assert_eq!(bulk.query_fp(&fp), pushed.query_fp(&fp), "probe {}", probe);
+        }
+    }
+
+    /// `ProbeBatch::derive_rows_into` yields exactly the per-fingerprint
+    /// probe rows of `Fingerprint::probes`, for any shape.
+    #[test]
+    fn derive_rows_match_fingerprint_probes(
+        items in proptest::collection::vec("[a-z/]{1,16}", 1..24),
+        bits in 64usize..100_000,
+        hashes in 1u32..12,
+        seed in any::<u64>(),
+    ) {
+        let shape = ghba_bloom::FilterShape { bits, hashes, seed };
+        let mut batch = ghba_bloom::ProbeBatch::new();
+        let mut expected: Vec<u32> = Vec::new();
+        for item in &items {
+            let fp = Fingerprint::of(item.as_str());
+            batch.push(fp);
+            fp.probe_rows_into(seed, bits, hashes, &mut expected);
+        }
+        let mut rows = Vec::new();
+        batch.derive_rows_into(shape, &mut rows);
+        prop_assert_eq!(rows, expected);
+    }
+
     /// Hit classification is consistent with candidate count.
     #[test]
     fn hit_classification(ids in proptest::collection::vec(any::<u16>(), 0..10)) {

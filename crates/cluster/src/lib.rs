@@ -25,4 +25,4 @@ pub use map::{ClusterMap, GroupView, Plan, Scheme, SharedMap};
 pub use message::{LookupReply, Message, QueryId};
 pub use net::Network;
 pub use node::{Node, PublishedRegistry};
-pub use runtime::PrototypeCluster;
+pub use runtime::{BatchOutcome, PrototypeCluster};

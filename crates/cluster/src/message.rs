@@ -24,9 +24,16 @@ pub struct LookupReply {
 #[derive(Debug)]
 pub enum Message {
     /// Client request: resolve `path`, answer on `reply`.
+    ///
+    /// Carries the pathname's [`Fingerprint`], computed once at batch
+    /// admission (client side): the entry node and every multicast
+    /// recipient derive all probe streams from it — the path bytes are
+    /// hashed exactly once per operation, cluster-wide.
     Lookup {
         /// Pathname to resolve.
         path: String,
+        /// Hash-once digest of the pathname.
+        fp: Fingerprint,
         /// Channel for the final answer.
         reply: Sender<LookupReply>,
     },

@@ -115,14 +115,24 @@ impl Node {
 
     /// Runs the node until `Shutdown` arrives or every sender is gone.
     ///
-    /// The receive loop **drains** its mailbox before handling anything:
-    /// every `GroupProbe` waiting in the queue is collected and answered
-    /// with one batched slab pass ([`SharedShapeArray::query_batch`]),
-    /// so a burst of concurrent group multicasts costs one sorted,
-    /// prefetched walk of the replica slab instead of one dependent
-    /// `k × stride` row walk per probe.
+    /// The receive loop is an **op mailbox**: it drains everything waiting
+    /// in the queue before handling anything, collecting the two
+    /// batchable op kinds —
+    ///
+    /// * queued `GroupProbe`s (multicast probes from coordinators) are
+    ///   answered with one batched slab pass
+    ///   ([`SharedShapeArray::query_batch`]);
+    /// * queued client `Lookup` ops are admitted together: each runs its
+    ///   L1 check, and every op escalating to L2 joins one batched probe
+    ///   of the replica slab —
+    ///
+    /// so a burst of concurrent operations costs one sorted, prefetched
+    /// walk of the replica slab per kind instead of one dependent
+    /// `k × stride` row walk per op. Writes and protocol messages are
+    /// handled in arrival order, flushing both op queues first.
     pub fn run(mut self) {
         let mut probes: Vec<(QueryId, Fingerprint, MdsId)> = Vec::new();
+        let mut lookups: Vec<(String, Fingerprint, Sender<LookupReply>)> = Vec::new();
         'recv: while let Ok(first) = self.inbox.recv() {
             let mut message = first;
             loop {
@@ -130,11 +140,15 @@ impl Node {
                     Message::GroupProbe { qid, fp, reply_to } => {
                         probes.push((qid, fp, reply_to));
                     }
+                    Message::Lookup { path, fp, reply } => {
+                        lookups.push((path, fp, reply));
+                    }
                     other => {
-                        // Answer queued probes first: they were received
+                        // Answer queued ops first: they were received
                         // earlier, and their replies never depend on the
                         // message that follows them.
                         self.flush_group_probes(&mut probes);
+                        self.flush_lookups(&mut lookups);
                         if !self.handle(other) {
                             break 'recv;
                         }
@@ -146,6 +160,52 @@ impl Node {
                 }
             }
             self.flush_group_probes(&mut probes);
+            self.flush_lookups(&mut lookups);
+        }
+    }
+
+    /// Admits every queued client lookup: L1 per op, then one batched
+    /// replica-slab pass for all ops that escalate to L2 (duplicate
+    /// fingerprints within the burst are deduped inside the pass), then
+    /// the per-op escalation machinery (verify / group / global) as
+    /// usual.
+    fn flush_lookups(&mut self, lookups: &mut Vec<(String, Fingerprint, Sender<LookupReply>)>) {
+        match lookups.len() {
+            0 => {}
+            1 => {
+                let (path, fp, reply) = lookups.pop().expect("len checked");
+                self.start_lookup(path, fp, reply);
+            }
+            _ => {
+                let mut batch = ProbeBatch::with_capacity(lookups.len());
+                let mut active: Vec<QueryId> = Vec::with_capacity(lookups.len());
+                for (path, fp, reply) in lookups.drain(..) {
+                    let qid = self.admit_lookup(path, fp, reply);
+                    // L1: the LRU array.
+                    let l1 = self.mds.lru().map(|lru| lru.query_fp(&fp));
+                    if let Some(ghba_bloom::Hit::Unique(candidate)) = l1 {
+                        self.verify(qid, candidate, QueryLevel::L1Lru, Escalation::L2);
+                        continue;
+                    }
+                    batch.push(fp);
+                    active.push(qid);
+                }
+                // L2 for the whole burst: one slab pass over the held
+                // replicas, then per-op classification.
+                let hits = self.replicas.query_batch(&mut batch);
+                for (qid, hit) in active.into_iter().zip(hits) {
+                    let fp = self.pending[&qid].fp;
+                    let mut positives = hit.candidates().to_vec();
+                    if self.mds.probe_live_fp(&fp) {
+                        positives.push(self.id);
+                    }
+                    if positives.len() == 1 {
+                        self.verify(qid, positives[0], QueryLevel::L2Segment, Escalation::Group);
+                    } else {
+                        self.start_group(qid);
+                    }
+                }
+            }
         }
     }
 
@@ -195,7 +255,7 @@ impl Node {
     fn handle(&mut self, message: Message) -> bool {
         match message {
             Message::Shutdown => return false,
-            Message::Lookup { path, reply } => self.start_lookup(path, reply),
+            Message::Lookup { path, fp, reply } => self.start_lookup(path, fp, reply),
             Message::Create { path, reply } => {
                 self.mds.create_local(&path);
                 self.maybe_publish();
@@ -302,12 +362,18 @@ impl Node {
         positives
     }
 
-    fn start_lookup(&mut self, path: String, reply: Sender<LookupReply>) {
+    /// Registers a pending query for an admitted lookup, returning its id.
+    /// The fingerprint arrived with the op (hashed once at batch
+    /// admission) and rides the whole escalation, including the group
+    /// multicast messages.
+    fn admit_lookup(
+        &mut self,
+        path: String,
+        fp: Fingerprint,
+        reply: Sender<LookupReply>,
+    ) -> QueryId {
         let qid = self.next_qid;
         self.next_qid += 1;
-        // Hash the path once; the fingerprint rides the whole escalation
-        // (and the group multicast messages).
-        let fp = Fingerprint::of(path.as_str());
         let pending = Pending {
             path,
             fp,
@@ -316,10 +382,14 @@ impl Node {
             messages: 0,
             awaiting: 0,
             positives: Vec::new(),
-            stage: Stage::Group, // placeholder; set below
+            stage: Stage::Group, // placeholder; set by the escalation
         };
         self.pending.insert(qid, pending);
+        qid
+    }
 
+    fn start_lookup(&mut self, path: String, fp: Fingerprint, reply: Sender<LookupReply>) {
+        let qid = self.admit_lookup(path, fp, reply);
         // L1: the LRU array.
         let l1 = self.mds.lru().map(|lru| lru.query_fp(&fp));
         if let Some(ghba_bloom::Hit::Unique(candidate)) = l1 {

@@ -6,9 +6,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use ghba_core::{GhbaConfig, MdsId};
+use ghba_bloom::Fingerprint;
+use ghba_core::{EntryPolicy, GhbaConfig, MdsId, MetadataOp, OpBatch};
 use ghba_simnet::DetRng;
-use std::sync::mpsc::channel;
+use std::sync::mpsc::{channel, Receiver};
 use std::sync::RwLock;
 
 use crate::map::{ClusterMap, Plan, Scheme, SharedMap};
@@ -18,6 +19,33 @@ use crate::node::{Node, PublishedRegistry};
 
 /// How long client calls wait before concluding the cluster wedged.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Per-op result of [`PrototypeCluster::execute`] (`outcomes[i]` answers
+/// `batch.ops()[i]`): the prototype's wall-clock analogue of
+/// `ghba_core::OpOutcome`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOutcome {
+    /// A lookup's reply, measured at the coordinating node.
+    Lookup(LookupReply),
+    /// A create landed at `home`.
+    Created {
+        /// The node now homing the file.
+        home: MdsId,
+    },
+    /// Whether a remove found (and deleted) the path anywhere.
+    Removed {
+        /// `true` when some node stored the path.
+        removed: bool,
+    },
+    /// A rename migrated the path (`removed` = the source existed;
+    /// `new_home` = where the new path was created, when it did).
+    Renamed {
+        /// Whether the source path existed.
+        removed: bool,
+        /// The new path's home node.
+        new_home: Option<MdsId>,
+    },
+}
 
 /// A running prototype cluster: one OS thread per MDS, std mpsc channels
 /// as the LAN.
@@ -253,14 +281,111 @@ impl PrototypeCluster {
     /// Panics if the cluster does not answer within the client timeout.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> LookupReply {
         let (tx, rx) = channel();
+        // Hash once at admission; the fingerprint rides the wire.
         self.net.send(
             entry,
             Message::Lookup {
                 path: path.to_owned(),
+                fp: Fingerprint::of(path),
                 reply: tx,
             },
         );
         rx.recv_timeout(CLIENT_TIMEOUT).expect("lookup answered")
+    }
+
+    /// Resolves the target node for op `op_index` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is empty or a pinned node is unknown.
+    fn policy_node(&mut self, policy: EntryPolicy, op_index: usize) -> MdsId {
+        if policy == EntryPolicy::Random {
+            return self.random_node();
+        }
+        policy
+            .resolve_deterministic(&self.node_ids(), op_index)
+            .expect("non-random policy resolves deterministically")
+    }
+
+    /// Executes a typed op batch against the prototype.
+    ///
+    /// Lookups and creates are **dispatched up front** to their
+    /// policy-chosen nodes — concurrent ops of one batch queue in node
+    /// mailboxes, where the op-mailbox drain resolves queued lookups in
+    /// one batched replica-slab pass per node — and the replies are
+    /// collected afterwards, in op order. Removes and renames are
+    /// barriers: a remove sweeps the cluster synchronously, and a rename
+    /// removes at the old home before creating the new path at its
+    /// policy-chosen node (reporting whether the source existed and the
+    /// new home). Ops of one batch model concurrent client requests:
+    /// cross-node ordering between them is not defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node does not answer within the client timeout.
+    pub fn execute(&mut self, batch: &OpBatch) -> Vec<BatchOutcome> {
+        enum Pending {
+            Lookup(Receiver<LookupReply>),
+            Created(Receiver<MdsId>),
+            Ready(BatchOutcome),
+        }
+        let policy = batch.entry_policy();
+        let mut pending: Vec<Pending> = Vec::with_capacity(batch.len());
+        for (i, op) in batch.ops().iter().enumerate() {
+            match op {
+                MetadataOp::Lookup(key) => {
+                    let target = self.policy_node(policy, i);
+                    let (tx, rx) = channel();
+                    self.net.send(
+                        target,
+                        Message::Lookup {
+                            path: key.path().to_owned(),
+                            fp: *key.fingerprint(),
+                            reply: tx,
+                        },
+                    );
+                    pending.push(Pending::Lookup(rx));
+                }
+                MetadataOp::Create(key) => {
+                    let target = self.policy_node(policy, i);
+                    let (tx, rx) = channel();
+                    self.net.send(
+                        target,
+                        Message::Create {
+                            path: key.path().to_owned(),
+                            reply: tx,
+                        },
+                    );
+                    pending.push(Pending::Created(rx));
+                }
+                MetadataOp::Remove(key) => {
+                    let removed = self.remove(key.path());
+                    pending.push(Pending::Ready(BatchOutcome::Removed { removed }));
+                }
+                MetadataOp::Rename { from, to } => {
+                    let removed = self.remove(from.path());
+                    let new_home = removed.then(|| {
+                        let target = self.policy_node(policy, i);
+                        self.create_at(to.path(), target)
+                    });
+                    pending.push(Pending::Ready(BatchOutcome::Renamed { removed, new_home }));
+                }
+            }
+        }
+        pending
+            .into_iter()
+            .map(|entry| match entry {
+                Pending::Lookup(rx) => {
+                    BatchOutcome::Lookup(rx.recv_timeout(CLIENT_TIMEOUT).expect("lookup answered"))
+                }
+                Pending::Created(rx) => BatchOutcome::Created {
+                    home: rx
+                        .recv_timeout(CLIENT_TIMEOUT)
+                        .expect("create acknowledged"),
+                },
+                Pending::Ready(outcome) => outcome,
+            })
+            .collect()
     }
 
     /// Removes `path` wherever it lives (sweeps nodes authoritatively).

@@ -168,3 +168,60 @@ fn growth_to_double_size_stays_consistent() {
     }
     cluster.shutdown();
 }
+
+#[test]
+fn vectored_batch_resolves_through_op_mailbox() {
+    use ghba_cluster::BatchOutcome;
+    use ghba_core::{EntryPolicy, OpBatch};
+
+    let mut cluster = ghba(8);
+    let mut setup = OpBatch::new();
+    for i in 0..40 {
+        setup.push_create(format!("/op/f{i}"));
+    }
+    let homes: Vec<MdsId> = cluster
+        .execute(&setup)
+        .into_iter()
+        .map(|outcome| match outcome {
+            BatchOutcome::Created { home } => home,
+            other => panic!("expected Created, got {other:?}"),
+        })
+        .collect();
+    cluster.flush_updates();
+
+    // Pin every lookup of the burst to one node: all 40 queue in its
+    // mailbox and the op-mailbox drain resolves them batched.
+    let entry = cluster.node_ids()[0];
+    let mut burst = OpBatch::new().with_entry(EntryPolicy::Pinned(entry));
+    for i in 0..40 {
+        burst.push_lookup(format!("/op/f{i}"));
+    }
+    for (i, outcome) in cluster.execute(&burst).into_iter().enumerate() {
+        match outcome {
+            BatchOutcome::Lookup(reply) => {
+                assert_eq!(reply.home, Some(homes[i]), "file {i}");
+            }
+            other => panic!("expected Lookup, got {other:?}"),
+        }
+    }
+
+    // Rename migrates end to end; the old path dies, the new resolves.
+    let mut rename = OpBatch::new();
+    rename.push_rename("/op/f0", "/op/renamed");
+    rename.push_lookup("/op/renamed");
+    rename.push_lookup("/op/f0");
+    let outcomes = cluster.execute(&rename);
+    let BatchOutcome::Renamed { removed, new_home } = outcomes[0] else {
+        panic!("expected Renamed, got {:?}", outcomes[0]);
+    };
+    assert!(removed);
+    match &outcomes[1] {
+        BatchOutcome::Lookup(reply) => assert_eq!(reply.home, new_home),
+        other => panic!("expected Lookup, got {other:?}"),
+    }
+    match &outcomes[2] {
+        BatchOutcome::Lookup(reply) => assert_eq!(reply.home, None, "old path must miss"),
+        other => panic!("expected Lookup, got {other:?}"),
+    }
+    cluster.shutdown();
+}

@@ -7,13 +7,14 @@
 use core::time::Duration;
 use std::collections::BTreeMap;
 
-use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray};
+use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
 use ghba_simnet::{Counters, DetRng, LatencyStats};
 
 use crate::config::GhbaConfig;
 use crate::group::Group;
 use crate::ids::{GroupId, MdsId};
 use crate::mds::{published_shape, Mds};
+use crate::op::{EntryPolicy, PathKey};
 use crate::query::{LevelCounts, QueryLevel, QueryOutcome};
 
 /// Aggregate statistics of a cluster's lifetime.
@@ -39,6 +40,36 @@ pub struct ClusterStats {
     pub merges: u64,
     /// Named auxiliary counters (verification round trips, drops, …).
     pub counters: Counters,
+}
+
+/// Memoized candidate masks for the batched lookup walk.
+///
+/// Slot masks and membership snapshots depend only on cluster layout
+/// (slot assignment, group placement) — state that **writes never
+/// touch**. Unarmed, the cache lives for one batched walk (one fused
+/// run); armed by [`GhbaCluster::batch_begin`] via the vectored op
+/// pipeline, it persists across every run of one `OpBatch`, because no
+/// reconfiguration can interleave with an executing batch. Anything
+/// budget- or filter-dependent (probe durations, live-filter verdicts)
+/// is deliberately *not* cached here and is recomputed per run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MaskCache {
+    armed: bool,
+    /// entry → (held replica count, L2 candidate mask).
+    l2: Vec<(MdsId, usize, SlotMask)>,
+    /// group → (each member's held count, group-mirror mask).
+    l3: Vec<GroupMirror>,
+}
+
+/// One group's cached L3 snapshot: `(group, members' held counts,
+/// group-mirror candidate mask)`.
+type GroupMirror = (GroupId, Vec<(MdsId, usize)>, SlotMask);
+
+impl MaskCache {
+    fn clear(&mut self) {
+        self.l2.clear();
+        self.l3.clear();
+    }
 }
 
 /// A simulated G-HBA metadata server cluster.
@@ -73,6 +104,7 @@ pub struct GhbaCluster {
     pub(crate) next_group: u16,
     pub(crate) rng: DetRng,
     pub(crate) stats: ClusterStats,
+    pub(crate) mask_cache: MaskCache,
 }
 
 impl GhbaCluster {
@@ -91,7 +123,22 @@ impl GhbaCluster {
             next_group: 0,
             rng,
             stats: ClusterStats::default(),
+            mask_cache: MaskCache::default(),
         }
+    }
+
+    /// Arms the batch-lifetime mask cache (see [`MaskCache`]); paired
+    /// with [`batch_end`](GhbaCluster::batch_end) by the vectored op
+    /// pipeline.
+    pub(crate) fn batch_begin(&mut self) {
+        self.mask_cache.armed = true;
+        self.mask_cache.clear();
+    }
+
+    /// Disarms and drops the batch-lifetime mask cache.
+    pub(crate) fn batch_end(&mut self) {
+        self.mask_cache.armed = false;
+        self.mask_cache.clear();
     }
 
     /// Creates a cluster of `servers` MDSs, grouped into groups of at most
@@ -201,6 +248,21 @@ impl GhbaCluster {
         *self.rng.choose(&ids).expect("cluster is never empty here")
     }
 
+    /// Resolves the serving MDS for op `op_index` of a batch under
+    /// `policy` (see [`EntryPolicy`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no servers or a pinned server is absent.
+    pub(crate) fn entry_for(&mut self, policy: EntryPolicy, op_index: usize) -> MdsId {
+        if policy == EntryPolicy::Random {
+            return self.pick_random_mds();
+        }
+        policy
+            .resolve_deterministic(&self.server_ids(), op_index)
+            .expect("non-random policy resolves deterministically")
+    }
+
     /// Creates metadata for `path` at a uniformly random home MDS (the
     /// paper populates servers randomly), returning the home.
     ///
@@ -226,6 +288,19 @@ impl GhbaCluster {
         self.maybe_publish(home);
     }
 
+    /// Pre-hashed variant of [`create_file_at`](GhbaCluster::create_file_at)
+    /// for the batched op pipeline: reuses the key's admission
+    /// fingerprint instead of re-hashing the path bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `home` is not a member of the cluster.
+    pub fn create_file_keyed(&mut self, key: &PathKey, home: MdsId) {
+        let mds = self.mdss.get_mut(&home).expect("home must exist");
+        mds.create_local_fp(key.path(), key.fingerprint());
+        self.maybe_publish(home);
+    }
+
     /// Removes `path` from its home (if any), returning the former home.
     /// The caller typically locates the home with a [`lookup`] first; this
     /// method does the authoritative sweep directly.
@@ -235,6 +310,15 @@ impl GhbaCluster {
         let home = self.true_home(path)?;
         let mds = self.mdss.get_mut(&home).expect("home exists");
         mds.remove_local(path);
+        self.maybe_publish(home);
+        Some(home)
+    }
+
+    /// Pre-hashed variant of [`remove_file`](GhbaCluster::remove_file).
+    pub fn remove_file_keyed(&mut self, key: &PathKey) -> Option<MdsId> {
+        let home = self.true_home(key.path())?;
+        let mds = self.mdss.get_mut(&home).expect("home exists");
+        mds.remove_local_fp(key.path(), key.fingerprint());
         self.maybe_publish(home);
         Some(home)
     }
@@ -306,22 +390,58 @@ impl GhbaCluster {
     ///
     /// Panics if any entry is not a member of the cluster.
     pub fn lookup_batch_from(&mut self, queries: &[(MdsId, &str)]) -> Vec<QueryOutcome> {
+        // Hash each path once at its entry server; the fingerprint drives
+        // every filter probe of the whole L1 → L4 escalation (and in a
+        // real deployment travels inside the multicast probe messages).
+        let prehashed: Vec<(MdsId, &str, Fingerprint)> = queries
+            .iter()
+            .map(|&(entry, path)| (entry, path, Fingerprint::of(path)))
+            .collect();
+        self.lookup_batch_prehashed(&prehashed)
+    }
+
+    /// The batched walk behind [`lookup_batch_from`], taking queries whose
+    /// fingerprints were already computed (at batch admission by the
+    /// vectored op pipeline, or just above for string callers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is not a member of the cluster.
+    ///
+    /// [`lookup_batch_from`]: GhbaCluster::lookup_batch_from
+    pub(crate) fn lookup_batch_prehashed(
+        &mut self,
+        queries: &[(MdsId, &str, Fingerprint)],
+    ) -> Vec<QueryOutcome> {
         let model = self.config.latency.clone();
         let total = queries.len();
         let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; total];
         let mut latency: Vec<Duration> = vec![model.dispatch; total];
         let mut messages: Vec<u32> = vec![0; total];
-        // Hash each path once at its entry server; the fingerprint drives
-        // every filter probe of the whole L1 → L4 escalation (and in a
-        // real deployment travels inside the multicast probe messages).
-        let fps: Vec<Fingerprint> = queries
-            .iter()
-            .map(|(_, path)| Fingerprint::of(*path))
-            .collect();
+        let fps: Vec<Fingerprint> = queries.iter().map(|&(_, _, fp)| fp).collect();
+        // Every live-filter probe of the walk (the entry's at L2, group
+        // members' at L3, the global L4 sweep) shares one row table,
+        // derived once per batch through the ProbeBatch fastmod machinery
+        // instead of once per (query, server) pair. Live filters share
+        // [`published_shape`], so one derivation serves them all.
+        let live_shape = published_shape(&self.config);
+        let k_live = live_shape.hashes as usize;
+        let mut batch = ProbeBatch::with_capacity(total);
+        for fp in &fps {
+            batch.push(*fp);
+        }
+        let mut live_rows: Vec<u32> = Vec::new();
+        batch.derive_rows_into(live_shape, &mut live_rows);
+        // Unarmed (a direct call outside the op pipeline), the mask cache
+        // is scoped to this one walk; armed, entries accumulated by
+        // earlier runs of the same batch are reused.
+        if !self.mask_cache.armed {
+            self.mask_cache.clear();
+        }
         let mut active: Vec<usize> = Vec::with_capacity(total);
 
         // ---- L1: each entry server's LRU Bloom filter array. ----
-        for (qi, &(entry, path)) in queries.iter().enumerate() {
+        for (qi, &(entry, path, _)) in queries.iter().enumerate() {
             assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
             let fp = fps[qi];
             let l1_hit = self
@@ -353,25 +473,38 @@ impl GhbaCluster {
 
         // ---- L2: every entry server's segment array (θ replicas + own):
         // one batched masked probe of the published slab for the whole
-        // batch. ----
-        let mut batch = ProbeBatch::with_capacity(active.len());
+        // batch. The candidate mask and held count depend only on the
+        // *entry* (and only reconfiguration changes them), so each
+        // entry's mask is built once per batch instead of once per
+        // query; the budget-sensitive probe duration is recomputed here,
+        // inside the run, where no write can interleave.
+        batch.clear();
         for &qi in &active {
-            let (entry, _) = queries[qi];
-            let held = self.replicas_held_by(entry);
-            let entry_mds = self.mdss.get(&entry).expect("entry exists");
-            let resident = entry_mds.resident_replicas(held.len());
-            latency[qi] += model.array_probe(held.len() + 1, held.len() - resident);
-            batch.push_masked(
-                fps[qi],
-                self.published_array.subset_mask(held.iter().copied()),
-            );
+            let (entry, _, _) = queries[qi];
+            if !self.mask_cache.l2.iter().any(|(id, _, _)| *id == entry) {
+                let held = self.replicas_held_by(entry);
+                let mask = self.published_array.subset_mask(held.iter().copied());
+                self.mask_cache.l2.push((entry, held.len(), mask));
+            }
+        }
+        for &qi in &active {
+            let (entry, _, _) = queries[qi];
+            let &(_, held, ref mask) = self
+                .mask_cache
+                .l2
+                .iter()
+                .find(|(id, _, _)| *id == entry)
+                .expect("cached just above");
+            let resident = self.mdss[&entry].resident_replicas(held);
+            latency[qi] += model.array_probe(held + 1, held - resident);
+            batch.push_masked(fps[qi], mask.clone());
         }
         let hits = self.published_array.query_batch(&mut batch);
         let mut next_active = Vec::with_capacity(active.len());
         for (&qi, hit) in active.iter().zip(&hits) {
-            let (entry, path) = queries[qi];
+            let (entry, path, _) = queries[qi];
             let mut positives = hit.candidates().to_vec();
-            if self.mdss[&entry].probe_live_fp(&fps[qi]) {
+            if self.mdss[&entry].probe_live_rows(&live_rows[qi * k_live..(qi + 1) * k_live]) {
                 positives.push(entry);
             }
             if positives.len() == 1 {
@@ -398,46 +531,85 @@ impl GhbaCluster {
         // ---- L3: multicast within each entry server's group; the
         // group-mirror probes of the whole batch share one slab pass. ----
         batch.clear();
+        // Per-group L3 state, built once per batch: the member list with
+        // held counts and the group-mirror candidate mask depend only on
+        // the *group* (and only reconfiguration changes them), so a batch
+        // whose queries enter through few groups pays the (member-scan +
+        // mask-build) work per group instead of per query. The
+        // budget-sensitive probe durations and the entry-dependent
+        // worst-peer max reduce over the cached snapshot per query.
         for &qi in &active {
-            let (entry, _) = queries[qi];
+            let (entry, _, _) = queries[qi];
             let gid = self.group_of(entry).expect("entry has a group");
-            let members: Vec<MdsId> = self.groups[&gid].members().to_vec();
-            let peer_count = members.len().saturating_sub(1);
+            if !self.mask_cache.l3.iter().any(|(id, _, _)| *id == gid) {
+                let member_held: Vec<(MdsId, usize)> = self.groups[&gid]
+                    .members()
+                    .iter()
+                    .map(|&member| (member, self.groups[&gid].replicas_held_by(member).len()))
+                    .collect();
+                // The group's replicas collectively mirror every server
+                // outside it: one masked slab probe covers all of them,
+                // and recipients reuse the fingerprint shipped with the
+                // multicast for their live probes.
+                let origins = self.groups[&gid].replica_origins();
+                let mask = self.published_array.subset_mask(origins.iter().copied());
+                self.mask_cache.l3.push((gid, member_held, mask));
+            }
+        }
+        for &qi in &active {
+            let (entry, _, _) = queries[qi];
+            let gid = self.group_of(entry).expect("entry has a group");
+            let (_, member_held, mask) = self
+                .mask_cache
+                .l3
+                .iter()
+                .find(|(id, _, _)| *id == gid)
+                .expect("cached just above");
+            let peer_count = member_held.len().saturating_sub(1);
             messages[qi] += 2 * peer_count as u32;
             latency[qi] += model.multicast_rtt(peer_count);
             // Peers probe their held replicas in parallel: pay the slowest.
-            let mut worst_probe = Duration::ZERO;
-            for &member in &members {
-                if member == entry {
-                    continue;
-                }
-                let held = self.groups[&gid].replicas_held_by(member);
-                let resident = self.mdss[&member].resident_replicas(held.len());
-                let probe = model.array_probe(held.len() + 1, held.len() - resident);
-                worst_probe = worst_probe.max(probe);
-            }
+            let worst_probe = member_held
+                .iter()
+                .filter(|&&(member, _)| member != entry)
+                .map(|&(member, held)| {
+                    let resident = self.mdss[&member].resident_replicas(held);
+                    model.array_probe(held + 1, held - resident)
+                })
+                .max()
+                .unwrap_or(Duration::ZERO);
             latency[qi] += worst_probe;
-            // The group's replicas collectively mirror every server
-            // outside it: one masked slab probe covers all of them, and
-            // recipients reuse the fingerprint shipped with the multicast
-            // for their live probes.
-            let origins = self.groups[&gid].replica_origins();
-            batch.push_masked(
-                fps[qi],
-                self.published_array.subset_mask(origins.iter().copied()),
-            );
+            batch.push_masked(fps[qi], mask.clone());
         }
         let hits = self.published_array.query_batch(&mut batch);
         let mut next_active = Vec::with_capacity(active.len());
+        // Members' live-filter answers depend only on (group, fingerprint):
+        // flash-crowd duplicates within the batch probe each group's
+        // member filters once and reuse the verdict.
+        let mut l3_live: Vec<(GroupId, (u64, u64), Vec<MdsId>)> = Vec::new();
         for (&qi, hit) in active.iter().zip(&hits) {
-            let (entry, path) = queries[qi];
+            let (entry, path, _) = queries[qi];
             let gid = self.group_of(entry).expect("entry has a group");
             let mut positives = hit.candidates().to_vec();
-            for &member in self.groups[&gid].members() {
-                if self.mdss[&member].probe_live_fp(&fps[qi]) {
-                    positives.push(member);
+            let lanes = fps[qi].lanes();
+            let live = match l3_live
+                .iter()
+                .find(|(id, key, _)| *id == gid && *key == lanes)
+            {
+                Some(cached) => &cached.2,
+                None => {
+                    let rows = &live_rows[qi * k_live..(qi + 1) * k_live];
+                    let members: Vec<MdsId> = self.groups[&gid]
+                        .members()
+                        .iter()
+                        .copied()
+                        .filter(|member| self.mdss[member].probe_live_rows(rows))
+                        .collect();
+                    l3_live.push((gid, lanes, members));
+                    &l3_live.last().expect("just pushed").2
                 }
-            }
+            };
+            positives.extend_from_slice(live);
             if positives.len() == 1 {
                 let candidate = positives[0];
                 if let Some(home) =
@@ -459,10 +631,13 @@ impl GhbaCluster {
         }
         let active = next_active;
 
-        // ---- L4: system-wide multicast; authoritative. ----
+        // ---- L4: system-wide multicast; authoritative. The recipients'
+        // live-filter probes reuse the batch's precomputed row table
+        // (each fingerprint's rows derived once, not once per server). ----
         for &qi in &active {
-            let (entry, path) = queries[qi];
+            let (entry, path, _) = queries[qi];
             let fp = fps[qi];
+            let rows = &live_rows[qi * k_live..(qi + 1) * k_live];
             let others = self.server_count().saturating_sub(1);
             messages[qi] += 2 * others as u32;
             latency[qi] += model.multicast_rtt(others);
@@ -472,7 +647,7 @@ impl GhbaCluster {
             let mut found: Option<MdsId> = None;
             let mut verify_cost = Duration::ZERO;
             for (&id, mds) in &self.mdss {
-                if mds.probe_live_fp(&fp) {
+                if mds.probe_live_rows(rows) {
                     let cost = mds.metadata_access_cost(&model);
                     verify_cost = verify_cost.max(cost);
                     if mds.stores(path) {

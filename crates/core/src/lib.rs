@@ -52,6 +52,7 @@ mod group;
 mod ids;
 mod mds;
 mod metadata;
+mod op;
 mod query;
 mod reconfig;
 mod service;
@@ -63,6 +64,9 @@ pub use group::{Group, IdFilterArray};
 pub use ids::{GroupId, MdsId};
 pub use mds::{published_shape, Mds, META_ENTRY_BYTES};
 pub use metadata::{FileAttrs, MetadataStore};
+pub use op::{
+    execute_vectored, EntryPolicy, MetadataOp, OpBatch, OpOutcome, PathKey, VectoredScheme,
+};
 pub use query::{LevelCounts, QueryLevel, QueryOutcome};
 pub use reconfig::{ReconfigError, ReconfigReport};
 pub use service::MetadataService;

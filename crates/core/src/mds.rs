@@ -144,12 +144,18 @@ impl Mds {
     /// Inserts `path` into the store and live filter (hashing it once for
     /// both filter projections).
     pub fn create_local(&mut self, path: &str) {
-        let fp = Fingerprint::of(path);
+        self.create_local_fp(path, &Fingerprint::of(path));
+    }
+
+    /// Pre-hashed variant of [`create_local`](Mds::create_local): callers
+    /// holding the path's admission-time fingerprint (a batched op
+    /// pipeline) skip the byte pass entirely.
+    pub fn create_local_fp(&mut self, path: &str, fp: &Fingerprint) {
         self.store.create(path);
-        self.live.insert_fp(&fp);
+        self.live.insert_fp(fp);
         // Keep the plain projection current when it is clean; when it is
         // dirty the pending rebuild overwrites this anyway.
-        self.live_plain.insert_fp(&fp);
+        self.live_plain.insert_fp(fp);
         self.mutations_since_publish += 1;
         self.mutations_since_drift_check += 1;
         self.recharge_metacache();
@@ -158,10 +164,15 @@ impl Mds {
     /// Removes `path` from the store and live filter; returns `false` when
     /// the path was not homed here.
     pub fn remove_local(&mut self, path: &str) -> bool {
+        self.remove_local_fp(path, &Fingerprint::of(path))
+    }
+
+    /// Pre-hashed variant of [`remove_local`](Mds::remove_local).
+    pub fn remove_local_fp(&mut self, path: &str, fp: &Fingerprint) -> bool {
         if self.store.remove(path).is_none() {
             return false;
         }
-        let removed = self.live.remove(path);
+        let removed = self.live.remove_fp(fp);
         debug_assert!(removed.is_ok(), "live filter desynchronized from store");
         // Counters may have dropped to zero, so the plain projection is now
         // stale. Defer the O(m) rebuild until `drift_bits`/`publish`
@@ -202,6 +213,16 @@ impl Mds {
     #[must_use]
     pub fn probe_live_fp(&self, fp: &Fingerprint) -> bool {
         self.live.contains_fp(fp)
+    }
+
+    /// Precomputed-rows variant of [`probe_live_fp`](Mds::probe_live_fp):
+    /// `rows` must be derived for this cluster's shared live-filter shape
+    /// ([`published_shape`]). Lets a batched sweep derive each
+    /// fingerprint's rows once and probe every server's live filter with
+    /// them — identical answers to `probe_live_fp` for the same item.
+    #[must_use]
+    pub fn probe_live_rows(&self, rows: &[u32]) -> bool {
+        self.live.contains_rows(rows)
     }
 
     /// Hamming distance between the live filter and the published

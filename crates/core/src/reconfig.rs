@@ -52,9 +52,9 @@ impl std::error::Error for ReconfigError {}
 impl GhbaCluster {
     /// Adds a new MDS to the cluster, joining the most suitable group
     /// (§3.1) and splitting it if it overflows `M` (§3.2). Returns the new
-    /// server's id; per-operation costs are in
-    /// [`last_reconfig`](GhbaCluster::last_reconfig)-style accumulated
-    /// stats and the returned report of [`add_mds_reported`].
+    /// server's id; per-operation costs are in the accumulated
+    /// [`stats`](GhbaCluster::stats) and the returned report of
+    /// [`add_mds_reported`].
     ///
     /// [`add_mds_reported`]: GhbaCluster::add_mds_reported
     pub fn add_mds(&mut self) -> MdsId {

@@ -3,15 +3,26 @@
 //! The paper compares G-HBA against HBA, pure Bloom filter arrays, and
 //! hash-based placement. [`MetadataService`] is the seam those schemes
 //! share, so benchmarks and trace replay treat every scheme uniformly.
+//!
+//! The seam is **vectored**: the one required operation is
+//! [`execute`](MetadataService::execute), which takes a typed, pre-hashed
+//! [`OpBatch`] (mixed creates/lookups/removes/renames under an explicit
+//! [`EntryPolicy`](crate::EntryPolicy)) and returns per-op
+//! [`OpOutcome`]s. The classic string calls (`create`, `lookup`,
+//! `remove`, …) are provided shims expressed as 1-op batches — same
+//! semantics, none of the batching.
 
 use crate::cluster::GhbaCluster;
 use crate::ids::MdsId;
+use crate::op::{execute_vectored, EntryPolicy, OpBatch, OpOutcome, PathKey, VectoredScheme};
 use crate::query::QueryOutcome;
 
 /// A distributed metadata lookup scheme under test.
 ///
 /// Implemented by [`GhbaCluster`] here and by the HBA / BFA baselines in
-/// `ghba-baselines`.
+/// `ghba-baselines`. Only [`execute`](MetadataService::execute) and the
+/// three descriptive methods are required; every string-call entry point
+/// is a 1-op-batch shim.
 pub trait MetadataService {
     /// Scheme name for reports ("G-HBA", "HBA", …).
     fn scheme_name(&self) -> &'static str;
@@ -19,28 +30,115 @@ pub trait MetadataService {
     /// Number of metadata servers.
     fn server_count(&self) -> usize;
 
-    /// Creates metadata for `path`, returning its home MDS.
-    fn create(&mut self, path: &str) -> MdsId;
-
-    /// Looks up the home MDS of `path` from a random entry server.
-    fn lookup(&mut self, path: &str) -> QueryOutcome;
-
-    /// Resolves a batch of concurrent lookups, each from a random entry
-    /// server, returning one outcome per path in order.
+    /// Executes a typed op batch, returning one [`OpOutcome`] per op in
+    /// admission order.
     ///
-    /// Schemes with a batched probe path (G-HBA's and HBA's bit-sliced
-    /// published slab) override this to resolve the whole batch in one
-    /// slab pass per level; the default falls back to sequential lookups.
-    fn lookup_batch(&mut self, paths: &[&str]) -> Vec<QueryOutcome> {
-        paths.iter().map(|path| self.lookup(path)).collect()
-    }
-
-    /// Removes `path`'s metadata, returning its former home.
-    fn remove(&mut self, path: &str) -> Option<MdsId>;
+    /// Native implementations fuse consecutive lookups into one batched
+    /// L1→L4 slab pass, apply writes in stream order with gated grouped
+    /// delta publishes, and migrate renames end-to-end; outcomes are
+    /// bit-identical to executing every op as its own 1-op batch (see
+    /// [`crate::execute_vectored`]).
+    fn execute(&mut self, batch: &OpBatch) -> Vec<OpOutcome>;
 
     /// Average bytes of Bloom filter structures per MDS (own filter, LRU
     /// array, held replicas) — the Table 5 quantity.
     fn filter_memory_per_mds(&self) -> usize;
+
+    /// Creates metadata for `path` at a random home, returning it.
+    /// Back-compat shim: a 1-op [`OpBatch`].
+    fn create(&mut self, path: &str) -> MdsId {
+        let mut batch = OpBatch::new();
+        batch.push_create(path);
+        match self.execute(&batch).pop() {
+            Some(OpOutcome::Created { home }) => home,
+            other => unreachable!("create op yields Created, got {other:?}"),
+        }
+    }
+
+    /// Looks up the home MDS of `path` from a random entry server.
+    /// Back-compat shim: a 1-op [`OpBatch`].
+    fn lookup(&mut self, path: &str) -> QueryOutcome {
+        let mut batch = OpBatch::new();
+        batch.push_lookup(path);
+        match self.execute(&batch).pop() {
+            Some(OpOutcome::Resolved(outcome)) => outcome,
+            other => unreachable!("lookup op yields Resolved, got {other:?}"),
+        }
+    }
+
+    /// Resolves a batch of concurrent lookups, each from a random entry
+    /// server, returning one outcome per path in order. Shim over one
+    /// all-lookup [`OpBatch`].
+    fn lookup_batch(&mut self, paths: &[&str]) -> Vec<QueryOutcome> {
+        let mut batch = OpBatch::new();
+        for path in paths {
+            batch.push_lookup(*path);
+        }
+        self.execute(&batch)
+            .into_iter()
+            .map(|outcome| match outcome {
+                OpOutcome::Resolved(outcome) => outcome,
+                other => unreachable!("lookup op yields Resolved, got {other:?}"),
+            })
+            .collect()
+    }
+
+    /// Removes `path`'s metadata, returning its former home.
+    /// Back-compat shim: a 1-op [`OpBatch`].
+    fn remove(&mut self, path: &str) -> Option<MdsId> {
+        let mut batch = OpBatch::new();
+        batch.push_remove(path);
+        match self.execute(&batch).pop() {
+            Some(OpOutcome::Removed { home }) => home,
+            other => unreachable!("remove op yields Removed, got {other:?}"),
+        }
+    }
+
+    /// Renames `from` to `to` (metadata migration), returning the old and
+    /// new homes. Shim: a 1-op [`OpBatch`].
+    fn rename(&mut self, from: &str, to: &str) -> (Option<MdsId>, Option<MdsId>) {
+        let mut batch = OpBatch::new();
+        batch.push_rename(from, to);
+        match self.execute(&batch).pop() {
+            Some(OpOutcome::Renamed { old_home, new_home }) => (old_home, new_home),
+            other => unreachable!("rename op yields Renamed, got {other:?}"),
+        }
+    }
+}
+
+impl VectoredScheme for GhbaCluster {
+    fn resolve_entry(&mut self, policy: EntryPolicy, op_index: usize) -> MdsId {
+        self.entry_for(policy, op_index)
+    }
+
+    fn repeat_sensitive(&self) -> bool {
+        // No LRU level ⇒ no per-entry fill a repeat could observe.
+        self.config().lru_capacity > 0
+    }
+
+    fn batch_begin(&mut self) {
+        GhbaCluster::batch_begin(self);
+    }
+
+    fn batch_end(&mut self) {
+        GhbaCluster::batch_end(self);
+    }
+
+    fn lookup_fused(&mut self, queries: &[(MdsId, &PathKey)]) -> Vec<QueryOutcome> {
+        let prehashed: Vec<(MdsId, &str, ghba_bloom::Fingerprint)> = queries
+            .iter()
+            .map(|&(entry, key)| (entry, key.path(), *key.fingerprint()))
+            .collect();
+        self.lookup_batch_prehashed(&prehashed)
+    }
+
+    fn apply_create(&mut self, key: &PathKey, home: MdsId) {
+        self.create_file_keyed(key, home);
+    }
+
+    fn apply_remove(&mut self, key: &PathKey) -> Option<MdsId> {
+        self.remove_file_keyed(key)
+    }
 }
 
 impl MetadataService for GhbaCluster {
@@ -52,20 +150,8 @@ impl MetadataService for GhbaCluster {
         self.server_count()
     }
 
-    fn create(&mut self, path: &str) -> MdsId {
-        self.create_file(path)
-    }
-
-    fn lookup(&mut self, path: &str) -> QueryOutcome {
-        GhbaCluster::lookup(self, path)
-    }
-
-    fn lookup_batch(&mut self, paths: &[&str]) -> Vec<QueryOutcome> {
-        GhbaCluster::lookup_batch(self, paths)
-    }
-
-    fn remove(&mut self, path: &str) -> Option<MdsId> {
-        self.remove_file(path)
+    fn execute(&mut self, batch: &OpBatch) -> Vec<OpOutcome> {
+        execute_vectored(self, batch)
     }
 
     fn filter_memory_per_mds(&self) -> usize {

@@ -121,22 +121,24 @@ impl WorkloadGenerator {
         MetaOp::Stat
     }
 
+    /// Allocates a fresh (never-referenced) file index; wraps back into
+    /// the reference set when the namespace is exhausted (documented
+    /// degenerate case for extremely long runs).
+    fn fresh_file_index(&mut self) -> u64 {
+        let idx = if self.next_new_file < self.namespace.len() {
+            let idx = self.next_new_file;
+            self.next_new_file += 1;
+            idx
+        } else {
+            self.locality.sample(&mut self.rng)
+        };
+        self.locality.touch(idx);
+        idx
+    }
+
     fn draw_file_for(&mut self, op: MetaOp) -> u64 {
         match op {
-            MetaOp::Create => {
-                // Fresh file index; wraps back into the reference set when
-                // the namespace is exhausted (documented degenerate case
-                // for extremely long runs).
-                let idx = if self.next_new_file < self.namespace.len() {
-                    let idx = self.next_new_file;
-                    self.next_new_file += 1;
-                    idx
-                } else {
-                    self.locality.sample(&mut self.rng)
-                };
-                self.locality.touch(idx);
-                idx
-            }
+            MetaOp::Create => self.fresh_file_index(),
             MetaOp::Close => {
                 // Pair with a recent open when possible.
                 match self.open_files.pop_back() {
@@ -163,12 +165,20 @@ impl Iterator for WorkloadGenerator {
                 self.open_files.pop_front();
             }
         }
+        // Renames move the drawn (popular) file to a fresh pathname —
+        // real namespaces rename *into* new names, so the target comes
+        // from the same untouched index range creates use.
+        let rename_to = (op == MetaOp::Rename).then(|| {
+            let target = self.fresh_file_index();
+            self.namespace.path_of(target)
+        });
         let user = self.user_offset + self.rng.below(u64::from(self.profile.users.max(1))) as u32;
         let host = self.host_offset + self.rng.below(u64::from(self.profile.hosts.max(1))) as u32;
         Some(TraceRecord {
             timestamp: self.clock,
             op,
             path: self.namespace.path_of(file),
+            rename_to,
             user,
             host,
             subtrace: self.subtrace,

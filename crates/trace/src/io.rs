@@ -7,6 +7,16 @@
 //! ```text
 //! <timestamp-ns> <op> <user> <host> <subtrace> <path>
 //! ```
+//!
+//! `rename` records carrying a destination write it after the source
+//! path, separated by a single tab:
+//!
+//! ```text
+//! <timestamp-ns> rename <user> <host> <subtrace> <old-path>\t<new-path>
+//! ```
+//!
+//! Pathnames may contain spaces (the path field is the rest of the line)
+//! but must not contain tabs or newlines.
 
 use std::io::{self, BufRead, Write};
 
@@ -50,7 +60,7 @@ pub fn write_trace<W: Write>(
 ) -> io::Result<u64> {
     let mut written = 0;
     for r in records {
-        writeln!(
+        write!(
             out,
             "{} {} {} {} {} {}",
             r.timestamp.as_nanos(),
@@ -60,6 +70,10 @@ pub fn write_trace<W: Write>(
             r.subtrace,
             r.path
         )?;
+        match &r.rename_to {
+            Some(to) => writeln!(out, "\t{to}")?,
+            None => writeln!(out)?,
+        }
         written += 1;
     }
     Ok(written)
@@ -105,11 +119,17 @@ pub fn read_trace<R: BufRead>(input: R) -> io::Result<Vec<TraceRecord>> {
         let subtrace: u32 = parse(parts.next(), "subtrace")?
             .parse()
             .map_err(|_| bad("subtrace"))?;
-        let path = parse(parts.next(), "path")?;
+        let path_field = parse(parts.next(), "path")?;
+        // A rename destination rides after the source, tab-separated.
+        let (path, rename_to) = match path_field.split_once('\t') {
+            Some((path, to)) => (path.to_owned(), Some(to.to_owned())),
+            None => (path_field, None),
+        };
         records.push(TraceRecord {
             timestamp: SimTime::from_nanos(nanos),
             op,
             path,
+            rename_to,
             user,
             host,
             subtrace,
@@ -166,6 +186,7 @@ mod tests {
             timestamp: SimTime::from_nanos(7),
             op: MetaOp::Open,
             path: "/dir with spaces/file name".to_owned(),
+            rename_to: None,
             user: 1,
             host: 2,
             subtrace: 3,
@@ -174,5 +195,28 @@ mod tests {
         write_trace(&mut buffer, [record.clone()]).unwrap();
         let decoded = read_trace(buffer.as_slice()).unwrap();
         assert_eq!(decoded, vec![record]);
+    }
+
+    #[test]
+    fn rename_targets_roundtrip() {
+        let record = TraceRecord {
+            timestamp: SimTime::from_nanos(9),
+            op: MetaOp::Rename,
+            path: "/old dir/old name".to_owned(),
+            rename_to: Some("/new dir/new name".to_owned()),
+            user: 4,
+            host: 5,
+            subtrace: 6,
+        };
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, [record.clone()]).unwrap();
+        let text = String::from_utf8(buffer.clone()).unwrap();
+        assert!(text.contains("/old dir/old name\t/new dir/new name"));
+        let decoded = read_trace(buffer.as_slice()).unwrap();
+        assert_eq!(decoded, vec![record]);
+        // Legacy rename lines (no destination) still parse.
+        let legacy = read_trace("3 rename 1 2 0 /just/source".as_bytes()).unwrap();
+        assert_eq!(legacy[0].rename_to, None);
+        assert_eq!(legacy[0].path, "/just/source");
     }
 }

@@ -81,6 +81,10 @@ pub struct TraceRecord {
     pub op: MetaOp,
     /// Full pathname of the target file.
     pub path: String,
+    /// For [`MetaOp::Rename`] records: the destination pathname the file
+    /// moves to. `None` on non-rename records (and on legacy rename
+    /// records, which replay under a synthesized suffix).
+    pub rename_to: Option<String>,
     /// Issuing user id (offset per subtrace under intensification).
     pub user: u32,
     /// Issuing host id (offset per subtrace under intensification).
@@ -175,6 +179,7 @@ mod tests {
             timestamp: SimTime::from_micros(u64::from(user)),
             op,
             path: path.to_owned(),
+            rename_to: None,
             user,
             host: user % 3,
             subtrace: 0,

@@ -1,8 +1,16 @@
 //! Trace replay: drive any [`MetadataService`] with a workload stream.
+//!
+//! Replay is **vectored**: trace records are admitted into mixed-op
+//! [`OpBatch`] windows (reads *and* writes together, each path hashed once
+//! at admission) and drained through [`MetadataService::execute`]. The
+//! batch is never flushed because a write arrived — the scheme's own
+//! pipeline orders writes against the reads around them — so the batched
+//! slab paths stay hot through flash-crowd traces that interleave creates
+//! with the lookup bursts.
 
 use core::time::Duration;
 
-use ghba_core::{LevelCounts, MetadataService, QueryLevel};
+use ghba_core::{LevelCounts, MetadataService, OpBatch, OpOutcome};
 use ghba_simnet::LatencyStats;
 use ghba_trace::{MetaOp, TraceRecord};
 
@@ -31,103 +39,104 @@ impl ReplayReport {
     }
 }
 
+/// Creates admitted per [`OpBatch`] during [`populate`].
+const POPULATE_WINDOW: usize = 256;
+
 /// Pre-creates `paths` on the service (the "initially populated randomly"
-/// step of §4).
+/// step of §4), in batched create windows.
 pub fn populate<S: MetadataService + ?Sized>(
     service: &mut S,
     paths: impl IntoIterator<Item = String>,
 ) {
+    let mut batch = OpBatch::new();
     for path in paths {
-        service.create(&path);
-    }
-}
-
-/// Read-only lookups per [`MetadataService::lookup_batch`] call: the batch
-/// size the paper-faithful MDS model resolves in one slab pass per level.
-const LOOKUP_BATCH: usize = 16;
-
-/// Resolves the queued read-only lookups through the service's batched
-/// probe path and folds the outcomes into `report`.
-fn flush_lookups<S: MetadataService + ?Sized>(
-    service: &mut S,
-    report: &mut ReplayReport,
-    pending: &mut Vec<String>,
-) {
-    if pending.is_empty() {
-        return;
-    }
-    let paths: Vec<&str> = pending.iter().map(String::as_str).collect();
-    for outcome in service.lookup_batch(&paths) {
-        report.levels.record(outcome.level);
-        report.latency.record(outcome.latency);
-        report.messages += u64::from(outcome.messages);
-        if outcome.found() {
-            report.found += 1;
-        } else {
-            report.missing += 1;
+        batch.push_create(path);
+        if batch.len() >= POPULATE_WINDOW {
+            let _ = service.execute(&batch);
+            batch.clear();
         }
     }
-    pending.clear();
+    if !batch.is_empty() {
+        let _ = service.execute(&batch);
+    }
 }
 
-/// Replays `records` against `service`, translating metadata operations:
-/// reads become lookups, `create` inserts, `unlink` looks up then removes,
-/// `rename` re-homes under a suffixed path.
+/// Trace records admitted per [`OpBatch`] window: the number of
+/// concurrent client operations the cluster sees at once. Windows mix
+/// reads and writes freely; the scheme's execute pipeline fuses the read
+/// runs and orders the writes.
+const OP_WINDOW: usize = 128;
+
+/// Executes the queued window and folds its lookup outcomes into
+/// `report`.
+fn drain<S: MetadataService + ?Sized>(
+    service: &mut S,
+    report: &mut ReplayReport,
+    batch: &mut OpBatch,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    for outcome in service.execute(batch) {
+        if let OpOutcome::Resolved(outcome) = outcome {
+            report.levels.record(outcome.level);
+            report.latency.record(outcome.latency);
+            report.messages += u64::from(outcome.messages);
+            if outcome.found() {
+                report.found += 1;
+            } else {
+                report.missing += 1;
+            }
+        }
+    }
+    batch.clear();
+}
+
+/// Replays `records` against `service`, translating metadata operations
+/// into typed ops: reads become lookups, `create` inserts, `unlink` looks
+/// up then removes, `rename` migrates to the record's destination (or a
+/// suffixed path for legacy records without one).
 ///
-/// Runs of consecutive read-only operations (`open`/`close`/`stat`/
-/// `readdir`) model concurrent client requests arriving at the cluster:
-/// they are drained through [`MetadataService::lookup_batch`] in groups of
-/// up to [`LOOKUP_BATCH`], so schemes with a batched probe path amortize
-/// slab row loads across the burst. The batch is flushed before every
-/// mutating operation — and before a repeated path — so replay order
-/// semantics match the sequential interpretation.
+/// Up to 128 consecutive records ([`OP_WINDOW`](self) internally) are
+/// admitted into one mixed [`OpBatch`] — the window models concurrent
+/// client requests arriving at the cluster — and drained through
+/// [`MetadataService::execute`] in a single call. Writes never flush the window: the execute pipeline
+/// resolves read runs through the batched slab paths and applies writes
+/// in stream order between them, outcome-identical to a sequential replay
+/// of the same ops (see `ghba_core::execute_vectored`).
 pub fn replay<S: MetadataService + ?Sized>(
     service: &mut S,
     records: impl IntoIterator<Item = TraceRecord>,
 ) -> ReplayReport {
     let mut report = ReplayReport::default();
-    let mut pending: Vec<String> = Vec::with_capacity(LOOKUP_BATCH);
+    let mut batch = OpBatch::new();
     for record in records {
         report.operations += 1;
         match record.op {
             MetaOp::Open | MetaOp::Close | MetaOp::Stat | MetaOp::Readdir => {
-                if pending.contains(&record.path) {
-                    // A repeat within the window: resolve the earlier one
-                    // first so this lookup sees its LRU fill, as a
-                    // sequential replay would.
-                    flush_lookups(service, &mut report, &mut pending);
-                }
-                pending.push(record.path);
-                if pending.len() == LOOKUP_BATCH {
-                    flush_lookups(service, &mut report, &mut pending);
-                }
+                batch.push_lookup(record.path);
             }
             MetaOp::Create => {
-                flush_lookups(service, &mut report, &mut pending);
-                service.create(&record.path);
+                batch.push_create(record.path);
             }
             MetaOp::Unlink => {
-                flush_lookups(service, &mut report, &mut pending);
-                let outcome = service.lookup(&record.path);
-                report.levels.record(outcome.level);
-                report.latency.record(outcome.latency);
-                report.messages += u64::from(outcome.messages);
-                if outcome.level != QueryLevel::Nonexistent {
-                    report.found += 1;
-                    service.remove(&record.path);
-                } else {
-                    report.missing += 1;
-                }
+                // The unlinking client resolves the path first (the
+                // recorded lookup), then removes it; a miss makes the
+                // remove a no-op, exactly like the sequential protocol.
+                batch.push_lookup(record.path.clone());
+                batch.push_remove(record.path);
             }
             MetaOp::Rename => {
-                flush_lookups(service, &mut report, &mut pending);
-                if service.remove(&record.path).is_some() {
-                    let renamed = format!("{}~renamed", record.path);
-                    service.create(&renamed);
-                }
+                let to = record
+                    .rename_to
+                    .unwrap_or_else(|| format!("{}~renamed", record.path));
+                batch.push_rename(record.path, to);
             }
         }
+        if batch.len() >= OP_WINDOW {
+            drain(service, &mut report, &mut batch);
+        }
     }
-    flush_lookups(service, &mut report, &mut pending);
+    drain(service, &mut report, &mut batch);
     report
 }
