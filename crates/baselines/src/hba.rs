@@ -12,12 +12,34 @@
 use core::time::Duration;
 use std::collections::BTreeMap;
 
-use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray};
+use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
 use ghba_core::{
-    execute_vectored, published_shape, ClusterStats, EntryPolicy, GhbaConfig, Mds, MdsId, OpBatch,
-    OpOutcome, PathKey, QueryLevel, QueryOutcome, ReconfigReport, UpdateReport, VectoredScheme,
+    execute_vectored, published_shape, ClusterStats, EntryPolicy, GhbaConfig, MaskCacheLifecycle,
+    Mds, MdsId, MembershipEpoch, OpBatch, OpOutcome, PathKey, QueryLevel, QueryOutcome,
+    ReconfigReport, UpdateReport, VectoredScheme,
 };
 use ghba_simnet::DetRng;
+
+/// HBA's analogue of the G-HBA mask cache: the full-mirror L2 probe
+/// masks out only the entry's own slot (`mask_all_except`), so the cache
+/// is one mask per entry server. Lifetime follows
+/// [`ghba_core::MaskCacheMode`] through the shared
+/// [`MaskCacheLifecycle`] state machine: persistent entries are
+/// validated lazily against the cluster's [`MembershipEpoch`] (bumped
+/// by every join/leave), per-batch entries live between
+/// `batch_begin`/`batch_end`, and `Off` rebuilds per walk.
+#[derive(Debug, Clone, Default)]
+struct HbaMaskCache {
+    life: MaskCacheLifecycle,
+    /// entry → its all-except-self candidate mask.
+    l2: Vec<(MdsId, SlotMask)>,
+}
+
+impl HbaMaskCache {
+    fn clear(&mut self) {
+        self.l2.clear();
+    }
+}
 
 /// A simulated HBA metadata cluster (complete replica mirror per server).
 ///
@@ -49,6 +71,9 @@ pub struct HbaCluster {
     rng: DetRng,
     stats: ClusterStats,
     next_mds: u16,
+    epoch: MembershipEpoch,
+    mask_cache: HbaMaskCache,
+    shim_entry: EntryPolicy,
 }
 
 impl HbaCluster {
@@ -69,6 +94,9 @@ impl HbaCluster {
             rng,
             stats: ClusterStats::default(),
             next_mds: 0,
+            epoch: MembershipEpoch::default(),
+            mask_cache: HbaMaskCache::default(),
+            shim_entry: EntryPolicy::Random,
         };
         for _ in 0..servers {
             cluster.add_mds();
@@ -99,6 +127,19 @@ impl HbaCluster {
     #[must_use]
     pub fn stats(&self) -> &ClusterStats {
         &self.stats
+    }
+
+    /// The current membership epoch (bumped by every join/leave).
+    #[must_use]
+    pub fn membership_epoch(&self) -> MembershipEpoch {
+        self.epoch
+    }
+
+    /// `(hits, misses)` of the L2 mask cache over the cluster's lifetime
+    /// (same accounting as `GhbaCluster::mask_cache_stats`).
+    #[must_use]
+    pub fn mask_cache_stats(&self) -> (u64, u64) {
+        self.mask_cache.life.stats()
     }
 
     /// Clears statistics.
@@ -170,6 +211,7 @@ impl HbaCluster {
             ..ReconfigReport::default()
         };
         self.refresh_replica_charges();
+        self.epoch.bump();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
         (id, report)
@@ -214,6 +256,7 @@ impl HbaCluster {
             }
         }
         self.refresh_replica_charges();
+        self.epoch.bump();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
         report
@@ -397,6 +440,15 @@ impl HbaCluster {
         }
         let mut live_rows: Vec<u32> = Vec::new();
         batch.derive_rows_into(live_shape, &mut live_rows);
+        // Validate-or-drop the per-entry mask cache (same lifecycle
+        // state machine as G-HBA's MaskCache; see `HbaMaskCache`).
+        if self
+            .mask_cache
+            .life
+            .begin_walk(self.config.mask_cache, self.epoch)
+        {
+            self.mask_cache.clear();
+        }
         let mut active: Vec<usize> = Vec::with_capacity(total);
 
         // L1: each entry server's LRU array.
@@ -437,11 +489,27 @@ impl HbaCluster {
         batch.clear();
         for &qi in &active {
             let (entry, _, _) = queries[qi];
+            if self.mask_cache.l2.iter().any(|(id, _)| *id == entry) {
+                self.mask_cache.life.hit();
+            } else {
+                self.mask_cache.life.miss();
+                let mask = self.published_array.mask_all_except(entry);
+                self.mask_cache.l2.push((entry, mask));
+            }
+        }
+        for &qi in &active {
+            let (entry, _, _) = queries[qi];
+            let (_, mask) = self
+                .mask_cache
+                .l2
+                .iter()
+                .find(|(id, _)| *id == entry)
+                .expect("cached just above");
             let held = self.mdss.len() - 1;
             let entry_mds = &self.mdss[&entry];
             let resident = entry_mds.resident_replicas(held);
             latency[qi] += model.array_probe(held + 1, held - resident);
-            batch.push_masked(fps[qi], self.published_array.mask_all_except(entry));
+            batch.push_masked(fps[qi], mask.clone());
         }
         let hits = self.published_array.query_batch(&mut batch);
         let mut next_active = Vec::with_capacity(active.len());
@@ -585,6 +653,18 @@ impl VectoredScheme for HbaCluster {
         self.config().lru_capacity > 0
     }
 
+    fn batch_begin(&mut self) {
+        if self.mask_cache.life.arm(self.config.mask_cache) {
+            self.mask_cache.clear();
+        }
+    }
+
+    fn batch_end(&mut self) {
+        if self.mask_cache.life.disarm(self.config.mask_cache) {
+            self.mask_cache.clear();
+        }
+    }
+
     fn lookup_fused(&mut self, queries: &[(MdsId, &PathKey)]) -> Vec<QueryOutcome> {
         let prehashed: Vec<(MdsId, &str, Fingerprint)> = queries
             .iter()
@@ -625,6 +705,14 @@ impl ghba_core::MetadataService for HbaCluster {
             .map(|id| self.filter_memory_bytes(id))
             .sum::<usize>()
             / n
+    }
+
+    fn set_shim_policy(&mut self, policy: EntryPolicy) {
+        self.shim_entry = policy;
+    }
+
+    fn next_shim_policy(&mut self, ops: usize) -> EntryPolicy {
+        self.shim_entry.advance(ops)
     }
 }
 

@@ -1,0 +1,122 @@
+//! The PR-4 headline benchmark: the epoch-validated **persistent** mask
+//! cache vs the per-batch cache it replaced, on a shim-heavy workload.
+//!
+//! The workload is the worst case the persistent cache was built for:
+//! every lookup arrives through the 1-op **string-call shim** (a fresh
+//! `OpBatch` per call), so a per-batch cache is armed, filled, and
+//! dropped once *per lookup* — every call rebuilds its entry's L2
+//! candidate mask and (on L3 escalation, the common case at this
+//! geometry) the whole group-mirror snapshot: member list with held
+//! counts, the `N − M` origin scan, and the origin mask. Under
+//! `MaskCacheMode::Persistent` those masks are built once per
+//! `(entry, group)` per membership epoch and survive across calls, since
+//! only reconfiguration can invalidate them.
+//!
+//! Both sides resolve the same lookup stream over identically populated
+//! clusters, so `shim_lookups_per_batch / shim_lookups_persistent` *is*
+//! the per-lookup speedup — the ISSUE-4 acceptance bar is ≥ 1.3×. The
+//! persistent side's cross-batch hit rate is printed after the run
+//! (from `GhbaCluster::mask_cache_stats`) and recorded in the committed
+//! `BENCH_PR4.json` snapshot.
+//!
+//! `GHBA_MASK_FILES` / `GHBA_MASK_LOOKUPS` shrink the namespace and the
+//! per-iteration lookup count for CI smoke runs (shrunken numbers are
+//! noise).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghba::core::{GhbaCluster, GhbaConfig, MaskCacheMode, MetadataService};
+use ghba::simnet::DetRng;
+use std::hint::black_box;
+
+/// Files pre-populated across the cluster (override: `GHBA_MASK_FILES`).
+const DEFAULT_FILES: u64 = 16_000;
+/// Shim lookups per iteration (override: `GHBA_MASK_LOOKUPS`).
+const DEFAULT_LOOKUPS: u64 = 256;
+/// Servers in the simulated cluster (16 groups of 8; slab stride 2).
+const SERVERS: usize = 128;
+
+fn env_size(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn path_of(i: u64) -> String {
+    format!("/bench/d{}/f{i}", i % 127)
+}
+
+fn build_cluster(files: u64, mode: MaskCacheMode) -> GhbaCluster {
+    // No L1 level: every shim call reaches the L2/L3 mask machinery —
+    // the state under test (same slab-heavy geometry as `op_batch`).
+    let config = GhbaConfig::default()
+        .with_filter_capacity(20_000)
+        .with_bits_per_file(16.0)
+        .with_lru_capacity(0)
+        .with_max_group_size(8)
+        .with_update_threshold(4_096)
+        .with_mask_cache(mode)
+        .with_seed(0x0b);
+    let mut cluster = GhbaCluster::with_servers(config, SERVERS);
+    ghba::replay::populate(&mut cluster, (0..files).map(path_of));
+    cluster.flush_all_updates();
+    cluster.reset_stats();
+    cluster
+}
+
+/// Drives `lookups` string-shim calls (1-op batches) against `cluster`,
+/// cycling deterministically through the populated namespace.
+fn shim_lookups(cluster: &mut GhbaCluster, paths: &[String], cursor: &mut usize) -> u64 {
+    let mut found = 0u64;
+    for _ in 0..paths.len() {
+        let path = &paths[*cursor % paths.len()];
+        *cursor += 1;
+        // The trait shim, not the inherent walk: each call admits a fresh
+        // 1-op `OpBatch` — the amortization boundary under test.
+        found += u64::from(MetadataService::lookup(cluster, path).found());
+    }
+    found
+}
+
+fn bench_mask_epoch(c: &mut Criterion) {
+    let files = env_size("GHBA_MASK_FILES", DEFAULT_FILES);
+    let lookups = env_size("GHBA_MASK_LOOKUPS", DEFAULT_LOOKUPS);
+    let mut rng = DetRng::new(0x4E);
+    let paths: Vec<String> = (0..lookups).map(|_| path_of(rng.below(files))).collect();
+
+    let mut persistent = build_cluster(files, MaskCacheMode::Persistent);
+    let mut per_batch = build_cluster(files, MaskCacheMode::PerBatch);
+
+    // Sanity: identical outcomes on both sides.
+    {
+        let (mut a, mut b) = (persistent.clone(), per_batch.clone());
+        let (mut ca, mut cb) = (0usize, 0usize);
+        let fa = shim_lookups(&mut a, &paths, &mut ca);
+        let fb = shim_lookups(&mut b, &paths, &mut cb);
+        assert_eq!(fa, fb, "cache modes must agree on outcomes");
+        assert!(fa > 0, "stream resolves");
+    }
+
+    let mut group = c.benchmark_group("mask_epoch");
+    let mut cursor = 0usize;
+    group.bench_function("shim_lookups_persistent", |b| {
+        b.iter(|| black_box(shim_lookups(&mut persistent, &paths, &mut cursor)));
+    });
+    let mut cursor = 0usize;
+    group.bench_function("shim_lookups_per_batch", |b| {
+        b.iter(|| black_box(shim_lookups(&mut per_batch, &paths, &mut cursor)));
+    });
+    group.finish();
+
+    let (hits, misses) = persistent.mask_cache_stats();
+    let (pb_hits, pb_misses) = per_batch.mask_cache_stats();
+    eprintln!(
+        "mask_epoch: persistent cache {hits} hits / {misses} misses \
+         (hit rate {:.4}); per-batch {pb_hits} hits / {pb_misses} misses",
+        hits as f64 / (hits + misses).max(1) as f64
+    );
+}
+
+criterion_group!(benches, bench_mask_epoch);
+criterion_main!(benches);

@@ -128,11 +128,15 @@ impl SlotMask {
 ///
 /// Flash-crowd (Zipf-head) bursts queue the *same* fingerprint many times
 /// in one batch. [`SharedShapeArray::query_batch`] dedups before the slab
-/// pass: queries with an identical fingerprint **and** identical candidate
-/// mask are resolved once and the [`Hit`] fanned out to every duplicate,
-/// so a hot path's repeats cost one `k × stride` walk instead of one each.
-/// An all-distinct batch takes a cheap sorted-scan fast path (no mask
-/// comparisons, scratch-backed, no per-call allocation).
+/// pass: the `k × stride` row-AND runs **once per unique fingerprint**,
+/// whatever candidate masks the duplicates carry. Equal-mask duplicates
+/// share the representative's [`Hit`] outright; duplicates under
+/// *different* masks (the same hot path entering through different
+/// servers) share one unmasked reduction, with each duplicate's mask
+/// applied to the surviving words at classification — a `stride`-word
+/// AND instead of a full row walk. An all-distinct batch takes a cheap
+/// sorted-scan fast path (no mask comparisons, scratch-backed, no
+/// per-call allocation).
 #[derive(Debug, Clone, Default)]
 pub struct ProbeBatch {
     fps: Vec<Fingerprint>,
@@ -157,12 +161,22 @@ struct BatchScratch {
     verdicts: Vec<u64>,
     /// Query indices sorted by fingerprint lanes (dedup detection).
     order: Vec<u32>,
-    /// `rep[i]` = earliest query identical to `i` (fingerprint + mask).
+    /// `rep[i]` = earliest query with `i`'s fingerprint.
     rep: Vec<u32>,
     /// Representative queries in push order (the set the pass runs on).
     sel: Vec<u32>,
     /// Original index → position in `sel` (valid for representatives).
     pos: Vec<u32>,
+    /// `mixed[r]` (valid for representatives): `r`'s duplicates carry
+    /// *differing* candidate masks, so the row-AND ran unmasked (live
+    /// slots) and each duplicate's mask applies at classification.
+    mixed: Vec<bool>,
+    /// Per-duplicate classification scratch (`survivors ∧ mask`).
+    fanout: Vec<u64>,
+    /// Mixed-group classification memo: `(representative, query)` pairs
+    /// naming the first query classified under each distinct mask, so
+    /// later duplicates repeating that mask reuse its verdict.
+    classified: Vec<(u32, u32)>,
 }
 
 impl ProbeBatch {
@@ -1217,15 +1231,28 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
             rep,
             sel,
             pos,
+            mixed,
+            fanout,
+            classified,
         } = scratch;
         // ---- Within-batch duplicate dedup (flash crowds). ----
-        // Queries with the same fingerprint AND the same candidate mask
-        // reduce to the same surviving-slot set, so the pass runs once per
-        // representative and the result fans out. Detection is a sorted
-        // scan over the fingerprint lanes: an all-distinct batch (the
-        // common case) pays one small sort and no mask comparisons.
+        // Queries with the same fingerprint reduce the same `k` rows, so
+        // the row-AND runs once per **unique fingerprint** and the result
+        // fans out — even when the duplicates carry *different* candidate
+        // masks (the same hot path entering through different servers).
+        // Equal-mask duplicates share the representative's verdict
+        // outright; a group with differing masks runs the representative
+        // unmasked (live slots) and applies each duplicate's mask to the
+        // surviving words at classification, which is bit-identical
+        // because the AND-reduction is monotone:
+        // `(mask ∧ live) ∧ rows == mask ∧ (live ∧ rows)`.
+        // Detection is a sorted scan over the fingerprint lanes: an
+        // all-distinct batch (the common case) pays one small sort and no
+        // mask comparisons.
         rep.clear();
         rep.extend(0..b as u32);
+        mixed.clear();
+        mixed.resize(b, false);
         let mut dups = 0usize;
         if b > 1 {
             order.clear();
@@ -1238,22 +1265,17 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
                 while end < b && fps[order[end] as usize].lanes() == lanes {
                     end += 1;
                 }
-                // Within a lane-collision group (tiny in practice), match
-                // masks pairwise; the earliest query with a given mask
-                // becomes the representative of every later duplicate.
-                for x in start..end {
-                    let i = order[x] as usize;
-                    if rep[i] != i as u32 {
-                        continue;
-                    }
-                    for &oj in &order[x + 1..end] {
-                        let j = oj as usize;
-                        if rep[j] == j as u32 && query_masks[i] == query_masks[j] {
-                            rep[j] = i as u32;
-                            dups += 1;
-                        }
-                    }
+                // The earliest query of the group (order is sorted by
+                // (lanes, i)) represents every later duplicate.
+                let r = order[start] as usize;
+                let mut group_mixed = false;
+                for &oj in &order[start + 1..end] {
+                    let j = oj as usize;
+                    group_mixed |= query_masks[r] != query_masks[j];
+                    rep[j] = r as u32;
+                    dups += 1;
                 }
+                mixed[r] = group_mixed;
                 start = end;
             }
         }
@@ -1276,7 +1298,10 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
         let masks = &mut mask_words[..uniq * stride];
         for (chunk, &i) in masks.chunks_exact_mut(stride).zip(sel.iter()) {
             match &query_masks[i as usize] {
-                Some(mask) => {
+                // A mixed-group representative probes every live slot;
+                // its own mask (with its duplicates') applies at
+                // classification below.
+                Some(mask) if !mixed[i as usize] => {
                     assert_eq!(
                         mask.words.len(),
                         stride,
@@ -1286,7 +1311,7 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
                         *dst = cand & live;
                     }
                 }
-                None => chunk.copy_from_slice(&self.live),
+                _ => chunk.copy_from_slice(&self.live),
             }
         }
         // Each representative's probe cursor: the `(h1, h2)` double-
@@ -1348,10 +1373,52 @@ impl<I: Copy + Eq + Hash> SharedShapeArray<I> {
         if dups == 0 {
             return hits;
         }
-        // Fan each representative's verdict out to its duplicates.
-        (0..b)
-            .map(|i| hits[pos[rep[i] as usize] as usize].clone())
-            .collect()
+        // Fan each representative's verdict out to its duplicates. For a
+        // mixed-mask group the stored surviving words are the *unmasked*
+        // reduction, so each duplicate's candidate mask ANDs in here —
+        // one `stride`-word pass per **distinct** mask instead of a full
+        // `k × stride` row walk each: duplicates repeating a mask the
+        // group already classified (the flash-crowd shape: many repeats
+        // under few masks) reuse the memoized verdict, preserving the
+        // old per-`(fingerprint, mask)` amortization.
+        let masks: &[u64] = masks;
+        classified.clear();
+        let mut out: Vec<Hit<I>> = Vec::with_capacity(b);
+        for i in 0..b {
+            let r = rep[i] as usize;
+            let p = pos[r] as usize;
+            let hit = if !mixed[r] {
+                hits[p].clone()
+            } else {
+                match &query_masks[i] {
+                    None => hits[p].clone(),
+                    Some(mask) => {
+                        assert_eq!(
+                            mask.words.len(),
+                            stride,
+                            "SlotMask predates a capacity growth; rebuild it"
+                        );
+                        let memo = classified.iter().find(|&&(cr, ci)| {
+                            cr == rep[i] && query_masks[ci as usize] == query_masks[i]
+                        });
+                        match memo {
+                            // `ci < i`, so its verdict is already in `out`.
+                            Some(&(_, ci)) => out[ci as usize].clone(),
+                            None => {
+                                let survivors = &masks[p * stride..(p + 1) * stride];
+                                fanout.clear();
+                                fanout
+                                    .extend(survivors.iter().zip(&mask.words).map(|(s, m)| s & m));
+                                classified.push((rep[i], i as u32));
+                                self.classify(fanout)
+                            }
+                        }
+                    }
+                }
+            };
+            out.push(hit);
+        }
+        out
     }
 
     fn reduce(&self, fp: &Fingerprint, candidates: &[u64]) -> Hit<I> {
@@ -1581,8 +1648,9 @@ mod tests {
         let hot = Fingerprint::of("hot");
         let cold = Fingerprint::of("cold");
         let mut batch = ProbeBatch::new();
-        // Duplicates with equal masks (deduped), one with a differing
-        // mask (kept separate), plus distinct fingerprints.
+        // Duplicates with equal masks (share the verdict), differing
+        // masks (share one row-AND, masks applied at classification),
+        // plus distinct fingerprints.
         batch.push(hot);
         batch.push(cold);
         batch.push(hot);

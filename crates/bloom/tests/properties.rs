@@ -373,8 +373,9 @@ proptest! {
         }
         // Mostly the hot item (unmasked and under repeated masks), with a
         // sprinkle of distinct items: exercises lane-equal groups with
-        // equal masks (deduped), differing masks (not deduped), and the
-        // all-distinct fast path in the same suite.
+        // equal masks (fanned out), differing masks (one shared row-AND,
+        // masks applied at classification), and the all-distinct fast
+        // path in the same suite.
         let mut batch = ghba_bloom::ProbeBatch::new();
         let mut expected = Vec::new();
         for &(kind, id) in &pattern {
@@ -386,6 +387,50 @@ proptest! {
             };
             let fp = Fingerprint::of(item);
             if subset.is_empty() {
+                expected.push(sliced.query_fp(&fp));
+                batch.push(fp);
+            } else {
+                expected.push(sliced.query_fp_among(&fp, subset.iter().copied()));
+                batch.push_masked(fp, sliced.subset_mask(subset.iter().copied()));
+            }
+        }
+        prop_assert_eq!(sliced.query_batch(&mut batch), expected);
+    }
+
+    /// Cross-mask dedup at wide stride (the in-kernel-verdict path):
+    /// one hot fingerprint queued under many *different* candidate masks
+    /// — the shape a flash crowd entering through different servers
+    /// produces — answers bit-identically to sequential masked queries.
+    #[test]
+    fn probe_batch_cross_mask_dedup_matches_sequential(
+        inserts in proptest::collection::vec(("[a-z]{1,10}", 0u16..130), 0..200),
+        hot in "[a-z]{1,10}",
+        hot_homes in proptest::collection::vec(0u16..130, 0..4),
+        subsets in proptest::collection::vec(proptest::collection::vec(0u16..140, 0..12), 2..24),
+        seed in any::<u64>(),
+    ) {
+        // 130 slots ⇒ stride 3: the wide-stride kernel with in-kernel
+        // classification runs, and mixed-mask groups must bypass its
+        // (unmasked) verdict for their masked members.
+        let shape = ghba_bloom::FilterShape { bits: 4096, hashes: 5, seed };
+        let mut sliced = SharedShapeArray::new(shape);
+        for id in 0..130u16 {
+            sliced.push(id).unwrap();
+        }
+        for (item, home) in &inserts {
+            sliced.insert(*home, item).unwrap();
+        }
+        for home in &hot_homes {
+            sliced.insert(*home, &hot).unwrap();
+        }
+        let fp = Fingerprint::of(&hot);
+        let mut batch = ghba_bloom::ProbeBatch::new();
+        let mut expected = Vec::new();
+        for (i, subset) in subsets.iter().enumerate() {
+            // Interleave unmasked duplicates so groups mix None with
+            // Some masks too (subsets may name never-pushed ids ≥ 130,
+            // which masks ignore).
+            if i % 3 == 2 {
                 expected.push(sliced.query_fp(&fp));
                 batch.push(fp);
             } else {

@@ -41,13 +41,30 @@ pub enum Message {
     Create {
         /// Pathname to create.
         path: String,
+        /// This node's write-sequencing token (see [`Message::Remove`]).
+        seq: u64,
         /// Acknowledgement channel.
         reply: Sender<MdsId>,
     },
     /// Client request: remove `path` if homed here.
+    ///
+    /// Carries a **per-node sequencing token**: the runtime stamps every
+    /// write it dispatches to a node with that node's next token, and
+    /// the node checks tokens arrive strictly increasing. The channel
+    /// fabric already delivers one sender's messages in order, so the
+    /// token adds no synchronization — it makes the ordering discipline
+    /// the pipelined write path relies on *explicit and checkable*,
+    /// which is what lets mixed batches stream through
+    /// `PrototypeCluster::execute` without the old cluster-wide
+    /// synchronous barriers: a write is ordered before every later op
+    /// dispatched to the same node by its token, and cross-node
+    /// visibility is awaited only by ops that actually touch the
+    /// written path.
     Remove {
         /// Pathname to remove.
         path: String,
+        /// This node's write-sequencing token.
+        seq: u64,
         /// `true` when the file was here and is now gone.
         reply: Sender<bool>,
     },

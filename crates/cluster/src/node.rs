@@ -63,6 +63,15 @@ pub struct Node {
     inbox: Receiver<Message>,
     pending: HashMap<QueryId, Pending>,
     next_qid: QueryId,
+    /// Last write-sequencing token observed (tokens start at 1). The
+    /// runtime stamps every write it dispatches to this node with a
+    /// strictly increasing token; the mailbox's FIFO delivery is what
+    /// *enforces* the order, this counter is what *checks* it — the
+    /// invariant the pipelined (barrier-free) write path rests on.
+    last_write_seq: u64,
+    /// Writes whose token arrived out of order (stays 0; a violation is
+    /// reported on stderr — once per node — and trips a debug assert).
+    write_reorders: u64,
 }
 
 impl std::fmt::Debug for Node {
@@ -110,7 +119,33 @@ impl Node {
             inbox,
             pending: HashMap::new(),
             next_qid: 0,
+            last_write_seq: 0,
+            write_reorders: 0,
         }
+    }
+
+    /// Records a write's sequencing token, checking it arrived in
+    /// dispatch order (strictly increasing per node). A violation —
+    /// which would mean the FIFO-delivery invariant the barrier-free
+    /// write path rests on broke — is reported on stderr (once per
+    /// node, so release builds surface it too) and trips a debug
+    /// assert.
+    fn observe_write_seq(&mut self, seq: u64) {
+        if seq <= self.last_write_seq {
+            self.write_reorders += 1;
+            if self.write_reorders == 1 {
+                eprintln!(
+                    "{}: write token {seq} arrived after {} — per-node write ordering violated",
+                    self.id, self.last_write_seq
+                );
+            }
+            debug_assert!(
+                false,
+                "write token {seq} arrived after {} at {}",
+                self.last_write_seq, self.id
+            );
+        }
+        self.last_write_seq = seq;
     }
 
     /// Runs the node until `Shutdown` arrives or every sender is gone.
@@ -256,12 +291,14 @@ impl Node {
         match message {
             Message::Shutdown => return false,
             Message::Lookup { path, fp, reply } => self.start_lookup(path, fp, reply),
-            Message::Create { path, reply } => {
+            Message::Create { path, seq, reply } => {
+                self.observe_write_seq(seq);
                 self.mds.create_local(&path);
                 self.maybe_publish();
                 let _ = reply.send(self.id);
             }
-            Message::Remove { path, reply } => {
+            Message::Remove { path, seq, reply } => {
+                self.observe_write_seq(seq);
                 let removed = self.mds.remove_local(&path);
                 if removed {
                     self.maybe_publish();

@@ -47,6 +47,22 @@ pub enum BatchOutcome {
     },
 }
 
+/// One pipelined remove/rename in flight during a batch dispatch: its
+/// per-node remove fan-out is on the wire, its acknowledgements drain
+/// lazily — at the batch's end, or earlier if a later op touches one of
+/// its paths (the hazard stall).
+struct InFlightWrite {
+    /// The removed (or rename-source) path — the hazard key.
+    from: String,
+    /// Outstanding per-node remove acknowledgements.
+    acks: Vec<Receiver<bool>>,
+    /// Rename destination and its op index (`None` for plain removes);
+    /// the destination is also a hazard key.
+    rename: Option<(String, usize)>,
+    /// The final outcome, once resolved.
+    outcome: Option<BatchOutcome>,
+}
+
 /// A running prototype cluster: one OS thread per MDS, std mpsc channels
 /// as the LAN.
 ///
@@ -77,6 +93,11 @@ pub struct PrototypeCluster {
     handles: HashMap<MdsId, JoinHandle<()>>,
     next_id: u16,
     rng: DetRng,
+    /// Per-node write-sequencing tokens (see [`Message::Remove`]): every
+    /// write dispatched to a node carries that node's next token, so the
+    /// node can check writes arrive in dispatch order without any
+    /// cluster-wide barrier.
+    write_seq: HashMap<MdsId, u64>,
 }
 
 impl PrototypeCluster {
@@ -98,6 +119,7 @@ impl PrototypeCluster {
             registry: Arc::new(RwLock::new(HashMap::new())),
             handles: HashMap::new(),
             next_id: 0,
+            write_seq: HashMap::new(),
         };
         for _ in 0..servers {
             cluster.add_node();
@@ -226,6 +248,7 @@ impl PrototypeCluster {
         }
         let plan = self.map.write().expect("map lock").remove_member(id);
         self.registry.write().expect("registry lock").remove(&id);
+        self.write_seq.remove(&id);
         self.execute_plan(&plan);
         // §4.5 fail-over: every surviving node drops the failed server's
         // filters (including stale LRU entries naming it as a home).
@@ -246,6 +269,13 @@ impl PrototypeCluster {
         self.create_at(path, target)
     }
 
+    /// The next write-sequencing token for `node`.
+    fn next_write_seq(&mut self, node: MdsId) -> u64 {
+        let seq = self.write_seq.entry(node).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
     /// Creates `path` at a specific node.
     ///
     /// # Panics
@@ -253,10 +283,12 @@ impl PrototypeCluster {
     /// Panics if the node does not answer within the client timeout.
     pub fn create_at(&mut self, path: &str, target: MdsId) -> MdsId {
         let (tx, rx) = channel();
+        let seq = self.next_write_seq(target);
         self.net.send(
             target,
             Message::Create {
                 path: path.to_owned(),
+                seq,
                 reply: tx,
             },
         );
@@ -309,16 +341,28 @@ impl PrototypeCluster {
 
     /// Executes a typed op batch against the prototype.
     ///
-    /// Lookups and creates are **dispatched up front** to their
-    /// policy-chosen nodes — concurrent ops of one batch queue in node
-    /// mailboxes, where the op-mailbox drain resolves queued lookups in
-    /// one batched replica-slab pass per node — and the replies are
-    /// collected afterwards, in op order. Removes and renames are
-    /// barriers: a remove sweeps the cluster synchronously, and a rename
-    /// removes at the old home before creating the new path at its
-    /// policy-chosen node (reporting whether the source existed and the
-    /// new home). Ops of one batch model concurrent client requests:
-    /// cross-node ordering between them is not defined.
+    /// Every op kind is **dispatched without a cluster-wide stall** and
+    /// the replies are collected afterwards, in op order. Lookups and
+    /// creates go straight to their policy-chosen nodes — concurrent ops
+    /// of one batch queue in node mailboxes, where the op-mailbox drain
+    /// resolves queued lookups in one batched replica-slab pass per
+    /// node. Removes and renames, formerly synchronous cluster sweeps
+    /// that barriered the whole batch, now **stream** too: the remove
+    /// fans out to every node carrying each node's write-sequencing
+    /// token (per-node mailbox order makes the write visible to every
+    /// later op dispatched to that node; the token checks it), and its
+    /// acknowledgements are drained lazily. A rename's create at the
+    /// policy-chosen new home is deferred until its remove
+    /// acknowledgements confirm the source existed.
+    ///
+    /// The only ops that wait mid-dispatch are those that *touch a
+    /// pending write's path*: a lookup/create/remove naming a path with
+    /// an unresolved remove or rename in flight resolves that write
+    /// first, so within-batch read-your-writes on the same path behaves
+    /// exactly as the old barrier did, while ops on unrelated paths
+    /// stream straight through. Beyond that, ops of one batch model
+    /// concurrent client requests: cross-node ordering between them is
+    /// not defined.
     ///
     /// # Panics
     ///
@@ -327,13 +371,16 @@ impl PrototypeCluster {
         enum Pending {
             Lookup(Receiver<LookupReply>),
             Created(Receiver<MdsId>),
-            Ready(BatchOutcome),
+            /// Index into the in-flight write list.
+            Write(usize),
         }
         let policy = batch.entry_policy();
         let mut pending: Vec<Pending> = Vec::with_capacity(batch.len());
+        let mut writes: Vec<InFlightWrite> = Vec::new();
         for (i, op) in batch.ops().iter().enumerate() {
             match op {
                 MetadataOp::Lookup(key) => {
+                    self.resolve_writes_touching(&mut writes, policy, &[key.path()]);
                     let target = self.policy_node(policy, i);
                     let (tx, rx) = channel();
                     self.net.send(
@@ -347,30 +394,47 @@ impl PrototypeCluster {
                     pending.push(Pending::Lookup(rx));
                 }
                 MetadataOp::Create(key) => {
+                    self.resolve_writes_touching(&mut writes, policy, &[key.path()]);
                     let target = self.policy_node(policy, i);
                     let (tx, rx) = channel();
+                    let seq = self.next_write_seq(target);
                     self.net.send(
                         target,
                         Message::Create {
                             path: key.path().to_owned(),
+                            seq,
                             reply: tx,
                         },
                     );
                     pending.push(Pending::Created(rx));
                 }
                 MetadataOp::Remove(key) => {
-                    let removed = self.remove(key.path());
-                    pending.push(Pending::Ready(BatchOutcome::Removed { removed }));
+                    self.resolve_writes_touching(&mut writes, policy, &[key.path()]);
+                    let acks = self.fan_out_remove(key.path());
+                    writes.push(InFlightWrite {
+                        from: key.path().to_owned(),
+                        acks,
+                        rename: None,
+                        outcome: None,
+                    });
+                    pending.push(Pending::Write(writes.len() - 1));
                 }
                 MetadataOp::Rename { from, to } => {
-                    let removed = self.remove(from.path());
-                    let new_home = removed.then(|| {
-                        let target = self.policy_node(policy, i);
-                        self.create_at(to.path(), target)
+                    self.resolve_writes_touching(&mut writes, policy, &[from.path(), to.path()]);
+                    let acks = self.fan_out_remove(from.path());
+                    writes.push(InFlightWrite {
+                        from: from.path().to_owned(),
+                        acks,
+                        rename: Some((to.path().to_owned(), i)),
+                        outcome: None,
                     });
-                    pending.push(Pending::Ready(BatchOutcome::Renamed { removed, new_home }));
+                    pending.push(Pending::Write(writes.len() - 1));
                 }
             }
+        }
+        // Drain the stragglers in op order, then assemble the outcomes.
+        for write in &mut writes {
+            self.resolve_write(write, policy);
         }
         pending
             .into_iter()
@@ -383,27 +447,98 @@ impl PrototypeCluster {
                         .recv_timeout(CLIENT_TIMEOUT)
                         .expect("create acknowledged"),
                 },
-                Pending::Ready(outcome) => outcome,
+                Pending::Write(idx) => writes[idx]
+                    .outcome
+                    .clone()
+                    .expect("writes resolved just above"),
             })
             .collect()
     }
 
-    /// Removes `path` wherever it lives (sweeps nodes authoritatively).
-    pub fn remove(&mut self, path: &str) -> bool {
-        for id in self.node_ids() {
+    /// Resolves, in dispatch order, every still-pending write up to and
+    /// including the last one whose paths intersect `paths` (the hazard
+    /// stall of the pipelined batch path: only path-conflicting ops
+    /// wait).
+    fn resolve_writes_touching(
+        &mut self,
+        writes: &mut [InFlightWrite],
+        policy: EntryPolicy,
+        paths: &[&str],
+    ) {
+        let last_conflict = writes.iter().rposition(|w| {
+            w.outcome.is_none()
+                && paths
+                    .iter()
+                    .any(|&p| w.from == p || matches!(&w.rename, Some((to, _)) if to == p))
+        });
+        let Some(last) = last_conflict else {
+            return;
+        };
+        for w in &mut writes[..=last] {
+            self.resolve_write(w, policy);
+        }
+    }
+
+    /// Drains an in-flight write's remove acknowledgements (OR-ing the
+    /// per-node verdicts) and, for a rename whose source existed,
+    /// performs the deferred create at the policy-chosen new home.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node does not answer within the client timeout.
+    fn resolve_write(&mut self, write: &mut InFlightWrite, policy: EntryPolicy) {
+        if write.outcome.is_some() {
+            return;
+        }
+        let mut removed = false;
+        for rx in write.acks.drain(..) {
+            removed |= rx.recv_timeout(CLIENT_TIMEOUT).expect("remove answered");
+        }
+        write.outcome = Some(match &write.rename {
+            None => BatchOutcome::Removed { removed },
+            Some((to, op_index)) => {
+                // Draw the new home only when the source existed, like
+                // the simulated pipeline's rename migration.
+                let new_home = removed.then(|| {
+                    let target = self.policy_node(policy, *op_index);
+                    self.create_at(to, target)
+                });
+                BatchOutcome::Renamed { removed, new_home }
+            }
+        });
+    }
+
+    /// Dispatches `Remove(path)` to every node (stamped with each node's
+    /// write-sequencing token), returning the acknowledgement channels.
+    /// The caller drains them to learn whether any node stored the path.
+    fn fan_out_remove(&mut self, path: &str) -> Vec<Receiver<bool>> {
+        let ids = self.node_ids();
+        let mut acks = Vec::with_capacity(ids.len());
+        for id in ids {
             let (tx, rx) = channel();
+            let seq = self.next_write_seq(id);
             self.net.send(
                 id,
                 Message::Remove {
                     path: path.to_owned(),
+                    seq,
                     reply: tx,
                 },
             );
-            if rx.recv_timeout(CLIENT_TIMEOUT).expect("remove answered") {
-                return true;
-            }
+            acks.push(rx);
         }
-        false
+        acks
+    }
+
+    /// Removes `path` wherever it lives: one parallel fan-out over the
+    /// nodes (each probes its authoritative store concurrently) instead
+    /// of the old one-node-at-a-time sequential sweep.
+    pub fn remove(&mut self, path: &str) -> bool {
+        let mut removed = false;
+        for rx in self.fan_out_remove(path) {
+            removed |= rx.recv_timeout(CLIENT_TIMEOUT).expect("remove answered");
+        }
+        removed
     }
 
     /// Barrier: every node publishes pending filter changes and fans the

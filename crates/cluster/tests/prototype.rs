@@ -169,6 +169,62 @@ fn growth_to_double_size_stays_consistent() {
     cluster.shutdown();
 }
 
+/// Mixed batches stream: removes and renames no longer barrier the
+/// dispatch loop, yet ops that touch a pending write's path still
+/// observe it (the hazard stall), and unrelated ops interleaved between
+/// writes resolve correctly.
+#[test]
+fn pipelined_writes_stream_through_mixed_batches() {
+    use ghba_cluster::BatchOutcome;
+    use ghba_core::OpBatch;
+
+    let mut cluster = ghba(8);
+    let mut setup = OpBatch::new();
+    for i in 0..24 {
+        setup.push_create(format!("/pipe/f{i}"));
+    }
+    cluster.execute(&setup);
+    cluster.flush_updates();
+
+    // Writes on some paths, lookups on *other* paths interleaved (these
+    // stream past the in-flight removes), plus same-path reads that must
+    // wait for their write.
+    let mut batch = OpBatch::new();
+    batch.push_remove("/pipe/f0"); // op 0
+    batch.push_lookup("/pipe/f10"); // op 1: unrelated, streams
+    batch.push_rename("/pipe/f1", "/pipe/moved"); // op 2
+    batch.push_lookup("/pipe/f11"); // op 3: unrelated, streams
+    batch.push_lookup("/pipe/f0"); // op 4: must see op 0's remove
+    batch.push_lookup("/pipe/moved"); // op 5: must see op 2's create
+    batch.push_remove("/pipe/ghost"); // op 6: remove of an absent path
+    let outcomes = cluster.execute(&batch);
+
+    assert_eq!(outcomes[0], BatchOutcome::Removed { removed: true });
+    let BatchOutcome::Lookup(reply) = &outcomes[1] else {
+        panic!("op 1 is a lookup");
+    };
+    assert!(reply.home.is_some(), "unrelated lookup resolves");
+    let BatchOutcome::Renamed { removed, new_home } = &outcomes[2] else {
+        panic!("op 2 is a rename");
+    };
+    assert!(removed);
+    assert!(new_home.is_some());
+    let BatchOutcome::Lookup(reply) = &outcomes[3] else {
+        panic!("op 3 is a lookup");
+    };
+    assert!(reply.home.is_some(), "unrelated lookup resolves");
+    let BatchOutcome::Lookup(reply) = &outcomes[4] else {
+        panic!("op 4 is a lookup");
+    };
+    assert_eq!(reply.home, None, "read-your-remove on the same path");
+    let BatchOutcome::Lookup(reply) = &outcomes[5] else {
+        panic!("op 5 is a lookup");
+    };
+    assert_eq!(reply.home, *new_home, "read-your-rename on the target");
+    assert_eq!(outcomes[6], BatchOutcome::Removed { removed: false });
+    cluster.shutdown();
+}
+
 #[test]
 fn vectored_batch_resolves_through_op_mailbox() {
     use ghba_cluster::BatchOutcome;

@@ -10,9 +10,9 @@ use std::collections::BTreeMap;
 use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
 use ghba_simnet::{Counters, DetRng, LatencyStats};
 
-use crate::config::GhbaConfig;
+use crate::config::{GhbaConfig, MaskCacheLifecycle};
 use crate::group::Group;
-use crate::ids::{GroupId, MdsId};
+use crate::ids::{GroupId, MdsId, MembershipEpoch};
 use crate::mds::{published_shape, Mds};
 use crate::op::{EntryPolicy, PathKey};
 use crate::query::{LevelCounts, QueryLevel, QueryOutcome};
@@ -46,15 +46,29 @@ pub struct ClusterStats {
 ///
 /// Slot masks and membership snapshots depend only on cluster layout
 /// (slot assignment, group placement) — state that **writes never
-/// touch**. Unarmed, the cache lives for one batched walk (one fused
-/// run); armed by [`GhbaCluster::batch_begin`] via the vectored op
-/// pipeline, it persists across every run of one `OpBatch`, because no
-/// reconfiguration can interleave with an executing batch. Anything
-/// budget- or filter-dependent (probe durations, live-filter verdicts)
-/// is deliberately *not* cached here and is recomputed per run.
+/// touch**; only reconfiguration invalidates them. How long entries
+/// live is governed by [`MaskCacheMode`](crate::MaskCacheMode):
+///
+/// * `Persistent` (default) — entries are tagged with the
+///   [`MembershipEpoch`] they were built under and validated lazily at
+///   the start of every walk: a reconfiguration bumps the cluster's
+///   epoch, and the first walk of the new epoch drops the stale entries.
+///   The cache therefore amortizes across batches *and* across the
+///   1-op string shims.
+/// * `PerBatch` — armed by [`GhbaCluster::batch_begin`] via the
+///   vectored op pipeline, dropped by `batch_end`; unarmed, the cache
+///   lives for one walk (the pre-epoch behaviour).
+/// * `Off` — cleared at the top of every walk (the cache-free reference
+///   the property tests compare against).
+///
+/// Anything budget- or filter-dependent (probe durations, live-filter
+/// verdicts) is deliberately *not* cached here and is recomputed per
+/// run.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct MaskCache {
-    armed: bool,
+    /// Armed flag, build epoch, hit/miss counters — the mode-validation
+    /// state machine shared with the HBA baseline's cache.
+    life: MaskCacheLifecycle,
     /// entry → (held replica count, L2 candidate mask).
     l2: Vec<(MdsId, usize, SlotMask)>,
     /// group → (each member's held count, group-mirror mask).
@@ -70,6 +84,16 @@ impl MaskCache {
         self.l2.clear();
         self.l3.clear();
     }
+}
+
+/// Reusable working memory for the batched walk (probe batch, row
+/// table). Contents are fully re-initialized per walk; keeping the
+/// allocations on the cluster means the 1-op string shims stop paying
+/// a fresh `ProbeBatch` + row-table allocation per call.
+#[derive(Debug, Clone, Default)]
+struct WalkScratch {
+    batch: ProbeBatch,
+    live_rows: Vec<u32>,
 }
 
 /// A simulated G-HBA metadata server cluster.
@@ -105,6 +129,12 @@ pub struct GhbaCluster {
     pub(crate) rng: DetRng,
     pub(crate) stats: ClusterStats,
     pub(crate) mask_cache: MaskCache,
+    pub(crate) epoch: MembershipEpoch,
+    /// Entry policy the 1-op string shims execute under (see
+    /// [`MetadataService::set_shim_policy`](crate::MetadataService::set_shim_policy));
+    /// round-robin state advances here, on the service, across calls.
+    pub(crate) shim_entry: EntryPolicy,
+    scratch: WalkScratch,
 }
 
 impl GhbaCluster {
@@ -124,21 +154,67 @@ impl GhbaCluster {
             rng,
             stats: ClusterStats::default(),
             mask_cache: MaskCache::default(),
+            epoch: MembershipEpoch::default(),
+            shim_entry: EntryPolicy::Random,
+            scratch: WalkScratch::default(),
         }
+    }
+
+    /// The current membership epoch. Advanced at least once by every
+    /// reconfiguration path (join, leave, fail-stop, split, merge,
+    /// rebalance — compound operations advance it per internal step, so
+    /// this is an invalidation fence, not an operation counter); derived
+    /// routing state cached under an older epoch is stale and must be
+    /// rebuilt.
+    #[must_use]
+    pub fn membership_epoch(&self) -> MembershipEpoch {
+        self.epoch
+    }
+
+    /// Advances the membership epoch (every reconfiguration path calls
+    /// this before returning). The persistent mask cache validates
+    /// lazily against it at the start of the next walk.
+    pub(crate) fn bump_epoch(&mut self) {
+        self.epoch.bump();
+    }
+
+    /// `(hits, misses)` of the L2/L3 mask cache over the cluster's
+    /// lifetime — a hit is a mask consultation answered from cache, a
+    /// miss one that had to build (and insert) the entry. Under
+    /// [`MaskCacheMode::Persistent`](crate::MaskCacheMode::Persistent)
+    /// hits span batches and string-shim
+    /// calls; under `PerBatch`/`Off` they only reflect within-batch or
+    /// within-walk reuse.
+    #[must_use]
+    pub fn mask_cache_stats(&self) -> (u64, u64) {
+        self.mask_cache.life.stats()
+    }
+
+    /// Whether the per-batch mask cache is currently armed (regression
+    /// surface for the exception-safety of the arm/disarm guard).
+    #[cfg(test)]
+    pub(crate) fn mask_cache_armed(&self) -> bool {
+        self.mask_cache.life.armed()
     }
 
     /// Arms the batch-lifetime mask cache (see [`MaskCache`]); paired
     /// with [`batch_end`](GhbaCluster::batch_end) by the vectored op
-    /// pipeline.
+    /// pipeline. A no-op outside
+    /// [`MaskCacheMode`](crate::MaskCacheMode)`::PerBatch`: the
+    /// persistent cache needs no arming (epoch validation governs it)
+    /// and `Off` never keeps state.
     pub(crate) fn batch_begin(&mut self) {
-        self.mask_cache.armed = true;
-        self.mask_cache.clear();
+        if self.mask_cache.life.arm(self.config.mask_cache) {
+            self.mask_cache.clear();
+        }
     }
 
-    /// Disarms and drops the batch-lifetime mask cache.
+    /// Disarms and drops the batch-lifetime mask cache (`PerBatch` mode
+    /// only; see [`batch_begin`](GhbaCluster::batch_begin)).
     pub(crate) fn batch_end(&mut self) {
-        self.mask_cache.armed = false;
-        self.mask_cache.clear();
+        if self.mask_cache.life.disarm(self.config.mask_cache) {
+            self.mask_cache.clear();
+        }
     }
 
     /// Creates a cluster of `servers` MDSs, grouped into groups of at most
@@ -426,16 +502,22 @@ impl GhbaCluster {
         // [`published_shape`], so one derivation serves them all.
         let live_shape = published_shape(&self.config);
         let k_live = live_shape.hashes as usize;
-        let mut batch = ProbeBatch::with_capacity(total);
+        let mut batch = core::mem::take(&mut self.scratch.batch);
+        let mut live_rows = core::mem::take(&mut self.scratch.live_rows);
+        batch.clear();
         for fp in &fps {
             batch.push(*fp);
         }
-        let mut live_rows: Vec<u32> = Vec::new();
         batch.derive_rows_into(live_shape, &mut live_rows);
-        // Unarmed (a direct call outside the op pipeline), the mask cache
-        // is scoped to this one walk; armed, entries accumulated by
-        // earlier runs of the same batch are reused.
-        if !self.mask_cache.armed {
+        // Validate-or-drop the mask cache per its configured lifetime:
+        // persistent entries survive until the membership epoch moves,
+        // per-batch entries until `batch_end` (or the walk's end when
+        // unarmed), and `Off` starts every walk cold.
+        if self
+            .mask_cache
+            .life
+            .begin_walk(self.config.mask_cache, self.epoch)
+        {
             self.mask_cache.clear();
         }
         let mut active: Vec<usize> = Vec::with_capacity(total);
@@ -481,7 +563,10 @@ impl GhbaCluster {
         batch.clear();
         for &qi in &active {
             let (entry, _, _) = queries[qi];
-            if !self.mask_cache.l2.iter().any(|(id, _, _)| *id == entry) {
+            if self.mask_cache.l2.iter().any(|(id, _, _)| *id == entry) {
+                self.mask_cache.life.hit();
+            } else {
+                self.mask_cache.life.miss();
                 let held = self.replicas_held_by(entry);
                 let mask = self.published_array.subset_mask(held.iter().copied());
                 self.mask_cache.l2.push((entry, held.len(), mask));
@@ -541,7 +626,10 @@ impl GhbaCluster {
         for &qi in &active {
             let (entry, _, _) = queries[qi];
             let gid = self.group_of(entry).expect("entry has a group");
-            if !self.mask_cache.l3.iter().any(|(id, _, _)| *id == gid) {
+            if self.mask_cache.l3.iter().any(|(id, _, _)| *id == gid) {
+                self.mask_cache.life.hit();
+            } else {
+                self.mask_cache.life.miss();
                 let member_held: Vec<(MdsId, usize)> = self.groups[&gid]
                     .members()
                     .iter()
@@ -682,6 +770,10 @@ impl GhbaCluster {
             });
         }
 
+        batch.clear();
+        live_rows.clear();
+        self.scratch.batch = batch;
+        self.scratch.live_rows = live_rows;
         outcomes
             .into_iter()
             .map(|outcome| outcome.expect("every query resolved by L4"))

@@ -2,6 +2,122 @@
 
 use ghba_simnet::LatencyModel;
 
+use crate::ids::MembershipEpoch;
+
+/// How long the L2/L3 candidate-mask cache of a lookup walk lives (see
+/// `MaskCache` in `cluster.rs`).
+///
+/// Masks and membership snapshots depend only on cluster layout, which
+/// **writes never touch** — only reconfiguration (join/leave/fail/split/
+/// merge/rebalance) changes them. The modes trade invalidation plumbing
+/// for amortization reach:
+///
+/// * [`Persistent`](MaskCacheMode::Persistent) — cache entries survive
+///   across batches *and* across the 1-op string shims, validated
+///   lazily against the cluster's membership epoch (every
+///   reconfiguration bumps it). The default.
+/// * [`PerBatch`](MaskCacheMode::PerBatch) — the pre-epoch behaviour:
+///   entries live for one `OpBatch` (armed by `batch_begin`, dropped by
+///   `batch_end`), or one walk outside the op pipeline.
+/// * [`Off`](MaskCacheMode::Off) — rebuild every mask per walk; the
+///   cache-free reference the property tests compare against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MaskCacheMode {
+    /// Epoch-validated, survives across batches and string shims.
+    #[default]
+    Persistent,
+    /// Scoped to one executing `OpBatch` (the pre-PR-4 behaviour).
+    PerBatch,
+    /// No caching; every walk rebuilds its masks (reference semantics).
+    Off,
+}
+
+/// The lifetime state machine shared by every scheme's derived-state
+/// cache (G-HBA's L2/L3 `MaskCache`, HBA's per-entry mask cache): armed
+/// flag for [`MaskCacheMode::PerBatch`], build epoch for
+/// [`MaskCacheMode::Persistent`], and hit/miss counters. Keeping the
+/// mode-validation logic in one place means the schemes' cache lifetime
+/// semantics cannot diverge.
+///
+/// Every method that can invalidate returns `true` when the holder must
+/// drop its cached entries; the counters survive drops.
+#[derive(Debug, Clone, Default)]
+pub struct MaskCacheLifecycle {
+    armed: bool,
+    epoch: MembershipEpoch,
+    hits: u64,
+    misses: u64,
+}
+
+impl MaskCacheLifecycle {
+    /// Called at the top of every walk: `true` if the cache contents
+    /// are stale under `mode` (older epoch, unarmed per-batch scope, or
+    /// caching off) and must be dropped before use.
+    #[must_use]
+    pub fn begin_walk(&mut self, mode: MaskCacheMode, epoch: MembershipEpoch) -> bool {
+        match mode {
+            MaskCacheMode::Persistent => {
+                if self.epoch == epoch {
+                    false
+                } else {
+                    self.epoch = epoch;
+                    true
+                }
+            }
+            MaskCacheMode::PerBatch => !self.armed,
+            MaskCacheMode::Off => true,
+        }
+    }
+
+    /// Arms the per-batch scope (a no-op outside
+    /// [`MaskCacheMode::PerBatch`]); `true` if the holder must start
+    /// the batch with dropped entries.
+    #[must_use]
+    pub fn arm(&mut self, mode: MaskCacheMode) -> bool {
+        if mode == MaskCacheMode::PerBatch {
+            self.armed = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Disarms the per-batch scope (a no-op outside
+    /// [`MaskCacheMode::PerBatch`]); `true` if the holder must drop its
+    /// entries now that the batch ended.
+    #[must_use]
+    pub fn disarm(&mut self, mode: MaskCacheMode) -> bool {
+        if mode == MaskCacheMode::PerBatch {
+            self.armed = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the per-batch scope is currently armed.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Records a consultation answered from cache.
+    pub fn hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records a consultation that had to build the entry.
+    pub fn miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Lifetime `(hits, misses)`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
 /// Tunable parameters of a [`GhbaCluster`](crate::GhbaCluster).
 ///
 /// Defaults follow the paper's recommended operating point; override
@@ -48,6 +164,8 @@ pub struct GhbaConfig {
     /// the queueing delay multicast fan-out induces under load (the
     /// "queuing" the paper folds into `U(laten.)`). Zero disables it.
     pub contention_per_message: f64,
+    /// Lifetime of the L2/L3 candidate-mask cache (see [`MaskCacheMode`]).
+    pub mask_cache: MaskCacheMode,
 }
 
 impl Default for GhbaConfig {
@@ -67,6 +185,7 @@ impl Default for GhbaConfig {
             latency: LatencyModel::default(),
             memory_per_mds: None,
             contention_per_message: 0.0,
+            mask_cache: MaskCacheMode::default(),
         }
     }
 }
@@ -162,6 +281,13 @@ impl GhbaConfig {
     pub fn with_contention(mut self, c: f64) -> Self {
         assert!(c.is_finite() && c >= 0.0, "contention must be non-negative");
         self.contention_per_message = c;
+        self
+    }
+
+    /// Returns `self` with a different mask-cache lifetime.
+    #[must_use]
+    pub fn with_mask_cache(mut self, mode: MaskCacheMode) -> Self {
+        self.mask_cache = mode;
         self
     }
 

@@ -38,6 +38,34 @@ impl From<u16> for GroupId {
     }
 }
 
+/// A cluster's membership-configuration version.
+///
+/// Every reconfiguration path — join, graceful leave, fail-stop, group
+/// split, group merge, replica rebalancing — advances the epoch **at
+/// least once** before returning (a compound operation like a join that
+/// splits a group advances it at each internal step, so the epoch is an
+/// invalidation fence, not a count of reconfiguration calls). Derived
+/// routing state (candidate slot masks, membership snapshots) is tagged
+/// with the epoch it was built under and validated lazily: a consumer
+/// holding state from an older epoch rebuilds instead of trusting it,
+/// the same discipline dynamic-subtree systems use for cached placement
+/// state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MembershipEpoch(pub u64);
+
+impl MembershipEpoch {
+    /// Advances to the next epoch (called by every reconfiguration path).
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl fmt::Display for MembershipEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,6 +74,16 @@ mod tests {
     fn display_forms() {
         assert_eq!(MdsId(7).to_string(), "mds7");
         assert_eq!(GroupId(2).to_string(), "group2");
+        assert_eq!(MembershipEpoch(4).to_string(), "epoch4");
+    }
+
+    #[test]
+    fn epoch_bumps_monotonically() {
+        let mut epoch = MembershipEpoch::default();
+        let before = epoch;
+        epoch.bump();
+        assert!(epoch > before);
+        assert_eq!(epoch, MembershipEpoch(1));
     }
 
     #[test]

@@ -59,9 +59,9 @@ mod service;
 mod update;
 
 pub use cluster::{ClusterStats, GhbaCluster};
-pub use config::GhbaConfig;
+pub use config::{GhbaConfig, MaskCacheLifecycle, MaskCacheMode};
 pub use group::{Group, IdFilterArray};
-pub use ids::{GroupId, MdsId};
+pub use ids::{GroupId, MdsId, MembershipEpoch};
 pub use mds::{published_shape, Mds, META_ENTRY_BYTES};
 pub use metadata::{FileAttrs, MetadataStore};
 pub use op::{

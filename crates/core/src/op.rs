@@ -119,9 +119,32 @@ impl EntryPolicy {
             }
             EntryPolicy::RoundRobin { start } => {
                 assert!(!ids.is_empty(), "no live servers");
-                Some(ids[(start + op_index) % ids.len()])
+                // Wrapping: the service-side cursor advances by
+                // `wrapping_add` (see [`EntryPolicy::advance`]), so a
+                // cursor near `usize::MAX` must reduce, not overflow.
+                Some(ids[start.wrapping_add(op_index) % ids.len()])
             }
         }
+    }
+
+    /// Returns the policy for a batch of `ops` ops and advances any
+    /// round-robin cursor past them **in place**.
+    ///
+    /// This is how round-robin state survives the string-call shims:
+    /// each shim builds a fresh 1-op [`OpBatch`], so the cursor must
+    /// live on the *service* (see
+    /// [`MetadataService::set_shim_policy`](crate::MetadataService::set_shim_policy))
+    /// and step forward here on every call — otherwise each shim batch
+    /// would re-enter at `start` and pin a single server. Stateless
+    /// policies return unchanged.
+    pub fn advance(&mut self, ops: usize) -> EntryPolicy {
+        let current = *self;
+        if let EntryPolicy::RoundRobin { start } = self {
+            // `resolve_deterministic` reduces modulo the live server
+            // count, so the cursor only needs to advance monotonically.
+            *start = start.wrapping_add(ops);
+        }
+        current
     }
 }
 
@@ -385,6 +408,32 @@ pub trait VectoredScheme {
     fn apply_remove(&mut self, key: &PathKey) -> Option<MdsId>;
 }
 
+/// Arms a scheme's batch-lifetime caches for the duration of one
+/// [`execute_vectored`] call: [`VectoredScheme::batch_begin`] on
+/// construction, [`VectoredScheme::batch_end`] on drop.
+///
+/// Pairing through a drop guard instead of two manual calls makes the
+/// arm/disarm **exception-safe**: any exit from the pipeline — including
+/// a panic unwinding out of `resolve_entry` (unknown pinned server) or a
+/// scheme hook — still disarms, so a poisoned batch can never leak an
+/// armed cache into the next call.
+struct ArmedBatch<'a, S: VectoredScheme + ?Sized> {
+    scheme: &'a mut S,
+}
+
+impl<'a, S: VectoredScheme + ?Sized> ArmedBatch<'a, S> {
+    fn new(scheme: &'a mut S) -> Self {
+        scheme.batch_begin();
+        ArmedBatch { scheme }
+    }
+}
+
+impl<S: VectoredScheme + ?Sized> Drop for ArmedBatch<'_, S> {
+    fn drop(&mut self) {
+        self.scheme.batch_end();
+    }
+}
+
 /// Executes `batch` against `scheme`: the one mixed-op pipeline every
 /// scheme shares.
 ///
@@ -441,7 +490,10 @@ pub fn execute_vectored<S: VectoredScheme + ?Sized>(
     }
 
     let repeat_sensitive = scheme.repeat_sensitive();
-    scheme.batch_begin();
+    // Arm through a drop guard: `batch_end` runs on every exit path,
+    // panics included (see [`ArmedBatch`]).
+    let armed = ArmedBatch::new(scheme);
+    let scheme = &mut *armed.scheme;
     for (i, op) in ops.iter().enumerate() {
         match op {
             MetadataOp::Lookup(key) => {
@@ -481,7 +533,7 @@ pub fn execute_vectored<S: VectoredScheme + ?Sized>(
         }
     }
     flush(scheme, ops, &mut run, &mut outcomes);
-    scheme.batch_end();
+    drop(armed);
     outcomes
         .into_iter()
         .map(|outcome| outcome.expect("every op produced an outcome"))
@@ -491,6 +543,105 @@ pub fn execute_vectored<S: VectoredScheme + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::QueryLevel;
+
+    /// A scheme that records hook pairing and can be poisoned to panic
+    /// mid-batch (the regression surface of the arm/disarm drop guard).
+    #[derive(Default)]
+    struct HookProbe {
+        armed: bool,
+        begins: u32,
+        ends: u32,
+        poison_lookup: bool,
+    }
+
+    impl VectoredScheme for HookProbe {
+        fn resolve_entry(&mut self, _policy: EntryPolicy, _op_index: usize) -> MdsId {
+            MdsId(0)
+        }
+
+        fn lookup_fused(&mut self, queries: &[(MdsId, &PathKey)]) -> Vec<QueryOutcome> {
+            assert!(self.armed, "fused run outside an armed batch");
+            if self.poison_lookup {
+                panic!("poisoned batch");
+            }
+            queries
+                .iter()
+                .map(|&(entry, _)| QueryOutcome {
+                    home: None,
+                    level: QueryLevel::Nonexistent,
+                    latency: core::time::Duration::ZERO,
+                    messages: 0,
+                    entry,
+                })
+                .collect()
+        }
+
+        fn batch_begin(&mut self) {
+            self.begins += 1;
+            self.armed = true;
+        }
+
+        fn batch_end(&mut self) {
+            self.ends += 1;
+            self.armed = false;
+        }
+
+        fn apply_create(&mut self, _key: &PathKey, _home: MdsId) {}
+
+        fn apply_remove(&mut self, _key: &PathKey) -> Option<MdsId> {
+            None
+        }
+    }
+
+    #[test]
+    fn batch_hooks_pair_on_success() {
+        let mut probe = HookProbe::default();
+        let mut batch = OpBatch::new();
+        batch.push_lookup("/a");
+        batch.push_create("/b");
+        batch.push_lookup("/c");
+        let outcomes = execute_vectored(&mut probe, &batch);
+        assert_eq!(outcomes.len(), 3);
+        assert!(!probe.armed);
+        assert_eq!((probe.begins, probe.ends), (1, 1));
+    }
+
+    #[test]
+    fn poisoned_batch_disarms_cache() {
+        let mut probe = HookProbe {
+            poison_lookup: true,
+            ..HookProbe::default()
+        };
+        let mut batch = OpBatch::new();
+        batch.push_lookup("/poison");
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = execute_vectored(&mut probe, &batch);
+        }));
+        assert!(result.is_err(), "the poisoned lookup must panic");
+        // The drop guard must have disarmed during unwinding: no armed
+        // state leaks into the next batch.
+        assert!(!probe.armed, "panic leaked an armed batch cache");
+        assert_eq!(probe.begins, probe.ends);
+        probe.poison_lookup = false;
+        let outcomes = execute_vectored(&mut probe, &batch);
+        assert_eq!(outcomes.len(), 1);
+        assert!(!probe.armed);
+        assert_eq!((probe.begins, probe.ends), (2, 2));
+    }
+
+    #[test]
+    fn round_robin_resolves_at_cursor_extremes_without_overflow() {
+        let ids = [MdsId(0), MdsId(1), MdsId(2)];
+        let mut policy = EntryPolicy::RoundRobin { start: usize::MAX };
+        // usize::MAX % 3 == 0; op_index 1 wraps past MAX to 0.
+        assert_eq!(policy.resolve_deterministic(&ids, 0), Some(MdsId(0)));
+        assert_eq!(policy.resolve_deterministic(&ids, 1), Some(MdsId(0)));
+        // The cursor itself wraps in place without panicking.
+        let before = policy.advance(5);
+        assert_eq!(before, EntryPolicy::RoundRobin { start: usize::MAX });
+        assert_eq!(policy, EntryPolicy::RoundRobin { start: 4 });
+    }
 
     #[test]
     fn path_key_hashes_once_and_matches() {

@@ -130,6 +130,7 @@ impl GhbaCluster {
         }
 
         self.refresh_replica_charges();
+        self.bump_epoch();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
         (id, report)
@@ -246,6 +247,7 @@ impl GhbaCluster {
         }
 
         self.refresh_replica_charges();
+        self.bump_epoch();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
         Ok(report)
@@ -302,6 +304,7 @@ impl GhbaCluster {
         }
 
         self.stats.splits += 1;
+        self.bump_epoch();
         report.split = true;
         report
     }
@@ -347,6 +350,7 @@ impl GhbaCluster {
         report.messages += (self.groups[&a].len() as u64).saturating_sub(1);
 
         self.stats.merges += 1;
+        self.bump_epoch();
         report.merged = true;
         report
     }
@@ -428,6 +432,7 @@ impl GhbaCluster {
         }
 
         self.refresh_replica_charges();
+        self.bump_epoch();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
         Ok(report)
@@ -472,8 +477,11 @@ impl GhbaCluster {
     }
 
     /// Moves replicas from the heaviest to the lightest member until the
-    /// spread is at most one. Returns the number of moves.
+    /// spread is at most one. Returns the number of moves. Placement
+    /// moved, so the membership epoch advances (masks cached against the
+    /// old placement must not survive a rebalance that runs standalone).
     pub(crate) fn rebalance_group(&mut self, gid: GroupId) -> u64 {
+        self.bump_epoch();
         let group = self.groups.get_mut(&gid).expect("group exists");
         let mut moves = 0;
         loop {

@@ -1,7 +1,9 @@
 //! Property-based tests: cluster invariants under arbitrary operation
 //! sequences.
 
-use ghba_core::{GhbaCluster, GhbaConfig, MdsId};
+use ghba_core::{
+    EntryPolicy, GhbaCluster, GhbaConfig, MaskCacheMode, MdsId, MetadataService, OpBatch,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -22,6 +24,30 @@ fn arb_op() -> impl Strategy<Value = Op> {
         1 => Just(Op::AddMds),
         1 => any::<u8>().prop_map(Op::RemoveMds),
         1 => Just(Op::PushUpdates),
+    ]
+}
+
+/// One step of the epoch-invalidation stream: a mixed op batch
+/// (`(kind, file)` pairs plus a policy selector) or a reconfiguration
+/// event between batches (reconfiguration cannot interleave with an
+/// executing batch, but any number may land between two).
+#[derive(Debug, Clone)]
+enum StreamOp {
+    Batch(Vec<(u8, u16)>, u8),
+    AddMds,
+    RemoveMds(u8),
+    FailMds(u8),
+    Flush,
+}
+
+fn arb_stream_op() -> impl Strategy<Value = StreamOp> {
+    prop_oneof![
+        5 => (proptest::collection::vec((0u8..8, 0u16..150), 1..12), any::<u8>())
+            .prop_map(|(ops, pol)| StreamOp::Batch(ops, pol)),
+        1 => Just(StreamOp::AddMds),
+        1 => any::<u8>().prop_map(StreamOp::RemoveMds),
+        1 => any::<u8>().prop_map(StreamOp::FailMds),
+        1 => Just(StreamOp::Flush),
     ]
 }
 
@@ -109,6 +135,95 @@ proptest! {
         prop_assert_eq!(cluster.group_sizes().iter().sum::<usize>(), n);
         prop_assert!(cluster.group_count() >= n.div_ceil(m));
         cluster.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// Epoch-invalidation acceptance: under **any** interleaving of
+    /// reconfiguration events (join, graceful leave, fail-stop — each
+    /// bumping the membership epoch) with mixed op batches, the
+    /// persistent epoch-validated mask cache never serves a stale mask —
+    /// every outcome (homes, levels, latencies, message counts, entry
+    /// servers) is bit-identical to a cache-free walk of the same
+    /// stream.
+    #[test]
+    fn persistent_epoch_cache_matches_cache_free_walks(
+        ops in proptest::collection::vec(arb_stream_op(), 1..36),
+        seed in 0u64..500,
+    ) {
+        let base = GhbaConfig::default()
+            .with_max_group_size(3)
+            .with_filter_capacity(400)
+            .with_lru_capacity(32)
+            .with_update_threshold(128)
+            .with_seed(seed);
+        let mut cached = GhbaCluster::with_servers(
+            base.clone().with_mask_cache(MaskCacheMode::Persistent),
+            6,
+        );
+        let mut free =
+            GhbaCluster::with_servers(base.with_mask_cache(MaskCacheMode::Off), 6);
+        let mut next_fresh = 10_000u32;
+        for (step, op) in ops.into_iter().enumerate() {
+            match op {
+                StreamOp::Batch(items, pol) => {
+                    let ids = cached.server_ids();
+                    let policy = match pol % 3 {
+                        0 => EntryPolicy::Random,
+                        1 => EntryPolicy::Pinned(ids[pol as usize % ids.len()]),
+                        _ => EntryPolicy::RoundRobin { start: pol as usize },
+                    };
+                    let mut batch = OpBatch::new().with_entry(policy);
+                    for (kind, f) in items {
+                        let path = format!("/e/f{f}");
+                        match kind % 4 {
+                            0 => batch.push_lookup(path),
+                            1 => batch.push_create(path),
+                            2 => batch.push_remove(path),
+                            _ => {
+                                let to = format!("/e/r{next_fresh}");
+                                next_fresh += 1;
+                                batch.push_rename(path, to);
+                            }
+                        }
+                    }
+                    let with_cache = cached.execute(&batch);
+                    let cache_free = free.execute(&batch);
+                    prop_assert_eq!(
+                        with_cache, cache_free,
+                        "step {}: cached batch diverged from the cache-free walk", step
+                    );
+                }
+                StreamOp::AddMds => {
+                    if cached.server_count() < 14 {
+                        cached.add_mds();
+                        free.add_mds();
+                    }
+                }
+                StreamOp::RemoveMds(pick) => {
+                    if cached.server_count() > 2 {
+                        let ids = cached.server_ids();
+                        let victim = ids[pick as usize % ids.len()];
+                        cached.remove_mds(victim).expect("removable");
+                        free.remove_mds(victim).expect("removable");
+                    }
+                }
+                StreamOp::FailMds(pick) => {
+                    if cached.server_count() > 2 {
+                        let ids = cached.server_ids();
+                        let victim = ids[pick as usize % ids.len()];
+                        cached.fail_mds(victim).expect("failable");
+                        free.fail_mds(victim).expect("failable");
+                    }
+                }
+                StreamOp::Flush => {
+                    cached.flush_all_updates();
+                    free.flush_all_updates();
+                }
+            }
+            prop_assert_eq!(cached.membership_epoch(), free.membership_epoch());
+            if let Err(violation) = cached.check_invariants() {
+                return Err(TestCaseError::fail(format!("step {step}: {violation}")));
+            }
+        }
     }
 
     /// The update protocol messages are bounded by candidates across

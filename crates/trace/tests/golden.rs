@@ -1,0 +1,58 @@
+//! Golden-file compatibility test for the tab-encoded trace io format.
+//!
+//! The checked-in fixture (`tests/data/legacy.trace`) freezes the wire
+//! format as of the rename-target extension: ordinary records, pathnames
+//! with spaces, a **legacy pre-rename-target** `rename` line (no
+//! tab-separated destination — written before destinations existed), and
+//! a modern tab-encoded rename. Any future touch of the io format must
+//! keep these bytes parsing — and re-encoding — **byte-identically**;
+//! a change that breaks this test breaks every trace file in the wild.
+
+use ghba_simnet::SimTime;
+use ghba_trace::io::{read_trace, write_trace};
+use ghba_trace::{MetaOp, TraceRecord};
+
+const GOLDEN: &str = include_str!("data/legacy.trace");
+
+fn parsed() -> Vec<TraceRecord> {
+    read_trace(GOLDEN.as_bytes()).expect("golden file parses")
+}
+
+#[test]
+fn golden_file_parses_to_expected_records() {
+    let records = parsed();
+    assert_eq!(records.len(), 8);
+    assert_eq!(records[0].op, MetaOp::Open);
+    assert_eq!(records[0].timestamp, SimTime::from_nanos(0));
+    assert_eq!(records[0].path, "/home/alice/paper.tex");
+    assert_eq!(records[2].path, "/var/data/file with spaces");
+    assert_eq!(
+        (records[2].user, records[2].host, records[2].subtrace),
+        (3, 4, 1)
+    );
+    assert_eq!(records[4].op, MetaOp::Unlink);
+    assert_eq!(records[4].timestamp, SimTime::from_nanos(999_999_999));
+    // The legacy rename line: source only, no destination.
+    assert_eq!(records[6].op, MetaOp::Rename);
+    assert_eq!(records[6].path, "/just/source");
+    assert_eq!(records[6].rename_to, None);
+    // The modern tab-encoded rename: both sides, spaces intact.
+    assert_eq!(records[7].op, MetaOp::Rename);
+    assert_eq!(records[7].path, "/old dir/old name");
+    assert_eq!(records[7].rename_to.as_deref(), Some("/new dir/new name"));
+}
+
+#[test]
+fn golden_file_round_trips_byte_identically() {
+    let records = parsed();
+    let mut encoded = Vec::new();
+    write_trace(&mut encoded, records.clone()).expect("golden records re-encode");
+    assert_eq!(
+        encoded,
+        GOLDEN.as_bytes(),
+        "re-encoding the golden records must reproduce the file byte for byte \
+         (legacy tab-less rename lines included)"
+    );
+    // And the round trip is a fixed point: parse(encode(parse(x))) == parse(x).
+    assert_eq!(read_trace(encoded.as_slice()).expect("reparses"), records);
+}
