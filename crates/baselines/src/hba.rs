@@ -13,6 +13,7 @@ use core::time::Duration;
 use std::collections::BTreeMap;
 
 use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
+use ghba_core::exec::run_chunked;
 use ghba_core::{
     execute_vectored, published_shape, ClusterStats, EntryPolicy, GhbaConfig, MaskCacheLifecycle,
     Mds, MdsId, MembershipEpoch, OpBatch, OpOutcome, PathKey, QueryLevel, QueryOutcome,
@@ -26,12 +27,15 @@ use ghba_simnet::DetRng;
 /// [`ghba_core::MaskCacheMode`] through the shared
 /// [`MaskCacheLifecycle`] state machine: persistent entries are
 /// validated lazily against the cluster's [`MembershipEpoch`] (bumped
-/// by every join/leave), per-batch entries live between
-/// `batch_begin`/`batch_end`, and `Off` rebuilds per walk.
+/// by every join/leave — HBA has no groups, so the per-group refinement
+/// does not apply), per-batch entries live between
+/// `batch_begin`/`batch_end`, and `Off` rebuilds per walk. The entry
+/// vector is sorted by server id and consulted by binary search, same
+/// `O(log N)` hit path as the G-HBA cache.
 #[derive(Debug, Clone, Default)]
 struct HbaMaskCache {
     life: MaskCacheLifecycle,
-    /// entry → its all-except-self candidate mask.
+    /// entry → its all-except-self candidate mask; sorted by entry.
     l2: Vec<(MdsId, SlotMask)>,
 }
 
@@ -39,6 +43,41 @@ impl HbaMaskCache {
     fn clear(&mut self) {
         self.l2.clear();
     }
+
+    /// The cached mask of `entry` (valid by construction: the lifecycle
+    /// clears the cache whenever the membership epoch moves).
+    fn mask(&self, entry: MdsId) -> Option<&SlotMask> {
+        self.l2
+            .binary_search_by_key(&entry, |(id, _)| *id)
+            .ok()
+            .map(|at| &self.l2[at].1)
+    }
+}
+
+/// The read-phase result for one query of a batched HBA walk (see the
+/// G-HBA `WalkVerdict`): outcome plus deferred counter bumps.
+#[derive(Debug, Clone)]
+struct WalkVerdict {
+    outcome: QueryOutcome,
+    l1_false: u32,
+    l2_false: u32,
+}
+
+/// Reusable per-worker walk arena (probe batch, row table, verdict
+/// buffers, per-query working vectors — fully re-initialized per walk,
+/// so chunk walks pay no per-call allocations).
+#[derive(Debug, Clone, Default)]
+struct WalkScratch {
+    batch: ProbeBatch,
+    live_rows: Vec<u32>,
+    verdicts: Vec<WalkVerdict>,
+    /// Per-query resolution slots, `None` until the query's level lands.
+    slots: Vec<Option<WalkVerdict>>,
+    /// Per-query false-hit tallies `[l1, l2]`.
+    falses: Vec<[u32; 2]>,
+    latency: Vec<Duration>,
+    messages: Vec<u32>,
+    fps: Vec<Fingerprint>,
 }
 
 /// A simulated HBA metadata cluster (complete replica mirror per server).
@@ -74,6 +113,9 @@ pub struct HbaCluster {
     epoch: MembershipEpoch,
     mask_cache: HbaMaskCache,
     shim_entry: EntryPolicy,
+    /// Per-worker walk arenas (arena 0 doubles as the sequential
+    /// scratch), grown lazily to the configured worker count.
+    scratch: Vec<WalkScratch>,
 }
 
 impl HbaCluster {
@@ -97,6 +139,7 @@ impl HbaCluster {
             epoch: MembershipEpoch::default(),
             mask_cache: HbaMaskCache::default(),
             shim_entry: EntryPolicy::Random,
+            scratch: Vec::new(),
         };
         for _ in 0..servers {
             cluster.add_mds();
@@ -414,6 +457,14 @@ impl HbaCluster {
     /// The batched walk behind [`lookup_batch_from`], taking queries whose
     /// fingerprints were already computed at batch admission.
     ///
+    /// Same three-phase execution as the G-HBA walk: masks prepare on
+    /// the dispatching thread, the read phase splits into per-worker
+    /// chunks (when `executor.workers > 1` and the batch reaches
+    /// `executor.min_parallel_batch`) that walk the full-mirror slab
+    /// read-only, and verdicts splice back in stream order —
+    /// bit-identical to `workers = 1` at every worker count
+    /// (property-tested; the fair-comparison requirement).
+    ///
     /// # Panics
     ///
     /// Panics if any entry is unknown.
@@ -423,25 +474,48 @@ impl HbaCluster {
         &mut self,
         queries: &[(MdsId, &str, Fingerprint)],
     ) -> Vec<QueryOutcome> {
-        let model = self.config.latency.clone();
         let total = queries.len();
-        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; total];
-        let mut latency: Vec<Duration> = vec![model.dispatch; total];
-        let mut messages: Vec<u32> = vec![0; total];
-        let fps: Vec<Fingerprint> = queries.iter().map(|&(_, _, fp)| fp).collect();
-        // One live-filter row table for the whole batch (entry probes at
-        // L2, every server's probe in the broadcast fallback), derived
-        // through the ProbeBatch fastmod machinery.
-        let live_shape = published_shape(&self.config);
-        let k_live = live_shape.hashes as usize;
-        let mut batch = ProbeBatch::with_capacity(total);
-        for fp in &fps {
-            batch.push(*fp);
+        if total == 0 {
+            return Vec::new();
         }
-        let mut live_rows: Vec<u32> = Vec::new();
-        batch.derive_rows_into(live_shape, &mut live_rows);
-        // Validate-or-drop the per-entry mask cache (same lifecycle
-        // state machine as G-HBA's MaskCache; see `HbaMaskCache`).
+        self.prepare_masks(queries);
+        let executor = self.config.executor;
+        let mut arenas = core::mem::take(&mut self.scratch);
+        let walked = {
+            let shared: &HbaCluster = self;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_chunked(queries, executor, &mut arenas, |chunk, arena| {
+                    shared.walk_chunk(chunk, arena)
+                })
+            }))
+        };
+        let used = match walked {
+            Ok(used) => used,
+            Err(payload) => {
+                // A poisoned chunk must not cost the cluster its warmed
+                // per-worker arenas: restore them before re-raising.
+                self.scratch = arenas;
+                std::panic::resume_unwind(payload);
+            }
+        };
+        let mut outcomes = Vec::with_capacity(total);
+        let mut qi = 0usize;
+        for arena in arenas.iter_mut().take(used) {
+            for verdict in arena.verdicts.drain(..) {
+                let fp = queries[qi].2;
+                outcomes.push(self.apply_verdict(&fp, verdict));
+                qi += 1;
+            }
+        }
+        debug_assert_eq!(qi, total, "chunks cover the batch exactly once");
+        self.scratch = arenas;
+        outcomes
+    }
+
+    /// Validates (or rebuilds) the all-except-self masks of the batch's
+    /// entry servers on the dispatching thread; the (possibly parallel)
+    /// read phase then consults the cache strictly read-only.
+    fn prepare_masks(&mut self, queries: &[(MdsId, &str, Fingerprint)]) {
         if self
             .mask_cache
             .life
@@ -449,6 +523,71 @@ impl HbaCluster {
         {
             self.mask_cache.clear();
         }
+        for &(entry, _, _) in queries {
+            // Unknown entries panic inside the walk itself.
+            if !self.mdss.contains_key(&entry) {
+                continue;
+            }
+            match self
+                .mask_cache
+                .l2
+                .binary_search_by_key(&entry, |(id, _)| *id)
+            {
+                Ok(_) => {
+                    self.mask_cache.life.hit();
+                    self.stats.mask_cache_hits += 1;
+                }
+                Err(at) => {
+                    self.mask_cache.life.miss();
+                    self.stats.mask_cache_misses += 1;
+                    let mask = self.published_array.mask_all_except(entry);
+                    self.mask_cache.l2.insert(at, (entry, mask));
+                }
+            }
+        }
+    }
+
+    /// Resolves one chunk of a batched walk **read-only** (L1 → full
+    /// mirror → broadcast, one slab pass per level across the chunk),
+    /// deferring every side effect into `scratch.verdicts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is unknown.
+    fn walk_chunk(&self, queries: &[(MdsId, &str, Fingerprint)], scratch: &mut WalkScratch) {
+        let WalkScratch {
+            batch,
+            live_rows,
+            verdicts,
+            slots,
+            falses,
+            latency,
+            messages,
+            fps,
+        } = scratch;
+        let model = self.config.latency.clone();
+        let total = queries.len();
+        verdicts.clear();
+        slots.clear();
+        slots.resize(total, None);
+        falses.clear();
+        falses.resize(total, [0; 2]);
+        latency.clear();
+        latency.resize(total, model.dispatch);
+        messages.clear();
+        messages.resize(total, 0);
+        fps.clear();
+        fps.extend(queries.iter().map(|&(_, _, fp)| fp));
+        // One live-filter row table for the whole chunk (entry probes at
+        // L2, every server's probe in the broadcast fallback), derived
+        // through the ProbeBatch fastmod machinery.
+        let live_shape = published_shape(&self.config);
+        let k_live = live_shape.hashes as usize;
+        batch.clear();
+        for fp in fps.iter() {
+            batch.push(*fp);
+        }
+        batch.derive_rows_into(live_shape, live_rows);
         let mut active: Vec<usize> = Vec::with_capacity(total);
 
         // L1: each entry server's LRU array.
@@ -465,17 +604,17 @@ impl HbaCluster {
                 if let Some(home) =
                     self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
                 {
-                    outcomes[qi] = Some(self.finish(
+                    slots[qi] = Some(self.assemble(
                         entry,
-                        &fp,
                         home,
                         QueryLevel::L1Lru,
                         latency[qi],
                         messages[qi],
+                        falses[qi],
                     ));
                     continue;
                 }
-                self.stats.counters.incr("l1_false_hits");
+                falses[qi][0] += 1;
             } else if l1_hit.is_some() {
                 latency[qi] += model.memory_probe;
             }
@@ -484,34 +623,19 @@ impl HbaCluster {
 
         // L2: the complete replica array (N − 1 replicas + own filter) —
         // one batched bit-sliced pass over the published slab for the
-        // whole batch, plus each entry's fresher live filter in place of
+        // whole chunk, plus each entry's fresher live filter in place of
         // its own published snapshot.
         batch.clear();
         for &qi in &active {
             let (entry, _, _) = queries[qi];
-            if self.mask_cache.l2.iter().any(|(id, _)| *id == entry) {
-                self.mask_cache.life.hit();
-            } else {
-                self.mask_cache.life.miss();
-                let mask = self.published_array.mask_all_except(entry);
-                self.mask_cache.l2.push((entry, mask));
-            }
-        }
-        for &qi in &active {
-            let (entry, _, _) = queries[qi];
-            let (_, mask) = self
-                .mask_cache
-                .l2
-                .iter()
-                .find(|(id, _)| *id == entry)
-                .expect("cached just above");
+            let mask = self.mask_cache.mask(entry).expect("mask prepared");
             let held = self.mdss.len() - 1;
             let entry_mds = &self.mdss[&entry];
             let resident = entry_mds.resident_replicas(held);
             latency[qi] += model.array_probe(held + 1, held - resident);
             batch.push_masked(fps[qi], mask.clone());
         }
-        let hits = self.published_array.query_batch(&mut batch);
+        let hits = self.published_array.query_batch(batch);
         let mut next_active = Vec::with_capacity(active.len());
         for (&qi, hit) in active.iter().zip(&hits) {
             let (entry, path, _) = queries[qi];
@@ -524,27 +648,26 @@ impl HbaCluster {
                 if let Some(home) =
                     self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
                 {
-                    outcomes[qi] = Some(self.finish(
+                    slots[qi] = Some(self.assemble(
                         entry,
-                        &fps[qi],
                         home,
                         QueryLevel::L2Segment,
                         latency[qi],
                         messages[qi],
+                        falses[qi],
                     ));
                     continue;
                 }
-                self.stats.counters.incr("l2_false_hits");
+                falses[qi][1] += 1;
             }
             next_active.push(qi);
         }
         let active = next_active;
 
         // Fallback: system-wide broadcast (authoritative); recipients'
-        // live probes reuse the batch's precomputed row table.
+        // live probes reuse the chunk's precomputed row table.
         for &qi in &active {
             let (entry, path, _) = queries[qi];
-            let fp = fps[qi];
             let rows = &live_rows[qi * k_live..(qi + 1) * k_live];
             let others = self.mdss.len() - 1;
             messages[qi] += 2 * others as u32;
@@ -560,38 +683,90 @@ impl HbaCluster {
                 }
             }
             latency[qi] += verify_cost;
-            outcomes[qi] = Some(match found {
-                Some(home) => self.finish(
+            slots[qi] = Some(match found {
+                Some(home) => self.assemble(
                     entry,
-                    &fp,
                     home,
                     QueryLevel::L4Global,
                     latency[qi],
                     messages[qi],
+                    falses[qi],
                 ),
                 None => {
                     let latency = latency[qi].mul_f64(self.config.contention_factor(messages[qi]));
-                    self.stats.levels.record(QueryLevel::Nonexistent);
-                    self.stats.lookup_latency.record(latency);
-                    QueryOutcome {
-                        home: None,
-                        level: QueryLevel::Nonexistent,
-                        latency,
-                        messages: messages[qi],
-                        entry,
+                    WalkVerdict {
+                        outcome: QueryOutcome {
+                            home: None,
+                            level: QueryLevel::Nonexistent,
+                            latency,
+                            messages: messages[qi],
+                            entry,
+                        },
+                        l1_false: falses[qi][0],
+                        l2_false: falses[qi][1],
                     }
                 }
             });
         }
 
-        outcomes
-            .into_iter()
-            .map(|outcome| outcome.expect("every query resolved by the broadcast"))
-            .collect()
+        batch.clear();
+        live_rows.clear();
+        verdicts.extend(
+            slots
+                .drain(..)
+                .map(|slot| slot.expect("every query resolved by the broadcast")),
+        );
+    }
+
+    /// Builds a resolved query's verdict (contention applied). Pure.
+    fn assemble(
+        &self,
+        entry: MdsId,
+        home: MdsId,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+        falses: [u32; 2],
+    ) -> WalkVerdict {
+        let latency = latency.mul_f64(self.config.contention_factor(messages));
+        WalkVerdict {
+            outcome: QueryOutcome {
+                home: Some(home),
+                level,
+                latency,
+                messages,
+                entry,
+            },
+            l1_false: falses[0],
+            l2_false: falses[1],
+        }
+    }
+
+    /// Applies one verdict's deferred effects in stream order (counter
+    /// bumps, the LRU fill, statistics) and returns the outcome.
+    fn apply_verdict(&mut self, fp: &Fingerprint, verdict: WalkVerdict) -> QueryOutcome {
+        let WalkVerdict {
+            outcome,
+            l1_false,
+            l2_false,
+        } = verdict;
+        for (label, count) in [("l1_false_hits", l1_false), ("l2_false_hits", l2_false)] {
+            if count > 0 {
+                self.stats.counters.add(label, count.into());
+            }
+        }
+        if let Some(home) = outcome.home {
+            if let Some(lru) = self.mdss.get_mut(&outcome.entry).and_then(Mds::lru_mut) {
+                lru.record_fp(fp, home);
+            }
+        }
+        self.stats.levels.record(outcome.level);
+        self.stats.lookup_latency.record(outcome.latency);
+        outcome
     }
 
     fn verify_at(
-        &mut self,
+        &self,
         candidate: MdsId,
         entry: MdsId,
         path: &str,
@@ -606,30 +781,6 @@ impl HbaCluster {
         let mds = self.mdss.get(&candidate)?;
         *latency += mds.metadata_access_cost(&model);
         mds.stores(path).then_some(candidate)
-    }
-
-    fn finish(
-        &mut self,
-        entry: MdsId,
-        fp: &Fingerprint,
-        home: MdsId,
-        level: QueryLevel,
-        latency: Duration,
-        messages: u32,
-    ) -> QueryOutcome {
-        if let Some(lru) = self.mdss.get_mut(&entry).and_then(Mds::lru_mut) {
-            lru.record_fp(fp, home);
-        }
-        let latency = latency.mul_f64(self.config.contention_factor(messages));
-        self.stats.levels.record(level);
-        self.stats.lookup_latency.record(latency);
-        QueryOutcome {
-            home: Some(home),
-            level,
-            latency,
-            messages,
-            entry,
-        }
     }
 
     /// Per-MDS filter memory: own filter + LRU + `N − 1` replicas.

@@ -1,0 +1,223 @@
+//! The PR-5 headline benchmark: the data-parallel batch execution
+//! engine and the per-group epoch invalidation it rides with.
+//!
+//! **Part A — worker sweep.** The same Zipf-head mixed `OpBatch` (a
+//! flash-crowd lookup burst with creates sprinkled through, so fused
+//! runs split and writes stay in stream order between the parallel read
+//! phases) executes against identically populated G-HBA clusters whose
+//! only difference is `ExecutorConfig::workers` ∈ {1, 2, 4, 8}. Equal
+//! work per iteration, so `execute_workers_1 / execute_workers_4` *is*
+//! the per-lookup parallel speedup — the ISSUE-5 acceptance bar is
+//! ≥ 2.5× at 4 workers **on a ≥ 4-core host**. The engine splits a
+//! fused run into per-worker chunks only at
+//! `min_parallel_batch`-or-larger runs; parallel outcomes are
+//! bit-identical to sequential (asserted before timing). The host's
+//! scheduler-visible core count is printed with the results: on a
+//! 1-core container the sweep degenerates to measuring dispatch
+//! overhead, not speedup — rerun on a multicore host before quoting.
+//!
+//! **Part B — warm-cache rebalance churn.** Two Persistent-mask-cache
+//! clusters — per-group epochs vs the all-or-nothing `Global` reference
+//! granularity — serve short shim-style lookup rounds between
+//! standalone single-group rebalances (the churn a background balancer
+//! produces). Per-group epochs invalidate only the rebalanced group's
+//! masks, so rounds probing *other* groups keep a ≥ 0.99 hit rate;
+//! the global flush cold-starts every mask each round and the same
+//! rounds drop to ≈ 0. Hit rates come from `mask_cache_stats` deltas
+//! after warm-up and are printed (and recorded in the committed
+//! `BENCH_PR5.json`).
+//!
+//! `GHBA_PAR_FILES` / `GHBA_PAR_OPS` / `GHBA_PAR_ROUNDS` shrink the
+//! namespace, the batch, and the churn loop for CI smoke runs (numbers
+//! from shrunken runs are noise).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ghba::core::{
+    EpochGranularity, ExecutorConfig, GhbaCluster, GhbaConfig, MaskCacheMode, MetadataService,
+    OpBatch,
+};
+use ghba::replay::populate;
+use ghba::simnet::DetRng;
+use std::hint::black_box;
+
+/// Files pre-populated across the cluster (override: `GHBA_PAR_FILES`).
+const DEFAULT_FILES: u64 = 16_000;
+/// Ops per batch iteration (override: `GHBA_PAR_OPS`).
+const DEFAULT_OPS: u64 = 1_024;
+/// Churn rounds in part B (override: `GHBA_PAR_ROUNDS`).
+const DEFAULT_ROUNDS: u64 = 64;
+/// Servers in the simulated cluster (16 groups of 8; slab stride 2).
+const SERVERS: usize = 128;
+/// The flash-crowd hot set: most lookups land on these few paths.
+const HOT_SET: u64 = 8;
+/// Share of lookups drawn from the hot set.
+const HOT_SHARE: f64 = 0.80;
+/// Share of batch ops that are creates (fresh paths): enough to make
+/// the batch genuinely mixed (runs split, writes apply in stream
+/// order), few enough that fused runs stay beyond the parallel floor.
+const CREATE_SHARE: f64 = 0.01;
+
+fn env_size(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn path_of(i: u64) -> String {
+    format!("/bench/d{}/f{i}", i % 127)
+}
+
+fn base_config() -> GhbaConfig {
+    // Slab-heavy geometry: no L1 level, wide filters, 128 servers —
+    // every lookup exercises the bit-sliced batched probe paths the
+    // parallel engine chunks across workers.
+    GhbaConfig::default()
+        .with_filter_capacity(20_000)
+        .with_bits_per_file(16.0)
+        .with_lru_capacity(0)
+        .with_max_group_size(8)
+        .with_update_threshold(4_096)
+        .with_seed(0x0b)
+}
+
+fn build_cluster(files: u64, config: GhbaConfig) -> GhbaCluster {
+    let mut cluster = GhbaCluster::with_servers(config, SERVERS);
+    populate(&mut cluster, (0..files).map(path_of));
+    cluster.flush_all_updates();
+    cluster.reset_stats();
+    cluster
+}
+
+/// The Zipf-head mixed batch: a flash-crowd lookup burst with fresh-path
+/// creates sprinkled through (`first_new` starts the fresh namespace so
+/// repeated builds do not collide).
+fn build_batch(files: u64, ops: u64, first_new: u64) -> OpBatch {
+    let mut rng = DetRng::new(0x9A5);
+    let mut next_new = first_new;
+    let mut batch = OpBatch::new();
+    for _ in 0..ops {
+        if rng.next_f64() < CREATE_SHARE {
+            batch.push_create(path_of(next_new));
+            next_new += 1;
+        } else {
+            let file = if rng.next_f64() < HOT_SHARE {
+                rng.below(HOT_SET)
+            } else {
+                rng.below(files)
+            };
+            batch.push_lookup(path_of(file));
+        }
+    }
+    batch
+}
+
+/// Part A: per-lookup wall time of the same mixed batch at each worker
+/// count.
+fn bench_worker_sweep(c: &mut Criterion, files: u64, ops: u64) {
+    let batch = build_batch(files, ops, files);
+    let reference = {
+        let mut cluster = build_cluster(files, base_config());
+        cluster.execute(&batch)
+    };
+    let mut group = c.benchmark_group("par_exec");
+    for workers in [1usize, 2, 4, 8] {
+        let config = base_config().with_executor(
+            ExecutorConfig::default()
+                .with_workers(workers)
+                .with_min_parallel_batch(64),
+        );
+        let cluster = build_cluster(files, config);
+        // Bit-identical before timed: the acceptance property, asserted
+        // on the bench workload itself.
+        {
+            let mut probe = cluster.clone();
+            assert_eq!(
+                probe.execute(&batch),
+                reference,
+                "{workers} workers diverged from sequential"
+            );
+        }
+        group.bench_function(&format!("execute_workers_{workers}"), |b| {
+            b.iter_batched(
+                || cluster.clone(),
+                |mut cluster| black_box(cluster.execute(&batch).len()),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+    let cores = std::thread::available_parallelism().map_or(0, usize::from);
+    eprintln!(
+        "par_exec: host exposes {cores} core(s) — speedups above 1 require \
+         at least as many cores as workers"
+    );
+}
+
+/// Part B: mask-cache hit rate across single-group rebalance churn,
+/// per-group epochs vs the global flush.
+fn bench_rebalance_churn(files: u64, rounds: u64) {
+    let run = |granularity: EpochGranularity| -> (f64, u64, u64) {
+        let config = base_config()
+            .with_mask_cache(MaskCacheMode::Persistent)
+            .with_epoch_granularity(granularity);
+        let mut cluster = build_cluster(files, config);
+        // Shim-style probe rounds through 8 entries in distinct groups
+        // (group size is 8, ids dense: server 8g sits in group g).
+        let probes: Vec<ghba::core::MdsId> = (0..8u16).map(|g| ghba::core::MdsId(g * 8)).collect();
+        let probe_groups: Vec<_> = probes
+            .iter()
+            .map(|&id| cluster.group_of(id).expect("grouped"))
+            .collect();
+        // Churn targets: groups none of the probe entries belong to —
+        // the background-balancer case whose invalidations per-group
+        // epochs confine.
+        let churn: Vec<_> = cluster
+            .server_ids()
+            .into_iter()
+            .filter_map(|id| cluster.group_of(id))
+            .filter(|gid| !probe_groups.contains(gid))
+            .collect();
+        assert!(!churn.is_empty(), "probe groups must not cover the cluster");
+        let mut rng = DetRng::new(0x7E8);
+        // Warm every probed entry's masks, then measure from here.
+        for &entry in &probes {
+            let _ = cluster.lookup_from(entry, &path_of(0));
+        }
+        let (h0, m0) = cluster.mask_cache_stats();
+        for round in 0..rounds {
+            let gid = churn[round as usize % churn.len()];
+            cluster.rebalance_group(gid);
+            for &entry in &probes {
+                let _ = cluster.lookup_from(entry, &path_of(rng.below(files)));
+            }
+        }
+        let (h1, m1) = cluster.mask_cache_stats();
+        let (hits, misses) = (h1 - h0, m1 - m0);
+        let rate = hits as f64 / (hits + misses).max(1) as f64;
+        (rate, hits, misses)
+    };
+    let (pg_rate, pg_hits, pg_misses) = run(EpochGranularity::PerGroup);
+    let (gl_rate, gl_hits, gl_misses) = run(EpochGranularity::Global);
+    eprintln!(
+        "par_exec churn ({rounds} single-group rebalances): per-group epochs \
+         {pg_hits} hits / {pg_misses} misses (hit rate {pg_rate:.4}); \
+         global flush {gl_hits} hits / {gl_misses} misses (hit rate {gl_rate:.4})"
+    );
+    assert!(
+        pg_rate > gl_rate,
+        "per-group epochs must retain more warm masks than the global flush"
+    );
+}
+
+fn bench_par_exec(c: &mut Criterion) {
+    let files = env_size("GHBA_PAR_FILES", DEFAULT_FILES);
+    let ops = env_size("GHBA_PAR_OPS", DEFAULT_OPS);
+    let rounds = env_size("GHBA_PAR_ROUNDS", DEFAULT_ROUNDS);
+    bench_worker_sweep(c, files, ops);
+    bench_rebalance_churn(files, rounds);
+}
+
+criterion_group!(benches, bench_par_exec);
+criterion_main!(benches);

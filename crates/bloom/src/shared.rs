@@ -29,6 +29,24 @@
 //! * Freed slots are zeroed immediately and masked out of every query, so
 //!   recycling a slot can never leak a predecessor's bits.
 //!
+//! # Concurrency
+//!
+//! The probe seam is deliberately **read-shared**: every query entry
+//! point ([`SharedShapeArray::query_fp`], [`query_fp_masked`],
+//! [`query_batch`]) takes `&self`, and all per-pass working memory lives
+//! in the caller-owned [`ProbeBatch`] scratch arena — the array itself
+//! holds no interior mutability anywhere (plain `Vec`s and a `HashMap`;
+//! the only atomics are the process-wide CPU-feature detection caches).
+//! `SharedShapeArray<I>` is therefore `Sync` whenever `I` is, and N
+//! threads may probe one slab concurrently so long as each brings its
+//! own `ProbeBatch` — exactly how the parallel batch execution engine
+//! upstream fans one fused lookup run out across workers against the
+//! shared published slab. Compile-time assertions below pin the seam so
+//! an accidental `Cell` can never silently revoke it.
+//!
+//! [`query_fp_masked`]: SharedShapeArray::query_fp_masked
+//! [`query_batch`]: SharedShapeArray::query_batch
+//!
 //! # Examples
 //!
 //! ```
@@ -178,6 +196,19 @@ struct BatchScratch {
     /// later duplicates repeating that mask reuse its verdict.
     classified: Vec<(u32, u32)>,
 }
+
+// The concurrent probe seam, enforced at compile time: a read-only slab
+// shared across worker threads (`Sync`), with each worker's scratch
+// arena free to move to its thread (`Send`). See the module-level
+// "Concurrency" section.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_sync::<SharedShapeArray<u16>>();
+    assert_sync::<SlotMask>();
+    assert_send::<SharedShapeArray<u16>>();
+    assert_send::<ProbeBatch>();
+};
 
 impl ProbeBatch {
     /// Creates an empty batch.
@@ -1981,5 +2012,41 @@ mod tests {
         }
         // 64 slots × 4096 bits = one u64 per row.
         assert_eq!(array.memory_bytes(), 4096 * 8);
+    }
+
+    /// The read-sharing seam end to end: N threads probe one slab
+    /// concurrently, each with its own `ProbeBatch` scratch arena, and
+    /// every thread's batched answers equal the sequential reference.
+    #[test]
+    fn concurrent_query_batches_match_sequential() {
+        let mut array = SharedShapeArray::<u16>::new(shape());
+        for id in 0..96u16 {
+            array.push(id).unwrap();
+            for item in 0..40u32 {
+                array.insert(id, &format!("/c/{id}/{item}")).unwrap();
+            }
+        }
+        let fps: Vec<Fingerprint> = (0..96u16)
+            .flat_map(|id| (0..3u32).map(move |item| Fingerprint::of(&format!("/c/{id}/{item}"))))
+            .collect();
+        let expected: Vec<Hit<u16>> = fps.iter().map(|fp| array.query_fp(fp)).collect();
+        let array = &array;
+        let fps = &fps;
+        let expected = &expected;
+        std::thread::scope(|scope| {
+            for worker in 0..4 {
+                scope.spawn(move || {
+                    let mut batch = ProbeBatch::with_capacity(fps.len());
+                    for _ in 0..3 {
+                        batch.clear();
+                        for fp in fps {
+                            batch.push(*fp);
+                        }
+                        let hits = array.query_batch(&mut batch);
+                        assert_eq!(&hits, expected, "worker {worker} diverged");
+                    }
+                });
+            }
+        });
     }
 }

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use ghba_bloom::{BloomFilter, Fingerprint, ProbeBatch, SharedShapeArray};
+use ghba_bloom::{BloomFilter, Fingerprint, Hit, ProbeBatch, SharedShapeArray};
+use ghba_core::exec::run_chunked;
 use ghba_core::{published_shape, GhbaConfig, Mds, MdsId, QueryLevel};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::RwLock;
@@ -72,6 +73,9 @@ pub struct Node {
     /// Writes whose token arrived out of order (stays 0; a violation is
     /// reported on stderr — once per node — and trips a debug assert).
     write_reorders: u64,
+    /// Per-worker probe arenas for pool-dispatched mailbox slab passes
+    /// (see [`Node::slab_hits`]); grown lazily, reused across drains.
+    probe_arenas: Vec<(ProbeBatch, Vec<Hit<MdsId>>)>,
 }
 
 impl std::fmt::Debug for Node {
@@ -121,7 +125,40 @@ impl Node {
             next_qid: 0,
             last_write_seq: 0,
             write_reorders: 0,
+            probe_arenas: Vec::new(),
         }
+    }
+
+    /// Probes the replica slab with a drained burst of fingerprints,
+    /// dispatching through the process-wide worker pool when the burst
+    /// is large enough (the node-side analogue of the simulated
+    /// pipeline's parallel read phase, gated by the same
+    /// [`ghba_core::ExecutorConfig`]): one contiguous chunk per worker, each with
+    /// its own persistent `ProbeBatch` arena against the shared
+    /// read-only slab, verdicts concatenated in burst order —
+    /// bit-identical to the single-pass probe.
+    fn slab_hits(&mut self, fps: &[Fingerprint]) -> Vec<Hit<MdsId>> {
+        if fps.is_empty() {
+            return Vec::new();
+        }
+        let executor = self.config.executor;
+        let mut arenas = std::mem::take(&mut self.probe_arenas);
+        let used = {
+            let replicas = &self.replicas;
+            run_chunked(fps, executor, &mut arenas, |chunk, (batch, hits)| {
+                batch.clear();
+                for fp in chunk {
+                    batch.push(*fp);
+                }
+                *hits = replicas.query_batch(batch);
+            })
+        };
+        let mut out = Vec::with_capacity(fps.len());
+        for (_, hits) in arenas.iter_mut().take(used) {
+            out.append(hits);
+        }
+        self.probe_arenas = arenas;
+        out
     }
 
     /// Records a write's sequencing token, checking it arrived in
@@ -212,22 +249,23 @@ impl Node {
                 self.start_lookup(path, fp, reply);
             }
             _ => {
-                let mut batch = ProbeBatch::with_capacity(lookups.len());
+                let mut fps: Vec<Fingerprint> = Vec::with_capacity(lookups.len());
                 let mut active: Vec<QueryId> = Vec::with_capacity(lookups.len());
                 for (path, fp, reply) in lookups.drain(..) {
                     let qid = self.admit_lookup(path, fp, reply);
                     // L1: the LRU array.
                     let l1 = self.mds.lru().map(|lru| lru.query_fp(&fp));
-                    if let Some(ghba_bloom::Hit::Unique(candidate)) = l1 {
+                    if let Some(Hit::Unique(candidate)) = l1 {
                         self.verify(qid, candidate, QueryLevel::L1Lru, Escalation::L2);
                         continue;
                     }
-                    batch.push(fp);
+                    fps.push(fp);
                     active.push(qid);
                 }
-                // L2 for the whole burst: one slab pass over the held
-                // replicas, then per-op classification.
-                let hits = self.replicas.query_batch(&mut batch);
+                // L2 for the whole burst: one (pool-dispatched when the
+                // burst is large) slab pass over the held replicas, then
+                // per-op classification.
+                let hits = self.slab_hits(&fps);
                 for (qid, hit) in active.into_iter().zip(hits) {
                     let fp = self.pending[&qid].fp;
                     let mut positives = hit.candidates().to_vec();
@@ -263,11 +301,8 @@ impl Node {
                 );
             }
             _ => {
-                let mut batch = ProbeBatch::with_capacity(probes.len());
-                for (_, fp, _) in probes.iter() {
-                    batch.push(*fp);
-                }
-                let hits = self.replicas.query_batch(&mut batch);
+                let fps: Vec<Fingerprint> = probes.iter().map(|&(_, fp, _)| fp).collect();
+                let hits = self.slab_hits(&fps);
                 for (&(qid, fp, reply_to), hit) in probes.iter().zip(hits) {
                     let mut positives = hit.candidates().to_vec();
                     if self.mds.probe_live_fp(&fp) {

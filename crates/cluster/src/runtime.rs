@@ -50,7 +50,12 @@ pub enum BatchOutcome {
 /// One pipelined remove/rename in flight during a batch dispatch: its
 /// per-node remove fan-out is on the wire, its acknowledgements drain
 /// lazily — at the batch's end, or earlier if a later op touches one of
-/// its paths (the hazard stall).
+/// its paths (the hazard stall). A rename's deferred create is a
+/// **conditional continuation on this ack channel**: draining the
+/// remove acks decides whether the create fires, dispatches it
+/// non-blocking when it does, and parks the create's own
+/// acknowledgement here to drain just as lazily — no client-side
+/// synchronous round trip remains anywhere in the write path.
 struct InFlightWrite {
     /// The removed (or rename-source) path — the hazard key.
     from: String,
@@ -59,7 +64,13 @@ struct InFlightWrite {
     /// Rename destination and its op index (`None` for plain removes);
     /// the destination is also a hazard key.
     rename: Option<(String, usize)>,
-    /// The final outcome, once resolved.
+    /// The deferred create's acknowledgement, once the continuation
+    /// fired (rename whose source existed). The new home is known at
+    /// dispatch (the policy chose it), so the outcome is already
+    /// recorded; this channel only confirms the mailbox processed the
+    /// create before the batch completes.
+    create_ack: Option<Receiver<MdsId>>,
+    /// The final outcome, once the remove acks drained.
     outcome: Option<BatchOutcome>,
 }
 
@@ -276,12 +287,11 @@ impl PrototypeCluster {
         *seq
     }
 
-    /// Creates `path` at a specific node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node does not answer within the client timeout.
-    pub fn create_at(&mut self, path: &str, target: MdsId) -> MdsId {
+    /// Dispatches a create to `target` without waiting, returning the
+    /// acknowledgement channel — the primitive both the synchronous
+    /// [`create_at`](PrototypeCluster::create_at) and the rename
+    /// continuation build on, so the two create paths cannot diverge.
+    fn dispatch_create(&mut self, path: &str, target: MdsId) -> Receiver<MdsId> {
         let (tx, rx) = channel();
         let seq = self.next_write_seq(target);
         self.net.send(
@@ -292,7 +302,17 @@ impl PrototypeCluster {
                 reply: tx,
             },
         );
-        rx.recv_timeout(CLIENT_TIMEOUT)
+        rx
+    }
+
+    /// Creates `path` at a specific node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not answer within the client timeout.
+    pub fn create_at(&mut self, path: &str, target: MdsId) -> MdsId {
+        self.dispatch_create(path, target)
+            .recv_timeout(CLIENT_TIMEOUT)
             .expect("create acknowledged")
     }
 
@@ -415,6 +435,7 @@ impl PrototypeCluster {
                         from: key.path().to_owned(),
                         acks,
                         rename: None,
+                        create_ack: None,
                         outcome: None,
                     });
                     pending.push(Pending::Write(writes.len() - 1));
@@ -426,15 +447,20 @@ impl PrototypeCluster {
                         from: from.path().to_owned(),
                         acks,
                         rename: Some((to.path().to_owned(), i)),
+                        create_ack: None,
                         outcome: None,
                     });
                     pending.push(Pending::Write(writes.len() - 1));
                 }
             }
         }
-        // Drain the stragglers in op order, then assemble the outcomes.
+        // Drain the stragglers in op order (remove acks first, then any
+        // continuation creates they fired), then assemble the outcomes.
         for write in &mut writes {
             self.resolve_write(write, policy);
+        }
+        for write in &mut writes {
+            Self::drain_create_ack(write);
         }
         pending
             .into_iter()
@@ -466,7 +492,7 @@ impl PrototypeCluster {
         paths: &[&str],
     ) {
         let last_conflict = writes.iter().rposition(|w| {
-            w.outcome.is_none()
+            (w.outcome.is_none() || w.create_ack.is_some())
                 && paths
                     .iter()
                     .any(|&p| w.from == p || matches!(&w.rename, Some((to, _)) if to == p))
@@ -476,12 +502,22 @@ impl PrototypeCluster {
         };
         for w in &mut writes[..=last] {
             self.resolve_write(w, policy);
+            // An op touching this write's paths must also observe its
+            // continuation create (read-your-writes on the rename
+            // destination), so the create ack drains here too.
+            Self::drain_create_ack(w);
         }
     }
 
     /// Drains an in-flight write's remove acknowledgements (OR-ing the
-    /// per-node verdicts) and, for a rename whose source existed,
-    /// performs the deferred create at the policy-chosen new home.
+    /// per-node verdicts) and, for a rename whose source existed, fires
+    /// the deferred create as a **continuation**: the create is
+    /// dispatched to the policy-chosen new home without waiting for its
+    /// acknowledgement (the home is the dispatch target, so the outcome
+    /// is complete immediately); the ack parks on the write and drains
+    /// lazily — at the batch's end, or earlier under a destination-path
+    /// hazard. The old path blocked here for the create's round trip,
+    /// the last client-side synchronous wait in the write pipeline.
     ///
     /// # Panics
     ///
@@ -494,18 +530,45 @@ impl PrototypeCluster {
         for rx in write.acks.drain(..) {
             removed |= rx.recv_timeout(CLIENT_TIMEOUT).expect("remove answered");
         }
-        write.outcome = Some(match &write.rename {
+        let rename = write.rename.clone();
+        write.outcome = Some(match rename {
             None => BatchOutcome::Removed { removed },
             Some((to, op_index)) => {
                 // Draw the new home only when the source existed, like
                 // the simulated pipeline's rename migration.
                 let new_home = removed.then(|| {
-                    let target = self.policy_node(policy, *op_index);
-                    self.create_at(to, target)
+                    let target = self.policy_node(policy, op_index);
+                    write.create_ack = Some(self.dispatch_create(&to, target));
+                    target
                 });
                 BatchOutcome::Renamed { removed, new_home }
             }
         });
+    }
+
+    /// Drains a fired continuation create's acknowledgement, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not answer within the client timeout (or
+    /// acknowledges a different home than the dispatch target).
+    fn drain_create_ack(write: &mut InFlightWrite) {
+        let Some(rx) = write.create_ack.take() else {
+            return;
+        };
+        let home = rx
+            .recv_timeout(CLIENT_TIMEOUT)
+            .expect("continuation create acknowledged");
+        debug_assert!(
+            matches!(
+                &write.outcome,
+                Some(BatchOutcome::Renamed {
+                    new_home: Some(target),
+                    ..
+                }) if *target == home
+            ),
+            "continuation create landed at an unexpected home"
+        );
     }
 
     /// Dispatches `Remove(path)` to every node (stamped with each node's

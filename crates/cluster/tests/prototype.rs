@@ -225,6 +225,94 @@ fn pipelined_writes_stream_through_mixed_batches() {
     cluster.shutdown();
 }
 
+/// A rename whose destination nothing later touches resolves with its
+/// continuation create drained only at the batch's end — and the create
+/// really happened (the next batch finds the file at the reported home).
+#[test]
+fn rename_continuation_create_drains_at_batch_end() {
+    use ghba_cluster::BatchOutcome;
+    use ghba_core::OpBatch;
+
+    let mut cluster = ghba(6);
+    let mut setup = OpBatch::new();
+    setup.push_create("/cont/src");
+    cluster.execute(&setup);
+    cluster.flush_updates();
+
+    // No later op touches /cont/dst: the continuation's ack is drained
+    // by the end-of-batch sweep, not by a hazard stall.
+    let mut batch = OpBatch::new();
+    batch.push_rename("/cont/src", "/cont/dst");
+    batch.push_lookup("/cont/unrelated");
+    let outcomes = cluster.execute(&batch);
+    let BatchOutcome::Renamed { removed, new_home } = outcomes[0] else {
+        panic!("expected Renamed, got {:?}", outcomes[0]);
+    };
+    assert!(removed);
+    let home = new_home.expect("destination created");
+    cluster.flush_updates();
+    assert_eq!(cluster.lookup("/cont/dst").home, Some(home));
+    assert_eq!(cluster.lookup("/cont/src").home, None);
+    cluster.shutdown();
+}
+
+/// The op-mailbox drain dispatches its slab passes through the worker
+/// pool when the node is configured with multiple workers: a pinned
+/// burst above the parallel floor resolves bit-identically to the
+/// single-threaded node.
+#[test]
+fn pooled_mailbox_drain_matches_sequential_node() {
+    use ghba_cluster::BatchOutcome;
+    use ghba_core::{EntryPolicy, OpBatch};
+
+    let run = |workers: usize| {
+        let config = config().with_workers(workers).with_executor(
+            ghba_core::ExecutorConfig::default()
+                .with_workers(workers)
+                .with_min_parallel_batch(8),
+        );
+        let mut cluster = PrototypeCluster::spawn(Scheme::Ghba { max_group_size: 4 }, config, 8);
+        let mut setup = OpBatch::new();
+        for i in 0..48 {
+            setup.push_create(format!("/pool/f{i}"));
+        }
+        let homes: Vec<MdsId> = cluster
+            .execute(&setup)
+            .into_iter()
+            .map(|outcome| match outcome {
+                BatchOutcome::Created { home } => home,
+                other => panic!("expected Created, got {other:?}"),
+            })
+            .collect();
+        cluster.flush_updates();
+        let entry = cluster.node_ids()[0];
+        let mut burst = OpBatch::new().with_entry(EntryPolicy::Pinned(entry));
+        for i in 0..48 {
+            burst.push_lookup(format!("/pool/f{i}"));
+        }
+        let resolved: Vec<Option<MdsId>> = cluster
+            .execute(&burst)
+            .into_iter()
+            .map(|outcome| match outcome {
+                BatchOutcome::Lookup(reply) => reply.home,
+                other => panic!("expected Lookup, got {other:?}"),
+            })
+            .collect();
+        cluster.shutdown();
+        (homes, resolved)
+    };
+    let (homes_seq, resolved_seq) = run(1);
+    let (homes_par, resolved_par) = run(4);
+    assert_eq!(homes_seq, homes_par, "creates must agree across workers");
+    assert_eq!(
+        resolved_seq, resolved_par,
+        "lookups must agree across workers"
+    );
+    for (i, home) in resolved_par.iter().enumerate() {
+        assert_eq!(*home, Some(homes_par[i]), "file {i}");
+    }
+}
+
 #[test]
 fn vectored_batch_resolves_through_op_mailbox() {
     use ghba_cluster::BatchOutcome;

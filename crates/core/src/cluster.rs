@@ -10,9 +10,10 @@ use std::collections::BTreeMap;
 use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
 use ghba_simnet::{Counters, DetRng, LatencyStats};
 
-use crate::config::{GhbaConfig, MaskCacheLifecycle};
+use crate::config::{EpochGranularity, GhbaConfig, MaskCacheLifecycle};
+use crate::exec::run_chunked;
 use crate::group::Group;
-use crate::ids::{GroupId, MdsId, MembershipEpoch};
+use crate::ids::{GroupEpoch, GroupId, MdsId, MembershipEpoch};
 use crate::mds::{published_shape, Mds};
 use crate::op::{EntryPolicy, PathKey};
 use crate::query::{LevelCounts, QueryLevel, QueryOutcome};
@@ -38,8 +39,42 @@ pub struct ClusterStats {
     pub splits: u64,
     /// Group merges performed.
     pub merges: u64,
+    /// L2/L3 mask-cache consultations answered from cache since the last
+    /// [`reset_stats`](GhbaCluster::reset_stats) (the figure-binary view
+    /// of [`mask_cache_stats`](GhbaCluster::mask_cache_stats), which
+    /// keeps lifetime totals).
+    pub mask_cache_hits: u64,
+    /// L2/L3 mask-cache consultations that had to (re)build their entry
+    /// since the last reset.
+    pub mask_cache_misses: u64,
     /// Named auxiliary counters (verification round trips, drops, …).
     pub counters: Counters,
+}
+
+/// One entry server's cached L2 snapshot: its held-replica candidate
+/// mask plus the held count the probe-latency model needs. Tagged with
+/// the [`GroupEpoch`] of the server's group at build time — a
+/// reconfiguration that touches the group bumps its epoch, so the tag
+/// (and a `gid` check covering servers that changed groups in a split
+/// or merge) is the entry's entire validity condition.
+#[derive(Debug, Clone)]
+struct L2Mask {
+    entry: MdsId,
+    gid: GroupId,
+    tag: GroupEpoch,
+    held: usize,
+    mask: SlotMask,
+}
+
+/// One group's cached L3 snapshot: the member list with held counts
+/// (the multicast latency inputs) and the group-mirror candidate mask,
+/// tagged like [`L2Mask`].
+#[derive(Debug, Clone)]
+struct L3Mask {
+    gid: GroupId,
+    tag: GroupEpoch,
+    member_held: Vec<(MdsId, usize)>,
+    mask: SlotMask,
 }
 
 /// Memoized candidate masks for the batched lookup walk.
@@ -49,51 +84,140 @@ pub struct ClusterStats {
 /// touch**; only reconfiguration invalidates them. How long entries
 /// live is governed by [`MaskCacheMode`](crate::MaskCacheMode):
 ///
-/// * `Persistent` (default) — entries are tagged with the
-///   [`MembershipEpoch`] they were built under and validated lazily at
-///   the start of every walk: a reconfiguration bumps the cluster's
-///   epoch, and the first walk of the new epoch drops the stale entries.
-///   The cache therefore amortizes across batches *and* across the
-///   1-op string shims.
+/// * `Persistent` (default) — entries are tagged with their group's
+///   [`GroupEpoch`] and validated **entry by entry** at consultation
+///   time: a reconfiguration bumps the epochs of exactly the groups it
+///   touched (see [`GhbaCluster::touch_group`]), so a single-group
+///   rebalance leaves every other group's masks warm, where the old
+///   all-or-nothing [`MembershipEpoch`] check cold-started the whole
+///   cache. The cache amortizes across batches *and* across the 1-op
+///   string shims.
 /// * `PerBatch` — armed by [`GhbaCluster::batch_begin`] via the
 ///   vectored op pipeline, dropped by `batch_end`; unarmed, the cache
 ///   lives for one walk (the pre-epoch behaviour).
 /// * `Off` — cleared at the top of every walk (the cache-free reference
 ///   the property tests compare against).
 ///
-/// Anything budget- or filter-dependent (probe durations, live-filter
-/// verdicts) is deliberately *not* cached here and is recomputed per
-/// run.
+/// Both index vectors are **sorted by key** (entry id, group id) and
+/// consulted by binary search, so the hit path stays `O(log N)` at
+/// ultra-scale fan-in instead of the linear scan that was fine at a few
+/// hundred entries. Anything budget- or filter-dependent (probe
+/// durations, live-filter verdicts) is deliberately *not* cached here
+/// and is recomputed per run.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct MaskCache {
-    /// Armed flag, build epoch, hit/miss counters — the mode-validation
-    /// state machine shared with the HBA baseline's cache.
+    /// Armed flag and hit/miss counters — the mode-validation state
+    /// machine shared with the HBA baseline's cache.
     life: MaskCacheLifecycle,
-    /// entry → (held replica count, L2 candidate mask).
-    l2: Vec<(MdsId, usize, SlotMask)>,
-    /// group → (each member's held count, group-mirror mask).
-    l3: Vec<GroupMirror>,
+    /// Sorted by `entry`.
+    l2: Vec<L2Mask>,
+    /// Sorted by `gid`.
+    l3: Vec<L3Mask>,
 }
-
-/// One group's cached L3 snapshot: `(group, members' held counts,
-/// group-mirror candidate mask)`.
-type GroupMirror = (GroupId, Vec<(MdsId, usize)>, SlotMask);
 
 impl MaskCache {
     fn clear(&mut self) {
         self.l2.clear();
         self.l3.clear();
     }
+
+    /// The cached L2 snapshot of `entry`, whatever its tag (the caller
+    /// validates).
+    fn l2(&self, entry: MdsId) -> Option<&L2Mask> {
+        self.l2
+            .binary_search_by_key(&entry, |e| e.entry)
+            .ok()
+            .map(|at| &self.l2[at])
+    }
+
+    /// The cached L3 snapshot of `gid`, whatever its tag.
+    fn l3(&self, gid: GroupId) -> Option<&L3Mask> {
+        self.l3
+            .binary_search_by_key(&gid, |e| e.gid)
+            .ok()
+            .map(|at| &self.l3[at])
+    }
+
+    /// Inserts or replaces the L2 snapshot of `fresh.entry`, keeping
+    /// the sort order.
+    fn upsert_l2(&mut self, fresh: L2Mask) {
+        match self.l2.binary_search_by_key(&fresh.entry, |e| e.entry) {
+            Ok(at) => self.l2[at] = fresh,
+            Err(at) => self.l2.insert(at, fresh),
+        }
+    }
+
+    /// Inserts or replaces the L3 snapshot of `fresh.gid`, keeping the
+    /// sort order.
+    fn upsert_l3(&mut self, fresh: L3Mask) {
+        match self.l3.binary_search_by_key(&fresh.gid, |e| e.gid) {
+            Ok(at) => self.l3[at] = fresh,
+            Err(at) => self.l3.insert(at, fresh),
+        }
+    }
+
+    /// Drops a departed server's L2 snapshot. Ids are never reused, so a
+    /// dead entry could never validate again — but without eviction it
+    /// would linger forever, and per-group tag validation (unlike the
+    /// old all-or-nothing flush) never bulk-clears, so long membership
+    /// churn would grow the cache without bound.
+    pub(crate) fn forget_entry(&mut self, entry: MdsId) {
+        if let Ok(at) = self.l2.binary_search_by_key(&entry, |e| e.entry) {
+            self.l2.remove(at);
+        }
+    }
+
+    /// Drops a dissolved group's L3 snapshot (same bound as
+    /// [`forget_entry`](MaskCache::forget_entry)).
+    pub(crate) fn forget_group(&mut self, gid: GroupId) {
+        if let Ok(at) = self.l3.binary_search_by_key(&gid, |e| e.gid) {
+            self.l3.remove(at);
+        }
+    }
 }
 
-/// Reusable working memory for the batched walk (probe batch, row
-/// table). Contents are fully re-initialized per walk; keeping the
-/// allocations on the cluster means the 1-op string shims stop paying
-/// a fresh `ProbeBatch` + row-table allocation per call.
+/// The read-phase result for one query of a batched walk: the finished
+/// outcome plus the side effects the splice phase must apply in stream
+/// order (counter bumps; the LRU fill is implied by a found home).
+///
+/// Splitting verdict computation from effect application is what makes
+/// the walk parallelizable: computing a `WalkVerdict` needs only
+/// `&GhbaCluster` (plus a private scratch arena), so chunks of a batch
+/// run concurrently against the shared slab, and the single-threaded
+/// splice afterwards applies LRU fills and statistics exactly as a
+/// stream-ordered drain would.
+#[derive(Debug, Clone)]
+struct WalkVerdict {
+    outcome: QueryOutcome,
+    /// L1 unique hits whose verification failed (false hits).
+    l1_false: u32,
+    /// L2 unique hits whose verification failed.
+    l2_false: u32,
+    /// L3 unique hits whose verification failed.
+    l3_false: u32,
+    /// L4 live-filter positives that cost a disk check but did not
+    /// store the path.
+    l4_disk_checks: u32,
+}
+
+/// Reusable working memory for one walk chunk: the probe batch, the
+/// live-filter row table, the verdict buffers, and every per-query
+/// working vector of the level-by-level escalation. Contents are fully
+/// re-initialized per walk; keeping the allocations on the cluster —
+/// one arena per configured worker — means neither the 1-op string
+/// shims nor the parallel chunk walks pay per-call allocations.
 #[derive(Debug, Clone, Default)]
 struct WalkScratch {
     batch: ProbeBatch,
     live_rows: Vec<u32>,
+    verdicts: Vec<WalkVerdict>,
+    /// Per-query resolution slots, `None` until the query's level lands.
+    slots: Vec<Option<WalkVerdict>>,
+    /// Per-query false-hit tallies `[l1, l2, l3, l4-disk-checks]`.
+    falses: Vec<[u32; 4]>,
+    latency: Vec<Duration>,
+    messages: Vec<u32>,
+    fps: Vec<Fingerprint>,
 }
 
 /// A simulated G-HBA metadata server cluster.
@@ -130,11 +254,19 @@ pub struct GhbaCluster {
     pub(crate) stats: ClusterStats,
     pub(crate) mask_cache: MaskCache,
     pub(crate) epoch: MembershipEpoch,
+    /// Per-group configuration versions: bumped for exactly the groups a
+    /// reconfiguration touches (all of them for join/leave/fail, which
+    /// place or drop a replica everywhere; only the involved groups for
+    /// rebalance/split/merge). Mask-cache entries are tagged with their
+    /// group's epoch and validated lazily against this map.
+    pub(crate) group_epochs: BTreeMap<GroupId, GroupEpoch>,
     /// Entry policy the 1-op string shims execute under (see
     /// [`MetadataService::set_shim_policy`](crate::MetadataService::set_shim_policy));
     /// round-robin state advances here, on the service, across calls.
     pub(crate) shim_entry: EntryPolicy,
-    scratch: WalkScratch,
+    /// Per-worker walk arenas (arena 0 doubles as the sequential
+    /// scratch), grown lazily to the configured worker count.
+    scratch: Vec<WalkScratch>,
 }
 
 impl GhbaCluster {
@@ -155,8 +287,9 @@ impl GhbaCluster {
             stats: ClusterStats::default(),
             mask_cache: MaskCache::default(),
             epoch: MembershipEpoch::default(),
+            group_epochs: BTreeMap::new(),
             shim_entry: EntryPolicy::Random,
-            scratch: WalkScratch::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -172,10 +305,51 @@ impl GhbaCluster {
     }
 
     /// Advances the membership epoch (every reconfiguration path calls
-    /// this before returning). The persistent mask cache validates
-    /// lazily against it at the start of the next walk.
+    /// this before returning). Coarse external fence; the mask cache
+    /// itself validates against the finer per-group epochs.
     pub(crate) fn bump_epoch(&mut self) {
         self.epoch.bump();
+    }
+
+    /// The configuration version of `gid` (default epoch for groups
+    /// never touched — including groups that do not exist, which no
+    /// valid cache entry can name).
+    #[must_use]
+    pub fn group_epoch(&self, gid: GroupId) -> GroupEpoch {
+        self.group_epochs.get(&gid).copied().unwrap_or_default()
+    }
+
+    /// Records that a reconfiguration changed state `gid`'s derived
+    /// masks depend on (membership, replica placement, or held counts):
+    /// cached L2 entries of the group's members and the group's L3 entry
+    /// are stale from here on. Under
+    /// [`EpochGranularity::Global`] this degrades to the all-or-nothing
+    /// flush (every group bumps), the reference behaviour the property
+    /// tests compare against.
+    pub(crate) fn touch_group(&mut self, gid: GroupId) {
+        match self.config.epoch_granularity {
+            EpochGranularity::PerGroup => {
+                self.group_epochs.entry(gid).or_default().bump();
+            }
+            EpochGranularity::Global => self.touch_all_groups(),
+        }
+    }
+
+    /// Bumps every live group's epoch — the invalidation scope of
+    /// reconfigurations that place or drop a replica in every group
+    /// (join, graceful leave, fail-stop) and of slab capacity growth.
+    pub(crate) fn touch_all_groups(&mut self) {
+        for gid in self.groups.keys() {
+            self.group_epochs.entry(*gid).or_default().bump();
+        }
+    }
+
+    /// Drops the epoch entry **and cached L3 snapshot** of a dissolved
+    /// group (merges, emptied groups); its id is never reused, so
+    /// keeping either around could only leak.
+    pub(crate) fn forget_group_epoch(&mut self, gid: GroupId) {
+        self.group_epochs.remove(&gid);
+        self.mask_cache.forget_group(gid);
     }
 
     /// `(hits, misses)` of the L2/L3 mask cache over the cluster's
@@ -425,13 +599,22 @@ impl GhbaCluster {
     /// Looks `path` up starting from a chosen entry MDS, walking the
     /// L1 → L2 → L3 → L4 hierarchy of §2.3.
     ///
+    /// This is the **scratch-reusing single-lookup fast path**: the same
+    /// walk as a one-query
+    /// [`lookup_batch_from`](GhbaCluster::lookup_batch_from) —
+    /// bit-identical outcomes, pinned by the batch-equivalence tests —
+    /// without the batch plumbing. Probes go through the scalar
+    /// hash-once slab queries against the same prepared mask cache, so
+    /// neither this call nor the 1-op string shims built on it pay a
+    /// probe-batch assembly, a row-table derivation, or any per-call
+    /// `Vec` allocation.
+    ///
     /// # Panics
     ///
     /// Panics if `entry` is not a member of the cluster.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
-        self.lookup_batch_from(&[(entry, path)])
-            .pop()
-            .expect("one query in, one outcome out")
+        let fp = Fingerprint::of(path);
+        self.lookup_one(entry, path, &fp)
     }
 
     /// Looks up a batch of paths, each from a uniformly random entry MDS —
@@ -454,13 +637,25 @@ impl GhbaCluster {
     /// still past L1 joins one [`ProbeBatch`] against the published slab
     /// at L2, and again (group-masked) at L3, so the slab's `k` probe rows
     /// per fingerprint are resolved in one sorted, prefetched pass per
-    /// level instead of one dependent walk per query.
+    /// level instead of one dependent walk per query. Batches of at
+    /// least `executor.min_parallel_batch` queries additionally split
+    /// into `executor.workers` chunks walked concurrently against the
+    /// shared read-only slab (bit-identical outcomes; see the
+    /// [`crate::exec`] module docs and [`ExecutorConfig`]).
+    ///
+    /// [`ExecutorConfig`]: crate::ExecutorConfig
     ///
     /// Per-query accounting (latency, messages, level counters) is
     /// identical to running [`lookup_from`](GhbaCluster::lookup_from) once
-    /// per query; the only visible difference is that an L1 cache fill
-    /// produced by one query of the batch is not seen by the *later* L2+
-    /// probes of the same batch — the concurrent-request model.
+    /// per query; the only visible difference is the concurrent-request
+    /// model: the queries of one batch model simultaneous clients, so no
+    /// L1 cache fill produced by one query of the batch (at any level)
+    /// is observed by another query of the same batch — fills apply in
+    /// stream order when the batch completes. Observable only through an
+    /// L1 Bloom false positive or an LRU eviction reordering, both
+    /// vanishingly rare at sane L1 geometries; the vectored op pipeline
+    /// additionally splits fused runs at repeated `(entry, path)` pairs,
+    /// so the common hot-repeat case stays exact.
     ///
     /// # Panics
     ///
@@ -480,46 +675,207 @@ impl GhbaCluster {
     /// fingerprints were already computed (at batch admission by the
     /// vectored op pipeline, or just above for string callers).
     ///
+    /// Execution is split into three phases:
+    ///
+    /// 1. **Prepare** (dispatching thread, mutating) — validate or
+    ///    rebuild the L2/L3 mask-cache entries every query may consult
+    ///    ([`prepare_masks`](Self::prepare_masks)).
+    /// 2. **Read** (parallel when `executor.workers > 1` and the batch
+    ///    reaches `executor.min_parallel_batch`) — the batch splits into
+    ///    contiguous per-worker chunks, each walking L1–L4 against the
+    ///    shared read-only slab with its own scratch arena
+    ///    ([`walk_chunk`](Self::walk_chunk)); `workers = 1` and
+    ///    sub-threshold batches walk one chunk inline with no pool
+    ///    involvement.
+    /// 3. **Splice** (dispatching thread, mutating) — verdicts are
+    ///    stitched back **in stream order** and their deferred effects
+    ///    (LRU fills, counters, statistics) applied
+    ///    ([`apply_verdict`](Self::apply_verdict)).
+    ///
+    /// Outcomes are bit-identical at every worker count: the read phase
+    /// is a pure function of the prepared state, and the splice applies
+    /// effects exactly as a stream-ordered drain would (property-tested
+    /// across worker counts, schemes, and reconfig interleavings).
+    ///
     /// # Panics
     ///
-    /// Panics if any entry is not a member of the cluster.
+    /// Panics if any entry is not a member of the cluster (in a parallel
+    /// walk the assert fires on the worker owning the chunk and the
+    /// panic is re-raised here, after sibling chunks finish).
     ///
     /// [`lookup_batch_from`]: GhbaCluster::lookup_batch_from
     pub(crate) fn lookup_batch_prehashed(
         &mut self,
         queries: &[(MdsId, &str, Fingerprint)],
     ) -> Vec<QueryOutcome> {
+        let total = queries.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        if total == 1 {
+            // The scratch-reusing scalar fast path (no batch plumbing).
+            let (entry, path, fp) = queries[0];
+            return vec![self.lookup_one(entry, path, &fp)];
+        }
+        self.prepare_masks(queries);
+        let executor = self.config.executor;
+        let mut arenas = core::mem::take(&mut self.scratch);
+        let walked = {
+            let shared: &GhbaCluster = self;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_chunked(queries, executor, &mut arenas, |chunk, arena| {
+                    shared.walk_chunk(chunk, arena)
+                })
+            }))
+        };
+        let used = match walked {
+            Ok(used) => used,
+            Err(payload) => {
+                // A poisoned chunk must not cost the cluster its warmed
+                // per-worker arenas: restore them before re-raising.
+                self.scratch = arenas;
+                std::panic::resume_unwind(payload);
+            }
+        };
+        let mut outcomes = Vec::with_capacity(total);
+        let mut qi = 0usize;
+        for arena in arenas.iter_mut().take(used) {
+            for verdict in arena.verdicts.drain(..) {
+                let fp = queries[qi].2;
+                outcomes.push(self.apply_verdict(&fp, verdict));
+                qi += 1;
+            }
+        }
+        debug_assert_eq!(qi, total, "chunks cover the batch exactly once");
+        self.scratch = arenas;
+        outcomes
+    }
+
+    /// Validates (or rebuilds) the mask-cache entries every query of the
+    /// walk may consult — the L2 snapshot of each entry server and the
+    /// L3 snapshot of its group — on the dispatching thread, *before*
+    /// the (possibly parallel) read phase, which then consults the cache
+    /// strictly read-only.
+    ///
+    /// Validity under [`MaskCacheMode::Persistent`](crate::MaskCacheMode)
+    /// is per entry: a snapshot is fresh iff its group tag matches the
+    /// group's current [`GroupEpoch`] (and, for L2, the server still
+    /// belongs to the group it was built under — splits and merges move
+    /// servers without touching their ids). Hit/miss accounting is one
+    /// L2 + one L3 consultation per query; the pre-parallel walk
+    /// consulted L3 only for queries escalating past L2, so
+    /// Persistent-mode totals are a slight upper bound of the old
+    /// accounting, with identical rates at the batch sizes the figure
+    /// binaries read.
+    fn prepare_masks(&mut self, queries: &[(MdsId, &str, Fingerprint)]) {
+        if self
+            .mask_cache
+            .life
+            .begin_walk_keyed(self.config.mask_cache)
+        {
+            self.mask_cache.clear();
+        }
+        for &(entry, _, _) in queries {
+            // Unknown entries panic inside the walk itself (same message
+            // and per-query position as ever); skip them here.
+            let Some(gid) = self.group_of(entry) else {
+                continue;
+            };
+            let tag = self.group_epoch(gid);
+            let l2_fresh = self
+                .mask_cache
+                .l2(entry)
+                .is_some_and(|e| e.gid == gid && e.tag == tag);
+            if l2_fresh {
+                self.mask_cache.life.hit();
+                self.stats.mask_cache_hits += 1;
+            } else {
+                self.mask_cache.life.miss();
+                self.stats.mask_cache_misses += 1;
+                let held = self.replicas_held_by(entry);
+                let mask = self.published_array.subset_mask(held.iter().copied());
+                self.mask_cache.upsert_l2(L2Mask {
+                    entry,
+                    gid,
+                    tag,
+                    held: held.len(),
+                    mask,
+                });
+            }
+            let l3_fresh = self.mask_cache.l3(gid).is_some_and(|e| e.tag == tag);
+            if l3_fresh {
+                self.mask_cache.life.hit();
+                self.stats.mask_cache_hits += 1;
+            } else {
+                self.mask_cache.life.miss();
+                self.stats.mask_cache_misses += 1;
+                let member_held: Vec<(MdsId, usize)> = self.groups[&gid]
+                    .members()
+                    .iter()
+                    .map(|&member| (member, self.groups[&gid].replicas_held_by(member).len()))
+                    .collect();
+                // The group's replicas collectively mirror every server
+                // outside it: one masked slab probe covers all of them,
+                // and recipients reuse the fingerprint shipped with the
+                // multicast for their live probes.
+                let origins = self.groups[&gid].replica_origins();
+                let mask = self.published_array.subset_mask(origins.iter().copied());
+                self.mask_cache.upsert_l3(L3Mask {
+                    gid,
+                    tag,
+                    member_held,
+                    mask,
+                });
+            }
+        }
+    }
+
+    /// Resolves one chunk of a batched walk **read-only**: the L1 → L4
+    /// escalation runs level by level across the chunk (one probe-batch
+    /// slab pass per level, exactly the pre-parallel schedule), with
+    /// every side effect deferred into `scratch.verdicts` for the splice
+    /// phase. Requires [`prepare_masks`](Self::prepare_masks) to have
+    /// covered every query's entry and group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is not a member of the cluster.
+    fn walk_chunk(&self, queries: &[(MdsId, &str, Fingerprint)], scratch: &mut WalkScratch) {
+        let WalkScratch {
+            batch,
+            live_rows,
+            verdicts,
+            slots,
+            falses,
+            latency,
+            messages,
+            fps,
+        } = scratch;
         let model = self.config.latency.clone();
         let total = queries.len();
-        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; total];
-        let mut latency: Vec<Duration> = vec![model.dispatch; total];
-        let mut messages: Vec<u32> = vec![0; total];
-        let fps: Vec<Fingerprint> = queries.iter().map(|&(_, _, fp)| fp).collect();
+        verdicts.clear();
+        slots.clear();
+        slots.resize(total, None);
+        falses.clear();
+        falses.resize(total, [0; 4]);
+        latency.clear();
+        latency.resize(total, model.dispatch);
+        messages.clear();
+        messages.resize(total, 0);
+        fps.clear();
+        fps.extend(queries.iter().map(|&(_, _, fp)| fp));
         // Every live-filter probe of the walk (the entry's at L2, group
         // members' at L3, the global L4 sweep) shares one row table,
-        // derived once per batch through the ProbeBatch fastmod machinery
+        // derived once per chunk through the ProbeBatch fastmod machinery
         // instead of once per (query, server) pair. Live filters share
         // [`published_shape`], so one derivation serves them all.
         let live_shape = published_shape(&self.config);
         let k_live = live_shape.hashes as usize;
-        let mut batch = core::mem::take(&mut self.scratch.batch);
-        let mut live_rows = core::mem::take(&mut self.scratch.live_rows);
         batch.clear();
-        for fp in &fps {
+        for fp in fps.iter() {
             batch.push(*fp);
         }
-        batch.derive_rows_into(live_shape, &mut live_rows);
-        // Validate-or-drop the mask cache per its configured lifetime:
-        // persistent entries survive until the membership epoch moves,
-        // per-batch entries until `batch_end` (or the walk's end when
-        // unarmed), and `Off` starts every walk cold.
-        if self
-            .mask_cache
-            .life
-            .begin_walk(self.config.mask_cache, self.epoch)
-        {
-            self.mask_cache.clear();
-        }
+        batch.derive_rows_into(live_shape, live_rows);
         let mut active: Vec<usize> = Vec::with_capacity(total);
 
         // ---- L1: each entry server's LRU Bloom filter array. ----
@@ -537,17 +893,17 @@ impl GhbaCluster {
                     if let Some(home) =
                         self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
                     {
-                        outcomes[qi] = Some(self.finish(
+                        slots[qi] = Some(self.assemble(
                             entry,
-                            &fp,
                             home,
                             QueryLevel::L1Lru,
                             latency[qi],
                             messages[qi],
+                            falses[qi],
                         ));
                         continue;
                     }
-                    self.stats.counters.incr("l1_false_hits");
+                    falses[qi][0] += 1;
                 }
             }
             active.push(qi);
@@ -555,36 +911,18 @@ impl GhbaCluster {
 
         // ---- L2: every entry server's segment array (θ replicas + own):
         // one batched masked probe of the published slab for the whole
-        // batch. The candidate mask and held count depend only on the
-        // *entry* (and only reconfiguration changes them), so each
-        // entry's mask is built once per batch instead of once per
-        // query; the budget-sensitive probe duration is recomputed here,
-        // inside the run, where no write can interleave.
+        // chunk, with candidate masks and held counts read from the
+        // prepared cache; the budget-sensitive probe duration is
+        // recomputed here, inside the run, where no write can interleave.
         batch.clear();
         for &qi in &active {
             let (entry, _, _) = queries[qi];
-            if self.mask_cache.l2.iter().any(|(id, _, _)| *id == entry) {
-                self.mask_cache.life.hit();
-            } else {
-                self.mask_cache.life.miss();
-                let held = self.replicas_held_by(entry);
-                let mask = self.published_array.subset_mask(held.iter().copied());
-                self.mask_cache.l2.push((entry, held.len(), mask));
-            }
+            let l2 = self.mask_cache.l2(entry).expect("L2 mask prepared");
+            let resident = self.mdss[&entry].resident_replicas(l2.held);
+            latency[qi] += model.array_probe(l2.held + 1, l2.held - resident);
+            batch.push_masked(fps[qi], l2.mask.clone());
         }
-        for &qi in &active {
-            let (entry, _, _) = queries[qi];
-            let &(_, held, ref mask) = self
-                .mask_cache
-                .l2
-                .iter()
-                .find(|(id, _, _)| *id == entry)
-                .expect("cached just above");
-            let resident = self.mdss[&entry].resident_replicas(held);
-            latency[qi] += model.array_probe(held + 1, held - resident);
-            batch.push_masked(fps[qi], mask.clone());
-        }
-        let hits = self.published_array.query_batch(&mut batch);
+        let hits = self.published_array.query_batch(batch);
         let mut next_active = Vec::with_capacity(active.len());
         for (&qi, hit) in active.iter().zip(&hits) {
             let (entry, path, _) = queries[qi];
@@ -597,67 +935,39 @@ impl GhbaCluster {
                 if let Some(home) =
                     self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
                 {
-                    outcomes[qi] = Some(self.finish(
+                    slots[qi] = Some(self.assemble(
                         entry,
-                        &fps[qi],
                         home,
                         QueryLevel::L2Segment,
                         latency[qi],
                         messages[qi],
+                        falses[qi],
                     ));
                     continue;
                 }
-                self.stats.counters.incr("l2_false_hits");
+                falses[qi][1] += 1;
             }
             next_active.push(qi);
         }
         let active = next_active;
 
         // ---- L3: multicast within each entry server's group; the
-        // group-mirror probes of the whole batch share one slab pass. ----
+        // group-mirror probes of the whole chunk share one slab pass,
+        // reading each group's member snapshot and origin mask from the
+        // prepared cache. The budget-sensitive probe durations and the
+        // entry-dependent worst-peer max reduce over the snapshot per
+        // query.
         batch.clear();
-        // Per-group L3 state, built once per batch: the member list with
-        // held counts and the group-mirror candidate mask depend only on
-        // the *group* (and only reconfiguration changes them), so a batch
-        // whose queries enter through few groups pays the (member-scan +
-        // mask-build) work per group instead of per query. The
-        // budget-sensitive probe durations and the entry-dependent
-        // worst-peer max reduce over the cached snapshot per query.
         for &qi in &active {
             let (entry, _, _) = queries[qi];
             let gid = self.group_of(entry).expect("entry has a group");
-            if self.mask_cache.l3.iter().any(|(id, _, _)| *id == gid) {
-                self.mask_cache.life.hit();
-            } else {
-                self.mask_cache.life.miss();
-                let member_held: Vec<(MdsId, usize)> = self.groups[&gid]
-                    .members()
-                    .iter()
-                    .map(|&member| (member, self.groups[&gid].replicas_held_by(member).len()))
-                    .collect();
-                // The group's replicas collectively mirror every server
-                // outside it: one masked slab probe covers all of them,
-                // and recipients reuse the fingerprint shipped with the
-                // multicast for their live probes.
-                let origins = self.groups[&gid].replica_origins();
-                let mask = self.published_array.subset_mask(origins.iter().copied());
-                self.mask_cache.l3.push((gid, member_held, mask));
-            }
-        }
-        for &qi in &active {
-            let (entry, _, _) = queries[qi];
-            let gid = self.group_of(entry).expect("entry has a group");
-            let (_, member_held, mask) = self
-                .mask_cache
-                .l3
-                .iter()
-                .find(|(id, _, _)| *id == gid)
-                .expect("cached just above");
-            let peer_count = member_held.len().saturating_sub(1);
+            let l3 = self.mask_cache.l3(gid).expect("L3 mask prepared");
+            let peer_count = l3.member_held.len().saturating_sub(1);
             messages[qi] += 2 * peer_count as u32;
             latency[qi] += model.multicast_rtt(peer_count);
             // Peers probe their held replicas in parallel: pay the slowest.
-            let worst_probe = member_held
+            let worst_probe = l3
+                .member_held
                 .iter()
                 .filter(|&&(member, _)| member != entry)
                 .map(|&(member, held)| {
@@ -667,12 +977,12 @@ impl GhbaCluster {
                 .max()
                 .unwrap_or(Duration::ZERO);
             latency[qi] += worst_probe;
-            batch.push_masked(fps[qi], mask.clone());
+            batch.push_masked(fps[qi], l3.mask.clone());
         }
-        let hits = self.published_array.query_batch(&mut batch);
+        let hits = self.published_array.query_batch(batch);
         let mut next_active = Vec::with_capacity(active.len());
         // Members' live-filter answers depend only on (group, fingerprint):
-        // flash-crowd duplicates within the batch probe each group's
+        // flash-crowd duplicates within the chunk probe each group's
         // member filters once and reuse the verdict.
         let mut l3_live: Vec<(GroupId, (u64, u64), Vec<MdsId>)> = Vec::new();
         for (&qi, hit) in active.iter().zip(&hits) {
@@ -703,28 +1013,27 @@ impl GhbaCluster {
                 if let Some(home) =
                     self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
                 {
-                    outcomes[qi] = Some(self.finish(
+                    slots[qi] = Some(self.assemble(
                         entry,
-                        &fps[qi],
                         home,
                         QueryLevel::L3Group,
                         latency[qi],
                         messages[qi],
+                        falses[qi],
                     ));
                     continue;
                 }
-                self.stats.counters.incr("l3_false_hits");
+                falses[qi][2] += 1;
             }
             next_active.push(qi);
         }
         let active = next_active;
 
         // ---- L4: system-wide multicast; authoritative. The recipients'
-        // live-filter probes reuse the batch's precomputed row table
+        // live-filter probes reuse the chunk's precomputed row table
         // (each fingerprint's rows derived once, not once per server). ----
         for &qi in &active {
             let (entry, path, _) = queries[qi];
-            let fp = fps[qi];
             let rows = &live_rows[qi * k_live..(qi + 1) * k_live];
             let others = self.server_count().saturating_sub(1);
             messages[qi] += 2 * others as u32;
@@ -741,30 +1050,34 @@ impl GhbaCluster {
                     if mds.stores(path) {
                         found = Some(id);
                     } else {
-                        self.stats.counters.incr("l4_false_positive_disk_checks");
+                        falses[qi][3] += 1;
                     }
                 }
             }
             latency[qi] += verify_cost;
-            outcomes[qi] = Some(match found {
-                Some(home) => self.finish(
+            slots[qi] = Some(match found {
+                Some(home) => self.assemble(
                     entry,
-                    &fp,
                     home,
                     QueryLevel::L4Global,
                     latency[qi],
                     messages[qi],
+                    falses[qi],
                 ),
                 None => {
                     let latency = latency[qi].mul_f64(self.config.contention_factor(messages[qi]));
-                    self.stats.levels.record(QueryLevel::Nonexistent);
-                    self.stats.lookup_latency.record(latency);
-                    QueryOutcome {
-                        home: None,
-                        level: QueryLevel::Nonexistent,
-                        latency,
-                        messages: messages[qi],
-                        entry,
+                    WalkVerdict {
+                        outcome: QueryOutcome {
+                            home: None,
+                            level: QueryLevel::Nonexistent,
+                            latency,
+                            messages: messages[qi],
+                            entry,
+                        },
+                        l1_false: falses[qi][0],
+                        l2_false: falses[qi][1],
+                        l3_false: falses[qi][2],
+                        l4_disk_checks: falses[qi][3],
                     }
                 }
             });
@@ -772,19 +1085,211 @@ impl GhbaCluster {
 
         batch.clear();
         live_rows.clear();
-        self.scratch.batch = batch;
-        self.scratch.live_rows = live_rows;
-        outcomes
-            .into_iter()
-            .map(|outcome| outcome.expect("every query resolved by L4"))
-            .collect()
+        verdicts.extend(
+            slots
+                .drain(..)
+                .map(|slot| slot.expect("every query resolved by L4")),
+        );
+    }
+
+    /// Builds the read-phase verdict of a resolved query: the finished
+    /// [`QueryOutcome`] (contention inflation applied) plus the false-hit
+    /// tallies the splice phase will account. Pure — the mutating
+    /// counterpart is [`apply_verdict`](Self::apply_verdict).
+    fn assemble(
+        &self,
+        entry: MdsId,
+        home: MdsId,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+        falses: [u32; 4],
+    ) -> WalkVerdict {
+        let latency = latency.mul_f64(self.config.contention_factor(messages));
+        WalkVerdict {
+            outcome: QueryOutcome {
+                home: Some(home),
+                level,
+                latency,
+                messages,
+                entry,
+            },
+            l1_false: falses[0],
+            l2_false: falses[1],
+            l3_false: falses[2],
+            l4_disk_checks: falses[3],
+        }
+    }
+
+    /// Applies one resolved query's deferred effects — false-hit
+    /// counters, the LRU fill at its entry server, level and latency
+    /// statistics — and returns the outcome. The splice phase calls this
+    /// in stream order, so N parallel chunks leave exactly the
+    /// statistics and L1 state a single-threaded stream drain would.
+    fn apply_verdict(&mut self, fp: &Fingerprint, verdict: WalkVerdict) -> QueryOutcome {
+        let WalkVerdict {
+            outcome,
+            l1_false,
+            l2_false,
+            l3_false,
+            l4_disk_checks,
+        } = verdict;
+        for (label, count) in [
+            ("l1_false_hits", l1_false),
+            ("l2_false_hits", l2_false),
+            ("l3_false_hits", l3_false),
+            ("l4_false_positive_disk_checks", l4_disk_checks),
+        ] {
+            if count > 0 {
+                self.stats.counters.add(label, count.into());
+            }
+        }
+        if let Some(home) = outcome.home {
+            if let Some(lru) = self.mdss.get_mut(&outcome.entry).and_then(Mds::lru_mut) {
+                lru.record_fp(fp, home);
+            }
+        }
+        self.stats.levels.record(outcome.level);
+        self.stats.lookup_latency.record(outcome.latency);
+        outcome
+    }
+
+    /// The scalar walk behind [`lookup_from`](GhbaCluster::lookup_from)
+    /// and the B = 1 batches of the string shims: the same escalation,
+    /// mask-cache consultation, and accounting as a one-query
+    /// [`walk_chunk`](Self::walk_chunk), with the probe-batch machinery
+    /// replaced by scalar hash-once slab queries and effects applied
+    /// inline. The batch-equivalence tests pin the two walks identical.
+    fn lookup_one(&mut self, entry: MdsId, path: &str, fp: &Fingerprint) -> QueryOutcome {
+        assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        self.prepare_masks(&[(entry, path, *fp)]);
+        let model = self.config.latency.clone();
+        let mut latency = model.dispatch;
+        let mut messages = 0u32;
+
+        // ---- L1: the entry server's LRU Bloom filter array. ----
+        let l1_hit = self
+            .mdss
+            .get(&entry)
+            .and_then(Mds::lru)
+            .map(|lru| lru.query_fp(fp));
+        if let Some(hit) = l1_hit {
+            latency += model.memory_probe;
+            if let Hit::Unique(candidate) = hit {
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+                {
+                    return self.finish(entry, fp, home, QueryLevel::L1Lru, latency, messages);
+                }
+                self.stats.counters.incr("l1_false_hits");
+            }
+        }
+
+        // ---- L2: the entry's segment array (θ replicas + own). ----
+        let gid = self.group_of(entry).expect("entry has a group");
+        let (hit, held) = {
+            let l2 = self.mask_cache.l2(entry).expect("prepared just above");
+            (self.published_array.query_fp_masked(fp, &l2.mask), l2.held)
+        };
+        let resident = self.mdss[&entry].resident_replicas(held);
+        latency += model.array_probe(held + 1, held - resident);
+        let mut positives = hit.candidates().to_vec();
+        if self.mdss[&entry].probe_live_fp(fp) {
+            positives.push(entry);
+        }
+        if positives.len() == 1 {
+            if let Some(home) =
+                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
+            {
+                return self.finish(entry, fp, home, QueryLevel::L2Segment, latency, messages);
+            }
+            self.stats.counters.incr("l2_false_hits");
+        }
+
+        // ---- L3: multicast within the entry's group. ----
+        let (hit, peer_count, worst_probe) = {
+            let l3 = self.mask_cache.l3(gid).expect("prepared just above");
+            let peer_count = l3.member_held.len().saturating_sub(1);
+            // Peers probe their held replicas in parallel: pay the slowest.
+            let worst_probe = l3
+                .member_held
+                .iter()
+                .filter(|&&(member, _)| member != entry)
+                .map(|&(member, held)| {
+                    let resident = self.mdss[&member].resident_replicas(held);
+                    model.array_probe(held + 1, held - resident)
+                })
+                .max()
+                .unwrap_or(Duration::ZERO);
+            (
+                self.published_array.query_fp_masked(fp, &l3.mask),
+                peer_count,
+                worst_probe,
+            )
+        };
+        messages += 2 * peer_count as u32;
+        latency += model.multicast_rtt(peer_count) + worst_probe;
+        let mut positives = hit.candidates().to_vec();
+        for member in self.groups[&gid].members() {
+            if self.mdss[member].probe_live_fp(fp) {
+                positives.push(*member);
+            }
+        }
+        if positives.len() == 1 {
+            if let Some(home) =
+                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
+            {
+                return self.finish(entry, fp, home, QueryLevel::L3Group, latency, messages);
+            }
+            self.stats.counters.incr("l3_false_hits");
+        }
+
+        // ---- L4: system-wide multicast; authoritative. ----
+        let others = self.server_count().saturating_sub(1);
+        messages += 2 * others as u32;
+        latency += model.multicast_rtt(others) + model.memory_probe;
+        let mut found: Option<MdsId> = None;
+        let mut verify_cost = Duration::ZERO;
+        let mut disk_checks = 0u64;
+        for (&id, mds) in &self.mdss {
+            if mds.probe_live_fp(fp) {
+                verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
+                if mds.stores(path) {
+                    found = Some(id);
+                } else {
+                    disk_checks += 1;
+                }
+            }
+        }
+        latency += verify_cost;
+        if disk_checks > 0 {
+            self.stats
+                .counters
+                .add("l4_false_positive_disk_checks", disk_checks);
+        }
+        match found {
+            Some(home) => self.finish(entry, fp, home, QueryLevel::L4Global, latency, messages),
+            None => {
+                let latency = latency.mul_f64(self.config.contention_factor(messages));
+                self.stats.levels.record(QueryLevel::Nonexistent);
+                self.stats.lookup_latency.record(latency);
+                QueryOutcome {
+                    home: None,
+                    level: QueryLevel::Nonexistent,
+                    latency,
+                    messages,
+                    entry,
+                }
+            }
+        }
     }
 
     /// Forwards the query to `candidate` and verifies against its
     /// authoritative store. Returns the confirmed home or `None` on a
     /// false positive. Accounts the round trip and the metadata access.
+    /// Read-only (the parallel chunk walks call it concurrently).
     fn verify_at(
-        &mut self,
+        &self,
         candidate: MdsId,
         entry: MdsId,
         path: &str,
@@ -1007,5 +1512,194 @@ mod tests {
     fn empty_lookup_batch_is_empty() {
         let mut cluster = populated_cluster();
         assert!(cluster.lookup_batch_from(&[]).is_empty());
+    }
+
+    fn parallel_config(workers: usize) -> GhbaConfig {
+        batch_config().with_executor(
+            crate::config::ExecutorConfig::default()
+                .with_workers(workers)
+                .with_min_parallel_batch(8),
+        )
+    }
+
+    fn populated_parallel_cluster(workers: usize) -> GhbaCluster {
+        let mut cluster = GhbaCluster::with_servers(parallel_config(workers), 15);
+        for i in 0..300 {
+            cluster.create_file(&format!("/b/f{i}"));
+        }
+        cluster.flush_all_updates();
+        cluster
+    }
+
+    fn batch_queries() -> Vec<(MdsId, String)> {
+        (0..96)
+            .map(|i| {
+                let path = if i % 8 == 7 {
+                    format!("/missing/f{i}")
+                } else {
+                    format!("/b/f{}", i * 4 % 300)
+                };
+                (MdsId(i % 15), path)
+            })
+            .collect()
+    }
+
+    /// The parallel walk resolves a large batch bit-identically to the
+    /// single-threaded walk, worker count by worker count, including
+    /// the spliced statistics.
+    #[test]
+    fn parallel_lookup_batch_matches_sequential_walk() {
+        let mut sequential = populated_parallel_cluster(1);
+        let queries = batch_queries();
+        let borrowed: Vec<(MdsId, &str)> = queries
+            .iter()
+            .map(|(entry, path)| (*entry, path.as_str()))
+            .collect();
+        let expected = sequential.lookup_batch_from(&borrowed);
+        for workers in [2, 4, 7] {
+            let mut parallel = populated_parallel_cluster(workers);
+            let got = parallel.lookup_batch_from(&borrowed);
+            assert_eq!(got, expected, "{workers} workers diverged");
+            assert_eq!(parallel.stats().levels, sequential.stats().levels);
+            assert_eq!(
+                parallel.stats().lookup_latency.count(),
+                sequential.stats().lookup_latency.count()
+            );
+        }
+    }
+
+    /// A chunk walking on a pool worker panics (unknown entry MDS); the
+    /// panic propagates to the dispatching thread after sibling chunks
+    /// finish, no armed cache leaks, and the cluster — scratch arenas
+    /// included — keeps serving.
+    #[test]
+    fn poisoned_parallel_worker_propagates_and_cluster_survives() {
+        let mut cluster = populated_parallel_cluster(4);
+        let queries = batch_queries();
+        let mut borrowed: Vec<(MdsId, &str)> = queries
+            .iter()
+            .map(|(entry, path)| (*entry, path.as_str()))
+            .collect();
+        // Poison a query deep in the batch: its chunk lands on a pool
+        // worker (chunks of 24 at 96 queries / 4 workers; index 80 is
+        // chunk 3).
+        borrowed[80].0 = MdsId(999);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cluster.lookup_batch_from(&borrowed);
+        }));
+        let payload = result.expect_err("the poisoned chunk must panic");
+        let message = payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            message.contains("unknown entry MDS"),
+            "unexpected panic: {message}"
+        );
+        assert!(!cluster.mask_cache_armed(), "armed cache leaked");
+        // A poisoned read phase applies no effects at all (all-or-
+        // nothing splice): statistics saw none of the batch.
+        assert_eq!(cluster.stats().lookup_latency.count(), 0);
+        // The warmed per-worker arenas were restored during the unwind.
+        assert!(
+            !cluster.scratch.is_empty(),
+            "poisoned batch dropped the walk arenas"
+        );
+        // The cluster (and the process-wide pool) keep serving.
+        borrowed[80].0 = MdsId(0);
+        let outcomes = cluster.lookup_batch_from(&borrowed);
+        assert_eq!(outcomes.len(), borrowed.len());
+        cluster.check_invariants().expect("invariants hold");
+    }
+
+    /// A single-group rebalance under per-group epochs invalidates only
+    /// that group's masks: entries of other groups keep answering from
+    /// cache, while the touched group rebuilds — and under the `Global`
+    /// reference granularity the same rebalance cold-starts everything.
+    #[test]
+    fn rebalance_keeps_other_groups_masks_warm() {
+        use crate::config::EpochGranularity;
+        let build = |granularity: EpochGranularity| {
+            let mut cluster =
+                GhbaCluster::with_servers(batch_config().with_epoch_granularity(granularity), 15);
+            for i in 0..200 {
+                cluster.create_file(&format!("/w/f{i}"));
+            }
+            cluster.flush_all_updates();
+            // Warm every entry's masks once.
+            let queries: Vec<(MdsId, String)> =
+                (0..15).map(|i| (MdsId(i), format!("/w/f{i}"))).collect();
+            let borrowed: Vec<(MdsId, &str)> = queries
+                .iter()
+                .map(|(entry, path)| (*entry, path.as_str()))
+                .collect();
+            let _ = cluster.lookup_batch_from(&borrowed);
+            cluster
+        };
+
+        let mut cluster = build(EpochGranularity::PerGroup);
+        let touched = cluster.group_of(MdsId(0)).expect("grouped");
+        let other_entry = cluster
+            .server_ids()
+            .into_iter()
+            .find(|&id| cluster.group_of(id) != Some(touched))
+            .expect("another group exists");
+        cluster.rebalance_group(touched);
+        let (hits_before, misses_before) = cluster.mask_cache_stats();
+        let _ = cluster.lookup_from(other_entry, "/w/f1");
+        let (hits_after, misses_after) = cluster.mask_cache_stats();
+        assert_eq!(
+            misses_after, misses_before,
+            "an untouched group's masks must stay warm across the rebalance"
+        );
+        assert_eq!(hits_after, hits_before + 2, "L2 + L3 both hit");
+        // The touched group rebuilds exactly its own entries.
+        let (_, misses_before) = cluster.mask_cache_stats();
+        let _ = cluster.lookup_from(MdsId(0), "/w/f1");
+        let (_, misses_after) = cluster.mask_cache_stats();
+        assert_eq!(misses_after, misses_before + 2, "L2 + L3 both rebuild");
+
+        // Reference behaviour: a Global-granularity rebalance flushes
+        // every group, so even the untouched entry misses.
+        let mut cluster = build(EpochGranularity::Global);
+        let touched = cluster.group_of(MdsId(0)).expect("grouped");
+        let other_entry = cluster
+            .server_ids()
+            .into_iter()
+            .find(|&id| cluster.group_of(id) != Some(touched))
+            .expect("another group exists");
+        cluster.rebalance_group(touched);
+        let (_, misses_before) = cluster.mask_cache_stats();
+        let _ = cluster.lookup_from(other_entry, "/w/f1");
+        let (_, misses_after) = cluster.mask_cache_stats();
+        assert_eq!(
+            misses_after,
+            misses_before + 2,
+            "global granularity must cold-start every group"
+        );
+    }
+
+    /// `ClusterStats` mirrors the mask-cache counters for the figure
+    /// binaries, respecting `reset_stats`.
+    #[test]
+    fn cluster_stats_surface_mask_cache_counters() {
+        let mut cluster = populated_cluster();
+        cluster.reset_stats();
+        let _ = cluster.lookup_from(MdsId(0), "/b/f1");
+        let _ = cluster.lookup_from(MdsId(0), "/b/f2");
+        let stats = cluster.stats();
+        assert_eq!(stats.mask_cache_misses, 2, "first walk builds L2 + L3");
+        assert_eq!(stats.mask_cache_hits, 2, "second walk answers from cache");
+        let lifetime = cluster.mask_cache_stats();
+        assert!(
+            lifetime.0 >= 2 && lifetime.1 >= 2,
+            "lifetime counters keep totals"
+        );
+        cluster.reset_stats();
+        assert_eq!(cluster.stats().mask_cache_hits, 0);
+        let lifetime_after = cluster.mask_cache_stats();
+        assert_eq!(lifetime, lifetime_after, "reset only clears the stats view");
     }
 }

@@ -32,6 +32,93 @@ pub enum MaskCacheMode {
     Off,
 }
 
+/// How fine-grained the persistent mask cache's invalidation fences are.
+///
+/// Candidate masks and membership snapshots are derived per entry server
+/// (L2) and per group (L3); a reconfiguration invalidates only the groups
+/// whose placement it actually touched. The granularity selects whether
+/// the cache exploits that:
+///
+/// * [`PerGroup`](EpochGranularity::PerGroup) (default) — every cache
+///   entry is tagged with its group's
+///   [`GroupEpoch`](crate::GroupEpoch); a single-group rebalance,
+///   split, or merge bumps only the involved groups, so every other
+///   entry stays warm. Joins/leaves/fail-stops place or drop a replica
+///   in *every* group and therefore still bump them all.
+/// * [`Global`](EpochGranularity::Global) — every reconfiguration bumps
+///   every group: the all-or-nothing flush of the pre-PR-5 design, kept
+///   as the reference the property tests (and the `par_exec` bench's
+///   churn comparison) run against.
+///
+/// Outcomes are identical under both granularities (property-tested);
+/// only how much derived state survives a reconfiguration differs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EpochGranularity {
+    /// Tag cache entries per group; invalidate only touched groups.
+    #[default]
+    PerGroup,
+    /// Any reconfiguration invalidates every cached mask (reference).
+    Global,
+}
+
+/// Sizing of the data-parallel batch execution engine (see
+/// [`crate::exec`]).
+///
+/// `workers` is the number of chunks a large fused-lookup run is split
+/// into, each walked concurrently against the shared read-only slab
+/// (worker 1 is the calling thread; workers 2..N run on the persistent
+/// process-wide pool). `workers = 1` — the default — never touches the
+/// pool and takes the exact single-threaded walk. Batches smaller than
+/// `min_parallel_batch` also stay single-threaded: below that size the
+/// chunk dispatch overhead outweighs the overlap.
+///
+/// Parallel outcomes are bit-identical to `workers = 1` at every worker
+/// count (property-tested): the read phase is pure, and all side
+/// effects (LRU fills, statistics) are spliced back in stream order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Concurrent chunks per fused lookup run (1 = sequential).
+    pub workers: usize,
+    /// Minimum lookups in a run before it is worth parallelizing.
+    pub min_parallel_batch: usize,
+}
+
+impl Default for ExecutorConfig {
+    /// Sequential execution (`workers = 1`), 64-lookup parallel floor.
+    fn default() -> Self {
+        ExecutorConfig {
+            workers: 1,
+            min_parallel_batch: 64,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Returns `self` with a different worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "executor needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// Returns `self` with a different parallel floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min == 0`.
+    #[must_use]
+    pub fn with_min_parallel_batch(mut self, min: usize) -> Self {
+        assert!(min > 0, "parallel floor must be positive");
+        self.min_parallel_batch = min;
+        self
+    }
+}
+
 /// The lifetime state machine shared by every scheme's derived-state
 /// cache (G-HBA's L2/L3 `MaskCache`, HBA's per-entry mask cache): armed
 /// flag for [`MaskCacheMode::PerBatch`], build epoch for
@@ -64,6 +151,21 @@ impl MaskCacheLifecycle {
                     true
                 }
             }
+            MaskCacheMode::PerBatch => !self.armed,
+            MaskCacheMode::Off => true,
+        }
+    }
+
+    /// Variant of [`begin_walk`](MaskCacheLifecycle::begin_walk) for
+    /// caches whose entries carry their **own** validity tags (G-HBA's
+    /// per-group-epoch mask cache): under
+    /// [`MaskCacheMode::Persistent`] the holder validates entry by
+    /// entry, so no bulk drop ever happens here — only the
+    /// `PerBatch`-unarmed and `Off` cases still clear wholesale.
+    #[must_use]
+    pub fn begin_walk_keyed(&mut self, mode: MaskCacheMode) -> bool {
+        match mode {
+            MaskCacheMode::Persistent => false,
             MaskCacheMode::PerBatch => !self.armed,
             MaskCacheMode::Off => true,
         }
@@ -166,6 +268,12 @@ pub struct GhbaConfig {
     pub contention_per_message: f64,
     /// Lifetime of the L2/L3 candidate-mask cache (see [`MaskCacheMode`]).
     pub mask_cache: MaskCacheMode,
+    /// Invalidation granularity of the persistent mask cache (see
+    /// [`EpochGranularity`]).
+    pub epoch_granularity: EpochGranularity,
+    /// Sizing of the parallel batch execution engine (see
+    /// [`ExecutorConfig`]).
+    pub executor: ExecutorConfig,
 }
 
 impl Default for GhbaConfig {
@@ -186,6 +294,8 @@ impl Default for GhbaConfig {
             memory_per_mds: None,
             contention_per_message: 0.0,
             mask_cache: MaskCacheMode::default(),
+            epoch_granularity: EpochGranularity::default(),
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -291,6 +401,32 @@ impl GhbaConfig {
         self
     }
 
+    /// Returns `self` with a different epoch-invalidation granularity.
+    #[must_use]
+    pub fn with_epoch_granularity(mut self, granularity: EpochGranularity) -> Self {
+        self.epoch_granularity = granularity;
+        self
+    }
+
+    /// Returns `self` with a different executor sizing.
+    #[must_use]
+    pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Returns `self` with `workers` parallel walk chunks (1 =
+    /// sequential, the default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.executor = self.executor.with_workers(workers);
+        self
+    }
+
     /// The queueing inflation factor for a query that exchanged
     /// `messages` messages.
     #[must_use]
@@ -372,5 +508,45 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_group_size_rejected() {
         let _ = GhbaConfig::default().with_max_group_size(0);
+    }
+
+    #[test]
+    fn executor_defaults_are_sequential() {
+        let c = GhbaConfig::default();
+        assert_eq!(c.executor.workers, 1);
+        assert_eq!(c.epoch_granularity, EpochGranularity::PerGroup);
+        let c = c
+            .with_workers(4)
+            .with_executor(
+                ExecutorConfig::default()
+                    .with_workers(2)
+                    .with_min_parallel_batch(8),
+            )
+            .with_epoch_granularity(EpochGranularity::Global);
+        assert_eq!(
+            c.executor,
+            ExecutorConfig {
+                workers: 2,
+                min_parallel_batch: 8
+            }
+        );
+        assert_eq!(c.epoch_granularity, EpochGranularity::Global);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = GhbaConfig::default().with_workers(0);
+    }
+
+    #[test]
+    fn keyed_walk_never_bulk_drops_persistent_entries() {
+        let mut life = MaskCacheLifecycle::default();
+        assert!(!life.begin_walk_keyed(MaskCacheMode::Persistent));
+        assert!(life.begin_walk_keyed(MaskCacheMode::Off));
+        assert!(life.begin_walk_keyed(MaskCacheMode::PerBatch));
+        assert!(life.arm(MaskCacheMode::PerBatch));
+        assert!(!life.begin_walk_keyed(MaskCacheMode::PerBatch));
+        assert!(life.disarm(MaskCacheMode::PerBatch));
     }
 }

@@ -66,6 +66,42 @@ impl fmt::Display for MembershipEpoch {
     }
 }
 
+/// One group's configuration version — the per-group refinement of
+/// [`MembershipEpoch`].
+///
+/// The cluster-wide epoch answers "did *anything* change?"; a group
+/// epoch answers "did anything change **that this group's derived
+/// routing state depends on**?". A reconfiguration bumps the epochs of
+/// exactly the groups whose replica placement, membership, or held
+/// counts it altered: a single-group rebalance bumps one group, a split
+/// bumps the two halves, a merge bumps the surviving group, while a
+/// join/leave/fail — which places or drops a replica in *every* group —
+/// bumps them all. Cached L2/L3 candidate masks are tagged with the
+/// epoch of the group they were built under and validated lazily, so a
+/// rebalance of one group leaves every other group's masks warm (the
+/// all-or-nothing flush this replaces cold-started the whole cache on
+/// any reconfiguration).
+///
+/// Group ids are never recycled (the allocator is monotonic), so a
+/// fresh group starting at the default epoch can never collide with a
+/// stale cache entry from a departed group of the same id.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupEpoch(pub u64);
+
+impl GroupEpoch {
+    /// Advances to the next epoch (called for every group a
+    /// reconfiguration touches).
+    pub fn bump(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl fmt::Display for GroupEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gepoch{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,6 +120,15 @@ mod tests {
         epoch.bump();
         assert!(epoch > before);
         assert_eq!(epoch, MembershipEpoch(1));
+    }
+
+    #[test]
+    fn group_epoch_bumps_monotonically() {
+        let mut epoch = GroupEpoch::default();
+        epoch.bump();
+        epoch.bump();
+        assert_eq!(epoch, GroupEpoch(2));
+        assert_eq!(epoch.to_string(), "gepoch2");
     }
 
     #[test]

@@ -48,6 +48,7 @@
 
 mod cluster;
 mod config;
+pub mod exec;
 mod group;
 mod ids;
 mod mds;
@@ -59,9 +60,9 @@ mod service;
 mod update;
 
 pub use cluster::{ClusterStats, GhbaCluster};
-pub use config::{GhbaConfig, MaskCacheLifecycle, MaskCacheMode};
+pub use config::{EpochGranularity, ExecutorConfig, GhbaConfig, MaskCacheLifecycle, MaskCacheMode};
 pub use group::{Group, IdFilterArray};
-pub use ids::{GroupId, MdsId, MembershipEpoch};
+pub use ids::{GroupEpoch, GroupId, MdsId, MembershipEpoch};
 pub use mds::{published_shape, Mds, META_ENTRY_BYTES};
 pub use metadata::{FileAttrs, MetadataStore};
 pub use op::{

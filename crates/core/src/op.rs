@@ -441,7 +441,13 @@ impl<S: VectoredScheme + ?Sized> Drop for ArmedBatch<'_, S> {
 ///   one [`VectoredScheme::lookup_fused`] call (one batched slab pass per
 ///   level); a run is split only before a repeated `(entry, path)` pair,
 ///   whose later occurrence must observe the earlier lookup's L1 cache
-///   fill exactly as a sequential replay would.
+///   fill exactly as a sequential replay would. Inside `lookup_fused`
+///   the schemes may execute a large run **data-parallel** — chunked
+///   across the worker pool against the shared read-only slab, with
+///   side effects spliced back in stream order
+///   (`ExecutorConfig`; outcomes bit-identical to `workers = 1`) —
+///   which is why writes stay sequential in stream order *between* the
+///   parallel read phases.
 /// * Writes execute in stream order. Their filter mutations accumulate in
 ///   the home's live filter and ship as one grouped sparse `FilterDelta`
 ///   when the gated drift check publishes — at most one publish per

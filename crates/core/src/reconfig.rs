@@ -130,6 +130,11 @@ impl GhbaCluster {
         }
 
         self.refresh_replica_charges();
+        // A join places the newcomer's replica in *every* group (and may
+        // have grown the published slab), so every group's derived masks
+        // are stale — the one reconfiguration class that cannot be
+        // confined to the touched group.
+        self.touch_all_groups();
         self.bump_epoch();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
@@ -221,10 +226,12 @@ impl GhbaCluster {
         }
 
         // 4. Forget the server; purge hot-cache entries pointing at it
-        //    (the fail-over rule of §4.5).
+        //    (the fail-over rule of §4.5) and its cached L2 mask (ids
+        //    are never reused, so the entry could only leak).
         self.group_of.remove(&id);
         self.mdss.remove(&id);
         self.published_array.remove(id);
+        self.mask_cache.forget_entry(id);
         for mds in self.mdss.values_mut() {
             if let Some(lru) = mds.lru_mut() {
                 lru.purge_home(id);
@@ -232,6 +239,7 @@ impl GhbaCluster {
         }
         if self.groups[&gid].is_empty() {
             self.groups.remove(&gid);
+            self.forget_group_epoch(gid);
         } else {
             let moves = self.rebalance_group(gid);
             report.migrated_replicas += moves;
@@ -247,6 +255,9 @@ impl GhbaCluster {
         }
 
         self.refresh_replica_charges();
+        // Every group dropped the departed server's replica, so every
+        // group's origin masks (and the former holders' held sets) moved.
+        self.touch_all_groups();
         self.bump_epoch();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
@@ -304,6 +315,11 @@ impl GhbaCluster {
         }
 
         self.stats.splits += 1;
+        // Only the two halves changed: their membership and placements
+        // moved, every other group's replica layout is untouched — the
+        // per-group epochs keep those masks warm.
+        self.touch_group(gid);
+        self.touch_group(new_gid);
         self.bump_epoch();
         report.split = true;
         report
@@ -350,6 +366,10 @@ impl GhbaCluster {
         report.messages += (self.groups[&a].len() as u64).saturating_sub(1);
 
         self.stats.merges += 1;
+        // Only the surviving group's layout changed; `b`'s id (and its
+        // stale cache entries, which can never validate again) retires.
+        self.touch_group(a);
+        self.forget_group_epoch(b);
         self.bump_epoch();
         report.merged = true;
         report
@@ -389,6 +409,7 @@ impl GhbaCluster {
         self.group_of.remove(&id);
         self.mdss.remove(&id);
         self.published_array.remove(id);
+        self.mask_cache.forget_entry(id);
 
         // Survivors drop the dead server's replica and hot-cache entries
         // (one heartbeat-timeout notice per group).
@@ -409,6 +430,7 @@ impl GhbaCluster {
         // merge shrunken groups.
         if self.groups[&gid].is_empty() {
             self.groups.remove(&gid);
+            self.forget_group_epoch(gid);
         } else {
             let (copies, msgs) = self.rebuild_coverage(gid);
             report.migrated_replicas += copies;
@@ -432,6 +454,9 @@ impl GhbaCluster {
         }
 
         self.refresh_replica_charges();
+        // Every survivor dropped the dead server's replica: all origin
+        // masks moved.
+        self.touch_all_groups();
         self.bump_epoch();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
@@ -478,16 +503,30 @@ impl GhbaCluster {
 
     /// Moves replicas from the heaviest to the lightest member until the
     /// spread is at most one. Returns the number of moves. Placement
-    /// moved, so the membership epoch advances (masks cached against the
-    /// old placement must not survive a rebalance that runs standalone).
-    pub(crate) fn rebalance_group(&mut self, gid: GroupId) -> u64 {
+    /// moved, so the membership epoch advances — but only **this
+    /// group's** [`GroupEpoch`](crate::GroupEpoch): a rebalance shuffles
+    /// held replicas among the group's members and touches nothing any
+    /// other group's masks depend on, which is exactly the case the
+    /// per-group invalidation keeps warm (under
+    /// [`EpochGranularity::PerGroup`](crate::EpochGranularity); the
+    /// `Global` reference granularity still flushes everything).
+    ///
+    /// Public so churn workloads (the `par_exec` bench, operator-driven
+    /// re-balancing) can trigger the single-group reconfiguration path
+    /// directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gid` is not a live group.
+    pub fn rebalance_group(&mut self, gid: GroupId) -> u64 {
         self.bump_epoch();
+        self.touch_group(gid);
         let group = self.groups.get_mut(&gid).expect("group exists");
         let mut moves = 0;
         loop {
             let members = group.members().to_vec();
             if members.len() < 2 {
-                return moves;
+                break;
             }
             let heaviest = members
                 .iter()
@@ -502,12 +541,33 @@ impl GhbaCluster {
             let heavy_count = group.replicas_held_by(heaviest).len();
             let light_count = group.replicas_held_by(lightest).len();
             if heavy_count <= light_count + 1 {
-                return moves;
+                break;
             }
             let origin = group.replicas_held_by(heaviest)[0];
             group.move_replica(origin, lightest);
             moves += 1;
         }
+        if moves > 0 {
+            // A standalone rebalance must leave memory charges correct
+            // on its own (the compound reconfigurations refresh the
+            // whole cluster afterwards, but a direct caller gets no such
+            // sweep); only this group's members' held counts moved.
+            let member_held: Vec<(MdsId, usize)> = {
+                let group = &self.groups[&gid];
+                group
+                    .members()
+                    .iter()
+                    .map(|&member| (member, group.replicas_held_by(member).len()))
+                    .collect()
+            };
+            for (member, count) in member_held {
+                self.mdss
+                    .get_mut(&member)
+                    .expect("group member exists")
+                    .set_replica_charge(count);
+            }
+        }
+        moves
     }
 
     /// Re-derives every server's replica memory charge from the placement

@@ -2,7 +2,8 @@
 //! sequences.
 
 use ghba_core::{
-    EntryPolicy, GhbaCluster, GhbaConfig, MaskCacheMode, MdsId, MetadataService, OpBatch,
+    EntryPolicy, EpochGranularity, ExecutorConfig, GhbaCluster, GhbaConfig, MaskCacheMode, MdsId,
+    MetadataService, OpBatch,
 };
 use proptest::prelude::*;
 
@@ -37,6 +38,9 @@ enum StreamOp {
     AddMds,
     RemoveMds(u8),
     FailMds(u8),
+    /// Standalone single-group rebalance: the reconfiguration class the
+    /// per-group epochs keep every *other* group warm across.
+    Rebalance(u8),
     Flush,
 }
 
@@ -47,8 +51,100 @@ fn arb_stream_op() -> impl Strategy<Value = StreamOp> {
         1 => Just(StreamOp::AddMds),
         1 => any::<u8>().prop_map(StreamOp::RemoveMds),
         1 => any::<u8>().prop_map(StreamOp::FailMds),
+        1 => any::<u8>().prop_map(StreamOp::Rebalance),
         1 => Just(StreamOp::Flush),
     ]
+}
+
+/// Drives one `StreamOp` against a set of clusters that must stay in
+/// lock step (they share seeds, so deterministic policies and RNG draws
+/// agree). Returns the executed batches' outcomes, one vector per
+/// cluster, for the caller to compare.
+fn apply_stream_op(
+    clusters: &mut [&mut GhbaCluster],
+    op: &StreamOp,
+    next_fresh: &mut u32,
+) -> Option<Vec<Vec<ghba_core::OpOutcome>>> {
+    match op {
+        StreamOp::Batch(items, pol) => {
+            let ids = clusters[0].server_ids();
+            let policy = match pol % 3 {
+                0 => EntryPolicy::Random,
+                1 => EntryPolicy::Pinned(ids[*pol as usize % ids.len()]),
+                _ => EntryPolicy::RoundRobin {
+                    start: *pol as usize,
+                },
+            };
+            let mut batch = OpBatch::new().with_entry(policy);
+            for (kind, f) in items {
+                let path = format!("/e/f{f}");
+                match kind % 4 {
+                    0 => batch.push_lookup(path),
+                    1 => batch.push_create(path),
+                    2 => batch.push_remove(path),
+                    _ => {
+                        let to = format!("/e/r{next_fresh}");
+                        *next_fresh += 1;
+                        batch.push_rename(path, to);
+                    }
+                }
+            }
+            Some(
+                clusters
+                    .iter_mut()
+                    .map(|cluster| cluster.execute(&batch))
+                    .collect(),
+            )
+        }
+        StreamOp::AddMds => {
+            if clusters[0].server_count() < 14 {
+                for cluster in clusters.iter_mut() {
+                    cluster.add_mds();
+                }
+            }
+            None
+        }
+        StreamOp::RemoveMds(pick) => {
+            if clusters[0].server_count() > 2 {
+                let ids = clusters[0].server_ids();
+                let victim = ids[*pick as usize % ids.len()];
+                for cluster in clusters.iter_mut() {
+                    cluster.remove_mds(victim).expect("removable");
+                }
+            }
+            None
+        }
+        StreamOp::FailMds(pick) => {
+            if clusters[0].server_count() > 2 {
+                let ids = clusters[0].server_ids();
+                let victim = ids[*pick as usize % ids.len()];
+                for cluster in clusters.iter_mut() {
+                    cluster.fail_mds(victim).expect("failable");
+                }
+            }
+            None
+        }
+        StreamOp::Rebalance(pick) => {
+            let gids: Vec<_> = clusters[0]
+                .server_ids()
+                .into_iter()
+                .filter_map(|id| clusters[0].group_of(id))
+                .collect();
+            if !gids.is_empty() {
+                let gid = gids[*pick as usize % gids.len()];
+                for cluster in clusters.iter_mut() {
+                    cluster.rebalance_group(gid);
+                }
+            }
+            None
+        }
+        StreamOp::Flush => {
+            for cluster in clusters.iter_mut() {
+                cluster.flush_all_updates();
+            }
+            None
+        }
+    }
 }
 
 fn test_config(seed: u64) -> GhbaConfig {
@@ -138,14 +234,15 @@ proptest! {
     }
 
     /// Epoch-invalidation acceptance: under **any** interleaving of
-    /// reconfiguration events (join, graceful leave, fail-stop — each
-    /// bumping the membership epoch) with mixed op batches, the
-    /// persistent epoch-validated mask cache never serves a stale mask —
-    /// every outcome (homes, levels, latencies, message counts, entry
-    /// servers) is bit-identical to a cache-free walk of the same
-    /// stream.
+    /// reconfiguration events (join, graceful leave, fail-stop, and
+    /// standalone single-group rebalances) with mixed op batches, the
+    /// persistent mask cache never serves a stale mask at **either**
+    /// invalidation granularity — per-group epoch invalidation, the
+    /// all-or-nothing global flush, and the cache-free walk all produce
+    /// bit-identical outcomes (homes, levels, latencies, message
+    /// counts, entry servers) for the same stream.
     #[test]
-    fn persistent_epoch_cache_matches_cache_free_walks(
+    fn per_group_epochs_match_global_flush_and_cache_free_walks(
         ops in proptest::collection::vec(arb_stream_op(), 1..36),
         seed in 0u64..500,
     ) {
@@ -155,75 +252,91 @@ proptest! {
             .with_lru_capacity(32)
             .with_update_threshold(128)
             .with_seed(seed);
-        let mut cached = GhbaCluster::with_servers(
-            base.clone().with_mask_cache(MaskCacheMode::Persistent),
+        let mut per_group = GhbaCluster::with_servers(
+            base.clone()
+                .with_mask_cache(MaskCacheMode::Persistent)
+                .with_epoch_granularity(EpochGranularity::PerGroup),
+            6,
+        );
+        let mut global = GhbaCluster::with_servers(
+            base.clone()
+                .with_mask_cache(MaskCacheMode::Persistent)
+                .with_epoch_granularity(EpochGranularity::Global),
             6,
         );
         let mut free =
             GhbaCluster::with_servers(base.with_mask_cache(MaskCacheMode::Off), 6);
         let mut next_fresh = 10_000u32;
         for (step, op) in ops.into_iter().enumerate() {
-            match op {
-                StreamOp::Batch(items, pol) => {
-                    let ids = cached.server_ids();
-                    let policy = match pol % 3 {
-                        0 => EntryPolicy::Random,
-                        1 => EntryPolicy::Pinned(ids[pol as usize % ids.len()]),
-                        _ => EntryPolicy::RoundRobin { start: pol as usize },
-                    };
-                    let mut batch = OpBatch::new().with_entry(policy);
-                    for (kind, f) in items {
-                        let path = format!("/e/f{f}");
-                        match kind % 4 {
-                            0 => batch.push_lookup(path),
-                            1 => batch.push_create(path),
-                            2 => batch.push_remove(path),
-                            _ => {
-                                let to = format!("/e/r{next_fresh}");
-                                next_fresh += 1;
-                                batch.push_rename(path, to);
-                            }
-                        }
-                    }
-                    let with_cache = cached.execute(&batch);
-                    let cache_free = free.execute(&batch);
-                    prop_assert_eq!(
-                        with_cache, cache_free,
-                        "step {}: cached batch diverged from the cache-free walk", step
-                    );
-                }
-                StreamOp::AddMds => {
-                    if cached.server_count() < 14 {
-                        cached.add_mds();
-                        free.add_mds();
-                    }
-                }
-                StreamOp::RemoveMds(pick) => {
-                    if cached.server_count() > 2 {
-                        let ids = cached.server_ids();
-                        let victim = ids[pick as usize % ids.len()];
-                        cached.remove_mds(victim).expect("removable");
-                        free.remove_mds(victim).expect("removable");
-                    }
-                }
-                StreamOp::FailMds(pick) => {
-                    if cached.server_count() > 2 {
-                        let ids = cached.server_ids();
-                        let victim = ids[pick as usize % ids.len()];
-                        cached.fail_mds(victim).expect("failable");
-                        free.fail_mds(victim).expect("failable");
-                    }
-                }
-                StreamOp::Flush => {
-                    cached.flush_all_updates();
-                    free.flush_all_updates();
-                }
+            let results = {
+                let mut clusters = [&mut per_group, &mut global, &mut free];
+                apply_stream_op(&mut clusters, &op, &mut next_fresh)
+            };
+            if let Some(results) = results {
+                prop_assert_eq!(
+                    &results[0], &results[2],
+                    "step {}: per-group epochs diverged from the cache-free walk", step
+                );
+                prop_assert_eq!(
+                    &results[1], &results[2],
+                    "step {}: global flush diverged from the cache-free walk", step
+                );
             }
-            prop_assert_eq!(cached.membership_epoch(), free.membership_epoch());
-            if let Err(violation) = cached.check_invariants() {
+            prop_assert_eq!(per_group.membership_epoch(), free.membership_epoch());
+            if let Err(violation) = per_group.check_invariants() {
                 return Err(TestCaseError::fail(format!("step {step}: {violation}")));
             }
         }
+    }
+
+    /// Parallel-execution acceptance: the data-parallel walk is
+    /// bit-identical to the sequential walk at every worker count, for
+    /// the same mixed-op stream under arbitrary reconfig interleavings
+    /// (`fail_mds` included). The parallel floor is dropped to 2 so even
+    /// small generated batches exercise the chunked path.
+    #[test]
+    fn parallel_execute_matches_sequential_across_worker_counts(
+        ops in proptest::collection::vec(arb_stream_op(), 1..24),
+        seed in 0u64..300,
+        workers in prop_oneof![Just(2usize), Just(4), Just(7)],
+    ) {
+        let base = GhbaConfig::default()
+            .with_max_group_size(3)
+            .with_filter_capacity(400)
+            .with_lru_capacity(32)
+            .with_update_threshold(128)
+            .with_seed(seed);
+        let mut sequential = GhbaCluster::with_servers(base.clone(), 6);
+        let mut parallel = GhbaCluster::with_servers(
+            base.with_executor(
+                ExecutorConfig::default()
+                    .with_workers(workers)
+                    .with_min_parallel_batch(2),
+            ),
+            6,
+        );
+        let mut next_fresh = 50_000u32;
+        for (step, op) in ops.into_iter().enumerate() {
+            let results = {
+                let mut clusters = [&mut sequential, &mut parallel];
+                apply_stream_op(&mut clusters, &op, &mut next_fresh)
+            };
+            if let Some(results) = results {
+                prop_assert_eq!(
+                    &results[1], &results[0],
+                    "step {}: {} workers diverged from sequential", step, workers
+                );
+            }
+        }
+        prop_assert_eq!(
+            sequential.stats().levels,
+            parallel.stats().levels,
+            "level statistics must agree after the stream"
+        );
+        prop_assert_eq!(
+            sequential.stats().lookup_latency.count(),
+            parallel.stats().lookup_latency.count()
+        );
     }
 
     /// The update protocol messages are bounded by candidates across
