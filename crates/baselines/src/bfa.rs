@@ -62,6 +62,22 @@ impl BfaCluster {
     pub fn inner(&self) -> &HbaCluster {
         &self.inner
     }
+
+    /// A cloneable handle that retires/restores published mirrors
+    /// concurrently with lookups (see
+    /// [`crate::HbaReconfigHandle`]).
+    #[must_use]
+    pub fn reconfig_handle(&self) -> crate::HbaReconfigHandle {
+        self.inner.reconfig_handle()
+    }
+
+    /// A side-effect-free lookup through `&self`, safe to run from many
+    /// threads concurrently with handle-driven retire/restore churn
+    /// (see [`HbaCluster::lookup_concurrent`]).
+    #[must_use]
+    pub fn lookup_concurrent(&self, entry: MdsId, path: &str) -> ghba_core::QueryOutcome {
+        self.inner.lookup_concurrent(entry, path)
+    }
 }
 
 impl ghba_core::MetadataService for BfaCluster {

@@ -11,15 +11,123 @@
 
 use core::time::Duration;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
-use ghba_core::exec::run_chunked;
+use ghba_bloom::{BloomFilter, Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
+use ghba_core::exec::{resolve_unique, run_chunked};
 use ghba_core::{
-    execute_vectored, published_shape, ClusterStats, EntryPolicy, GhbaConfig, MaskCacheLifecycle,
-    Mds, MdsId, MembershipEpoch, OpBatch, OpOutcome, PathKey, QueryLevel, QueryOutcome,
-    ReconfigReport, UpdateReport, VectoredScheme,
+    execute_vectored, published_shape, CellWriter, ClusterStats, EntryPolicy, GhbaConfig,
+    MaskCacheLifecycle, Mds, MdsId, MembershipEpoch, OpBatch, OpOutcome, PathKey, QueryLevel,
+    QueryOutcome, ReconfigReport, SlabOp, SlabSpare, SnapshotCell, UpdateReport, VectoredScheme,
 };
 use ghba_simnet::DetRng;
+
+/// The immutable probe state one HBA lookup walks against: the
+/// full-mirror published slab plus the membership epoch it was
+/// published under. Snapshots are only ever replaced wholesale through
+/// the cluster's [`SnapshotCell`], never mutated, so a pinned walk
+/// probes one consistent mirror end to end while membership changes
+/// publish successors.
+#[derive(Debug, Clone)]
+pub struct HbaSnapshot {
+    /// Every server's published filter, bit-sliced for hash-once
+    /// array probes; shared (not copied) by successors whose edits
+    /// leave filter content alone.
+    slab: Arc<SharedShapeArray<MdsId>>,
+    /// The membership epoch this snapshot was published under.
+    epoch: MembershipEpoch,
+}
+
+/// The cell type HBA publishes its probe snapshots through (same
+/// spare-slab recycling writer state as G-HBA's routing cell).
+type HbaCell = Arc<SnapshotCell<HbaSnapshot, SlabSpare>>;
+
+/// Builds a fresh cell around `snapshot` (spare slab mirrored from it).
+fn hba_cell(snapshot: HbaSnapshot) -> HbaCell {
+    let spare = SlabSpare::new((*snapshot.slab).clone());
+    Arc::new(SnapshotCell::new(snapshot, spare))
+}
+
+/// Publishes `work` as the successor snapshot, folding `ops` through
+/// the spare-slab recycling protocol: the spare mirror absorbs the
+/// sparse ops and becomes the successor's slab; the displaced slab —
+/// once its pins drain — is caught up with the same ops and restocks
+/// the spare (deep copy only when a long-lived pin still holds it).
+fn publish_edit(
+    writer: &mut CellWriter<'_, HbaSnapshot, SlabSpare>,
+    mut work: HbaSnapshot,
+    ops: &[SlabOp],
+) {
+    if ops.is_empty() {
+        writer.publish(work);
+        return;
+    }
+    let published = writer.state().advance(ops);
+    work.slab = Arc::clone(&published);
+    let prev = writer.publish(work);
+    let displaced = match Arc::try_unwrap(prev) {
+        Ok(snapshot) => Arc::try_unwrap(snapshot.slab).ok(),
+        Err(_) => None,
+    };
+    writer.state().recycle(displaced, ops, &published);
+}
+
+/// A cloneable, thread-safe handle that retires and restores servers'
+/// published mirrors **concurrently with lookups** — HBA's analogue of
+/// the G-HBA [`ReconfigHandle`](ghba_core::ReconfigHandle). Retiring a
+/// server drops its column from the published slab (probes skip it; the
+/// broadcast fallback still resolves its files), restoring pushes the
+/// extracted filter back; each publishes one successor snapshot with a
+/// bumped epoch, so pinned walks finish against the mirror they
+/// admitted under and mask caches revalidate.
+///
+/// While a server is retired the owner must not push updates for it
+/// (its slab column is gone); the oscillating churn loops the
+/// `snapshot_churn` bench drives never do.
+#[derive(Debug, Clone)]
+pub struct HbaReconfigHandle {
+    shared: HbaCell,
+}
+
+impl HbaReconfigHandle {
+    /// The membership epoch of the currently published snapshot.
+    #[must_use]
+    pub fn epoch(&self) -> MembershipEpoch {
+        self.shared.pin().epoch
+    }
+
+    /// Drops `id`'s column from the published mirror and returns the
+    /// extracted filter (hand it back to
+    /// [`restore_mds`](HbaReconfigHandle::restore_mds)), or `None` if
+    /// the mirror holds no such column.
+    #[must_use]
+    pub fn retire_mds(&self, id: MdsId) -> Option<BloomFilter> {
+        let mut writer = self.shared.edit();
+        let base = writer.base();
+        let filter = base.slab.extract(id)?;
+        let mut work = (*base).clone();
+        drop(base);
+        work.epoch.bump();
+        publish_edit(&mut writer, work, &[SlabOp::Remove(id)]);
+        Some(filter)
+    }
+
+    /// Restores a retired server's column from `filter`. Returns
+    /// `false` (without publishing) when the mirror already has a
+    /// column for `id`.
+    pub fn restore_mds(&self, id: MdsId, filter: &BloomFilter) -> bool {
+        let mut writer = self.shared.edit();
+        let base = writer.base();
+        if base.slab.contains_id(id) {
+            return false;
+        }
+        let mut work = (*base).clone();
+        drop(base);
+        work.epoch.bump();
+        publish_edit(&mut writer, work, &[SlabOp::PushFilter(id, filter.clone())]);
+        true
+    }
+}
 
 /// HBA's analogue of the G-HBA mask cache: the full-mirror L2 probe
 /// masks out only the entry's own slot (`mask_all_except`), so the cache
@@ -99,23 +207,44 @@ struct WalkScratch {
 /// let home = hba.create_file("/a/b");
 /// assert_eq!(hba.lookup("/a/b").home, Some(home));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct HbaCluster {
     config: GhbaConfig,
     mdss: BTreeMap<MdsId, Mds>,
-    /// Every server's published snapshot, bit-sliced: HBA's full-mirror L2
-    /// probe is one hash-once query over this slab instead of `N` filter
-    /// walks. Synced on publish and membership changes.
-    published_array: SharedShapeArray<MdsId>,
+    /// Every server's published snapshot, bit-sliced (HBA's full-mirror
+    /// L2 probe is one hash-once query over the slab instead of `N`
+    /// filter walks), published immutably together with the membership
+    /// epoch: lookups pin one [`HbaSnapshot`] for a whole batch while
+    /// publishes and membership changes swap in successors.
+    shared: HbaCell,
     rng: DetRng,
     stats: ClusterStats,
     next_mds: u16,
-    epoch: MembershipEpoch,
     mask_cache: HbaMaskCache,
     shim_entry: EntryPolicy,
     /// Per-worker walk arenas (arena 0 doubles as the sequential
     /// scratch), grown lazily to the configured worker count.
     scratch: Vec<WalkScratch>,
+}
+
+impl Clone for HbaCluster {
+    fn clone(&self) -> Self {
+        // A clone gets its own publication cell (snapshots are routing
+        // state, not shared between clusters), seeded from whatever this
+        // cluster currently publishes.
+        let snap = self.shared.pin();
+        HbaCluster {
+            config: self.config.clone(),
+            mdss: self.mdss.clone(),
+            shared: hba_cell((*snap).clone()),
+            rng: self.rng.clone(),
+            stats: self.stats.clone(),
+            next_mds: self.next_mds,
+            mask_cache: self.mask_cache.clone(),
+            shim_entry: self.shim_entry,
+            scratch: self.scratch.clone(),
+        }
+    }
 }
 
 impl HbaCluster {
@@ -128,15 +257,17 @@ impl HbaCluster {
     pub fn with_servers(config: GhbaConfig, servers: usize) -> Self {
         assert!(servers > 0, "cluster needs at least one server");
         let rng = DetRng::new(config.seed).fork(0x4BA);
-        let published_array = SharedShapeArray::new(published_shape(&config));
+        let shared = hba_cell(HbaSnapshot {
+            slab: Arc::new(SharedShapeArray::new(published_shape(&config))),
+            epoch: MembershipEpoch::default(),
+        });
         let mut cluster = HbaCluster {
             config,
             mdss: BTreeMap::new(),
-            published_array,
+            shared,
             rng,
             stats: ClusterStats::default(),
             next_mds: 0,
-            epoch: MembershipEpoch::default(),
             mask_cache: HbaMaskCache::default(),
             shim_entry: EntryPolicy::Random,
             scratch: Vec::new(),
@@ -172,10 +303,31 @@ impl HbaCluster {
         &self.stats
     }
 
-    /// The current membership epoch (bumped by every join/leave).
+    /// The current membership epoch (bumped by every join/leave and by
+    /// every handle-driven retire/restore).
     #[must_use]
     pub fn membership_epoch(&self) -> MembershipEpoch {
-        self.epoch
+        self.shared.pin().epoch
+    }
+
+    /// A cloneable handle that retires/restores published mirrors
+    /// concurrently with lookups (see [`HbaReconfigHandle`]).
+    #[must_use]
+    pub fn reconfig_handle(&self) -> HbaReconfigHandle {
+        HbaReconfigHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Publishes a successor snapshot applying `ops` to the mirror,
+    /// bumping the membership epoch when `bump` is set.
+    fn publish_ops(&self, bump: bool, ops: &[SlabOp]) {
+        let mut writer = self.shared.edit();
+        let mut work = (*writer.base()).clone();
+        if bump {
+            work.epoch.bump();
+        }
+        publish_edit(&mut writer, work, ops);
     }
 
     /// `(hits, misses)` of the L2 mask cache over the cluster's lifetime
@@ -242,9 +394,9 @@ impl HbaCluster {
         self.next_mds += 1;
         let existing = self.mdss.len() as u64;
         self.mdss.insert(id, Mds::new(id, &self.config));
-        self.published_array
-            .push(id)
-            .expect("fresh id is unique in the published slab");
+        // One successor snapshot: the newcomer's column and the epoch
+        // bump land atomically for concurrent readers.
+        self.publish_ops(true, &[SlabOp::Push(id)]);
         let report = ReconfigReport {
             // The newcomer pulls every existing filter…
             migrated_replicas: existing,
@@ -254,7 +406,6 @@ impl HbaCluster {
             ..ReconfigReport::default()
         };
         self.refresh_replica_charges();
-        self.epoch.bump();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
         (id, report)
@@ -276,7 +427,8 @@ impl HbaCluster {
             ..ReconfigReport::default()
         };
         self.mdss.remove(&id);
-        self.published_array.remove(id);
+        // One successor snapshot: column drop + epoch bump together.
+        self.publish_ops(true, &[SlabOp::Remove(id)]);
         if !files.is_empty() {
             let target = *self
                 .mdss
@@ -299,7 +451,6 @@ impl HbaCluster {
             }
         }
         self.refresh_replica_charges();
-        self.epoch.bump();
         self.stats.migrated_replicas += report.migrated_replicas;
         self.stats.reconfig_messages += report.messages;
         report
@@ -387,10 +538,11 @@ impl HbaCluster {
             None => return UpdateReport::default(),
         };
         // Sparse dirty-row application: cost scales with the delta, not
-        // with the O(m) filter width.
-        self.published_array
-            .apply_delta(origin, &delta)
-            .expect("published slab tracks every server");
+        // with the O(m) filter width. No epoch bump: a publish refreshes
+        // filter *content* under the same membership, so cached masks
+        // stay valid and pinned walks keep probing the bits they
+        // admitted against.
+        self.publish_ops(false, &[SlabOp::Delta(origin, delta.clone())]);
         let recipients = self.mdss.len().saturating_sub(1);
         let report = UpdateReport {
             messages: recipients as u64,
@@ -423,9 +575,9 @@ impl HbaCluster {
     ///
     /// Panics if `entry` is unknown.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
-        self.lookup_batch_from(&[(entry, path)])
-            .pop()
-            .expect("one query in, one outcome out")
+        let fp = Fingerprint::of(path);
+        let snap = self.shared.pin();
+        self.lookup_one(&snap, entry, path, &fp)
     }
 
     /// Looks up a batch of paths, each from a random entry server.
@@ -478,14 +630,34 @@ impl HbaCluster {
         if total == 0 {
             return Vec::new();
         }
-        self.prepare_masks(queries);
+        // Pin one probe snapshot for the whole batch: every query —
+        // across every worker chunk — probes this one consistent mirror,
+        // however many publishes land while the walk runs.
+        let snap = self.shared.pin();
+        if total == 1 {
+            // The scratch-reusing scalar fast path (no batch plumbing).
+            let (entry, path, fp) = queries[0];
+            return vec![self.lookup_one(&snap, entry, path, &fp)];
+        }
+        self.prepare_masks(&snap, queries);
+        // Cross-chunk fingerprint dedup, same contract as the G-HBA
+        // walk: the read phase is a pure function of `(entry, path)`
+        // under the pinned snapshot, so each distinct pair walks once
+        // and duplicates share the verdict — effects still apply once
+        // per occurrence, in stream order.
+        let (uniques, assign) = resolve_unique(queries, |&(entry, path, _)| (entry, path));
+        let deduped: Vec<(MdsId, &str, Fingerprint)> = uniques
+            .iter()
+            .map(|&first| queries[first as usize])
+            .collect();
         let executor = self.config.executor;
         let mut arenas = core::mem::take(&mut self.scratch);
         let walked = {
             let shared: &HbaCluster = self;
+            let snap = &snap;
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_chunked(queries, executor, &mut arenas, |chunk, arena| {
-                    shared.walk_chunk(chunk, arena)
+                run_chunked(&deduped, executor, &mut arenas, |chunk, arena| {
+                    shared.walk_chunk(snap, chunk, arena)
                 })
             }))
         };
@@ -498,16 +670,20 @@ impl HbaCluster {
                 std::panic::resume_unwind(payload);
             }
         };
-        let mut outcomes = Vec::with_capacity(total);
-        let mut qi = 0usize;
+        let mut resolved: Vec<WalkVerdict> = Vec::with_capacity(deduped.len());
         for arena in arenas.iter_mut().take(used) {
-            for verdict in arena.verdicts.drain(..) {
-                let fp = queries[qi].2;
-                outcomes.push(self.apply_verdict(&fp, verdict));
-                qi += 1;
-            }
+            resolved.append(&mut arena.verdicts);
         }
-        debug_assert_eq!(qi, total, "chunks cover the batch exactly once");
+        debug_assert_eq!(
+            resolved.len(),
+            deduped.len(),
+            "chunks cover the deduplicated batch exactly once"
+        );
+        let mut outcomes = Vec::with_capacity(total);
+        for (qi, &slot) in assign.iter().enumerate() {
+            let fp = queries[qi].2;
+            outcomes.push(self.apply_verdict(&fp, resolved[slot as usize].clone()));
+        }
         self.scratch = arenas;
         outcomes
     }
@@ -515,11 +691,11 @@ impl HbaCluster {
     /// Validates (or rebuilds) the all-except-self masks of the batch's
     /// entry servers on the dispatching thread; the (possibly parallel)
     /// read phase then consults the cache strictly read-only.
-    fn prepare_masks(&mut self, queries: &[(MdsId, &str, Fingerprint)]) {
+    fn prepare_masks(&mut self, snap: &HbaSnapshot, queries: &[(MdsId, &str, Fingerprint)]) {
         if self
             .mask_cache
             .life
-            .begin_walk(self.config.mask_cache, self.epoch)
+            .begin_walk(self.config.mask_cache, snap.epoch)
         {
             self.mask_cache.clear();
         }
@@ -540,7 +716,7 @@ impl HbaCluster {
                 Err(at) => {
                     self.mask_cache.life.miss();
                     self.stats.mask_cache_misses += 1;
-                    let mask = self.published_array.mask_all_except(entry);
+                    let mask = snap.slab.mask_all_except(entry);
                     self.mask_cache.l2.insert(at, (entry, mask));
                 }
             }
@@ -554,7 +730,12 @@ impl HbaCluster {
     /// # Panics
     ///
     /// Panics if any entry is unknown.
-    fn walk_chunk(&self, queries: &[(MdsId, &str, Fingerprint)], scratch: &mut WalkScratch) {
+    fn walk_chunk(
+        &self,
+        snap: &HbaSnapshot,
+        queries: &[(MdsId, &str, Fingerprint)],
+        scratch: &mut WalkScratch,
+    ) {
         let WalkScratch {
             batch,
             live_rows,
@@ -605,6 +786,7 @@ impl HbaCluster {
                     self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
                 {
                     slots[qi] = Some(self.assemble(
+                        snap.epoch,
                         entry,
                         home,
                         QueryLevel::L1Lru,
@@ -635,7 +817,7 @@ impl HbaCluster {
             latency[qi] += model.array_probe(held + 1, held - resident);
             batch.push_masked(fps[qi], mask.clone());
         }
-        let hits = self.published_array.query_batch(batch);
+        let hits = snap.slab.query_batch(batch);
         let mut next_active = Vec::with_capacity(active.len());
         for (&qi, hit) in active.iter().zip(&hits) {
             let (entry, path, _) = queries[qi];
@@ -649,6 +831,7 @@ impl HbaCluster {
                     self.verify_at(candidate, entry, path, &mut latency[qi], &mut messages[qi])
                 {
                     slots[qi] = Some(self.assemble(
+                        snap.epoch,
                         entry,
                         home,
                         QueryLevel::L2Segment,
@@ -685,6 +868,7 @@ impl HbaCluster {
             latency[qi] += verify_cost;
             slots[qi] = Some(match found {
                 Some(home) => self.assemble(
+                    snap.epoch,
                     entry,
                     home,
                     QueryLevel::L4Global,
@@ -701,6 +885,7 @@ impl HbaCluster {
                             latency,
                             messages: messages[qi],
                             entry,
+                            epoch: snap.epoch,
                         },
                         l1_false: falses[qi][0],
                         l2_false: falses[qi][1],
@@ -718,9 +903,12 @@ impl HbaCluster {
         );
     }
 
-    /// Builds a resolved query's verdict (contention applied). Pure.
+    /// Builds a resolved query's verdict (contention applied, pinned
+    /// epoch stamped). Pure.
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
+        epoch: MembershipEpoch,
         entry: MdsId,
         home: MdsId,
         level: QueryLevel,
@@ -736,6 +924,7 @@ impl HbaCluster {
                 latency,
                 messages,
                 entry,
+                epoch,
             },
             l1_false: falses[0],
             l2_false: falses[1],
@@ -781,6 +970,273 @@ impl HbaCluster {
         let mds = self.mdss.get(&candidate)?;
         *latency += mds.metadata_access_cost(&model);
         mds.stores(path).then_some(candidate)
+    }
+
+    /// The scratch-reusing scalar walk behind single-query lookups
+    /// (`B = 1` batches and [`lookup_from`](HbaCluster::lookup_from)):
+    /// the same L1 → full mirror → broadcast escalation as
+    /// [`walk_chunk`](HbaCluster::walk_chunk), minus the batch plumbing
+    /// (no [`ProbeBatch`] assembly, no row-table derivation, no verdict
+    /// buffers). Per-query accounting is bit-identical to the batched
+    /// walk (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is unknown.
+    fn lookup_one(
+        &mut self,
+        snap: &HbaSnapshot,
+        entry: MdsId,
+        path: &str,
+        fp: &Fingerprint,
+    ) -> QueryOutcome {
+        assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        self.prepare_masks(snap, &[(entry, path, *fp)]);
+        let model = self.config.latency.clone();
+        let mut latency = model.dispatch;
+        let mut messages = 0u32;
+
+        // L1: the entry server's LRU array.
+        let l1_hit = self
+            .mdss
+            .get(&entry)
+            .and_then(Mds::lru)
+            .map(|lru| lru.query_fp(fp));
+        if let Some(hit) = l1_hit {
+            latency += model.memory_probe;
+            if let Hit::Unique(candidate) = hit {
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+                {
+                    return self.finish(
+                        entry,
+                        fp,
+                        home,
+                        QueryLevel::L1Lru,
+                        latency,
+                        messages,
+                        snap.epoch,
+                    );
+                }
+                self.stats.counters.incr("l1_false_hits");
+            }
+        }
+
+        // L2: the complete replica array, plus the entry's fresher live
+        // filter in place of its own published snapshot.
+        let held = self.mdss.len() - 1;
+        let hit = {
+            let mask = self.mask_cache.mask(entry).expect("mask prepared");
+            snap.slab.query_fp_masked(fp, mask)
+        };
+        let resident = self.mdss[&entry].resident_replicas(held);
+        latency += model.array_probe(held + 1, held - resident);
+        let mut positives = hit.candidates().to_vec();
+        if self.mdss[&entry].probe_live_fp(fp) {
+            positives.push(entry);
+        }
+        if positives.len() == 1 {
+            if let Some(home) =
+                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
+            {
+                return self.finish(
+                    entry,
+                    fp,
+                    home,
+                    QueryLevel::L2Segment,
+                    latency,
+                    messages,
+                    snap.epoch,
+                );
+            }
+            self.stats.counters.incr("l2_false_hits");
+        }
+
+        // Fallback: system-wide broadcast (authoritative).
+        let others = self.mdss.len() - 1;
+        messages += 2 * others as u32;
+        latency += model.multicast_rtt(others) + model.memory_probe;
+        let mut found = None;
+        let mut verify_cost = Duration::ZERO;
+        for (&id, mds) in &self.mdss {
+            if mds.probe_live_fp(fp) {
+                verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
+                if mds.stores(path) {
+                    found = Some(id);
+                }
+            }
+        }
+        latency += verify_cost;
+        match found {
+            Some(home) => self.finish(
+                entry,
+                fp,
+                home,
+                QueryLevel::L4Global,
+                latency,
+                messages,
+                snap.epoch,
+            ),
+            None => {
+                let latency = latency.mul_f64(self.config.contention_factor(messages));
+                self.stats.levels.record(QueryLevel::Nonexistent);
+                self.stats.lookup_latency.record(latency);
+                QueryOutcome {
+                    home: None,
+                    level: QueryLevel::Nonexistent,
+                    latency,
+                    messages,
+                    entry,
+                    epoch: snap.epoch,
+                }
+            }
+        }
+    }
+
+    /// Records a successful scalar lookup (LRU fill, level counters,
+    /// contention inflation) — the same effects
+    /// [`apply_verdict`](HbaCluster::apply_verdict) applies when
+    /// splicing a batched walk.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &mut self,
+        entry: MdsId,
+        fp: &Fingerprint,
+        home: MdsId,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+        epoch: MembershipEpoch,
+    ) -> QueryOutcome {
+        if let Some(lru) = self.mdss.get_mut(&entry).and_then(Mds::lru_mut) {
+            lru.record_fp(fp, home);
+        }
+        let latency = latency.mul_f64(self.config.contention_factor(messages));
+        self.stats.levels.record(level);
+        self.stats.lookup_latency.record(latency);
+        QueryOutcome {
+            home: Some(home),
+            level,
+            latency,
+            messages,
+            entry,
+            epoch,
+        }
+    }
+
+    /// A **side-effect-free** lookup through `&self`, safe to call from
+    /// many threads at once — and concurrently with an
+    /// [`HbaReconfigHandle`] retiring and restoring mirrors: the walk
+    /// pins one snapshot and probes it end to end. Touches no
+    /// statistics, fills no LRU, and consults no mask cache (the
+    /// all-except-self mask is built from the pinned slab on the fly);
+    /// latency and message accounting are otherwise identical to
+    /// [`lookup_from`](HbaCluster::lookup_from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is unknown.
+    #[must_use]
+    pub fn lookup_concurrent(&self, entry: MdsId, path: &str) -> QueryOutcome {
+        let fp = Fingerprint::of(path);
+        let snap = self.shared.pin();
+        assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        let model = self.config.latency.clone();
+        let mut latency = model.dispatch;
+        let mut messages = 0u32;
+
+        // L1: the entry server's LRU array (probe only; no fill).
+        let l1_hit = self
+            .mdss
+            .get(&entry)
+            .and_then(Mds::lru)
+            .map(|lru| lru.query_fp(&fp));
+        if let Some(hit) = l1_hit {
+            latency += model.memory_probe;
+            if let Hit::Unique(candidate) = hit {
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+                {
+                    return self.readonly_outcome(
+                        snap.epoch,
+                        entry,
+                        Some(home),
+                        QueryLevel::L1Lru,
+                        latency,
+                        messages,
+                    );
+                }
+            }
+        }
+
+        // L2: the complete replica array under the pinned mirror.
+        let held = self.mdss.len() - 1;
+        let mask = snap.slab.mask_all_except(entry);
+        let hit = snap.slab.query_fp_masked(&fp, &mask);
+        let resident = self.mdss[&entry].resident_replicas(held);
+        latency += model.array_probe(held + 1, held - resident);
+        let mut positives = hit.candidates().to_vec();
+        if self.mdss[&entry].probe_live_fp(&fp) {
+            positives.push(entry);
+        }
+        if positives.len() == 1 {
+            if let Some(home) =
+                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
+            {
+                return self.readonly_outcome(
+                    snap.epoch,
+                    entry,
+                    Some(home),
+                    QueryLevel::L2Segment,
+                    latency,
+                    messages,
+                );
+            }
+        }
+
+        // Fallback: system-wide broadcast (authoritative).
+        let others = self.mdss.len() - 1;
+        messages += 2 * others as u32;
+        latency += model.multicast_rtt(others) + model.memory_probe;
+        let mut found = None;
+        let mut verify_cost = Duration::ZERO;
+        for (&id, mds) in &self.mdss {
+            if mds.probe_live_fp(&fp) {
+                verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
+                if mds.stores(path) {
+                    found = Some(id);
+                }
+            }
+        }
+        latency += verify_cost;
+        let level = match found {
+            Some(_) => QueryLevel::L4Global,
+            None => QueryLevel::Nonexistent,
+        };
+        self.readonly_outcome(snap.epoch, entry, found, level, latency, messages)
+    }
+
+    /// Finishes a side-effect-free lookup: applies the contention
+    /// inflation and stamps the pinned epoch, touching no statistics
+    /// and no caches.
+    fn readonly_outcome(
+        &self,
+        epoch: MembershipEpoch,
+        entry: MdsId,
+        home: Option<MdsId>,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+    ) -> QueryOutcome {
+        let latency = latency.mul_f64(self.config.contention_factor(messages));
+        QueryOutcome {
+            home,
+            level,
+            latency,
+            messages,
+            entry,
+            epoch,
+        }
     }
 
     /// Per-MDS filter memory: own filter + LRU + `N − 1` replicas.

@@ -21,4 +21,4 @@ mod hba;
 
 pub use bfa::BfaCluster;
 pub use hashing::{expected_hash_migrations, HashPlacement};
-pub use hba::HbaCluster;
+pub use hba::{HbaCluster, HbaReconfigHandle, HbaSnapshot};

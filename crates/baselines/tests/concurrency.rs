@@ -1,0 +1,199 @@
+//! Lock-free snapshot concurrency for the mirror-based baselines:
+//! HBA/BFA lookups served *through* retire/restore reconfiguration.
+//!
+//! Counterpart of the G-HBA `concurrency` suite in `ghba-core`:
+//!
+//! * **Stress** — reader threads hammer the side-effect-free
+//!   `lookup_concurrent` walk while an [`HbaReconfigHandle`] oscillates
+//!   a victim server's published mirror out of and back into the array.
+//!   Lookups must keep resolving the true home (via the array when the
+//!   mirror is live, via broadcast while it is retired).
+//! * **Degradation** — with a mirror retired and no restore racing, the
+//!   walk provably falls back to the broadcast level and still resolves.
+//! * **Equivalence** — with no reconfiguration interleaving, the
+//!   snapshot-pinned concurrent walk is bit-identical to the mutating
+//!   barrier-style walk for both HBA and BFA, query by query.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ghba_baselines::{BfaCluster, HbaCluster};
+use ghba_core::{GhbaConfig, MdsId, QueryLevel};
+
+fn config() -> GhbaConfig {
+    GhbaConfig::default()
+        .with_filter_capacity(2_000)
+        .with_seed(37)
+}
+
+/// Readers resolve concurrently while the handle oscillates one mirror
+/// per round out of and back into the published array. Every outcome
+/// must still name the ground-truth home — through the array when the
+/// victim's mirror is live, through broadcast while it is retired — at
+/// whatever epoch the reader happened to pin.
+#[test]
+fn hba_lookups_resolve_through_retire_restore_churn() {
+    let mut cluster = HbaCluster::with_servers(config(), 8);
+    let paths: Vec<String> = (0..120).map(|i| format!("/churn/f{i}")).collect();
+    for path in &paths {
+        cluster.create_file(path);
+    }
+    cluster.flush_all_updates();
+    let truths: Vec<MdsId> = paths
+        .iter()
+        .map(|p| cluster.true_home(p).expect("created"))
+        .collect();
+    let handle = cluster.reconfig_handle();
+    let start_epoch = handle.epoch();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let cluster = &cluster;
+        let truths = &truths;
+        let paths = &paths;
+        let stop = &stop;
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        for (i, path) in paths.iter().enumerate() {
+                            let entry = MdsId(((i + r * 3) % 8) as u16);
+                            let outcome = cluster.lookup_concurrent(entry, path);
+                            assert_eq!(
+                                outcome.home,
+                                Some(truths[i]),
+                                "concurrent lookup lost {path} mid-retire"
+                            );
+                            assert!(
+                                outcome.epoch >= start_epoch,
+                                "pinned an epoch older than the pre-churn snapshot"
+                            );
+                            seen += 1;
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        // Churn: pull a different mirror out of the published array each
+        // round, then push it straight back — two successor-snapshot
+        // publishes per round, racing the readers above.
+        for round in 0..10u16 {
+            let victim = MdsId(round % 8);
+            let filter = handle.retire_mds(victim).expect("victim is published");
+            assert!(handle.restore_mds(victim, &filter), "victim restores");
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().expect("reader panicked") > 0);
+        }
+    });
+
+    assert!(
+        handle.epoch() > start_epoch,
+        "the churn loop should have published at least one reconfiguration"
+    );
+    // The owner's mutating paths must be coherent with the final
+    // (fully restored) published array.
+    for (i, path) in paths.iter().enumerate() {
+        assert_eq!(cluster.lookup_from(MdsId(0), path).home, Some(truths[i]));
+    }
+}
+
+/// With a mirror retired and nothing racing, lookups homed at the
+/// victim provably degrade to the broadcast level yet still resolve;
+/// restoring the saved filter brings the array level back. Double
+/// retire and double restore are refused.
+#[test]
+fn hba_retired_mirror_degrades_to_broadcast() {
+    let config = config().with_lru_capacity(0); // pin walks past L1
+    let mut cluster = HbaCluster::with_servers(config, 6);
+    let paths: Vec<String> = (0..80).map(|i| format!("/deg/f{i}")).collect();
+    for path in &paths {
+        cluster.create_file(path);
+    }
+    cluster.flush_all_updates();
+    let victim = cluster.true_home(&paths[0]).expect("created");
+    let entry = MdsId(u16::from(victim.0 == 0));
+
+    let handle = cluster.reconfig_handle();
+    let filter = handle.retire_mds(victim).expect("first retire succeeds");
+    assert!(
+        handle.retire_mds(victim).is_none(),
+        "double retire must be refused"
+    );
+
+    for path in &paths {
+        let truth = cluster.true_home(path).expect("created");
+        let outcome = cluster.lookup_concurrent(entry, path);
+        assert_eq!(outcome.home, Some(truth), "{path} lost while retired");
+        if truth == victim && entry != victim {
+            assert_eq!(
+                outcome.level,
+                QueryLevel::L4Global,
+                "{path} homed at the retired mirror must broadcast"
+            );
+        }
+    }
+
+    assert!(handle.restore_mds(victim, &filter), "restore succeeds");
+    assert!(
+        !handle.restore_mds(victim, &filter),
+        "double restore must be refused"
+    );
+    let outcome = cluster.lookup_concurrent(entry, &paths[0]);
+    assert_eq!(outcome.home, Some(victim));
+    assert_ne!(
+        outcome.level,
+        QueryLevel::L4Global,
+        "restored mirror serves from the array again"
+    );
+}
+
+/// With no reconfiguration interleaving, the side-effect-free
+/// concurrent walk is bit-identical — home, level, latency, messages,
+/// epoch — to the mutating walk for both HBA and BFA. The concurrent
+/// walk runs first so both observe the same LRU state; the mutating
+/// walk's fill then advances the state for the next pair.
+#[test]
+fn concurrent_walk_matches_barrier_walk_without_churn() {
+    // HBA: LRU + array + broadcast levels all exercised.
+    let mut hba = HbaCluster::with_servers(config(), 9);
+    for i in 0..90 {
+        hba.create_file(&format!("/eq/f{i}"));
+    }
+    hba.flush_all_updates();
+    for i in 0..200 {
+        let entry = MdsId((i % 9) as u16);
+        let path = if i % 7 == 6 {
+            format!("/eq/absent{i}")
+        } else {
+            format!("/eq/f{}", i * 3 % 90)
+        };
+        let concurrent = hba.lookup_concurrent(entry, &path);
+        let barrier = hba.lookup_from(entry, &path);
+        assert_eq!(concurrent, barrier, "HBA walks diverged at query {i}");
+    }
+
+    // BFA: the same property with the LRU level disabled by construction.
+    let mut bfa = BfaCluster::with_servers(config(), 9, 8.0);
+    for i in 0..90 {
+        bfa.inner_mut().create_file(&format!("/eq/f{i}"));
+    }
+    bfa.inner_mut().flush_all_updates();
+    for i in 0..200 {
+        let entry = MdsId((i % 9) as u16);
+        let path = if i % 7 == 6 {
+            format!("/eq/absent{i}")
+        } else {
+            format!("/eq/f{}", i * 3 % 90)
+        };
+        let concurrent = bfa.lookup_concurrent(entry, &path);
+        let barrier = bfa.inner_mut().lookup_from(entry, &path);
+        assert_eq!(concurrent, barrier, "BFA walks diverged at query {i}");
+    }
+}

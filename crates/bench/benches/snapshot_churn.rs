@@ -1,0 +1,298 @@
+//! The PR-6 headline benchmark: lookup throughput *through*
+//! reconfiguration, snapshot-pinned lock-free walks vs a mutation
+//! barrier.
+//!
+//! Each scheme (G-HBA, HBA, BFA8) serves a sustained Zipf-head lookup
+//! stream (80% of draws on 8 hot paths, a slice of absent paths to
+//! exercise the broadcast level) from reader threads while a background
+//! thread runs reconfigurations at a fixed cadence — G-HBA rebalances
+//! groups through its [`ReconfigHandle`]; HBA/BFA oscillate one
+//! published mirror out of and back into the array through theirs. Every
+//! reconfiguration carries a simulated replica-migration pause
+//! (`GHBA_CHURN_MIGRATE_MS`, default 60 ms) standing in for the data
+//! copy a real rebalance performs.
+//!
+//! Two modes per scheme, identical workload and cadence:
+//!
+//! * **barrier** — the pre-snapshot design: one big lock. Readers take
+//!   it per lookup; the reconfiguration thread holds it across the
+//!   reconfiguration *and* its migration pause, so the stream stalls for
+//!   every migration.
+//! * **snapshot** — this PR: readers call the side-effect-free
+//!   `lookup_concurrent` walk with no lock (each pins one epoch-tagged
+//!   snapshot and walks it end to end); the handle builds successor
+//!   snapshots off to the side, migrates unlocked, and publishes with
+//!   one atomic pointer swap.
+//!
+//! Completed lookups are bucketed into 25 ms wall-clock windows. The
+//! headline numbers are sustained throughput (lookups/s over complete
+//! windows) and **stall windows** — complete windows in which not one
+//! lookup finished. The win is snapshot mode holding zero stall windows
+//! while the barrier's stream flatlines for every migration; with the
+//! default 60 ms pause ≥ 2 windows/migration stall by construction.
+//! Every lookup's answer is asserted against ground truth *during* the
+//! churn, so the numbers only count correct resolutions.
+//!
+//! On a full-length run (`GHBA_CHURN_MS` ≥ 600) the acceptance bars are
+//! asserted: zero snapshot-mode stall windows, ≥ 1 barrier-mode stall
+//! window, and snapshot throughput ≥ 2× barrier throughput. Shorter
+//! runs (CI smoke via `CRITERION_MEASURE_MS`) only prove the harness
+//! executes; their numbers are noise. `GHBA_CHURN_FILES` shrinks the
+//! namespace, `GHBA_CHURN_READERS` the reader pool. Results are honest
+//! only up to the host: on a 1-core container reader threads and the
+//! churn thread time-slice one CPU, which *understates* the snapshot
+//! win (the barrier's sleeps yield the core to nobody).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ghba::baselines::{BfaCluster, HbaCluster};
+use ghba::core::{GhbaCluster, GhbaConfig, MdsId};
+use ghba::simnet::DetRng;
+
+/// Wall-clock bucket for stall detection.
+const WINDOW_MS: u64 = 25;
+/// The flash-crowd hot set: most lookups land on these few paths.
+const HOT_SET: u64 = 8;
+/// Share of lookups drawn from the hot set.
+const HOT_SHARE: f64 = 0.80;
+/// One draw in this many probes a nonexistent path (broadcast level).
+const ABSENT_EVERY: u64 = 16;
+
+fn env_size(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn path_of(i: u64) -> String {
+    format!("/churn/d{}/f{i}", i % 127)
+}
+
+/// What one (scheme, mode) run measured.
+struct Run {
+    /// Lookups completed inside complete windows.
+    lookups: u64,
+    /// Complete 25 ms windows observed.
+    windows: u64,
+    /// Complete windows in which zero lookups finished.
+    stalls: u64,
+    /// Reconfigurations (each with its migration pause) completed.
+    reconfigs: u64,
+}
+
+impl Run {
+    fn throughput(&self) -> f64 {
+        let secs = (self.windows * WINDOW_MS) as f64 / 1e3;
+        self.lookups as f64 / secs.max(1e-9)
+    }
+}
+
+/// Drives one measurement: `readers` threads looping `lookup` against
+/// the shared cluster while one churn thread loops `reconfig` (which
+/// performs its own migration pause) every `gap`. With `barrier` set,
+/// readers take a shared mutex per lookup and the churn thread holds it
+/// across each whole reconfiguration — the pre-snapshot design.
+fn churn_run(
+    lookup: &(dyn Fn(&mut DetRng) + Sync),
+    reconfig: &mut (dyn FnMut() + Send),
+    barrier: bool,
+    readers: u64,
+    measure: Duration,
+    gap: Duration,
+) -> Run {
+    let lock = Mutex::new(());
+    let stop = AtomicBool::new(false);
+    let window_count = (measure.as_millis() as u64 / WINDOW_MS).max(1);
+    let buckets: Vec<AtomicU64> = (0..window_count + 2).map(|_| AtomicU64::new(0)).collect();
+    let reconfigs = AtomicU64::new(0);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        let (lock, stop, buckets, reconfigs) = (&lock, &stop, &buckets, &reconfigs);
+        for r in 0..readers {
+            scope.spawn(move || {
+                let mut rng = DetRng::new(0xC0FFEE ^ r);
+                while !stop.load(Ordering::Relaxed) {
+                    if barrier {
+                        let _held = lock.lock().expect("reader lock");
+                        lookup(&mut rng);
+                    } else {
+                        lookup(&mut rng);
+                    }
+                    let idx = start.elapsed().as_millis() as u64 / WINDOW_MS;
+                    if let Some(bucket) = buckets.get(idx as usize) {
+                        bucket.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        scope.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if barrier {
+                    let _held = lock.lock().expect("churn lock");
+                    reconfig();
+                } else {
+                    reconfig();
+                }
+                reconfigs.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(gap);
+            }
+        });
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    let complete = &buckets[..window_count as usize];
+    Run {
+        lookups: complete.iter().map(|b| b.load(Ordering::Relaxed)).sum(),
+        windows: window_count,
+        stalls: complete
+            .iter()
+            .filter(|b| b.load(Ordering::Relaxed) == 0)
+            .count() as u64,
+        reconfigs: reconfigs.load(Ordering::Relaxed),
+    }
+}
+
+/// Runs barrier vs snapshot for one scheme, prints both, and (on
+/// full-length runs) asserts the acceptance bars.
+fn compare(
+    scheme: &str,
+    lookup: &(dyn Fn(&mut DetRng) + Sync),
+    reconfig: &mut (dyn FnMut() + Send),
+    readers: u64,
+    measure: Duration,
+    gap: Duration,
+) {
+    let barrier = churn_run(lookup, reconfig, true, readers, measure, gap);
+    let snapshot = churn_run(lookup, reconfig, false, readers, measure, gap);
+    let ratio = snapshot.throughput() / barrier.throughput().max(1e-9);
+    for (mode, run) in [("barrier", &barrier), ("snapshot", &snapshot)] {
+        eprintln!(
+            "snapshot_churn/{scheme}/{mode}: {:.0} lookups/s, {} stall windows \
+             of {} ({} reconfigs, {} lookups)",
+            run.throughput(),
+            run.stalls,
+            run.windows,
+            run.reconfigs,
+            run.lookups,
+        );
+    }
+    eprintln!("snapshot_churn/{scheme}: snapshot/barrier throughput ratio {ratio:.2}x");
+    if measure >= Duration::from_millis(600) {
+        assert_eq!(
+            snapshot.stalls, 0,
+            "{scheme}: the lock-free stream must never flatline"
+        );
+        assert!(
+            barrier.stalls > 0,
+            "{scheme}: the barrier must stall during migrations (cadence bug?)"
+        );
+        assert!(
+            ratio >= 2.0,
+            "{scheme}: snapshot throughput must be >= 2x the barrier ({ratio:.2}x)"
+        );
+    }
+}
+
+fn main() {
+    let measure_ms = env_size(
+        "GHBA_CHURN_MS",
+        env_size("CRITERION_MEASURE_MS", 1_200).max(1),
+    );
+    let measure = Duration::from_millis(measure_ms);
+    let migrate = Duration::from_millis(env_size("GHBA_CHURN_MIGRATE_MS", 60));
+    let gap = Duration::from_millis(20);
+    let files = env_size("GHBA_CHURN_FILES", 6_000);
+    let readers = env_size("GHBA_CHURN_READERS", 2);
+    let absents: Vec<String> = (0..64).map(|i| format!("/churn/absent{i}")).collect();
+
+    // ---- G-HBA: background group rebalances through the handle. ----
+    {
+        let config = GhbaConfig::default()
+            .with_filter_capacity(20_000)
+            .with_max_group_size(6)
+            .with_seed(0x6B);
+        let mut cluster = GhbaCluster::with_servers(config, 48);
+        ghba::replay::populate(&mut cluster, (0..files).map(path_of));
+        cluster.flush_all_updates();
+        let truths: Vec<MdsId> = (0..files)
+            .map(|i| cluster.true_home(&path_of(i)).expect("created"))
+            .collect();
+        let handle = cluster.reconfig_handle();
+        let mut next_group = 0usize;
+        let mut reconfig = || {
+            let gids = handle.group_ids();
+            let gid = gids[next_group % gids.len()];
+            next_group += 1;
+            let _ = handle.rebalance_group(gid);
+            std::thread::sleep(migrate);
+        };
+        let lookup = |rng: &mut DetRng| {
+            let entry = MdsId(rng.below(48) as u16);
+            if rng.below(ABSENT_EVERY) == 0 {
+                let path = &absents[rng.below(64) as usize];
+                assert!(cluster.lookup_concurrent(entry, path).home.is_none());
+            } else {
+                let file = if rng.next_f64() < HOT_SHARE {
+                    rng.below(HOT_SET)
+                } else {
+                    rng.below(files)
+                };
+                let outcome = cluster.lookup_concurrent(entry, &path_of(file));
+                assert_eq!(outcome.home, Some(truths[file as usize]));
+            }
+        };
+        compare("ghba", &lookup, &mut reconfig, readers, measure, gap);
+    }
+
+    // ---- HBA / BFA8: retire/restore one published mirror per beat. ----
+    let mirror_schemes: [(&str, HbaCluster); 2] = {
+        let base = GhbaConfig::default()
+            .with_filter_capacity(20_000)
+            .with_seed(0x6C);
+        let mut hba = HbaCluster::with_servers(base.clone(), 12);
+        let mut bfa = BfaCluster::with_servers(base, 12, 8.0);
+        ghba::replay::populate(&mut hba, (0..files).map(path_of));
+        hba.flush_all_updates();
+        ghba::replay::populate(&mut bfa, (0..files).map(path_of));
+        bfa.inner_mut().flush_all_updates();
+        [("hba", hba), ("bfa8", bfa.inner().clone())]
+    };
+    for (scheme, cluster) in &mirror_schemes {
+        let truths: Vec<MdsId> = (0..files)
+            .map(|i| cluster.true_home(&path_of(i)).expect("created"))
+            .collect();
+        let handle = cluster.reconfig_handle();
+        let mut victim = 0u16;
+        let mut reconfig = || {
+            let id = MdsId(victim % 12);
+            victim += 1;
+            // Mirror leaves the published array, "migrates", returns:
+            // lookups homed there degrade to broadcast meanwhile.
+            let filter = handle.retire_mds(id).expect("victim published");
+            std::thread::sleep(migrate);
+            assert!(handle.restore_mds(id, &filter));
+        };
+        let lookup = |rng: &mut DetRng| {
+            let entry = MdsId(rng.below(12) as u16);
+            if rng.below(ABSENT_EVERY) == 0 {
+                let path = &absents[rng.below(64) as usize];
+                assert!(cluster.lookup_concurrent(entry, path).home.is_none());
+            } else {
+                let file = if rng.next_f64() < HOT_SHARE {
+                    rng.below(HOT_SET)
+                } else {
+                    rng.below(files)
+                };
+                let outcome = cluster.lookup_concurrent(entry, &path_of(file));
+                assert_eq!(outcome.home, Some(truths[file as usize]));
+            }
+        };
+        compare(scheme, &lookup, &mut reconfig, readers, measure, gap);
+    }
+}

@@ -407,6 +407,26 @@ fn avx512_detected() -> bool {
     }
 }
 
+/// `true` once the running CPU is known to support AVX512VPOPCNTDQ on
+/// top of AVX-512F (checked once, cached): the batch kernel's
+/// classify — a popcount over every mask word — then runs as 8 × u64
+/// `vpopcntq` folded into the last AND row instead of a scalar
+/// `popcnt` chain after it.
+#[cfg(all(target_arch = "x86_64", not(target_feature = "avx512vpopcntdq")))]
+fn avx512vpopcnt_detected() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let yes = std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+                && std::arch::is_x86_feature_detected!("avx512f");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+        state => state == 2,
+    }
+}
+
 /// Precomputed magic for Lemire's exact 64-bit **fastmod**: `n % d` as
 /// three widening multiplies instead of a hardware division.
 ///
@@ -649,6 +669,100 @@ fn batch_pass_body<const S: usize>(
     }
 }
 
+/// The wide-stride batch reduction with the classify **folded into the
+/// last AND row**: instead of ANDing all `k` rows and then walking the
+/// finished mask a second time for the popcount/hit-word scan (as
+/// [`batch_pass_body`] does), the last row's AND, the population count,
+/// and the surviving-word tracking run in one fused loop while the mask
+/// words sit in registers.
+///
+/// On its own the fusion is a wash — the second walk touches registers,
+/// not memory. It exists for the AVX512VPOPCNTDQ clones below: with
+/// `vpopcntq` available the fused loop vectorizes end to end (AND +
+/// popcount + nonzero test per 8-word vector), where the split form
+/// forces the popcount chain back to scalar `popcnt` over extracted
+/// words. Only instantiated at strides ≥ 8 (S ∈ {8, 16, 32}): narrower
+/// masks classify faster scalar, and the S == 1 early exit matters
+/// there.
+///
+/// Bit-identical to [`batch_pass_body`] (same masks, same packed
+/// verdicts; property-tested below) — wide strides take no early exit
+/// in either body, so peeling the last row changes no observable state.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn batch_pass_classify_body<const S: usize>(
+    slab: &[u64],
+    fm: FastMod,
+    k: usize,
+    h1: &[u64],
+    h2: &[u64],
+    rows: &mut Vec<u32>,
+    masks: &mut [u64],
+    verdicts: &mut [u64],
+) {
+    debug_assert!(k >= 1, "a filter probes at least one row");
+    let b = h1.len();
+    rows.clear();
+    rows.reserve(b * k);
+    for q in 0..b {
+        let mut cursor = h1[q];
+        let step = h2[q];
+        for _ in 0..k {
+            rows.push(fm.rem(cursor) as u32);
+            cursor = cursor.wrapping_add(step);
+        }
+    }
+    // Same two-fingerprint prefetch depth as `batch_pass_body`.
+    for &row in &rows[..k.min(b * k)] {
+        prefetch_row(slab, S, row as usize, PrefetchHint::Near);
+    }
+    if b > 1 {
+        for &row in &rows[k..(2 * k).min(b * k)] {
+            prefetch_row(slab, S, row as usize, PrefetchHint::Far);
+        }
+    }
+    for q in 0..b {
+        if q + 1 < b {
+            for &row in &rows[(q + 1) * k..(q + 2) * k] {
+                prefetch_row(slab, S, row as usize, PrefetchHint::Near);
+            }
+        }
+        if q + 2 < b {
+            for &row in &rows[(q + 2) * k..(q + 3) * k] {
+                prefetch_row(slab, S, row as usize, PrefetchHint::Far);
+            }
+        }
+        let mask_slot: &mut [u64; S] = (&mut masks[q * S..(q + 1) * S])
+            .try_into()
+            .expect("mask is S words");
+        let mut mask = *mask_slot;
+        let qrows = &rows[q * k..(q + 1) * k];
+        // All but the last row: the plain register-resident AND chain.
+        for &row in &qrows[..k - 1] {
+            let base = row as usize * S;
+            let row: &[u64; S] = slab[base..base + S].try_into().expect("row is S words");
+            for (m, r) in mask.iter_mut().zip(row) {
+                *m &= r;
+            }
+        }
+        // The last row: AND fused with the popcount classify.
+        let base = qrows[k - 1] as usize * S;
+        let row: &[u64; S] = slab[base..base + S].try_into().expect("row is S words");
+        let mut positives = 0u32;
+        let mut hit_word = 0usize;
+        for (w, (m, r)) in mask.iter_mut().zip(row).enumerate() {
+            *m &= r;
+            positives += m.count_ones();
+            if *m != 0 {
+                hit_word = w;
+            }
+        }
+        let slot = hit_word * 64 + mask[hit_word].trailing_zeros().min(63) as usize;
+        verdicts[q] = (u64::from(positives) << 32) | slot as u64;
+        *mask_slot = mask;
+    }
+}
+
 macro_rules! batch_pass_variants {
     ($($name:ident => $s:literal),+ $(,)?) => {
         $(
@@ -718,10 +832,44 @@ batch_pass_variants_512! {
     batch_pass_avx512_32 => 32,
 }
 
+macro_rules! batch_pass_variants_vpopcnt {
+    ($($name:ident => $s:literal),+ $(,)?) => {
+        $(
+            /// AVX512VPOPCNTDQ clone of [`batch_pass_classify_body`] at
+            /// this stride, dispatched at runtime when the CPU has
+            /// vector popcount: the classify's per-word `count_ones`
+            /// lowers to `vpopcntq` inside the fused last-AND loop.
+            #[cfg(all(target_arch = "x86_64", not(target_feature = "avx512vpopcntdq")))]
+            #[allow(clippy::too_many_arguments)]
+            #[target_feature(enable = "avx512f", enable = "avx512vpopcntdq")]
+            unsafe fn $name(
+                slab: &[u64],
+                fm: FastMod,
+                k: usize,
+                h1: &[u64],
+                h2: &[u64],
+                rows: &mut Vec<u32>,
+                masks: &mut [u64],
+                verdicts: &mut [u64],
+            ) {
+                batch_pass_classify_body::<$s>(slab, fm, k, h1, h2, rows, masks, verdicts);
+            }
+        )+
+    };
+}
+
+batch_pass_variants_vpopcnt! {
+    batch_pass_vpopcnt_8 => 8,
+    batch_pass_vpopcnt_16 => 16,
+    batch_pass_vpopcnt_32 => 32,
+}
+
 /// Runs the batch reduction with the widest vector width available (the
 /// compile-time AVX2 path when the build targets it, a runtime-dispatched
 /// AVX2 clone when only the CPU does) and a stride-specialized kernel for
-/// the common power-of-two strides.
+/// the common power-of-two strides. CPUs with AVX512VPOPCNTDQ take the
+/// fused-classify kernel ([`batch_pass_classify_body`]) at strides ≥ 8,
+/// where the popcount classify vectorizes inside the last AND row.
 #[allow(clippy::too_many_arguments)]
 fn run_batch_pass(
     slab: &[u64],
@@ -734,6 +882,20 @@ fn run_batch_pass(
     masks: &mut [u64],
     verdicts: &mut [u64],
 ) {
+    #[cfg(all(target_arch = "x86_64", not(target_feature = "avx512vpopcntdq")))]
+    if k >= 1 && matches!(stride, 8 | 16 | 32) && avx512vpopcnt_detected() {
+        // SAFETY: `avx512vpopcnt_detected` confirmed both instruction
+        // sets (AVX-512F for the wide ANDs, VPOPCNTDQ for the fused
+        // classify).
+        unsafe {
+            match stride {
+                8 => batch_pass_vpopcnt_8(slab, fm, k, h1, h2, rows, masks, verdicts),
+                16 => batch_pass_vpopcnt_16(slab, fm, k, h1, h2, rows, masks, verdicts),
+                _ => batch_pass_vpopcnt_32(slab, fm, k, h1, h2, rows, masks, verdicts),
+            }
+        }
+        return;
+    }
     #[cfg(all(target_arch = "x86_64", not(target_feature = "avx512f")))]
     if stride >= 8 && avx512_detected() {
         // SAFETY: `avx512_detected` confirmed the instruction set.
@@ -1671,6 +1833,76 @@ mod tests {
         assert_ne!(m, original);
         transpose_64x64(&mut m);
         assert_eq!(m, original);
+    }
+
+    /// The fused-classify kernel (the body behind the AVX512VPOPCNTDQ
+    /// dispatch tier) must be bit-identical to the split kernel — same
+    /// derived rows, same finished masks, same packed verdicts — at
+    /// every stride the dispatcher can route to it, including the
+    /// `k == 1` peel boundary and all-zero starting masks.
+    #[test]
+    fn fused_classify_kernel_matches_split_kernel() {
+        fn lcg(state: &mut u64) -> u64 {
+            *state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *state
+        }
+        fn check<const S: usize>(k: usize) {
+            let row_count = 97usize;
+            let mut seed = 0x5EED ^ (S as u64) << 8 ^ k as u64;
+            let slab: Vec<u64> = (0..row_count * S).map(|_| lcg(&mut seed)).collect();
+            let fm = FastMod::new(row_count as u64);
+            let b = 33usize;
+            let h1: Vec<u64> = (0..b).map(|_| lcg(&mut seed)).collect();
+            let h2: Vec<u64> = (0..b).map(|_| lcg(&mut seed) | 1).collect();
+            // Starting masks across the interesting shapes: all-ones
+            // (the untargeted query), sparse (subset masks), all-zero.
+            let base_masks: Vec<u64> = (0..b * S)
+                .map(|i| match (i / S) % 3 {
+                    0 => u64::MAX,
+                    1 => lcg(&mut seed) & lcg(&mut seed),
+                    _ => 0,
+                })
+                .collect();
+            let (mut rows_a, mut rows_b) = (Vec::new(), Vec::new());
+            let mut masks_a = base_masks.clone();
+            let mut masks_b = base_masks;
+            let mut verdicts_a = vec![0u64; b];
+            let mut verdicts_b = vec![0u64; b];
+            batch_pass_body::<S>(
+                &slab,
+                S,
+                fm,
+                k,
+                &h1,
+                &h2,
+                &mut rows_a,
+                &mut masks_a,
+                &mut verdicts_a,
+            );
+            batch_pass_classify_body::<S>(
+                &slab,
+                fm,
+                k,
+                &h1,
+                &h2,
+                &mut rows_b,
+                &mut masks_b,
+                &mut verdicts_b,
+            );
+            assert_eq!(rows_a, rows_b, "derived rows diverged at stride {S}");
+            assert_eq!(masks_a, masks_b, "masks diverged at stride {S}, k {k}");
+            assert_eq!(
+                verdicts_a, verdicts_b,
+                "verdicts diverged at stride {S}, k {k}"
+            );
+        }
+        for k in [1, 2, 5, 8] {
+            check::<8>(k);
+            check::<16>(k);
+            check::<32>(k);
+        }
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! The shared membership map and the reconfiguration planner.
 //!
 //! Real deployments distribute membership and replica-placement knowledge
-//! through IDBFA multicasts; the prototype keeps one authoritative map in
-//! an `Arc<RwLock<…>>` that every node reads, and the runtime counts the
-//! messages the distribution *would and does* cost (IDBFA syncs, replica
-//! installs, drop notices) on the real channel fabric.
+//! through IDBFA multicasts; the prototype keeps one authoritative map
+//! published through a lock-free [`SnapshotCell`] that every node pins
+//! (node hot paths never contend with a reconfiguring runtime), and the
+//! runtime counts the messages the distribution *would and does* cost
+//! (IDBFA syncs, replica installs, drop notices) on the real channel
+//! fabric.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ghba_core::MdsId;
-use std::sync::RwLock;
+use ghba_core::{MdsId, SnapshotCell};
 
 /// Which scheme the prototype cluster runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,15 +63,19 @@ pub struct Plan {
     pub split: bool,
 }
 
-/// The authoritative cluster layout.
-#[derive(Debug)]
+/// The authoritative cluster layout. Cloneable so the runtime can build
+/// a successor off to the side and publish it wholesale through the
+/// shared [`SnapshotCell`].
+#[derive(Debug, Clone)]
 pub struct ClusterMap {
     scheme: Scheme,
     groups: Vec<GroupView>,
 }
 
-/// Shared handle to the map.
-pub type SharedMap = Arc<RwLock<ClusterMap>>;
+/// Shared handle to the map: nodes pin the current immutable snapshot
+/// on their query/update hot paths (lock-free, never blocked by a
+/// reconfiguration), the runtime clones-mutates-publishes successors.
+pub type SharedMap = Arc<SnapshotCell<ClusterMap>>;
 
 impl ClusterMap {
     /// Creates an empty map for `scheme`.

@@ -538,7 +538,7 @@ impl Node {
     }
 
     fn start_group(&mut self, qid: QueryId) {
-        let peers = self.map.read().expect("map lock").group_peers_of(self.id);
+        let peers = self.map.pin().group_peers_of(self.id);
         if peers.is_empty() {
             self.start_global(qid);
             return;
@@ -605,8 +605,7 @@ impl Node {
     fn start_global(&mut self, qid: QueryId) {
         let others: Vec<MdsId> = self
             .map
-            .read()
-            .expect("map lock")
+            .pin()
             .all_members()
             .into_iter()
             .filter(|&m| m != self.id)
@@ -724,7 +723,7 @@ impl Node {
             .write()
             .expect("registry lock")
             .insert(self.id, self.mds.published().clone());
-        let targets = self.map.read().expect("map lock").update_targets(self.id);
+        let targets = self.map.pin().update_targets(self.id);
         for target in targets {
             self.net.send(
                 target,

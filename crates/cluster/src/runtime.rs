@@ -16,6 +16,7 @@ use crate::map::{ClusterMap, Plan, Scheme, SharedMap};
 use crate::message::{LookupReply, Message};
 use crate::net::Network;
 use crate::node::{Node, PublishedRegistry};
+use ghba_core::SnapshotCell;
 
 /// How long client calls wait before concluding the cluster wedged.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
@@ -126,7 +127,7 @@ impl PrototypeCluster {
             rng: DetRng::new(config.seed).fork(0x9907),
             config,
             net: Network::new(),
-            map: Arc::new(RwLock::new(ClusterMap::new(scheme))),
+            map: Arc::new(SnapshotCell::new(ClusterMap::new(scheme), ())),
             registry: Arc::new(RwLock::new(HashMap::new())),
             handles: HashMap::new(),
             next_id: 0,
@@ -234,8 +235,16 @@ impl PrototypeCluster {
         self.next_id += 1;
 
         // Plan first (so the map is current), then spawn, then execute.
-        let plan = self.map.write().expect("map lock").add_member(id);
-        let held = self.map.read().expect("map lock").replicas_held_by(id);
+        // Build the successor map off to the side and publish it with
+        // one pointer swap: nodes mid-query keep the map they pinned.
+        let (plan, held) = {
+            let mut writer = self.map.edit();
+            let mut work = (*writer.base()).clone();
+            let plan = work.add_member(id);
+            let held = work.replicas_held_by(id);
+            writer.publish(work);
+            (plan, held)
+        };
         self.spawn_node(id, held);
         self.execute_plan(&plan);
         (id, self.net.messages_sent() - before)
@@ -257,7 +266,13 @@ impl PrototypeCluster {
         if let Some(handle) = self.handles.remove(&id) {
             let _ = handle.join();
         }
-        let plan = self.map.write().expect("map lock").remove_member(id);
+        let plan = {
+            let mut writer = self.map.edit();
+            let mut work = (*writer.base()).clone();
+            let plan = work.remove_member(id);
+            writer.publish(work);
+            plan
+        };
         self.registry.write().expect("registry lock").remove(&id);
         self.write_seq.remove(&id);
         self.execute_plan(&plan);

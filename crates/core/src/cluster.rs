@@ -6,17 +6,19 @@
 
 use core::time::Duration;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
 use ghba_simnet::{Counters, DetRng, LatencyStats};
 
-use crate::config::{EpochGranularity, GhbaConfig, MaskCacheLifecycle};
-use crate::exec::run_chunked;
+use crate::config::{GhbaConfig, MaskCacheLifecycle};
+use crate::exec::{resolve_unique, run_chunked};
 use crate::group::Group;
 use crate::ids::{GroupEpoch, GroupId, MdsId, MembershipEpoch};
 use crate::mds::{published_shape, Mds};
 use crate::op::{EntryPolicy, PathKey};
 use crate::query::{LevelCounts, QueryLevel, QueryOutcome};
+use crate::snapshot::{route_cell, ReconfigHandle, RouteCell, RouteSnapshot};
 
 /// Aggregate statistics of a cluster's lifetime.
 #[derive(Debug, Clone, Default)]
@@ -47,6 +49,11 @@ pub struct ClusterStats {
     /// L2/L3 mask-cache consultations that had to (re)build their entry
     /// since the last reset.
     pub mask_cache_misses: u64,
+    /// Cached masks evicted by the generation sweep: entries of groups
+    /// that stayed live but were never consulted again (group churn
+    /// under a drifting entry distribution would otherwise grow the
+    /// cache without bound — per-group tag validation never bulk-clears).
+    pub mask_cache_evictions: u64,
     /// Named auxiliary counters (verification round trips, drops, …).
     pub counters: Counters,
 }
@@ -64,6 +71,9 @@ struct L2Mask {
     tag: GroupEpoch,
     held: usize,
     mask: SlotMask,
+    /// Walk generation this entry was last consulted (hit or rebuilt)
+    /// at, for the idle sweep.
+    last_used: u64,
 }
 
 /// One group's cached L3 snapshot: the member list with held counts
@@ -75,6 +85,8 @@ struct L3Mask {
     tag: GroupEpoch,
     member_held: Vec<(MdsId, usize)>,
     mask: SlotMask,
+    /// Walk generation this entry was last consulted at.
+    last_used: u64,
 }
 
 /// Memoized candidate masks for the batched lookup walk.
@@ -113,16 +125,41 @@ pub(crate) struct MaskCache {
     l2: Vec<L2Mask>,
     /// Sorted by `gid`.
     l3: Vec<L3Mask>,
+    /// Monotonic walk counter driving the idle sweep: entries stamp it
+    /// when consulted, and every [`MaskCache::SWEEP_EVERY`] walks the
+    /// cache drops entries idle for more than
+    /// [`MaskCache::IDLE_GENERATIONS`] walks. Epoch tags evict *stale*
+    /// entries on consultation; this sweep bounds the entries that stay
+    /// *valid but unconsulted* — e.g. masks of entries a drifting
+    /// workload stopped querying, or L3 masks of groups dissolved by a
+    /// concurrent reconfiguration handle the owner never saw retire.
+    generation: u64,
 }
 
 impl MaskCache {
+    /// Sweep cadence, in walks.
+    const SWEEP_EVERY: u64 = 256;
+    /// Walks an entry may go unconsulted before the sweep drops it.
+    const IDLE_GENERATIONS: u64 = 512;
+
     fn clear(&mut self) {
         self.l2.clear();
         self.l3.clear();
     }
 
     /// The cached L2 snapshot of `entry`, whatever its tag (the caller
-    /// validates).
+    /// validates), stamped as consulted this generation.
+    fn l2_consult(&mut self, entry: MdsId) -> Option<&L2Mask> {
+        match self.l2.binary_search_by_key(&entry, |e| e.entry) {
+            Ok(at) => {
+                self.l2[at].last_used = self.generation;
+                Some(&self.l2[at])
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The cached L2 snapshot of `entry` without stamping (read phase).
     fn l2(&self, entry: MdsId) -> Option<&L2Mask> {
         self.l2
             .binary_search_by_key(&entry, |e| e.entry)
@@ -130,12 +167,45 @@ impl MaskCache {
             .map(|at| &self.l2[at])
     }
 
-    /// The cached L3 snapshot of `gid`, whatever its tag.
+    /// The cached L3 snapshot of `gid`, whatever its tag, stamped as
+    /// consulted this generation.
+    fn l3_consult(&mut self, gid: GroupId) -> Option<&L3Mask> {
+        match self.l3.binary_search_by_key(&gid, |e| e.gid) {
+            Ok(at) => {
+                self.l3[at].last_used = self.generation;
+                Some(&self.l3[at])
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// The cached L3 snapshot of `gid` without stamping (read phase).
     fn l3(&self, gid: GroupId) -> Option<&L3Mask> {
         self.l3
             .binary_search_by_key(&gid, |e| e.gid)
             .ok()
             .map(|at| &self.l3[at])
+    }
+
+    /// Opens a new walk generation and, at the sweep cadence, evicts
+    /// entries idle past the threshold. Returns the number evicted.
+    fn begin_generation(&mut self) -> u64 {
+        self.generation += 1;
+        if !self.generation.is_multiple_of(Self::SWEEP_EVERY) {
+            return 0;
+        }
+        let horizon = self.generation.saturating_sub(Self::IDLE_GENERATIONS);
+        let before = self.l2.len() + self.l3.len();
+        self.l2.retain(|e| e.last_used >= horizon);
+        self.l3.retain(|e| e.last_used >= horizon);
+        (before - self.l2.len() - self.l3.len()) as u64
+    }
+
+    /// Cached entry counts `(l2, l3)` — the regression surface for the
+    /// sweep's bound on cache growth.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> (usize, usize) {
+        (self.l2.len(), self.l3.len())
     }
 
     /// Inserts or replaces the L2 snapshot of `fresh.entry`, keeping
@@ -235,31 +305,22 @@ struct WalkScratch {
 /// let outcome = cluster.lookup("/projects/paper.tex");
 /// assert_eq!(outcome.home, Some(home));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct GhbaCluster {
     pub(crate) config: GhbaConfig,
     pub(crate) mdss: BTreeMap<MdsId, Mds>,
-    pub(crate) groups: BTreeMap<GroupId, Group>,
-    pub(crate) group_of: BTreeMap<MdsId, GroupId>,
-    /// Every server's published snapshot, bit-sliced for hash-once array
-    /// probes. All published filters share [`published_shape`], so L2/L3
-    /// segment probes become masked queries against this one slab instead
-    /// of per-replica filter walks. Kept in sync by reconfiguration
-    /// (add/remove) and [`GhbaCluster::push_update`];
-    /// [`GhbaCluster::check_invariants`] verifies the mirror.
-    pub(crate) published_array: SharedShapeArray<MdsId>,
+    /// The published routing state — the bit-sliced slab of every
+    /// server's published snapshot, the group/membership tables, and the
+    /// per-group epochs — as an immutable [`RouteSnapshot`] behind a
+    /// lock-free snapshot cell. Lookups pin one snapshot at admission
+    /// and walk L1–L4 against it end to end; reconfiguration builds the
+    /// successor off to the side and publishes it with one pointer swap,
+    /// so readers are never blocked (see [`crate::snapshot`]).
+    pub(crate) routes: RouteCell,
     pub(crate) next_mds: u16,
-    pub(crate) next_group: u16,
     pub(crate) rng: DetRng,
     pub(crate) stats: ClusterStats,
     pub(crate) mask_cache: MaskCache,
-    pub(crate) epoch: MembershipEpoch,
-    /// Per-group configuration versions: bumped for exactly the groups a
-    /// reconfiguration touches (all of them for join/leave/fail, which
-    /// place or drop a replica everywhere; only the involved groups for
-    /// rebalance/split/merge). Mask-cache entries are tagged with their
-    /// group's epoch and validated lazily against this map.
-    pub(crate) group_epochs: BTreeMap<GroupId, GroupEpoch>,
     /// Entry policy the 1-op string shims execute under (see
     /// [`MetadataService::set_shim_policy`](crate::MetadataService::set_shim_policy));
     /// round-robin state advances here, on the service, across calls.
@@ -269,25 +330,43 @@ pub struct GhbaCluster {
     scratch: Vec<WalkScratch>,
 }
 
+impl Clone for GhbaCluster {
+    /// Clones the cluster into an **independent** instance: the clone
+    /// gets its own snapshot cell seeded with the currently published
+    /// snapshot. Immutable storage (the slab, per-group placement) is
+    /// shared structurally via `Arc` until either side's next edit
+    /// copies-on-write, so the clone is cheap and the two clusters can
+    /// never observe each other's subsequent reconfigurations.
+    fn clone(&self) -> Self {
+        let snapshot = (*self.routes.pin()).clone();
+        GhbaCluster {
+            config: self.config.clone(),
+            mdss: self.mdss.clone(),
+            routes: route_cell(snapshot),
+            next_mds: self.next_mds,
+            rng: self.rng.clone(),
+            stats: self.stats.clone(),
+            mask_cache: self.mask_cache.clone(),
+            shim_entry: self.shim_entry,
+            scratch: self.scratch.clone(),
+        }
+    }
+}
+
 impl GhbaCluster {
     /// Creates an empty cluster.
     #[must_use]
     pub fn new(config: GhbaConfig) -> Self {
         let rng = DetRng::new(config.seed).fork(0xC105);
-        let published_array = SharedShapeArray::new(published_shape(&config));
+        let slab = SharedShapeArray::new(published_shape(&config));
         GhbaCluster {
             config,
             mdss: BTreeMap::new(),
-            groups: BTreeMap::new(),
-            group_of: BTreeMap::new(),
-            published_array,
+            routes: route_cell(RouteSnapshot::empty(slab)),
             next_mds: 0,
-            next_group: 0,
             rng,
             stats: ClusterStats::default(),
             mask_cache: MaskCache::default(),
-            epoch: MembershipEpoch::default(),
-            group_epochs: BTreeMap::new(),
             shim_entry: EntryPolicy::Random,
             scratch: Vec::new(),
         }
@@ -301,55 +380,30 @@ impl GhbaCluster {
     /// rebuilt.
     #[must_use]
     pub fn membership_epoch(&self) -> MembershipEpoch {
-        self.epoch
+        self.routes.pin().epoch
     }
 
-    /// Advances the membership epoch (every reconfiguration path calls
-    /// this before returning). Coarse external fence; the mask cache
-    /// itself validates against the finer per-group epochs.
-    pub(crate) fn bump_epoch(&mut self) {
-        self.epoch.bump();
-    }
-
-    /// The configuration version of `gid` (default epoch for groups
-    /// never touched — including groups that do not exist, which no
-    /// valid cache entry can name).
+    /// The configuration version of `gid` under the currently published
+    /// snapshot (default epoch for groups never touched — including
+    /// groups that do not exist, which no valid cache entry can name).
     #[must_use]
     pub fn group_epoch(&self, gid: GroupId) -> GroupEpoch {
-        self.group_epochs.get(&gid).copied().unwrap_or_default()
+        self.routes.pin().group_epoch(gid)
     }
 
-    /// Records that a reconfiguration changed state `gid`'s derived
-    /// masks depend on (membership, replica placement, or held counts):
-    /// cached L2 entries of the group's members and the group's L3 entry
-    /// are stale from here on. Under
-    /// [`EpochGranularity::Global`] this degrades to the all-or-nothing
-    /// flush (every group bumps), the reference behaviour the property
-    /// tests compare against.
-    pub(crate) fn touch_group(&mut self, gid: GroupId) {
-        match self.config.epoch_granularity {
-            EpochGranularity::PerGroup => {
-                self.group_epochs.entry(gid).or_default().bump();
-            }
-            EpochGranularity::Global => self.touch_all_groups(),
+    /// A cloneable, thread-safe handle that publishes group
+    /// reconfigurations — rebalances, splits, merges — through the
+    /// snapshot cell **concurrently with lookups** on other threads.
+    /// Handle-driven operations are pure routing edits (they move
+    /// replica *placement*, not server state) and do not update this
+    /// cluster's aggregate [`ClusterStats`].
+    #[must_use]
+    pub fn reconfig_handle(&self) -> ReconfigHandle {
+        ReconfigHandle {
+            routes: Arc::clone(&self.routes),
+            max_group_size: self.config.max_group_size,
+            granularity: self.config.epoch_granularity,
         }
-    }
-
-    /// Bumps every live group's epoch — the invalidation scope of
-    /// reconfigurations that place or drop a replica in every group
-    /// (join, graceful leave, fail-stop) and of slab capacity growth.
-    pub(crate) fn touch_all_groups(&mut self) {
-        for gid in self.groups.keys() {
-            self.group_epochs.entry(*gid).or_default().bump();
-        }
-    }
-
-    /// Drops the epoch entry **and cached L3 snapshot** of a dissolved
-    /// group (merges, emptied groups); its id is never reused, so
-    /// keeping either around could only leak.
-    pub(crate) fn forget_group_epoch(&mut self, gid: GroupId) {
-        self.group_epochs.remove(&gid);
-        self.mask_cache.forget_group(gid);
     }
 
     /// `(hits, misses)` of the L2/L3 mask cache over the cluster's
@@ -424,7 +478,7 @@ impl GhbaCluster {
     /// Number of groups.
     #[must_use]
     pub fn group_count(&self) -> usize {
-        self.groups.len()
+        self.routes.pin().groups.len()
     }
 
     /// All server ids, ascending.
@@ -436,7 +490,7 @@ impl GhbaCluster {
     /// Sizes of all groups, ascending by group id.
     #[must_use]
     pub fn group_sizes(&self) -> Vec<usize> {
-        self.groups.values().map(Group::len).collect()
+        self.routes.pin().groups.values().map(|g| g.len()).collect()
     }
 
     /// Borrow a server.
@@ -445,16 +499,20 @@ impl GhbaCluster {
         self.mdss.get(&id)
     }
 
-    /// The group a server belongs to.
+    /// The group a server belongs to (under the currently published
+    /// snapshot).
     #[must_use]
     pub fn group_of(&self, id: MdsId) -> Option<GroupId> {
-        self.group_of.get(&id).copied()
+        self.routes.pin().group_of(id)
     }
 
-    /// Borrow a group.
+    /// A group under the currently published snapshot. Returns a shared
+    /// handle to the immutable group object: subsequent reconfigurations
+    /// replace the snapshot rather than mutating it, so the handle stays
+    /// consistent for as long as the caller holds it.
     #[must_use]
-    pub fn group(&self, id: GroupId) -> Option<&Group> {
-        self.groups.get(&id)
+    pub fn group(&self, id: GroupId) -> Option<Arc<Group>> {
+        self.routes.pin().groups.get(&id).cloned()
     }
 
     /// Lifetime statistics.
@@ -474,13 +532,11 @@ impl GhbaCluster {
         self.mdss.values().map(Mds::file_count).sum()
     }
 
-    /// Replicas held by `id` (origins from other groups placed on it).
+    /// Replicas held by `id` (origins from other groups placed on it),
+    /// under the currently published snapshot.
     #[must_use]
     pub fn replicas_held_by(&self, id: MdsId) -> Vec<MdsId> {
-        match self.group_of(id).and_then(|g| self.groups.get(&g)) {
-            Some(group) => group.replicas_held_by(id),
-            None => Vec::new(),
-        }
+        self.routes.pin().replicas_held_by(id)
     }
 
     /// Per-MDS filter memory (own filter + LRU + held replicas) in bytes —
@@ -614,7 +670,167 @@ impl GhbaCluster {
     /// Panics if `entry` is not a member of the cluster.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
         let fp = Fingerprint::of(path);
-        self.lookup_one(entry, path, &fp)
+        let snap = self.routes.pin();
+        self.lookup_one(&snap, entry, path, &fp)
+    }
+
+    /// Looks `path` up from `entry` through a **shared reference**: the
+    /// lock-free concurrent lookup path. Pins the current routing
+    /// snapshot and walks the full L1 → L4 escalation against it with
+    /// zero writes — no statistics, no L1 cache fill, no mask-cache
+    /// entry — so any number of threads may call it while a
+    /// [`ReconfigHandle`] publishes successor snapshots concurrently.
+    /// Level escalation, latency, and message accounting match
+    /// [`lookup_from`](GhbaCluster::lookup_from) exactly when no
+    /// reconfiguration interleaves (property-tested); candidate masks
+    /// are built on the fly from the pinned snapshot instead of the
+    /// owner's mask cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not a member of the cluster.
+    pub fn lookup_concurrent(&self, entry: MdsId, path: &str) -> QueryOutcome {
+        let fp = Fingerprint::of(path);
+        let snap = self.routes.pin();
+        assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        let model = self.config.latency.clone();
+        let mut latency = model.dispatch;
+        let mut messages = 0u32;
+
+        // ---- L1: the entry server's LRU Bloom filter array. ----
+        let l1_hit = self
+            .mdss
+            .get(&entry)
+            .and_then(Mds::lru)
+            .map(|lru| lru.query_fp(&fp));
+        if let Some(hit) = l1_hit {
+            latency += model.memory_probe;
+            if let Hit::Unique(candidate) = hit {
+                if let Some(home) =
+                    self.verify_at(candidate, entry, path, &mut latency, &mut messages)
+                {
+                    return self.readonly_outcome(
+                        snap.epoch,
+                        entry,
+                        Some(home),
+                        QueryLevel::L1Lru,
+                        latency,
+                        messages,
+                    );
+                }
+            }
+        }
+
+        // ---- L2: the entry's segment array (θ replicas + own). ----
+        let gid = snap.group_of(entry).expect("entry has a group");
+        let held = snap.replicas_held_by(entry);
+        let mask = snap.slab.subset_mask(held.iter().copied());
+        let hit = snap.slab.query_fp_masked(&fp, &mask);
+        let resident = self.mdss[&entry].resident_replicas(held.len());
+        latency += model.array_probe(held.len() + 1, held.len() - resident);
+        let mut positives = hit.candidates().to_vec();
+        if self.mdss[&entry].probe_live_fp(&fp) {
+            positives.push(entry);
+        }
+        if positives.len() == 1 {
+            if let Some(home) =
+                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
+            {
+                return self.readonly_outcome(
+                    snap.epoch,
+                    entry,
+                    Some(home),
+                    QueryLevel::L2Segment,
+                    latency,
+                    messages,
+                );
+            }
+        }
+
+        // ---- L3: multicast within the entry's group. ----
+        let group = snap.group(gid).expect("entry's group is live");
+        let peer_count = group.len().saturating_sub(1);
+        // Peers probe their held replicas in parallel: pay the slowest.
+        let worst_probe = group
+            .members()
+            .iter()
+            .filter(|&&member| member != entry)
+            .map(|&member| {
+                let held = group.replicas_held_by(member).len();
+                let resident = self.mdss[&member].resident_replicas(held);
+                model.array_probe(held + 1, held - resident)
+            })
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let origins = group.replica_origins();
+        let mask = snap.slab.subset_mask(origins.iter().copied());
+        let hit = snap.slab.query_fp_masked(&fp, &mask);
+        messages += 2 * peer_count as u32;
+        latency += model.multicast_rtt(peer_count) + worst_probe;
+        let mut positives = hit.candidates().to_vec();
+        for member in group.members() {
+            if self.mdss[member].probe_live_fp(&fp) {
+                positives.push(*member);
+            }
+        }
+        if positives.len() == 1 {
+            if let Some(home) =
+                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
+            {
+                return self.readonly_outcome(
+                    snap.epoch,
+                    entry,
+                    Some(home),
+                    QueryLevel::L3Group,
+                    latency,
+                    messages,
+                );
+            }
+        }
+
+        // ---- L4: system-wide multicast; authoritative. ----
+        let others = self.server_count().saturating_sub(1);
+        messages += 2 * others as u32;
+        latency += model.multicast_rtt(others) + model.memory_probe;
+        let mut found: Option<MdsId> = None;
+        let mut verify_cost = Duration::ZERO;
+        for (&id, mds) in &self.mdss {
+            if mds.probe_live_fp(&fp) {
+                verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
+                if mds.stores(path) {
+                    found = Some(id);
+                }
+            }
+        }
+        latency += verify_cost;
+        let level = match found {
+            Some(_) => QueryLevel::L4Global,
+            None => QueryLevel::Nonexistent,
+        };
+        self.readonly_outcome(snap.epoch, entry, found, level, latency, messages)
+    }
+
+    /// Finishes a side-effect-free lookup: applies the contention
+    /// inflation and stamps the pinned epoch, touching no statistics and
+    /// no caches.
+    fn readonly_outcome(
+        &self,
+        epoch: MembershipEpoch,
+        entry: MdsId,
+        home: Option<MdsId>,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+    ) -> QueryOutcome {
+        let latency = latency.mul_f64(self.config.contention_factor(messages));
+        QueryOutcome {
+            home,
+            level,
+            latency,
+            messages,
+            entry,
+            epoch,
+        }
     }
 
     /// Looks up a batch of paths, each from a uniformly random entry MDS —
@@ -712,19 +928,36 @@ impl GhbaCluster {
         if total == 0 {
             return Vec::new();
         }
+        // Pin one routing snapshot for the whole batch: every query of
+        // the batch — across every worker chunk — resolves against this
+        // one consistent configuration, however many reconfigurations
+        // publish successors while the walk runs.
+        let snap = self.routes.pin();
         if total == 1 {
             // The scratch-reusing scalar fast path (no batch plumbing).
             let (entry, path, fp) = queries[0];
-            return vec![self.lookup_one(entry, path, &fp)];
+            return vec![self.lookup_one(&snap, entry, path, &fp)];
         }
-        self.prepare_masks(queries);
+        self.prepare_masks(&snap, queries);
+        // Cross-chunk fingerprint dedup: a Zipf-head batch repeats hot
+        // `(entry, path)` pairs, and chunk-local memoization cannot see
+        // repeats landing in other workers' chunks. The read phase is a
+        // pure function of `(entry, path)` under the pinned snapshot, so
+        // each distinct pair walks once and duplicates share the verdict
+        // — effects still apply once per occurrence, in stream order.
+        let (uniques, assign) = resolve_unique(queries, |&(entry, path, _)| (entry, path));
+        let deduped: Vec<(MdsId, &str, Fingerprint)> = uniques
+            .iter()
+            .map(|&first| queries[first as usize])
+            .collect();
         let executor = self.config.executor;
         let mut arenas = core::mem::take(&mut self.scratch);
         let walked = {
             let shared: &GhbaCluster = self;
+            let snap = &snap;
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                run_chunked(queries, executor, &mut arenas, |chunk, arena| {
-                    shared.walk_chunk(chunk, arena)
+                run_chunked(&deduped, executor, &mut arenas, |chunk, arena| {
+                    shared.walk_chunk(snap, chunk, arena)
                 })
             }))
         };
@@ -737,16 +970,20 @@ impl GhbaCluster {
                 std::panic::resume_unwind(payload);
             }
         };
-        let mut outcomes = Vec::with_capacity(total);
-        let mut qi = 0usize;
+        let mut resolved: Vec<WalkVerdict> = Vec::with_capacity(deduped.len());
         for arena in arenas.iter_mut().take(used) {
-            for verdict in arena.verdicts.drain(..) {
-                let fp = queries[qi].2;
-                outcomes.push(self.apply_verdict(&fp, verdict));
-                qi += 1;
-            }
+            resolved.append(&mut arena.verdicts);
         }
-        debug_assert_eq!(qi, total, "chunks cover the batch exactly once");
+        debug_assert_eq!(
+            resolved.len(),
+            deduped.len(),
+            "chunks cover the deduplicated batch exactly once"
+        );
+        let mut outcomes = Vec::with_capacity(total);
+        for (qi, &slot) in assign.iter().enumerate() {
+            let fp = queries[qi].2;
+            outcomes.push(self.apply_verdict(&fp, resolved[slot as usize].clone()));
+        }
         self.scratch = arenas;
         outcomes
     }
@@ -767,7 +1004,7 @@ impl GhbaCluster {
     /// Persistent-mode totals are a slight upper bound of the old
     /// accounting, with identical rates at the batch sizes the figure
     /// binaries read.
-    fn prepare_masks(&mut self, queries: &[(MdsId, &str, Fingerprint)]) {
+    fn prepare_masks(&mut self, snap: &RouteSnapshot, queries: &[(MdsId, &str, Fingerprint)]) {
         if self
             .mask_cache
             .life
@@ -775,16 +1012,21 @@ impl GhbaCluster {
         {
             self.mask_cache.clear();
         }
+        // Open a walk generation; at the sweep cadence this also evicts
+        // masks no walk has consulted lately (live-but-idle entries the
+        // per-group epoch tags would otherwise keep forever).
+        self.stats.mask_cache_evictions += self.mask_cache.begin_generation();
+        let generation = self.mask_cache.generation;
         for &(entry, _, _) in queries {
             // Unknown entries panic inside the walk itself (same message
             // and per-query position as ever); skip them here.
-            let Some(gid) = self.group_of(entry) else {
+            let Some(gid) = snap.group_of(entry) else {
                 continue;
             };
-            let tag = self.group_epoch(gid);
+            let tag = snap.group_epoch(gid);
             let l2_fresh = self
                 .mask_cache
-                .l2(entry)
+                .l2_consult(entry)
                 .is_some_and(|e| e.gid == gid && e.tag == tag);
             if l2_fresh {
                 self.mask_cache.life.hit();
@@ -792,39 +1034,45 @@ impl GhbaCluster {
             } else {
                 self.mask_cache.life.miss();
                 self.stats.mask_cache_misses += 1;
-                let held = self.replicas_held_by(entry);
-                let mask = self.published_array.subset_mask(held.iter().copied());
+                let held = snap.replicas_held_by(entry);
+                let mask = snap.slab.subset_mask(held.iter().copied());
                 self.mask_cache.upsert_l2(L2Mask {
                     entry,
                     gid,
                     tag,
                     held: held.len(),
                     mask,
+                    last_used: generation,
                 });
             }
-            let l3_fresh = self.mask_cache.l3(gid).is_some_and(|e| e.tag == tag);
+            let l3_fresh = self
+                .mask_cache
+                .l3_consult(gid)
+                .is_some_and(|e| e.tag == tag);
             if l3_fresh {
                 self.mask_cache.life.hit();
                 self.stats.mask_cache_hits += 1;
             } else {
                 self.mask_cache.life.miss();
                 self.stats.mask_cache_misses += 1;
-                let member_held: Vec<(MdsId, usize)> = self.groups[&gid]
+                let group = snap.group(gid).expect("entry's group is live");
+                let member_held: Vec<(MdsId, usize)> = group
                     .members()
                     .iter()
-                    .map(|&member| (member, self.groups[&gid].replicas_held_by(member).len()))
+                    .map(|&member| (member, group.replicas_held_by(member).len()))
                     .collect();
                 // The group's replicas collectively mirror every server
                 // outside it: one masked slab probe covers all of them,
                 // and recipients reuse the fingerprint shipped with the
                 // multicast for their live probes.
-                let origins = self.groups[&gid].replica_origins();
-                let mask = self.published_array.subset_mask(origins.iter().copied());
+                let origins = group.replica_origins();
+                let mask = snap.slab.subset_mask(origins.iter().copied());
                 self.mask_cache.upsert_l3(L3Mask {
                     gid,
                     tag,
                     member_held,
                     mask,
+                    last_used: generation,
                 });
             }
         }
@@ -840,7 +1088,12 @@ impl GhbaCluster {
     /// # Panics
     ///
     /// Panics if any entry is not a member of the cluster.
-    fn walk_chunk(&self, queries: &[(MdsId, &str, Fingerprint)], scratch: &mut WalkScratch) {
+    fn walk_chunk(
+        &self,
+        snap: &RouteSnapshot,
+        queries: &[(MdsId, &str, Fingerprint)],
+        scratch: &mut WalkScratch,
+    ) {
         let WalkScratch {
             batch,
             live_rows,
@@ -900,6 +1153,7 @@ impl GhbaCluster {
                             latency[qi],
                             messages[qi],
                             falses[qi],
+                            snap.epoch,
                         ));
                         continue;
                     }
@@ -922,7 +1176,7 @@ impl GhbaCluster {
             latency[qi] += model.array_probe(l2.held + 1, l2.held - resident);
             batch.push_masked(fps[qi], l2.mask.clone());
         }
-        let hits = self.published_array.query_batch(batch);
+        let hits = snap.slab.query_batch(batch);
         let mut next_active = Vec::with_capacity(active.len());
         for (&qi, hit) in active.iter().zip(&hits) {
             let (entry, path, _) = queries[qi];
@@ -942,6 +1196,7 @@ impl GhbaCluster {
                         latency[qi],
                         messages[qi],
                         falses[qi],
+                        snap.epoch,
                     ));
                     continue;
                 }
@@ -960,7 +1215,7 @@ impl GhbaCluster {
         batch.clear();
         for &qi in &active {
             let (entry, _, _) = queries[qi];
-            let gid = self.group_of(entry).expect("entry has a group");
+            let gid = snap.group_of(entry).expect("entry has a group");
             let l3 = self.mask_cache.l3(gid).expect("L3 mask prepared");
             let peer_count = l3.member_held.len().saturating_sub(1);
             messages[qi] += 2 * peer_count as u32;
@@ -979,7 +1234,7 @@ impl GhbaCluster {
             latency[qi] += worst_probe;
             batch.push_masked(fps[qi], l3.mask.clone());
         }
-        let hits = self.published_array.query_batch(batch);
+        let hits = snap.slab.query_batch(batch);
         let mut next_active = Vec::with_capacity(active.len());
         // Members' live-filter answers depend only on (group, fingerprint):
         // flash-crowd duplicates within the chunk probe each group's
@@ -987,7 +1242,7 @@ impl GhbaCluster {
         let mut l3_live: Vec<(GroupId, (u64, u64), Vec<MdsId>)> = Vec::new();
         for (&qi, hit) in active.iter().zip(&hits) {
             let (entry, path, _) = queries[qi];
-            let gid = self.group_of(entry).expect("entry has a group");
+            let gid = snap.group_of(entry).expect("entry has a group");
             let mut positives = hit.candidates().to_vec();
             let lanes = fps[qi].lanes();
             let live = match l3_live
@@ -997,7 +1252,9 @@ impl GhbaCluster {
                 Some(cached) => &cached.2,
                 None => {
                     let rows = &live_rows[qi * k_live..(qi + 1) * k_live];
-                    let members: Vec<MdsId> = self.groups[&gid]
+                    let members: Vec<MdsId> = snap
+                        .group(gid)
+                        .expect("entry's group is live")
                         .members()
                         .iter()
                         .copied()
@@ -1020,6 +1277,7 @@ impl GhbaCluster {
                         latency[qi],
                         messages[qi],
                         falses[qi],
+                        snap.epoch,
                     ));
                     continue;
                 }
@@ -1063,6 +1321,7 @@ impl GhbaCluster {
                     latency[qi],
                     messages[qi],
                     falses[qi],
+                    snap.epoch,
                 ),
                 None => {
                     let latency = latency[qi].mul_f64(self.config.contention_factor(messages[qi]));
@@ -1073,6 +1332,7 @@ impl GhbaCluster {
                             latency,
                             messages: messages[qi],
                             entry,
+                            epoch: snap.epoch,
                         },
                         l1_false: falses[qi][0],
                         l2_false: falses[qi][1],
@@ -1096,6 +1356,7 @@ impl GhbaCluster {
     /// [`QueryOutcome`] (contention inflation applied) plus the false-hit
     /// tallies the splice phase will account. Pure — the mutating
     /// counterpart is [`apply_verdict`](Self::apply_verdict).
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         &self,
         entry: MdsId,
@@ -1104,6 +1365,7 @@ impl GhbaCluster {
         latency: Duration,
         messages: u32,
         falses: [u32; 4],
+        epoch: MembershipEpoch,
     ) -> WalkVerdict {
         let latency = latency.mul_f64(self.config.contention_factor(messages));
         WalkVerdict {
@@ -1113,6 +1375,7 @@ impl GhbaCluster {
                 latency,
                 messages,
                 entry,
+                epoch,
             },
             l1_false: falses[0],
             l2_false: falses[1],
@@ -1160,9 +1423,15 @@ impl GhbaCluster {
     /// [`walk_chunk`](Self::walk_chunk), with the probe-batch machinery
     /// replaced by scalar hash-once slab queries and effects applied
     /// inline. The batch-equivalence tests pin the two walks identical.
-    fn lookup_one(&mut self, entry: MdsId, path: &str, fp: &Fingerprint) -> QueryOutcome {
+    fn lookup_one(
+        &mut self,
+        snap: &RouteSnapshot,
+        entry: MdsId,
+        path: &str,
+        fp: &Fingerprint,
+    ) -> QueryOutcome {
         assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
-        self.prepare_masks(&[(entry, path, *fp)]);
+        self.prepare_masks(snap, &[(entry, path, *fp)]);
         let model = self.config.latency.clone();
         let mut latency = model.dispatch;
         let mut messages = 0u32;
@@ -1179,17 +1448,25 @@ impl GhbaCluster {
                 if let Some(home) =
                     self.verify_at(candidate, entry, path, &mut latency, &mut messages)
                 {
-                    return self.finish(entry, fp, home, QueryLevel::L1Lru, latency, messages);
+                    return self.finish(
+                        entry,
+                        fp,
+                        home,
+                        QueryLevel::L1Lru,
+                        latency,
+                        messages,
+                        snap.epoch,
+                    );
                 }
                 self.stats.counters.incr("l1_false_hits");
             }
         }
 
         // ---- L2: the entry's segment array (θ replicas + own). ----
-        let gid = self.group_of(entry).expect("entry has a group");
+        let gid = snap.group_of(entry).expect("entry has a group");
         let (hit, held) = {
             let l2 = self.mask_cache.l2(entry).expect("prepared just above");
-            (self.published_array.query_fp_masked(fp, &l2.mask), l2.held)
+            (snap.slab.query_fp_masked(fp, &l2.mask), l2.held)
         };
         let resident = self.mdss[&entry].resident_replicas(held);
         latency += model.array_probe(held + 1, held - resident);
@@ -1201,7 +1478,15 @@ impl GhbaCluster {
             if let Some(home) =
                 self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
             {
-                return self.finish(entry, fp, home, QueryLevel::L2Segment, latency, messages);
+                return self.finish(
+                    entry,
+                    fp,
+                    home,
+                    QueryLevel::L2Segment,
+                    latency,
+                    messages,
+                    snap.epoch,
+                );
             }
             self.stats.counters.incr("l2_false_hits");
         }
@@ -1222,7 +1507,7 @@ impl GhbaCluster {
                 .max()
                 .unwrap_or(Duration::ZERO);
             (
-                self.published_array.query_fp_masked(fp, &l3.mask),
+                snap.slab.query_fp_masked(fp, &l3.mask),
                 peer_count,
                 worst_probe,
             )
@@ -1230,7 +1515,7 @@ impl GhbaCluster {
         messages += 2 * peer_count as u32;
         latency += model.multicast_rtt(peer_count) + worst_probe;
         let mut positives = hit.candidates().to_vec();
-        for member in self.groups[&gid].members() {
+        for member in snap.group(gid).expect("entry's group is live").members() {
             if self.mdss[member].probe_live_fp(fp) {
                 positives.push(*member);
             }
@@ -1239,7 +1524,15 @@ impl GhbaCluster {
             if let Some(home) =
                 self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
             {
-                return self.finish(entry, fp, home, QueryLevel::L3Group, latency, messages);
+                return self.finish(
+                    entry,
+                    fp,
+                    home,
+                    QueryLevel::L3Group,
+                    latency,
+                    messages,
+                    snap.epoch,
+                );
             }
             self.stats.counters.incr("l3_false_hits");
         }
@@ -1268,7 +1561,15 @@ impl GhbaCluster {
                 .add("l4_false_positive_disk_checks", disk_checks);
         }
         match found {
-            Some(home) => self.finish(entry, fp, home, QueryLevel::L4Global, latency, messages),
+            Some(home) => self.finish(
+                entry,
+                fp,
+                home,
+                QueryLevel::L4Global,
+                latency,
+                messages,
+                snap.epoch,
+            ),
             None => {
                 let latency = latency.mul_f64(self.config.contention_factor(messages));
                 self.stats.levels.record(QueryLevel::Nonexistent);
@@ -1279,6 +1580,7 @@ impl GhbaCluster {
                     latency,
                     messages,
                     entry,
+                    epoch: snap.epoch,
                 }
             }
         }
@@ -1313,6 +1615,7 @@ impl GhbaCluster {
     /// Records a successful lookup: LRU cache fill at the entry server
     /// (reusing the query's fingerprint), level counters, contention
     /// inflation, latency.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &mut self,
         entry: MdsId,
@@ -1321,6 +1624,7 @@ impl GhbaCluster {
         level: QueryLevel,
         latency: Duration,
         messages: u32,
+        epoch: MembershipEpoch,
     ) -> QueryOutcome {
         if let Some(lru) = self.mdss.get_mut(&entry).and_then(Mds::lru_mut) {
             lru.record_fp(fp, home);
@@ -1334,6 +1638,7 @@ impl GhbaCluster {
             latency,
             messages,
             entry,
+            epoch,
         }
     }
 
@@ -1352,8 +1657,9 @@ impl GhbaCluster {
     /// 7. the bit-sliced published slab mirrors every server's published
     ///    filter exactly (the hash-once L2/L3 probes depend on it).
     pub fn check_invariants(&self) -> Result<(), String> {
+        let snap = self.routes.pin();
         let slab_ids: Vec<MdsId> = {
-            let mut ids: Vec<MdsId> = self.published_array.ids().collect();
+            let mut ids: Vec<MdsId> = snap.slab.ids().collect();
             ids.sort_unstable();
             ids
         };
@@ -1365,16 +1671,16 @@ impl GhbaCluster {
             ));
         }
         for (&id, mds) in &self.mdss {
-            let column = self
-                .published_array
+            let column = snap
+                .slab
                 .extract(id)
                 .ok_or_else(|| format!("published slab lost {id}"))?;
             if &column != mds.published() {
                 return Err(format!("published slab column of {id} is stale"));
             }
         }
-        for (&id, &gid) in &self.group_of {
-            let group = self
+        for (&id, &gid) in &snap.group_of {
+            let group = snap
                 .groups
                 .get(&gid)
                 .ok_or_else(|| format!("{id} maps to missing {gid}"))?;
@@ -1383,7 +1689,7 @@ impl GhbaCluster {
             }
         }
         let all: Vec<MdsId> = self.server_ids();
-        for group in self.groups.values() {
+        for group in snap.groups.values() {
             if group.len() > self.config.max_group_size {
                 return Err(format!(
                     "{} has {} members (max {})",
@@ -1393,7 +1699,7 @@ impl GhbaCluster {
                 ));
             }
             for &member in group.members() {
-                if self.group_of.get(&member) != Some(&group.id()) {
+                if snap.group_of.get(&member) != Some(&group.id()) {
                     return Err(format!("{member} membership index inconsistent"));
                 }
             }
@@ -1701,5 +2007,52 @@ mod tests {
         assert_eq!(cluster.stats().mask_cache_hits, 0);
         let lifetime_after = cluster.mask_cache_stats();
         assert_eq!(lifetime, lifetime_after, "reset only clears the stats view");
+    }
+
+    /// Regression for unbounded mask-cache growth under churn: masks
+    /// that stay *valid* (their group epoch never moves) but are never
+    /// consulted again must still be evicted by the generation sweep.
+    /// Pins the worst case — a workload that warms every entry once and
+    /// then queries a single entry forever.
+    #[test]
+    fn generation_sweep_evicts_idle_masks() {
+        let mut cluster = GhbaCluster::with_servers(batch_config(), 15);
+        for i in 0..60 {
+            cluster.create_file(&format!("/sweep/f{i}"));
+        }
+        cluster.flush_all_updates();
+        // One batch warms all 15 entries' L2 masks and every group's L3
+        // mask, in a single walk generation.
+        let queries: Vec<(MdsId, String)> = (0..15)
+            .map(|i| (MdsId(i), format!("/sweep/f{}", i)))
+            .collect();
+        let borrowed: Vec<(MdsId, &str)> = queries
+            .iter()
+            .map(|(entry, path)| (*entry, path.as_str()))
+            .collect();
+        let _ = cluster.lookup_batch_from(&borrowed);
+        let (l2, l3) = cluster.mask_cache.len();
+        assert_eq!(l2, 15, "every entry's L2 mask warmed");
+        let groups = cluster.group_count();
+        assert_eq!(l3, groups, "every group's L3 mask warmed");
+
+        // The workload then drifts to a single entry; no reconfiguration
+        // runs, so every warmed mask stays epoch-valid forever. Enough
+        // walks to cross a sweep whose idle horizon passes the warming
+        // generation.
+        for _ in 0..(MaskCache::IDLE_GENERATIONS + MaskCache::SWEEP_EVERY * 2) {
+            let _ = cluster.lookup_from(MdsId(0), "/sweep/f1");
+        }
+        let (l2, l3) = cluster.mask_cache.len();
+        assert_eq!(
+            (l2, l3),
+            (1, 1),
+            "the sweep must evict idle-but-valid masks, keeping the live entry"
+        );
+        assert_eq!(
+            cluster.stats().mask_cache_evictions,
+            (15 + groups - 2) as u64,
+            "evictions surface in ClusterStats"
+        );
     }
 }

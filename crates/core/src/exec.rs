@@ -284,10 +284,66 @@ where
     used
 }
 
+/// Cross-chunk deduplication for batched walks whose read phase is a
+/// pure function of a per-item key: returns `(uniques, assign)` where
+/// `uniques` lists the index of the **first occurrence** of each
+/// distinct key in item order, and `assign[i]` is the position within
+/// `uniques` owning item `i`'s key. Callers walk only
+/// `uniques`-selected items and fan each result back out through
+/// `assign` — duplicates landing in *different* workers' chunks (which
+/// chunk-local memoization cannot see) are resolved exactly once.
+///
+/// With no duplicate keys, `uniques` is `0..items.len()` and `assign`
+/// is the identity, so the fast path costs one hash-map pass.
+pub fn resolve_unique<T, K, F>(items: &[T], key: F) -> (Vec<u32>, Vec<u32>)
+where
+    K: std::hash::Hash + Eq,
+    F: Fn(&T) -> K,
+{
+    let mut slots: std::collections::HashMap<K, u32> = std::collections::HashMap::new();
+    let mut uniques = Vec::with_capacity(items.len());
+    let mut assign = Vec::with_capacity(items.len());
+    for (index, item) in items.iter().enumerate() {
+        let next = uniques.len() as u32;
+        let slot = *slots.entry(key(item)).or_insert_with(|| {
+            uniques.push(index as u32);
+            next
+        });
+        assign.push(slot);
+    }
+    (uniques, assign)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn resolve_unique_identity_without_duplicates() {
+        let items = ["a", "b", "c"];
+        let (uniques, assign) = resolve_unique(&items, |s| *s);
+        assert_eq!(uniques, vec![0, 1, 2]);
+        assert_eq!(assign, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn resolve_unique_maps_duplicates_to_first_occurrence() {
+        let items = ["x", "y", "x", "z", "y", "x"];
+        let (uniques, assign) = resolve_unique(&items, |s| *s);
+        assert_eq!(uniques, vec![0, 1, 3]);
+        assert_eq!(assign, vec![0, 1, 0, 2, 1, 0]);
+        for (i, &slot) in assign.iter().enumerate() {
+            assert_eq!(items[uniques[slot as usize] as usize], items[i]);
+        }
+    }
+
+    #[test]
+    fn resolve_unique_empty() {
+        let (uniques, assign) = resolve_unique::<u32, u32, _>(&[], |&v| v);
+        assert!(uniques.is_empty());
+        assert!(assign.is_empty());
+    }
 
     #[test]
     fn empty_and_single_job_run_inline() {

@@ -57,6 +57,7 @@ mod op;
 mod query;
 mod reconfig;
 mod service;
+mod snapshot;
 mod update;
 
 pub use cluster::{ClusterStats, GhbaCluster};
@@ -71,4 +72,5 @@ pub use op::{
 pub use query::{LevelCounts, QueryLevel, QueryOutcome};
 pub use reconfig::{ReconfigError, ReconfigReport};
 pub use service::MetadataService;
+pub use snapshot::{CellWriter, ReconfigHandle, RouteSnapshot, SlabOp, SlabSpare, SnapshotCell};
 pub use update::UpdateReport;

@@ -579,6 +579,7 @@ mod tests {
                     latency: core::time::Duration::ZERO,
                     messages: 0,
                     entry,
+                    epoch: crate::ids::MembershipEpoch::default(),
                 })
                 .collect()
         }

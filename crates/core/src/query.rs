@@ -3,7 +3,7 @@
 use core::fmt;
 use core::time::Duration;
 
-use crate::ids::MdsId;
+use crate::ids::{MdsId, MembershipEpoch};
 
 /// The level of the G-HBA hierarchy at which a query was resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -58,6 +58,11 @@ pub struct QueryOutcome {
     pub messages: u32,
     /// The MDS that received the client request.
     pub entry: MdsId,
+    /// The membership epoch of the routing snapshot the query was
+    /// pinned to at admission: the walk resolved entirely against that
+    /// one consistent configuration, even if reconfigurations published
+    /// successors mid-flight.
+    pub epoch: MembershipEpoch,
 }
 
 impl QueryOutcome {
@@ -175,6 +180,7 @@ mod tests {
             latency: Duration::from_micros(5),
             messages: 2,
             entry: MdsId(0),
+            epoch: MembershipEpoch::default(),
         };
         assert!(hit.found());
         let miss = QueryOutcome {
@@ -183,6 +189,7 @@ mod tests {
             latency: Duration::from_millis(1),
             messages: 60,
             entry: MdsId(0),
+            epoch: MembershipEpoch::default(),
         };
         assert!(!miss.found());
     }

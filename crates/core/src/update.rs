@@ -66,24 +66,33 @@ impl GhbaCluster {
             None => return UpdateReport::default(),
         };
         // Refresh the origin's column of the bit-sliced published slab the
-        // hash-once L2/L3 probes read. The sparse delta touches only the
-        // bit-rows of changed words — cost scales with churn since the
-        // last publish, not with the O(m) filter width.
-        self.published_array
-            .apply_delta(origin, &delta)
-            .expect("published slab tracks every server");
+        // hash-once L2/L3 probes read, as its own snapshot publish. The
+        // sparse delta touches only the bit-rows of changed words — cost
+        // scales with churn since the last publish, not with the O(m)
+        // filter width. No epoch bump: a publish refreshes filter
+        // *content* under the same layout, so cached masks stay valid,
+        // and in-flight pinned walks keep probing the exact bits they
+        // admitted against.
+        {
+            let routes = std::sync::Arc::clone(&self.routes);
+            let mut edit =
+                crate::snapshot::RouteEdit::begin(&routes, self.config.epoch_granularity);
+            edit.push_op(crate::snapshot::SlabOp::Delta(origin, delta.clone()));
+            edit.commit();
+        }
+        let snap = self.routes.pin();
         debug_assert_eq!(
-            self.published_array.extract(origin).as_ref(),
-            Some(mds.published()),
+            snap.slab.extract(origin).as_ref(),
+            self.mdss.get(&origin).map(|mds| mds.published()),
             "sparse delta application diverged from the published snapshot"
         );
-        let own_group = self.group_of(origin);
+        let own_group = snap.group_of(origin);
         let mut report = UpdateReport {
             refreshed: true,
             ..UpdateReport::default()
         };
         let mut recipient_groups = 0usize;
-        for group in self.groups.values() {
+        for group in snap.groups.values() {
             if Some(group.id()) == own_group {
                 continue;
             }

@@ -1,0 +1,143 @@
+//! Lock-free snapshot concurrency: G-HBA lookups served *through*
+//! reconfiguration.
+//!
+//! Two families of guarantees (the HBA/BFA counterparts live in the
+//! baselines crate's `concurrency` suite):
+//!
+//! * **Stress** — reader threads hammer the side-effect-free
+//!   `lookup_concurrent` walk while a reconfiguration handle publishes
+//!   splits, merges, and rebalances. Every outcome must name the true
+//!   home and carry an epoch no older than the pre-churn snapshot.
+//! * **Equivalence** — with no reconfiguration interleaving, the
+//!   snapshot-pinned concurrent walk is bit-identical to the mutating
+//!   barrier-style walk, query by query.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use ghba_core::{GhbaCluster, GhbaConfig, MdsId};
+
+fn config() -> GhbaConfig {
+    GhbaConfig::default()
+        .with_filter_capacity(2_000)
+        .with_max_group_size(5)
+        .with_seed(71)
+}
+
+/// Readers resolve concurrently with a handle publishing rebalances,
+/// splits, and merges. Those reconfigurations move replica *placement*,
+/// never file homes, so every concurrent outcome must still name the
+/// ground-truth home — at whatever epoch the reader happened to pin.
+#[test]
+fn lookups_resolve_through_reconfig_churn() {
+    let mut cluster = GhbaCluster::with_servers(config(), 20);
+    let paths: Vec<String> = (0..150).map(|i| format!("/churn/f{i}")).collect();
+    for path in &paths {
+        cluster.create_file(path);
+    }
+    cluster.flush_all_updates();
+    let truths: Vec<MdsId> = paths
+        .iter()
+        .map(|p| cluster.true_home(p).expect("created"))
+        .collect();
+    let handle = cluster.reconfig_handle();
+    let start_epoch = handle.epoch();
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let cluster = &cluster;
+        let truths = &truths;
+        let paths = &paths;
+        let stop = &stop;
+        let readers: Vec<_> = (0..2)
+            .map(|r| {
+                scope.spawn(move || {
+                    let mut seen = 0u64;
+                    loop {
+                        for (i, path) in paths.iter().enumerate() {
+                            let entry = MdsId(((i + r * 7) % 20) as u16);
+                            let outcome = cluster.lookup_concurrent(entry, path);
+                            assert_eq!(
+                                outcome.home,
+                                Some(truths[i]),
+                                "concurrent lookup lost {path} mid-reconfig"
+                            );
+                            assert!(
+                                outcome.epoch >= start_epoch,
+                                "pinned an epoch older than the pre-churn snapshot"
+                            );
+                            seen += 1;
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+
+        // Churn: rebalance everything, split the biggest group, merge a
+        // mergeable pair — each publishes a successor snapshot while the
+        // readers above keep resolving.
+        for _ in 0..6 {
+            for gid in handle.group_ids() {
+                let _ = handle.rebalance_group(gid);
+            }
+            let biggest = handle
+                .group_ids()
+                .into_iter()
+                .max_by_key(|&gid| handle.group_members(gid).map_or(0, |m| m.len()));
+            if let Some(gid) = biggest {
+                let _ = handle.split_group(gid);
+            }
+            let ids = handle.group_ids();
+            'merge: for &a in &ids {
+                for &b in &ids {
+                    if a != b && handle.merge_groups(a, b) {
+                        break 'merge;
+                    }
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            assert!(reader.join().expect("reader panicked") > 0);
+        }
+    });
+
+    assert!(
+        handle.epoch() > start_epoch,
+        "the churn loop should have published at least one reconfiguration"
+    );
+    // The owner's mutating paths must be coherent with everything the
+    // handle published behind its back.
+    cluster.check_invariants().expect("post-churn invariants");
+    for (i, path) in paths.iter().enumerate() {
+        assert_eq!(cluster.lookup_from(MdsId(0), path).home, Some(truths[i]));
+    }
+}
+
+/// With no reconfiguration interleaving, the side-effect-free
+/// concurrent walk is bit-identical — home, level, latency, messages,
+/// epoch — to the mutating walk, query by query. The concurrent walk
+/// runs first so both observe the same LRU state; the mutating walk's
+/// fill then advances the state for the next pair.
+#[test]
+fn concurrent_walk_matches_barrier_walk_without_churn() {
+    let mut cluster = GhbaCluster::with_servers(config(), 15);
+    for i in 0..100 {
+        cluster.create_file(&format!("/eq/f{i}"));
+    }
+    cluster.flush_all_updates();
+    for i in 0..200 {
+        let entry = MdsId((i % 15) as u16);
+        let path = if i % 7 == 6 {
+            format!("/eq/absent{i}")
+        } else {
+            format!("/eq/f{}", i * 3 % 100)
+        };
+        let concurrent = cluster.lookup_concurrent(entry, &path);
+        let barrier = cluster.lookup_from(entry, &path);
+        assert_eq!(concurrent, barrier, "walks diverged at query {i}");
+    }
+}
