@@ -81,9 +81,9 @@ fn publish_edit(
 /// bumped epoch, so pinned walks finish against the mirror they
 /// admitted under and mask caches revalidate.
 ///
-/// While a server is retired the owner must not push updates for it
-/// (its slab column is gone); the oscillating churn loops the
-/// `snapshot_churn` bench drives never do.
+/// Owner pushes for a retired server (its slab column is gone) are
+/// safe: `push_update` checks the published mirror under the writer
+/// lock and no-ops, leaving the delta to publish after the restore.
 #[derive(Debug, Clone)]
 pub struct HbaReconfigHandle {
     shared: HbaCell,
@@ -532,6 +532,18 @@ impl HbaCluster {
     ///
     /// Panics if `origin` is unknown.
     pub fn push_update(&mut self, origin: MdsId) -> UpdateReport {
+        // Take the writer lock *before* consuming the delta, so a
+        // concurrent [`HbaReconfigHandle::retire_mds`] cannot drop
+        // `origin`'s column between the check and the publish.
+        let mut writer = self.shared.edit();
+        if !writer.base().slab.contains_id(origin) {
+            // `origin` is retired: its mirror column is extracted, so
+            // there is nothing to refresh. Leave the delta unconsumed —
+            // the server's publish baseline stays the filter
+            // `retire_mds` extracted, so the first push after a restore
+            // folds the accumulated drift into the restored column.
+            return UpdateReport::default();
+        }
         let mds = self.mdss.get_mut(&origin).expect("origin");
         let delta = match mds.publish() {
             Some(delta) => delta,
@@ -542,7 +554,9 @@ impl HbaCluster {
         // filter *content* under the same membership, so cached masks
         // stay valid and pinned walks keep probing the bits they
         // admitted against.
-        self.publish_ops(false, &[SlabOp::Delta(origin, delta.clone())]);
+        let work = (*writer.base()).clone();
+        publish_edit(&mut writer, work, &[SlabOp::Delta(origin, delta.clone())]);
+        drop(writer);
         let recipients = self.mdss.len().saturating_sub(1);
         let report = UpdateReport {
             messages: recipients as u64,
@@ -1442,5 +1456,38 @@ mod tests {
         let outcome = hba.lookup("/ghost");
         assert!(!outcome.found());
         assert_eq!(outcome.level, QueryLevel::Nonexistent);
+    }
+
+    /// An owner push for a server a handle retired must no-op (not
+    /// panic inside the snapshot writer, which would poison the cell
+    /// for every later publish), and the deferred delta must land after
+    /// the restore so lookups find the files created while retired.
+    #[test]
+    fn push_update_for_retired_server_is_a_noop() {
+        let mut hba = HbaCluster::with_servers(config(), 6);
+        let target = MdsId(1);
+        for i in 0..40 {
+            hba.create_file_at(&format!("/pre/f{i}"), target);
+        }
+        hba.flush_all_updates();
+        let handle = hba.reconfig_handle();
+        let filter = handle.retire_mds(target).expect("column is published");
+        for i in 0..40 {
+            hba.create_file_at(&format!("/while-retired/f{i}"), target);
+        }
+        let report = hba.push_update(target);
+        assert!(!report.refreshed, "retired push must not publish");
+        assert_eq!(report.messages, 0);
+        assert!(handle.restore_mds(target, &filter));
+        // The cell is not poisoned: the deferred drift publishes now,
+        // and the restored mirror resolves both eras of files.
+        assert!(hba.push_update(target).refreshed);
+        for i in 0..40 {
+            assert_eq!(hba.lookup(&format!("/pre/f{i}")).home, Some(target));
+            assert_eq!(
+                hba.lookup(&format!("/while-retired/f{i}")).home,
+                Some(target)
+            );
+        }
     }
 }

@@ -67,6 +67,12 @@ impl<T> Slot<T> {
 /// Readers never block: a reader that loses the race re-reads `active`
 /// and retries against the new slot.
 ///
+/// The guard handshake is a store-buffering (Dekker) shape — reader:
+/// raise guard, re-check `active`; writer: flip `active`, read guard —
+/// so those four operations use `SeqCst` (see `pin`); plain
+/// Acquire/Release would let both sides miss each other and race the
+/// writer's reclamation against a reader's clone.
+///
 /// The writer publishes into the *inactive* slot (reader-free by
 /// induction: the previous publish drained it) and flips `active`; the
 /// displaced `Arc` is handed back to the caller, whose reference count
@@ -113,13 +119,26 @@ impl<T, W> SnapshotCell<T, W> {
         loop {
             let at = self.active.load(Ordering::Acquire);
             let slot = &self.slots[at];
-            slot.refs.fetch_add(1, Ordering::Acquire);
-            if self.active.load(Ordering::Acquire) == at {
+            // The guard-raise and the `active` re-check pair with the
+            // writer's flip-then-drain in `publish` as a store-buffering
+            // (Dekker) protocol: each side stores then loads what the
+            // other stores. Acquire/Release cannot order that shape —
+            // both sides may read the stale value and miss each other —
+            // so all four operations are `SeqCst`: in the single total
+            // order, either our re-check sees the writer's flip (we
+            // bail below without touching the value), or our increment
+            // precedes the writer's drain load, which then sees
+            // `refs > 0` and waits for us.
+            slot.refs.fetch_add(1, Ordering::SeqCst);
+            if self.active.load(Ordering::SeqCst) == at {
                 // SAFETY: the slot was active after we raised its
                 // guard, so the writer (which only touches a slot once
-                // it is inactive *and* drained) cannot be mutating it;
-                // the re-check's `Acquire` synchronizes with the
-                // publishing `Release`, so the value is fully written.
+                // it is inactive *and* drained) cannot be mutating it:
+                // the SeqCst pairing above guarantees a writer that
+                // flipped this slot away before our re-check is seen
+                // here, and one that flips after sees our guard. The
+                // re-check also synchronizes with the publishing store,
+                // so the value is fully written.
                 let pinned = unsafe { (*slot.value.get()).clone() };
                 slot.refs.fetch_sub(1, Ordering::Release);
                 if let Some(arc) = pinned {
@@ -174,6 +193,20 @@ impl<T, W> CellWriter<'_, T, W> {
     /// keep it alive through their own `Arc`s; once those drop, the
     /// returned `Arc` is the last reference and the caller may recycle
     /// its storage (see [`SlabSpare::recycle`]).
+    ///
+    /// # Blocking
+    ///
+    /// Readers never block, but the publisher does: after the flip it
+    /// spin-waits (yielding) for readers still inside the displaced
+    /// slot's guard window — the few instructions between raising the
+    /// guard and cloning the `Arc` out, *not* the lifetime of the pin.
+    /// In the common case the guard is already zero and the wait is a
+    /// single load; the wait is unbounded only if the OS preempts a
+    /// reader inside that window, in which case the publisher (and, via
+    /// the writer mutex it holds, every queued publisher) stalls until
+    /// that reader is rescheduled. Lookups proceed unimpeded against
+    /// the freshly published snapshot throughout; only reconfiguration
+    /// latency is exposed to this inversion.
     pub fn publish(&mut self, next: T) -> Arc<T> {
         let at = self.cell.active.load(Ordering::Acquire);
         let to = 1 - at;
@@ -186,11 +219,16 @@ impl<T, W> CellWriter<'_, T, W> {
         unsafe {
             *incoming.value.get() = Some(Arc::new(next));
         }
-        self.cell.active.store(to, Ordering::Release);
+        // The flip and the drain load below are the writer's half of
+        // the store-buffering pair with `pin`'s guard-raise/re-check;
+        // see the comment there for why all four must be `SeqCst`.
+        // `SeqCst` subsumes the Release needed to publish the value
+        // write above and the Acquire needed to observe guard exits.
+        self.cell.active.store(to, Ordering::SeqCst);
         // Drain readers still mid-clone in the displaced slot (a few
-        // instructions each), then reclaim it.
+        // instructions each), then reclaim it. See "Blocking" above.
         let outgoing = &self.cell.slots[at];
-        while outgoing.refs.load(Ordering::Acquire) != 0 {
+        while outgoing.refs.load(Ordering::SeqCst) != 0 {
             std::thread::yield_now();
         }
         // SAFETY: the slot is inactive (we just flipped `active`) and
@@ -683,6 +721,64 @@ mod tests {
             assert!(reader.join().expect("reader panicked") > 0);
         }
         assert_eq!(*cell.pin(), (500, 500));
+    }
+
+    /// Under reader/writer contention every published snapshot is
+    /// dropped exactly once and never observed torn — the practical
+    /// stand-in for a loom model of the SeqCst guard handshake (loom is
+    /// not a dependency): a writer-side drain racing a reader's clone
+    /// shows up here as a payload-canary failure, a refcount crash, or
+    /// a drop-count mismatch.
+    #[test]
+    fn every_snapshot_dropped_exactly_once_under_contention() {
+        const CANARY: u64 = 0x5EED_CAFE;
+        struct Counted {
+            value: u64,
+            canary: u64,
+            drops: Arc<AtomicUsize>,
+        }
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                assert_eq!(self.canary, self.value ^ CANARY, "payload torn");
+                self.drops.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let make = |value: u64| Counted {
+            value,
+            canary: value ^ CANARY,
+            drops: Arc::clone(&drops),
+        };
+        const PUBLISHES: u64 = 2_000;
+        let cell: Arc<SnapshotCell<Counted>> = Arc::new(SnapshotCell::new(make(0), ()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || loop {
+                    let snap = cell.pin();
+                    assert_eq!(snap.canary, snap.value ^ CANARY, "pinned payload torn");
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                })
+            })
+            .collect();
+        for value in 1..=PUBLISHES {
+            let mut writer = cell.edit();
+            let _displaced = writer.publish(make(value));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for reader in readers {
+            reader.join().expect("reader panicked");
+        }
+        drop(cell);
+        assert_eq!(
+            drops.load(Ordering::SeqCst),
+            PUBLISHES as usize + 1,
+            "each snapshot reclaimed exactly once"
+        );
     }
 
     #[test]
