@@ -95,6 +95,11 @@ impl ghba_core::MetadataService for BfaCluster {
         self.inner.execute(batch)
     }
 
+    fn execute_concurrent(&self, batch: &OpBatch) -> Vec<OpOutcome> {
+        // Same inheritance for the pin-once concurrent pipeline.
+        self.inner.execute_concurrent(batch)
+    }
+
     fn filter_memory_per_mds(&self) -> usize {
         self.inner.filter_memory_per_mds()
     }

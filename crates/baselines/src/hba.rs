@@ -10,15 +10,19 @@
 //! explore.
 
 use core::time::Duration;
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
-use ghba_bloom::{BloomFilter, Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
+use ghba_bloom::{
+    BloomFilter, FilterDelta, Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask,
+};
 use ghba_core::exec::{resolve_unique, run_chunked};
 use ghba_core::{
-    execute_vectored, published_shape, CellWriter, ClusterStats, EntryPolicy, GhbaConfig,
-    MaskCacheLifecycle, Mds, MdsId, MembershipEpoch, OpBatch, OpOutcome, PathKey, QueryLevel,
+    execute_vectored, execute_vectored_concurrent, published_shape, CellWriter, ClusterStats,
+    ConcurrentScheme, ConcurrentStats, EntryPolicy, GhbaConfig, MaskCacheLifecycle, Mds, MdsId,
+    MembershipEpoch, NamespaceShards, OpBatch, OpOutcome, OverlayEntry, PathKey, QueryLevel,
     QueryOutcome, ReconfigReport, SlabOp, SlabSpare, SnapshotCell, UpdateReport, VectoredScheme,
+    WriteKind,
 };
 use ghba_simnet::DetRng;
 
@@ -217,7 +221,9 @@ pub struct HbaCluster {
     /// epoch: lookups pin one [`HbaSnapshot`] for a whole batch while
     /// publishes and membership changes swap in successors.
     shared: HbaCell,
-    rng: DetRng,
+    /// The one deterministic stream, shared by `&mut` and `&self` entry
+    /// resolution (the concurrent pipeline draws through the lock).
+    rng: Mutex<DetRng>,
     stats: ClusterStats,
     next_mds: u16,
     mask_cache: HbaMaskCache,
@@ -225,6 +231,12 @@ pub struct HbaCluster {
     /// Per-worker walk arenas (arena 0 doubles as the sequential
     /// scratch), grown lazily to the configured worker count.
     scratch: Vec<WalkScratch>,
+    /// Pending writes recorded by the pin-once pipeline, replayed into
+    /// `mdss` at the next `&mut` drain point.
+    shards: NamespaceShards,
+    /// Wait-free statistics recorders for `&self` lookups and commits,
+    /// folded into `stats` at the next drain.
+    cstats: ConcurrentStats,
 }
 
 impl Clone for HbaCluster {
@@ -233,16 +245,22 @@ impl Clone for HbaCluster {
         // state, not shared between clusters), seeded from whatever this
         // cluster currently publishes.
         let snap = self.shared.pin();
+        debug_assert!(
+            !self.shards.is_dirty(),
+            "clone with undrained concurrent writes pending"
+        );
         HbaCluster {
             config: self.config.clone(),
             mdss: self.mdss.clone(),
             shared: hba_cell((*snap).clone()),
-            rng: self.rng.clone(),
+            rng: Mutex::new(self.rng.lock().expect("rng poisoned").clone()),
             stats: self.stats.clone(),
             next_mds: self.next_mds,
             mask_cache: self.mask_cache.clone(),
             shim_entry: self.shim_entry,
             scratch: self.scratch.clone(),
+            shards: NamespaceShards::new(self.config.write_shards),
+            cstats: ConcurrentStats::new(),
         }
     }
 }
@@ -261,16 +279,19 @@ impl HbaCluster {
             slab: Arc::new(SharedShapeArray::new(published_shape(&config))),
             epoch: MembershipEpoch::default(),
         });
+        let shards = NamespaceShards::new(config.write_shards);
         let mut cluster = HbaCluster {
             config,
             mdss: BTreeMap::new(),
             shared,
-            rng,
+            rng: Mutex::new(rng),
             stats: ClusterStats::default(),
             next_mds: 0,
             mask_cache: HbaMaskCache::default(),
             shim_entry: EntryPolicy::Random,
             scratch: Vec::new(),
+            shards,
+            cstats: ConcurrentStats::new(),
         };
         for _ in 0..servers {
             cluster.add_mds();
@@ -337,8 +358,10 @@ impl HbaCluster {
         self.mask_cache.life.stats()
     }
 
-    /// Clears statistics.
+    /// Clears statistics (draining pending concurrent state first, so
+    /// discarded accounting never resurfaces as effects).
     pub fn reset_stats(&mut self) {
+        self.maybe_drain();
         self.stats = ClusterStats::default();
     }
 
@@ -357,15 +380,22 @@ impl HbaCluster {
             .map(|(&id, _)| id)
     }
 
-    fn pick_random_mds(&mut self) -> MdsId {
+    fn pick_random_mds(&self) -> MdsId {
         let ids = self.server_ids();
-        *self.rng.choose(&ids).expect("non-empty cluster")
+        *self
+            .rng
+            .lock()
+            .expect("rng poisoned")
+            .choose(&ids)
+            .expect("non-empty cluster")
     }
 
     /// Resolves the serving MDS for op `op_index` of a batch under
     /// `policy` (same contract as G-HBA's resolver; the deterministic
     /// policies defer to [`EntryPolicy::resolve_deterministic`]).
-    fn entry_for(&mut self, policy: EntryPolicy, op_index: usize) -> MdsId {
+    /// Callable from `&self` — the concurrent pipeline draws entries
+    /// through the rng lock.
+    fn entry_for(&self, policy: EntryPolicy, op_index: usize) -> MdsId {
         if policy == EntryPolicy::Random {
             return self.pick_random_mds();
         }
@@ -390,6 +420,7 @@ impl HbaCluster {
 
     /// Like [`add_mds`](HbaCluster::add_mds) with a cost report.
     pub fn add_mds_reported(&mut self) -> (MdsId, ReconfigReport) {
+        self.maybe_drain();
         let id = MdsId(self.next_mds);
         self.next_mds += 1;
         let existing = self.mdss.len() as u64;
@@ -420,6 +451,7 @@ impl HbaCluster {
     pub fn remove_mds(&mut self, id: MdsId) -> ReconfigReport {
         assert!(self.mdss.contains_key(&id), "unknown server");
         assert!(self.mdss.len() > 1, "cannot remove the last server");
+        self.maybe_drain();
         let files = self.mdss.get_mut(&id).expect("exists").evacuate();
         let mut report = ReconfigReport {
             rehomed_files: files.len() as u64,
@@ -469,6 +501,7 @@ impl HbaCluster {
     ///
     /// Panics if `home` is unknown.
     pub fn create_file_at(&mut self, path: &str, home: MdsId) {
+        self.maybe_drain();
         self.mdss
             .get_mut(&home)
             .expect("home exists")
@@ -483,6 +516,7 @@ impl HbaCluster {
     ///
     /// Panics if `home` is unknown.
     pub fn create_file_keyed(&mut self, key: &PathKey, home: MdsId) {
+        self.maybe_drain();
         self.mdss
             .get_mut(&home)
             .expect("home exists")
@@ -492,6 +526,7 @@ impl HbaCluster {
 
     /// Removes `path` from its home.
     pub fn remove_file(&mut self, path: &str) -> Option<MdsId> {
+        self.maybe_drain();
         let home = self.true_home(path)?;
         self.mdss.get_mut(&home).expect("exists").remove_local(path);
         self.maybe_publish(home);
@@ -500,6 +535,7 @@ impl HbaCluster {
 
     /// Pre-hashed variant of [`remove_file`](HbaCluster::remove_file).
     pub fn remove_file_keyed(&mut self, key: &PathKey) -> Option<MdsId> {
+        self.maybe_drain();
         let home = self.true_home(key.path())?;
         self.mdss
             .get_mut(&home)
@@ -532,6 +568,7 @@ impl HbaCluster {
     ///
     /// Panics if `origin` is unknown.
     pub fn push_update(&mut self, origin: MdsId) -> UpdateReport {
+        self.maybe_drain();
         // Take the writer lock *before* consuming the delta, so a
         // concurrent [`HbaReconfigHandle::retire_mds`] cannot drop
         // `origin`'s column between the check and the publish.
@@ -589,6 +626,7 @@ impl HbaCluster {
     ///
     /// Panics if `entry` is unknown.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
+        self.maybe_drain();
         let fp = Fingerprint::of(path);
         let snap = self.shared.pin();
         self.lookup_one(&snap, entry, path, &fp)
@@ -644,6 +682,7 @@ impl HbaCluster {
         if total == 0 {
             return Vec::new();
         }
+        self.maybe_drain();
         // Pin one probe snapshot for the whole batch: every query —
         // across every worker chunk — probes this one consistent mirror,
         // however many publishes land while the walk runs.
@@ -1138,14 +1177,15 @@ impl HbaCluster {
         }
     }
 
-    /// A **side-effect-free** lookup through `&self`, safe to call from
-    /// many threads at once — and concurrently with an
-    /// [`HbaReconfigHandle`] retiring and restoring mirrors: the walk
-    /// pins one snapshot and probes it end to end. Touches no
-    /// statistics, fills no LRU, and consults no mask cache (the
-    /// all-except-self mask is built from the pinned slab on the fly);
-    /// latency and message accounting are otherwise identical to
-    /// [`lookup_from`](HbaCluster::lookup_from).
+    /// A lookup through `&self`, safe to call from many threads at once
+    /// — and concurrently with an [`HbaReconfigHandle`] retiring and
+    /// restoring mirrors: the walk pins one snapshot and probes it end
+    /// to end, builds its all-except-self mask on the fly from the
+    /// pinned slab, observes this era's pending concurrent writes
+    /// through the namespace-shard overlay, and records level/latency
+    /// statistics into wait-free atomic counters (folded at the next
+    /// `&mut` drain). Fills no LRU; latency and message accounting are
+    /// otherwise identical to [`lookup_from`](HbaCluster::lookup_from).
     ///
     /// # Panics
     ///
@@ -1154,58 +1194,154 @@ impl HbaCluster {
     pub fn lookup_concurrent(&self, entry: MdsId, path: &str) -> QueryOutcome {
         let fp = Fingerprint::of(path);
         let snap = self.shared.pin();
+        let mut memo = HashMap::new();
+        self.walk_pinned(&snap, entry, path, &fp, &mut memo)
+    }
+
+    /// Whether `candidate`'s live filter probes positive for `fp`,
+    /// overlaid with this era's pending writes (see the G-HBA
+    /// counterpart: pending creates probe positive at their recorded
+    /// home; pending removes stay visible until the drain).
+    fn probe_live_pinned(&self, candidate: MdsId, fp: &Fingerprint, overlay: OverlayEntry) -> bool {
+        if overlay == OverlayEntry::Created(candidate) {
+            return true;
+        }
+        self.mdss[&candidate].probe_live_fp(fp)
+    }
+
+    /// [`verify_at`](HbaCluster::verify_at) overlaid with this era's
+    /// pending writes.
+    fn verify_at_pinned(
+        &self,
+        candidate: MdsId,
+        entry: MdsId,
+        path: &str,
+        overlay: OverlayEntry,
+        latency: &mut Duration,
+        messages: &mut u32,
+    ) -> Option<MdsId> {
+        let model = self.config.latency.clone();
+        if candidate != entry {
+            *messages += 2;
+            *latency += model.unicast_rtt();
+        }
+        let mds = self.mdss.get(&candidate)?;
+        *latency += mds.metadata_access_cost(&model);
+        let stores = match overlay {
+            OverlayEntry::Created(home) => candidate == home,
+            OverlayEntry::Removed => false,
+            OverlayEntry::Untracked => mds.stores(path),
+        };
+        stores.then_some(candidate)
+    }
+
+    /// Finishes a pinned walk: contention inflation, pinned epoch, and
+    /// the atomic statistics the drain later folds.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_pinned(
+        &self,
+        epoch: MembershipEpoch,
+        entry: MdsId,
+        home: Option<MdsId>,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+        falses: [u64; 2],
+    ) -> QueryOutcome {
+        let outcome = self.readonly_outcome(epoch, entry, home, level, latency, messages);
+        self.cstats.record_lookup(outcome.level, outcome.latency);
+        self.cstats.record_false_hits(falses[0], falses[1], 0, 0);
+        outcome
+    }
+
+    /// The L1 → full mirror → broadcast escalation of one query against
+    /// a pinned snapshot, from `&self` (the read engine of
+    /// [`lookup_concurrent`](HbaCluster::lookup_concurrent) and of the
+    /// pin-once batch pipeline). `memo` caches the all-except-self L2
+    /// masks for the caller's chosen scope; memo traffic feeds the
+    /// shared mask-cache hit/miss accounting.
+    fn walk_pinned(
+        &self,
+        snap: &HbaSnapshot,
+        entry: MdsId,
+        path: &str,
+        fp: &Fingerprint,
+        memo: &mut HashMap<MdsId, SlotMask>,
+    ) -> QueryOutcome {
         assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        let overlay = self.shards.overlay_keyed(path, fp);
         let model = self.config.latency.clone();
         let mut latency = model.dispatch;
         let mut messages = 0u32;
+        let mut falses = [0u64; 2];
 
         // L1: the entry server's LRU array (probe only; no fill).
         let l1_hit = self
             .mdss
             .get(&entry)
             .and_then(Mds::lru)
-            .map(|lru| lru.query_fp(&fp));
+            .map(|lru| lru.query_fp(fp));
         if let Some(hit) = l1_hit {
             latency += model.memory_probe;
             if let Hit::Unique(candidate) = hit {
-                if let Some(home) =
-                    self.verify_at(candidate, entry, path, &mut latency, &mut messages)
-                {
-                    return self.readonly_outcome(
+                if let Some(home) = self.verify_at_pinned(
+                    candidate,
+                    entry,
+                    path,
+                    overlay,
+                    &mut latency,
+                    &mut messages,
+                ) {
+                    return self.finish_pinned(
                         snap.epoch,
                         entry,
                         Some(home),
                         QueryLevel::L1Lru,
                         latency,
                         messages,
+                        falses,
                     );
                 }
+                falses[0] += 1;
             }
         }
 
         // L2: the complete replica array under the pinned mirror.
         let held = self.mdss.len() - 1;
-        let mask = snap.slab.mask_all_except(entry);
-        let hit = snap.slab.query_fp_masked(&fp, &mask);
+        if let std::collections::hash_map::Entry::Vacant(slot) = memo.entry(entry) {
+            self.cstats.record_mask(false);
+            slot.insert(snap.slab.mask_all_except(entry));
+        } else {
+            self.cstats.record_mask(true);
+        }
+        let mask = memo.get(&entry).expect("just ensured");
+        let hit = snap.slab.query_fp_masked(fp, mask);
         let resident = self.mdss[&entry].resident_replicas(held);
         latency += model.array_probe(held + 1, held - resident);
         let mut positives = hit.candidates().to_vec();
-        if self.mdss[&entry].probe_live_fp(&fp) {
+        if self.probe_live_pinned(entry, fp, overlay) {
             positives.push(entry);
         }
         if positives.len() == 1 {
-            if let Some(home) =
-                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
-            {
-                return self.readonly_outcome(
+            if let Some(home) = self.verify_at_pinned(
+                positives[0],
+                entry,
+                path,
+                overlay,
+                &mut latency,
+                &mut messages,
+            ) {
+                return self.finish_pinned(
                     snap.epoch,
                     entry,
                     Some(home),
                     QueryLevel::L2Segment,
                     latency,
                     messages,
+                    falses,
                 );
             }
+            falses[1] += 1;
         }
 
         // Fallback: system-wide broadcast (authoritative).
@@ -1215,9 +1351,14 @@ impl HbaCluster {
         let mut found = None;
         let mut verify_cost = Duration::ZERO;
         for (&id, mds) in &self.mdss {
-            if mds.probe_live_fp(&fp) {
+            if self.probe_live_pinned(id, fp, overlay) {
                 verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
-                if mds.stores(path) {
+                let stores = match overlay {
+                    OverlayEntry::Created(home) => id == home,
+                    OverlayEntry::Removed => false,
+                    OverlayEntry::Untracked => mds.stores(path),
+                };
+                if stores {
                     found = Some(id);
                 }
             }
@@ -1227,7 +1368,210 @@ impl HbaCluster {
             Some(_) => QueryLevel::L4Global,
             None => QueryLevel::Nonexistent,
         };
-        self.readonly_outcome(snap.epoch, entry, found, level, latency, messages)
+        self.finish_pinned(snap.epoch, entry, found, level, latency, messages, falses)
+    }
+
+    /// Resolves a fused run of lookups against a pinned snapshot from
+    /// `&self`: cross-chunk dedup, chunked pinned walks across the exec
+    /// pool, outcomes spliced back in stream order (the concurrent
+    /// counterpart of
+    /// [`lookup_batch_prehashed`](HbaCluster::lookup_batch_prehashed)).
+    fn fused_pinned(&self, snap: &HbaSnapshot, queries: &[(MdsId, &PathKey)]) -> Vec<QueryOutcome> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let items: Vec<(MdsId, &str, Fingerprint)> = queries
+            .iter()
+            .map(|&(entry, key)| (entry, key.path(), *key.fingerprint()))
+            .collect();
+        if items.len() == 1 {
+            let (entry, path, fp) = items[0];
+            let mut memo = HashMap::new();
+            return vec![self.walk_pinned(snap, entry, path, &fp, &mut memo)];
+        }
+        let (uniques, assign) = resolve_unique(&items, |&(entry, path, _)| (entry, path));
+        let deduped: Vec<(MdsId, &str, Fingerprint)> =
+            uniques.iter().map(|&first| items[first as usize]).collect();
+        #[derive(Default)]
+        struct PinArena {
+            outcomes: Vec<QueryOutcome>,
+            memo: HashMap<MdsId, SlotMask>,
+        }
+        let mut arenas: Vec<PinArena> = Vec::new();
+        let used = run_chunked(
+            &deduped,
+            self.config.executor,
+            &mut arenas,
+            |chunk, arena| {
+                for &(entry, path, fp) in chunk {
+                    let outcome = self.walk_pinned(snap, entry, path, &fp, &mut arena.memo);
+                    arena.outcomes.push(outcome);
+                }
+            },
+        );
+        let mut resolved: Vec<QueryOutcome> = Vec::with_capacity(deduped.len());
+        for arena in arenas.iter_mut().take(used) {
+            resolved.append(&mut arena.outcomes);
+        }
+        debug_assert_eq!(resolved.len(), deduped.len());
+        assign
+            .iter()
+            .map(|&slot| resolved[slot as usize].clone())
+            .collect()
+    }
+
+    /// Records a pending create from `&self` (the pin-once write
+    /// primitive); the store and live filter are touched at drain time.
+    fn apply_create_shared(&self, key: &PathKey, home: MdsId) {
+        debug_assert!(self.mdss.contains_key(&home), "home must exist");
+        self.shards.record_create(key, home);
+    }
+
+    /// Records a pending removal from `&self`, resolving the victim's
+    /// home through the overlay first, the authoritative stores second.
+    fn apply_remove_shared(&self, key: &PathKey) -> Option<MdsId> {
+        match self.shards.overlay(key) {
+            OverlayEntry::Created(home) => {
+                self.shards.record_remove(key, home);
+                Some(home)
+            }
+            OverlayEntry::Removed => None,
+            OverlayEntry::Untracked => {
+                let home = self.true_home(key.path())?;
+                self.shards.record_remove(key, home);
+                Some(home)
+            }
+        }
+    }
+
+    /// Folds this era's pending create bits into the published mirror:
+    /// one staging pass under the cell's writer lock, one delta per
+    /// touched home, one snapshot publish — HBA's broadcast-to-everyone
+    /// replica-update traffic accounted per staged home. Touched homes
+    /// are marked for the drain to reconcile their server-side
+    /// published filters.
+    ///
+    /// Staging runs at the sequential publish cadence, not per batch: a
+    /// home's creates accumulate in its staging buffer (every walk sees
+    /// them through the overlay) until enough are pending to plausibly
+    /// cross the drift threshold, so a typical batch pays one atomic
+    /// load here and never touches the writer lock.
+    fn commit_concurrent(&self) {
+        let gate = self.config.publish_gate();
+        if self.shards.unpublished_create_count() < gate {
+            return;
+        }
+        // Extraction transfers ownership of the ripe fingerprints to
+        // this committer, so racing committers stage disjoint sets.
+        let pending = self.shards.stage_ripe_creates(gate);
+        if pending.is_empty() {
+            return;
+        }
+        let model = self.config.latency.clone();
+        // The writer lock serializes staging with every other publisher
+        // (owner pushes, retire/restore handles), so each delta applies
+        // to exactly the columns it was computed against.
+        let mut writer = self.shared.edit();
+        let work = (*writer.base()).clone();
+        let recipients = self.mdss.len().saturating_sub(1);
+        let mut ops: Vec<SlabOp> = Vec::new();
+        let mut staged: Vec<MdsId> = Vec::new();
+        for (home, fps) in pending {
+            // Absent column ⇒ the home is retired; its creates wait in
+            // the shard log for the owner drain.
+            let Some(old) = work.slab.extract(home) else {
+                continue;
+            };
+            let mut fresh = old.clone();
+            for fp in &fps {
+                fresh.insert_fp(fp);
+            }
+            let Ok(delta) = FilterDelta::between(&old, &fresh) else {
+                continue;
+            };
+            if delta.is_empty() {
+                continue;
+            }
+            if recipients > 0 {
+                self.cstats.record_update(
+                    recipients as u64,
+                    delta.wire_bytes() as u64 * recipients as u64,
+                    model.multicast_rtt(recipients),
+                );
+            }
+            staged.push(home);
+            ops.push(SlabOp::Delta(home, delta));
+        }
+        if !ops.is_empty() {
+            publish_edit(&mut writer, work, &ops);
+        }
+        drop(writer);
+        if !staged.is_empty() {
+            self.shards.mark_staged(staged);
+        }
+    }
+
+    /// Drains pending concurrent state if any exists (the cheap gate
+    /// every `&mut` entry point passes through).
+    fn maybe_drain(&mut self) {
+        if self.shards.is_dirty() || self.cstats.is_dirty() {
+            self.drain_concurrent();
+        }
+    }
+
+    /// Reconciles everything the `&self` pipeline deferred: folds the
+    /// atomic statistics, replays the shard write logs against the
+    /// authoritative stores and live filters, and syncs each staged
+    /// home's server-side published filter with its mirror column.
+    /// Runs automatically at every `&mut` entry point; call explicitly
+    /// before inspecting state through `&self` views
+    /// ([`true_home`](HbaCluster::true_home),
+    /// [`total_files`](HbaCluster::total_files)) after concurrent
+    /// batches.
+    pub fn drain_concurrent(&mut self) {
+        let (hits, misses) = self.cstats.fold_into(&mut self.stats);
+        self.mask_cache.life.absorb(hits, misses);
+        if !self.shards.is_dirty() {
+            return;
+        }
+        let (records, staged) = self.shards.take_all();
+        for record in &records {
+            match record.kind {
+                WriteKind::Create(home) => {
+                    self.mdss
+                        .get_mut(&home)
+                        .expect("pending create targets a live home")
+                        .create_local_fp(&record.path, &record.fp);
+                }
+                WriteKind::Remove(home) => {
+                    if let Some(mds) = self.mdss.get_mut(&home) {
+                        mds.remove_local_fp(&record.path, &record.fp);
+                    }
+                }
+            }
+        }
+        if !staged.is_empty() {
+            let mut writer = self.shared.edit();
+            let work = (*writer.base()).clone();
+            let mut ops: Vec<SlabOp> = Vec::new();
+            for &home in &staged {
+                let Some(mds) = self.mdss.get_mut(&home) else {
+                    continue;
+                };
+                let _ = mds.publish();
+                let Some(column) = work.slab.extract(home) else {
+                    continue;
+                };
+                if let Ok(delta) = FilterDelta::between(&column, mds.published()) {
+                    if !delta.is_empty() {
+                        ops.push(SlabOp::Delta(home, delta));
+                    }
+                }
+            }
+            if !ops.is_empty() {
+                publish_edit(&mut writer, work, &ops);
+            }
+        }
     }
 
     /// Finishes a side-effect-free lookup: applies the contention
@@ -1275,6 +1619,7 @@ impl VectoredScheme for HbaCluster {
     }
 
     fn batch_begin(&mut self) {
+        self.maybe_drain();
         if self.mask_cache.life.arm(self.config.mask_cache) {
             self.mask_cache.clear();
         }
@@ -1303,6 +1648,40 @@ impl VectoredScheme for HbaCluster {
     }
 }
 
+impl ConcurrentScheme for HbaCluster {
+    /// An owned pin on the published mirror: lock-free to take, valid
+    /// across successor publishes, never blocks a publisher while held.
+    type Pinned = Arc<HbaSnapshot>;
+
+    fn pin_batch(&self) -> Self::Pinned {
+        self.shared.pin()
+    }
+
+    fn resolve_entry_concurrent(&self, policy: EntryPolicy, op_index: usize) -> MdsId {
+        self.entry_for(policy, op_index)
+    }
+
+    fn lookup_fused_pinned(
+        &self,
+        pinned: &Self::Pinned,
+        queries: &[(MdsId, &PathKey)],
+    ) -> Vec<QueryOutcome> {
+        self.fused_pinned(pinned, queries)
+    }
+
+    fn apply_create_concurrent(&self, key: &PathKey, home: MdsId) {
+        self.apply_create_shared(key, home);
+    }
+
+    fn apply_remove_concurrent(&self, key: &PathKey) -> Option<MdsId> {
+        self.apply_remove_shared(key)
+    }
+
+    fn commit_batch(&self, _pinned: &Self::Pinned) {
+        self.commit_concurrent();
+    }
+}
+
 impl ghba_core::MetadataService for HbaCluster {
     fn scheme_name(&self) -> &'static str {
         "HBA"
@@ -1314,6 +1693,10 @@ impl ghba_core::MetadataService for HbaCluster {
 
     fn execute(&mut self, batch: &OpBatch) -> Vec<OpOutcome> {
         execute_vectored(self, batch)
+    }
+
+    fn execute_concurrent(&self, batch: &OpBatch) -> Vec<OpOutcome> {
+        execute_vectored_concurrent(self, batch)
     }
 
     fn filter_memory_per_mds(&self) -> usize {

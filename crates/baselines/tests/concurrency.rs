@@ -197,3 +197,81 @@ fn concurrent_walk_matches_barrier_walk_without_churn() {
         assert_eq!(concurrent, barrier, "BFA walks diverged at query {i}");
     }
 }
+
+/// The pin-once `execute_concurrent` pipeline matches the `&mut self`
+/// funnel for mixed HBA batches, and after `drain_concurrent` + flush
+/// both clusters converge to the same homes. Epochs are excluded from
+/// the comparison (the two pipelines publish mirrors at different
+/// cadences); L1 is disabled because the pinned walk never fills the
+/// LRU, and removes sit at the tail of each batch so no in-batch
+/// lookup races a pending remove of the same fingerprint.
+#[test]
+fn hba_concurrent_pipeline_matches_funnel() {
+    use ghba_core::{EntryPolicy, MetadataService, OpBatch, OpOutcome};
+
+    let cfg = config()
+        .with_lru_capacity(0)
+        .with_update_threshold(1 << 24)
+        .with_write_shards(4);
+    let mut funnel = HbaCluster::with_servers(cfg.clone(), 10);
+    let mut pinned = HbaCluster::with_servers(cfg, 10);
+
+    let mut live: Vec<String> = (0..25).map(|i| format!("/hmix/seed{i}")).collect();
+    for path in &live {
+        funnel.create_file(path);
+        pinned.create_file(path);
+    }
+    funnel.flush_all_updates();
+    pinned.flush_all_updates();
+
+    for round in 0..4 {
+        let rename_src = live.remove(0);
+        let remove_tgt = live.remove(0);
+        let moved = format!("/hmix/r{round}/moved");
+        let created: Vec<String> = (0..5).map(|j| format!("/hmix/r{round}/f{j}")).collect();
+
+        let mut batch = OpBatch::new().with_entry(EntryPolicy::Random);
+        for path in live.iter().take(5) {
+            batch.push_lookup(path);
+        }
+        for path in &created {
+            batch.push_create(path);
+        }
+        for path in &created {
+            batch.push_lookup(path);
+        }
+        batch.push_lookup(format!("/hmix/r{round}/absent"));
+        batch.push_rename(&rename_src, &moved);
+        batch.push_lookup(&moved);
+        batch.push_remove(&remove_tgt);
+
+        let funnel_out = funnel.execute(&batch);
+        let pinned_out = pinned.execute_concurrent(&batch);
+        assert_eq!(funnel_out.len(), pinned_out.len());
+        for (i, (f, p)) in funnel_out.iter().zip(&pinned_out).enumerate() {
+            match (f, p) {
+                (OpOutcome::Resolved(a), OpOutcome::Resolved(b)) => assert_eq!(
+                    (a.home, a.level, a.latency, a.messages, a.entry),
+                    (b.home, b.level, b.latency, b.messages, b.entry),
+                    "round {round} op {i}: pinned lookup diverged from the funnel"
+                ),
+                _ => assert_eq!(f, p, "round {round} op {i}: outcomes diverged"),
+            }
+        }
+
+        pinned.drain_concurrent();
+        funnel.flush_all_updates();
+        pinned.flush_all_updates();
+        live.push(moved);
+        live.extend(created);
+    }
+
+    for path in &live {
+        let truth = funnel.true_home(path).expect("live in funnel");
+        assert_eq!(
+            pinned.true_home(path),
+            Some(truth),
+            "clusters disagree on the home of {path}"
+        );
+    }
+}

@@ -11,7 +11,7 @@ use ghba_core::{published_shape, GhbaConfig, Mds, MdsId, QueryLevel};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::RwLock;
 
-use crate::map::SharedMap;
+use crate::map::{ClusterMap, SharedMap};
 use crate::message::{LookupReply, Message, QueryId};
 use crate::net::Network;
 
@@ -59,6 +59,13 @@ pub struct Node {
     replicas: SharedShapeArray<MdsId>,
     config: GhbaConfig,
     map: SharedMap,
+    /// The map snapshot pinned for the current mailbox drain iteration
+    /// (the prototype's pin-once rule): every escalation and update
+    /// fan-out admitted in one drain routes against this one snapshot
+    /// instead of re-pinning the cell per query; the pin refreshes at
+    /// the top of each outer receive iteration, so reconfiguration
+    /// lands between drains, never inside one.
+    pinned_map: Arc<ClusterMap>,
     net: Network,
     registry: PublishedRegistry,
     inbox: Receiver<Message>,
@@ -112,12 +119,14 @@ impl Node {
             .write()
             .expect("registry lock")
             .insert(id, mds.published().clone());
+        let pinned_map = map.pin();
         Node {
             id,
             mds,
             replicas,
             config,
             map,
+            pinned_map,
             net,
             registry,
             inbox,
@@ -206,6 +215,9 @@ impl Node {
         let mut probes: Vec<(QueryId, Fingerprint, MdsId)> = Vec::new();
         let mut lookups: Vec<(String, Fingerprint, Sender<LookupReply>)> = Vec::new();
         'recv: while let Ok(first) = self.inbox.recv() {
+            // Pin once per drain: everything admitted below routes
+            // against this one map snapshot.
+            self.pinned_map = self.map.pin();
             let mut message = first;
             loop {
                 match message {
@@ -538,7 +550,7 @@ impl Node {
     }
 
     fn start_group(&mut self, qid: QueryId) {
-        let peers = self.map.pin().group_peers_of(self.id);
+        let peers = self.pinned_map.group_peers_of(self.id);
         if peers.is_empty() {
             self.start_global(qid);
             return;
@@ -604,8 +616,7 @@ impl Node {
 
     fn start_global(&mut self, qid: QueryId) {
         let others: Vec<MdsId> = self
-            .map
-            .pin()
+            .pinned_map
             .all_members()
             .into_iter()
             .filter(|&m| m != self.id)
@@ -723,7 +734,7 @@ impl Node {
             .write()
             .expect("registry lock")
             .insert(self.id, self.mds.published().clone());
-        let targets = self.map.pin().update_targets(self.id);
+        let targets = self.pinned_map.update_targets(self.id);
         for target in targets {
             self.net.send(
                 target,

@@ -399,6 +399,14 @@ impl PrototypeCluster {
     /// concurrent client requests: cross-node ordering between them is
     /// not defined.
     ///
+    /// Routing follows the simulated pipeline's **pin-once** rule at
+    /// node granularity: each node pins the shared cluster map once per
+    /// mailbox drain (see [`crate::node::Node::run`]) and routes every
+    /// escalation admitted in that drain against the one pinned
+    /// snapshot, so a reconfiguration swapping the map mid-batch lands
+    /// between drains — never between the L3 multicast and the L4
+    /// broadcast of one query.
+    ///
     /// # Panics
     ///
     /// Panics if a node does not answer within the client timeout.

@@ -5,12 +5,13 @@
 //! the replica-update protocol in [`crate::update`].
 
 use core::time::Duration;
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 
-use ghba_bloom::{Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
+use ghba_bloom::{FilterDelta, Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
 use ghba_simnet::{Counters, DetRng, LatencyStats};
 
+use crate::concurrent::{ConcurrentStats, NamespaceShards, OverlayEntry, WriteKind};
 use crate::config::{GhbaConfig, MaskCacheLifecycle};
 use crate::exec::{resolve_unique, run_chunked};
 use crate::group::Group;
@@ -18,7 +19,7 @@ use crate::ids::{GroupEpoch, GroupId, MdsId, MembershipEpoch};
 use crate::mds::{published_shape, Mds};
 use crate::op::{EntryPolicy, PathKey};
 use crate::query::{LevelCounts, QueryLevel, QueryOutcome};
-use crate::snapshot::{route_cell, ReconfigHandle, RouteCell, RouteSnapshot};
+use crate::snapshot::{route_cell, ReconfigHandle, RouteCell, RouteEdit, RouteSnapshot, SlabOp};
 
 /// Aggregate statistics of a cluster's lifetime.
 #[derive(Debug, Clone, Default)]
@@ -87,6 +88,29 @@ struct L3Mask {
     mask: SlotMask,
     /// Walk generation this entry was last consulted at.
     last_used: u64,
+}
+
+/// Chunk-local candidate-mask memo for the pinned (`&self`) walk: the
+/// lock-free counterpart of [`MaskCache`]. Masks built from a pinned
+/// snapshot stay valid for exactly as long as that snapshot is pinned —
+/// no epoch tags needed — so each walk scope (one `lookup_concurrent`
+/// call, one fused-run chunk) carries its own memo and drops it with
+/// the pin. Memo traffic still feeds the shared mask-cache hit/miss
+/// accounting through [`ConcurrentStats`].
+#[derive(Debug, Default)]
+struct PinnedMemo {
+    /// Per-entry L2 state: candidate mask + held-replica count.
+    l2: HashMap<MdsId, (SlotMask, usize)>,
+    /// Per-group L3 state: group-mirror mask + member held counts.
+    l3: HashMap<GroupId, (SlotMask, Vec<(MdsId, usize)>)>,
+}
+
+/// Per-chunk arena for fused pinned runs: outcomes in chunk order plus
+/// the chunk's mask memo.
+#[derive(Debug, Default)]
+struct PinnedArena {
+    outcomes: Vec<QueryOutcome>,
+    memo: PinnedMemo,
 }
 
 /// Memoized candidate masks for the batched lookup walk.
@@ -318,8 +342,20 @@ pub struct GhbaCluster {
     /// so readers are never blocked (see [`crate::snapshot`]).
     pub(crate) routes: RouteCell,
     pub(crate) next_mds: u16,
-    pub(crate) rng: DetRng,
+    /// Behind a mutex so [`EntryPolicy::Random`] can draw from the one
+    /// deterministic stream from `&self` (the pin-once pipeline) as well
+    /// as from `&mut` paths — single-threaded replays of the same op
+    /// sequence consume the stream identically either way.
+    pub(crate) rng: Mutex<DetRng>,
     pub(crate) stats: ClusterStats,
+    /// Namespace write shards of the pin-once pipeline: pending creates
+    /// and removes recorded from `&self`, replayed into `mdss` by
+    /// [`drain_concurrent`](GhbaCluster::drain_concurrent) at the next
+    /// `&mut` entry point.
+    pub(crate) shards: NamespaceShards,
+    /// Atomic statistics recorded by `&self` walks and commits, folded
+    /// into [`GhbaCluster::stats`] at the same drain points.
+    pub(crate) cstats: ConcurrentStats,
     pub(crate) mask_cache: MaskCache,
     /// Entry policy the 1-op string shims execute under (see
     /// [`MetadataService::set_shim_policy`](crate::MetadataService::set_shim_policy));
@@ -338,14 +374,23 @@ impl Clone for GhbaCluster {
     /// copies-on-write, so the clone is cheap and the two clusters can
     /// never observe each other's subsequent reconfigurations.
     fn clone(&self) -> Self {
+        // Pending `&self`-path writes are not cloned: drain them (any
+        // `&mut` entry point) before cloning a cluster that executed
+        // concurrent batches.
+        debug_assert!(
+            !self.shards.is_dirty(),
+            "clone with undrained concurrent writes pending"
+        );
         let snapshot = (*self.routes.pin()).clone();
         GhbaCluster {
             config: self.config.clone(),
             mdss: self.mdss.clone(),
             routes: route_cell(snapshot),
             next_mds: self.next_mds,
-            rng: self.rng.clone(),
+            rng: Mutex::new(self.rng.lock().expect("rng poisoned").clone()),
             stats: self.stats.clone(),
+            shards: NamespaceShards::new(self.config.write_shards),
+            cstats: ConcurrentStats::new(),
             mask_cache: self.mask_cache.clone(),
             shim_entry: self.shim_entry,
             scratch: self.scratch.clone(),
@@ -359,13 +404,16 @@ impl GhbaCluster {
     pub fn new(config: GhbaConfig) -> Self {
         let rng = DetRng::new(config.seed).fork(0xC105);
         let slab = SharedShapeArray::new(published_shape(&config));
+        let shards = NamespaceShards::new(config.write_shards);
         GhbaCluster {
             config,
             mdss: BTreeMap::new(),
             routes: route_cell(RouteSnapshot::empty(slab)),
             next_mds: 0,
-            rng,
+            rng: Mutex::new(rng),
             stats: ClusterStats::default(),
+            shards,
+            cstats: ConcurrentStats::new(),
             mask_cache: MaskCache::default(),
             shim_entry: EntryPolicy::Random,
             scratch: Vec::new(),
@@ -432,6 +480,7 @@ impl GhbaCluster {
     /// persistent cache needs no arming (epoch validation governs it)
     /// and `Off` never keeps state.
     pub(crate) fn batch_begin(&mut self) {
+        self.maybe_drain();
         if self.mask_cache.life.arm(self.config.mask_cache) {
             self.mask_cache.clear();
         }
@@ -521,8 +570,11 @@ impl GhbaCluster {
         &self.stats
     }
 
-    /// Clears all statistics (e.g. after warm-up).
+    /// Clears all statistics (e.g. after warm-up). Pending concurrent
+    /// writes are drained (replayed into the stores) first, so the reset
+    /// discards their accounting but never their effects.
     pub fn reset_stats(&mut self) {
+        self.maybe_drain();
         self.stats = ClusterStats::default();
     }
 
@@ -549,18 +601,24 @@ impl GhbaCluster {
             .map_or(0, |mds| mds.filter_memory_bytes(held))
     }
 
-    fn pick_random_mds(&mut self) -> MdsId {
+    fn pick_random_mds(&self) -> MdsId {
         let ids = self.server_ids();
-        *self.rng.choose(&ids).expect("cluster is never empty here")
+        *self
+            .rng
+            .lock()
+            .expect("rng poisoned")
+            .choose(&ids)
+            .expect("cluster is never empty here")
     }
 
     /// Resolves the serving MDS for op `op_index` of a batch under
-    /// `policy` (see [`EntryPolicy`]).
+    /// `policy` (see [`EntryPolicy`]). Callable from `&self`: the random
+    /// policy draws from the mutex-guarded deterministic stream.
     ///
     /// # Panics
     ///
     /// Panics if the cluster has no servers or a pinned server is absent.
-    pub(crate) fn entry_for(&mut self, policy: EntryPolicy, op_index: usize) -> MdsId {
+    pub(crate) fn entry_for(&self, policy: EntryPolicy, op_index: usize) -> MdsId {
         if policy == EntryPolicy::Random {
             return self.pick_random_mds();
         }
@@ -589,6 +647,7 @@ impl GhbaCluster {
     ///
     /// Panics if `home` is not a member of the cluster.
     pub fn create_file_at(&mut self, path: &str, home: MdsId) {
+        self.maybe_drain();
         let mds = self.mdss.get_mut(&home).expect("home must exist");
         mds.create_local(path);
         self.maybe_publish(home);
@@ -602,6 +661,7 @@ impl GhbaCluster {
     ///
     /// Panics if `home` is not a member of the cluster.
     pub fn create_file_keyed(&mut self, key: &PathKey, home: MdsId) {
+        self.maybe_drain();
         let mds = self.mdss.get_mut(&home).expect("home must exist");
         mds.create_local_fp(key.path(), key.fingerprint());
         self.maybe_publish(home);
@@ -613,6 +673,7 @@ impl GhbaCluster {
     ///
     /// [`lookup`]: GhbaCluster::lookup
     pub fn remove_file(&mut self, path: &str) -> Option<MdsId> {
+        self.maybe_drain();
         let home = self.true_home(path)?;
         let mds = self.mdss.get_mut(&home).expect("home exists");
         mds.remove_local(path);
@@ -622,6 +683,7 @@ impl GhbaCluster {
 
     /// Pre-hashed variant of [`remove_file`](GhbaCluster::remove_file).
     pub fn remove_file_keyed(&mut self, key: &PathKey) -> Option<MdsId> {
+        self.maybe_drain();
         let home = self.true_home(key.path())?;
         let mds = self.mdss.get_mut(&home).expect("home exists");
         mds.remove_local_fp(key.path(), key.fingerprint());
@@ -669,6 +731,7 @@ impl GhbaCluster {
     ///
     /// Panics if `entry` is not a member of the cluster.
     pub fn lookup_from(&mut self, entry: MdsId, path: &str) -> QueryOutcome {
+        self.maybe_drain();
         let fp = Fingerprint::of(path);
         let snap = self.routes.pin();
         self.lookup_one(&snap, entry, path, &fp)
@@ -676,15 +739,19 @@ impl GhbaCluster {
 
     /// Looks `path` up from `entry` through a **shared reference**: the
     /// lock-free concurrent lookup path. Pins the current routing
-    /// snapshot and walks the full L1 → L4 escalation against it with
-    /// zero writes — no statistics, no L1 cache fill, no mask-cache
-    /// entry — so any number of threads may call it while a
-    /// [`ReconfigHandle`] publishes successor snapshots concurrently.
-    /// Level escalation, latency, and message accounting match
+    /// snapshot and walks the full L1 → L4 escalation against it —
+    /// candidate masks built on the fly from the pinned snapshot, level
+    /// and latency statistics recorded into wait-free atomic counters
+    /// (folded into [`stats`](GhbaCluster::stats) at the next `&mut`
+    /// drain point), and pending same-era writes observed through the
+    /// namespace-shard overlay — so any number of threads may call it
+    /// while a [`ReconfigHandle`] publishes successor snapshots and
+    /// other threads execute concurrent write batches. Level
+    /// escalation, latency, and message accounting match
     /// [`lookup_from`](GhbaCluster::lookup_from) exactly when no
-    /// reconfiguration interleaves (property-tested); candidate masks
-    /// are built on the fly from the pinned snapshot instead of the
-    /// owner's mask cache.
+    /// reconfiguration or pending write interleaves (property-tested).
+    /// No L1 cache fill is performed (the walk is read-only on `Mds`
+    /// state).
     ///
     /// # Panics
     ///
@@ -692,100 +759,231 @@ impl GhbaCluster {
     pub fn lookup_concurrent(&self, entry: MdsId, path: &str) -> QueryOutcome {
         let fp = Fingerprint::of(path);
         let snap = self.routes.pin();
+        let mut memo = PinnedMemo::default();
+        self.walk_pinned(&snap, entry, path, &fp, &mut memo)
+    }
+
+    /// Pins and returns the current routing snapshot (lock-free; the
+    /// returned `Arc` stays valid across successor publishes). The
+    /// pin-once pipeline calls this once per batch.
+    pub(crate) fn pin_route_snapshot(&self) -> Arc<RouteSnapshot> {
+        self.routes.pin()
+    }
+
+    /// Whether `candidate`'s live filter answers positive for `fp`,
+    /// overlaid with this era's pending writes: a pending create at
+    /// `candidate` probes positive even though the real filter has not
+    /// been touched yet. A pending *remove* cannot be reflected (the
+    /// counting filter only decrements at drain), so a stale positive
+    /// survives until the drain — it fails verification and costs
+    /// accounting, never a wrong home.
+    fn probe_live_pinned(&self, candidate: MdsId, fp: &Fingerprint, overlay: OverlayEntry) -> bool {
+        if overlay == OverlayEntry::Created(candidate) {
+            return true;
+        }
+        self.mdss[&candidate].probe_live_fp(fp)
+    }
+
+    /// [`verify_at`](GhbaCluster::verify_at) overlaid with this era's
+    /// pending writes: a pending create verifies at its recorded home,
+    /// a pending remove verifies nowhere.
+    fn verify_at_pinned(
+        &self,
+        candidate: MdsId,
+        entry: MdsId,
+        path: &str,
+        overlay: OverlayEntry,
+        latency: &mut Duration,
+        messages: &mut u32,
+    ) -> Option<MdsId> {
+        let model = self.config.latency.clone();
+        if candidate != entry {
+            *messages += 2;
+            *latency += model.unicast_rtt();
+        }
+        let mds = self.mdss.get(&candidate)?;
+        *latency += mds.metadata_access_cost(&model);
+        let stores = match overlay {
+            OverlayEntry::Created(home) => candidate == home,
+            OverlayEntry::Removed => false,
+            OverlayEntry::Untracked => mds.stores(path),
+        };
+        stores.then_some(candidate)
+    }
+
+    /// Finishes a pinned walk: applies contention inflation, stamps the
+    /// pinned epoch, and records level, latency, and false-hit
+    /// accounting into the atomic recorders.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_pinned(
+        &self,
+        epoch: MembershipEpoch,
+        entry: MdsId,
+        home: Option<MdsId>,
+        level: QueryLevel,
+        latency: Duration,
+        messages: u32,
+        falses: [u64; 4],
+    ) -> QueryOutcome {
+        let outcome = self.readonly_outcome(epoch, entry, home, level, latency, messages);
+        self.cstats.record_lookup(outcome.level, outcome.latency);
+        self.cstats
+            .record_false_hits(falses[0], falses[1], falses[2], falses[3]);
+        outcome
+    }
+
+    /// The L1 → L4 escalation of one query against a pinned snapshot,
+    /// from `&self`: the read engine of [`lookup_concurrent`] and of the
+    /// pin-once batch pipeline's fused runs. `memo` caches the L2/L3
+    /// candidate masks per `(entry, group)` for the lifetime the caller
+    /// chooses (one call here, one chunk in a fused run) — memo reuse
+    /// counts as a mask-cache hit in the atomic recorders, a build as a
+    /// miss.
+    ///
+    /// [`lookup_concurrent`]: GhbaCluster::lookup_concurrent
+    fn walk_pinned(
+        &self,
+        snap: &RouteSnapshot,
+        entry: MdsId,
+        path: &str,
+        fp: &Fingerprint,
+        memo: &mut PinnedMemo,
+    ) -> QueryOutcome {
         assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
+        let overlay = self.shards.overlay_keyed(path, fp);
         let model = self.config.latency.clone();
         let mut latency = model.dispatch;
         let mut messages = 0u32;
+        let mut falses = [0u64; 4];
 
         // ---- L1: the entry server's LRU Bloom filter array. ----
         let l1_hit = self
             .mdss
             .get(&entry)
             .and_then(Mds::lru)
-            .map(|lru| lru.query_fp(&fp));
+            .map(|lru| lru.query_fp(fp));
         if let Some(hit) = l1_hit {
             latency += model.memory_probe;
             if let Hit::Unique(candidate) = hit {
-                if let Some(home) =
-                    self.verify_at(candidate, entry, path, &mut latency, &mut messages)
-                {
-                    return self.readonly_outcome(
+                if let Some(home) = self.verify_at_pinned(
+                    candidate,
+                    entry,
+                    path,
+                    overlay,
+                    &mut latency,
+                    &mut messages,
+                ) {
+                    return self.finish_pinned(
                         snap.epoch,
                         entry,
                         Some(home),
                         QueryLevel::L1Lru,
                         latency,
                         messages,
+                        falses,
                     );
                 }
+                falses[0] += 1;
             }
         }
 
         // ---- L2: the entry's segment array (θ replicas + own). ----
         let gid = snap.group_of(entry).expect("entry has a group");
-        let held = snap.replicas_held_by(entry);
-        let mask = snap.slab.subset_mask(held.iter().copied());
-        let hit = snap.slab.query_fp_masked(&fp, &mask);
-        let resident = self.mdss[&entry].resident_replicas(held.len());
-        latency += model.array_probe(held.len() + 1, held.len() - resident);
+        if let std::collections::hash_map::Entry::Vacant(slot) = memo.l2.entry(entry) {
+            self.cstats.record_mask(false);
+            let held = snap.replicas_held_by(entry);
+            let mask = snap.slab.subset_mask(held.iter().copied());
+            slot.insert((mask, held.len()));
+        } else {
+            self.cstats.record_mask(true);
+        }
+        let (mask, held_len) = memo.l2.get(&entry).expect("just ensured");
+        let hit = snap.slab.query_fp_masked(fp, mask);
+        let held_len = *held_len;
+        let resident = self.mdss[&entry].resident_replicas(held_len);
+        latency += model.array_probe(held_len + 1, held_len - resident);
         let mut positives = hit.candidates().to_vec();
-        if self.mdss[&entry].probe_live_fp(&fp) {
+        if self.probe_live_pinned(entry, fp, overlay) {
             positives.push(entry);
         }
         if positives.len() == 1 {
-            if let Some(home) =
-                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
-            {
-                return self.readonly_outcome(
+            if let Some(home) = self.verify_at_pinned(
+                positives[0],
+                entry,
+                path,
+                overlay,
+                &mut latency,
+                &mut messages,
+            ) {
+                return self.finish_pinned(
                     snap.epoch,
                     entry,
                     Some(home),
                     QueryLevel::L2Segment,
                     latency,
                     messages,
+                    falses,
                 );
             }
+            falses[1] += 1;
         }
 
         // ---- L3: multicast within the entry's group. ----
-        let group = snap.group(gid).expect("entry's group is live");
-        let peer_count = group.len().saturating_sub(1);
+        if let std::collections::hash_map::Entry::Vacant(slot) = memo.l3.entry(gid) {
+            self.cstats.record_mask(false);
+            let group = snap.group(gid).expect("entry's group is live");
+            let member_held: Vec<(MdsId, usize)> = group
+                .members()
+                .iter()
+                .map(|&member| (member, group.replicas_held_by(member).len()))
+                .collect();
+            let origins = group.replica_origins();
+            let mask = snap.slab.subset_mask(origins.iter().copied());
+            slot.insert((mask, member_held));
+        } else {
+            self.cstats.record_mask(true);
+        }
+        let (mask, member_held) = memo.l3.get(&gid).expect("just ensured");
+        let peer_count = member_held.len().saturating_sub(1);
         // Peers probe their held replicas in parallel: pay the slowest.
-        let worst_probe = group
-            .members()
+        let worst_probe = member_held
             .iter()
-            .filter(|&&member| member != entry)
-            .map(|&member| {
-                let held = group.replicas_held_by(member).len();
+            .filter(|&&(member, _)| member != entry)
+            .map(|&(member, held)| {
                 let resident = self.mdss[&member].resident_replicas(held);
                 model.array_probe(held + 1, held - resident)
             })
             .max()
             .unwrap_or(Duration::ZERO);
-        let origins = group.replica_origins();
-        let mask = snap.slab.subset_mask(origins.iter().copied());
-        let hit = snap.slab.query_fp_masked(&fp, &mask);
+        let hit = snap.slab.query_fp_masked(fp, mask);
         messages += 2 * peer_count as u32;
         latency += model.multicast_rtt(peer_count) + worst_probe;
         let mut positives = hit.candidates().to_vec();
-        for member in group.members() {
-            if self.mdss[member].probe_live_fp(&fp) {
-                positives.push(*member);
+        for &(member, _) in member_held {
+            if self.probe_live_pinned(member, fp, overlay) {
+                positives.push(member);
             }
         }
         if positives.len() == 1 {
-            if let Some(home) =
-                self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
-            {
-                return self.readonly_outcome(
+            if let Some(home) = self.verify_at_pinned(
+                positives[0],
+                entry,
+                path,
+                overlay,
+                &mut latency,
+                &mut messages,
+            ) {
+                return self.finish_pinned(
                     snap.epoch,
                     entry,
                     Some(home),
                     QueryLevel::L3Group,
                     latency,
                     messages,
+                    falses,
                 );
             }
+            falses[2] += 1;
         }
 
         // ---- L4: system-wide multicast; authoritative. ----
@@ -795,10 +993,17 @@ impl GhbaCluster {
         let mut found: Option<MdsId> = None;
         let mut verify_cost = Duration::ZERO;
         for (&id, mds) in &self.mdss {
-            if mds.probe_live_fp(&fp) {
+            if self.probe_live_pinned(id, fp, overlay) {
                 verify_cost = verify_cost.max(mds.metadata_access_cost(&model));
-                if mds.stores(path) {
+                let stores = match overlay {
+                    OverlayEntry::Created(home) => id == home,
+                    OverlayEntry::Removed => false,
+                    OverlayEntry::Untracked => mds.stores(path),
+                };
+                if stores {
                     found = Some(id);
+                } else {
+                    falses[3] += 1;
                 }
             }
         }
@@ -807,7 +1012,241 @@ impl GhbaCluster {
             Some(_) => QueryLevel::L4Global,
             None => QueryLevel::Nonexistent,
         };
-        self.readonly_outcome(snap.epoch, entry, found, level, latency, messages)
+        self.finish_pinned(snap.epoch, entry, found, level, latency, messages, falses)
+    }
+
+    /// Resolves a fused run of lookups against a pinned snapshot from
+    /// `&self`: cross-chunk `(entry, path)` dedup, then chunked walks
+    /// across the exec pool with chunk-local arenas (each chunk memoizes
+    /// its L2/L3 masks), outcomes spliced back in stream order. The
+    /// read engine of [`execute_concurrent`] fused runs.
+    ///
+    /// [`execute_concurrent`]: crate::MetadataService::execute_concurrent
+    pub(crate) fn lookup_fused_pinned(
+        &self,
+        snap: &RouteSnapshot,
+        queries: &[(MdsId, &PathKey)],
+    ) -> Vec<QueryOutcome> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let items: Vec<(MdsId, &str, Fingerprint)> = queries
+            .iter()
+            .map(|&(entry, key)| (entry, key.path(), *key.fingerprint()))
+            .collect();
+        if items.len() == 1 {
+            let (entry, path, fp) = items[0];
+            let mut memo = PinnedMemo::default();
+            return vec![self.walk_pinned(snap, entry, path, &fp, &mut memo)];
+        }
+        let (uniques, assign) = resolve_unique(&items, |&(entry, path, _)| (entry, path));
+        let deduped: Vec<(MdsId, &str, Fingerprint)> =
+            uniques.iter().map(|&first| items[first as usize]).collect();
+        let mut arenas: Vec<PinnedArena> = Vec::new();
+        let used = run_chunked(
+            &deduped,
+            self.config.executor,
+            &mut arenas,
+            |chunk, arena| {
+                for &(entry, path, fp) in chunk {
+                    let outcome = self.walk_pinned(snap, entry, path, &fp, &mut arena.memo);
+                    arena.outcomes.push(outcome);
+                }
+            },
+        );
+        let mut resolved: Vec<QueryOutcome> = Vec::with_capacity(deduped.len());
+        for arena in arenas.iter_mut().take(used) {
+            resolved.append(&mut arena.outcomes);
+        }
+        debug_assert_eq!(resolved.len(), deduped.len());
+        assign
+            .iter()
+            .map(|&slot| resolved[slot as usize].clone())
+            .collect()
+    }
+
+    /// Records a pending create of `key` at `home` from `&self` (the
+    /// pin-once pipeline's write primitive). The real store and live
+    /// filter are touched at drain time.
+    pub(crate) fn apply_create_shared(&self, key: &PathKey, home: MdsId) {
+        debug_assert!(self.mdss.contains_key(&home), "home must exist");
+        self.shards.record_create(key, home);
+    }
+
+    /// Records a pending removal of `key` from `&self`, returning the
+    /// home it will be removed from: the overlay answers for paths this
+    /// era already wrote, the authoritative stores for the rest (safe to
+    /// sweep from `&self` — `mdss` only mutates under `&mut`, which
+    /// cannot run concurrently).
+    pub(crate) fn apply_remove_shared(&self, key: &PathKey) -> Option<MdsId> {
+        match self.shards.overlay(key) {
+            OverlayEntry::Created(home) => {
+                self.shards.record_remove(key, home);
+                Some(home)
+            }
+            OverlayEntry::Removed => None,
+            OverlayEntry::Untracked => {
+                let home = self.true_home(key.path())?;
+                self.shards.record_remove(key, home);
+                Some(home)
+            }
+        }
+    }
+
+    /// Folds this era's pending create bits into the published probe
+    /// columns: one staging pass under the slab writer lock, one
+    /// [`SlabOp::Delta`] per touched home, one atomic snapshot swap —
+    /// exactly the publish path the sequential update protocol uses, so
+    /// readers never observe a half-published column. Called once per
+    /// concurrent batch by the pipeline.
+    ///
+    /// Only creates stage (published columns are plain Bloom filters;
+    /// removes stay invisible to probes until the owner drain), and the
+    /// touched homes are marked for the drain to reconcile their
+    /// server-side published filters. Replica-update traffic is
+    /// accounted per staged home as one ideal multicast to every
+    /// foreign group — a simplification of `push_update`'s per-group
+    /// IDBFA location, recorded into the atomic stats.
+    ///
+    /// Staging runs at the sequential pipeline's publish cadence, not
+    /// per batch: a home's creates accumulate in its staging buffer
+    /// (visible to every walk through the overlay) until enough are
+    /// pending to plausibly cross the drift threshold — the same
+    /// per-origin amortization `maybe_publish`'s gate gives the funnel.
+    /// A batch with no ripe home pays one atomic load (plus one short
+    /// buffer-map lock past the total-count bar) and never touches the
+    /// writer lock.
+    pub(crate) fn commit_concurrent(&self) {
+        let gate = self.config.publish_gate();
+        if self.shards.unpublished_create_count() < gate {
+            return;
+        }
+        // Extraction transfers ownership of the ripe fingerprints to
+        // this committer, so racing committers stage disjoint sets.
+        let pending = self.shards.stage_ripe_creates(gate);
+        if pending.is_empty() {
+            return;
+        }
+        let model = self.config.latency.clone();
+        let routes = Arc::clone(&self.routes);
+        // The writer lock serializes this staging pass with every other
+        // publisher (other committers, push_update, reconfig handles),
+        // so each delta is computed against exactly the columns it will
+        // apply to.
+        let mut edit = RouteEdit::begin(&routes, self.config.epoch_granularity);
+        let mut ops: Vec<(MdsId, FilterDelta)> = Vec::new();
+        let foreign_groups = edit.work.groups.len().saturating_sub(1);
+        for (home, fps) in pending {
+            // A column may be absent (the home retired concurrently);
+            // its creates stay in the log for the owner drain.
+            let Some(old) = edit.work.slab.extract(home) else {
+                continue;
+            };
+            let mut fresh = old.clone();
+            for fp in &fps {
+                fresh.insert_fp(fp);
+            }
+            let Ok(delta) = FilterDelta::between(&old, &fresh) else {
+                continue;
+            };
+            if delta.is_empty() {
+                continue;
+            }
+            if foreign_groups > 0 {
+                let bytes = delta.wire_bytes() as u64 * foreign_groups as u64;
+                self.cstats.record_update(
+                    foreign_groups as u64,
+                    bytes,
+                    model.multicast_rtt(foreign_groups),
+                );
+            }
+            ops.push((home, delta));
+        }
+        let staged: Vec<MdsId> = ops.iter().map(|&(home, _)| home).collect();
+        for (home, delta) in ops {
+            edit.push_op(SlabOp::Delta(home, delta));
+        }
+        edit.commit();
+        if !staged.is_empty() {
+            self.shards.mark_staged(staged);
+        }
+    }
+
+    /// Drains pending concurrent state if any exists: the cheap
+    /// two-atomic-load gate every `&mut` entry point passes through.
+    pub(crate) fn maybe_drain(&mut self) {
+        if self.shards.is_dirty() || self.cstats.is_dirty() {
+            self.drain_concurrent();
+        }
+    }
+
+    /// Reconciles everything the `&self` pipeline deferred: folds the
+    /// atomic statistics into [`stats`](GhbaCluster::stats), replays the
+    /// namespace shards' ordered write logs against the authoritative
+    /// stores and live filters (shard-index order; per-path order is
+    /// total because a path always hashes to the same shard), and syncs
+    /// each staged home's server-side published filter with its slab
+    /// column so `column == published` holds again (the
+    /// [`check_invariants`](GhbaCluster::check_invariants) contract).
+    ///
+    /// Runs automatically at every `&mut` entry point (lookups, writes,
+    /// updates, reconfigurations, stat resets); call it explicitly
+    /// before inspecting state through `&self` views such as
+    /// [`true_home`](GhbaCluster::true_home) or `check_invariants`
+    /// after concurrent batches.
+    pub fn drain_concurrent(&mut self) {
+        let (hits, misses) = self.cstats.fold_into(&mut self.stats);
+        self.mask_cache.life.absorb(hits, misses);
+        if !self.shards.is_dirty() {
+            return;
+        }
+        let (records, staged) = self.shards.take_all();
+        for record in &records {
+            match record.kind {
+                WriteKind::Create(home) => {
+                    self.mdss
+                        .get_mut(&home)
+                        .expect("pending create targets a live home")
+                        .create_local_fp(&record.path, &record.fp);
+                }
+                WriteKind::Remove(home) => {
+                    // The home may have retired since the record was
+                    // appended; its store went with it.
+                    if let Some(mds) = self.mdss.get_mut(&home) {
+                        mds.remove_local_fp(&record.path, &record.fp);
+                    }
+                }
+            }
+        }
+        // No per-record `maybe_publish`: staged create bits are already
+        // in the columns, and the gated publish cadence resumes with the
+        // next owner-side write.
+        if !staged.is_empty() {
+            let routes = Arc::clone(&self.routes);
+            let mut edit = RouteEdit::begin(&routes, self.config.epoch_granularity);
+            let mut ops: Vec<(MdsId, FilterDelta)> = Vec::new();
+            for &home in &staged {
+                let Some(mds) = self.mdss.get_mut(&home) else {
+                    continue;
+                };
+                // Refresh the server's own published filter from its
+                // (just replayed) live state, then overwrite the
+                // column's changed words to match it exactly.
+                let _ = mds.publish();
+                let Some(column) = edit.work.slab.extract(home) else {
+                    continue;
+                };
+                if let Ok(delta) = FilterDelta::between(&column, mds.published()) {
+                    if !delta.is_empty() {
+                        ops.push((home, delta));
+                    }
+                }
+            }
+            for (home, delta) in ops {
+                edit.push_op(SlabOp::Delta(home, delta));
+            }
+            edit.commit();
+        }
     }
 
     /// Finishes a side-effect-free lookup: applies the contention
@@ -924,6 +1363,7 @@ impl GhbaCluster {
         &mut self,
         queries: &[(MdsId, &str, Fingerprint)],
     ) -> Vec<QueryOutcome> {
+        self.maybe_drain();
         let total = queries.len();
         if total == 0 {
             return Vec::new();

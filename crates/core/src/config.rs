@@ -213,6 +213,14 @@ impl MaskCacheLifecycle {
         self.misses += 1;
     }
 
+    /// Absorbs counters recorded out-of-band (the atomic recorders of
+    /// the `&self` walk path fold their mask-cache consults here at
+    /// drain time).
+    pub fn absorb(&mut self, hits: u64, misses: u64) {
+        self.hits += hits;
+        self.misses += misses;
+    }
+
     /// Lifetime `(hits, misses)`.
     #[must_use]
     pub fn stats(&self) -> (u64, u64) {
@@ -274,6 +282,10 @@ pub struct GhbaConfig {
     /// Sizing of the parallel batch execution engine (see
     /// [`ExecutorConfig`]).
     pub executor: ExecutorConfig,
+    /// Number of namespace write shards for the pin-once concurrent
+    /// pipeline (rounded up to a power of two; minimum 1). Writes on
+    /// distinct shards apply concurrently under independent locks.
+    pub write_shards: usize,
 }
 
 impl Default for GhbaConfig {
@@ -296,6 +308,7 @@ impl Default for GhbaConfig {
             mask_cache: MaskCacheMode::default(),
             epoch_granularity: EpochGranularity::default(),
             executor: ExecutorConfig::default(),
+            write_shards: 16,
         }
     }
 }
@@ -372,6 +385,15 @@ impl GhbaConfig {
     #[must_use]
     pub fn with_memory_per_mds(mut self, bytes: usize) -> Self {
         self.memory_per_mds = Some(bytes);
+        self
+    }
+
+    /// Returns `self` with a different namespace write-shard count
+    /// (rounded up to a power of two at cluster construction; 0 is
+    /// treated as 1).
+    #[must_use]
+    pub fn with_write_shards(mut self, shards: usize) -> Self {
+        self.write_shards = shards;
         self
     }
 

@@ -41,6 +41,20 @@
 //! simple: by the time `run_jobs` returns, every chunk's verdicts are
 //! fully written and can be stitched back together in batch order.
 //!
+//! # Use from `&self`: the pin-once pipeline
+//!
+//! Nothing in the engine requires `&mut` anything: [`run_chunked`]
+//! borrows its arena `Vec` from the caller, so a scheme that owns no
+//! reusable scratch can dispatch with a **local** arena vector from a
+//! shared reference — exactly what the pin-once concurrent pipeline
+//! (`execute_concurrent`) does. Each fused run pins one snapshot, hands
+//! `run_chunked` a fresh `Vec` of chunk arenas (outcomes + per-chunk
+//! mask memo), and splices the results; the closures capture only
+//! `&self` and the pinned snapshot, both `Sync`. The arenas are not
+//! reused across calls on that path — the allocation is one `Vec` per
+//! fused run, a fraction of the walk cost — and in exchange any number
+//! of threads can drive fused runs through one scheme concurrently.
+//!
 //! # Non-goals
 //!
 //! Jobs must not call [`run_jobs`] recursively from inside a pool

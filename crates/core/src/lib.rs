@@ -47,6 +47,7 @@
 #![warn(missing_debug_implementations)]
 
 mod cluster;
+pub mod concurrent;
 mod config;
 pub mod exec;
 mod group;
@@ -61,13 +62,15 @@ mod snapshot;
 mod update;
 
 pub use cluster::{ClusterStats, GhbaCluster};
+pub use concurrent::{ConcurrentStats, NamespaceShards, OverlayEntry, WriteKind, WriteRecord};
 pub use config::{EpochGranularity, ExecutorConfig, GhbaConfig, MaskCacheLifecycle, MaskCacheMode};
 pub use group::{Group, IdFilterArray};
 pub use ids::{GroupEpoch, GroupId, MdsId, MembershipEpoch};
 pub use mds::{published_shape, Mds, META_ENTRY_BYTES};
 pub use metadata::{FileAttrs, MetadataStore};
 pub use op::{
-    execute_vectored, EntryPolicy, MetadataOp, OpBatch, OpOutcome, PathKey, VectoredScheme,
+    execute_vectored, execute_vectored_concurrent, ConcurrentScheme, EntryPolicy, MetadataOp,
+    OpBatch, OpOutcome, PathKey, VectoredScheme,
 };
 pub use query::{LevelCounts, QueryLevel, QueryOutcome};
 pub use reconfig::{ReconfigError, ReconfigReport};

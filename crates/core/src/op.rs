@@ -31,6 +31,42 @@
 //! positive or an eviction reordering, both vanishingly rare at sane L1
 //! geometries (the property tests pin outcome equality across all three
 //! schemes under flash-crowd batches).
+//!
+//! # The pin-once concurrent pipeline
+//!
+//! [`execute_vectored_concurrent`] is the `&self` twin of
+//! [`execute_vectored`], driven through the [`ConcurrentScheme`] hooks.
+//! Its lifetime rules:
+//!
+//! * **Pin once per batch.** The scheme pins one route snapshot at batch
+//!   admission ([`ConcurrentScheme::pin_batch`]) and every fused read
+//!   run of the batch walks that same snapshot — not one pin per
+//!   `lookup` call. A reconfiguration publishing mid-batch is therefore
+//!   observed by the *next* batch, never by half of this one; the pin
+//!   is dropped (and the epoch guard released) only when the batch's
+//!   outcomes are assembled.
+//! * **Writes are ordered per shard, not per batch.** Mutations from
+//!   `&self` append to namespace write shards (hash of the path's
+//!   fingerprint → shard) under that shard's lock alone. Two batches
+//!   writing distinct shards never contend; two writes to the same
+//!   path always land in the same shard, so their order is total.
+//! * **Cross-shard renames are remove-then-create.** A rename removes
+//!   `from` under its shard's lock, *releases it*, then creates `to`
+//!   under the target shard's lock — no op ever holds two shard locks,
+//!   so shard locks are single and there is no lock-order cycle to
+//!   deadlock on.
+//! * **Publishes stay a single atomic swap.** Pending create bits are
+//!   folded into the published probe columns through the same
+//!   `SlabOp`/`CellWriter` path the sequential pipeline uses
+//!   ([`ConcurrentScheme::commit_batch`]), under the slab writer lock,
+//!   so readers still observe probe state flip in one swap.
+//!
+//! Executed single-threaded against a quiescent scheme, the concurrent
+//! pipeline is **bit-identical** to the sequential one (same RNG stream,
+//! same fusion boundaries at `lru_capacity = 0`); under true concurrency
+//! the interleaving of distinct-path writes is arbitrary by design and
+//! the property suites assert semantic equivalence (every path resolves
+//! to its true home) instead.
 
 use ghba_bloom::Fingerprint;
 
@@ -406,6 +442,159 @@ pub trait VectoredScheme {
 
     /// Removes `key` from its home, returning the former home.
     fn apply_remove(&mut self, key: &PathKey) -> Option<MdsId>;
+}
+
+/// The scheme hooks [`execute_vectored_concurrent`] drives: the
+/// `&self` twin of [`VectoredScheme`] for the pin-once pipeline.
+///
+/// The contract mirrors [`VectoredScheme`] hook for hook, with the
+/// lifetime differences spelled out in the module-level docs: one
+/// snapshot pin per batch, writes appended to namespace shards under
+/// per-shard locks, and a commit that folds pending create bits into
+/// the published probe state through one slab swap.
+pub trait ConcurrentScheme {
+    /// The batch-lifetime snapshot pin. Holding it keeps the pinned
+    /// route snapshot's epoch guard alive for the whole batch.
+    type Pinned;
+
+    /// Pins the route snapshot every fused run of this batch walks.
+    fn pin_batch(&self) -> Self::Pinned;
+
+    /// Resolves the serving MDS for op `op_index` under `policy`, from
+    /// `&self`. [`EntryPolicy::Random`] must consume the scheme's
+    /// deterministic RNG stream exactly as
+    /// [`VectoredScheme::resolve_entry`] does, so a single-threaded
+    /// concurrent replay draws the same servers as a sequential one.
+    fn resolve_entry_concurrent(&self, policy: EntryPolicy, op_index: usize) -> MdsId;
+
+    /// Whether a repeated `(entry, path)` pair must split a fused run.
+    /// Defaults to `false`: the `&self` walk performs no L1 cache
+    /// fills, so a repeat can observe nothing the first occurrence
+    /// produced. (This matches the sequential pipeline's fusion
+    /// boundaries exactly when `lru_capacity = 0`.)
+    fn repeat_sensitive_concurrent(&self) -> bool {
+        false
+    }
+
+    /// Resolves a fused run of concurrent lookups against the pinned
+    /// snapshot, returning one outcome per query in order.
+    fn lookup_fused_pinned(
+        &self,
+        pinned: &Self::Pinned,
+        queries: &[(MdsId, &PathKey)],
+    ) -> Vec<QueryOutcome>;
+
+    /// Appends a pending create of `key` at `home` to its namespace
+    /// shard.
+    fn apply_create_concurrent(&self, key: &PathKey, home: MdsId);
+
+    /// Appends a pending removal of `key`, returning the home it was
+    /// removed from (`None` if the path is homed nowhere — then nothing
+    /// is appended).
+    fn apply_remove_concurrent(&self, key: &PathKey) -> Option<MdsId>;
+
+    /// Folds the batch's pending create bits into the published probe
+    /// state (one slab writer pass, one atomic swap). Called once after
+    /// the batch's ops complete; a batch that panics mid-flight leaves
+    /// its pending records for the next commit or owner drain instead.
+    fn commit_batch(&self, pinned: &Self::Pinned);
+}
+
+/// Executes `batch` against `scheme` from a **shared** reference: the
+/// pin-once twin of [`execute_vectored`].
+///
+/// Same control flow op for op — identical fusion rules (modulo
+/// [`ConcurrentScheme::repeat_sensitive_concurrent`], which defaults to
+/// `false` because the `&self` walk fills no L1 cache), identical
+/// rename semantics (the new home is drawn only when the source
+/// existed, so the RNG stream stays aligned with the sequential
+/// pipeline), and one [`ConcurrentScheme::commit_batch`] after the last
+/// op. Any number of threads may run this concurrently against the same
+/// scheme; writes serialize per namespace shard and reads walk the
+/// snapshot pinned at their own batch's admission.
+pub fn execute_vectored_concurrent<S: ConcurrentScheme + ?Sized>(
+    scheme: &S,
+    batch: &OpBatch,
+) -> Vec<OpOutcome> {
+    let ops = batch.ops();
+    let policy = batch.entry_policy();
+    let mut outcomes: Vec<Option<OpOutcome>> = vec![None; ops.len()];
+    let mut run: Vec<(usize, MdsId)> = Vec::new();
+
+    let pinned = scheme.pin_batch();
+
+    fn flush<S: ConcurrentScheme + ?Sized>(
+        scheme: &S,
+        pinned: &S::Pinned,
+        ops: &[MetadataOp],
+        run: &mut Vec<(usize, MdsId)>,
+        outcomes: &mut [Option<OpOutcome>],
+    ) {
+        if run.is_empty() {
+            return;
+        }
+        let queries: Vec<(MdsId, &PathKey)> = run
+            .iter()
+            .map(|&(i, entry)| {
+                let MetadataOp::Lookup(key) = &ops[i] else {
+                    unreachable!("only lookups join the fused run");
+                };
+                (entry, key)
+            })
+            .collect();
+        for (&(i, _), outcome) in run.iter().zip(scheme.lookup_fused_pinned(pinned, &queries)) {
+            outcomes[i] = Some(OpOutcome::Resolved(outcome));
+        }
+        run.clear();
+    }
+
+    let repeat_sensitive = scheme.repeat_sensitive_concurrent();
+    for (i, op) in ops.iter().enumerate() {
+        match op {
+            MetadataOp::Lookup(key) => {
+                let entry = scheme.resolve_entry_concurrent(policy, i);
+                let repeat = repeat_sensitive
+                    && run
+                        .iter()
+                        .any(|&(j, e)| e == entry && ops[j].path() == key.path());
+                if repeat {
+                    flush(scheme, &pinned, ops, &mut run, &mut outcomes);
+                }
+                run.push((i, entry));
+            }
+            MetadataOp::Create(key) => {
+                flush(scheme, &pinned, ops, &mut run, &mut outcomes);
+                let home = scheme.resolve_entry_concurrent(policy, i);
+                scheme.apply_create_concurrent(key, home);
+                outcomes[i] = Some(OpOutcome::Created { home });
+            }
+            MetadataOp::Remove(key) => {
+                flush(scheme, &pinned, ops, &mut run, &mut outcomes);
+                let home = scheme.apply_remove_concurrent(key);
+                outcomes[i] = Some(OpOutcome::Removed { home });
+            }
+            MetadataOp::Rename { from, to } => {
+                flush(scheme, &pinned, ops, &mut run, &mut outcomes);
+                // Remove under `from`'s shard lock, release, create
+                // under `to`'s — never both at once (see the
+                // shard-ordering rules in the module docs).
+                let old_home = scheme.apply_remove_concurrent(from);
+                let new_home = old_home.map(|_| {
+                    let home = scheme.resolve_entry_concurrent(policy, i);
+                    scheme.apply_create_concurrent(to, home);
+                    home
+                });
+                outcomes[i] = Some(OpOutcome::Renamed { old_home, new_home });
+            }
+        }
+    }
+    flush(scheme, &pinned, ops, &mut run, &mut outcomes);
+    scheme.commit_batch(&pinned);
+    drop(pinned);
+    outcomes
+        .into_iter()
+        .map(|outcome| outcome.expect("every op produced an outcome"))
+        .collect()
 }
 
 /// Arms a scheme's batch-lifetime caches for the duration of one

@@ -299,6 +299,7 @@ impl GhbaCluster {
     /// Like [`add_mds`](GhbaCluster::add_mds), also returning the cost
     /// report for this single operation.
     pub fn add_mds_reported(&mut self) -> (MdsId, ReconfigReport) {
+        self.maybe_drain();
         let mut report = ReconfigReport::default();
         let id = MdsId(self.next_mds);
         self.next_mds += 1;
@@ -397,6 +398,7 @@ impl GhbaCluster {
         if self.mdss.len() == 1 {
             return Err(ReconfigError::LastServer);
         }
+        self.maybe_drain();
         let mut report = ReconfigReport::default();
         let gid = self.routes.pin().group_of(id).expect("member has a group");
 
@@ -534,6 +536,7 @@ impl GhbaCluster {
         if self.mdss.len() == 1 {
             return Err(ReconfigError::LastServer);
         }
+        self.maybe_drain();
         let mut report = ReconfigReport::default();
         let routes = Arc::clone(&self.routes);
         let mut edit = RouteEdit::begin(&routes, self.config.epoch_granularity);

@@ -12,10 +12,16 @@
 //! `remove`, …) are provided shims expressed as 1-op batches — same
 //! semantics, none of the batching.
 
+use std::sync::Arc;
+
 use crate::cluster::GhbaCluster;
 use crate::ids::MdsId;
-use crate::op::{execute_vectored, EntryPolicy, OpBatch, OpOutcome, PathKey, VectoredScheme};
+use crate::op::{
+    execute_vectored, execute_vectored_concurrent, ConcurrentScheme, EntryPolicy, OpBatch,
+    OpOutcome, PathKey, VectoredScheme,
+};
 use crate::query::QueryOutcome;
+use crate::snapshot::RouteSnapshot;
 
 /// A distributed metadata lookup scheme under test.
 ///
@@ -39,6 +45,33 @@ pub trait MetadataService {
     /// bit-identical to executing every op as its own 1-op batch (see
     /// [`crate::execute_vectored`]).
     fn execute(&mut self, batch: &OpBatch) -> Vec<OpOutcome>;
+
+    /// Executes a typed op batch through a **shared reference**: the
+    /// pin-once concurrent pipeline. The scheme pins one probe snapshot
+    /// at batch admission, fans fused lookup runs across its exec pool,
+    /// records writes into sharded overlay logs, and folds the batch's
+    /// create bits into the published probe state as a single atomic
+    /// snapshot swap at commit — so any number of threads may call this
+    /// on the same service while reconfiguration publishes successor
+    /// snapshots. Authoritative per-server state is reconciled at the
+    /// next `&mut` entry point (any [`execute`](MetadataService::execute)
+    /// call, or `GhbaCluster::drain_concurrent` explicitly).
+    ///
+    /// Single-threaded, the outcome stream is bit-identical to
+    /// [`execute`](MetadataService::execute) on schemes without an L1
+    /// cache fill (`lru_capacity == 0`); under concurrency outcomes stay
+    /// semantically correct (every resolved home is the true home at
+    /// pin time modulo this era's pending writes).
+    ///
+    /// The default panics: schemes opt in by overriding. G-HBA, HBA, and
+    /// BFA all do.
+    fn execute_concurrent(&self, batch: &OpBatch) -> Vec<OpOutcome> {
+        let _ = batch;
+        panic!(
+            "{} does not implement concurrent batch execution",
+            self.scheme_name()
+        );
+    }
 
     /// Average bytes of Bloom filter structures per MDS (own filter, LRU
     /// array, held replicas) — the Table 5 quantity.
@@ -168,6 +201,44 @@ impl VectoredScheme for GhbaCluster {
     }
 }
 
+impl ConcurrentScheme for GhbaCluster {
+    /// An owned pin on the routing snapshot: lock-free to take, valid
+    /// across successor publishes, never blocks a publisher while held.
+    type Pinned = Arc<RouteSnapshot>;
+
+    fn pin_batch(&self) -> Self::Pinned {
+        self.pin_route_snapshot()
+    }
+
+    fn resolve_entry_concurrent(&self, policy: EntryPolicy, op_index: usize) -> MdsId {
+        self.entry_for(policy, op_index)
+    }
+
+    // `repeat_sensitive_concurrent` keeps the default `false`: the
+    // pinned walk never fills the L1 cache, so a repeated path cannot
+    // observe an earlier op of the same fused run.
+
+    fn lookup_fused_pinned(
+        &self,
+        pinned: &Self::Pinned,
+        queries: &[(MdsId, &PathKey)],
+    ) -> Vec<QueryOutcome> {
+        GhbaCluster::lookup_fused_pinned(self, pinned, queries)
+    }
+
+    fn apply_create_concurrent(&self, key: &PathKey, home: MdsId) {
+        self.apply_create_shared(key, home);
+    }
+
+    fn apply_remove_concurrent(&self, key: &PathKey) -> Option<MdsId> {
+        self.apply_remove_shared(key)
+    }
+
+    fn commit_batch(&self, _pinned: &Self::Pinned) {
+        self.commit_concurrent();
+    }
+}
+
 impl MetadataService for GhbaCluster {
     fn scheme_name(&self) -> &'static str {
         "G-HBA"
@@ -179,6 +250,10 @@ impl MetadataService for GhbaCluster {
 
     fn execute(&mut self, batch: &OpBatch) -> Vec<OpOutcome> {
         execute_vectored(self, batch)
+    }
+
+    fn execute_concurrent(&self, batch: &OpBatch) -> Vec<OpOutcome> {
+        execute_vectored_concurrent(self, batch)
     }
 
     fn filter_memory_per_mds(&self) -> usize {

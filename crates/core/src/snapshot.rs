@@ -227,9 +227,19 @@ impl<T, W> CellWriter<'_, T, W> {
         self.cell.active.store(to, Ordering::SeqCst);
         // Drain readers still mid-clone in the displaced slot (a few
         // instructions each), then reclaim it. See "Blocking" above.
+        // Bounded backoff: the guard window is a handful of instructions,
+        // so a short spin almost always observes the exit without paying
+        // a scheduler round trip; only a reader preempted inside the
+        // window escalates us to `yield_now`.
         let outgoing = &self.cell.slots[at];
+        let mut spins = 0u32;
         while outgoing.refs.load(Ordering::SeqCst) != 0 {
-            std::thread::yield_now();
+            if spins < 64 {
+                spins += 1;
+                core::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
         }
         // SAFETY: the slot is inactive (we just flipped `active`) and
         // drained, so no reader can be reading the value.

@@ -60,6 +60,7 @@ impl GhbaCluster {
     ///
     /// Panics if `origin` is not in the cluster.
     pub fn push_update(&mut self, origin: MdsId) -> UpdateReport {
+        self.maybe_drain();
         let mds = self.mdss.get_mut(&origin).expect("origin must exist");
         let delta = match mds.publish() {
             Some(delta) => delta,

@@ -1,7 +1,7 @@
 //! Lock-free snapshot concurrency: G-HBA lookups served *through*
 //! reconfiguration.
 //!
-//! Two families of guarantees (the HBA/BFA counterparts live in the
+//! Three families of guarantees (the HBA/BFA counterparts live in the
 //! baselines crate's `concurrency` suite):
 //!
 //! * **Stress** — reader threads hammer the side-effect-free
@@ -10,11 +10,17 @@
 //!   home and carry an epoch no older than the pre-churn snapshot.
 //! * **Equivalence** — with no reconfiguration interleaving, the
 //!   snapshot-pinned concurrent walk is bit-identical to the mutating
-//!   barrier-style walk, query by query.
+//!   barrier-style walk, query by query; and the pin-once
+//!   `execute_concurrent` pipeline matches the `&mut self` funnel
+//!   batch by batch, at every write-shard count.
+//! * **Write races** — whole mixed batches (creates, lookups,
+//!   cross-shard renames) run from `&self` on many threads, racing
+//!   each other and reconfiguration churn, and the post-drain state
+//!   must be exactly what each batch reported.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use ghba_core::{GhbaCluster, GhbaConfig, MdsId};
+use ghba_core::{EntryPolicy, GhbaCluster, GhbaConfig, MdsId, MetadataService, OpBatch, OpOutcome};
 
 fn config() -> GhbaConfig {
     GhbaConfig::default()
@@ -139,5 +145,313 @@ fn concurrent_walk_matches_barrier_walk_without_churn() {
         let concurrent = cluster.lookup_concurrent(entry, &path);
         let barrier = cluster.lookup_from(entry, &path);
         assert_eq!(concurrent, barrier, "walks diverged at query {i}");
+    }
+}
+
+/// Asserts two outcome vectors match except for the membership epoch:
+/// the funnel publishes via `flush_all_updates` while the pin-once
+/// pipeline publishes via `drain_concurrent`, so the two clusters bump
+/// epochs at different cadences even when every filter bit agrees.
+fn assert_outcomes_match(round: usize, funnel: &[OpOutcome], pinned: &[OpOutcome]) {
+    assert_eq!(funnel.len(), pinned.len(), "round {round}: outcome counts");
+    for (i, (f, p)) in funnel.iter().zip(pinned).enumerate() {
+        match (f, p) {
+            (OpOutcome::Resolved(a), OpOutcome::Resolved(b)) => {
+                assert_eq!(
+                    (a.home, a.level, a.latency, a.messages, a.entry),
+                    (b.home, b.level, b.latency, b.messages, b.entry),
+                    "round {round} op {i}: pinned lookup diverged from the funnel"
+                );
+            }
+            _ => assert_eq!(f, p, "round {round} op {i}: outcomes diverged"),
+        }
+    }
+}
+
+/// Single-threaded replay: the pin-once `execute_concurrent` pipeline
+/// produces the same outcomes as the `&mut self` funnel for mixed
+/// batches — creates, hits, misses, renames, removes — at every
+/// write-shard count, and after `drain_concurrent` + flush both
+/// clusters converge to the same homes.
+///
+/// The update threshold is raised so the funnel never publishes
+/// mid-batch (the concurrent pipeline commits deltas only at batch
+/// end), L1 is disabled (the pinned walk never fills the LRU), and
+/// removes sit at the tail of each batch (a pending remove stays
+/// invisible to live probes until drain, so a lookup *after* a remove
+/// of the same fingerprint would diverge in latency, never in home).
+#[test]
+fn concurrent_pipeline_matches_funnel_across_shard_counts() {
+    for shards in [1usize, 4, 32] {
+        let cfg = config()
+            .with_lru_capacity(0)
+            .with_update_threshold(1 << 24)
+            .with_write_shards(shards);
+        let mut funnel = GhbaCluster::with_servers(cfg.clone(), 12);
+        let mut pinned = GhbaCluster::with_servers(cfg, 12);
+
+        let mut live: Vec<String> = (0..30).map(|i| format!("/mix/seed{i}")).collect();
+        for path in &live {
+            funnel.create_file(path);
+            pinned.create_file(path);
+        }
+        funnel.flush_all_updates();
+        pinned.flush_all_updates();
+
+        for round in 0..5 {
+            let rename_src = live.remove(0);
+            let remove_tgt = live.remove(0);
+            let moved = format!("/mix/r{round}/moved");
+            let created: Vec<String> = (0..6).map(|j| format!("/mix/r{round}/f{j}")).collect();
+
+            let mut batch = OpBatch::new().with_entry(EntryPolicy::Random);
+            for path in live.iter().take(6) {
+                batch.push_lookup(path);
+            }
+            for path in &created {
+                batch.push_create(path);
+            }
+            for path in &created {
+                batch.push_lookup(path);
+            }
+            batch.push_lookup(format!("/mix/r{round}/absent"));
+            batch.push_rename(&rename_src, &moved);
+            batch.push_lookup(&moved);
+            batch.push_remove(&remove_tgt);
+            batch.push_remove(format!("/mix/r{round}/never-created"));
+
+            let funnel_out = funnel.execute(&batch);
+            let pinned_out = pinned.execute_concurrent(&batch);
+            assert_outcomes_match(round, &funnel_out, &pinned_out);
+
+            pinned.drain_concurrent();
+            funnel.flush_all_updates();
+            pinned.flush_all_updates();
+            live.push(moved);
+            live.extend(created);
+        }
+
+        funnel.check_invariants().expect("funnel invariants");
+        pinned.check_invariants().expect("pinned invariants");
+        for path in &live {
+            let truth = funnel.true_home(path).expect("live in funnel");
+            assert_eq!(
+                pinned.true_home(path),
+                Some(truth),
+                "clusters disagree on the home of {path} with {shards} shards"
+            );
+        }
+    }
+}
+
+/// Whole mixed batches run from `&self` on three threads while a
+/// reconfiguration handle publishes rebalances, splits, and merges.
+/// Each thread asserts its in-batch view (a created path resolves to
+/// the reported home through the write overlay; pre-churn files keep
+/// their ground-truth homes), and after one drain the owner sees every
+/// reported placement as durable state.
+#[test]
+fn concurrent_batches_race_reconfig_churn() {
+    const THREADS: usize = 3;
+    const ROUNDS: usize = 8;
+    let mut cluster = GhbaCluster::with_servers(config(), 16);
+    for t in 0..THREADS {
+        for i in 0..40 {
+            cluster.create_file(&format!("/race/t{t}/base{i}"));
+        }
+    }
+    cluster.flush_all_updates();
+    let truths: Vec<Vec<MdsId>> = (0..THREADS)
+        .map(|t| {
+            (0..40)
+                .map(|i| {
+                    cluster
+                        .true_home(&format!("/race/t{t}/base{i}"))
+                        .expect("created")
+                })
+                .collect()
+        })
+        .collect();
+    let handle = cluster.reconfig_handle();
+    let stop = AtomicBool::new(false);
+
+    let expected: Vec<(String, MdsId)> = std::thread::scope(|scope| {
+        let cluster = &cluster;
+        let truths = &truths;
+        let stop = &stop;
+
+        let churner = scope.spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for gid in handle.group_ids() {
+                    let _ = handle.rebalance_group(gid);
+                }
+                let ids = handle.group_ids();
+                if let Some(&gid) = ids.first() {
+                    let _ = handle.split_group(gid);
+                }
+                'merge: for &a in &ids {
+                    for &b in &ids {
+                        if a != b && handle.merge_groups(a, b) {
+                            break 'merge;
+                        }
+                    }
+                }
+            }
+        });
+
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut placements = Vec::new();
+                    for round in 0..ROUNDS {
+                        let created: Vec<String> = (0..4)
+                            .map(|j| format!("/race/t{t}/r{round}/f{j}"))
+                            .collect();
+                        let rename_src = format!("/race/t{t}/base{}", 39 - round);
+                        let moved = format!("/race/t{t}/moved{round}");
+
+                        let mut batch = OpBatch::new().with_entry(EntryPolicy::Random);
+                        for path in &created {
+                            batch.push_create(path);
+                        }
+                        batch.push_lookup(&created[0]);
+                        batch.push_lookup(format!("/race/t{t}/base{round}"));
+                        batch.push_rename(&rename_src, &moved);
+                        batch.push_lookup(&moved);
+
+                        let out = cluster.execute_concurrent(&batch);
+                        for (i, path) in created.iter().enumerate() {
+                            let OpOutcome::Created { home } = out[i] else {
+                                panic!("op {i} was a create");
+                            };
+                            placements.push((path.clone(), home));
+                        }
+                        let OpOutcome::Created { home: first_home } = out[0] else {
+                            unreachable!()
+                        };
+                        assert_eq!(
+                            out[4].home(),
+                            Some(first_home),
+                            "in-batch lookup missed the overlayed create"
+                        );
+                        assert_eq!(
+                            out[5].home(),
+                            Some(truths[t][round]),
+                            "pre-churn file lost its home mid-reconfig"
+                        );
+                        let OpOutcome::Renamed { old_home, new_home } = out[6] else {
+                            panic!("op 6 was a rename");
+                        };
+                        assert_eq!(old_home, Some(truths[t][39 - round]));
+                        let new_home = new_home.expect("rename of a live path");
+                        assert_eq!(
+                            out[7].home(),
+                            Some(new_home),
+                            "in-batch lookup missed the overlayed rename"
+                        );
+                        placements.push((moved, new_home));
+                    }
+                    placements
+                })
+            })
+            .collect();
+
+        let mut expected = Vec::new();
+        for worker in workers {
+            expected.extend(worker.join().expect("worker panicked"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        churner.join().expect("churner panicked");
+        expected
+    });
+
+    cluster.drain_concurrent();
+    cluster.check_invariants().expect("post-drain invariants");
+    for (path, home) in &expected {
+        assert_eq!(
+            cluster.true_home(path),
+            Some(*home),
+            "{path} did not land where its batch reported"
+        );
+        assert_eq!(cluster.lookup_from(MdsId(0), path).home, Some(*home));
+    }
+    // Bases that no thread renamed keep their pre-churn homes.
+    for (t, homes) in truths.iter().enumerate() {
+        for (i, &truth) in homes.iter().enumerate().take(40 - ROUNDS).skip(ROUNDS) {
+            let path = format!("/race/t{t}/base{i}");
+            assert_eq!(cluster.true_home(&path), Some(truth));
+        }
+    }
+}
+
+/// Four threads rename disjoint path sets concurrently; the
+/// fingerprint-hashed shard map makes most source/destination pairs
+/// land on different shards, so this drives the remove-then-create
+/// two-shard ordering. After one drain every destination is homed
+/// exactly where its batch reported and every source is gone.
+#[test]
+fn cross_shard_renames_from_many_threads() {
+    const THREADS: usize = 4;
+    let mut cluster = GhbaCluster::with_servers(config().with_write_shards(8), 12);
+    for t in 0..THREADS {
+        for i in 0..25 {
+            cluster.create_file(&format!("/xs/t{t}/src{i}"));
+        }
+    }
+    cluster.flush_all_updates();
+
+    let moved: Vec<(String, String, MdsId)> = std::thread::scope(|scope| {
+        let cluster = &cluster;
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut placements = Vec::new();
+                    for chunk in 0..5 {
+                        let mut batch = OpBatch::new().with_entry(EntryPolicy::Random);
+                        let pairs: Vec<(String, String)> = (0..5)
+                            .map(|j| {
+                                let i = chunk * 5 + j;
+                                (format!("/xs/t{t}/src{i}"), format!("/xs/t{t}/dst{i}"))
+                            })
+                            .collect();
+                        for (from, to) in &pairs {
+                            batch.push_rename(from, to);
+                            batch.push_lookup(to);
+                        }
+                        let out = cluster.execute_concurrent(&batch);
+                        for (j, (from, to)) in pairs.into_iter().enumerate() {
+                            let OpOutcome::Renamed { old_home, new_home } = out[2 * j] else {
+                                panic!("op {} was a rename", 2 * j);
+                            };
+                            assert!(old_home.is_some(), "{from} existed before the rename");
+                            let new_home = new_home.expect("rename of a live path");
+                            assert_eq!(
+                                out[2 * j + 1].home(),
+                                Some(new_home),
+                                "in-batch lookup missed the overlayed rename of {to}"
+                            );
+                            placements.push((from, to, new_home));
+                        }
+                    }
+                    placements
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("worker panicked"))
+            .collect()
+    });
+
+    cluster.drain_concurrent();
+    cluster.check_invariants().expect("post-drain invariants");
+    for (from, to, home) in &moved {
+        assert_eq!(cluster.true_home(from), None, "{from} survived its rename");
+        assert_eq!(
+            cluster.true_home(to),
+            Some(*home),
+            "{to} did not land where its batch reported"
+        );
+        assert_eq!(cluster.lookup_from(MdsId(0), to).home, Some(*home));
     }
 }

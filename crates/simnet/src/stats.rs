@@ -22,7 +22,7 @@ use core::time::Duration;
 /// assert_eq!(stats.count(), 2);
 /// assert_eq!(stats.mean(), Duration::from_micros(200));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyStats {
     count: u64,
     sum_nanos: u128,
@@ -138,6 +138,32 @@ impl LatencyStats {
             }
         }
         self.max()
+    }
+
+    /// Merges raw accumulator fields collected elsewhere — the bridge for
+    /// atomic (lock-free) recorders that mirror this accumulator's layout
+    /// word by word and fold into the owning `LatencyStats` at a drain
+    /// point. `min_nanos` must be `u64::MAX` (not zero) when `count == 0`,
+    /// matching [`LatencyStats::new`]; `buckets` uses the same ×2
+    /// logarithmic geometry as [`record`](LatencyStats::record).
+    pub fn merge_parts(
+        &mut self,
+        count: u64,
+        sum_nanos: u128,
+        min_nanos: u64,
+        max_nanos: u64,
+        buckets: &[u64; 64],
+    ) {
+        if count == 0 {
+            return;
+        }
+        self.count += count;
+        self.sum_nanos += sum_nanos;
+        self.min_nanos = self.min_nanos.min(min_nanos);
+        self.max_nanos = self.max_nanos.max(max_nanos);
+        for (a, b) in self.buckets.iter_mut().zip(buckets) {
+            *a += b;
+        }
     }
 
     /// Merges another accumulator into this one.
