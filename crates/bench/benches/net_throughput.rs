@@ -1,0 +1,230 @@
+//! The PR-8 headline benchmark: multi-client throughput over a real
+//! loopback-TCP fleet vs direct in-process execution of the same
+//! batches — the network variant of the fig. 14/15 latency/throughput
+//! story.
+//!
+//! A [`LoopbackNet`] fleet (rendezvous + `GHBA_NET_REPLICAS` replica
+//! servers, each a full G-HBA cluster, background reconcilers on a
+//! short cadence) is hammered by `GHBA_NET_CLIENTS` client threads.
+//! Each client replays its own stream of the "intensified Zipf,
+//! K-client partition" profile ([`ClientPartition`]): private-namespace
+//! mutations plus shared Zipf-hot reads, cut into `GHBA_NET_BATCH`-op
+//! batches routed through the sharded planner (fingerprint partition,
+//! two-wave cross-replica renames). Reported: aggregate ops/s plus
+//! per-batch latency mean/p50/p90/p99 — the wire-protocol round trip,
+//! framing, and cross-replica fan-out are all inside the measured
+//! path.
+//!
+//! The **direct** baseline executes the same per-client batch streams
+//! against an in-process [`Federation`] (same planner, same per-replica
+//! clusters, no sockets) on one thread, isolating the network tax. On
+//! a 1-core host the fleet's threads time-slice one CPU, so the
+//! loopback/direct ratio *understates* a real deployment (where
+//! replicas burn their own cores) — the ratio is reported, never
+//! asserted. Knobs: `GHBA_NET_MS` (measured window per mode),
+//! `GHBA_NET_FILES` (active set per namespace), `GHBA_NET_CLIENTS`,
+//! `GHBA_NET_REPLICAS`, `GHBA_NET_SERVERS`, `GHBA_NET_BATCH`.
+
+use std::time::{Duration, Instant};
+
+use ghba::core::{EntryPolicy, GhbaConfig, OpBatch};
+use ghba::net::{execute_sharded, record_batches, FleetSpec, LoopbackNet};
+use ghba::simnet::LatencyStats;
+use ghba::trace::{ClientPartition, WorkloadProfile};
+
+fn env_size(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn base_config(files: u64) -> GhbaConfig {
+    GhbaConfig::default()
+        .with_filter_capacity((files as usize) * 8)
+        .with_lru_capacity(0)
+        .with_seed(0xBE2C)
+}
+
+fn profile(files: u64) -> WorkloadProfile {
+    let mut profile = WorkloadProfile::res();
+    profile.active_files = files;
+    profile.total_files = files * 10;
+    profile
+}
+
+fn populate_batches(fleet: &ClientPartition) -> Vec<OpBatch> {
+    let mut policy = EntryPolicy::RoundRobin { start: 0 };
+    let mut batches = Vec::new();
+    let mut batch = OpBatch::new();
+    for path in fleet.initial_paths() {
+        batch.push_create(path);
+        if batch.len() >= 512 {
+            let ops = batch.len();
+            batches.push(std::mem::take(&mut batch).with_entry(policy.advance(ops)));
+        }
+    }
+    if !batch.is_empty() {
+        let ops = batch.len();
+        batches.push(batch.with_entry(policy.advance(ops)));
+    }
+    batches
+}
+
+struct ModeResult {
+    ops: u64,
+    batches: u64,
+    elapsed: Duration,
+    latency: LatencyStats,
+}
+
+impl ModeResult {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+fn report(label: &str, result: &ModeResult) {
+    eprintln!(
+        "  {label:<8} {:>9.0} ops/s  ({} ops, {} batches, {:.2}s)  \
+         batch latency mean {:?} p50 {:?} p90 {:?} p99 {:?}",
+        result.ops_per_sec(),
+        result.ops,
+        result.batches,
+        result.elapsed.as_secs_f64(),
+        result.latency.mean(),
+        result.latency.percentile(50.0),
+        result.latency.percentile(90.0),
+        result.latency.percentile(99.0),
+    );
+}
+
+fn main() {
+    let measure_ms = env_size("GHBA_NET_MS", 2_000);
+    let files = env_size("GHBA_NET_FILES", 2_000);
+    let clients = env_size("GHBA_NET_CLIENTS", 2) as u32;
+    let replicas = env_size("GHBA_NET_REPLICAS", 3) as usize;
+    let servers = env_size("GHBA_NET_SERVERS", 4) as usize;
+    let window = env_size("GHBA_NET_BATCH", 128) as usize;
+    let seed = 0x4E71u64;
+    eprintln!(
+        "net_throughput: {clients} clients x {replicas} replicas x {servers} MDS/replica, \
+         {files} files/namespace, {window}-op batches, {measure_ms}ms per mode \
+         ({} cores)",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+
+    let partition = ClientPartition::new(profile(files), clients, seed);
+    let populate = populate_batches(&partition);
+
+    // ---- loopback TCP fleet ----
+    let net = LoopbackNet::launch(
+        FleetSpec::new(replicas, servers, base_config(files))
+            .with_drain_cadence(Duration::from_millis(25)),
+    )
+    .expect("fleet launches");
+    {
+        let mut client = net.client().expect("client connects");
+        for batch in &populate {
+            client.execute(batch).expect("populate");
+        }
+        client.drain_all().expect("publish");
+    }
+    let deadline = Instant::now() + Duration::from_millis(measure_ms);
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for k in 0..clients {
+        let partition = partition.clone();
+        let mut client = net.client().expect("client connects");
+        handles.push(std::thread::spawn(move || {
+            let mut stats = LatencyStats::default();
+            let mut ops = 0u64;
+            let mut batches = 0u64;
+            let stream = record_batches(
+                partition.client(k),
+                window,
+                EntryPolicy::RoundRobin { start: k as usize },
+            );
+            for batch in stream {
+                let len = batch.len() as u64;
+                let t0 = Instant::now();
+                let outcomes = client.execute(&batch).expect("measured batch");
+                stats.record(t0.elapsed());
+                assert_eq!(outcomes.len(), batch.len());
+                ops += len;
+                batches += 1;
+                if Instant::now() >= deadline {
+                    break;
+                }
+            }
+            (ops, batches, stats)
+        }));
+    }
+    let mut loopback = ModeResult {
+        ops: 0,
+        batches: 0,
+        elapsed: Duration::ZERO,
+        latency: LatencyStats::default(),
+    };
+    for handle in handles {
+        let (ops, batches, stats) = handle.join().expect("client thread");
+        loopback.ops += ops;
+        loopback.batches += batches;
+        loopback.latency.merge(&stats);
+    }
+    loopback.elapsed = start.elapsed();
+    net.shutdown();
+    report("loopback", &loopback);
+
+    // ---- direct in-process baseline: same planner, no sockets ----
+    let mut truth = ghba::net::Federation::new(&base_config(files), replicas, servers);
+    for batch in &populate {
+        execute_sharded(&mut truth, batch).expect("populate");
+    }
+    truth.drain_all();
+    let deadline = Instant::now() + Duration::from_millis(measure_ms);
+    let start = Instant::now();
+    let mut direct = ModeResult {
+        ops: 0,
+        batches: 0,
+        elapsed: Duration::ZERO,
+        latency: LatencyStats::default(),
+    };
+    // Round-robin the clients' (persistent, infinite) streams on one
+    // thread, four batches at a time.
+    let mut streams: Vec<_> = (0..clients)
+        .map(|k| {
+            record_batches(
+                partition.client(k),
+                window,
+                EntryPolicy::RoundRobin { start: k as usize },
+            )
+        })
+        .collect();
+    'outer: loop {
+        for stream in &mut streams {
+            for _ in 0..4 {
+                let batch = stream.next().expect("streams are infinite");
+                let len = batch.len() as u64;
+                let t0 = Instant::now();
+                let outcomes = execute_sharded(&mut truth, &batch).expect("direct batch");
+                direct.latency.record(t0.elapsed());
+                assert_eq!(outcomes.len(), batch.len());
+                direct.ops += len;
+                direct.batches += 1;
+                if Instant::now() >= deadline {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    direct.elapsed = start.elapsed();
+    report("direct", &direct);
+
+    let tax = direct.ops_per_sec() / loopback.ops_per_sec().max(1e-9);
+    eprintln!(
+        "  network tax: direct/loopback = {tax:.2}x (loopback carries framing, syscalls, \
+         and thread hand-offs; on a 1-core host all fleet threads share one CPU)"
+    );
+}

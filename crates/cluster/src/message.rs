@@ -1,4 +1,12 @@
 //! Wire messages of the prototype cluster.
+//!
+//! These are **in-process** messages (channels, not sockets): filters
+//! and reply senders travel by value. The real networked deployment in
+//! `ghba-net` ports the same vocabulary to a binary wire format — its
+//! `GroupProbe`/`ProbeReply` frames carry the fingerprint-only group
+//! multicast, `Gossip` carries the membership/epoch announcements, and
+//! the flush/drain control flow becomes explicit `Drain`/`DrainAck`
+//! barrier frames (see `ghba_net::proto::NetMessage`).
 
 use ghba_bloom::{BloomFilter, FilterDelta, Fingerprint};
 use ghba_core::{MdsId, QueryLevel};

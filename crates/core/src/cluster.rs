@@ -1249,6 +1249,17 @@ impl GhbaCluster {
         }
     }
 
+    /// Pending concurrent write records awaiting the next
+    /// [`drain_concurrent`](GhbaCluster::drain_concurrent) — the
+    /// namespace shard logs' combined length. Zero (lock-free) when the
+    /// cluster is clean. Network replicas report this through their
+    /// drain acknowledgements so tests can observe the background
+    /// reconciler keeping the logs bounded.
+    #[must_use]
+    pub fn pending_concurrent_writes(&self) -> u64 {
+        self.shards.pending_record_count()
+    }
+
     /// Finishes a side-effect-free lookup: applies the contention
     /// inflation and stamps the pinned epoch, touching no statistics and
     /// no caches.

@@ -381,6 +381,20 @@ impl NamespaceShards {
         self.unpublished_creates.load(Ordering::Acquire)
     }
 
+    /// Pending write records across all shards, awaiting the next
+    /// drain. Lock-free (zero) when clean; long-running `&self`-only
+    /// servers use this to observe whether their background reconciler
+    /// is keeping the logs bounded.
+    pub fn pending_record_count(&self) -> u64 {
+        if !self.is_dirty() {
+            return 0;
+        }
+        self.shards
+            .iter()
+            .map(|slot| slot.lock().expect("namespace shard poisoned").log.len() as u64)
+            .sum()
+    }
+
     fn record(&self, key: &PathKey, kind: WriteKind) {
         let create_home = match kind {
             WriteKind::Create(home) => Some(home),

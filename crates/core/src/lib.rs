@@ -56,6 +56,7 @@ mod mds;
 mod metadata;
 mod op;
 mod query;
+mod reconcile;
 mod reconfig;
 mod service;
 mod snapshot;
@@ -73,6 +74,7 @@ pub use op::{
     OpBatch, OpOutcome, PathKey, VectoredScheme,
 };
 pub use query::{LevelCounts, QueryLevel, QueryOutcome};
+pub use reconcile::Reconciler;
 pub use reconfig::{ReconfigError, ReconfigReport};
 pub use service::MetadataService;
 pub use snapshot::{CellWriter, ReconfigHandle, RouteSnapshot, SlabOp, SlabSpare, SnapshotCell};

@@ -95,6 +95,18 @@ impl PathKey {
         PathKey { path, fp }
     }
 
+    /// Reassembles a `PathKey` from a pathname and a fingerprint computed
+    /// elsewhere — the wire-decode path, where the fingerprint arrived in
+    /// the frame alongside the path bytes. Returns `None` when `fp` is
+    /// not `path`'s fingerprint: the pair is corrupt and the decoder must
+    /// reject the frame rather than admit a key whose probe stream
+    /// disagrees with its pathname.
+    #[must_use]
+    pub fn from_parts(path: impl Into<String>, fp: Fingerprint) -> Option<Self> {
+        let path = path.into();
+        (Fingerprint::of(path.as_str()) == fp).then_some(PathKey { path, fp })
+    }
+
     /// The pathname.
     #[must_use]
     pub fn path(&self) -> &str {

@@ -1,0 +1,156 @@
+//! The load-generator binary: a fleet of K client threads replaying
+//! intensified Zipf traces against a networked deployment.
+//!
+//! ```text
+//! loadgen --rendezvous ADDR --replicas R [--clients K] [--ops N]
+//!         [--batch B] [--profile res|ins|hp] [--seed S]
+//!         [--shared-ratio F] [--shutdown]
+//! ```
+//!
+//! Each client replays its own stream of the "intensified Zipf,
+//! K-client partition" profile (`ghba_trace::ClientPartition`):
+//! mutations stay in the client's private namespace, a `--shared-ratio`
+//! fraction of reads hammers the shared Zipf-hot head. Batches of
+//! `--batch` ops route through the sharded planner over one connection
+//! set per client. On completion the tool reports aggregate ops/s and
+//! batch-latency percentiles; `--shutdown` then stops the fleet.
+
+use std::time::{Duration, Instant};
+
+use ghba_core::EntryPolicy;
+use ghba_net::{record_batches, NetClient};
+use ghba_simnet::LatencyStats;
+use ghba_trace::{ClientPartition, WorkloadProfile};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen --rendezvous ADDR --replicas R [--clients K] [--ops N] [--batch B] \
+         [--profile res|ins|hp] [--seed S] [--shared-ratio F] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("loadgen: bad or missing value for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut rendezvous: Option<String> = None;
+    let mut replicas: Option<usize> = None;
+    let mut clients = 2u32;
+    let mut ops = 20_000usize;
+    let mut batch = 128usize;
+    let mut profile = "res".to_string();
+    let mut seed = 0x4E37u64;
+    let mut shared_ratio: Option<f64> = None;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--rendezvous" => rendezvous = Some(args.next().unwrap_or_else(|| usage())),
+            "--replicas" => replicas = Some(parse(args.next(), "--replicas")),
+            "--clients" => clients = parse(args.next(), "--clients"),
+            "--ops" => ops = parse(args.next(), "--ops"),
+            "--batch" => batch = parse(args.next(), "--batch"),
+            "--profile" => profile = args.next().unwrap_or_else(|| usage()),
+            "--seed" => seed = parse(args.next(), "--seed"),
+            "--shared-ratio" => shared_ratio = Some(parse(args.next(), "--shared-ratio")),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(rendezvous) = rendezvous else {
+        usage()
+    };
+    let Some(replicas) = replicas else { usage() };
+    let profile = match profile.as_str() {
+        "res" => WorkloadProfile::res(),
+        "ins" => WorkloadProfile::ins(),
+        "hp" => WorkloadProfile::hp(),
+        other => {
+            eprintln!("loadgen: unknown profile {other}");
+            usage();
+        }
+    };
+
+    let mut fleet = ClientPartition::new(profile, clients, seed);
+    if let Some(ratio) = shared_ratio {
+        fleet = fleet.with_shared_read_ratio(ratio);
+    }
+
+    let started = Instant::now();
+    let mut handles = Vec::with_capacity(clients as usize);
+    for k in 0..clients {
+        let fleet = fleet.clone();
+        let rendezvous = rendezvous.clone();
+        handles.push(std::thread::spawn(
+            move || -> Result<(u64, LatencyStats), String> {
+                let mut client = NetClient::connect(&rendezvous, replicas, Duration::from_secs(30))
+                    .map_err(|err| format!("client {k}: connect failed: {err}"))?;
+                let mut stats = LatencyStats::default();
+                let mut executed = 0u64;
+                let records = fleet.client(k).take(ops);
+                let policy = EntryPolicy::RoundRobin { start: k as usize };
+                for batch in record_batches(records, batch, policy) {
+                    let len = batch.len() as u64;
+                    let t0 = Instant::now();
+                    client
+                        .execute(&batch)
+                        .map_err(|err| format!("client {k}: batch failed: {err}"))?;
+                    stats.record(t0.elapsed());
+                    executed += len;
+                }
+                Ok((executed, stats))
+            },
+        ));
+    }
+
+    let mut total_ops = 0u64;
+    let mut merged = LatencyStats::default();
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok((executed, stats))) => {
+                total_ops += executed;
+                merged.merge(&stats);
+            }
+            Ok(Err(err)) => {
+                eprintln!("loadgen: {err}");
+                std::process::exit(1);
+            }
+            Err(_) => {
+                eprintln!("loadgen: a client thread panicked");
+                std::process::exit(1);
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let ops_per_sec = total_ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "loadgen: {total_ops} ops over {clients} clients x {replicas} replicas in {:.2}s = {:.0} ops/s",
+        elapsed.as_secs_f64(),
+        ops_per_sec
+    );
+    println!(
+        "batch latency: mean {:?}  p50 {:?}  p90 {:?}  p99 {:?}  max {:?} ({} batches)",
+        merged.mean(),
+        merged.percentile(50.0),
+        merged.percentile(90.0),
+        merged.percentile(99.0),
+        merged.max(),
+        merged.count()
+    );
+
+    if shutdown {
+        if let Ok(mut client) = NetClient::connect(&rendezvous, replicas, Duration::from_secs(5)) {
+            let _ = client.shutdown_fleet();
+        }
+        let _ = ghba_net::send_shutdown(&rendezvous);
+    }
+}

@@ -1,0 +1,56 @@
+//! The rendezvous binary: the fleet's membership directory.
+//!
+//! ```text
+//! rendezvous [--bind ADDR] [--addr-file PATH]
+//! ```
+//!
+//! Binds (default `127.0.0.1:0`), prints `rendezvous listening on
+//! <addr>` to stdout, optionally writes the bare address to
+//! `--addr-file` (so scripts launching with an ephemeral port can find
+//! it), then serves until a `Shutdown` frame arrives.
+
+use std::time::Duration;
+
+use ghba_net::Rendezvous;
+
+fn usage() -> ! {
+    eprintln!("usage: rendezvous [--bind ADDR] [--addr-file PATH]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut addr_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--bind" => bind = args.next().unwrap_or_else(|| usage()),
+            "--addr-file" => addr_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Rendezvous::spawn(&bind) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("rendezvous: cannot bind {bind}: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!("rendezvous listening on {}", server.addr());
+    if let Some(path) = &addr_file {
+        if let Err(err) = std::fs::write(path, server.addr().to_string()) {
+            eprintln!("rendezvous: cannot write {path}: {err}");
+            server.shutdown();
+            std::process::exit(1);
+        }
+    }
+    while !server.is_stopped() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,92 @@
+//! The replica binary: one namespace shard, one full G-HBA cluster,
+//! served over TCP.
+//!
+//! ```text
+//! replica --index I --rendezvous ADDR [--servers N] [--bind ADDR]
+//!         [--cadence-ms MS] [--filter-capacity N] [--seed S]
+//! ```
+//!
+//! Builds the shard's cluster (per-replica seed derived from `--seed`
+//! exactly as every other deployment derives it), binds, registers
+//! with the rendezvous, prints `replica I listening on <addr>`, and
+//! serves until a `Shutdown` frame arrives. The background reconciler
+//! drains the concurrent write logs every `--cadence-ms` milliseconds.
+
+use std::time::Duration;
+
+use ghba_core::GhbaConfig;
+use ghba_net::{ReplicaConfig, ReplicaServer};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: replica --index I --rendezvous ADDR [--servers N] [--bind ADDR] \
+         [--cadence-ms MS] [--filter-capacity N] [--seed S]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("replica: bad or missing value for {flag}");
+        usage();
+    })
+}
+
+fn main() {
+    let mut index: Option<u16> = None;
+    let mut rendezvous: Option<String> = None;
+    let mut servers = 8usize;
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut cadence_ms = 50u64;
+    let mut filter_capacity: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--index" => index = Some(parse(args.next(), "--index")),
+            "--rendezvous" => rendezvous = Some(args.next().unwrap_or_else(|| usage())),
+            "--servers" => servers = parse(args.next(), "--servers"),
+            "--bind" => bind = args.next().unwrap_or_else(|| usage()),
+            "--cadence-ms" => cadence_ms = parse(args.next(), "--cadence-ms"),
+            "--filter-capacity" => filter_capacity = Some(parse(args.next(), "--filter-capacity")),
+            "--seed" => seed = Some(parse(args.next(), "--seed")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(index) = index else { usage() };
+    let Some(rendezvous) = rendezvous else {
+        usage()
+    };
+
+    let mut base = GhbaConfig::default();
+    if let Some(capacity) = filter_capacity {
+        base = base.with_filter_capacity(capacity);
+    }
+    if let Some(seed) = seed {
+        base = base.with_seed(seed);
+    }
+    let config = ReplicaConfig {
+        replica: index,
+        servers,
+        base,
+        bind,
+        rendezvous: Some(rendezvous),
+        drain_cadence: Duration::from_millis(cadence_ms),
+    };
+    let server = match ReplicaServer::spawn(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("replica {index}: startup failed: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!("replica {index} listening on {}", server.addr());
+    while !server.is_stopped() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,326 @@
+//! The networked client: discovers the fleet through the rendezvous,
+//! keeps one connection per replica, and executes sharded batches
+//! through the same [`execute_sharded`] planner the in-process
+//! [`Federation`](crate::route::Federation) uses.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use ghba_bloom::Fingerprint;
+use ghba_core::{MdsId, OpBatch, OpOutcome};
+
+use crate::proto::NetMessage;
+use crate::route::{execute_sharded, BatchTransport};
+use crate::wire::WireError;
+
+/// One replica's counters, as sampled by [`NetClient::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaStats {
+    /// Write records awaiting reconciliation.
+    pub pending: u64,
+    /// Batches served since startup.
+    pub batches_served: u64,
+    /// Newest gossiped membership epoch (0 = none).
+    pub gossip_epoch: u64,
+}
+
+struct Conn {
+    replica: u16,
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A connected client of the whole fleet.
+///
+/// Implements [`BatchTransport`], so [`NetClient::execute`] routes a
+/// mixed batch across the replicas — fingerprint partition, two-wave
+/// cross-replica renames, stitched outcomes — via the shared planner.
+pub struct NetClient {
+    conns: Vec<Conn>,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for NetClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetClient")
+            .field("replicas", &self.conns.len())
+            .field("next_seq", &self.next_seq)
+            .finish_non_exhaustive()
+    }
+}
+
+impl NetClient {
+    /// Connects: polls the rendezvous at `rendezvous` until replicas
+    /// `0..expected` have all registered (or `timeout` elapses), then
+    /// opens one connection to each.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the fleet does not fully register within `timeout`
+    /// or any connection fails.
+    pub fn connect(
+        rendezvous: &str,
+        expected: usize,
+        timeout: Duration,
+    ) -> Result<NetClient, WireError> {
+        assert!(expected > 0, "a fleet needs at least one replica");
+        let deadline = Instant::now() + timeout;
+        let map = loop {
+            match fetch_map(rendezvous) {
+                Ok(replicas)
+                    if (0..expected).all(|r| replicas.iter().any(|(i, _)| *i == r as u16)) =>
+                {
+                    break replicas;
+                }
+                Ok(_) | Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Ok(replicas) => {
+                    return Err(WireError::Protocol {
+                        detail: format!(
+                            "fleet incomplete after {timeout:?}: {} of {expected} replicas \
+                             registered",
+                            replicas.len()
+                        ),
+                    });
+                }
+                Err(err) => return Err(err),
+            }
+        };
+        let mut conns = Vec::with_capacity(expected);
+        for r in 0..expected as u16 {
+            let addr = map
+                .iter()
+                .find(|(i, _)| *i == r)
+                .map(|(_, addr)| addr.clone())
+                .expect("checked above");
+            let stream = TcpStream::connect(&addr).map_err(WireError::Io)?;
+            stream.set_nodelay(true).ok();
+            let read_half = stream.try_clone().map_err(WireError::Io)?;
+            conns.push(Conn {
+                replica: r,
+                reader: BufReader::new(read_half),
+                writer: stream,
+            });
+        }
+        Ok(NetClient { conns, next_seq: 0 })
+    }
+
+    /// Sends one request on replica `replica`'s connection and reads
+    /// the reply.
+    fn request(&mut self, replica: usize, msg: &NetMessage) -> Result<NetMessage, WireError> {
+        let conn = &mut self.conns[replica];
+        msg.write_to(&mut conn.writer)?;
+        match NetMessage::read_from(&mut conn.reader)? {
+            Some(NetMessage::ErrorReply { code, detail }) => Err(WireError::Protocol {
+                detail: format!(
+                    "replica {} rejected the request ({code}): {detail}",
+                    conn.replica
+                ),
+            }),
+            Some(reply) => Ok(reply),
+            None => Err(WireError::Protocol {
+                detail: format!("replica {} closed the connection", conn.replica),
+            }),
+        }
+    }
+
+    /// Executes `batch` across the fleet (see [`execute_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport or protocol failure.
+    pub fn execute(&mut self, batch: &OpBatch) -> Result<Vec<OpOutcome>, WireError> {
+        execute_sharded(self, batch)
+    }
+
+    /// Forces a synchronous drain barrier on every replica, returning
+    /// each replica's `(drained, pending)` ack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport or protocol failure.
+    pub fn drain_all(&mut self) -> Result<Vec<(u64, u64)>, WireError> {
+        let mut acks = Vec::with_capacity(self.conns.len());
+        for replica in 0..self.conns.len() {
+            match self.request(replica, &NetMessage::Drain)? {
+                NetMessage::DrainAck { drained, pending } => acks.push((drained, pending)),
+                reply => {
+                    return Err(WireError::Protocol {
+                        detail: format!("expected DrainAck, got {reply:?}"),
+                    })
+                }
+            }
+        }
+        Ok(acks)
+    }
+
+    /// Samples replica `replica`'s counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport or protocol failure.
+    pub fn stats(&mut self, replica: usize) -> Result<ReplicaStats, WireError> {
+        match self.request(replica, &NetMessage::Stats)? {
+            NetMessage::StatsReply {
+                pending,
+                batches_served,
+                gossip_epoch,
+            } => Ok(ReplicaStats {
+                pending,
+                batches_served,
+                gossip_epoch,
+            }),
+            reply => Err(WireError::Protocol {
+                detail: format!("expected StatsReply, got {reply:?}"),
+            }),
+        }
+    }
+
+    /// Multicasts a [`NetMessage::GroupProbe`] for `fp` to every
+    /// replica, returning `(replica, positive servers)` per reply —
+    /// the networked form of the L3/L4 group multicast.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport or protocol failure.
+    pub fn probe_all(
+        &mut self,
+        qid: u64,
+        fp: &Fingerprint,
+    ) -> Result<Vec<(u16, Vec<MdsId>)>, WireError> {
+        let mut replies = Vec::with_capacity(self.conns.len());
+        for replica in 0..self.conns.len() {
+            match self.request(replica, &NetMessage::GroupProbe { qid, fp: *fp })? {
+                NetMessage::ProbeReply {
+                    qid: echoed,
+                    replica: index,
+                    positives,
+                } if echoed == qid => replies.push((index, positives)),
+                reply => {
+                    return Err(WireError::Protocol {
+                        detail: format!("expected ProbeReply(qid={qid}), got {reply:?}"),
+                    })
+                }
+            }
+        }
+        Ok(replies)
+    }
+
+    /// Announces a membership view to every replica (one-way; confirm
+    /// adoption via [`NetClient::stats`] on the same client, whose
+    /// requests are ordered behind the gossip on each connection).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first write failure.
+    pub fn gossip(&mut self, epoch: u64, members: &[MdsId]) -> Result<(), WireError> {
+        for conn in &mut self.conns {
+            NetMessage::Gossip {
+                epoch,
+                members: members.to_vec(),
+            }
+            .write_to(&mut conn.writer)?;
+        }
+        Ok(())
+    }
+
+    /// Pings every replica and verifies the echoed nonce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first transport or protocol failure.
+    pub fn ping_all(&mut self, nonce: u64) -> Result<(), WireError> {
+        for replica in 0..self.conns.len() {
+            match self.request(replica, &NetMessage::Ping { nonce })? {
+                NetMessage::Pong { nonce: echoed } if echoed == nonce => {}
+                reply => {
+                    return Err(WireError::Protocol {
+                        detail: format!("expected Pong({nonce}), got {reply:?}"),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Asks every replica to shut down (one-way; the servers close the
+    /// connections as they stop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first write failure.
+    pub fn shutdown_fleet(&mut self) -> Result<(), WireError> {
+        for conn in &mut self.conns {
+            NetMessage::Shutdown.write_to(&mut conn.writer)?;
+        }
+        Ok(())
+    }
+}
+
+impl BatchTransport for NetClient {
+    fn replica_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn execute_on(&mut self, replica: usize, batch: &OpBatch) -> Result<Vec<OpOutcome>, WireError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        match self.request(
+            replica,
+            &NetMessage::ExecuteBatch {
+                seq,
+                batch: batch.clone(),
+            },
+        )? {
+            NetMessage::BatchReply {
+                seq: echoed,
+                outcomes,
+            } if echoed == seq => {
+                if outcomes.len() == batch.len() {
+                    Ok(outcomes)
+                } else {
+                    Err(WireError::Protocol {
+                        detail: format!(
+                            "replica {replica} answered {} outcomes for {} ops",
+                            outcomes.len(),
+                            batch.len()
+                        ),
+                    })
+                }
+            }
+            reply => Err(WireError::Protocol {
+                detail: format!("expected BatchReply(seq={seq}), got {reply:?}"),
+            }),
+        }
+    }
+}
+
+/// One-shot rendezvous map fetch.
+fn fetch_map(rendezvous: &str) -> Result<Vec<(u16, String)>, WireError> {
+    let stream = TcpStream::connect(rendezvous).map_err(WireError::Io)?;
+    let mut writer = stream.try_clone().map_err(WireError::Io)?;
+    NetMessage::FetchMap.write_to(&mut writer)?;
+    let mut reader = BufReader::new(stream);
+    match NetMessage::read_from(&mut reader)? {
+        Some(NetMessage::MapReply { replicas, .. }) => Ok(replicas),
+        Some(reply) => Err(WireError::Protocol {
+            detail: format!("expected MapReply, got {reply:?}"),
+        }),
+        None => Err(WireError::Protocol {
+            detail: "rendezvous closed the connection".to_string(),
+        }),
+    }
+}
+
+/// Sends one [`NetMessage::Shutdown`] to `addr` (rendezvous or
+/// replica).
+///
+/// # Errors
+///
+/// Propagates connection or write failures.
+pub fn send_shutdown(addr: &str) -> Result<(), WireError> {
+    let mut stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+    NetMessage::Shutdown.write_to(&mut stream)
+}

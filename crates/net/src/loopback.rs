@@ -1,0 +1,134 @@
+//! The loopback harness: a whole fleet — rendezvous plus `R` replica
+//! servers — inside one process, on ephemeral `127.0.0.1` ports.
+//!
+//! This is real TCP end to end (real frames, real accept loops, real
+//! thread-per-connection replicas), just without process boundaries —
+//! the configuration the end-to-end tests and the `net_throughput`
+//! bench run, and a deterministic twin of the multi-process deployment
+//! the binaries provide.
+//!
+//! [`LoopbackNet::ground_truth`] builds the in-process
+//! [`Federation`] with the *same* base config, replica count, and
+//! seed derivation, so a test can replay identical batches through
+//! both transports and demand bit-identical outcomes.
+
+use std::time::Duration;
+
+use ghba_core::GhbaConfig;
+
+use crate::client::NetClient;
+use crate::rendezvous::Rendezvous;
+use crate::replica::{ReplicaConfig, ReplicaServer};
+use crate::route::Federation;
+use crate::wire::WireError;
+
+/// The shape of a loopback fleet.
+#[derive(Debug, Clone)]
+pub struct FleetSpec {
+    /// Number of replica servers (namespace shards).
+    pub replicas: usize,
+    /// MDS servers per replica cluster.
+    pub servers: usize,
+    /// Base cluster configuration (per-replica seeds derive from it).
+    pub base: GhbaConfig,
+    /// Background reconciliation cadence for every replica.
+    pub drain_cadence: Duration,
+}
+
+impl FleetSpec {
+    /// A fleet of `replicas` shards with `servers` MDSs each and a
+    /// one-hour cadence — background drains effectively disabled, so
+    /// tests control every publish point with explicit barriers.
+    #[must_use]
+    pub fn new(replicas: usize, servers: usize, base: GhbaConfig) -> Self {
+        FleetSpec {
+            replicas,
+            servers,
+            base,
+            drain_cadence: Duration::from_secs(3600),
+        }
+    }
+
+    /// Overrides the background drain cadence (builder style).
+    #[must_use]
+    pub fn with_drain_cadence(mut self, cadence: Duration) -> Self {
+        self.drain_cadence = cadence;
+        self
+    }
+}
+
+/// A running loopback fleet. Dropping it shuts everything down.
+#[derive(Debug)]
+pub struct LoopbackNet {
+    spec: FleetSpec,
+    rendezvous: Rendezvous,
+    replicas: Vec<ReplicaServer>,
+}
+
+impl LoopbackNet {
+    /// Launches the rendezvous and every replica (each registering
+    /// itself), all on ephemeral loopback ports.
+    ///
+    /// # Errors
+    ///
+    /// Fails when any bind or registration fails.
+    pub fn launch(spec: FleetSpec) -> std::io::Result<LoopbackNet> {
+        assert!(spec.replicas > 0, "a fleet needs at least one replica");
+        let rendezvous = Rendezvous::spawn("127.0.0.1:0")?;
+        let rendezvous_addr = rendezvous.addr().to_string();
+        let mut replicas = Vec::with_capacity(spec.replicas);
+        for r in 0..spec.replicas {
+            replicas.push(ReplicaServer::spawn(
+                ReplicaConfig::new(r as u16, spec.servers, spec.base.clone())
+                    .with_rendezvous(rendezvous_addr.clone())
+                    .with_drain_cadence(spec.drain_cadence),
+            )?);
+        }
+        Ok(LoopbackNet {
+            spec,
+            rendezvous,
+            replicas,
+        })
+    }
+
+    /// The rendezvous address clients connect to.
+    #[must_use]
+    pub fn rendezvous_addr(&self) -> String {
+        self.rendezvous.addr().to_string()
+    }
+
+    /// The fleet's shape.
+    #[must_use]
+    pub fn spec(&self) -> &FleetSpec {
+        &self.spec
+    }
+
+    /// Connects a new client to the whole fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates discovery or connection failures.
+    pub fn client(&self) -> Result<NetClient, WireError> {
+        NetClient::connect(
+            &self.rendezvous_addr(),
+            self.spec.replicas,
+            Duration::from_secs(10),
+        )
+    }
+
+    /// The in-process twin of this fleet: identical base config,
+    /// replica count, server count, and seed derivation. Replaying the
+    /// same batches through it must yield bit-identical outcomes.
+    #[must_use]
+    pub fn ground_truth(&self) -> Federation {
+        Federation::new(&self.spec.base, self.spec.replicas, self.spec.servers)
+    }
+
+    /// Shuts the whole fleet down, joining every thread.
+    pub fn shutdown(self) {
+        for replica in self.replicas {
+            replica.shutdown();
+        }
+        self.rendezvous.shutdown();
+    }
+}

@@ -1,0 +1,211 @@
+//! The rendezvous service: the fleet's membership directory.
+//!
+//! Replicas register their serving address under their shard index
+//! ([`NetMessage::RegisterReplica`]); each registration bumps the
+//! membership epoch. Clients fetch the `(index, addr)` map plus its
+//! epoch ([`NetMessage::FetchMap`]/[`NetMessage::MapReply`]) and poll
+//! until the expected fleet size appears — the networked stand-in for
+//! the in-process cluster's membership snapshot.
+//!
+//! The service is deliberately dumb: no health checking, no leases.
+//! A re-registration of the same index overwrites the address (a
+//! replica restarting on a new port) and still bumps the epoch, so
+//! clients can detect the change.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+
+use crate::proto::NetMessage;
+use crate::serve::{ServerCore, Service, ServiceReply, ERR_UNSUPPORTED};
+
+#[derive(Default)]
+struct Directory {
+    epoch: u64,
+    replicas: BTreeMap<u16, String>,
+}
+
+struct RendezvousService {
+    directory: Mutex<Directory>,
+}
+
+impl Service for RendezvousService {
+    fn handle(&self, msg: NetMessage) -> ServiceReply {
+        match msg {
+            NetMessage::RegisterReplica { replica, addr } => {
+                let mut dir = self.directory.lock().expect("directory poisoned");
+                dir.replicas.insert(replica, addr);
+                dir.epoch += 1;
+                ServiceReply::Message(NetMessage::RegisterAck { epoch: dir.epoch })
+            }
+            NetMessage::FetchMap => {
+                let dir = self.directory.lock().expect("directory poisoned");
+                ServiceReply::Message(NetMessage::MapReply {
+                    epoch: dir.epoch,
+                    replicas: dir
+                        .replicas
+                        .iter()
+                        .map(|(&index, addr)| (index, addr.clone()))
+                        .collect(),
+                })
+            }
+            NetMessage::Ping { nonce } => ServiceReply::Message(NetMessage::Pong { nonce }),
+            NetMessage::Shutdown => ServiceReply::Shutdown,
+            other => ServiceReply::Message(NetMessage::ErrorReply {
+                code: ERR_UNSUPPORTED,
+                detail: format!("rendezvous does not serve {other:?}"),
+            }),
+        }
+    }
+}
+
+/// A running rendezvous server. Dropping it shuts the server down and
+/// joins every thread.
+#[derive(Debug)]
+pub struct Rendezvous {
+    core: ServerCore,
+    service: Arc<RendezvousService>,
+}
+
+impl std::fmt::Debug for RendezvousService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RendezvousService").finish_non_exhaustive()
+    }
+}
+
+impl Rendezvous {
+    /// Binds `bind` (port 0 for ephemeral) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn spawn(bind: &str) -> std::io::Result<Rendezvous> {
+        let service = Arc::new(RendezvousService {
+            directory: Mutex::default(),
+        });
+        let core = ServerCore::spawn(
+            bind,
+            "rendezvous",
+            Arc::<RendezvousService>::clone(&service),
+        )?;
+        Ok(Rendezvous { core, service })
+    }
+
+    /// The bound serving address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.core.addr()
+    }
+
+    /// Current `(epoch, registered replicas)` snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> (u64, Vec<(u16, String)>) {
+        let dir = self.service.directory.lock().expect("directory poisoned");
+        (
+            dir.epoch,
+            dir.replicas
+                .iter()
+                .map(|(&index, addr)| (index, addr.clone()))
+                .collect(),
+        )
+    }
+
+    /// `true` once a stop has been requested (locally or by a remote
+    /// [`NetMessage::Shutdown`] frame) — the binaries poll this.
+    #[must_use]
+    pub fn is_stopped(&self) -> bool {
+        self.core.is_stopped()
+    }
+
+    /// Stops the server and joins its threads.
+    pub fn shutdown(mut self) {
+        self.core.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    fn roundtrip(addr: SocketAddr, msg: &NetMessage) -> NetMessage {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        msg.write_to(&mut stream).expect("send");
+        let mut reader = std::io::BufReader::new(stream);
+        NetMessage::read_from(&mut reader)
+            .expect("well-formed reply")
+            .expect("a reply")
+    }
+
+    #[test]
+    fn register_then_fetch() {
+        let server = Rendezvous::spawn("127.0.0.1:0").expect("bind");
+        let ack = roundtrip(
+            server.addr(),
+            &NetMessage::RegisterReplica {
+                replica: 1,
+                addr: "127.0.0.1:9001".into(),
+            },
+        );
+        assert_eq!(ack, NetMessage::RegisterAck { epoch: 1 });
+        let ack = roundtrip(
+            server.addr(),
+            &NetMessage::RegisterReplica {
+                replica: 0,
+                addr: "127.0.0.1:9000".into(),
+            },
+        );
+        assert_eq!(ack, NetMessage::RegisterAck { epoch: 2 });
+        let map = roundtrip(server.addr(), &NetMessage::FetchMap);
+        assert_eq!(
+            map,
+            NetMessage::MapReply {
+                epoch: 2,
+                replicas: vec![(0, "127.0.0.1:9000".into()), (1, "127.0.0.1:9001".into()),],
+            }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn reregistration_overwrites_and_bumps() {
+        let server = Rendezvous::spawn("127.0.0.1:0").expect("bind");
+        roundtrip(
+            server.addr(),
+            &NetMessage::RegisterReplica {
+                replica: 0,
+                addr: "127.0.0.1:1".into(),
+            },
+        );
+        roundtrip(
+            server.addr(),
+            &NetMessage::RegisterReplica {
+                replica: 0,
+                addr: "127.0.0.1:2".into(),
+            },
+        );
+        assert_eq!(server.snapshot(), (2, vec![(0, "127.0.0.1:2".into())]));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unsupported_messages_get_typed_errors() {
+        let server = Rendezvous::spawn("127.0.0.1:0").expect("bind");
+        let reply = roundtrip(server.addr(), &NetMessage::Drain);
+        assert!(
+            matches!(reply, NetMessage::ErrorReply { code, .. } if code == ERR_UNSUPPORTED),
+            "got {reply:?}"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_shutdown_stops_the_server() {
+        let server = Rendezvous::spawn("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        NetMessage::Shutdown.write_to(&mut stream).expect("send");
+        // Joining all threads proves the accept loop saw the poke.
+        server.shutdown();
+    }
+}

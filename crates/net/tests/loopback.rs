@@ -1,0 +1,268 @@
+//! End-to-end loopback deployment tests: rendezvous + 3 replica
+//! servers + concurrent clients over real `127.0.0.1` TCP, checked
+//! against the in-process [`Federation`] ground truth.
+//!
+//! The headline property: **every `OpOutcome` crossing the wire is
+//! bit-identical to direct in-process `execute_concurrent` on the same
+//! trace.** The recipe making that decidable under true concurrency:
+//!
+//! * deterministic entry policies only (`RoundRobin` per client — no
+//!   RNG draws anywhere in the concurrent path);
+//! * the "intensified Zipf, K-client partition" profile
+//!   (`ClientPartition`): clients never mutate each other's
+//!   namespaces, so per-client outcomes are independent of how the
+//!   servers interleave the two clients' batches;
+//! * a huge update threshold freezes gated filter publishes mid-phase,
+//!   and explicit `Drain` barriers at phase boundaries are the *only*
+//!   points where published state changes — mirrored on the ground
+//!   truth by `Federation::drain_all` at the same boundaries;
+//! * the replicas' background reconcilers run on an hour-long cadence,
+//!   so no background drain can fire mid-phase.
+
+use std::time::Duration;
+
+use ghba_core::{EntryPolicy, GhbaConfig, OpBatch, OpOutcome};
+use ghba_net::{execute_sharded, record_batches, FleetSpec, LoopbackNet};
+use ghba_trace::{ClientPartition, WorkloadProfile};
+
+const REPLICAS: usize = 3;
+const SERVERS: usize = 4;
+const CLIENTS: u32 = 2;
+const SEED: u64 = 0x0E2E;
+const BATCH_WINDOW: usize = 64;
+const OPS_PER_CLIENT: usize = 1_500;
+
+fn base_config() -> GhbaConfig {
+    GhbaConfig::default()
+        .with_filter_capacity(20_000)
+        .with_lru_capacity(0)
+        // Freeze gated publishes: only explicit Drain barriers change
+        // published filter state mid-run.
+        .with_update_threshold(1 << 24)
+}
+
+/// A small-population RES profile so pre-population stays fast.
+fn profile() -> WorkloadProfile {
+    let mut profile = WorkloadProfile::res();
+    profile.total_files = 20_000;
+    profile.active_files = 2_000;
+    profile
+}
+
+fn populate_batches(fleet: &ClientPartition) -> Vec<OpBatch> {
+    let mut batches = Vec::new();
+    let mut policy = EntryPolicy::RoundRobin { start: 0 };
+    let mut batch = OpBatch::new();
+    for path in fleet.initial_paths() {
+        batch.push_create(path);
+        if batch.len() >= 256 {
+            let ops = batch.len();
+            batches.push(std::mem::take(&mut batch).with_entry(policy.advance(ops)));
+        }
+    }
+    if !batch.is_empty() {
+        let ops = batch.len();
+        batches.push(batch.with_entry(policy.advance(ops)));
+    }
+    batches
+}
+
+fn client_batches(fleet: &ClientPartition, k: u32) -> Vec<OpBatch> {
+    record_batches(
+        fleet.client(k).take(OPS_PER_CLIENT),
+        BATCH_WINDOW,
+        EntryPolicy::RoundRobin { start: k as usize },
+    )
+    .collect()
+}
+
+/// The headline equivalence test: populate → barrier → two truly
+/// concurrent clients replaying mixed traffic → barrier → read-only
+/// audit, with every networked outcome demanded bit-identical to the
+/// in-process ground truth.
+#[test]
+fn networked_outcomes_are_bit_identical_to_in_process_execution() {
+    let net = LoopbackNet::launch(FleetSpec::new(REPLICAS, SERVERS, base_config()))
+        .expect("fleet launches");
+    let mut truth = net.ground_truth();
+    let fleet = ClientPartition::new(profile(), CLIENTS, SEED);
+
+    // Phase 1: populate (one client, serial) — outcomes must already
+    // agree batch for batch.
+    let mut client0 = net.client().expect("client connects");
+    for batch in populate_batches(&fleet) {
+        let net_out = client0.execute(&batch).expect("populate batch");
+        let truth_out = execute_sharded(&mut truth, &batch).expect("ground truth");
+        assert_eq!(net_out, truth_out, "populate outcomes diverged");
+    }
+
+    // Barrier: both sides drain + flush at the same point.
+    let acks = client0.drain_all().expect("drain barrier");
+    assert!(acks.iter().all(|&(_, pending)| pending == 0));
+    truth.drain_all();
+
+    // Phase 2: two concurrent clients replay mixed traffic over their
+    // own connections — true thread-level concurrency on the wire.
+    let mut handles = Vec::new();
+    for k in 0..CLIENTS {
+        let batches = client_batches(&fleet, k);
+        let mut client = net.client().expect("client connects");
+        handles.push(std::thread::spawn(move || -> Vec<Vec<OpOutcome>> {
+            batches
+                .iter()
+                .map(|batch| client.execute(batch).expect("client batch"))
+                .collect()
+        }));
+    }
+    let net_phase2: Vec<Vec<Vec<OpOutcome>>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("client thread"))
+        .collect();
+
+    // Ground truth replays the same batches serially, client-major:
+    // write-disjoint namespaces and frozen publishes make each
+    // client's outcomes independent of the interleaving.
+    for k in 0..CLIENTS {
+        for (i, batch) in client_batches(&fleet, k).iter().enumerate() {
+            let truth_out = execute_sharded(&mut truth, batch).expect("ground truth");
+            assert_eq!(
+                net_phase2[k as usize][i], truth_out,
+                "client {k} batch {i}: networked outcome diverged from in-process execution"
+            );
+        }
+    }
+
+    // Barrier again, then a read-only audit over both namespaces.
+    client0.drain_all().expect("drain barrier");
+    truth.drain_all();
+    let mut audit = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 1 });
+    for path in fleet.shared_initial_paths().take(200) {
+        audit.push_lookup(path);
+    }
+    for k in 0..CLIENTS {
+        for path in fleet.client_initial_paths(k).take(100) {
+            audit.push_lookup(path);
+        }
+    }
+    let net_out = client0.execute(&audit).expect("audit");
+    let truth_out = execute_sharded(&mut truth, &audit).expect("ground truth");
+    assert_eq!(net_out, truth_out, "read-only audit diverged");
+    // The audit is not vacuous: populated paths resolve.
+    assert!(
+        net_out.iter().filter_map(OpOutcome::home).count() > 350,
+        "most audited paths must resolve to a home"
+    );
+
+    net.shutdown();
+}
+
+/// The fleet-wide group-probe multicast agrees with ground truth: the
+/// true home's replica claims a published path, and a never-created
+/// path draws no structural positives beyond Bloom false positives'
+/// replica-local noise.
+#[test]
+fn group_probe_multicast_finds_published_homes() {
+    let net =
+        LoopbackNet::launch(FleetSpec::new(REPLICAS, 2, base_config())).expect("fleet launches");
+    let mut client = net.client().expect("client connects");
+    let mut batch = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 0 });
+    for i in 0..64 {
+        batch.push_create(format!("/probe/f{i}"));
+    }
+    let outcomes = client.execute(&batch).expect("creates");
+    client.drain_all().expect("publish");
+
+    for (i, outcome) in outcomes.iter().enumerate() {
+        let key = ghba_core::PathKey::new(format!("/probe/f{i}"));
+        let home = outcome.home().expect("created");
+        let home_replica = ghba_net::replica_of(&key, REPLICAS) as u16;
+        let replies = client
+            .probe_all(i as u64, key.fingerprint())
+            .expect("probe");
+        let (_, positives) = replies
+            .iter()
+            .find(|(replica, _)| *replica == home_replica)
+            .expect("every replica answers");
+        assert!(
+            positives.contains(&home),
+            "path {i}: home replica's published filter must claim its own file"
+        );
+    }
+    net.shutdown();
+}
+
+/// Gossip frames propagate a membership view fleet-wide, visible via
+/// stats on the same (ordered) connections; stale epochs never
+/// regress it.
+#[test]
+fn gossip_epoch_propagates_fleet_wide() {
+    let net =
+        LoopbackNet::launch(FleetSpec::new(REPLICAS, 2, base_config())).expect("fleet launches");
+    let mut client = net.client().expect("client connects");
+    let members: Vec<_> = (0..4).map(ghba_core::MdsId).collect();
+    client.gossip(42, &members).expect("gossip");
+    client.gossip(7, &members).expect("stale gossip");
+    for replica in 0..REPLICAS {
+        let stats = client.stats(replica).expect("stats");
+        assert_eq!(stats.gossip_epoch, 42, "replica {replica}");
+    }
+    net.shutdown();
+}
+
+/// The background reconciler drains pending writes without any client
+/// barrier when given a short cadence.
+#[test]
+fn background_cadence_drains_without_barriers() {
+    let net = LoopbackNet::launch(
+        FleetSpec::new(2, 2, base_config()).with_drain_cadence(Duration::from_millis(5)),
+    )
+    .expect("fleet launches");
+    let mut client = net.client().expect("client connects");
+    let mut batch = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 0 });
+    for i in 0..128 {
+        batch.push_create(format!("/bg/f{i}"));
+    }
+    client.execute(&batch).expect("creates");
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let pending: u64 = (0..2)
+            .map(|r| client.stats(r).expect("stats").pending)
+            .sum();
+        if pending == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "reconcilers never drained {pending} pending writes"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    net.shutdown();
+}
+
+/// Liveness plumbing: pings echo, batches are counted, and a fresh
+/// client can join an already-running fleet through the rendezvous.
+#[test]
+fn fleet_liveness_and_late_joining_clients() {
+    let net =
+        LoopbackNet::launch(FleetSpec::new(REPLICAS, 2, base_config())).expect("fleet launches");
+    let mut first = net.client().expect("client connects");
+    first.ping_all(0x1234).expect("pings echo");
+    let mut batch = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 0 });
+    batch.push_create("/live/a");
+    first.execute(&batch).expect("create");
+
+    let mut late = net.client().expect("late client connects");
+    let mut read = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 0 });
+    read.push_lookup("/live/a");
+    let outcomes = late.execute(&read).expect("lookup");
+    assert!(
+        outcomes[0].home().is_some(),
+        "the late client must see the first client's (undrained) create"
+    );
+    let served: u64 = (0..REPLICAS)
+        .map(|r| late.stats(r).expect("stats").batches_served)
+        .sum();
+    assert!(served >= 2, "replicas count served batches (got {served})");
+    net.shutdown();
+}

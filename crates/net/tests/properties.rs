@@ -1,0 +1,157 @@
+//! Property tests for the wire codec: arbitrary `OpBatch`es (renames
+//! and empty batches included) survive the frame round trip exactly,
+//! and the decoder never panics on malformed bytes — truncations,
+//! corrupt prefixes, random garbage.
+
+use proptest::prelude::*;
+use proptest::test_runner::ProptestConfig;
+
+use ghba_core::{EntryPolicy, MdsId, MetadataOp, OpBatch, OpOutcome, PathKey};
+use ghba_net::proto::NetMessage;
+use ghba_net::wire::{Frame, WireError};
+
+fn arb_policy() -> impl Strategy<Value = EntryPolicy> {
+    prop_oneof![
+        Just(EntryPolicy::Random),
+        (0u64..16).prop_map(|id| EntryPolicy::Pinned(MdsId(id as u16))),
+        (0u64..1_000_000).prop_map(|start| EntryPolicy::RoundRobin {
+            start: start as usize
+        }),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = MetadataOp> {
+    prop_oneof![
+        "[a-z0-9/._ -]{1,32}".prop_map(|p| MetadataOp::Create(PathKey::new(p))),
+        "[a-z0-9/._ -]{1,32}".prop_map(|p| MetadataOp::Lookup(PathKey::new(p))),
+        "[a-z0-9/._ -]{1,32}".prop_map(|p| MetadataOp::Remove(PathKey::new(p))),
+        ("[a-z0-9/]{1,24}", "[a-z0-9/]{1,24}").prop_map(|(from, to)| MetadataOp::Rename {
+            from: PathKey::new(from),
+            to: PathKey::new(to),
+        }),
+    ]
+}
+
+fn arb_batch() -> impl Strategy<Value = (EntryPolicy, Vec<MetadataOp>)> {
+    // 0..n op lists include the empty batch.
+    (arb_policy(), proptest::collection::vec(arb_op(), 0..24))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any batch — any policy, any op mix including renames, empty
+    /// included — crosses the wire bit-exactly.
+    #[test]
+    fn arbitrary_batches_round_trip(input in arb_batch(), seq in proptest::prelude::any::<u64>()) {
+        let (policy, ops) = input;
+        let mut batch = OpBatch::new().with_entry(policy);
+        for op in ops {
+            batch.push(op);
+        }
+        let msg = NetMessage::ExecuteBatch { seq, batch };
+        let frame = msg.to_frame();
+        let (decoded, consumed) = NetMessage::parse_frame(frame.bytes())
+            .expect("well-formed frame must parse");
+        prop_assert_eq!(consumed, frame.bytes().len());
+        prop_assert_eq!(decoded, msg);
+    }
+
+    /// Truncating a valid frame at any point yields a typed error (or,
+    /// for a cut through the length prefix itself, a Truncated length),
+    /// never a panic and never a bogus decode.
+    #[test]
+    fn truncations_fail_typed(input in arb_batch(), cut in proptest::prelude::any::<u64>()) {
+        let (policy, ops) = input;
+        let mut batch = OpBatch::new().with_entry(policy);
+        for op in ops {
+            batch.push(op);
+        }
+        let frame = NetMessage::ExecuteBatch { seq: 1, batch }.to_frame();
+        let bytes = frame.bytes();
+        let cut = (cut as usize) % bytes.len();
+        prop_assert!(
+            NetMessage::parse_frame(&bytes[..cut]).is_err(),
+            "a frame cut to {cut} of {} bytes must not parse",
+            bytes.len()
+        );
+    }
+
+    /// Random byte prefixes never panic the parser: every outcome is a
+    /// clean `Ok` (an accidental valid frame) or a typed `WireError`.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(proptest::prelude::any::<u8>(), 0..256)) {
+        if let Ok((_, consumed)) = NetMessage::parse_frame(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+        }
+        // The raw frame layer holds the same guarantee.
+        if let Ok((payload, consumed)) = Frame::parse(&bytes) {
+            prop_assert!(consumed <= bytes.len());
+            prop_assert!(payload.len() < consumed);
+        }
+    }
+
+    /// Flipping any single byte of a valid frame never panics the
+    /// parser; flips that land in a fingerprint lane are caught as
+    /// CorruptFingerprint rather than admitted.
+    #[test]
+    fn single_byte_corruption_never_panics(input in arb_batch(), flip in proptest::prelude::any::<u64>()) {
+        let (policy, ops) = input;
+        let mut batch = OpBatch::new().with_entry(policy);
+        for op in ops {
+            batch.push(op);
+        }
+        let frame = NetMessage::ExecuteBatch { seq: 2, batch }.to_frame();
+        let mut bytes = frame.bytes().to_vec();
+        let index = (flip as usize) % bytes.len();
+        bytes[index] ^= 1 << (flip % 8);
+        let _ = NetMessage::parse_frame(&bytes);
+    }
+
+    /// Outcome replies round trip too — every OpOutcome shape.
+    #[test]
+    fn outcome_replies_round_trip(homes in proptest::collection::vec(proptest::prelude::any::<bool>(), 0..16)) {
+        let outcomes: Vec<OpOutcome> = homes
+            .iter()
+            .enumerate()
+            .map(|(i, &present)| match i % 3 {
+                0 => OpOutcome::Created {
+                    home: MdsId(i as u16),
+                },
+                1 => OpOutcome::Removed {
+                    home: present.then_some(MdsId(i as u16)),
+                },
+                _ => OpOutcome::Renamed {
+                    old_home: present.then_some(MdsId(0)),
+                    new_home: present.then_some(MdsId(1)),
+                },
+            })
+            .collect();
+        let msg = NetMessage::BatchReply { seq: 9, outcomes };
+        let (decoded, _) = NetMessage::parse_frame(msg.to_frame().bytes()).expect("parses");
+        prop_assert_eq!(decoded, msg);
+    }
+}
+
+/// Deterministic corruption coverage on top of the random sweeps: a
+/// tampered fingerprint lane is always rejected as CorruptFingerprint.
+#[test]
+fn tampered_fingerprint_lane_is_always_caught() {
+    let mut batch = OpBatch::new();
+    batch.push_create("/exact/path");
+    let mut payload = NetMessage::ExecuteBatch { seq: 0, batch }.encode();
+    // The create's fingerprint occupies the final 16 bytes of the
+    // payload; flip one bit in each lane byte and demand rejection.
+    let len = payload.len();
+    for i in (len - 16)..len {
+        payload[i] ^= 0x80;
+        let err = NetMessage::decode(&payload).expect_err("corrupt lane must fail");
+        assert!(
+            matches!(err, WireError::CorruptFingerprint { ref path } if path == "/exact/path"),
+            "byte {i}: got {err}"
+        );
+        payload[i] ^= 0x80;
+    }
+    // Restored, it decodes again.
+    assert!(NetMessage::decode(&payload).is_ok());
+}

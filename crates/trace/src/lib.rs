@@ -14,6 +14,9 @@
 //! * [`intensify`] / [`IntensifiedTrace`] — the paper's spatial+temporal
 //!   scale-up: TIF concurrent subtraces with disjoint namespaces, users,
 //!   and hosts, merged in timestamp order;
+//! * [`ClientPartition`] — the "intensified Zipf, K-client partition"
+//!   profile: per-client streams for a networked load-generator fleet,
+//!   write-disjoint but overlapping on the shared Zipf-hot head;
 //! * [`Namespace`], [`Zipf`], [`LocalityStack`] — the building blocks;
 //! * [`TraceRecord`], [`MetaOp`], [`TraceStats`] — the replayable unit and
 //!   its aggregate statistics.
@@ -25,6 +28,7 @@ mod generator;
 mod intensify;
 pub mod io;
 mod namespace;
+mod partition;
 mod profiles;
 mod record;
 mod zipf;
@@ -32,6 +36,7 @@ mod zipf;
 pub use generator::WorkloadGenerator;
 pub use intensify::{intensify, IntensifiedTrace};
 pub use namespace::Namespace;
+pub use partition::{ClientPartition, ClientWorkload, DEFAULT_SHARED_READ_RATIO};
 pub use profiles::{OpMix, WorkloadProfile};
 pub use record::{MetaOp, TraceRecord, TraceStats};
 pub use zipf::{LocalityStack, Zipf};

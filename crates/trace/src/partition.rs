@@ -1,0 +1,337 @@
+//! The "intensified Zipf, K-client partition" profile: per-client
+//! workload streams for a networked load-generator fleet.
+//!
+//! [`intensify`](crate::intensify) merges TIF subtraces into **one**
+//! stream — right for a single replay driver, wrong for a fleet of K
+//! independent clients hammering the same cluster over connections of
+//! their own. A fleet needs per-client streams that are:
+//!
+//! * **write-disjoint** — no two clients ever mutate the same pathname,
+//!   so replies stay deterministic regardless of how the server
+//!   interleaves concurrent batches (the property the loopback
+//!   end-to-end test leans on);
+//! * **read-overlapping** — all clients hammer the *same* Zipf-hot head
+//!   of a shared namespace, because metadata lookup traffic in the wild
+//!   converges on the same hot files no matter which client asks.
+//!
+//! [`ClientPartition`] realizes both: client `k` replays TIF subtrace
+//! `k + 1` (namespace `/t{k+1}`, private by the TIF construction — all
+//! its creates, unlinks, and renames stay there), and a configurable
+//! fraction of its *reads* is redirected onto the shared subtrace-0
+//! namespace through an independently seeded Zipf/locality sampler —
+//! same hot head, different arrival order, per client. Redirection
+//! keeps the private record's timestamp, user, and host, so per-client
+//! timing stays the profile's exponential inter-arrival process and
+//! timestamps stay monotone.
+//!
+//! Replays pre-populate [`initial_paths`](ClientPartition::initial_paths):
+//! the shared active set plus every client's private active set.
+
+use ghba_simnet::DetRng;
+
+use crate::generator::WorkloadGenerator;
+use crate::profiles::WorkloadProfile;
+use crate::record::TraceRecord;
+
+/// Mixing salt separating the shared-read sampler streams from the
+/// private subtrace streams (and from each other, per client).
+const SHARED_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Default fraction of each client's reads redirected onto the shared
+/// hot namespace.
+pub const DEFAULT_SHARED_READ_RATIO: f64 = 0.6;
+
+/// The K-client partition of an intensified Zipf workload (see the
+/// module docs).
+///
+/// # Examples
+///
+/// ```
+/// use ghba_trace::{ClientPartition, WorkloadProfile};
+///
+/// let fleet = ClientPartition::new(WorkloadProfile::res(), 4, 7);
+/// let records: Vec<_> = fleet.client(0).take(100).collect();
+/// assert_eq!(records.len(), 100);
+/// // Mutations stay in client 0's private namespace.
+/// assert!(records
+///     .iter()
+///     .filter(|r| r.op.is_mutation())
+///     .all(|r| r.path.starts_with("/t1/")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientPartition {
+    profile: WorkloadProfile,
+    clients: u32,
+    seed: u64,
+    shared_read_ratio: f64,
+    /// Subtrace-0 reference generator: never iterated, only consulted
+    /// for the shared namespace layout (`path_of`, population size).
+    shared_ref: WorkloadGenerator,
+}
+
+impl ClientPartition {
+    /// Builds the partition for `clients` concurrent clients of
+    /// `profile`, seeded by `seed`, at the
+    /// [`DEFAULT_SHARED_READ_RATIO`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients == 0`.
+    #[must_use]
+    pub fn new(profile: WorkloadProfile, clients: u32, seed: u64) -> Self {
+        assert!(clients > 0, "a fleet needs at least one client");
+        let shared_ref = WorkloadGenerator::subtrace(profile.clone(), seed, 0);
+        ClientPartition {
+            profile,
+            clients,
+            seed,
+            shared_read_ratio: DEFAULT_SHARED_READ_RATIO,
+            shared_ref,
+        }
+    }
+
+    /// Sets the fraction of each client's reads redirected onto the
+    /// shared hot namespace (builder style). `0.0` makes the streams
+    /// fully disjoint; `1.0` makes every read shared.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= ratio <= 1.0`.
+    #[must_use]
+    pub fn with_shared_read_ratio(mut self, ratio: f64) -> Self {
+        assert!((0.0..=1.0).contains(&ratio), "ratio must be in [0, 1]");
+        self.shared_read_ratio = ratio;
+        self
+    }
+
+    /// Number of clients in the fleet.
+    #[must_use]
+    pub fn clients(&self) -> u32 {
+        self.clients
+    }
+
+    /// The stream client `k` replays. Deterministic: the same
+    /// `(profile, clients, seed, k)` always yields the same records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a client index.
+    #[must_use]
+    pub fn client(&self, k: u32) -> ClientWorkload {
+        assert!(k < self.clients, "client {k} outside the fleet");
+        ClientWorkload {
+            client: k,
+            private: WorkloadGenerator::subtrace(self.profile.clone(), self.seed, k + 1),
+            shared: WorkloadGenerator::subtrace(
+                self.profile.clone(),
+                self.seed ^ SHARED_STREAM_SALT.wrapping_mul(u64::from(k) + 1),
+                0,
+            ),
+            mix_rng: DetRng::new(self.seed ^ SHARED_STREAM_SALT).fork(u64::from(k)),
+            shared_read_ratio: self.shared_read_ratio,
+        }
+    }
+
+    /// Files of the shared namespace assumed to exist before replay
+    /// (its active set — the Zipf-hot head is the low indices).
+    pub fn shared_initial_paths(&self) -> impl Iterator<Item = String> + '_ {
+        (0..self.shared_ref.initial_population()).map(|i| self.shared_ref.path_of(i))
+    }
+
+    /// Files of client `k`'s private namespace assumed to exist before
+    /// replay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a client index.
+    pub fn client_initial_paths(&self, k: u32) -> impl Iterator<Item = String> {
+        assert!(k < self.clients, "client {k} outside the fleet");
+        let private = WorkloadGenerator::subtrace(self.profile.clone(), self.seed, k + 1);
+        (0..private.initial_population()).map(move |i| private.path_of(i))
+    }
+
+    /// The full pre-population set: the shared active set plus every
+    /// client's private active set.
+    pub fn initial_paths(&self) -> impl Iterator<Item = String> + '_ {
+        let clients = 0..self.clients;
+        self.shared_initial_paths()
+            .chain(clients.flat_map(|k| self.client_initial_paths(k)))
+    }
+}
+
+/// One client's record stream (created by [`ClientPartition::client`]).
+///
+/// Infinite; bound it with [`Iterator::take`]. Every emitted record
+/// carries `subtrace == k` (the client index), mutations target only
+/// the client's private namespace, and redirected reads target the
+/// shared namespace under the private stream's timing.
+#[derive(Debug, Clone)]
+pub struct ClientWorkload {
+    client: u32,
+    private: WorkloadGenerator,
+    shared: WorkloadGenerator,
+    mix_rng: DetRng,
+    shared_read_ratio: f64,
+}
+
+impl ClientWorkload {
+    /// The client index this stream belongs to.
+    #[must_use]
+    pub fn client(&self) -> u32 {
+        self.client
+    }
+
+    /// Pulls the next *read* record off the shared sampler, discarding
+    /// the mutations it interleaves (those belong to no client).
+    fn next_shared_read(&mut self) -> TraceRecord {
+        loop {
+            let record = self
+                .shared
+                .next()
+                .expect("workload generators are infinite");
+            if record.op.is_read() {
+                return record;
+            }
+        }
+    }
+}
+
+impl Iterator for ClientWorkload {
+    type Item = TraceRecord;
+
+    fn next(&mut self) -> Option<TraceRecord> {
+        let mut record = self
+            .private
+            .next()
+            .expect("workload generators are infinite");
+        if record.op.is_read() && self.mix_rng.next_f64() < self.shared_read_ratio {
+            // Redirect onto the shared hot namespace: take the shared
+            // sample's op and path, keep the private record's timing
+            // and issuing entities.
+            let shared = self.next_shared_read();
+            record.op = shared.op;
+            record.path = shared.path;
+            record.rename_to = None;
+        }
+        record.subtrace = self.client;
+        Some(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn fleet() -> ClientPartition {
+        ClientPartition::new(WorkloadProfile::res(), 3, 11)
+    }
+
+    #[test]
+    fn deterministic_per_client() {
+        let a: Vec<_> = fleet().client(1).take(500).collect();
+        let b: Vec<_> = fleet().client(1).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutations_are_write_disjoint_across_clients() {
+        let fleet = fleet();
+        let mut write_sets: Vec<HashSet<String>> = Vec::new();
+        for k in 0..fleet.clients() {
+            let mut writes = HashSet::new();
+            for r in fleet.client(k).take(5_000) {
+                if r.op.is_mutation() {
+                    assert!(
+                        r.path.starts_with(&format!("/t{}/", k + 1)),
+                        "client {k} mutated outside its namespace: {}",
+                        r.path
+                    );
+                    writes.insert(r.path.clone());
+                    if let Some(to) = &r.rename_to {
+                        assert!(to.starts_with(&format!("/t{}/", k + 1)));
+                        writes.insert(to.clone());
+                    }
+                }
+            }
+            for earlier in &write_sets {
+                assert!(earlier.is_disjoint(&writes), "write sets overlap");
+            }
+            write_sets.push(writes);
+        }
+    }
+
+    #[test]
+    fn hot_read_sets_overlap_on_the_shared_namespace() {
+        let fleet = fleet();
+        let reads = |k: u32| -> Vec<String> {
+            fleet
+                .client(k)
+                .take(5_000)
+                .filter(|r| r.op.is_read() && r.path.starts_with("/t0/"))
+                .map(|r| r.path)
+                .collect()
+        };
+        let a: HashSet<String> = reads(0).into_iter().collect();
+        let b = reads(1);
+        assert!(!a.is_empty() && !b.is_empty(), "no shared reads drawn");
+        // Zipf concentration: weighted by accesses, the majority of
+        // client 1's shared reads land on paths client 0 also read
+        // (tail paths are singletons and each client's recency stack
+        // re-reads its own recent picks, but the hot head dominates).
+        let hits = b.iter().filter(|p| a.contains(*p)).count();
+        assert!(
+            hits * 2 > b.len(),
+            "hot sets barely overlap: {hits} of {} accesses",
+            b.len()
+        );
+    }
+
+    #[test]
+    fn shared_streams_differ_across_clients() {
+        let fleet = fleet();
+        let shared = |k: u32| -> Vec<String> {
+            fleet
+                .client(k)
+                .take(2_000)
+                .filter(|r| r.path.starts_with("/t0/"))
+                .map(|r| r.path)
+                .collect()
+        };
+        assert_ne!(shared(0), shared(1), "clients replay identical orders");
+    }
+
+    #[test]
+    fn timestamps_stay_monotone_and_records_are_stamped() {
+        let records: Vec<_> = fleet().client(2).take(2_000).collect();
+        assert!(records.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        assert!(records.iter().all(|r| r.subtrace == 2));
+    }
+
+    #[test]
+    fn zero_ratio_is_fully_private() {
+        let fleet = ClientPartition::new(WorkloadProfile::ins(), 2, 5).with_shared_read_ratio(0.0);
+        assert!(fleet
+            .client(0)
+            .take(2_000)
+            .all(|r| r.path.starts_with("/t1/")));
+    }
+
+    #[test]
+    fn initial_paths_cover_shared_and_private() {
+        let fleet = fleet();
+        let paths: Vec<String> = fleet.initial_paths().collect();
+        let expected = u64::from(fleet.clients() + 1) * WorkloadProfile::res().active_files;
+        assert_eq!(paths.len() as u64, expected);
+        assert!(paths.iter().any(|p| p.starts_with("/t0/")));
+        assert!(paths.iter().any(|p| p.starts_with("/t3/")));
+        let distinct: HashSet<_> = paths.iter().collect();
+        assert_eq!(distinct.len(), paths.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn zero_clients_panics() {
+        let _ = ClientPartition::new(WorkloadProfile::hp(), 0, 1);
+    }
+}
