@@ -19,10 +19,10 @@ use ghba_bloom::{
 use ghba_core::exec::{resolve_unique, run_chunked};
 use ghba_core::{
     execute_vectored, execute_vectored_concurrent, published_shape, CellWriter, ClusterStats,
-    ConcurrentScheme, ConcurrentStats, EntryPolicy, GhbaConfig, MaskCacheLifecycle, Mds, MdsId,
-    MembershipEpoch, NamespaceShards, OpBatch, OpOutcome, OverlayEntry, PathKey, QueryLevel,
-    QueryOutcome, ReconfigReport, SlabOp, SlabSpare, SnapshotCell, UpdateReport, VectoredScheme,
-    WriteKind,
+    ConcurrentScheme, ConcurrentStats, EntryPolicy, GhbaConfig, GroupId, LoadFold, LoadReport,
+    MaskCacheLifecycle, MaskCacheStats, Mds, MdsId, MembershipEpoch, NamespaceShards, OpBatch,
+    OpOutcome, OverlayEntry, PathKey, QueryLevel, QueryOutcome, ReconfigReport, SlabOp, SlabSpare,
+    SnapshotCell, UpdateReport, VectoredScheme, WriteKind,
 };
 use ghba_simnet::DetRng;
 
@@ -237,6 +237,9 @@ pub struct HbaCluster {
     /// Wait-free statistics recorders for `&self` lookups and commits,
     /// folded into `stats` at the next drain.
     cstats: ConcurrentStats,
+    /// Owner-side fold of the load windows (pseudo-group 0 — HBA has no
+    /// groups; see [`HbaCluster::load_report`]).
+    load_fold: Mutex<LoadFold>,
 }
 
 impl Clone for HbaCluster {
@@ -261,6 +264,7 @@ impl Clone for HbaCluster {
             scratch: self.scratch.clone(),
             shards: NamespaceShards::new(self.config.write_shards),
             cstats: ConcurrentStats::new(),
+            load_fold: Mutex::new(LoadFold::new()),
         }
     }
 }
@@ -292,6 +296,7 @@ impl HbaCluster {
             scratch: Vec::new(),
             shards,
             cstats: ConcurrentStats::new(),
+            load_fold: Mutex::new(LoadFold::new()),
         };
         for _ in 0..servers {
             cluster.add_mds();
@@ -351,11 +356,29 @@ impl HbaCluster {
         publish_edit(&mut writer, work, ops);
     }
 
-    /// `(hits, misses)` of the L2 mask cache over the cluster's lifetime
-    /// (same accounting as `GhbaCluster::mask_cache_stats`).
+    /// L2 mask-cache accounting, both scopes (same unified accessor
+    /// shape as `GhbaCluster::mask_cache_stats`).
     #[must_use]
-    pub fn mask_cache_stats(&self) -> (u64, u64) {
-        self.mask_cache.life.stats()
+    pub fn mask_cache_stats(&self) -> MaskCacheStats {
+        MaskCacheStats::assemble(
+            self.mask_cache.life.stats(),
+            (self.stats.mask_cache_hits, self.stats.mask_cache_misses),
+            self.cstats.pending_mask(),
+        )
+    }
+
+    /// The HBA mirror of `GhbaCluster::load_report`: HBA has no groups,
+    /// so every server reports under the pseudo-group `GroupId(0)` —
+    /// one row whose share is 1.0 by construction, with real member
+    /// imbalance, escalation, false-hit, and mask rates. Lets the same
+    /// telemetry consumers (dashboards, the adaptive bench's baseline
+    /// arm) read both systems through one type.
+    #[must_use]
+    pub fn load_report(&self) -> LoadReport {
+        let shape = vec![(GroupId(0), self.server_ids())];
+        let mut fold = self.load_fold.lock().expect("load fold poisoned");
+        let fresh = fold.close_window(&self.cstats);
+        fold.report(self.shared.pin().epoch, fresh, &shape)
     }
 
     /// Clears statistics (draining pending concurrent state first, so
@@ -734,8 +757,16 @@ impl HbaCluster {
         );
         let mut outcomes = Vec::with_capacity(total);
         for (qi, &slot) in assign.iter().enumerate() {
-            let fp = queries[qi].2;
-            outcomes.push(self.apply_verdict(&fp, resolved[slot as usize].clone()));
+            let (entry, _, fp) = queries[qi];
+            let verdict = resolved[slot as usize].clone();
+            // Load mirror: one record per occurrence, pseudo-group 0.
+            self.cstats.record_group_walk(
+                GroupId(0),
+                entry,
+                verdict.outcome.level,
+                u64::from(verdict.l1_false) + u64::from(verdict.l2_false),
+            );
+            outcomes.push(self.apply_verdict(&fp, verdict));
         }
         self.scratch = arenas;
         outcomes
@@ -765,10 +796,12 @@ impl HbaCluster {
                 Ok(_) => {
                     self.mask_cache.life.hit();
                     self.stats.mask_cache_hits += 1;
+                    self.cstats.record_group_mask(GroupId(0), true);
                 }
                 Err(at) => {
                     self.mask_cache.life.miss();
                     self.stats.mask_cache_misses += 1;
+                    self.cstats.record_group_mask(GroupId(0), false);
                     let mask = snap.slab.mask_all_except(entry);
                     self.mask_cache.l2.insert(at, (entry, mask));
                 }
@@ -1048,6 +1081,7 @@ impl HbaCluster {
         let model = self.config.latency.clone();
         let mut latency = model.dispatch;
         let mut messages = 0u32;
+        let mut group_falses = 0u64;
 
         // L1: the entry server's LRU array.
         let l1_hit = self
@@ -1061,6 +1095,12 @@ impl HbaCluster {
                 if let Some(home) =
                     self.verify_at(candidate, entry, path, &mut latency, &mut messages)
                 {
+                    self.cstats.record_group_walk(
+                        GroupId(0),
+                        entry,
+                        QueryLevel::L1Lru,
+                        group_falses,
+                    );
                     return self.finish(
                         entry,
                         fp,
@@ -1072,6 +1112,7 @@ impl HbaCluster {
                     );
                 }
                 self.stats.counters.incr("l1_false_hits");
+                group_falses += 1;
             }
         }
 
@@ -1092,6 +1133,12 @@ impl HbaCluster {
             if let Some(home) =
                 self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
             {
+                self.cstats.record_group_walk(
+                    GroupId(0),
+                    entry,
+                    QueryLevel::L2Segment,
+                    group_falses,
+                );
                 return self.finish(
                     entry,
                     fp,
@@ -1103,6 +1150,7 @@ impl HbaCluster {
                 );
             }
             self.stats.counters.incr("l2_false_hits");
+            group_falses += 1;
         }
 
         // Fallback: system-wide broadcast (authoritative).
@@ -1120,6 +1168,15 @@ impl HbaCluster {
             }
         }
         latency += verify_cost;
+        self.cstats.record_group_walk(
+            GroupId(0),
+            entry,
+            match found {
+                Some(_) => QueryLevel::L4Global,
+                None => QueryLevel::Nonexistent,
+            },
+            group_falses,
+        );
         match found {
             Some(home) => self.finish(
                 entry,
@@ -1251,6 +1308,10 @@ impl HbaCluster {
         let outcome = self.readonly_outcome(epoch, entry, home, level, latency, messages);
         self.cstats.record_lookup(outcome.level, outcome.latency);
         self.cstats.record_false_hits(falses[0], falses[1], 0, 0);
+        // Load mirror: HBA has no groups — everything reports under the
+        // pseudo-group 0 (see `load_report`).
+        self.cstats
+            .record_group_walk(GroupId(0), entry, outcome.level, falses.iter().sum());
         outcome
     }
 
@@ -1310,9 +1371,11 @@ impl HbaCluster {
         let held = self.mdss.len() - 1;
         if let std::collections::hash_map::Entry::Vacant(slot) = memo.entry(entry) {
             self.cstats.record_mask(false);
+            self.cstats.record_group_mask(GroupId(0), false);
             slot.insert(snap.slab.mask_all_except(entry));
         } else {
             self.cstats.record_mask(true);
+            self.cstats.record_group_mask(GroupId(0), true);
         }
         let mask = memo.get(&entry).expect("just ensured");
         let hit = snap.slab.query_fp_masked(fp, mask);

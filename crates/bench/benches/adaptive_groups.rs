@@ -1,0 +1,485 @@
+//! The PR-9 headline benchmark: the online M* controller vs a static
+//! group size on the diurnal + flash-crowd load curve.
+//!
+//! **The question** (paper fig6/fig7, used *online*): an operator sized
+//! a 48-server cluster with groups of 16 — far above M* ≈ √48 ≈ 7 — and
+//! the traffic has a day shape: a night trough, a morning ramp, a
+//! working-day plateau, a 6× flash crowd focused on one region, and a
+//! cooldown whose skew migrates to a second region
+//! ([`LoadCurve::diurnal_flash`]). The *adaptive* run gives the cluster
+//! the [`GroupController`] (PaperModel target), ticking once per
+//! traffic window on the cluster's own [`load_report`] telemetry and
+//! actuating through the lock-free [`ReconfigHandle`]; the *static* run
+//! serves the identical deterministic workload with the shape frozen.
+//!
+//! **Throughput metric.** Wall-clock per-lookup cost in this codebase
+//! barely depends on group size (slab probes are O(N) bit-ops either
+//! way); what group size really moves is how much *simulated service
+//! time* each walk pins on each server — the paper's own cost model.
+//! So each completed lookup is charged to servers from the cluster's
+//! [`LatencyModel`] and the observed resolution level:
+//!
+//! * the entry server pays its own L2 array probe
+//!   (`array_probe(held+1, spill)` — the walk's exact formula), plus
+//!   the multicast fan-out/aggregation overhead
+//!   (`multicast_per_member × (M−1)`) when the walk escalates to L3
+//!   (× N−M more at L4);
+//! * every *other member* of the entry's group pays its own array
+//!   probe for each L3 walk entering the group (each L4 walk charges
+//!   all remaining servers too).
+//!
+//! A window's simulated makespan is the busiest server's total — the
+//! bottleneck that gates a saturated cluster — and throughput is
+//! lookups per simulated second, `Σops / Σmakespan`. Oversized groups
+//! lose because every L3 walk drags 15 peers through probes and the
+//! coordinator through 15 fan-out slots; the controller's splits cut
+//! both on exactly the groups carrying the heat. Splitting *below* M*
+//! would backfire (each member holds more filters, probes lengthen,
+//! and past the √N resident budget they hit disk) — which is why the
+//! handle's split floor and the M* merge cap exist. The metric is
+//! deterministic: the workload is seeded per (window, index), windows
+//! are barriers, so both runs and the ratio reproduce bit-identically
+//! on any host and any thread count.
+//!
+//! **Wall-clock honesty.** Completions are also bucketed into 25 ms
+//! wall windows; a complete bucket with zero completions is a stall.
+//! The adaptive run must never stall: every reconfiguration publishes
+//! through the snapshot cell while readers keep resolving (and every
+//! lookup's answer is asserted against ground truth *during* the
+//! churn). Wall ops/s is printed for context only — on a 1-core host
+//! readers time-slice one CPU and the number says nothing about group
+//! size.
+//!
+//! **Mask-cache bar.** After a warmup, every report window must show a
+//! mask-consult hit rate ≥ 0.99 on every group the controller never
+//! touched: per-group epochs keep untouched groups' mask caches warm
+//! through other groups' splits.
+//!
+//! On a full-length run (`GHBA_ADAPT_WINDOWS` ≥ 50, the default 100)
+//! the acceptance bars are asserted: adaptive/static simulated
+//! throughput ≥ 1.3×, zero adaptive stall windows, ≥ 2 accepted
+//! controller actions (the flash split and the migrated cooldown
+//! split), and the untouched-group mask bar. Short runs
+//! (`CRITERION_MEASURE_MS` smoke) only prove the harness executes.
+//! `GHBA_ADAPT_OPS` scales per-window traffic, `GHBA_ADAPT_FILES` the
+//! namespace, `GHBA_ADAPT_READERS` the reader pool.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use ghba::core::{
+    AdaptAction, ControllerConfig, GhbaCluster, GhbaConfig, GroupController, GroupId, LoadReport,
+    MdsId, QueryLevel,
+};
+use ghba::simnet::DetRng;
+use ghba::trace::LoadCurve;
+
+/// Wall-clock bucket for stall detection.
+const WINDOW_MS: u64 = 25;
+/// Servers in the cluster.
+const SERVERS: u16 = 48;
+/// The static (oversized) group size; M* for 48 servers is ≈ 7.
+const MAX_GROUP: usize = 16;
+/// Report windows to skip before asserting the mask bar (cold caches).
+const MASK_WARMUP: u64 = 8;
+
+fn env_size(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn path_of(i: u64) -> String {
+    format!("/adapt/d{}/f{i}", i % 113)
+}
+
+/// Per-server simulated service costs under one routing shape, rebuilt
+/// after every controller tick from the cluster's own latency model
+/// and per-member held counts.
+struct ShapeCosts {
+    /// Group index by entry server.
+    group_of: Vec<usize>,
+    /// Member ids per group.
+    groups: Vec<Vec<u16>>,
+    /// `array_probe(held+1, held−resident)` per server, in ns.
+    probe_ns: Vec<u64>,
+    /// L3 coordinator overhead per group: `multicast_per_member × (M−1)`, ns.
+    fanout_l3_ns: Vec<u64>,
+    /// Extra L4 coordinator overhead per group: `multicast_per_member × (N−M)`, ns.
+    fanout_l4_ns: Vec<u64>,
+}
+
+impl ShapeCosts {
+    fn snapshot(cluster: &GhbaCluster) -> ShapeCosts {
+        let model = &cluster.config().latency;
+        let handle = cluster.reconfig_handle();
+        let n = usize::from(SERVERS);
+        let mut costs = ShapeCosts {
+            group_of: vec![0; n],
+            groups: Vec::new(),
+            probe_ns: vec![0; n],
+            fanout_l3_ns: Vec::new(),
+            fanout_l4_ns: Vec::new(),
+        };
+        for gid in handle.group_ids() {
+            let members = handle.group_members(gid).unwrap_or_default();
+            let g = costs.groups.len();
+            for &m in &members {
+                let held = cluster.replicas_held_by(m).len();
+                let resident = cluster.mds(m).expect("live member").resident_replicas(held);
+                costs.group_of[usize::from(m.0)] = g;
+                costs.probe_ns[usize::from(m.0)] =
+                    model.array_probe(held + 1, held - resident).as_nanos() as u64;
+            }
+            let fan = |peers: usize| {
+                (model.multicast_per_member * u32::try_from(peers).unwrap_or(u32::MAX)).as_nanos()
+                    as u64
+            };
+            costs
+                .fanout_l3_ns
+                .push(fan(members.len().saturating_sub(1)));
+            costs.fanout_l4_ns.push(fan(n - members.len()));
+            costs.groups.push(members.iter().map(|m| m.0).collect());
+        }
+        costs
+    }
+
+    /// Charges one completed lookup to the per-server busy table.
+    fn charge(&self, entry: u16, level: QueryLevel, busy_ns: &mut [u64]) {
+        let g = self.group_of[usize::from(entry)];
+        let (l3, l4) = match level {
+            QueryLevel::L1Lru | QueryLevel::L2Segment => (false, false),
+            QueryLevel::L3Group => (true, false),
+            QueryLevel::L4Global | QueryLevel::Nonexistent => (true, true),
+        };
+        let mut coordinator = self.probe_ns[usize::from(entry)];
+        if l3 {
+            coordinator += self.fanout_l3_ns[g];
+            for &m in &self.groups[g] {
+                if m != entry {
+                    busy_ns[usize::from(m)] += self.probe_ns[usize::from(m)];
+                }
+            }
+        }
+        if l4 {
+            coordinator += self.fanout_l4_ns[g];
+            for (s, probe) in self.probe_ns.iter().enumerate() {
+                if self.group_of[s] != g {
+                    busy_ns[s] += probe;
+                }
+            }
+        }
+        busy_ns[usize::from(entry)] += coordinator;
+    }
+}
+
+/// What one run measured.
+struct Run {
+    lookups: u64,
+    /// Σ of per-window bottleneck-server busy time (simulated).
+    makespan_ns: u64,
+    /// Simulated busy time per phase (name, Σmakespan, lookups).
+    phases: Vec<(&'static str, u64, u64)>,
+    /// Complete 25 ms wall windows with zero completions.
+    stalls: u64,
+    wall: Duration,
+    /// Accepted controller actions (window, action).
+    actions: Vec<(u64, AdaptAction)>,
+    /// One load report per controller tick (adaptive runs only).
+    reports: Vec<LoadReport>,
+    final_groups: usize,
+}
+
+impl Run {
+    /// Lookups per *simulated* second — the host-independent headline.
+    fn sim_throughput(&self) -> f64 {
+        self.lookups as f64 / (self.makespan_ns as f64 / 1e9).max(1e-12)
+    }
+}
+
+/// Serves the full curve once. `controller` drives the adaptive run;
+/// `None` freezes the static shape. Everything else — files, truths,
+/// seeds, window schedule — is identical between the two.
+#[allow(clippy::too_many_arguments)]
+fn serve_curve(
+    cluster: &GhbaCluster,
+    mut controller: Option<GroupController>,
+    curve: &LoadCurve,
+    truths: &[MdsId],
+    region_a: &[u16],
+    region_b: &[u16],
+    windows: u64,
+    base_ops: u64,
+    readers: u64,
+    seed: u64,
+) -> Run {
+    let n = usize::from(SERVERS);
+    let files = truths.len() as u64;
+    let peak_idx = curve
+        .phases()
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.intensity.total_cmp(&b.1.intensity))
+        .map_or(0, |(i, _)| i);
+    let bucket_count = 1 << 16;
+    let buckets: Vec<AtomicU64> = (0..bucket_count).map(|_| AtomicU64::new(0)).collect();
+    let start = Instant::now();
+
+    let mut run = Run {
+        lookups: 0,
+        makespan_ns: 0,
+        phases: curve.phases().iter().map(|p| (p.name, 0, 0)).collect(),
+        stalls: 0,
+        wall: Duration::ZERO,
+        actions: Vec::new(),
+        reports: Vec::new(),
+        final_groups: 0,
+    };
+
+    for w in 0..windows {
+        let costs = ShapeCosts::snapshot(cluster);
+        let t = (w as f64 + 0.5) / windows as f64;
+        let phase = curve.phase_at(t);
+        let phase_idx = curve
+            .phases()
+            .iter()
+            .position(|p| core::ptr::eq(p, phase))
+            .unwrap_or(0);
+        let region: &[u16] = if phase_idx <= peak_idx {
+            region_a
+        } else {
+            region_b
+        };
+        let offered = (base_ops as f64 * phase.intensity).round() as u64;
+        let next = AtomicU64::new(0);
+
+        // One window: readers drain the offered quota, charging
+        // simulated service time locally; the window is a barrier, so
+        // the charge table and the controller never race a walk.
+        let busy = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let (next, costs, buckets) = (&next, &costs, &buckets);
+                    scope.spawn(move || {
+                        let mut busy_ns = vec![0u64; n];
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= offered {
+                                break;
+                            }
+                            let mut rng = DetRng::new(seed ^ (w << 24)).fork(i);
+                            let entry = if rng.chance(phase.hot_focus) {
+                                region[rng.index(region.len())]
+                            } else {
+                                rng.below(u64::from(SERVERS)) as u16
+                            };
+                            let file = rng.below(files);
+                            let outcome = cluster.lookup_concurrent(MdsId(entry), &path_of(file));
+                            assert_eq!(
+                                outcome.home,
+                                Some(truths[file as usize]),
+                                "window {w}: wrong home for file {file} during churn"
+                            );
+                            costs.charge(entry, outcome.level, &mut busy_ns);
+                            let idx = start.elapsed().as_millis() as u64 / WINDOW_MS;
+                            if let Some(bucket) = buckets.get(idx as usize) {
+                                bucket.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        busy_ns
+                    })
+                })
+                .collect();
+            let mut busy = vec![0u64; n];
+            for handle in handles {
+                for (total, part) in busy.iter_mut().zip(handle.join().expect("reader")) {
+                    *total += part;
+                }
+            }
+            busy
+        });
+
+        let makespan = busy.into_iter().max().unwrap_or(0);
+        run.lookups += offered;
+        run.makespan_ns += makespan;
+        run.phases[phase_idx].1 += makespan;
+        run.phases[phase_idx].2 += offered;
+
+        if let Some(controller) = controller.as_mut() {
+            let report = cluster.load_report();
+            let handle = cluster.reconfig_handle();
+            for action in controller.actuate(&report, &handle) {
+                run.actions.push((w, action));
+            }
+            run.reports.push(report);
+        }
+    }
+
+    run.wall = start.elapsed();
+    let complete = (run.wall.as_millis() as u64 / WINDOW_MS) as usize;
+    run.stalls = buckets[..complete.min(buckets.len())]
+        .iter()
+        .filter(|b| b.load(Ordering::Relaxed) == 0)
+        .count() as u64;
+    run.final_groups = cluster.group_count();
+    run
+}
+
+/// Groups alive at the first report that no accepted action ever
+/// named (split origin, merge partner, rebalance target) and that no
+/// split minted mid-run.
+fn untouched_groups(run: &Run) -> Vec<GroupId> {
+    let Some(first) = run.reports.first() else {
+        return Vec::new();
+    };
+    first
+        .groups
+        .iter()
+        .map(|g| g.gid)
+        .filter(|gid| {
+            !run.actions.iter().any(|(_, a)| {
+                let (x, y) = a.touches();
+                x == *gid || y == Some(*gid)
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let windows = env_size(
+        "GHBA_ADAPT_WINDOWS",
+        if env_size("CRITERION_MEASURE_MS", 1_200) >= 600 {
+            100
+        } else {
+            10
+        },
+    );
+    let base_ops = env_size("GHBA_ADAPT_OPS", 1_500);
+    let files = env_size("GHBA_ADAPT_FILES", 6_000);
+    let readers = env_size("GHBA_ADAPT_READERS", 2);
+    let full = windows >= 50;
+    let curve = LoadCurve::diurnal_flash();
+
+    let build = || {
+        let config = GhbaConfig::default()
+            .with_filter_capacity(20_000)
+            .with_lru_capacity(0)
+            .with_max_group_size(MAX_GROUP)
+            .with_seed(0x9AD);
+        let mut cluster = GhbaCluster::with_servers(config, usize::from(SERVERS));
+        ghba::replay::populate(&mut cluster, (0..files).map(path_of));
+        cluster.flush_all_updates();
+        cluster
+    };
+    let template = build();
+    let truths: Vec<MdsId> = (0..files)
+        .map(|i| template.true_home(&path_of(i)).expect("created"))
+        .collect();
+    // Hot regions are *server sets*, frozen before any reshaping: the
+    // flash crowd hits the first group's members, the cooldown skew
+    // the last group's.
+    let handle = template.reconfig_handle();
+    let gids = handle.group_ids();
+    let members = |gid| -> Vec<u16> {
+        handle
+            .group_members(gid)
+            .unwrap_or_default()
+            .iter()
+            .map(|m| m.0)
+            .collect()
+    };
+    let region_a = members(*gids.first().expect("grouped"));
+    let region_b = members(*gids.last().expect("grouped"));
+    drop(handle);
+    drop(template);
+
+    let serve = |controller: Option<GroupController>| {
+        let cluster = build();
+        serve_curve(
+            &cluster,
+            controller,
+            &curve,
+            &truths,
+            &region_a,
+            &region_b,
+            windows,
+            base_ops,
+            readers,
+            0x000A_DA97,
+        )
+    };
+    let stat = serve(None);
+    let adaptive = serve(Some(GroupController::new(ControllerConfig::default())));
+    let ratio = adaptive.sim_throughput() / stat.sim_throughput().max(1e-12);
+
+    for (mode, run) in [("static", &stat), ("adaptive", &adaptive)] {
+        eprintln!(
+            "adaptive_groups/{mode}: {:.0} lookups/sim-s over {} lookups \
+             ({:.1} ms simulated, {} groups at end, {} actions, {} stall windows, wall {:?})",
+            run.sim_throughput(),
+            run.lookups,
+            run.makespan_ns as f64 / 1e6,
+            run.final_groups,
+            run.actions.len(),
+            run.stalls,
+            run.wall,
+        );
+        for (name, makespan, lookups) in &run.phases {
+            eprintln!(
+                "adaptive_groups/{mode}/{name}: {lookups} lookups, {:.2} ms simulated makespan",
+                *makespan as f64 / 1e6
+            );
+        }
+    }
+    for (w, action) in &adaptive.actions {
+        eprintln!("adaptive_groups/adaptive: window {w}: accepted {action:?}");
+    }
+    eprintln!("adaptive_groups: adaptive/static simulated throughput ratio {ratio:.2}x");
+
+    // Mask bar: untouched groups stay ≥ 0.99 hit rate in every
+    // post-warmup report window.
+    let untouched = untouched_groups(&adaptive);
+    let mut min_mask: f64 = 1.0;
+    for report in adaptive.reports.iter().filter(|r| r.window > MASK_WARMUP) {
+        for gid in &untouched {
+            if let Some(row) = report.group(*gid) {
+                min_mask = min_mask.min(row.mask_hit_rate);
+            }
+        }
+    }
+    eprintln!(
+        "adaptive_groups: untouched groups {untouched:?} min mask hit rate {min_mask:.4} \
+         across {} post-warmup report windows",
+        adaptive.reports.len().saturating_sub(MASK_WARMUP as usize)
+    );
+
+    if full {
+        assert!(
+            adaptive.actions.len() >= 2,
+            "the flash and the migrated cooldown skew must both actuate, got {:?}",
+            adaptive.actions
+        );
+        assert_eq!(
+            adaptive.stalls, 0,
+            "lookups must never flatline through controller-driven reconfigs"
+        );
+        assert!(
+            ratio >= 1.3,
+            "adaptive must beat the oversized static shape by >= 1.3x, got {ratio:.2}x"
+        );
+        assert!(
+            !untouched.is_empty(),
+            "some group must have been left alone"
+        );
+        assert!(
+            min_mask >= 0.99,
+            "untouched groups' mask caches must stay warm through reconfigs, got {min_mask:.4}"
+        );
+        assert!(
+            stat.actions.is_empty() && stat.final_groups == 3,
+            "the static run must not reshape anything"
+        );
+    }
+}

@@ -109,8 +109,8 @@ fn bench_mask_epoch(c: &mut Criterion) {
     });
     group.finish();
 
-    let (hits, misses) = persistent.mask_cache_stats();
-    let (pb_hits, pb_misses) = per_batch.mask_cache_stats();
+    let (hits, misses) = persistent.mask_cache_stats().lifetime();
+    let (pb_hits, pb_misses) = per_batch.mask_cache_stats().lifetime();
     eprintln!(
         "mask_epoch: persistent cache {hits} hits / {misses} misses \
          (hit rate {:.4}); per-batch {pb_hits} hits / {pb_misses} misses",

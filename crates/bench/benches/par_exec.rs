@@ -185,7 +185,7 @@ fn bench_rebalance_churn(files: u64, rounds: u64) {
         for &entry in &probes {
             let _ = cluster.lookup_from(entry, &path_of(0));
         }
-        let (h0, m0) = cluster.mask_cache_stats();
+        let (h0, m0) = cluster.mask_cache_stats().lifetime();
         for round in 0..rounds {
             let gid = churn[round as usize % churn.len()];
             cluster.rebalance_group(gid);
@@ -193,7 +193,7 @@ fn bench_rebalance_churn(files: u64, rounds: u64) {
                 let _ = cluster.lookup_from(entry, &path_of(rng.below(files)));
             }
         }
-        let (h1, m1) = cluster.mask_cache_stats();
+        let (h1, m1) = cluster.mask_cache_stats().lifetime();
         let (hits, misses) = (h1 - h0, m1 - m0);
         let rate = hits as f64 / (hits + misses).max(1) as f64;
         (rate, hits, misses)

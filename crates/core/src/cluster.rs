@@ -19,7 +19,9 @@ use crate::ids::{GroupEpoch, GroupId, MdsId, MembershipEpoch};
 use crate::mds::{published_shape, Mds};
 use crate::op::{EntryPolicy, PathKey};
 use crate::query::{LevelCounts, QueryLevel, QueryOutcome};
-use crate::snapshot::{route_cell, ReconfigHandle, RouteCell, RouteEdit, RouteSnapshot, SlabOp};
+use crate::snapshot::{
+    route_cell, ReconfigHandle, RouteCell, RouteEdit, RouteSnapshot, SharedL2, SharedL3, SlabOp,
+};
 
 /// Aggregate statistics of a cluster's lifetime.
 #[derive(Debug, Clone, Default)]
@@ -90,19 +92,21 @@ struct L3Mask {
     last_used: u64,
 }
 
-/// Chunk-local candidate-mask memo for the pinned (`&self`) walk: the
-/// lock-free counterpart of [`MaskCache`]. Masks built from a pinned
+/// Chunk-local candidate-mask memo for the pinned (`&self`) walk: a
+/// lock-free L0 in front of the cross-snapshot [`SharedMaskCache`]
+/// embedded in the route snapshot. Masks reached through a pinned
 /// snapshot stay valid for exactly as long as that snapshot is pinned —
-/// no epoch tags needed — so each walk scope (one `lookup_concurrent`
-/// call, one fused-run chunk) carries its own memo and drops it with
-/// the pin. Memo traffic still feeds the shared mask-cache hit/miss
-/// accounting through [`ConcurrentStats`].
+/// no revalidation needed within a walk scope (one `lookup_concurrent`
+/// call, one fused-run chunk) — so the memo holds `Arc`s cloned out of
+/// the shared cache (or freshly built into it) and drops them with the
+/// pin. Memo and shared-cache hits both count as mask-cache hits in the
+/// atomic recorders; only a genuine build counts as a miss.
 #[derive(Debug, Default)]
 struct PinnedMemo {
     /// Per-entry L2 state: candidate mask + held-replica count.
-    l2: HashMap<MdsId, (SlotMask, usize)>,
+    l2: HashMap<MdsId, Arc<SharedL2>>,
     /// Per-group L3 state: group-mirror mask + member held counts.
-    l3: HashMap<GroupId, (SlotMask, Vec<(MdsId, usize)>)>,
+    l3: HashMap<GroupId, Arc<SharedL3>>,
 }
 
 /// Per-chunk arena for fused pinned runs: outcomes in chunk order plus
@@ -357,6 +361,12 @@ pub struct GhbaCluster {
     /// into [`GhbaCluster::stats`] at the same drain points.
     pub(crate) cstats: ConcurrentStats,
     pub(crate) mask_cache: MaskCache,
+    /// Owner-side fold of the per-group load windows recorded by
+    /// `cstats` on the `&self` walks (see [`crate::load`]). Behind a
+    /// mutex so [`load_report`](GhbaCluster::load_report) works from
+    /// `&self` (a controller samples while lookups run); touched only
+    /// at report cadence, never on the walk hot path.
+    pub(crate) load_fold: Mutex<crate::load::LoadFold>,
     /// Entry policy the 1-op string shims execute under (see
     /// [`MetadataService::set_shim_policy`](crate::MetadataService::set_shim_policy));
     /// round-robin state advances here, on the service, across calls.
@@ -392,6 +402,7 @@ impl Clone for GhbaCluster {
             shards: NamespaceShards::new(self.config.write_shards),
             cstats: ConcurrentStats::new(),
             mask_cache: self.mask_cache.clone(),
+            load_fold: Mutex::new(crate::load::LoadFold::new()),
             shim_entry: self.shim_entry,
             scratch: self.scratch.clone(),
         }
@@ -415,6 +426,7 @@ impl GhbaCluster {
             shards,
             cstats: ConcurrentStats::new(),
             mask_cache: MaskCache::default(),
+            load_fold: Mutex::new(crate::load::LoadFold::new()),
             shim_entry: EntryPolicy::Random,
             scratch: Vec::new(),
         }
@@ -454,16 +466,45 @@ impl GhbaCluster {
         }
     }
 
-    /// `(hits, misses)` of the L2/L3 mask cache over the cluster's
-    /// lifetime — a hit is a mask consultation answered from cache, a
-    /// miss one that had to build (and insert) the entry. Under
+    /// L2/L3 mask-cache accounting, both scopes, one source of truth —
+    /// a hit is a mask consultation answered from cache (memoized reuse
+    /// on the pinned walk counts too), a miss one that had to build the
+    /// entry. `lifetime_*` spans the cluster's whole life; `window_*`
+    /// is the reset-scoped view the figure binaries read (cleared by
+    /// [`reset_stats`](GhbaCluster::reset_stats)). Consults recorded on
+    /// `&self` walks but not yet drained are folded into both scopes,
+    /// so this is exact at any moment without a drain barrier. Under
     /// [`MaskCacheMode::Persistent`](crate::MaskCacheMode::Persistent)
-    /// hits span batches and string-shim
-    /// calls; under `PerBatch`/`Off` they only reflect within-batch or
-    /// within-walk reuse.
+    /// hits span batches and string-shim calls; under `PerBatch`/`Off`
+    /// they only reflect within-batch or within-walk reuse.
     #[must_use]
-    pub fn mask_cache_stats(&self) -> (u64, u64) {
-        self.mask_cache.life.stats()
+    pub fn mask_cache_stats(&self) -> crate::load::MaskCacheStats {
+        crate::load::MaskCacheStats::assemble(
+            self.mask_cache.life.stats(),
+            (self.stats.mask_cache_hits, self.stats.mask_cache_misses),
+            self.cstats.pending_mask(),
+        )
+    }
+
+    /// Closes the open telemetry window and returns a
+    /// [`LoadReport`](crate::load::LoadReport)
+    /// snapshot: one row per live group under the currently published
+    /// snapshot, rates window-decayed across successive calls (see
+    /// [`crate::load`]). Works from `&self` — a controller samples on
+    /// its own cadence while lookups and reconfigurations run — and
+    /// deliberately does **not** drain the pending write shards or the
+    /// stats mirror; those still fold at the owner's next `&mut` entry.
+    #[must_use]
+    pub fn load_report(&self) -> crate::load::LoadReport {
+        let snap = self.routes.pin();
+        let shape: Vec<(GroupId, Vec<MdsId>)> = snap
+            .groups
+            .iter()
+            .map(|(&gid, group)| (gid, group.members().to_vec()))
+            .collect();
+        let mut fold = self.load_fold.lock().expect("load fold poisoned");
+        let fresh = fold.close_window(&self.cstats);
+        fold.report(snap.epoch, fresh, &shape)
     }
 
     /// Whether the per-batch mask cache is currently armed (regression
@@ -812,12 +853,13 @@ impl GhbaCluster {
     }
 
     /// Finishes a pinned walk: applies contention inflation, stamps the
-    /// pinned epoch, and records level, latency, and false-hit
-    /// accounting into the atomic recorders.
+    /// pinned epoch, and records level, latency, false-hit, and
+    /// per-group load accounting into the atomic recorders.
     #[allow(clippy::too_many_arguments)]
     fn finish_pinned(
         &self,
         epoch: MembershipEpoch,
+        gid: GroupId,
         entry: MdsId,
         home: Option<MdsId>,
         level: QueryLevel,
@@ -829,6 +871,8 @@ impl GhbaCluster {
         self.cstats.record_lookup(outcome.level, outcome.latency);
         self.cstats
             .record_false_hits(falses[0], falses[1], falses[2], falses[3]);
+        self.cstats
+            .record_group_walk(gid, entry, outcome.level, falses.iter().sum());
         outcome
     }
 
@@ -851,6 +895,7 @@ impl GhbaCluster {
     ) -> QueryOutcome {
         assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
         let overlay = self.shards.overlay_keyed(path, fp);
+        let gid = snap.group_of(entry).expect("entry has a group");
         let model = self.config.latency.clone();
         let mut latency = model.dispatch;
         let mut messages = 0u32;
@@ -875,6 +920,7 @@ impl GhbaCluster {
                 ) {
                     return self.finish_pinned(
                         snap.epoch,
+                        gid,
                         entry,
                         Some(home),
                         QueryLevel::L1Lru,
@@ -888,18 +934,36 @@ impl GhbaCluster {
         }
 
         // ---- L2: the entry's segment array (θ replicas + own). ----
-        let gid = snap.group_of(entry).expect("entry has a group");
         if let std::collections::hash_map::Entry::Vacant(slot) = memo.l2.entry(entry) {
-            self.cstats.record_mask(false);
-            let held = snap.replicas_held_by(entry);
-            let mask = snap.slab.subset_mask(held.iter().copied());
-            slot.insert((mask, held.len()));
+            let tag = snap.group_epoch(gid);
+            let l2 = match snap.masks.l2(entry, gid, tag) {
+                Some(shared) => {
+                    self.cstats.record_mask(true);
+                    self.cstats.record_group_mask(gid, true);
+                    shared
+                }
+                None => {
+                    self.cstats.record_mask(false);
+                    self.cstats.record_group_mask(gid, false);
+                    let held = snap.replicas_held_by(entry);
+                    let fresh = Arc::new(SharedL2 {
+                        gid,
+                        tag,
+                        mask: snap.slab.subset_mask(held.iter().copied()),
+                        held: held.len(),
+                    });
+                    snap.masks.put_l2(entry, Arc::clone(&fresh));
+                    fresh
+                }
+            };
+            slot.insert(l2);
         } else {
             self.cstats.record_mask(true);
+            self.cstats.record_group_mask(gid, true);
         }
-        let (mask, held_len) = memo.l2.get(&entry).expect("just ensured");
-        let hit = snap.slab.query_fp_masked(fp, mask);
-        let held_len = *held_len;
+        let l2 = memo.l2.get(&entry).expect("just ensured");
+        let hit = snap.slab.query_fp_masked(fp, &l2.mask);
+        let held_len = l2.held;
         let resident = self.mdss[&entry].resident_replicas(held_len);
         latency += model.array_probe(held_len + 1, held_len - resident);
         let mut positives = hit.candidates().to_vec();
@@ -917,6 +981,7 @@ impl GhbaCluster {
             ) {
                 return self.finish_pinned(
                     snap.epoch,
+                    gid,
                     entry,
                     Some(home),
                     QueryLevel::L2Segment,
@@ -930,20 +995,39 @@ impl GhbaCluster {
 
         // ---- L3: multicast within the entry's group. ----
         if let std::collections::hash_map::Entry::Vacant(slot) = memo.l3.entry(gid) {
-            self.cstats.record_mask(false);
-            let group = snap.group(gid).expect("entry's group is live");
-            let member_held: Vec<(MdsId, usize)> = group
-                .members()
-                .iter()
-                .map(|&member| (member, group.replicas_held_by(member).len()))
-                .collect();
-            let origins = group.replica_origins();
-            let mask = snap.slab.subset_mask(origins.iter().copied());
-            slot.insert((mask, member_held));
+            let tag = snap.group_epoch(gid);
+            let l3 = match snap.masks.l3(gid, tag) {
+                Some(shared) => {
+                    self.cstats.record_mask(true);
+                    self.cstats.record_group_mask(gid, true);
+                    shared
+                }
+                None => {
+                    self.cstats.record_mask(false);
+                    self.cstats.record_group_mask(gid, false);
+                    let group = snap.group(gid).expect("entry's group is live");
+                    let member_held: Vec<(MdsId, usize)> = group
+                        .members()
+                        .iter()
+                        .map(|&member| (member, group.replicas_held_by(member).len()))
+                        .collect();
+                    let origins = group.replica_origins();
+                    let fresh = Arc::new(SharedL3 {
+                        tag,
+                        mask: snap.slab.subset_mask(origins.iter().copied()),
+                        member_held,
+                    });
+                    snap.masks.put_l3(gid, Arc::clone(&fresh));
+                    fresh
+                }
+            };
+            slot.insert(l3);
         } else {
             self.cstats.record_mask(true);
+            self.cstats.record_group_mask(gid, true);
         }
-        let (mask, member_held) = memo.l3.get(&gid).expect("just ensured");
+        let l3 = memo.l3.get(&gid).expect("just ensured");
+        let (mask, member_held) = (&l3.mask, &l3.member_held);
         let peer_count = member_held.len().saturating_sub(1);
         // Peers probe their held replicas in parallel: pay the slowest.
         let worst_probe = member_held
@@ -975,6 +1059,7 @@ impl GhbaCluster {
             ) {
                 return self.finish_pinned(
                     snap.epoch,
+                    gid,
                     entry,
                     Some(home),
                     QueryLevel::L3Group,
@@ -1012,7 +1097,9 @@ impl GhbaCluster {
             Some(_) => QueryLevel::L4Global,
             None => QueryLevel::Nonexistent,
         };
-        self.finish_pinned(snap.epoch, entry, found, level, latency, messages, falses)
+        self.finish_pinned(
+            snap.epoch, gid, entry, found, level, latency, messages, falses,
+        )
     }
 
     /// Resolves a fused run of lookups against a pinned snapshot from
@@ -1432,8 +1519,20 @@ impl GhbaCluster {
         );
         let mut outcomes = Vec::with_capacity(total);
         for (qi, &slot) in assign.iter().enumerate() {
-            let fp = queries[qi].2;
-            outcomes.push(self.apply_verdict(&fp, resolved[slot as usize].clone()));
+            let (entry, _, fp) = queries[qi];
+            let verdict = resolved[slot as usize].clone();
+            // Load telemetry mirrors the pinned walk: one record per
+            // occurrence (duplicates are real traffic), attributed to
+            // the entry's group under the batch's pinned snapshot.
+            if let Some(gid) = snap.group_of(entry) {
+                let group_falses = u64::from(verdict.l1_false)
+                    + u64::from(verdict.l2_false)
+                    + u64::from(verdict.l3_false)
+                    + u64::from(verdict.l4_disk_checks);
+                self.cstats
+                    .record_group_walk(gid, entry, verdict.outcome.level, group_falses);
+            }
+            outcomes.push(self.apply_verdict(&fp, verdict));
         }
         self.scratch = arenas;
         outcomes
@@ -1479,6 +1578,7 @@ impl GhbaCluster {
                 .mask_cache
                 .l2_consult(entry)
                 .is_some_and(|e| e.gid == gid && e.tag == tag);
+            self.cstats.record_group_mask(gid, l2_fresh);
             if l2_fresh {
                 self.mask_cache.life.hit();
                 self.stats.mask_cache_hits += 1;
@@ -1500,6 +1600,7 @@ impl GhbaCluster {
                 .mask_cache
                 .l3_consult(gid)
                 .is_some_and(|e| e.tag == tag);
+            self.cstats.record_group_mask(gid, l3_fresh);
             if l3_fresh {
                 self.mask_cache.life.hit();
                 self.stats.mask_cache_hits += 1;
@@ -1883,9 +1984,11 @@ impl GhbaCluster {
     ) -> QueryOutcome {
         assert!(self.mdss.contains_key(&entry), "unknown entry MDS");
         self.prepare_masks(snap, &[(entry, path, *fp)]);
+        let gid = snap.group_of(entry).expect("entry has a group");
         let model = self.config.latency.clone();
         let mut latency = model.dispatch;
         let mut messages = 0u32;
+        let mut group_falses = 0u64;
 
         // ---- L1: the entry server's LRU Bloom filter array. ----
         let l1_hit = self
@@ -1899,6 +2002,8 @@ impl GhbaCluster {
                 if let Some(home) =
                     self.verify_at(candidate, entry, path, &mut latency, &mut messages)
                 {
+                    self.cstats
+                        .record_group_walk(gid, entry, QueryLevel::L1Lru, group_falses);
                     return self.finish(
                         entry,
                         fp,
@@ -1910,11 +2015,11 @@ impl GhbaCluster {
                     );
                 }
                 self.stats.counters.incr("l1_false_hits");
+                group_falses += 1;
             }
         }
 
         // ---- L2: the entry's segment array (θ replicas + own). ----
-        let gid = snap.group_of(entry).expect("entry has a group");
         let (hit, held) = {
             let l2 = self.mask_cache.l2(entry).expect("prepared just above");
             (snap.slab.query_fp_masked(fp, &l2.mask), l2.held)
@@ -1929,6 +2034,8 @@ impl GhbaCluster {
             if let Some(home) =
                 self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
             {
+                self.cstats
+                    .record_group_walk(gid, entry, QueryLevel::L2Segment, group_falses);
                 return self.finish(
                     entry,
                     fp,
@@ -1940,6 +2047,7 @@ impl GhbaCluster {
                 );
             }
             self.stats.counters.incr("l2_false_hits");
+            group_falses += 1;
         }
 
         // ---- L3: multicast within the entry's group. ----
@@ -1975,6 +2083,8 @@ impl GhbaCluster {
             if let Some(home) =
                 self.verify_at(positives[0], entry, path, &mut latency, &mut messages)
             {
+                self.cstats
+                    .record_group_walk(gid, entry, QueryLevel::L3Group, group_falses);
                 return self.finish(
                     entry,
                     fp,
@@ -1986,6 +2096,7 @@ impl GhbaCluster {
                 );
             }
             self.stats.counters.incr("l3_false_hits");
+            group_falses += 1;
         }
 
         // ---- L4: system-wide multicast; authoritative. ----
@@ -2010,7 +2121,14 @@ impl GhbaCluster {
             self.stats
                 .counters
                 .add("l4_false_positive_disk_checks", disk_checks);
+            group_falses += disk_checks;
         }
+        let load_level = match found {
+            Some(_) => QueryLevel::L4Global,
+            None => QueryLevel::Nonexistent,
+        };
+        self.cstats
+            .record_group_walk(gid, entry, load_level, group_falses);
         match found {
             Some(home) => self.finish(
                 entry,
@@ -2404,18 +2522,18 @@ mod tests {
             .find(|&id| cluster.group_of(id) != Some(touched))
             .expect("another group exists");
         cluster.rebalance_group(touched);
-        let (hits_before, misses_before) = cluster.mask_cache_stats();
+        let (hits_before, misses_before) = cluster.mask_cache_stats().lifetime();
         let _ = cluster.lookup_from(other_entry, "/w/f1");
-        let (hits_after, misses_after) = cluster.mask_cache_stats();
+        let (hits_after, misses_after) = cluster.mask_cache_stats().lifetime();
         assert_eq!(
             misses_after, misses_before,
             "an untouched group's masks must stay warm across the rebalance"
         );
         assert_eq!(hits_after, hits_before + 2, "L2 + L3 both hit");
         // The touched group rebuilds exactly its own entries.
-        let (_, misses_before) = cluster.mask_cache_stats();
+        let (_, misses_before) = cluster.mask_cache_stats().lifetime();
         let _ = cluster.lookup_from(MdsId(0), "/w/f1");
-        let (_, misses_after) = cluster.mask_cache_stats();
+        let (_, misses_after) = cluster.mask_cache_stats().lifetime();
         assert_eq!(misses_after, misses_before + 2, "L2 + L3 both rebuild");
 
         // Reference behaviour: a Global-granularity rebalance flushes
@@ -2428,9 +2546,9 @@ mod tests {
             .find(|&id| cluster.group_of(id) != Some(touched))
             .expect("another group exists");
         cluster.rebalance_group(touched);
-        let (_, misses_before) = cluster.mask_cache_stats();
+        let (_, misses_before) = cluster.mask_cache_stats().lifetime();
         let _ = cluster.lookup_from(other_entry, "/w/f1");
-        let (_, misses_after) = cluster.mask_cache_stats();
+        let (_, misses_after) = cluster.mask_cache_stats().lifetime();
         assert_eq!(
             misses_after,
             misses_before + 2,
@@ -2449,15 +2567,25 @@ mod tests {
         let stats = cluster.stats();
         assert_eq!(stats.mask_cache_misses, 2, "first walk builds L2 + L3");
         assert_eq!(stats.mask_cache_hits, 2, "second walk answers from cache");
-        let lifetime = cluster.mask_cache_stats();
+        let unified = cluster.mask_cache_stats();
         assert!(
-            lifetime.0 >= 2 && lifetime.1 >= 2,
+            unified.lifetime_hits >= 2 && unified.lifetime_misses >= 2,
             "lifetime counters keep totals"
+        );
+        assert_eq!(
+            (unified.window_hits, unified.window_misses),
+            (stats.mask_cache_hits, stats.mask_cache_misses),
+            "the unified accessor's window scope is the figure-binary view"
         );
         cluster.reset_stats();
         assert_eq!(cluster.stats().mask_cache_hits, 0);
-        let lifetime_after = cluster.mask_cache_stats();
-        assert_eq!(lifetime, lifetime_after, "reset only clears the stats view");
+        let after = cluster.mask_cache_stats();
+        assert_eq!(
+            unified.lifetime(),
+            after.lifetime(),
+            "reset only clears the window scope"
+        );
+        assert_eq!(after.window_hits, 0, "window scope resets");
     }
 
     /// Regression for unbounded mask-cache growth under churn: masks

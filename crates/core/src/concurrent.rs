@@ -34,7 +34,8 @@ use std::sync::Mutex;
 use ghba_bloom::Fingerprint;
 
 use crate::cluster::ClusterStats;
-use crate::ids::MdsId;
+use crate::ids::{GroupId, MdsId};
+use crate::load::LoadRecorder;
 use crate::op::PathKey;
 use crate::query::QueryLevel;
 
@@ -111,6 +112,11 @@ pub struct ConcurrentStats {
     l2_false: AtomicU64,
     l3_false: AtomicU64,
     l4_disk: AtomicU64,
+    /// Per-group load telemetry (see [`crate::load`]). Deliberately
+    /// outside the `dirty` protocol: it is drained by the load report,
+    /// not by the stats fold, so recording load never forces the
+    /// `maybe_drain` slow path on the next `&mut` entry.
+    load: LoadRecorder,
 }
 
 impl Default for ConcurrentStats {
@@ -135,6 +141,7 @@ impl ConcurrentStats {
             l2_false: AtomicU64::new(0),
             l3_false: AtomicU64::new(0),
             l4_disk: AtomicU64::new(0),
+            load: LoadRecorder::new(),
         }
     }
 
@@ -183,6 +190,44 @@ impl ConcurrentStats {
             self.mask_misses.fetch_add(1, Ordering::Relaxed);
         }
         self.touch();
+    }
+
+    /// Attributes one finished walk to its entry group for the load
+    /// telemetry: traffic, escalation depth, and charged false hits.
+    /// Does **not** set the dirty flag — load windows are closed by
+    /// [`LoadFold::close_window`](crate::load::LoadFold::close_window),
+    /// not by the stats fold.
+    pub fn record_group_walk(
+        &self,
+        gid: GroupId,
+        entry: MdsId,
+        level: QueryLevel,
+        false_hits: u64,
+    ) {
+        self.load.record_walk(gid, entry, level, false_hits);
+    }
+
+    /// Attributes one L2/L3 mask consult to `gid` for the load
+    /// telemetry. Companion of
+    /// [`record_mask`](ConcurrentStats::record_mask); same dirty-flag
+    /// exemption as [`record_group_walk`](Self::record_group_walk).
+    pub fn record_group_mask(&self, gid: GroupId, hit: bool) {
+        self.load.record_mask(gid, hit);
+    }
+
+    /// Not-yet-folded mask consults `(hits, misses)` — peeked, not
+    /// drained, so a `&self` reader can assemble an up-to-date
+    /// [`MaskCacheStats`](crate::load::MaskCacheStats) view without a
+    /// drain barrier.
+    pub fn pending_mask(&self) -> (u64, u64) {
+        (
+            self.mask_hits.load(Ordering::Relaxed),
+            self.mask_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    pub(crate) fn load_recorder(&self) -> &LoadRecorder {
+        &self.load
     }
 
     /// Records one staged publish: replica-update messages, wire bytes,

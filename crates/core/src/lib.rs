@@ -46,12 +46,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod adapt;
 mod cluster;
 pub mod concurrent;
 mod config;
 pub mod exec;
 mod group;
 mod ids;
+pub mod load;
 mod mds;
 mod metadata;
 mod op;
@@ -62,11 +64,13 @@ mod service;
 mod snapshot;
 mod update;
 
+pub use adapt::{AdaptAction, ControllerConfig, GroupController, TargetM};
 pub use cluster::{ClusterStats, GhbaCluster};
 pub use concurrent::{ConcurrentStats, NamespaceShards, OverlayEntry, WriteKind, WriteRecord};
 pub use config::{EpochGranularity, ExecutorConfig, GhbaConfig, MaskCacheLifecycle, MaskCacheMode};
 pub use group::{Group, IdFilterArray};
 pub use ids::{GroupEpoch, GroupId, MdsId, MembershipEpoch};
+pub use load::{GroupLoad, LoadFold, LoadReport, MaskCacheStats};
 pub use mds::{published_shape, Mds, META_ENTRY_BYTES};
 pub use metadata::{FileAttrs, MetadataStore};
 pub use op::{

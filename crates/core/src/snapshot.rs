@@ -28,11 +28,12 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use ghba_bloom::{BloomFilter, FilterDelta, SharedShapeArray};
+use ghba_bloom::{BloomFilter, FilterDelta, SharedShapeArray, SlotMask};
 
 use crate::group::Group;
 use crate::ids::{GroupEpoch, GroupId, MdsId, MembershipEpoch};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::RwLock;
 
 /// One of the cell's two value slots: the `Arc` being published plus a
 /// count of readers currently *cloning out of* the slot (not of
@@ -338,6 +339,100 @@ impl SlabSpare {
     }
 }
 
+/// One entry server's shared L2 state: its held-replica candidate mask
+/// plus the held count the probe-latency model needs, tagged with the
+/// `(gid, GroupEpoch)` it was built under — the same validity contract
+/// as the owner walk's persistent `MaskCache`.
+#[derive(Debug)]
+pub(crate) struct SharedL2 {
+    pub(crate) gid: GroupId,
+    pub(crate) tag: GroupEpoch,
+    pub(crate) mask: SlotMask,
+    pub(crate) held: usize,
+}
+
+/// One group's shared L3 state: the member list with held counts (the
+/// multicast latency inputs) and the group-mirror candidate mask,
+/// tagged like [`SharedL2`].
+#[derive(Debug)]
+pub(crate) struct SharedL3 {
+    pub(crate) tag: GroupEpoch,
+    pub(crate) mask: SlotMask,
+    pub(crate) member_held: Vec<(MdsId, usize)>,
+}
+
+/// Cross-snapshot shared candidate-mask cache for the pinned (`&self`)
+/// walk — the lock-free read path's counterpart of the owner walk's
+/// persistent `MaskCache`.
+///
+/// The cache object is shared (one `Arc`, cloned into every successor
+/// [`RouteSnapshot`]), so masks built by one reader warm every later
+/// reader on any snapshot generation. Validity is per entry: each
+/// cached mask carries the `(gid, GroupEpoch)` it was built under, and
+/// a consulting reader accepts it only when its *own* pinned snapshot
+/// reports the same group epoch. Group epochs bump exactly when an
+/// edit changes state masks depend on (`touch_group`; membership
+/// events touch every group because they shift slab layout), so:
+///
+/// * groups untouched by a split/merge/rebalance keep their masks warm
+///   through the publish — the observable form of the per-group-epoch
+///   contract on the concurrent path, and what the adaptive
+///   controller's reconfigurations rely on to leave cold groups'
+///   serving costs alone;
+/// * a reader pinned to a pre-edit snapshot that races a post-edit
+///   reader can at worst overwrite the other's entry with one tagged
+///   for its own epoch (both remain correct for their consumers; the
+///   loser rebuilds — a miss, never a wrong mask).
+///
+/// Entries are keyed by ids that are never recycled, so the maps are
+/// bounded by the ids ever live (`u16` space); merges evict their
+/// dissolved group eagerly ([`RouteEdit::remove_group`]).
+#[derive(Debug, Default)]
+pub(crate) struct SharedMaskCache {
+    l2: RwLock<HashMap<MdsId, Arc<SharedL2>>>,
+    l3: RwLock<HashMap<GroupId, Arc<SharedL3>>>,
+}
+
+impl SharedMaskCache {
+    /// The cached L2 state of `entry` if it was built under `(gid,
+    /// tag)` — the consulting snapshot's view of the entry's group.
+    pub(crate) fn l2(&self, entry: MdsId, gid: GroupId, tag: GroupEpoch) -> Option<Arc<SharedL2>> {
+        let map = self.l2.read().expect("mask cache poisoned");
+        map.get(&entry)
+            .filter(|e| e.gid == gid && e.tag == tag)
+            .cloned()
+    }
+
+    /// Publishes a freshly built L2 state (last writer wins).
+    pub(crate) fn put_l2(&self, entry: MdsId, fresh: Arc<SharedL2>) {
+        self.l2
+            .write()
+            .expect("mask cache poisoned")
+            .insert(entry, fresh);
+    }
+
+    /// The cached L3 state of `gid` if it was built under `tag`.
+    pub(crate) fn l3(&self, gid: GroupId, tag: GroupEpoch) -> Option<Arc<SharedL3>> {
+        let map = self.l3.read().expect("mask cache poisoned");
+        map.get(&gid).filter(|e| e.tag == tag).cloned()
+    }
+
+    /// Publishes a freshly built L3 state (last writer wins).
+    pub(crate) fn put_l3(&self, gid: GroupId, fresh: Arc<SharedL3>) {
+        self.l3
+            .write()
+            .expect("mask cache poisoned")
+            .insert(gid, fresh);
+    }
+
+    /// Evicts a dissolved group's L3 state. Its former members' L2
+    /// entries self-invalidate by tag and are overwritten on their next
+    /// consultation.
+    fn evict_group(&self, gid: GroupId) {
+        self.l3.write().expect("mask cache poisoned").remove(&gid);
+    }
+}
+
 /// The immutable routing state one lookup walks against: everything the
 /// L1–L4 escalation reads that reconfiguration can move. Snapshots are
 /// only ever replaced wholesale (via [`SnapshotCell`]), never mutated,
@@ -362,6 +457,11 @@ pub struct RouteSnapshot {
     /// the snapshot so concurrent reconfiguration handles allocate
     /// consistently under the writer lock.
     pub(crate) next_group: u16,
+    /// The shared candidate-mask cache for pinned walks — one object
+    /// per cluster, cloned (shared) into every successor snapshot so
+    /// masks stay warm across publishes for groups whose epoch did not
+    /// move. See [`SharedMaskCache`].
+    pub(crate) masks: Arc<SharedMaskCache>,
 }
 
 impl RouteSnapshot {
@@ -374,6 +474,7 @@ impl RouteSnapshot {
             group_epochs: BTreeMap::new(),
             epoch: MembershipEpoch::default(),
             next_group: 0,
+            masks: Arc::new(SharedMaskCache::default()),
         }
     }
 
@@ -497,6 +598,7 @@ impl<'a> RouteEdit<'a> {
         self.work.group_epochs.remove(&gid);
         if group.is_some() {
             self.dissolved.push(gid);
+            self.work.masks.evict_group(gid);
         }
         group
     }
@@ -579,6 +681,14 @@ impl ReconfigHandle {
     #[must_use]
     pub fn group_ids(&self) -> Vec<GroupId> {
         self.routes.pin().groups.keys().copied().collect()
+    }
+
+    /// The configured maximum group size this handle enforces — the
+    /// split rule keeps `max/2 + 1` members behind, merges refuse
+    /// combined sizes past it. Controllers size their plans with this.
+    #[must_use]
+    pub fn max_group_size(&self) -> usize {
+        self.max_group_size
     }
 
     /// Members of `gid` under the current snapshot, if it is live.

@@ -1,0 +1,218 @@
+//! Control-plane acceptance tests: the online [`GroupController`]
+//! against real clusters and against adversarial synthetic telemetry.
+//!
+//! Three properties anchor the suite (the ISSUE-9 satellite bars):
+//!
+//! * **No oscillation**: a stable uniform load — real traffic, spread
+//!   evenly — produces *zero* actions, tick after tick, because every
+//!   group sits between the hot and cold hysteresis thresholds.
+//! * **Bounded actuation**: no `LoadReport` sequence, however
+//!   adversarial, makes one tick exceed the configured action budget.
+//! * **Model agreement**: the controller's online `PaperModel` target
+//!   tracks the offline [`AnalyticModel`] optimum the analysis crate
+//!   derives from the paper (both sit on the √N ridge).
+
+use ghba_analysis::AnalyticModel;
+use ghba_core::{
+    ControllerConfig, EntryPolicy, GhbaCluster, GhbaConfig, GroupController, GroupId, LoadFold,
+    MdsId, MembershipEpoch, MetadataService, OpBatch, TargetM,
+};
+use proptest::prelude::*;
+
+fn config(seed: u64) -> GhbaConfig {
+    GhbaConfig::default()
+        .with_filter_capacity(4_000)
+        .with_lru_capacity(0)
+        .with_max_group_size(8)
+        .with_seed(seed)
+}
+
+/// Executes `per_server` lookups pinned to every server in turn —
+/// traffic as uniform as the cluster can see it.
+fn uniform_traffic(cluster: &mut GhbaCluster, per_server: usize) {
+    for id in cluster.server_ids() {
+        let mut batch = OpBatch::new().with_entry(EntryPolicy::Pinned(id));
+        for i in 0..per_server {
+            batch.push_lookup(format!("/u/s{}/f{i}", id.0));
+        }
+        cluster.execute(&batch);
+    }
+}
+
+/// Satellite bar 1: stable uniform load ⇒ zero actions, forever. The
+/// hysteresis gap (hot at 1.6× fair, cold at 0.5× fair) is what holds
+/// the line — every group's share *is* fair here.
+#[test]
+fn stable_uniform_load_never_triggers_actions() {
+    let mut cluster = GhbaCluster::with_servers(config(7), 24);
+    let mut controller =
+        GroupController::new(ControllerConfig::default().with_min_window_lookups(1));
+    let handle = cluster.reconfig_handle();
+    let epoch_before = cluster.membership_epoch();
+    for tick in 0..20 {
+        uniform_traffic(&mut cluster, 16);
+        let report = cluster.load_report();
+        let actions = controller.actuate(&report, &handle);
+        assert!(
+            actions.is_empty(),
+            "tick {tick}: uniform load must plan nothing, got {actions:?}"
+        );
+    }
+    assert_eq!(controller.actions_total(), 0);
+    assert_eq!(
+        cluster.membership_epoch(),
+        epoch_before,
+        "no action may have touched the routes"
+    );
+}
+
+/// A hot group on a *real* cluster gets split by `actuate`, and the
+/// untouched groups' lookups keep resolving identically afterwards.
+#[test]
+fn actuate_splits_the_hot_group_on_a_real_cluster() {
+    let mut cluster = GhbaCluster::with_servers(config(11), 24);
+    // 24 servers in 3 groups of 8; all traffic lands in MdsId(0)'s
+    // group, giving it share 1.0 against a fair share of 1/3.
+    let hot_gid = cluster.group_of(MdsId(0)).expect("grouped");
+    let groups_before = cluster.group_count();
+    for i in 0..96 {
+        cluster.create_file(&format!("/hot/f{i}"));
+    }
+    let mut batch = OpBatch::new().with_entry(EntryPolicy::Pinned(MdsId(0)));
+    for i in 0..96 {
+        batch.push_lookup(format!("/hot/f{i}"));
+    }
+    cluster.execute(&batch);
+
+    let mut controller =
+        GroupController::new(ControllerConfig::default().with_min_window_lookups(1));
+    let report = cluster.load_report();
+    let hot_row = report.group(hot_gid).expect("hot group reported");
+    assert!(hot_row.share > 0.9, "all traffic was pinned there");
+    let handle = cluster.reconfig_handle();
+    let actions = controller.actuate(&report, &handle);
+    assert!(
+        actions
+            .iter()
+            .any(|a| matches!(a, ghba_core::AdaptAction::Split(gid) if *gid == hot_gid)),
+        "the hot group must split, got {actions:?}"
+    );
+    assert_eq!(cluster.group_count(), groups_before + 1);
+    cluster.check_invariants().expect("routes stay sound");
+    // The files are still found after the controller-driven split.
+    for i in 0..96 {
+        assert!(
+            cluster.lookup(&format!("/hot/f{i}")).found(),
+            "file {i} lost across the split"
+        );
+    }
+}
+
+/// Model agreement: the online `PaperModel` target and the analysis
+/// crate's offline Γ-sweep optimum land on the same √N ridge at the
+/// paper's three cluster sizes (within the spill-cliff wobble).
+#[test]
+fn paper_model_agrees_with_the_analytic_optimum() {
+    for n in [30usize, 100, 200] {
+        let online = TargetM::PaperModel.group_size(n, usize::MAX);
+        let offline = AnalyticModel::new(n, 0.62).optimal_m(2 * online);
+        let gap = online.abs_diff(offline);
+        assert!(
+            gap <= 2,
+            "N={n}: online target {online} strayed from analytic optimum {offline}"
+        );
+    }
+}
+
+/// Builds a synthetic `LoadReport` from fuzzed rows: `groups` is a
+/// list of (members, lookup-weight) pairs.
+fn synth_report(window: u64, rows: &[(u8, u32)]) -> ghba_core::LoadReport {
+    let fold = LoadFold::new();
+    let mut next = 0u16;
+    let shape: Vec<(GroupId, Vec<MdsId>)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, &(members, _))| {
+            let members: Vec<MdsId> = (0..members.clamp(1, 12))
+                .map(|_| {
+                    next += 1;
+                    MdsId(next)
+                })
+                .collect();
+            (GroupId(i as u16), members)
+        })
+        .collect();
+    let mut report = fold.report(MembershipEpoch(window), u64::MAX, &shape);
+    report.window = window;
+    for (row, &(_, weight)) in report.groups.iter_mut().zip(rows) {
+        row.lookups = f64::from(weight) + 1.0;
+    }
+    let total: f64 = report.groups.iter().map(|g| g.lookups).sum();
+    report.total = total;
+    for row in &mut report.groups {
+        row.share = row.lookups / total;
+    }
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Satellite bar 2: no report sequence exceeds the per-tick action
+    /// budget — not with zero cooldown, not with adversarial shares,
+    /// not across an arbitrary number of ticks.
+    #[test]
+    fn action_budget_holds_for_arbitrary_report_sequences(
+        reports in proptest::collection::vec(
+            proptest::collection::vec((1u8..12, 0u32..10_000), 1..16),
+            1..24,
+        ),
+        budget in 1usize..4,
+        cooldown in 0u64..3,
+        max_group_size in 2usize..10,
+    ) {
+        let mut controller = GroupController::new(
+            ControllerConfig::default()
+                .with_budget(budget)
+                .with_cooldown(cooldown)
+                .with_min_window_lookups(1),
+        );
+        let mut total = 0u64;
+        for (window, rows) in reports.iter().enumerate() {
+            let report = synth_report(window as u64, rows);
+            let actions = controller.plan(&report, max_group_size);
+            prop_assert!(
+                actions.len() <= budget,
+                "window {}: {} actions breach budget {}",
+                window, actions.len(), budget
+            );
+            total += actions.len() as u64;
+        }
+        prop_assert_eq!(controller.actions_total(), total);
+    }
+
+    /// Cooldown contract: once a group is planned, it stays untouched
+    /// for the configured number of ticks even under an unchanged
+    /// all-hot report.
+    #[test]
+    fn cooldown_silences_replanning(cooldown in 1u64..5) {
+        let mut controller = GroupController::new(
+            ControllerConfig::default()
+                .with_budget(1)
+                .with_cooldown(cooldown)
+                .with_min_window_lookups(1),
+        );
+        // One 8-member group carrying ~all traffic next to two cold
+        // singletons: hot every window, splittable at max 8.
+        let rows = [(8u8, 100_000u32), (1, 1), (1, 1)];
+        let first = controller.plan(&synth_report(0, &rows), 8);
+        prop_assert_eq!(first.len(), 1, "the hot group must be planned once");
+        for tick in 1..=cooldown {
+            let again = controller.plan(&synth_report(tick, &rows), 8);
+            prop_assert!(
+                again.iter().all(|a| a.touches().0 != GroupId(0)),
+                "tick {}: group 0 replanned inside its cooldown", tick
+            );
+        }
+    }
+}

@@ -2,8 +2,8 @@
 //! sequences.
 
 use ghba_core::{
-    EntryPolicy, EpochGranularity, ExecutorConfig, GhbaCluster, GhbaConfig, MaskCacheMode, MdsId,
-    MetadataService, OpBatch,
+    ControllerConfig, EntryPolicy, EpochGranularity, ExecutorConfig, GhbaCluster, GhbaConfig,
+    GroupController, MaskCacheMode, MdsId, MetadataService, OpBatch,
 };
 use proptest::prelude::*;
 
@@ -41,6 +41,11 @@ enum StreamOp {
     /// Standalone single-group rebalance: the reconfiguration class the
     /// per-group epochs keep every *other* group warm across.
     Rebalance(u8),
+    /// One online-controller tick: close the lead cluster's load
+    /// window, plan on the report, and actuate the *identical* action
+    /// list on every lock-step cluster — controller-driven churn
+    /// interleaved with the batch stream.
+    AdaptTick,
     Flush,
 }
 
@@ -52,8 +57,20 @@ fn arb_stream_op() -> impl Strategy<Value = StreamOp> {
         1 => any::<u8>().prop_map(StreamOp::RemoveMds),
         1 => any::<u8>().prop_map(StreamOp::FailMds),
         1 => any::<u8>().prop_map(StreamOp::Rebalance),
+        1 => Just(StreamOp::AdaptTick),
         1 => Just(StreamOp::Flush),
     ]
+}
+
+/// An eager controller for churn streams: no idle gate, no cooldown —
+/// every tick that *can* act does, maximizing reconfigurations
+/// interleaved with the batches.
+fn churn_controller() -> GroupController {
+    GroupController::new(
+        ControllerConfig::default()
+            .with_min_window_lookups(1)
+            .with_cooldown(0),
+    )
 }
 
 /// Drives one `StreamOp` against a set of clusters that must stay in
@@ -64,6 +81,7 @@ fn apply_stream_op(
     clusters: &mut [&mut GhbaCluster],
     op: &StreamOp,
     next_fresh: &mut u32,
+    controller: &mut GroupController,
 ) -> Option<Vec<Vec<ghba_core::OpOutcome>>> {
     match op {
         StreamOp::Batch(items, pol) => {
@@ -134,6 +152,22 @@ fn apply_stream_op(
                 let gid = gids[*pick as usize % gids.len()];
                 for cluster in clusters.iter_mut() {
                     cluster.rebalance_group(gid);
+                }
+            }
+            None
+        }
+        StreamOp::AdaptTick => {
+            // Plan once, on the lead cluster's telemetry; handle-driven
+            // actions are deterministic, so applying the same list to
+            // every cluster preserves lock step exactly like the
+            // explicit Rebalance event does.
+            let report = clusters[0].load_report();
+            let max = clusters[0].reconfig_handle().max_group_size();
+            let actions = controller.plan(&report, max);
+            for cluster in clusters.iter_mut() {
+                let handle = cluster.reconfig_handle();
+                for action in &actions {
+                    action.apply(&handle);
                 }
             }
             None
@@ -234,8 +268,10 @@ proptest! {
     }
 
     /// Epoch-invalidation acceptance: under **any** interleaving of
-    /// reconfiguration events (join, graceful leave, fail-stop, and
-    /// standalone single-group rebalances) with mixed op batches, the
+    /// reconfiguration events (join, graceful leave, fail-stop,
+    /// standalone single-group rebalances, and online-controller ticks
+    /// planning real split/merge/rebalance actions from live
+    /// telemetry) with mixed op batches, the
     /// persistent mask cache never serves a stale mask at **either**
     /// invalidation granularity — per-group epoch invalidation, the
     /// all-or-nothing global flush, and the cache-free walk all produce
@@ -267,10 +303,11 @@ proptest! {
         let mut free =
             GhbaCluster::with_servers(base.with_mask_cache(MaskCacheMode::Off), 6);
         let mut next_fresh = 10_000u32;
+        let mut controller = churn_controller();
         for (step, op) in ops.into_iter().enumerate() {
             let results = {
                 let mut clusters = [&mut per_group, &mut global, &mut free];
-                apply_stream_op(&mut clusters, &op, &mut next_fresh)
+                apply_stream_op(&mut clusters, &op, &mut next_fresh, &mut controller)
             };
             if let Some(results) = results {
                 prop_assert_eq!(
@@ -316,10 +353,11 @@ proptest! {
             6,
         );
         let mut next_fresh = 50_000u32;
+        let mut controller = churn_controller();
         for (step, op) in ops.into_iter().enumerate() {
             let results = {
                 let mut clusters = [&mut sequential, &mut parallel];
-                apply_stream_op(&mut clusters, &op, &mut next_fresh)
+                apply_stream_op(&mut clusters, &op, &mut next_fresh, &mut controller)
             };
             if let Some(results) = results {
                 prop_assert_eq!(

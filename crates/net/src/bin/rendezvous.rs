@@ -2,30 +2,46 @@
 //!
 //! ```text
 //! rendezvous [--bind ADDR] [--addr-file PATH]
+//!            [--liveness-ms MS] [--strikes K]
 //! ```
 //!
 //! Binds (default `127.0.0.1:0`), prints `rendezvous listening on
 //! <addr>` to stdout, optionally writes the bare address to
 //! `--addr-file` (so scripts launching with an ephemeral port can find
-//! it), then serves until a `Shutdown` frame arrives.
+//! it), then serves until a `Shutdown` frame arrives. `--liveness-ms`
+//! enables the health sweep: replicas that miss `--strikes`
+//! (default 3) consecutive pings are pruned from the directory.
 
 use std::time::Duration;
 
 use ghba_net::Rendezvous;
 
 fn usage() -> ! {
-    eprintln!("usage: rendezvous [--bind ADDR] [--addr-file PATH]");
+    eprintln!(
+        "usage: rendezvous [--bind ADDR] [--addr-file PATH] [--liveness-ms MS] [--strikes K]"
+    );
     std::process::exit(2);
 }
 
 fn main() {
     let mut bind = "127.0.0.1:0".to_string();
     let mut addr_file: Option<String> = None;
+    let mut liveness_ms: Option<u64> = None;
+    let mut strikes = 3u32;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--bind" => bind = args.next().unwrap_or_else(|| usage()),
             "--addr-file" => addr_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--liveness-ms" => {
+                liveness_ms = args.next().and_then(|v| v.parse().ok()).or_else(|| usage())
+            }
+            "--strikes" => {
+                strikes = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -34,7 +50,11 @@ fn main() {
         }
     }
 
-    let server = match Rendezvous::spawn(&bind) {
+    let spawned = match liveness_ms {
+        Some(ms) => Rendezvous::spawn_with_liveness(&bind, Duration::from_millis(ms), strikes),
+        None => Rendezvous::spawn(&bind),
+    };
+    let server = match spawned {
         Ok(server) => server,
         Err(err) => {
             eprintln!("rendezvous: cannot bind {bind}: {err}");

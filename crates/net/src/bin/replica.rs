@@ -4,6 +4,7 @@
 //! ```text
 //! replica --index I --rendezvous ADDR [--servers N] [--bind ADDR]
 //!         [--cadence-ms MS] [--filter-capacity N] [--seed S]
+//!         [--adaptive] [--target-m M]
 //! ```
 //!
 //! Builds the shard's cluster (per-replica seed derived from `--seed`
@@ -11,16 +12,19 @@
 //! with the rendezvous, prints `replica I listening on <addr>`, and
 //! serves until a `Shutdown` frame arrives. The background reconciler
 //! drains the concurrent write logs every `--cadence-ms` milliseconds.
+//! `--adaptive` rides the same cadence with an online group controller
+//! (the paper's M* model); `--target-m M` pins the controller's target
+//! group size instead (implies `--adaptive`).
 
 use std::time::Duration;
 
-use ghba_core::GhbaConfig;
+use ghba_core::{ControllerConfig, GhbaConfig, TargetM};
 use ghba_net::{ReplicaConfig, ReplicaServer};
 
 fn usage() -> ! {
     eprintln!(
         "usage: replica --index I --rendezvous ADDR [--servers N] [--bind ADDR] \
-         [--cadence-ms MS] [--filter-capacity N] [--seed S]"
+         [--cadence-ms MS] [--filter-capacity N] [--seed S] [--adaptive] [--target-m M]"
     );
     std::process::exit(2);
 }
@@ -40,6 +44,8 @@ fn main() {
     let mut cadence_ms = 50u64;
     let mut filter_capacity: Option<usize> = None;
     let mut seed: Option<u64> = None;
+    let mut adaptive = false;
+    let mut target_m: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -50,6 +56,8 @@ fn main() {
             "--cadence-ms" => cadence_ms = parse(args.next(), "--cadence-ms"),
             "--filter-capacity" => filter_capacity = Some(parse(args.next(), "--filter-capacity")),
             "--seed" => seed = Some(parse(args.next(), "--seed")),
+            "--adaptive" => adaptive = true,
+            "--target-m" => target_m = Some(parse(args.next(), "--target-m")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -69,6 +77,11 @@ fn main() {
     if let Some(seed) = seed {
         base = base.with_seed(seed);
     }
+    let controller = match target_m {
+        Some(m) => Some(ControllerConfig::default().with_target(TargetM::Fixed(m))),
+        None if adaptive => Some(ControllerConfig::default()),
+        None => None,
+    };
     let config = ReplicaConfig {
         replica: index,
         servers,
@@ -76,6 +89,7 @@ fn main() {
         bind,
         rendezvous: Some(rendezvous),
         drain_cadence: Duration::from_millis(cadence_ms),
+        controller,
     };
     let server = match ReplicaServer::spawn(config) {
         Ok(server) => server,

@@ -31,6 +31,53 @@ struct Conn {
     writer: TcpStream,
 }
 
+/// Bounded reconnect policy for lost replica connections.
+///
+/// When a request hits an I/O failure (or the replica closes the
+/// connection mid-stream), the client re-fetches the replica map from
+/// the rendezvous — a restarted replica re-registers under a **new**
+/// address — reconnects, and retries the request, sleeping an
+/// exponentially growing backoff between attempts. Retries are
+/// **at-least-once**: a request whose reply was lost may have been
+/// served before the connection died, so a retried create can observe
+/// its own first attempt. The loss scenarios this targets (replica
+/// crash and restart) discard the dead process's unreconciled state
+/// anyway, which is why the bound is small rather than infinite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Reconnect-and-retry attempts per request (`0` disables retry —
+    /// the first failure propagates, the pre-PR-9 behaviour).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling, so a long outage never sleeps unboundedly.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts, 25ms → 200ms backoff: rides out a replica
+    /// restart (~100ms re-register) without masking a real outage for
+    /// more than ~0.6s.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            initial_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retry: every transport failure propagates immediately.
+    #[must_use]
+    pub fn disabled() -> Self {
+        RetryPolicy {
+            attempts: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
 /// A connected client of the whole fleet.
 ///
 /// Implements [`BatchTransport`], so [`NetClient::execute`] routes a
@@ -39,6 +86,11 @@ struct Conn {
 pub struct NetClient {
     conns: Vec<Conn>,
     next_seq: u64,
+    /// Rendezvous address, kept for reconnect map re-fetches.
+    rendezvous: String,
+    retry: RetryPolicy,
+    /// Reconnects that led to a successful retry, across all replicas.
+    reconnects: u64,
 }
 
 impl std::fmt::Debug for NetClient {
@@ -95,21 +147,63 @@ impl NetClient {
                 .find(|(i, _)| *i == r)
                 .map(|(_, addr)| addr.clone())
                 .expect("checked above");
-            let stream = TcpStream::connect(&addr).map_err(WireError::Io)?;
-            stream.set_nodelay(true).ok();
-            let read_half = stream.try_clone().map_err(WireError::Io)?;
-            conns.push(Conn {
-                replica: r,
-                reader: BufReader::new(read_half),
-                writer: stream,
-            });
+            conns.push(open_conn(r, &addr)?);
         }
-        Ok(NetClient { conns, next_seq: 0 })
+        Ok(NetClient {
+            conns,
+            next_seq: 0,
+            rendezvous: rendezvous.to_string(),
+            retry: RetryPolicy::default(),
+            reconnects: 0,
+        })
+    }
+
+    /// Overrides the reconnect/retry policy (builder style); see
+    /// [`RetryPolicy`].
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Connections re-established by the retry path so far.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
     }
 
     /// Sends one request on replica `replica`'s connection and reads
-    /// the reply.
+    /// the reply. On a transport loss (I/O error or the replica
+    /// closing the connection), re-fetches the replica map from the
+    /// rendezvous, reconnects, and retries under [`RetryPolicy`].
     fn request(&mut self, replica: usize, msg: &NetMessage) -> Result<NetMessage, WireError> {
+        let mut backoff = self.retry.initial_backoff;
+        let mut attempts_left = self.retry.attempts;
+        loop {
+            match self.request_once(replica, msg) {
+                Ok(reply) => return Ok(reply),
+                // Only transport losses are worth a reconnect; a
+                // replica that *answered* with an error stays final.
+                Err(err @ WireError::Io(_)) if attempts_left > 0 => err,
+                Err(err) => return Err(err),
+            };
+            attempts_left -= 1;
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(self.retry.max_backoff);
+            match self.reconnect(replica) {
+                Ok(()) => self.reconnects += 1,
+                // The replica may still be re-registering: the next
+                // `request_once` on the stale connection fails fast and
+                // spends another attempt, so the budget stays bounded —
+                // but surface the rendezvous-side error once it's gone.
+                Err(reconnect_err) if attempts_left == 0 => return Err(reconnect_err),
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// One send/receive on the current connection, no retry.
+    fn request_once(&mut self, replica: usize, msg: &NetMessage) -> Result<NetMessage, WireError> {
         let conn = &mut self.conns[replica];
         msg.write_to(&mut conn.writer)?;
         match NetMessage::read_from(&mut conn.reader)? {
@@ -120,10 +214,29 @@ impl NetClient {
                 ),
             }),
             Some(reply) => Ok(reply),
-            None => Err(WireError::Protocol {
-                detail: format!("replica {} closed the connection", conn.replica),
-            }),
+            // A clean EOF is the same loss as a reset for our purposes:
+            // classify as I/O so the retry path reconnects.
+            None => Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                format!("replica {} closed the connection", conn.replica),
+            ))),
         }
+    }
+
+    /// Re-fetches the replica map (a restarted replica re-registers
+    /// under a new address) and reopens replica `replica`'s connection.
+    fn reconnect(&mut self, replica: usize) -> Result<(), WireError> {
+        let index = self.conns[replica].replica;
+        let map = fetch_map(&self.rendezvous)?;
+        let addr = map
+            .iter()
+            .find(|(i, _)| *i == index)
+            .map(|(_, addr)| addr.clone())
+            .ok_or_else(|| WireError::Protocol {
+                detail: format!("replica {index} is no longer in the rendezvous map"),
+            })?;
+        self.conns[replica] = open_conn(index, &addr)?;
+        Ok(())
     }
 
     /// Executes `batch` across the fleet (see [`execute_sharded`]).
@@ -295,6 +408,18 @@ impl BatchTransport for NetClient {
             }),
         }
     }
+}
+
+/// Opens one replica connection (nodelay, split read/write halves).
+fn open_conn(replica: u16, addr: &str) -> Result<Conn, WireError> {
+    let stream = TcpStream::connect(addr).map_err(WireError::Io)?;
+    stream.set_nodelay(true).ok();
+    let read_half = stream.try_clone().map_err(WireError::Io)?;
+    Ok(Conn {
+        replica,
+        reader: BufReader::new(read_half),
+        writer: stream,
+    })
 }
 
 /// One-shot rendezvous map fetch.

@@ -7,14 +7,24 @@
 //! until the expected fleet size appears — the networked stand-in for
 //! the in-process cluster's membership snapshot.
 //!
-//! The service is deliberately dumb: no health checking, no leases.
-//! A re-registration of the same index overwrites the address (a
-//! replica restarting on a new port) and still bumps the epoch, so
-//! clients can detect the change.
+//! The directory itself stays lease-free: a re-registration of the
+//! same index overwrites the address (a replica restarting on a new
+//! port) and still bumps the epoch, so clients can detect the change.
+//! Liveness is an opt-in strand on top
+//! ([`Rendezvous::spawn_with_liveness`]): a background sweep pings
+//! every registered replica on a cadence, and an entry that misses
+//! `strikes` consecutive sweeps is pruned from the directory (bumping
+//! the epoch). Plain [`Rendezvous::spawn`] never pings, so directory
+//! entries may be stale by construction — tests register fake
+//! addresses and rely on that.
 
-use std::collections::BTreeMap;
-use std::net::SocketAddr;
+use std::collections::{BTreeMap, HashMap};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ghba_core::Reconciler;
 
 use crate::proto::NetMessage;
 use crate::serve::{ServerCore, Service, ServiceReply, ERR_UNSUPPORTED};
@@ -65,6 +75,7 @@ impl Service for RendezvousService {
 pub struct Rendezvous {
     core: ServerCore,
     service: Arc<RendezvousService>,
+    liveness: Option<Reconciler>,
 }
 
 impl std::fmt::Debug for RendezvousService {
@@ -88,7 +99,78 @@ impl Rendezvous {
             "rendezvous",
             Arc::<RendezvousService>::clone(&service),
         )?;
-        Ok(Rendezvous { core, service })
+        Ok(Rendezvous {
+            core,
+            service,
+            liveness: None,
+        })
+    }
+
+    /// Like [`Rendezvous::spawn`], plus a background liveness sweep:
+    /// every `cadence`, each registered replica is pinged on its
+    /// serving address, and an entry that fails `strikes` consecutive
+    /// sweeps is pruned from the directory (bumping the epoch so
+    /// clients notice). A successful ping clears the entry's strikes,
+    /// and a re-registration — same index, new address — starts from
+    /// zero: strikes follow the `(index, addr)` pair, never the index
+    /// alone, so a restarted replica can't inherit its predecessor's
+    /// misses. A racing re-registration also wins over a prune: the
+    /// sweep only removes the exact address it struck out.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn spawn_with_liveness(
+        bind: &str,
+        cadence: Duration,
+        strikes: u32,
+    ) -> std::io::Result<Rendezvous> {
+        let strikes = strikes.max(1);
+        let mut server = Rendezvous::spawn(bind)?;
+        let service = Arc::clone(&server.service);
+        let mut missed: HashMap<(u16, String), u32> = HashMap::new();
+        let mut nonce = 0u64;
+        server.liveness = Some(Reconciler::spawn(cadence, move || {
+            let entries: Vec<(u16, String)> = {
+                let dir = service.directory.lock().expect("directory poisoned");
+                dir.replicas
+                    .iter()
+                    .map(|(&index, addr)| (index, addr.clone()))
+                    .collect()
+            };
+            // Strikes for entries no longer in the directory are dead
+            // weight (pruned or re-registered elsewhere): drop them.
+            missed.retain(|key, _| entries.contains(key));
+            let mut dead = Vec::new();
+            for (index, addr) in entries {
+                nonce += 1;
+                if ping(&addr, nonce) {
+                    missed.remove(&(index, addr));
+                    continue;
+                }
+                let count = missed.entry((index, addr.clone())).or_insert(0);
+                *count += 1;
+                if *count >= strikes {
+                    dead.push((index, addr));
+                }
+            }
+            if dead.is_empty() {
+                return;
+            }
+            let mut dir = service.directory.lock().expect("directory poisoned");
+            let mut pruned = false;
+            for (index, addr) in dead {
+                if dir.replicas.get(&index) == Some(&addr) {
+                    dir.replicas.remove(&index);
+                    missed.remove(&(index, addr));
+                    pruned = true;
+                }
+            }
+            if pruned {
+                dir.epoch += 1;
+            }
+        }));
+        Ok(server)
     }
 
     /// The bound serving address.
@@ -117,10 +199,39 @@ impl Rendezvous {
         self.core.is_stopped()
     }
 
-    /// Stops the server and joins its threads.
+    /// Stops the liveness sweep (if any) and the server, joining every
+    /// thread.
     pub fn shutdown(mut self) {
+        if let Some(liveness) = self.liveness.take() {
+            liveness.shutdown();
+        }
         self.core.shutdown();
     }
+}
+
+/// One liveness probe: connect, send [`NetMessage::Ping`], expect the
+/// echoed [`NetMessage::Pong`] within a short read timeout. Any
+/// failure — refused connection, timeout, wrong reply — is one strike.
+fn ping(addr: &str, nonce: u64) -> bool {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return false,
+    };
+    let ping = NetMessage::Ping { nonce };
+    if ping.write_to(&mut writer).is_err() {
+        return false;
+    }
+    let mut reader = BufReader::new(stream);
+    matches!(
+        NetMessage::read_from(&mut reader),
+        Ok(Some(NetMessage::Pong { nonce: echoed })) if echoed == nonce
+    )
 }
 
 #[cfg(test)]

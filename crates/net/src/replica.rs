@@ -38,7 +38,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
-use ghba_core::{GhbaCluster, GhbaConfig, MdsId, MetadataService, Reconciler};
+use ghba_core::{
+    ControllerConfig, GhbaCluster, GhbaConfig, GroupController, MdsId, MetadataService, Reconciler,
+};
 
 use crate::proto::NetMessage;
 use crate::route::replica_config;
@@ -62,6 +64,12 @@ pub struct ReplicaConfig {
     /// Background reconciliation cadence. Long cadences effectively
     /// disable the background strand (tests drive drains explicitly).
     pub drain_cadence: Duration,
+    /// When set, an online [`GroupController`] rides the reconciler
+    /// cadence: each tick closes a load window
+    /// ([`GhbaCluster::load_report`]) and actuates any planned
+    /// split/merge/rebalance through the cluster's reconfig handle —
+    /// the adaptive control plane, on by opt-in only.
+    pub controller: Option<ControllerConfig>,
 }
 
 impl ReplicaConfig {
@@ -76,6 +84,7 @@ impl ReplicaConfig {
             bind: "127.0.0.1:0".to_string(),
             rendezvous: None,
             drain_cadence: Duration::from_millis(50),
+            controller: None,
         }
     }
 
@@ -93,6 +102,15 @@ impl ReplicaConfig {
         self.drain_cadence = cadence;
         self
     }
+
+    /// Enables the adaptive control plane: a [`GroupController`] with
+    /// this configuration ticks on the reconciler cadence (builder
+    /// style).
+    #[must_use]
+    pub fn with_controller(mut self, cfg: ControllerConfig) -> Self {
+        self.controller = Some(cfg);
+        self
+    }
 }
 
 /// State shared between connection threads and the reconciler.
@@ -105,6 +123,9 @@ struct ReplicaShared {
     /// Write records reconciled over the server's lifetime (both
     /// barrier drains and background ticks).
     drained_total: AtomicU64,
+    /// Reconfigurations the online controller actuated (splits +
+    /// merges + rebalances) over the server's lifetime.
+    adapt_actions: AtomicU64,
 }
 
 impl ReplicaShared {
@@ -118,6 +139,20 @@ impl ReplicaShared {
         self.drained_total
             .fetch_add(before.saturating_sub(after), Ordering::Relaxed);
         (before.saturating_sub(after), after)
+    }
+
+    /// One control-plane tick: closes the cluster's load window and
+    /// actuates whatever the controller plans through the reconfig
+    /// handle. Runs under the **read** lock — actuation is a
+    /// one-pointer snapshot swap, so serving never pauses for it.
+    fn adapt_tick(&self, controller: &mut GroupController) {
+        let cluster = self.cluster.read().expect("cluster lock poisoned");
+        let report = cluster.load_report();
+        let handle = cluster.reconfig_handle();
+        drop(cluster);
+        let accepted = controller.actuate(&report, &handle);
+        self.adapt_actions
+            .fetch_add(accepted.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -220,6 +255,7 @@ impl ReplicaServer {
             membership: Mutex::new((0, Vec::new())),
             batches_served: AtomicU64::new(0),
             drained_total: AtomicU64::new(0),
+            adapt_actions: AtomicU64::new(0),
         });
         let core = ServerCore::spawn(
             &config.bind,
@@ -228,8 +264,12 @@ impl ReplicaServer {
         )?;
         let reconciler = {
             let shared = Arc::clone(&shared);
+            let mut controller = config.controller.clone().map(GroupController::new);
             Reconciler::spawn(config.drain_cadence, move || {
                 let _ = shared.drain();
+                if let Some(controller) = controller.as_mut() {
+                    shared.adapt_tick(controller);
+                }
             })
         };
         let server = ReplicaServer {
@@ -290,6 +330,13 @@ impl ReplicaServer {
     #[must_use]
     pub fn drained_total(&self) -> u64 {
         self.shared.drained_total.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigurations the online controller actuated since startup
+    /// (0 when [`ReplicaConfig::controller`] is unset).
+    #[must_use]
+    pub fn adapt_actions(&self) -> u64 {
+        self.shared.adapt_actions.load(Ordering::Relaxed)
     }
 
     /// `true` once a stop has been requested (locally or by a remote
@@ -461,6 +508,45 @@ mod tests {
             positives.contains(&MdsId(3)),
             "published filter must claim the create (got {positives:?})"
         );
+        server.shutdown();
+    }
+
+    #[test]
+    fn controller_splits_hot_group_under_live_traffic() {
+        // 16 servers in two groups of 8: pinning every lookup into the
+        // first group gives it a 1.0 traffic share (fair is 0.5, hot
+        // threshold 0.8), so the controller riding the reconciler
+        // cadence must split it — without pausing the serving strand.
+        let server = ReplicaServer::spawn(
+            ReplicaConfig::new(0, 16, config().with_max_group_size(8))
+                .with_drain_cadence(Duration::from_millis(10))
+                .with_controller(ghba_core::ControllerConfig::default()),
+        )
+        .expect("spawn");
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut seq = 0u64;
+        while server.adapt_actions() == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "controller never actuated on an all-hot group"
+            );
+            let mut batch = OpBatch::new().with_entry(ghba_core::EntryPolicy::Pinned(MdsId(0)));
+            for i in 0..96 {
+                batch.push_lookup(format!("/hot/f{i}"));
+            }
+            let reply = request(server.addr(), &NetMessage::ExecuteBatch { seq, batch });
+            assert!(matches!(reply, NetMessage::BatchReply { .. }));
+            seq += 1;
+        }
+        // Serving continues across the actuated reconfiguration.
+        let mut batch = OpBatch::new().with_entry(ghba_core::EntryPolicy::Pinned(MdsId(0)));
+        batch.push_create("/hot/after");
+        batch.push_lookup("/hot/after");
+        let reply = request(server.addr(), &NetMessage::ExecuteBatch { seq, batch });
+        let NetMessage::BatchReply { outcomes, .. } = reply else {
+            panic!("got {reply:?}");
+        };
+        assert!(outcomes[1].home().is_some(), "lookup after split resolves");
         server.shutdown();
     }
 

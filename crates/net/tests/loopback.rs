@@ -22,7 +22,10 @@
 use std::time::Duration;
 
 use ghba_core::{EntryPolicy, GhbaConfig, OpBatch, OpOutcome};
-use ghba_net::{execute_sharded, record_batches, FleetSpec, LoopbackNet};
+use ghba_net::{
+    execute_sharded, record_batches, FleetSpec, LoopbackNet, NetClient, Rendezvous, ReplicaConfig,
+    ReplicaServer,
+};
 use ghba_trace::{ClientPartition, WorkloadProfile};
 
 const REPLICAS: usize = 3;
@@ -238,6 +241,85 @@ fn background_cadence_drains_without_barriers() {
         std::thread::sleep(Duration::from_millis(10));
     }
     net.shutdown();
+}
+
+/// A client survives a replica crash-and-restart: the retry path
+/// re-fetches the map (the restarted replica re-registered under a
+/// *new* ephemeral port), reconnects, and the request succeeds — no
+/// failure surfaces to the caller.
+#[test]
+fn client_reconnects_after_replica_restart() {
+    let rendezvous = Rendezvous::spawn("127.0.0.1:0").expect("rendezvous binds");
+    let rv_addr = rendezvous.addr().to_string();
+    let replica = ReplicaServer::spawn(
+        ReplicaConfig::new(0, 2, base_config()).with_rendezvous(rv_addr.clone()),
+    )
+    .expect("replica spawns");
+    let old_addr = replica.addr();
+
+    let mut client =
+        NetClient::connect(&rv_addr, 1, Duration::from_secs(10)).expect("client connects");
+    client.ping_all(1).expect("fleet answers before the crash");
+
+    // Crash: the replica goes away entirely, its port with it.
+    replica.shutdown();
+    // Restart under the same shard index — a new ephemeral port, so a
+    // stale client connection (and a stale map) can't reach it.
+    let replica =
+        ReplicaServer::spawn(ReplicaConfig::new(0, 2, base_config()).with_rendezvous(rv_addr))
+            .expect("replica restarts");
+    assert_ne!(replica.addr(), old_addr, "restart must change the port");
+
+    // The client's connection is dead, but the request still succeeds:
+    // loss → map re-fetch → reconnect → retry, inside `request`.
+    client.ping_all(2).expect("retry path hides the restart");
+    assert!(client.reconnects() >= 1, "the success came via reconnect");
+    let mut batch = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 0 });
+    batch.push_create("/retry/a");
+    batch.push_lookup("/retry/a");
+    let outcomes = client.execute(&batch).expect("batches flow again");
+    assert!(outcomes[1].home().is_some());
+
+    replica.shutdown();
+    rendezvous.shutdown();
+}
+
+/// The rendezvous liveness sweep prunes a replica that stops answering
+/// pings — and only that one: the live replica stays registered while
+/// the dead entry disappears and the epoch advances past the prune.
+#[test]
+fn rendezvous_liveness_prunes_silent_replicas() {
+    let rendezvous = Rendezvous::spawn_with_liveness("127.0.0.1:0", Duration::from_millis(10), 2)
+        .expect("rendezvous binds");
+    let rv_addr = rendezvous.addr().to_string();
+    let live = ReplicaServer::spawn(
+        ReplicaConfig::new(0, 2, base_config()).with_rendezvous(rv_addr.clone()),
+    )
+    .expect("replica spawns");
+    let doomed =
+        ReplicaServer::spawn(ReplicaConfig::new(1, 2, base_config()).with_rendezvous(rv_addr))
+            .expect("replica spawns");
+    // Both registered; the sweep sees both answering.
+    assert_eq!(rendezvous.snapshot().1.len(), 2);
+
+    // Replica 1 goes silent (its port stops accepting).
+    doomed.shutdown();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let (_, replicas) = rendezvous.snapshot();
+        if replicas.len() == 1 {
+            assert_eq!(replicas[0].0, 0, "the live replica must survive");
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "liveness sweep never pruned the dead replica"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    live.shutdown();
+    rendezvous.shutdown();
 }
 
 /// Liveness plumbing: pings echo, batches are counted, and a fresh

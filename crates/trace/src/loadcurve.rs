@@ -1,0 +1,182 @@
+//! Time-varying load curves: the missing axis of the static profiles.
+//!
+//! [`WorkloadProfile`] fixes *what* the traffic looks like;
+//! a [`LoadCurve`] fixes *when* and *where* it lands. A curve is a
+//! sequence of [`LoadPhase`]s over a normalized `[0, 1)` timeline,
+//! each phase carrying an intensity multiplier (against the run's
+//! nominal rate) and an optional hot focus — the fraction of traffic
+//! collapsed onto one region of the key space. The canonical curve,
+//! [`LoadCurve::diurnal_flash`], is a diurnal swell with a flash crowd
+//! spike: the adaptive-control benchmark drives it at the online
+//! controller to force split (flash), merge (night trough), and
+//! rebalance (skewed shoulders) decisions within one run.
+
+/// One phase of a [`LoadCurve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPhase {
+    /// Display name (`"night"`, `"flash"`, …).
+    pub name: &'static str,
+    /// Phase length as a fraction of the whole run; a curve's
+    /// durations sum to 1.0.
+    pub duration: f64,
+    /// Traffic intensity relative to the run's nominal rate
+    /// (`1.0` = nominal, `0.2` = trough, `6.0` = flash crowd).
+    pub intensity: f64,
+    /// Fraction of this phase's traffic aimed at the hot region
+    /// (`0.0` = uniform). The *driver* decides what "the hot region"
+    /// is — typically one group's entry servers.
+    pub hot_focus: f64,
+}
+
+/// A piecewise-constant load curve over a normalized `[0, 1)` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadCurve {
+    phases: Vec<LoadPhase>,
+}
+
+impl LoadCurve {
+    /// Builds a curve from `phases`, normalizing durations so they sum
+    /// to 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `phases` is empty or all durations are zero.
+    #[must_use]
+    pub fn new(mut phases: Vec<LoadPhase>) -> Self {
+        assert!(!phases.is_empty(), "a load curve needs at least one phase");
+        let total: f64 = phases.iter().map(|p| p.duration.max(0.0)).sum();
+        assert!(total > 0.0, "a load curve needs positive total duration");
+        for phase in &mut phases {
+            phase.duration = phase.duration.max(0.0) / total;
+        }
+        LoadCurve { phases }
+    }
+
+    /// The paper-style evaluation curve: a diurnal swell from a night
+    /// trough through a morning ramp into a working-day plateau, with
+    /// a flash crowd mid-day (6× nominal, 90% of it focused on one hot
+    /// region) and an evening cool-down whose skew lands on a *second*
+    /// region. One pass exercises every controller decision: the flash
+    /// forces a split, the trough's idle windows gate actions off, and
+    /// the migrated cooldown skew forces a second, independent one.
+    #[must_use]
+    pub fn diurnal_flash() -> Self {
+        LoadCurve::new(vec![
+            LoadPhase {
+                name: "night",
+                duration: 0.20,
+                intensity: 0.2,
+                hot_focus: 0.0,
+            },
+            LoadPhase {
+                name: "ramp",
+                duration: 0.15,
+                intensity: 1.0,
+                hot_focus: 0.3,
+            },
+            LoadPhase {
+                name: "day",
+                duration: 0.20,
+                intensity: 2.0,
+                hot_focus: 0.1,
+            },
+            LoadPhase {
+                name: "flash",
+                duration: 0.15,
+                intensity: 6.0,
+                hot_focus: 0.9,
+            },
+            LoadPhase {
+                name: "cooldown",
+                duration: 0.15,
+                intensity: 1.5,
+                hot_focus: 0.4,
+            },
+            LoadPhase {
+                name: "evening",
+                duration: 0.15,
+                intensity: 0.5,
+                hot_focus: 0.0,
+            },
+        ])
+    }
+
+    /// The phases, normalized.
+    #[must_use]
+    pub fn phases(&self) -> &[LoadPhase] {
+        &self.phases
+    }
+
+    /// The phase active at normalized time `t`; `t` is clamped into
+    /// `[0, 1)`, so any drive loop indexing past the end stays on the
+    /// final phase.
+    #[must_use]
+    pub fn phase_at(&self, t: f64) -> &LoadPhase {
+        let t = t.clamp(0.0, 1.0);
+        let mut acc = 0.0;
+        for phase in &self.phases {
+            acc += phase.duration;
+            if t < acc {
+                return phase;
+            }
+        }
+        self.phases.last().expect("non-empty by construction")
+    }
+
+    /// Peak intensity across the curve (the flash crowd's multiplier).
+    #[must_use]
+    pub fn peak_intensity(&self) -> f64 {
+        self.phases.iter().map(|p| p.intensity).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_normalize_and_phase_lookup_is_ordered() {
+        let curve = LoadCurve::new(vec![
+            LoadPhase {
+                name: "a",
+                duration: 2.0,
+                intensity: 1.0,
+                hot_focus: 0.0,
+            },
+            LoadPhase {
+                name: "b",
+                duration: 6.0,
+                intensity: 3.0,
+                hot_focus: 0.5,
+            },
+        ]);
+        assert!((curve.phases()[0].duration - 0.25).abs() < 1e-12);
+        assert_eq!(curve.phase_at(0.0).name, "a");
+        assert_eq!(curve.phase_at(0.24).name, "a");
+        assert_eq!(curve.phase_at(0.26).name, "b");
+        assert_eq!(curve.phase_at(0.999).name, "b");
+        // Past-the-end and negative times clamp instead of panicking.
+        assert_eq!(curve.phase_at(7.0).name, "b");
+        assert_eq!(curve.phase_at(-1.0).name, "a");
+    }
+
+    #[test]
+    fn diurnal_flash_covers_the_controller_decision_space() {
+        let curve = LoadCurve::diurnal_flash();
+        let total: f64 = curve.phases().iter().map(|p| p.duration).sum();
+        assert!((total - 1.0).abs() < 1e-12, "durations must sum to 1");
+        assert_eq!(curve.peak_intensity(), 6.0);
+        // The flash phase is the hottest *and* the most focused —
+        // that's what forces a split decision.
+        let flash = curve
+            .phases()
+            .iter()
+            .find(|p| p.name == "flash")
+            .expect("flash phase");
+        assert!(flash.hot_focus >= 0.9 && flash.intensity >= 4.0);
+        // The trough is calm and uniform — the idle gate must hold.
+        let night = curve.phase_at(0.0);
+        assert_eq!(night.name, "night");
+        assert!(night.intensity < 0.5 && night.hot_focus == 0.0);
+    }
+}

@@ -20,7 +20,9 @@
 //! * [`cluster`] — the threaded message-passing prototype;
 //! * [`net`] — the multi-process networked deployment (binary wire
 //!   protocol, rendezvous/replica/loadgen binaries, loopback harness);
-//! * [`replay`] — drive any scheme with any workload.
+//! * [`replay`] — drive any scheme with any workload;
+//! * [`scenario`] — time-varying load curves on the simnet event queue,
+//!   with the online group controller ticking in-band.
 //!
 //! ## Quick start
 //!
@@ -51,3 +53,4 @@ pub use ghba_simnet as simnet;
 pub use ghba_trace as trace;
 
 pub mod replay;
+pub mod scenario;
