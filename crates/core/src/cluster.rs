@@ -11,7 +11,7 @@ use std::sync::{Arc, Mutex};
 use ghba_bloom::{FilterDelta, Fingerprint, Hit, ProbeBatch, SharedShapeArray, SlotMask};
 use ghba_simnet::{Counters, DetRng, LatencyStats};
 
-use crate::concurrent::{ConcurrentStats, NamespaceShards, OverlayEntry, WriteKind};
+use crate::concurrent::{ConcurrentStats, NamespaceShards, OverlayEntry, WriteKind, WriteRecord};
 use crate::config::{GhbaConfig, MaskCacheLifecycle};
 use crate::exec::{resolve_unique, run_chunked};
 use crate::group::Group;
@@ -374,6 +374,12 @@ pub struct GhbaCluster {
     /// Per-worker walk arenas (arena 0 doubles as the sequential
     /// scratch), grown lazily to the configured worker count.
     scratch: Vec<WalkScratch>,
+    /// The attached write-ahead log, if any (see [`crate::wal`]): every
+    /// shard-log drain and flush barrier is appended here before its
+    /// effects apply. Boxed to keep the common (undurable) cluster
+    /// layout compact; deliberately **not** cloned — a clone is an
+    /// independent in-memory twin, not a second writer of the same log.
+    pub(crate) wal: Option<Box<crate::wal::Wal>>,
 }
 
 impl Clone for GhbaCluster {
@@ -405,6 +411,7 @@ impl Clone for GhbaCluster {
             load_fold: Mutex::new(crate::load::LoadFold::new()),
             shim_entry: self.shim_entry,
             scratch: self.scratch.clone(),
+            wal: None,
         }
     }
 }
@@ -429,6 +436,7 @@ impl GhbaCluster {
             load_fold: Mutex::new(crate::load::LoadFold::new()),
             shim_entry: EntryPolicy::Random,
             scratch: Vec::new(),
+            wal: None,
         }
     }
 
@@ -1288,7 +1296,23 @@ impl GhbaCluster {
             return;
         }
         let (records, staged) = self.shards.take_all();
-        for record in &records {
+        // Write-ahead: the drained batch is logged (and, per policy,
+        // synced) before any of its effects publish — recovery can then
+        // never observe an effect the log is missing.
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append_drain(&records, &staged)
+                .expect("WAL append failed: cannot publish unlogged effects");
+        }
+        self.apply_write_records(&records);
+        self.reconcile_staged(&staged);
+        self.maybe_checkpoint();
+    }
+
+    /// Replays drained write records against the authoritative stores
+    /// and live filters (shard-index order; per-path order is total
+    /// because a path always hashes to the same shard).
+    pub(crate) fn apply_write_records(&mut self, records: &[WriteRecord]) {
+        for record in records {
             match record.kind {
                 WriteKind::Create(home) => {
                     self.mdss
@@ -1305,35 +1329,42 @@ impl GhbaCluster {
                 }
             }
         }
-        // No per-record `maybe_publish`: staged create bits are already
-        // in the columns, and the gated publish cadence resumes with the
-        // next owner-side write.
-        if !staged.is_empty() {
-            let routes = Arc::clone(&self.routes);
-            let mut edit = RouteEdit::begin(&routes, self.config.epoch_granularity);
-            let mut ops: Vec<(MdsId, FilterDelta)> = Vec::new();
-            for &home in &staged {
-                let Some(mds) = self.mdss.get_mut(&home) else {
-                    continue;
-                };
-                // Refresh the server's own published filter from its
-                // (just replayed) live state, then overwrite the
-                // column's changed words to match it exactly.
-                let _ = mds.publish();
-                let Some(column) = edit.work.slab.extract(home) else {
-                    continue;
-                };
-                if let Ok(delta) = FilterDelta::between(&column, mds.published()) {
-                    if !delta.is_empty() {
-                        ops.push((home, delta));
-                    }
+    }
+
+    /// Syncs each staged home's server-side published filter with its
+    /// slab column so `column == published` holds again.
+    ///
+    /// No per-record `maybe_publish`: staged create bits are already in
+    /// the columns, and the gated publish cadence resumes with the next
+    /// owner-side write.
+    pub(crate) fn reconcile_staged(&mut self, staged: &[MdsId]) {
+        if staged.is_empty() {
+            return;
+        }
+        let routes = Arc::clone(&self.routes);
+        let mut edit = RouteEdit::begin(&routes, self.config.epoch_granularity);
+        let mut ops: Vec<(MdsId, FilterDelta)> = Vec::new();
+        for &home in staged {
+            let Some(mds) = self.mdss.get_mut(&home) else {
+                continue;
+            };
+            // Refresh the server's own published filter from its
+            // (just replayed) live state, then overwrite the
+            // column's changed words to match it exactly.
+            let _ = mds.publish();
+            let Some(column) = edit.work.slab.extract(home) else {
+                continue;
+            };
+            if let Ok(delta) = FilterDelta::between(&column, mds.published()) {
+                if !delta.is_empty() {
+                    ops.push((home, delta));
                 }
             }
-            for (home, delta) in ops {
-                edit.push_op(SlabOp::Delta(home, delta));
-            }
-            edit.commit();
         }
+        for (home, delta) in ops {
+            edit.push_op(SlabOp::Delta(home, delta));
+        }
+        edit.commit();
     }
 
     /// Pending concurrent write records awaiting the next

@@ -307,7 +307,7 @@ pub enum WriteKind {
 
 /// One pending write, replayed verbatim against the real stores at
 /// drain time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WriteRecord {
     /// The path the write targets.
     pub path: String,

@@ -63,6 +63,7 @@ mod reconfig;
 mod service;
 mod snapshot;
 mod update;
+pub mod wal;
 
 pub use adapt::{AdaptAction, ControllerConfig, GroupController, TargetM};
 pub use cluster::{ClusterStats, GhbaCluster};
@@ -83,3 +84,6 @@ pub use reconfig::{ReconfigError, ReconfigReport};
 pub use service::MetadataService;
 pub use snapshot::{CellWriter, ReconfigHandle, RouteSnapshot, SlabOp, SlabSpare, SnapshotCell};
 pub use update::UpdateReport;
+pub use wal::{
+    Checkpoint, SyncPolicy, Wal, WalError, WalEvent, WalOptions, WalRecord, WalRecovery,
+};

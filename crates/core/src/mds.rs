@@ -151,11 +151,19 @@ impl Mds {
     /// holding the path's admission-time fingerprint (a batched op
     /// pipeline) skip the byte pass entirely.
     pub fn create_local_fp(&mut self, path: &str, fp: &Fingerprint) {
-        self.store.create(path);
-        self.live.insert_fp(fp);
-        // Keep the plain projection current when it is clean; when it is
-        // dirty the pending rebuild overwrites this anyway.
-        self.live_plain.insert_fp(fp);
+        let existed = self.store.create(path).is_some();
+        // Re-creating an existing path bumps its version but must not
+        // double-insert into the counting filter: the live filter holds
+        // exactly one count per stored path, so a later remove clears its
+        // bits fully instead of stranding a permanent false positive —
+        // and so live state stays a pure function of the namespace (the
+        // property checkpoint/WAL recovery rebuilds it from).
+        if !existed {
+            self.live.insert_fp(fp);
+            // Keep the plain projection current when it is clean; when it
+            // is dirty the pending rebuild overwrites this anyway.
+            self.live_plain.insert_fp(fp);
+        }
         self.mutations_since_publish += 1;
         self.mutations_since_drift_check += 1;
         self.recharge_metacache();
@@ -298,6 +306,31 @@ impl Mds {
         }
         self.published = self.live_plain.clone();
         Some(delta)
+    }
+
+    /// The publish-cadence counters `(since_publish, since_drift_check)`
+    /// — captured into checkpoints so recovery resumes the gated drift
+    /// protocol exactly where the crash left it.
+    pub(crate) fn durable_counters(&self) -> (u64, u64) {
+        (
+            self.mutations_since_publish,
+            self.mutations_since_drift_check,
+        )
+    }
+
+    /// Checkpoint restore: overwrites the published snapshot and the
+    /// publish-cadence counters. Called *after* the namespace has been
+    /// replayed into the live filters (which bumps the counters), so
+    /// the restore must come last to land the captured values.
+    pub(crate) fn restore_published(
+        &mut self,
+        published: BloomFilter,
+        since_publish: u64,
+        since_drift: u64,
+    ) {
+        self.published = published;
+        self.mutations_since_publish = since_publish;
+        self.mutations_since_drift_check = since_drift;
     }
 
     /// Hands every file (path and attributes) to the caller and resets the

@@ -38,6 +38,9 @@ struct Signal {
 #[derive(Default)]
 struct State {
     stop: bool,
+    /// Crash semantics: skip the final shutdown tick too (see
+    /// [`Reconciler::abort`]).
+    abandon: bool,
     /// Manual wakeups requested via [`Reconciler::trigger`] and not yet
     /// served.
     triggers: u64,
@@ -120,7 +123,11 @@ impl Reconciler {
                     thread_ticks.fetch_add(1, Ordering::Release);
                     state = thread_signal.state.lock().expect("reconciler signal");
                 }
+                let abandon = state.abandon;
                 drop(state);
+                if abandon {
+                    return;
+                }
                 // The shutdown tick: drain whatever accumulated since
                 // the last cadence so teardown strands nothing.
                 tick();
@@ -160,6 +167,27 @@ impl Reconciler {
     /// Panics if the reconciliation closure panicked on the thread.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
+    }
+
+    /// Stops the cadence thread **without** the final tick — fault
+    /// injection's kill switch. State the closure would have reconciled
+    /// stays stranded, exactly as a crash would strand it; pair with a
+    /// WAL-backed cluster to exercise recovery. Joins before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reconciliation closure panicked on the thread.
+    pub fn abort(mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        {
+            let mut state = self.signal.state.lock().expect("reconciler signal");
+            state.stop = true;
+            state.abandon = true;
+        }
+        self.signal.wake.notify_one();
+        handle.join().expect("reconciler thread panicked");
     }
 
     fn shutdown_in_place(&mut self) {
@@ -232,5 +260,17 @@ mod tests {
         reconciler.shutdown();
         // No cadence or trigger fired; exactly the shutdown tick ran.
         assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn abort_skips_the_final_tick() {
+        let count = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&count);
+        let reconciler = Reconciler::spawn(Duration::from_secs(300), move || {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        reconciler.abort();
+        // Crash semantics: nothing ran — not even the teardown drain.
+        assert_eq!(count.load(Ordering::Relaxed), 0);
     }
 }

@@ -132,6 +132,15 @@ impl GhbaCluster {
     /// a barrier used by experiments that need fresh replicas (and by
     /// departures).
     pub fn flush_all_updates(&mut self) -> UpdateReport {
+        // Write-ahead: drain (and log) pending concurrent writes first so
+        // the flush record lands *after* the drain whose effects it
+        // publishes; the per-server `push_update` drains below are then
+        // clean no-ops.
+        self.maybe_drain();
+        if let Some(wal) = self.wal.as_mut() {
+            wal.append_flush()
+                .expect("WAL append failed: cannot publish unlogged flush");
+        }
         let ids = self.server_ids();
         let mut total = UpdateReport::default();
         for id in ids {

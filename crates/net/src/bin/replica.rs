@@ -5,6 +5,8 @@
 //! replica --index I --rendezvous ADDR [--servers N] [--bind ADDR]
 //!         [--cadence-ms MS] [--filter-capacity N] [--seed S]
 //!         [--adaptive] [--target-m M]
+//!         [--wal-dir DIR] [--sync-policy every|group:<ms>|none]
+//!         [--checkpoint-every N] [--crash-after-batches N]
 //! ```
 //!
 //! Builds the shard's cluster (per-replica seed derived from `--seed`
@@ -15,16 +17,30 @@
 //! `--adaptive` rides the same cadence with an online group controller
 //! (the paper's M* model); `--target-m M` pins the controller's target
 //! group size instead (implies `--adaptive`).
+//!
+//! `--wal-dir DIR` makes the shard durable: on startup the cluster is
+//! recovered from `DIR` (checkpoint + WAL-tail replay; an empty
+//! directory is a fresh first boot), it re-registers with the
+//! rendezvous under a bumped directory epoch, and every subsequent
+//! drain is write-ahead logged. `--sync-policy` picks the durability
+//! point (`every` = fdatasync per batch, `group:<ms>` = group commit,
+//! `none` = OS-paced), `--checkpoint-every N` bounds the log.
+//! `--crash-after-batches N` is fault injection: the process aborts
+//! (SIGABRT — no drain, no unwind) after serving N batches, so
+//! kill-and-recover harnesses can crash a replica mid-load
+//! deterministically.
 
 use std::time::Duration;
 
-use ghba_core::{ControllerConfig, GhbaConfig, TargetM};
+use ghba_core::{ControllerConfig, GhbaConfig, SyncPolicy, TargetM};
 use ghba_net::{ReplicaConfig, ReplicaServer};
 
 fn usage() -> ! {
     eprintln!(
         "usage: replica --index I --rendezvous ADDR [--servers N] [--bind ADDR] \
-         [--cadence-ms MS] [--filter-capacity N] [--seed S] [--adaptive] [--target-m M]"
+         [--cadence-ms MS] [--filter-capacity N] [--seed S] [--adaptive] [--target-m M] \
+         [--wal-dir DIR] [--sync-policy every|group:<ms>|none] [--checkpoint-every N] \
+         [--crash-after-batches N]"
     );
     std::process::exit(2);
 }
@@ -34,6 +50,21 @@ fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
         eprintln!("replica: bad or missing value for {flag}");
         usage();
     })
+}
+
+fn parse_sync_policy(value: Option<String>) -> SyncPolicy {
+    let Some(value) = value else { usage() };
+    match value.as_str() {
+        "every" => SyncPolicy::EveryBatch,
+        "none" => SyncPolicy::None,
+        other => match other.strip_prefix("group:").and_then(|ms| ms.parse().ok()) {
+            Some(ms) => SyncPolicy::GroupCommit(Duration::from_millis(ms)),
+            None => {
+                eprintln!("replica: bad --sync-policy {other:?} (every|group:<ms>|none)");
+                usage();
+            }
+        },
+    }
 }
 
 fn main() {
@@ -46,6 +77,10 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut adaptive = false;
     let mut target_m: Option<usize> = None;
+    let mut wal_dir: Option<String> = None;
+    let mut sync_policy = SyncPolicy::EveryBatch;
+    let mut checkpoint_every = 0u64;
+    let mut crash_after_batches: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -58,6 +93,12 @@ fn main() {
             "--seed" => seed = Some(parse(args.next(), "--seed")),
             "--adaptive" => adaptive = true,
             "--target-m" => target_m = Some(parse(args.next(), "--target-m")),
+            "--wal-dir" => wal_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--sync-policy" => sync_policy = parse_sync_policy(args.next()),
+            "--checkpoint-every" => checkpoint_every = parse(args.next(), "--checkpoint-every"),
+            "--crash-after-batches" => {
+                crash_after_batches = Some(parse(args.next(), "--crash-after-batches"));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -90,6 +131,10 @@ fn main() {
         rendezvous: Some(rendezvous),
         drain_cadence: Duration::from_millis(cadence_ms),
         controller,
+        wal_dir: wal_dir.map(Into::into),
+        sync_policy,
+        checkpoint_every,
+        crash_after_batches,
     };
     let server = match ReplicaServer::spawn(config) {
         Ok(server) => server,

@@ -104,13 +104,19 @@ impl std::fmt::Debug for NetClient {
 
 impl NetClient {
     /// Connects: polls the rendezvous at `rendezvous` until replicas
-    /// `0..expected` have all registered (or `timeout` elapses), then
-    /// opens one connection to each.
+    /// `0..expected` have all registered **and** accept connections, or
+    /// `timeout` elapses. A registration whose port refuses the
+    /// connection — a replica that was just killed and is recovering
+    /// from its WAL, still holding its stale map entry until it
+    /// re-registers or liveness prunes it — is retried like an
+    /// incomplete map rather than surfaced, so a fresh client rides
+    /// out a restart the same way an existing client's
+    /// [`RetryPolicy`] does.
     ///
     /// # Errors
     ///
-    /// Fails when the fleet does not fully register within `timeout`
-    /// or any connection fails.
+    /// Fails when the fleet does not fully register and accept
+    /// connections within `timeout`.
     pub fn connect(
         rendezvous: &str,
         expected: usize,
@@ -118,28 +124,32 @@ impl NetClient {
     ) -> Result<NetClient, WireError> {
         assert!(expected > 0, "a fleet needs at least one replica");
         let deadline = Instant::now() + timeout;
-        let map = loop {
-            match fetch_map(rendezvous) {
-                Ok(replicas)
-                    if (0..expected).all(|r| replicas.iter().any(|(i, _)| *i == r as u16)) =>
-                {
-                    break replicas;
-                }
-                Ok(_) | Err(_) if Instant::now() < deadline => {
-                    std::thread::sleep(Duration::from_millis(20));
-                }
-                Ok(replicas) => {
-                    return Err(WireError::Protocol {
-                        detail: format!(
-                            "fleet incomplete after {timeout:?}: {} of {expected} replicas \
-                             registered",
-                            replicas.len()
-                        ),
-                    });
-                }
-                Err(err) => return Err(err),
+        loop {
+            match Self::connect_once(rendezvous, expected, timeout) {
+                Ok(client) => return Ok(client),
+                Err(err) if Instant::now() >= deadline => return Err(err),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
             }
-        };
+        }
+    }
+
+    /// One full connection attempt: fetch the map, require it
+    /// complete, open one connection per replica. Any failure aborts
+    /// the attempt; [`NetClient::connect`] owns the retry loop.
+    fn connect_once(
+        rendezvous: &str,
+        expected: usize,
+        timeout: Duration,
+    ) -> Result<NetClient, WireError> {
+        let map = fetch_map(rendezvous)?;
+        if !(0..expected).all(|r| map.iter().any(|(i, _)| *i == r as u16)) {
+            return Err(WireError::Protocol {
+                detail: format!(
+                    "fleet incomplete after {timeout:?}: {} of {expected} replicas registered",
+                    map.len()
+                ),
+            });
+        }
         let mut conns = Vec::with_capacity(expected);
         for r in 0..expected as u16 {
             let addr = map

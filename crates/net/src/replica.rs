@@ -34,12 +34,14 @@
 //! [`NetMessage::Stats`].
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 use ghba_core::{
     ControllerConfig, GhbaCluster, GhbaConfig, GroupController, MdsId, MetadataService, Reconciler,
+    SyncPolicy, WalOptions,
 };
 
 use crate::proto::NetMessage;
@@ -70,6 +72,22 @@ pub struct ReplicaConfig {
     /// split/merge/rebalance through the cluster's reconfig handle —
     /// the adaptive control plane, on by opt-in only.
     pub controller: Option<ControllerConfig>,
+    /// When set, the replica is durable: on spawn it recovers the
+    /// cluster from this WAL directory (checkpoint + log-tail replay;
+    /// an empty directory is a fresh first boot) and every subsequent
+    /// drain is write-ahead logged there.
+    pub wal_dir: Option<PathBuf>,
+    /// WAL sync policy (only meaningful with
+    /// [`wal_dir`](ReplicaConfig::wal_dir) set).
+    pub sync_policy: SyncPolicy,
+    /// Install a checkpoint and truncate the log every this many WAL
+    /// records; `0` disables automatic checkpoints.
+    pub checkpoint_every: u64,
+    /// Fault injection: `abort()` the whole process (no drain, no
+    /// unwind — SIGABRT, the in-tree stand-in for SIGKILL) after
+    /// serving this many `ExecuteBatch` frames. For crash-recovery
+    /// harnesses only; `None` in any real deployment.
+    pub crash_after_batches: Option<u64>,
 }
 
 impl ReplicaConfig {
@@ -85,6 +103,10 @@ impl ReplicaConfig {
             rendezvous: None,
             drain_cadence: Duration::from_millis(50),
             controller: None,
+            wal_dir: None,
+            sync_policy: SyncPolicy::EveryBatch,
+            checkpoint_every: 0,
+            crash_after_batches: None,
         }
     }
 
@@ -111,6 +133,38 @@ impl ReplicaConfig {
         self.controller = Some(cfg);
         self
     }
+
+    /// Makes the replica durable: recover from (and keep logging to)
+    /// this WAL directory (builder style).
+    #[must_use]
+    pub fn with_wal_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the WAL sync policy (builder style).
+    #[must_use]
+    pub fn with_sync_policy(mut self, policy: SyncPolicy) -> Self {
+        self.sync_policy = policy;
+        self
+    }
+
+    /// Enables automatic checkpoints every `records` WAL records
+    /// (builder style).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, records: u64) -> Self {
+        self.checkpoint_every = records;
+        self
+    }
+
+    /// Fault injection: abort the process after `batches` served
+    /// batches (builder style; see
+    /// [`crash_after_batches`](ReplicaConfig::crash_after_batches)).
+    #[must_use]
+    pub fn with_crash_after_batches(mut self, batches: u64) -> Self {
+        self.crash_after_batches = Some(batches);
+        self
+    }
 }
 
 /// State shared between connection threads and the reconciler.
@@ -126,6 +180,15 @@ struct ReplicaShared {
     /// Reconfigurations the online controller actuated (splits +
     /// merges + rebalances) over the server's lifetime.
     adapt_actions: AtomicU64,
+    /// Directory epoch the rendezvous acked our most recent
+    /// registration under (0 = never registered). Strictly increases
+    /// across restart/re-register cycles — including re-registration
+    /// after a liveness prune.
+    registration_epoch: AtomicU64,
+    /// Fault injection: abort the process after this many served
+    /// batches (0 = disabled; see
+    /// [`ReplicaConfig::crash_after_batches`]).
+    crash_after_batches: u64,
 }
 
 impl ReplicaShared {
@@ -163,7 +226,13 @@ impl Service for ReplicaShared {
                 let cluster = self.cluster.read().expect("cluster lock poisoned");
                 let outcomes = cluster.execute_concurrent(&batch);
                 drop(cluster);
-                self.batches_served.fetch_add(1, Ordering::Relaxed);
+                let served = self.batches_served.fetch_add(1, Ordering::Relaxed) + 1;
+                if self.crash_after_batches > 0 && served >= self.crash_after_batches {
+                    // Fault injection: die like a SIGKILL would — no
+                    // reply, no drain, no unwinding. Whatever the WAL
+                    // synced is all recovery gets.
+                    std::process::abort();
+                }
                 ServiceReply::Message(NetMessage::BatchReply { seq, outcomes })
             }
             NetMessage::Drain => {
@@ -245,10 +314,20 @@ impl ReplicaServer {
     /// Fails when the bind fails or registration cannot reach the
     /// rendezvous.
     pub fn spawn(config: ReplicaConfig) -> std::io::Result<ReplicaServer> {
-        let cluster = GhbaCluster::with_servers(
-            replica_config(&config.base, config.replica as usize),
-            config.servers,
-        );
+        let shard_config = replica_config(&config.base, config.replica as usize);
+        let cluster = match &config.wal_dir {
+            Some(dir) => GhbaCluster::recover(
+                shard_config,
+                config.servers,
+                dir,
+                WalOptions {
+                    sync: config.sync_policy,
+                    checkpoint_every: config.checkpoint_every,
+                },
+            )
+            .map_err(|err| std::io::Error::other(format!("wal recovery: {err}")))?,
+            None => GhbaCluster::with_servers(shard_config, config.servers),
+        };
         let shared = Arc::new(ReplicaShared {
             replica: config.replica,
             cluster: RwLock::new(cluster),
@@ -256,6 +335,8 @@ impl ReplicaServer {
             batches_served: AtomicU64::new(0),
             drained_total: AtomicU64::new(0),
             adapt_actions: AtomicU64::new(0),
+            registration_epoch: AtomicU64::new(0),
+            crash_after_batches: config.crash_after_batches.unwrap_or(0),
         });
         let core = ServerCore::spawn(
             &config.bind,
@@ -299,7 +380,16 @@ impl ReplicaServer {
                     } else {
                         let mut reader = std::io::BufReader::new(stream);
                         return match NetMessage::read_from(&mut reader) {
-                            Ok(Some(NetMessage::RegisterAck { .. })) => Ok(()),
+                            Ok(Some(NetMessage::RegisterAck { epoch })) => {
+                                // The directory epoch our entry became
+                                // visible under — strictly above any
+                                // epoch that pruned a previous
+                                // incarnation of this replica.
+                                self.shared
+                                    .registration_epoch
+                                    .store(epoch, Ordering::Release);
+                                Ok(())
+                            }
                             Ok(reply) => Err(std::io::Error::other(format!(
                                 "unexpected registration reply: {reply:?}"
                             ))),
@@ -339,6 +429,16 @@ impl ReplicaServer {
         self.shared.adapt_actions.load(Ordering::Relaxed)
     }
 
+    /// The rendezvous directory epoch this replica's most recent
+    /// registration was acked under (0 when never registered). After a
+    /// recovery re-registration this is strictly above the epoch any
+    /// liveness prune of the previous incarnation bumped the directory
+    /// to.
+    #[must_use]
+    pub fn registration_epoch(&self) -> u64 {
+        self.shared.registration_epoch.load(Ordering::Acquire)
+    }
+
     /// `true` once a stop has been requested (locally or by a remote
     /// [`NetMessage::Shutdown`] frame) — the binaries poll this.
     #[must_use]
@@ -351,6 +451,19 @@ impl ReplicaServer {
     pub fn shutdown(mut self) {
         if let Some(reconciler) = self.reconciler.take() {
             reconciler.shutdown();
+        }
+        self.core.shutdown();
+    }
+
+    /// In-process crash injection: stops the TCP server and the
+    /// reconciler **without** the final drain (the reconciler thread is
+    /// aborted, not shut down), then drops the cluster — un-drained
+    /// shard writes and un-synced WAL buffers are lost exactly as a
+    /// process kill would lose them. The WAL directory survives for a
+    /// successor [`spawn`](ReplicaServer::spawn) to recover from.
+    pub fn kill(mut self) {
+        if let Some(reconciler) = self.reconciler.take() {
+            reconciler.abort();
         }
         self.core.shutdown();
     }

@@ -322,6 +322,197 @@ fn rendezvous_liveness_prunes_silent_replicas() {
     rendezvous.shutdown();
 }
 
+/// The kill-and-recover headline: a WAL-backed replica is killed
+/// mid-load (no final drain — un-drained writes die with it), restarts
+/// from checkpoint + WAL replay, re-registers with the rendezvous, and
+/// the federation's outcomes stay **bit-identical to an uninterrupted
+/// in-process run** — before, across, and after the crash. Writes that
+/// had reached a drain barrier survive; writes that hadn't vanish on
+/// both sides, because the ground truth never executes them.
+#[test]
+fn kill_and_recover_preserves_bit_identical_outcomes() {
+    const VICTIM: usize = 1;
+    let wal_root = std::env::temp_dir().join(format!("ghba-wal-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let mut net = LoopbackNet::launch(
+        FleetSpec::new(REPLICAS, SERVERS, base_config()).with_wal_root(&wal_root),
+    )
+    .expect("fleet launches");
+    let mut truth = net.ground_truth();
+    let fleet = ClientPartition::new(profile(), CLIENTS, SEED);
+
+    // Phase 1: populate, then a drain barrier — the durability point.
+    let mut client = net.client().expect("client connects");
+    for batch in populate_batches(&fleet) {
+        let net_out = client.execute(&batch).expect("populate batch");
+        let truth_out = execute_sharded(&mut truth, &batch).expect("ground truth");
+        assert_eq!(net_out, truth_out, "populate outcomes diverged");
+    }
+    client.drain_all().expect("drain barrier");
+    truth.drain_all();
+
+    // Phase 2: half the mixed traffic lands and drains (durable)...
+    let batches = client_batches(&fleet, 0);
+    let (before, after) = batches.split_at(batches.len() / 2);
+    for batch in before {
+        let net_out = client.execute(batch).expect("pre-crash batch");
+        let truth_out = execute_sharded(&mut truth, batch).expect("ground truth");
+        assert_eq!(net_out, truth_out, "pre-crash outcomes diverged");
+    }
+    client.drain_all().expect("drain barrier");
+    truth.drain_all();
+
+    // ...then a burst of creates aimed at the victim's shard is
+    // accepted but *never drained*: the crash must erase it. The
+    // ground truth never executes these, so post-recovery equality
+    // proves the un-drained writes died with the process.
+    let mut doomed_paths = Vec::new();
+    let mut i = 0usize;
+    while doomed_paths.len() < 32 {
+        let path = format!("/lost/f{i}");
+        if ghba_net::replica_of(&ghba_core::PathKey::new(path.clone()), REPLICAS) == VICTIM {
+            doomed_paths.push(path);
+        }
+        i += 1;
+    }
+    let mut doomed = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 0 });
+    for path in &doomed_paths {
+        doomed.push_create(path.clone());
+    }
+    let pre_crash = client.execute(&doomed).expect("doomed creates accepted");
+    assert!(pre_crash.iter().all(|o| o.home().is_some()));
+
+    // Crash mid-load and recover: replay checkpoint + WAL tail, bind a
+    // new port, re-register (epoch bump → clients re-discover).
+    net.kill_replica(VICTIM);
+    net.restart_replica(VICTIM)
+        .expect("replica recovers from its WAL");
+
+    // Phase 3: the rest of the load flows through the client's
+    // reconnect path, still bit-identical.
+    for batch in after {
+        let net_out = client.execute(batch).expect("post-recovery batch");
+        let truth_out = execute_sharded(&mut truth, batch).expect("ground truth");
+        assert_eq!(net_out, truth_out, "post-recovery outcomes diverged");
+    }
+    assert!(client.reconnects() >= 1, "phase 3 crossed the restart");
+    let acks = client.drain_all().expect("drain barrier");
+    assert!(acks.iter().all(|&(_, pending)| pending == 0));
+    truth.drain_all();
+
+    // Final audit: durable paths resolve identically on both sides;
+    // the un-drained creates are gone from both.
+    let mut audit = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 1 });
+    for path in fleet.shared_initial_paths().take(200) {
+        audit.push_lookup(path);
+    }
+    for k in 0..CLIENTS {
+        for path in fleet.client_initial_paths(k).take(100) {
+            audit.push_lookup(path);
+        }
+    }
+    for path in &doomed_paths {
+        audit.push_lookup(path.clone());
+    }
+    let net_out = client.execute(&audit).expect("audit");
+    let truth_out = execute_sharded(&mut truth, &audit).expect("ground truth");
+    assert_eq!(
+        net_out, truth_out,
+        "post-recovery audit diverged from the uninterrupted run"
+    );
+    assert!(
+        net_out[..400].iter().filter_map(OpOutcome::home).count() > 350,
+        "durable paths must still resolve after recovery"
+    );
+    assert!(
+        net_out[400..].iter().all(|o| o.home().is_none()),
+        "un-drained creates must not survive the crash"
+    );
+
+    net.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_root);
+}
+
+/// Regression (PR 9 + PR 10): a replica struck from the directory by
+/// the liveness sweep recovers from its WAL and re-registers cleanly —
+/// the acked registration epoch strictly exceeds the post-prune epoch
+/// (monotonic advance, never a reuse), the entry survives further
+/// sweeps, and the durable namespace is served again.
+#[test]
+fn pruned_replica_reregisters_with_a_monotonically_advanced_epoch() {
+    let wal_root = std::env::temp_dir().join(format!("ghba-wal-prune-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let rendezvous = Rendezvous::spawn_with_liveness("127.0.0.1:0", Duration::from_millis(10), 2)
+        .expect("rendezvous binds");
+    let rv_addr = rendezvous.addr().to_string();
+    let config = || {
+        ReplicaConfig::new(0, 2, base_config())
+            .with_rendezvous(rv_addr.clone())
+            .with_wal_dir(wal_root.clone())
+    };
+    let replica = ReplicaServer::spawn(config()).expect("replica spawns");
+    let first_epoch = replica.registration_epoch();
+    assert!(first_epoch >= 1, "registration acks a real epoch");
+
+    // Something durable to serve after recovery.
+    let mut client =
+        NetClient::connect(&rv_addr, 1, Duration::from_secs(10)).expect("client connects");
+    let mut batch = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 0 });
+    batch.push_create("/prune/survivor");
+    client.execute(&batch).expect("create");
+    client.drain_all().expect("durability point");
+
+    // Crash without unregistering: the port goes silent and the
+    // liveness sweep strikes the replica from the directory.
+    replica.kill();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let pruned_epoch = loop {
+        let (epoch, replicas) = rendezvous.snapshot();
+        if replicas.is_empty() {
+            break epoch;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "liveness sweep never pruned the killed replica"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        pruned_epoch > first_epoch,
+        "the prune itself bumps the epoch"
+    );
+
+    // Recover under the same shard index and WAL directory: the
+    // re-registration must land *after* the prune in epoch order.
+    let replica = ReplicaServer::spawn(config()).expect("replica recovers");
+    assert!(
+        replica.registration_epoch() > pruned_epoch,
+        "re-registration epoch must advance past the prune ({} vs {pruned_epoch})",
+        replica.registration_epoch(),
+    );
+
+    // The re-registered entry answers pings, so further sweeps keep it.
+    std::thread::sleep(Duration::from_millis(100));
+    let (_, replicas) = rendezvous.snapshot();
+    assert_eq!(replicas.len(), 1, "the recovered replica stays registered");
+    assert_eq!(replicas[0].0, 0);
+
+    // And the durable namespace came back with it.
+    let mut client =
+        NetClient::connect(&rv_addr, 1, Duration::from_secs(10)).expect("client reconnects");
+    let mut read = OpBatch::new().with_entry(EntryPolicy::RoundRobin { start: 0 });
+    read.push_lookup("/prune/survivor");
+    let outcomes = client.execute(&read).expect("lookup");
+    assert!(
+        outcomes[0].home().is_some(),
+        "the recovered replica must serve its durable namespace"
+    );
+
+    replica.shutdown();
+    rendezvous.shutdown();
+    let _ = std::fs::remove_dir_all(&wal_root);
+}
+
 /// Liveness plumbing: pings echo, batches are counted, and a fresh
 /// client can join an already-running fleet through the rendezvous.
 #[test]

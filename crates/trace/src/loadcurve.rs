@@ -101,6 +101,39 @@ impl LoadCurve {
         ])
     }
 
+    /// The contraction counterpart of [`LoadCurve::diurnal_flash`]:
+    /// the overnight trough *after* a flash-crowd scale-out. Day
+    /// traffic decays through dusk (nominal rate, residual skew on the
+    /// day's flash region), then the long trough leaves only an
+    /// overnight batch region busy at 0.3× nominal — every group
+    /// outside it idles far below its fair share, which is what lets
+    /// the controller's merge path pack the day's split remnants back
+    /// toward M*. Dawn returns uniform traffic so a driver can assert
+    /// the contracted shape holds once load comes back.
+    #[must_use]
+    pub fn overnight_trough() -> Self {
+        LoadCurve::new(vec![
+            LoadPhase {
+                name: "dusk",
+                duration: 0.25,
+                intensity: 1.0,
+                hot_focus: 0.3,
+            },
+            LoadPhase {
+                name: "trough",
+                duration: 0.50,
+                intensity: 0.3,
+                hot_focus: 0.8,
+            },
+            LoadPhase {
+                name: "dawn",
+                duration: 0.25,
+                intensity: 0.6,
+                hot_focus: 0.0,
+            },
+        ])
+    }
+
     /// The phases, normalized.
     #[must_use]
     pub fn phases(&self) -> &[LoadPhase] {
@@ -178,5 +211,28 @@ mod tests {
         let night = curve.phase_at(0.0);
         assert_eq!(night.name, "night");
         assert!(night.intensity < 0.5 && night.hot_focus == 0.0);
+    }
+
+    #[test]
+    fn overnight_trough_shapes_the_merge_path() {
+        let curve = LoadCurve::overnight_trough();
+        let total: f64 = curve.phases().iter().map(|p| p.duration).sum();
+        assert!((total - 1.0).abs() < 1e-12, "durations must sum to 1");
+        // Dusk is the peak: the driver keeps its focus on the day's
+        // flash region and migrates the later focus elsewhere.
+        assert_eq!(curve.peak_intensity(), 1.0);
+        assert_eq!(curve.phase_at(0.0).name, "dusk");
+        // The trough starves every non-focused group below the default
+        // cold bar (share ratio 1 − hot_focus = 0.2 ≤ 0.5) without the
+        // dusk phase doing so (0.7 > 0.5): merges fire overnight only.
+        let trough = curve.phase_at(0.5);
+        assert_eq!(trough.name, "trough");
+        assert!(trough.hot_focus >= 0.5 && trough.intensity < 0.5);
+        let dusk = curve.phase_at(0.1);
+        assert!(1.0 - dusk.hot_focus > 0.5);
+        // Dawn is uniform: the contracted shape must hold under it.
+        let dawn = curve.phase_at(0.9);
+        assert_eq!(dawn.name, "dawn");
+        assert_eq!(dawn.hot_focus, 0.0);
     }
 }

@@ -252,6 +252,121 @@ mod tests {
         }
     }
 
+    /// The contraction scenario (ROADMAP follow-on 2a): after a
+    /// flash-crowd day split the shape into remnants well below M*,
+    /// then drive the overnight trough at it. The controller's merge
+    /// path must pack the remnants back toward M* = round(√48) = 7
+    /// online — while every group the merges never touch keeps its
+    /// warm [`SharedMaskCache`] (mask hit rate ≥ 0.99 end to end).
+    #[test]
+    fn overnight_trough_merges_back_toward_m_star() {
+        let run = || {
+            let config = GhbaConfig::default()
+                .with_filter_capacity(8_000)
+                .with_lru_capacity(0)
+                .with_max_group_size(8)
+                .with_seed(0xD1A);
+            let mut cluster = GhbaCluster::with_servers(config, 48);
+            let paths: Vec<String> = (0..2_000)
+                .map(|i| format!("/scn/d{}/f{i}", i % 61))
+                .collect();
+            crate::replay::populate(&mut cluster, paths.iter().cloned());
+            cluster.flush_all_updates();
+
+            // Yesterday's flash crowd split three groups (8 → 3 + 5):
+            // nine groups of mean 48/9 ≈ 5.3, well under M* = 7. The
+            // last minted group doubles as tonight's batch region, so
+            // the trough's focus lands on a group too small to split.
+            let handle = cluster.reconfig_handle();
+            let day_split: Vec<GroupId> = handle.group_ids().into_iter().take(3).collect();
+            for gid in &day_split {
+                handle.split_group(*gid).expect("flash-crowd split");
+            }
+            let pre_groups = cluster.group_count();
+            assert_eq!(pre_groups, 9);
+
+            let mut controller = GroupController::new(ControllerConfig::default());
+            let spec = ScenarioSpec::default();
+            let curve = ghba_trace::LoadCurve::overnight_trough();
+            let report = drive_curve(&mut cluster, Some(&mut controller), &curve, &paths, &spec);
+            (cluster, day_split, pre_groups, spec, curve, report)
+        };
+        let (cluster, day_split, pre_groups, spec, curve, report) = run();
+
+        assert_eq!(report.lookups, report.found);
+        let merges: Vec<_> = report
+            .actions
+            .iter()
+            .filter(|(_, a)| matches!(a, AdaptAction::Merge(..)))
+            .collect();
+        assert!(
+            !merges.is_empty(),
+            "the trough must merge split remnants, got {:?}",
+            report.actions
+        );
+        assert!(
+            !report
+                .actions
+                .iter()
+                .any(|(_, a)| matches!(a, AdaptAction::Split(_))),
+            "a contraction pass must not expand, got {:?}",
+            report.actions
+        );
+        // Every merge lands overnight: dusk's residual skew is too
+        // mild to starve anyone and dawn is uniform.
+        for (w, action) in &merges {
+            let t = (*w as f64 + 0.5) / spec.windows as f64;
+            assert_eq!(
+                curve.phase_at(t).name,
+                "trough",
+                "merge {action:?} fired outside the trough (window {w})"
+            );
+        }
+        // The merges move the mean group size toward M* = 7.
+        let target = 7.0;
+        let pre_mean = 48.0 / pre_groups as f64;
+        let post_mean = 48.0 / report.final_groups as f64;
+        assert!(report.final_groups < pre_groups);
+        assert!(
+            (post_mean - target).abs() < (pre_mean - target).abs(),
+            "mean group size must move toward M*: {pre_mean:.2} → {post_mean:.2}"
+        );
+        assert!(report.epoch_bumps >= merges.len() as u64);
+        cluster.check_invariants().expect("routes stay sound");
+
+        // Warm-retention: groups no action (and no day split) ever
+        // named kept their per-group epochs, so their shared mask
+        // caches stayed warm through every overnight merge.
+        let touched: Vec<GroupId> = report
+            .actions
+            .iter()
+            .flat_map(|(_, a)| {
+                let (x, y) = a.touches();
+                std::iter::once(x).chain(y)
+            })
+            .chain(day_split.iter().copied())
+            .collect();
+        let load = cluster.load_report();
+        let mut untouched = 0;
+        for g in &load.groups {
+            if !touched.contains(&g.gid) && g.members == 8 {
+                untouched += 1;
+                assert!(
+                    g.mask_hit_rate >= 0.99,
+                    "group {:?} lost its warm mask cache through the merges: {}",
+                    g.gid,
+                    g.mask_hit_rate
+                );
+            }
+        }
+        assert!(untouched >= 3, "the assertion must not be vacuous");
+
+        // And the whole pass replays byte-identically.
+        let (_, _, _, _, _, twin) = run();
+        assert_eq!(report.actions, twin.actions, "same seed, same merges");
+        assert_eq!(report.phase_lookups, twin.phase_lookups);
+    }
+
     #[test]
     fn scenarios_replay_deterministically() {
         let run = || {
